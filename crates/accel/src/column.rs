@@ -1,0 +1,322 @@
+//! Typed column vectors with null bitmaps — the accelerator's storage
+//! primitive.
+//!
+//! Unlike the host's slotted pages, a column here is a dense `Vec` of a
+//! primitive representation chosen from the declared SQL type, plus a
+//! bitmap for NULLs. Scans touch only the columns a query references and
+//! run as tight loops over primitives — the source of the accelerator's
+//! OLAP advantage in every experiment.
+
+use idaa_common::{DataType, Decimal, Error, Result, Value};
+
+/// A compact null bitmap.
+#[derive(Debug, Clone, Default)]
+pub struct NullMap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NullMap {
+    /// Append one validity flag (`true` = NULL).
+    pub fn push(&mut self, is_null: bool) {
+        let bit = self.len;
+        self.len += 1;
+        if bit / 64 >= self.words.len() {
+            self.words.push(0);
+        }
+        if is_null {
+            self.words[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Is position `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .map(|w| w & (1 << (i % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Number of flags stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no flags stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Count of NULL positions.
+    pub fn null_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The physical representation of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Integer family, BOOLEAN, DATE and TIMESTAMP widened to `i64`.
+    I64(Vec<i64>),
+    /// DOUBLE.
+    F64(Vec<f64>),
+    /// DECIMAL units at the column's declared scale.
+    Dec(Vec<i128>),
+    /// Character data, dictionary encoded: `codes[i]` indexes `values`.
+    /// Typical OLAP string columns (regions, product codes, topics) have
+    /// tiny dictionaries, so this both compresses the column and turns
+    /// string-equality kernels into integer comparisons.
+    Str { codes: Vec<u32>, values: Vec<String>, index: FxLikeMap },
+}
+
+/// Dictionary lookup map (String → code).
+pub type FxLikeMap = std::collections::HashMap<String, u32>;
+
+/// One stored column: declared type, physical vector, null bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub data_type: DataType,
+    pub data: ColumnData,
+    pub nulls: NullMap,
+}
+
+impl Column {
+    /// Empty column for `data_type`.
+    pub fn new(data_type: DataType) -> Column {
+        let data = match data_type {
+            DataType::Double => ColumnData::F64(Vec::new()),
+            DataType::Decimal(_, _) => ColumnData::Dec(Vec::new()),
+            DataType::Varchar(_) | DataType::Char(_) => ColumnData::Str {
+                codes: Vec::new(),
+                values: Vec::new(),
+                index: FxLikeMap::default(),
+            },
+            _ => ColumnData::I64(Vec::new()),
+        };
+        Column { data_type, data, nulls: NullMap::default() }
+    }
+
+    /// Number of stored positions (including NULL slots).
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::I64(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+            ColumnData::Dec(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a value (must already be coerced to the column type by
+    /// `Schema::check_row`).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            self.nulls.push(true);
+            match &mut self.data {
+                ColumnData::I64(vec) => vec.push(0),
+                ColumnData::F64(vec) => vec.push(0.0),
+                ColumnData::Dec(vec) => vec.push(0),
+                ColumnData::Str { codes, values, index } => {
+                    let code = *index.entry(String::new()).or_insert_with(|| {
+                        values.push(String::new());
+                        (values.len() - 1) as u32
+                    });
+                    codes.push(code);
+                }
+            }
+            return Ok(());
+        }
+        self.nulls.push(false);
+        match (&mut self.data, v) {
+            (ColumnData::I64(vec), _) => vec.push(v.as_i64()?),
+            (ColumnData::F64(vec), _) => vec.push(v.as_f64()?),
+            (ColumnData::Dec(vec), Value::Decimal(d)) => {
+                let scale = match self.data_type {
+                    DataType::Decimal(_, s) => s,
+                    _ => d.scale(),
+                };
+                vec.push(d.rescale(scale)?.units());
+            }
+            (ColumnData::Dec(vec), _) => {
+                let scale = match self.data_type {
+                    DataType::Decimal(_, s) => s,
+                    _ => 0,
+                };
+                vec.push(Decimal::from_int(v.as_i64()?).rescale(scale)?.units());
+            }
+            (ColumnData::Str { codes, values, index }, Value::Varchar(s)) => {
+                let code = match index.get(s) {
+                    Some(&c) => c,
+                    None => {
+                        values.push(s.clone());
+                        let c = (values.len() - 1) as u32;
+                        index.insert(s.clone(), c);
+                        c
+                    }
+                };
+                codes.push(code);
+            }
+            (ColumnData::Str { .. }, other) => {
+                return Err(Error::TypeMismatch(format!(
+                    "cannot store {other} in a character column"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Read position `i` back as a [`Value`] of the declared type.
+    pub fn get(&self, i: usize) -> Value {
+        if self.nulls.is_null(i) {
+            return Value::Null;
+        }
+        match (&self.data, self.data_type) {
+            (ColumnData::I64(v), DataType::SmallInt) => Value::SmallInt(v[i] as i16),
+            (ColumnData::I64(v), DataType::Integer) => Value::Int(v[i] as i32),
+            (ColumnData::I64(v), DataType::BigInt) => Value::BigInt(v[i]),
+            (ColumnData::I64(v), DataType::Boolean) => Value::Boolean(v[i] != 0),
+            (ColumnData::I64(v), DataType::Date) => Value::Date(v[i] as i32),
+            (ColumnData::I64(v), DataType::Timestamp) => Value::Timestamp(v[i]),
+            (ColumnData::I64(v), _) => Value::BigInt(v[i]),
+            (ColumnData::F64(v), _) => Value::Double(v[i]),
+            (ColumnData::Dec(v), DataType::Decimal(_, s)) => Value::Decimal(Decimal::new(v[i], s)),
+            (ColumnData::Dec(v), _) => Value::Decimal(Decimal::new(v[i], 0)),
+            (ColumnData::Str { codes, values, .. }, _) => Value::Varchar(values[codes[i] as usize].clone()),
+        }
+    }
+
+    /// Dictionary of a string column (None for non-string columns).
+    pub fn dictionary(&self) -> Option<&[String]> {
+        match &self.data {
+            ColumnData::Str { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Dictionary code at position `i` (None for NULL or non-string).
+    #[inline]
+    pub fn code_at(&self, i: usize) -> Option<u32> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Str { codes, .. } => Some(codes[i]),
+            _ => None,
+        }
+    }
+
+    /// Numeric image of position `i` for vectorized comparison kernels
+    /// (`None` for NULL or non-numeric columns).
+    #[inline]
+    pub fn numeric_at(&self, i: usize) -> Option<f64> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::I64(v) => Some(v[i] as f64),
+            ColumnData::F64(v) => Some(v[i]),
+            ColumnData::Dec(v) => {
+                let scale = match self.data_type {
+                    DataType::Decimal(_, s) => s,
+                    _ => 0,
+                };
+                Some(Decimal::new(v[i], scale).to_f64())
+            }
+            ColumnData::Str { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nullmap_tracks_positions() {
+        let mut m = NullMap::default();
+        for i in 0..130 {
+            m.push(i % 3 == 0);
+        }
+        assert_eq!(m.len(), 130);
+        assert!(m.is_null(0));
+        assert!(!m.is_null(1));
+        assert!(m.is_null(129));
+        assert_eq!(m.null_count(), 44);
+    }
+
+    #[test]
+    fn int_column_roundtrip() {
+        let mut c = Column::new(DataType::Integer);
+        c.push(&Value::Int(5)).unwrap();
+        c.push(&Value::Null).unwrap();
+        c.push(&Value::Int(-7)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(5));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.get(2), Value::Int(-7));
+    }
+
+    #[test]
+    fn decimal_column_preserves_scale() {
+        let mut c = Column::new(DataType::Decimal(10, 2));
+        c.push(&Value::Decimal(Decimal::parse("12.34").unwrap())).unwrap();
+        c.push(&Value::Decimal(Decimal::parse("5.1").unwrap())).unwrap();
+        assert_eq!(c.get(0).render(), "12.34");
+        assert_eq!(c.get(1).render(), "5.10");
+    }
+
+    #[test]
+    fn string_column_and_type_errors() {
+        let mut c = Column::new(DataType::Varchar(10));
+        c.push(&Value::Varchar("abc".into())).unwrap();
+        assert_eq!(c.get(0), Value::Varchar("abc".into()));
+        assert!(c.push(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn date_and_bool_roundtrip() {
+        let mut d = Column::new(DataType::Date);
+        d.push(&Value::Date(42)).unwrap();
+        assert_eq!(d.get(0), Value::Date(42));
+        let mut b = Column::new(DataType::Boolean);
+        b.push(&Value::Boolean(true)).unwrap();
+        assert_eq!(b.get(0), Value::Boolean(true));
+    }
+
+    #[test]
+    fn string_dictionary_encoding() {
+        let mut c = Column::new(DataType::Varchar(8));
+        for s in ["EU", "US", "EU", "EU", "APAC", "US"] {
+            c.push(&Value::Varchar(s.into())).unwrap();
+        }
+        c.push(&Value::Null).unwrap();
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.dictionary().unwrap().len(), 4, "3 distinct values + the NULL placeholder slot is not created: EU/US/APAC");
+        assert_eq!(c.get(0), Value::Varchar("EU".into()));
+        assert_eq!(c.get(4), Value::Varchar("APAC".into()));
+        assert!(c.get(6).is_null());
+        assert_eq!(c.code_at(0), c.code_at(2), "same string, same code");
+        assert_ne!(c.code_at(0), c.code_at(1));
+        assert_eq!(c.code_at(6), None, "NULL has no code");
+        // Non-string columns expose no dictionary.
+        let ic = Column::new(DataType::Integer);
+        assert!(ic.dictionary().is_none());
+    }
+
+    #[test]
+    fn numeric_view() {
+        let mut c = Column::new(DataType::Decimal(6, 2));
+        c.push(&Value::Decimal(Decimal::parse("2.50").unwrap())).unwrap();
+        c.push(&Value::Null).unwrap();
+        assert_eq!(c.numeric_at(0), Some(2.5));
+        assert_eq!(c.numeric_at(1), None);
+        let mut s = Column::new(DataType::Varchar(4));
+        s.push(&Value::Varchar("x".into())).unwrap();
+        assert_eq!(s.numeric_at(0), None);
+    }
+}

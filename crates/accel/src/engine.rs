@@ -1,0 +1,648 @@
+//! The accelerator engine facade — the "IDAA server + Netezza backend"
+//! stand-in that the federation layer talks to.
+//!
+//! Holds the accelerator-side catalog (replicated tables *and*
+//! accelerator-only tables look identical here), the transaction registry
+//! (enrolled in host transactions), and entry points for queries, AOT DML,
+//! bulk load, and grooming.
+
+use crate::exec::{execute_plan, scan_filtered, ExecCtx};
+use crate::mvcc::{CommitSeq, Snapshot, TxnId, TxnRegistry, TxnStatus};
+use crate::table::{AccelTable, RowPos};
+use idaa_common::{Error, ObjectName, Result, Row, Rows, Schema};
+use idaa_sql::ast::{Expr, Query};
+use idaa_sql::eval::{bind, eval, FlatResolver};
+use idaa_sql::plan::{plan_query, SchemaProvider};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tunables for the accelerator (ablation experiments flip these).
+#[derive(Debug, Clone)]
+pub struct AccelConfig {
+    /// Data slices per table (worker parallelism).
+    pub slices: usize,
+    /// Use zone maps for block pruning.
+    pub zone_maps: bool,
+    /// Scan slices in parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig { slices: 4, zone_maps: true, parallel: true }
+    }
+}
+
+/// Operation counters exposed to the bench harness.
+#[derive(Debug, Default)]
+pub struct AccelStats {
+    pub rows_scanned: AtomicU64,
+    pub blocks_scanned: AtomicU64,
+    pub blocks_pruned: AtomicU64,
+    pub queries: AtomicU64,
+    pub rows_inserted: AtomicU64,
+    pub rows_deleted: AtomicU64,
+    pub versions_groomed: AtomicU64,
+}
+
+/// The accelerator.
+pub struct AccelEngine {
+    tables: RwLock<HashMap<ObjectName, Arc<AccelTable>>>,
+    pub txns: TxnRegistry,
+    pub config: AccelConfig,
+    pub stats: AccelStats,
+    /// Per-transaction snapshot sequence captured at enrollment, giving
+    /// transaction-level snapshot isolation (Netezza semantics).
+    snapshots: RwLock<HashMap<TxnId, CommitSeq>>,
+    default_schema: String,
+}
+
+impl Default for AccelEngine {
+    fn default() -> Self {
+        AccelEngine::new("APP", AccelConfig::default())
+    }
+}
+
+impl AccelEngine {
+    /// Engine with the given default schema (must match the host's) and
+    /// configuration.
+    pub fn new(default_schema: &str, config: AccelConfig) -> AccelEngine {
+        AccelEngine {
+            tables: RwLock::new(HashMap::new()),
+            txns: TxnRegistry::default(),
+            config,
+            stats: AccelStats::default(),
+            snapshots: RwLock::new(HashMap::new()),
+            default_schema: default_schema.to_string(),
+        }
+    }
+
+    fn resolve(&self, name: &ObjectName) -> ObjectName {
+        name.resolve(&self.default_schema)
+    }
+
+    // -- catalog ---------------------------------------------------------------
+
+    /// Define a table on the accelerator (replicated or accelerator-only —
+    /// the accelerator does not distinguish).
+    pub fn create_table(
+        &self,
+        name: &ObjectName,
+        schema: Schema,
+        distribute_by: &[String],
+    ) -> Result<()> {
+        let name = self.resolve(name);
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("accelerator table {name} already exists")));
+        }
+        let dist: Vec<usize> = distribute_by
+            .iter()
+            .map(|c| schema.index_of(c))
+            .collect::<Result<_>>()?;
+        tables.insert(
+            name.clone(),
+            Arc::new(AccelTable::new(name, schema, dist, self.config.slices)),
+        );
+        Ok(())
+    }
+
+    /// Remove a table.
+    pub fn drop_table(&self, name: &ObjectName) -> Result<()> {
+        let name = self.resolve(name);
+        self.tables
+            .write()
+            .remove(&name)
+            .map(|_| ())
+            .ok_or_else(|| Error::UndefinedObject(format!("accelerator table {name} not defined")))
+    }
+
+    /// Does a table exist here?
+    pub fn has_table(&self, name: &ObjectName) -> bool {
+        self.tables.read().contains_key(&self.resolve(name))
+    }
+
+    /// Handle to a table.
+    pub fn table(&self, name: &ObjectName) -> Result<Arc<AccelTable>> {
+        let name = self.resolve(name);
+        self.tables
+            .read()
+            .get(&name)
+            .cloned()
+            .ok_or_else(|| Error::UndefinedObject(format!("accelerator table {name} not defined")))
+    }
+
+    /// Names of all tables defined on the accelerator.
+    pub fn table_names(&self) -> Vec<ObjectName> {
+        let mut v: Vec<ObjectName> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    // -- transactions ------------------------------------------------------------
+
+    /// Enroll a host transaction (captures its snapshot).
+    pub fn begin(&self, txn: TxnId) {
+        self.txns.begin(txn);
+        self.snapshots.write().insert(txn, self.txns.high_water());
+    }
+
+    /// 2PC phase 1. A transaction that never enrolled votes YES trivially.
+    pub fn prepare(&self, txn: TxnId) -> Result<()> {
+        match self.txns.status(txn) {
+            TxnStatus::Active | TxnStatus::Prepared => {
+                self.txns.prepare(txn);
+                Ok(())
+            }
+            TxnStatus::Aborted => {
+                // Unknown ids land here too: treat as a trivially-prepared
+                // read-only participant.
+                self.txns.prepare(txn);
+                Ok(())
+            }
+            TxnStatus::Committed(_) => Err(Error::TransactionState(format!(
+                "transaction {txn} already committed on the accelerator"
+            ))),
+        }
+    }
+
+    /// 2PC phase 2: commit.
+    pub fn commit(&self, txn: TxnId) -> CommitSeq {
+        self.snapshots.write().remove(&txn);
+        self.txns.commit(txn)
+    }
+
+    /// Abort / rollback.
+    pub fn abort(&self, txn: TxnId) {
+        self.snapshots.write().remove(&txn);
+        self.txns.abort(txn);
+    }
+
+    /// Snapshot for a statement of `txn`: the transaction-level snapshot if
+    /// enrolled, else a fresh read-only snapshot.
+    pub fn snapshot_for(&self, txn: TxnId) -> Snapshot {
+        match self.snapshots.read().get(&txn) {
+            Some(&seq) => Snapshot { seq, me: txn },
+            None => self.txns.snapshot(txn),
+        }
+    }
+
+    // -- queries -------------------------------------------------------------------
+
+    /// Execute a `SELECT` under `txn`'s snapshot.
+    pub fn query(&self, txn: TxnId, query: &Query) -> Result<Rows> {
+        let plan = plan_query(query, self)?;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let ctx = ExecCtx { engine: self, snap: self.snapshot_for(txn) };
+        execute_plan(&plan, &ctx)
+    }
+
+    // -- DML (the AOT path) -----------------------------------------------------------
+
+    /// Insert pre-validated rows into a table as `txn`.
+    pub fn insert_rows(&self, txn: TxnId, table: &ObjectName, rows: Vec<Row>) -> Result<usize> {
+        let t = self.table(table)?;
+        let mut checked = Vec::with_capacity(rows.len());
+        for r in rows {
+            checked.push(t.schema.check_row(&r)?);
+        }
+        let n = t.insert_bulk(&checked, txn)?;
+        self.stats.rows_inserted.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// `INSERT INTO target SELECT …` entirely on the accelerator — the
+    /// paper's core data-transformation primitive: no intermediate result
+    /// ever leaves the accelerator.
+    pub fn insert_select(&self, txn: TxnId, table: &ObjectName, query: &Query) -> Result<usize> {
+        let result = self.query(txn, query)?;
+        self.insert_rows(txn, table, result.rows)
+    }
+
+    /// `DELETE FROM table WHERE …` under `txn`.
+    pub fn delete_where(
+        &self,
+        txn: TxnId,
+        table: &ObjectName,
+        filter: Option<&Expr>,
+    ) -> Result<usize> {
+        let t = self.table(table)?;
+        let victims = self.matching_positions(&t, txn, filter)?;
+        self.mark_all(&t, &victims, txn)?;
+        self.stats.rows_deleted.fetch_add(victims.len() as u64, Ordering::Relaxed);
+        Ok(victims.len())
+    }
+
+    /// `UPDATE table SET … WHERE …` under `txn`: delete-mark the old
+    /// versions and append new ones.
+    pub fn update_where(
+        &self,
+        txn: TxnId,
+        table: &ObjectName,
+        assignments: &[(String, Expr)],
+        filter: Option<&Expr>,
+    ) -> Result<usize> {
+        let t = self.table(table)?;
+        let resolver = FlatResolver::from_schema(Some(&t.name.name), &t.schema);
+        let bound: Vec<(usize, idaa_sql::eval::BoundExpr)> = assignments
+            .iter()
+            .map(|(col, e)| Ok((t.schema.index_of(col)?, bind(e, &resolver)?)))
+            .collect::<Result<_>>()?;
+        let victims = self.matching_positions(&t, txn, filter)?;
+        // Build all replacement rows first (any evaluation error aborts the
+        // statement before any mark is placed).
+        let mut replacements = Vec::with_capacity(victims.len());
+        for (_, old) in &victims {
+            let mut new = old.clone();
+            for (ordinal, expr) in &bound {
+                new[*ordinal] = eval(expr, old)?;
+            }
+            replacements.push(t.schema.check_row(&new)?);
+        }
+        self.mark_all(&t, &victims, txn)?;
+        t.insert_bulk(&replacements, txn)?;
+        self.stats.rows_inserted.fetch_add(replacements.len() as u64, Ordering::Relaxed);
+        self.stats.rows_deleted.fetch_add(victims.len() as u64, Ordering::Relaxed);
+        Ok(victims.len())
+    }
+
+    /// Visible positions (and their rows) matching `filter` for `txn`.
+    fn matching_positions(
+        &self,
+        t: &AccelTable,
+        txn: TxnId,
+        filter: Option<&Expr>,
+    ) -> Result<Vec<(RowPos, Row)>> {
+        let snap = self.snapshot_for(txn);
+        let bound = match filter {
+            Some(f) => {
+                let resolver = FlatResolver::from_schema(Some(&t.name.name), &t.schema);
+                Some(bind(f, &resolver)?)
+            }
+            None => None,
+        };
+        let mut out = Vec::new();
+        for (si, slice_lock) in t.slices().iter().enumerate() {
+            let slice = slice_lock.read();
+            for pos in 0..slice.version_count() {
+                if !self
+                    .txns
+                    .version_visible(slice.created[pos], slice.deleted[pos], &snap)
+                {
+                    continue;
+                }
+                let row = slice.row_at(pos);
+                if let Some(b) = &bound {
+                    if !idaa_sql::eval::eval_predicate(b, &row)? {
+                        continue;
+                    }
+                }
+                out.push((RowPos { slice: si, pos }, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mark all victims deleted; on a write-write conflict, roll the
+    /// statement's marks back and fail atomically.
+    fn mark_all(&self, t: &AccelTable, victims: &[(RowPos, Row)], txn: TxnId) -> Result<()> {
+        let is_dead = |other: TxnId| matches!(self.txns.status(other), TxnStatus::Aborted);
+        for (i, (pos, _)) in victims.iter().enumerate() {
+            if let Err(e) = t.mark_deleted(*pos, txn, is_dead) {
+                for (p, _) in &victims[..i] {
+                    t.unmark_deleted(*p, txn);
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    // -- bulk / maintenance -------------------------------------------------------------
+
+    /// Bulk load committed data (replication apply and loader path): the
+    /// rows become visible via a dedicated single-use transaction that
+    /// commits immediately.
+    pub fn load_committed(&self, table: &ObjectName, rows: Vec<Row>) -> Result<usize> {
+        // Internal load transactions use ids above 2^62 to stay clear of
+        // host transaction ids.
+        static NEXT_LOAD_TXN: AtomicU64 = AtomicU64::new(1 << 62);
+        let txn = NEXT_LOAD_TXN.fetch_add(1, Ordering::Relaxed);
+        self.txns.begin(txn);
+        let n = self.insert_rows(txn, table, rows)?;
+        self.txns.commit(txn);
+        Ok(n)
+    }
+
+    /// Remove all rows of `table` (used before a full reload).
+    pub fn truncate(&self, table: &ObjectName) -> Result<()> {
+        let t = self.table(table)?;
+        t.groom(|_| true, |_| true);
+        Ok(())
+    }
+
+    /// Scan all rows visible to a fresh snapshot (diagnostics, tests,
+    /// baseline "extract" paths).
+    pub fn scan_visible(&self, table: &ObjectName) -> Result<Vec<Row>> {
+        let t = self.table(table)?;
+        let ctx = ExecCtx { engine: self, snap: self.txns.snapshot(0) };
+        scan_filtered(&t, None, &ctx)
+    }
+
+    /// Groom one table: drop versions from aborted creators and versions
+    /// whose deleter committed. Returns versions reclaimed.
+    pub fn groom(&self, table: &ObjectName) -> Result<usize> {
+        let t = self.table(table)?;
+        let n = t.groom(
+            |c| matches!(self.txns.status(c), TxnStatus::Aborted),
+            |d| matches!(self.txns.status(d), TxnStatus::Committed(_)),
+        );
+        self.stats.versions_groomed.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Groom every table.
+    pub fn groom_all(&self) -> usize {
+        let names = self.table_names();
+        names.iter().map(|n| self.groom(n).unwrap_or(0)).sum()
+    }
+}
+
+impl SchemaProvider for AccelEngine {
+    fn table_schema(&self, name: &ObjectName) -> Result<Schema> {
+        if name.schema.is_none() && name.name == "SYSDUMMY1" {
+            return Ok(Schema::default());
+        }
+        Ok(self.table(name)?.schema.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idaa_common::{ColumnDef, DataType, Value};
+    use idaa_sql::{parse_statement, Statement};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::not_null("ID", DataType::Integer),
+            ColumnDef::new("GRP", DataType::Varchar(8)),
+            ColumnDef::new("VAL", DataType::Double),
+        ])
+        .unwrap()
+    }
+
+    fn engine() -> AccelEngine {
+        let e = AccelEngine::default();
+        e.create_table(&ObjectName::bare("T"), schema(), &["ID".to_string()]).unwrap();
+        e
+    }
+
+    fn row(id: i32, grp: &str, val: f64) -> Row {
+        vec![Value::Int(id), Value::Varchar(grp.into()), Value::Double(val)]
+    }
+
+    fn q(e: &AccelEngine, txn: TxnId, sql: &str) -> Result<Rows> {
+        let Statement::Query(query) = parse_statement(sql).unwrap() else { panic!() };
+        e.query(txn, &query)
+    }
+
+    #[test]
+    fn load_and_query() {
+        let e = engine();
+        let rows: Vec<Row> = (0..1000)
+            .map(|i| row(i, if i % 2 == 0 { "A" } else { "B" }, i as f64))
+            .collect();
+        e.load_committed(&ObjectName::bare("T"), rows).unwrap();
+        let r = q(&e, 0, "SELECT grp, COUNT(*), AVG(val) FROM t GROUP BY grp ORDER BY grp").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][1], Value::BigInt(500));
+    }
+
+    #[test]
+    fn own_transaction_sees_uncommitted_inserts() {
+        let e = engine();
+        e.begin(5);
+        e.insert_rows(5, &ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        let mine = q(&e, 5, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(mine.scalar().unwrap(), &Value::BigInt(1));
+        // A concurrent transaction does not.
+        e.begin(6);
+        let theirs = q(&e, 6, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(theirs.scalar().unwrap(), &Value::BigInt(0));
+        // After commit, a *new* transaction sees it; txn 6's snapshot stays.
+        e.prepare(5).unwrap();
+        e.commit(5);
+        let still = q(&e, 6, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(still.scalar().unwrap(), &Value::BigInt(0), "txn-level snapshot isolation");
+        e.begin(7);
+        let fresh = q(&e, 7, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(fresh.scalar().unwrap(), &Value::BigInt(1));
+    }
+
+    #[test]
+    fn abort_discards_changes() {
+        let e = engine();
+        e.begin(1);
+        e.insert_rows(1, &ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        e.abort(1);
+        e.begin(2);
+        assert_eq!(q(&e, 2, "SELECT COUNT(*) FROM t").unwrap().scalar().unwrap(), &Value::BigInt(0));
+        // Groom reclaims the aborted version.
+        assert_eq!(e.groom_all(), 1);
+    }
+
+    #[test]
+    fn delete_and_update_with_own_visibility() {
+        let e = engine();
+        e.load_committed(
+            &ObjectName::bare("T"),
+            vec![row(1, "A", 1.0), row(2, "A", 2.0), row(3, "B", 3.0)],
+        )
+        .unwrap();
+        e.begin(10);
+        let n = e
+            .delete_where(10, &ObjectName::bare("T"), Some(&Expr::col("GRP").eq(Expr::str("A"))))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(q(&e, 10, "SELECT COUNT(*) FROM t").unwrap().scalar().unwrap(), &Value::BigInt(1));
+        // Update the remaining row (visible to self).
+        let n = e
+            .update_where(
+                10,
+                &ObjectName::bare("T"),
+                &[("VAL".into(), Expr::int(99))],
+                None,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let r = q(&e, 10, "SELECT val FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Double(99.0));
+        // Other transactions still see the original three rows.
+        e.begin(11);
+        assert_eq!(q(&e, 11, "SELECT COUNT(*) FROM t").unwrap().scalar().unwrap(), &Value::BigInt(3));
+        e.prepare(10).unwrap();
+        e.commit(10);
+        e.begin(12);
+        let r = q(&e, 12, "SELECT id, val FROM t").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][1], Value::Double(99.0));
+    }
+
+    #[test]
+    fn insert_select_stays_on_accelerator() {
+        let e = engine();
+        e.create_table(
+            &ObjectName::bare("T2"),
+            Schema::new(vec![
+                ColumnDef::new("GRP", DataType::Varchar(8)),
+                ColumnDef::new("TOTAL", DataType::Double),
+            ])
+            .unwrap(),
+            &[],
+        )
+        .unwrap();
+        e.load_committed(
+            &ObjectName::bare("T"),
+            vec![row(1, "A", 1.0), row(2, "A", 2.0), row(3, "B", 3.0)],
+        )
+        .unwrap();
+        e.begin(1);
+        let Statement::Query(sel) =
+            parse_statement("SELECT grp, SUM(val) FROM t GROUP BY grp").unwrap()
+        else {
+            panic!()
+        };
+        let n = e.insert_select(1, &ObjectName::bare("T2"), &sel).unwrap();
+        assert_eq!(n, 2);
+        e.prepare(1).unwrap();
+        e.commit(1);
+        e.begin(2);
+        let r = q(&e, 2, "SELECT total FROM t2 ORDER BY grp").unwrap();
+        assert_eq!(r.rows[0][0], Value::Double(3.0));
+    }
+
+    #[test]
+    fn write_write_conflict_rolls_back_statement_marks() {
+        let e = engine();
+        e.load_committed(&ObjectName::bare("T"), vec![row(1, "A", 1.0), row(2, "A", 2.0)])
+            .unwrap();
+        e.begin(1);
+        e.begin(2);
+        // Txn 1 deletes row 2.
+        e.delete_where(1, &ObjectName::bare("T"), Some(&Expr::col("ID").eq(Expr::int(2))))
+            .unwrap();
+        // Txn 2 tries to delete everything — conflicts on row 2, statement
+        // fails atomically, leaving row 1 unmarked.
+        let r = e.delete_where(2, &ObjectName::bare("T"), None);
+        assert!(matches!(r, Err(Error::LockTimeout(_))));
+        // Row 1 must still be deletable by txn 1 (marks were rolled back).
+        let n = e
+            .delete_where(1, &ObjectName::bare("T"), Some(&Expr::col("ID").eq(Expr::int(1))))
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn zone_maps_prune_blocks() {
+        let cfg = AccelConfig { slices: 1, zone_maps: true, parallel: false };
+        let e = AccelEngine::new("APP", cfg);
+        e.create_table(&ObjectName::bare("T"), schema(), &[]).unwrap();
+        // Two blocks worth of ordered ids: 0..4095 and 4096..8191.
+        let rows: Vec<Row> = (0..8192).map(|i| row(i, "A", i as f64)).collect();
+        e.load_committed(&ObjectName::bare("T"), rows).unwrap();
+        let before = e.stats.blocks_pruned.load(Ordering::Relaxed);
+        let r = q(&e, 0, "SELECT COUNT(*) FROM t WHERE id < 100").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(100));
+        assert!(
+            e.stats.blocks_pruned.load(Ordering::Relaxed) > before,
+            "second block should have been pruned"
+        );
+    }
+
+    #[test]
+    fn string_equality_kernel_matches_residual_semantics() {
+        let e = engine();
+        e.load_committed(
+            &ObjectName::bare("T"),
+            (0..300)
+                .map(|i| row(i, ["A", "B", "C"][(i % 3) as usize], i as f64))
+                .collect(),
+        )
+        .unwrap();
+        let r = q(&e, 0, "SELECT COUNT(*) FROM t WHERE grp = 'B'").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(100));
+        let r = q(&e, 0, "SELECT COUNT(*) FROM t WHERE grp <> 'B'").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(200));
+        // Combined numeric + string kernels.
+        let r = q(&e, 0, "SELECT COUNT(*) FROM t WHERE grp = 'A' AND id < 30").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(10));
+        // Value not in the dictionary at all.
+        let r = q(&e, 0, "SELECT COUNT(*) FROM t WHERE grp = 'ZZ'").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(0));
+        // NULL group rows never match equality or inequality kernels.
+        e.load_committed(&ObjectName::bare("T"), vec![vec![
+            Value::Int(999),
+            Value::Null,
+            Value::Double(0.0),
+        ]])
+        .unwrap();
+        let r = q(&e, 0, "SELECT COUNT(*) FROM t WHERE grp <> 'B'").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(200), "NULL is neither equal nor unequal");
+    }
+
+    #[test]
+    fn truncate_empties_table() {
+        let e = engine();
+        e.load_committed(&ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        e.truncate(&ObjectName::bare("T")).unwrap();
+        assert_eq!(q(&e, 0, "SELECT COUNT(*) FROM t").unwrap().scalar().unwrap(), &Value::BigInt(0));
+        assert_eq!(e.table(&ObjectName::bare("T")).unwrap().version_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_missing_tables() {
+        let e = engine();
+        assert!(matches!(
+            e.create_table(&ObjectName::bare("T"), schema(), &[]),
+            Err(Error::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            e.query(0, {
+                let Statement::Query(q) = parse_statement("SELECT 1 FROM missing").unwrap() else {
+                    panic!()
+                };
+                &q.clone()
+            }),
+            Err(Error::UndefinedObject(_))
+        ));
+        assert!(e.drop_table(&ObjectName::bare("NOPE")).is_err());
+        e.drop_table(&ObjectName::bare("T")).unwrap();
+        assert!(!e.has_table(&ObjectName::bare("T")));
+    }
+
+    #[test]
+    fn groom_after_committed_deletes() {
+        let e = engine();
+        e.load_committed(
+            &ObjectName::bare("T"),
+            (0..100).map(|i| row(i, "A", i as f64)).collect(),
+        )
+        .unwrap();
+        e.begin(1);
+        e.delete_where(1, &ObjectName::bare("T"), Some(&Expr::col("ID").eq(Expr::int(5))))
+            .unwrap();
+        // Before commit nothing can be groomed (deleter not committed).
+        assert_eq!(e.groom_all(), 0);
+        e.prepare(1).unwrap();
+        e.commit(1);
+        assert_eq!(e.groom_all(), 1);
+        e.begin(2);
+        assert_eq!(
+            q(&e, 2, "SELECT COUNT(*) FROM t").unwrap().scalar().unwrap(),
+            &Value::BigInt(99)
+        );
+    }
+}

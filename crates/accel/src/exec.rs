@@ -1,0 +1,830 @@
+//! Columnar, slice-parallel execution for the accelerator.
+//!
+//! The hot path is the scan: predicates of the shape `column <cmp> literal`
+//! are compiled to typed kernels that run directly over the column vectors,
+//! whole 4096-row blocks are skipped via zone maps, and data slices scan in
+//! parallel threads. Rows are only materialized for positions that survive
+//! visibility + kernel + residual filtering; the remaining operators
+//! (join/aggregate/sort/…) then run over that much smaller set.
+
+use crate::column::{Column, ColumnData};
+use crate::engine::AccelEngine;
+use crate::mvcc::Snapshot;
+use crate::table::{AccelTable, Slice, ZoneEntry, BLOCK_ROWS};
+use idaa_common::{ColumnDef, Result, Row, Rows, Schema, Value};
+use idaa_sql::ast::{BinaryOp, Expr, JoinKind};
+use idaa_sql::eval::{bind, eval, eval_predicate, AggState, BoundExpr, FlatResolver};
+use idaa_sql::plan::{Plan, PlanCol};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// Execution context for one statement.
+pub struct ExecCtx<'a> {
+    pub engine: &'a AccelEngine,
+    pub snap: Snapshot,
+}
+
+/// Execute a logical plan on the accelerator.
+pub fn execute_plan(plan: &Plan, ctx: &ExecCtx) -> Result<Rows> {
+    let rows = run(plan, ctx)?;
+    let schema = Schema::new_unchecked(
+        plan.cols()
+            .into_iter()
+            .map(|c| ColumnDef::new(c.name, c.data_type))
+            .collect(),
+    );
+    Ok(Rows::new(schema, rows))
+}
+
+fn resolver_of(cols: &[PlanCol]) -> FlatResolver {
+    FlatResolver::new(cols.iter().map(|c| (c.qualifier.clone(), c.name.clone())).collect())
+}
+
+pub(crate) fn run(plan: &Plan, ctx: &ExecCtx) -> Result<Vec<Row>> {
+    run_masked(plan, ctx, None)
+}
+
+/// Union the column ordinals of `exprs` into a mask over `width` columns.
+fn mask_of(width: usize, bound: &[&BoundExpr]) -> Vec<bool> {
+    let mut set = std::collections::HashSet::new();
+    for b in bound {
+        b.collect_columns(&mut set);
+    }
+    (0..width).map(|i| set.contains(&i)).collect()
+}
+
+fn union_mask(a: Option<Vec<bool>>, b: Vec<bool>) -> Vec<bool> {
+    match a {
+        None => b,
+        Some(a) => a.iter().zip(&b).map(|(x, y)| *x || *y).collect(),
+    }
+}
+
+/// Execute with *projection pushdown*: `needed[i] == false` means the
+/// caller never reads output column `i`, so scans may leave it NULL and
+/// skip decoding the column vector — the columnar engine's signature
+/// advantage.
+fn run_masked(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Result<Vec<Row>> {
+    match plan {
+        Plan::Scan { table, cols, .. } => {
+            if cols.is_empty() && table.name == "SYSDUMMY1" {
+                return Ok(vec![vec![]]);
+            }
+            let t = ctx.engine.table(table)?;
+            scan_filtered_with(&t, None, ctx, needed)
+        }
+        Plan::Filter { input, predicate } => {
+            if let Plan::Scan { table, .. } = input.as_ref() {
+                let t = ctx.engine.table(table)?;
+                let cols = input.cols();
+                return scan_filtered_with(&t, Some((predicate, &cols)), ctx, needed);
+            }
+            let cols = input.cols();
+            let bound = bind(predicate, &resolver_of(&cols))?;
+            let child_mask = needed.map(|m| union_mask(Some(m), mask_of(cols.len(), &[&bound])));
+            let rows = run_masked(input, ctx, child_mask)?;
+            rows.into_iter()
+                .filter_map(|row| match eval_predicate(&bound, &row) {
+                    Ok(true) => Some(Ok(row)),
+                    Ok(false) => None,
+                    Err(e) => Some(Err(e)),
+                })
+                .collect()
+        }
+        Plan::Project { input, exprs, .. } => {
+            let in_cols = input.cols();
+            let resolver = resolver_of(&in_cols);
+            let bound: Vec<BoundExpr> =
+                exprs.iter().map(|(e, _)| bind(e, &resolver)).collect::<Result<_>>()?;
+            let refs: Vec<&BoundExpr> = bound.iter().collect();
+            let child_mask = mask_of(in_cols.len(), &refs);
+            let rows = run_masked(input, ctx, Some(child_mask))?;
+            rows.into_iter()
+                .map(|row| bound.iter().map(|b| eval(b, &row)).collect())
+                .collect()
+        }
+        Plan::Join { left, right, kind, on } => run_join(left, right, *kind, on, ctx),
+        Plan::Aggregate { input, group_exprs, aggs, .. } => {
+            if let Some(rows) = try_fused_aggregate(input, group_exprs, aggs, ctx)? {
+                return Ok(rows);
+            }
+            run_aggregate(input, group_exprs, aggs, ctx)
+        }
+        Plan::Sort { input, keys } => {
+            let in_width = input.cols().len();
+            let child_mask = needed.map(|mut m| {
+                m.resize(in_width, false);
+                for (i, _) in keys {
+                    if *i < in_width {
+                        m[*i] = true;
+                    }
+                }
+                m
+            });
+            let mut rows = run_masked(input, ctx, child_mask)?;
+            rows.sort_by(|a, b| {
+                for (i, desc) in keys {
+                    let o = a[*i].cmp_total(&b[*i]);
+                    let o = if *desc { o.reverse() } else { o };
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        Plan::Distinct { input } => {
+            // Row-level dedup reads every column: no pushdown through here.
+            let rows = run_masked(input, ctx, None)?;
+            let mut seen: HashMap<Vec<Value>, ()> = HashMap::with_capacity(rows.len());
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone(), ()).is_none() {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::Limit { input, n } => {
+            let mut rows = run_masked(input, ctx, needed)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+        Plan::KeepCols { input, n } => {
+            let in_width = input.cols().len();
+            let child_mask = needed.map(|mut m| {
+                m.resize(in_width, false);
+                m
+            });
+            let mut rows = run_masked(input, ctx, child_mask)?;
+            for row in &mut rows {
+                row.truncate(*n);
+            }
+            Ok(rows)
+        }
+        Plan::Union { left, right, all } => {
+            // Plain UNION dedups on full rows, so branches must materialize
+            // every column; UNION ALL can push the caller's mask through.
+            let child_mask = if *all { needed } else { None };
+            let mut rows = run_masked(left, ctx, child_mask.clone())?;
+            rows.extend(run_masked(right, ctx, child_mask)?);
+            if !*all {
+                let mut seen: HashMap<Vec<Value>, ()> = HashMap::with_capacity(rows.len());
+                rows.retain(|r| seen.insert(r.clone(), ()).is_none());
+            }
+            Ok(rows)
+        }
+    }
+}
+
+/// Scan with an optional predicate, materializing every column.
+pub(crate) fn scan_filtered(
+    table: &AccelTable,
+    predicate: Option<&Expr>,
+    ctx: &ExecCtx,
+) -> Result<Vec<Row>> {
+    let cols: Vec<PlanCol> = table
+        .schema
+        .columns()
+        .iter()
+        .map(|c| PlanCol {
+            qualifier: Some(table.name.name.clone()),
+            name: c.name.clone(),
+            data_type: c.data_type,
+        })
+        .collect();
+    match predicate {
+        Some(p) => scan_filtered_with(table, Some((p, cols.as_slice())), ctx, None),
+        None => scan_filtered_with(table, None, ctx, None),
+    }
+}
+
+/// A compiled single-column comparison kernel.
+#[derive(Debug, Clone)]
+enum Kernel {
+    /// Numeric comparison against a constant.
+    Num { col: usize, op: BinaryOp, val: f64 },
+    /// String equality / inequality against a constant.
+    Str { col: usize, val: String, negated: bool },
+}
+
+impl Kernel {
+    /// Can the zone map of `z` prove no row in the block matches?
+    fn prunes(&self, z: &ZoneEntry) -> bool {
+        let Kernel::Num { op, val, .. } = self else { return false };
+        if !z.valid {
+            return false;
+        }
+        match op {
+            BinaryOp::Eq => *val < z.min || *val > z.max,
+            BinaryOp::Lt => z.min >= *val,
+            BinaryOp::LtEq => z.min > *val,
+            BinaryOp::Gt => z.max <= *val,
+            BinaryOp::GtEq => z.max < *val,
+            BinaryOp::Neq => z.min == z.max && z.min == *val,
+            _ => false,
+        }
+    }
+
+    /// Resolve this kernel against one slice. String kernels precompute a
+    /// per-dictionary-code match table once, turning every row test into an
+    /// integer lookup.
+    fn specialize<'s>(&'s self, slice: &'s Slice) -> SpecKernel<'s> {
+        match self {
+            Kernel::Num { col, op, val } => SpecKernel::Num { col: *col, op: *op, val: *val },
+            Kernel::Str { col, val, negated } => {
+                let c: &Column = &slice.columns[*col];
+                let (Some(dict), ColumnData::Str { codes, .. }) = (c.dictionary(), &c.data)
+                else {
+                    return SpecKernel::Never;
+                };
+                let want = val.trim_end_matches(' ');
+                let matching: Vec<bool> = dict
+                    .iter()
+                    .map(|d| (d.trim_end_matches(' ') == want) != *negated)
+                    .collect();
+                SpecKernel::Str { col: *col, codes, matching }
+            }
+        }
+    }
+}
+
+/// A [`Kernel`] resolved against one slice's physical data.
+enum SpecKernel<'s> {
+    Num { col: usize, op: BinaryOp, val: f64 },
+    Str { col: usize, codes: &'s [u32], matching: Vec<bool> },
+    /// Structurally impossible (e.g. non-dictionary column): matches nothing.
+    Never,
+}
+
+impl SpecKernel<'_> {
+    #[inline]
+    fn matches(&self, slice: &Slice, pos: usize) -> bool {
+        match self {
+            SpecKernel::Num { col, op, val } => match slice.columns[*col].numeric_at(pos) {
+                None => false,
+                Some(x) => match op {
+                    BinaryOp::Eq => x == *val,
+                    BinaryOp::Neq => x != *val,
+                    BinaryOp::Lt => x < *val,
+                    BinaryOp::LtEq => x <= *val,
+                    BinaryOp::Gt => x > *val,
+                    BinaryOp::GtEq => x >= *val,
+                    _ => false,
+                },
+            },
+            SpecKernel::Str { col, codes, matching } => {
+                !slice.columns[*col].nulls.is_null(pos) && matching[codes[pos] as usize]
+            }
+            SpecKernel::Never => false,
+        }
+    }
+}
+
+/// Try to compile one conjunct into a kernel over `table`'s columns.
+fn compile_kernel(conj: &Expr, table: &AccelTable, scan_cols: &[PlanCol]) -> Option<Kernel> {
+    let Expr::Binary { left, op, right } = conj else { return None };
+    let (col_expr, lit, op) = match (left.as_ref(), right.as_ref()) {
+        (Expr::Column { .. }, Expr::Literal(v)) => (left.as_ref(), v, *op),
+        (Expr::Literal(v), Expr::Column { .. }) => (right.as_ref(), v, flip(*op)?),
+        _ => return None,
+    };
+    let Expr::Column { qualifier, name } = col_expr else { return None };
+    // The qualifier must refer to this scan.
+    if let Some(q) = qualifier {
+        if !scan_cols.iter().any(|c| c.qualifier.as_deref() == Some(q.as_str())) {
+            return None;
+        }
+    }
+    let ordinal = table.schema.index_of(name).ok()?;
+    let col_type = table.schema.columns()[ordinal].data_type;
+    if col_type.is_numeric() || matches!(col_type, idaa_common::DataType::Date | idaa_common::DataType::Timestamp | idaa_common::DataType::Boolean)
+    {
+        let val = match lit {
+            Value::Null => return None,
+            v => v.as_f64().ok()?,
+        };
+        // Kernels compare in f64. An integer literal beyond 2^53 is not
+        // exactly representable, which would make equality kernels lie —
+        // leave such predicates to the exact residual evaluator.
+        if let Ok(i) = lit.as_i64() {
+            if (val as i64) != i {
+                return None;
+            }
+        }
+        if matches!(op, BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq)
+        {
+            return Some(Kernel::Num { col: ordinal, op, val });
+        }
+        return None;
+    }
+    if col_type.is_character() {
+        let Value::Varchar(s) = lit else { return None };
+        match op {
+            BinaryOp::Eq => return Some(Kernel::Str { col: ordinal, val: s.clone(), negated: false }),
+            BinaryOp::Neq => return Some(Kernel::Str { col: ordinal, val: s.clone(), negated: true }),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn flip(op: BinaryOp) -> Option<BinaryOp> {
+    Some(match op {
+        BinaryOp::Eq => BinaryOp::Eq,
+        BinaryOp::Neq => BinaryOp::Neq,
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        _ => return None,
+    })
+}
+
+fn scan_filtered_with(
+    table: &AccelTable,
+    pred: Option<(&Expr, &[PlanCol])>,
+    ctx: &ExecCtx,
+    needed: Option<Vec<bool>>,
+) -> Result<Vec<Row>> {
+    // Compile conjuncts into kernels plus a residual predicate.
+    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut residual: Option<BoundExpr> = None;
+    if let Some((predicate, scan_cols)) = pred {
+        let mut leftover: Vec<&Expr> = Vec::new();
+        for conj in idaa_host_conjuncts(predicate) {
+            match compile_kernel(conj, table, scan_cols) {
+                Some(k) => kernels.push(k),
+                None => leftover.push(conj),
+            }
+        }
+        if !leftover.is_empty() {
+            let resolver = resolver_of(scan_cols);
+            let combined = leftover
+                .into_iter()
+                .cloned()
+                .reduce(|a, b| Expr::Binary {
+                    left: Box::new(a),
+                    op: BinaryOp::And,
+                    right: Box::new(b),
+                })
+                .expect("non-empty");
+            residual = Some(bind(&combined, &resolver)?);
+        }
+    }
+    // Effective materialization mask: what the caller reads plus what the
+    // residual predicate reads. Kernel columns are evaluated directly on
+    // the typed vectors and need no materialization.
+    let width = table.schema.len();
+    let mask: Option<Vec<bool>> = match (&needed, &residual) {
+        (None, _) => None,
+        (Some(m), None) => Some(m.clone()),
+        (Some(m), Some(res)) => {
+            let mut set = std::collections::HashSet::new();
+            res.collect_columns(&mut set);
+            Some((0..width).map(|i| m.get(i).copied().unwrap_or(false) || set.contains(&i)).collect())
+        }
+    };
+
+    let engine = ctx.engine;
+    let use_zones = engine.config.zone_maps;
+    let snap = ctx.snap;
+    let slices = table.slices();
+
+    let scan_one = |slice_lock: &parking_lot::RwLock<Slice>| -> Result<Vec<Row>> {
+        let slice = slice_lock.read();
+        let spec: Vec<SpecKernel> = kernels.iter().map(|k| k.specialize(&slice)).collect();
+        let total = slice.version_count();
+        let mut out = Vec::new();
+        let blocks = total.div_ceil(BLOCK_ROWS);
+        for b in 0..blocks {
+            engine.stats.blocks_scanned.fetch_add(1, Ordering::Relaxed);
+            if use_zones
+                && kernels.iter().any(|k| {
+                    let Kernel::Num { col, .. } = k else { return false };
+                    slice.zones[*col].get(b).map(|z| k.prunes(z)).unwrap_or(false)
+                })
+            {
+                engine.stats.blocks_pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let start = b * BLOCK_ROWS;
+            let end = (start + BLOCK_ROWS).min(total);
+            'row: for pos in start..end {
+                if !engine
+                    .txns
+                    .version_visible(slice.created[pos], slice.deleted[pos], &snap)
+                {
+                    continue;
+                }
+                for k in &spec {
+                    if !k.matches(&slice, pos) {
+                        continue 'row;
+                    }
+                }
+                let row: Row = match &mask {
+                    None => slice.row_at(pos),
+                    Some(m) => slice
+                        .columns
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| if m[i] { c.get(pos) } else { Value::Null })
+                        .collect(),
+                };
+                if let Some(res) = &residual {
+                    if !eval_predicate(res, &row)? {
+                        continue;
+                    }
+                }
+                out.push(row);
+            }
+            engine
+                .stats
+                .rows_scanned
+                .fetch_add((end - start) as u64, Ordering::Relaxed);
+        }
+        Ok(out)
+    };
+
+    if engine.config.parallel && slices.len() > 1 {
+        let results: Vec<Result<Vec<Row>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slices
+                .iter()
+                .map(|s| scope.spawn(|| scan_one(s)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
+        });
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    } else {
+        let mut out = Vec::new();
+        for s in slices {
+            out.extend(scan_one(s)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Conjunct splitting (same shape as the host's — duplicated on purpose:
+/// the engines are independent systems in the architecture).
+fn idaa_host_conjuncts(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            let mut out = idaa_host_conjuncts(left);
+            out.extend(idaa_host_conjuncts(right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn run_join(
+    left: &Plan,
+    right: &Plan,
+    kind: JoinKind,
+    on: &Expr,
+    ctx: &ExecCtx,
+) -> Result<Vec<Row>> {
+    let lcols = left.cols();
+    let rcols = right.cols();
+    let lres = resolver_of(&lcols);
+    let rres = resolver_of(&rcols);
+    let combined = lres.concat(&rres);
+    let bound_on = bind(on, &combined)?;
+
+    let lrows = run_masked(left, ctx, None)?;
+    let rrows = run_masked(right, ctx, None)?;
+
+    let mut lkeys: Vec<BoundExpr> = Vec::new();
+    let mut rkeys: Vec<BoundExpr> = Vec::new();
+    for conj in idaa_host_conjuncts(on) {
+        if let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = conj {
+            if let (Ok(la), Ok(rb)) = (bind(a, &lres), bind(b, &rres)) {
+                lkeys.push(la);
+                rkeys.push(rb);
+                continue;
+            }
+            if let (Ok(lb), Ok(ra)) = (bind(b, &lres), bind(a, &rres)) {
+                lkeys.push(lb);
+                rkeys.push(ra);
+            }
+        }
+    }
+
+    let rwidth = rcols.len();
+    let mut out = Vec::new();
+    if !lkeys.is_empty() {
+        let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(rrows.len());
+        for rrow in &rrows {
+            let key: Vec<Value> = rkeys.iter().map(|k| eval(k, rrow)).collect::<Result<_>>()?;
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(rrow);
+        }
+        for lrow in &lrows {
+            let key: Vec<Value> = lkeys.iter().map(|k| eval(k, lrow)).collect::<Result<_>>()?;
+            let mut matched = false;
+            if !key.iter().any(Value::is_null) {
+                if let Some(cands) = table.get(&key) {
+                    for rrow in cands {
+                        let mut j = lrow.clone();
+                        j.extend(rrow.iter().cloned());
+                        if eval_predicate(&bound_on, &j)? {
+                            matched = true;
+                            out.push(j);
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut j = lrow.clone();
+                j.extend(std::iter::repeat_n(Value::Null, rwidth));
+                out.push(j);
+            }
+        }
+    } else {
+        for lrow in &lrows {
+            let mut matched = false;
+            for rrow in &rrows {
+                let mut j = lrow.clone();
+                j.extend(rrow.iter().cloned());
+                if eval_predicate(&bound_on, &j)? {
+                    matched = true;
+                    out.push(j);
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut j = lrow.clone();
+                j.extend(std::iter::repeat_n(Value::Null, rwidth));
+                out.push(j);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fused vectorized aggregation: when the plan is `Aggregate(Filter(Scan))`
+/// (or `Aggregate(Scan)`), every group key and aggregate argument is a bare
+/// column, and the whole predicate compiles to kernels, aggregate states are
+/// fed *directly from the column vectors* — no row materialization, no
+/// per-row expression interpretation. This is the accelerator's bread and
+/// butter for reporting queries.
+fn try_fused_aggregate(
+    input: &Plan,
+    group_exprs: &[Expr],
+    aggs: &[idaa_sql::plan::AggCall],
+    ctx: &ExecCtx,
+) -> Result<Option<Vec<Row>>> {
+    let (table_name, predicate, scan_cols) = match input {
+        Plan::Scan { table, cols, .. } if !cols.is_empty() => (table, None, cols.clone()),
+        Plan::Filter { input: inner, predicate } => match inner.as_ref() {
+            Plan::Scan { table, cols, .. } if !cols.is_empty() => {
+                (table, Some(predicate), cols.clone())
+            }
+            _ => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    let table = ctx.engine.table(table_name)?;
+    // Keys and aggregate arguments must be bare columns of the scan.
+    let resolver = resolver_of(&scan_cols);
+    let mut key_ords = Vec::with_capacity(group_exprs.len());
+    for g in group_exprs {
+        match bind(g, &resolver) {
+            Ok(b) => match b.as_column() {
+                Some(i) => key_ords.push(i),
+                None => return Ok(None),
+            },
+            Err(_) => return Ok(None),
+        }
+    }
+    let mut arg_ords: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        match &a.arg {
+            None => arg_ords.push(None),
+            Some(e) => match bind(e, &resolver) {
+                Ok(b) => match b.as_column() {
+                    Some(i) => arg_ords.push(Some(i)),
+                    None => return Ok(None),
+                },
+                Err(_) => return Ok(None),
+            },
+        }
+    }
+    // The whole predicate must compile to kernels.
+    let mut kernels: Vec<Kernel> = Vec::new();
+    if let Some(pred) = predicate {
+        for conj in idaa_host_conjuncts(pred) {
+            match compile_kernel(conj, &table, &scan_cols) {
+                Some(k) => kernels.push(k),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    let engine = ctx.engine;
+    let use_zones = engine.config.zone_maps;
+    let snap = ctx.snap;
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
+    for slice_lock in table.slices() {
+        let slice = slice_lock.read();
+        let spec: Vec<SpecKernel> = kernels.iter().map(|k| k.specialize(&slice)).collect();
+        let total = slice.version_count();
+        let blocks = total.div_ceil(BLOCK_ROWS);
+        for b in 0..blocks {
+            engine.stats.blocks_scanned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if use_zones
+                && kernels.iter().any(|k| {
+                    let Kernel::Num { col, .. } = k else { return false };
+                    slice.zones[*col].get(b).map(|z| k.prunes(z)).unwrap_or(false)
+                })
+            {
+                engine.stats.blocks_pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                continue;
+            }
+            let start = b * BLOCK_ROWS;
+            let end = (start + BLOCK_ROWS).min(total);
+            'row: for pos in start..end {
+                if !engine.txns.version_visible(slice.created[pos], slice.deleted[pos], &snap) {
+                    continue;
+                }
+                for k in &spec {
+                    if !k.matches(&slice, pos) {
+                        continue 'row;
+                    }
+                }
+                let key: Vec<Value> =
+                    key_ords.iter().map(|&i| slice.columns[i].get(pos)).collect();
+                let gi = match index.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        groups.push((
+                            key.clone(),
+                            aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect(),
+                        ));
+                        index.insert(key, groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                for (state, arg) in groups[gi].1.iter_mut().zip(&arg_ords) {
+                    let v = match arg {
+                        Some(i) => slice.columns[*i].get(pos),
+                        None => Value::Null,
+                    };
+                    state.update(&v)?;
+                }
+            }
+            engine
+                .stats
+                .rows_scanned
+                .fetch_add((end - start) as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    if groups.is_empty() && group_exprs.is_empty() {
+        groups.push((vec![], aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect()));
+    }
+    let rows: Vec<Row> = groups
+        .into_iter()
+        .map(|(mut key, states)| {
+            for st in states {
+                key.push(st.finish()?);
+            }
+            Ok(key)
+        })
+        .collect::<Result<_>>()?;
+    Ok(Some(rows))
+}
+
+fn run_aggregate(
+    input: &Plan,
+    group_exprs: &[Expr],
+    aggs: &[idaa_sql::plan::AggCall],
+    ctx: &ExecCtx,
+) -> Result<Vec<Row>> {
+    let cols = input.cols();
+    let resolver = resolver_of(&cols);
+    let bound_keys: Vec<BoundExpr> =
+        group_exprs.iter().map(|e| bind(e, &resolver)).collect::<Result<_>>()?;
+    let bound_args: Vec<Option<BoundExpr>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| bind(e, &resolver)).transpose())
+        .collect::<Result<_>>()?;
+
+    let refs: Vec<&BoundExpr> =
+        bound_keys.iter().chain(bound_args.iter().flatten()).collect();
+    let child_mask = mask_of(cols.len(), &refs);
+    let rows = run_masked(input, ctx, Some(child_mask))?;
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
+    for row in &rows {
+        let key: Vec<Value> = bound_keys.iter().map(|k| eval(k, row)).collect::<Result<_>>()?;
+        let gi = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                groups.push((
+                    key.clone(),
+                    aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect(),
+                ));
+                index.insert(key, groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        for (state, arg) in groups[gi].1.iter_mut().zip(&bound_args) {
+            let v = match arg {
+                Some(b) => eval(b, row)?,
+                None => Value::Null,
+            };
+            state.update(&v)?;
+        }
+    }
+    if groups.is_empty() && group_exprs.is_empty() {
+        groups.push((vec![], aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect()));
+    }
+    groups
+        .into_iter()
+        .map(|(mut key, states)| {
+            for s in states {
+                key.push(s.finish()?);
+            }
+            Ok(key)
+        })
+        .collect()
+}
+
+// Kernel-level unit tests live here; engine-level behavior is tested in
+// `engine.rs` and the integration suite.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idaa_common::{DataType, ObjectName};
+
+    #[test]
+    fn zone_pruning_rules() {
+        let z = ZoneEntry { min: 10.0, max: 20.0, valid: true };
+        let k = |op, val| Kernel::Num { col: 0, op, val };
+        assert!(k(BinaryOp::Eq, 5.0).prunes(&z));
+        assert!(k(BinaryOp::Eq, 25.0).prunes(&z));
+        assert!(!k(BinaryOp::Eq, 15.0).prunes(&z));
+        assert!(k(BinaryOp::Lt, 10.0).prunes(&z));
+        assert!(!k(BinaryOp::Lt, 11.0).prunes(&z));
+        assert!(k(BinaryOp::Gt, 20.0).prunes(&z));
+        assert!(!k(BinaryOp::Gt, 19.0).prunes(&z));
+        assert!(k(BinaryOp::LtEq, 9.0).prunes(&z));
+        assert!(k(BinaryOp::GtEq, 21.0).prunes(&z));
+        let point = ZoneEntry { min: 7.0, max: 7.0, valid: true };
+        assert!(k(BinaryOp::Neq, 7.0).prunes(&point));
+        assert!(!k(BinaryOp::Neq, 8.0).prunes(&point));
+        // Invalid zones never prune.
+        let inv = ZoneEntry::default();
+        assert!(!k(BinaryOp::Eq, 5.0).prunes(&inv));
+    }
+
+    #[test]
+    fn kernel_compilation() {
+        let table = AccelTable::new(
+            ObjectName::bare("T"),
+            Schema::new(vec![
+                ColumnDef::new("A", DataType::Integer),
+                ColumnDef::new("S", DataType::Varchar(8)),
+            ])
+            .unwrap(),
+            vec![],
+            1,
+        );
+        let cols: Vec<PlanCol> = table
+            .schema
+            .columns()
+            .iter()
+            .map(|c| PlanCol {
+                qualifier: Some("T".into()),
+                name: c.name.clone(),
+                data_type: c.data_type,
+            })
+            .collect();
+        // col < lit compiles.
+        let e = idaa_sql::parse_statement("SELECT 1 FROM t WHERE a < 5").unwrap();
+        let idaa_sql::Statement::Query(q) = e else { panic!() };
+        let k = compile_kernel(q.filter.as_ref().unwrap(), &table, &cols);
+        assert!(matches!(k, Some(Kernel::Num { op: BinaryOp::Lt, .. })));
+        // lit > col flips.
+        let e = idaa_sql::parse_statement("SELECT 1 FROM t WHERE 5 > a").unwrap();
+        let idaa_sql::Statement::Query(q) = e else { panic!() };
+        let k = compile_kernel(q.filter.as_ref().unwrap(), &table, &cols);
+        assert!(matches!(k, Some(Kernel::Num { op: BinaryOp::Lt, .. })));
+        // string equality compiles to the string kernel.
+        let e = idaa_sql::parse_statement("SELECT 1 FROM t WHERE s = 'x'").unwrap();
+        let idaa_sql::Statement::Query(q) = e else { panic!() };
+        let k = compile_kernel(q.filter.as_ref().unwrap(), &table, &cols);
+        assert!(matches!(k, Some(Kernel::Str { negated: false, .. })));
+        // LIKE does not compile (stays residual).
+        let e = idaa_sql::parse_statement("SELECT 1 FROM t WHERE s LIKE 'x%'").unwrap();
+        let idaa_sql::Statement::Query(q) = e else { panic!() };
+        assert!(compile_kernel(q.filter.as_ref().unwrap(), &table, &cols).is_none());
+    }
+}

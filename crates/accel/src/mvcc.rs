@@ -1,0 +1,217 @@
+//! Multi-version concurrency control for the accelerator.
+//!
+//! Netezza executed IDAA queries under snapshot isolation; the paper's AOT
+//! extension additionally requires the accelerator to be *aware of the DB2
+//! transaction context*: a transaction must see its own uncommitted
+//! changes, and concurrent statements of the same transaction must behave
+//! consistently. This module implements exactly that visibility rule:
+//!
+//! > a row version is visible to snapshot S of transaction T iff
+//! >   (created by T) or (creator committed with sequence ≤ S)
+//! > and not
+//! >   (deleted by T) or (deleter committed with sequence ≤ S)
+//!
+//! Transaction ids are the *host's* ids — the accelerator enrolls in DB2
+//! transactions rather than running its own, which is what makes one-system
+//! semantics (and the 2PC in `idaa-core`) possible.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Host transaction id (0 is reserved for "never").
+pub type TxnId = u64;
+
+/// Monotonic commit sequence number.
+pub type CommitSeq = u64;
+
+/// Lifecycle of a transaction as known to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    Active,
+    /// Voted YES in 2PC; changes still invisible to others.
+    Prepared,
+    Committed(CommitSeq),
+    Aborted,
+}
+
+/// A consistent read point.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot {
+    /// Commit sequences `<= seq` are visible.
+    pub seq: CommitSeq,
+    /// The observing transaction (sees its own writes).
+    pub me: TxnId,
+}
+
+/// Registry of transaction states, shared by all accelerator tables.
+#[derive(Debug, Default)]
+pub struct TxnRegistry {
+    states: RwLock<HashMap<TxnId, TxnStatus>>,
+    next_seq: RwLock<CommitSeq>,
+}
+
+impl TxnRegistry {
+    /// Register a (host) transaction as active on the accelerator.
+    pub fn begin(&self, txn: TxnId) {
+        self.states.write().insert(txn, TxnStatus::Active);
+    }
+
+    /// 2PC vote: mark prepared. Errors are impossible here — an unknown txn
+    /// id is registered on the fly (idempotent replays are normal in 2PC).
+    pub fn prepare(&self, txn: TxnId) {
+        self.states.write().insert(txn, TxnStatus::Prepared);
+    }
+
+    /// Commit, assigning the next commit sequence. Returns the sequence.
+    pub fn commit(&self, txn: TxnId) -> CommitSeq {
+        let mut seq = self.next_seq.write();
+        *seq += 1;
+        self.states.write().insert(txn, TxnStatus::Committed(*seq));
+        *seq
+    }
+
+    /// Abort.
+    pub fn abort(&self, txn: TxnId) {
+        self.states.write().insert(txn, TxnStatus::Aborted);
+    }
+
+    /// Current status (unknown ids are treated as aborted — conservative).
+    pub fn status(&self, txn: TxnId) -> TxnStatus {
+        self.states.read().get(&txn).copied().unwrap_or(TxnStatus::Aborted)
+    }
+
+    /// A snapshot at the current commit watermark for `me`.
+    pub fn snapshot(&self, me: TxnId) -> Snapshot {
+        Snapshot { seq: *self.next_seq.read(), me }
+    }
+
+    /// Highest commit sequence assigned.
+    pub fn high_water(&self) -> CommitSeq {
+        *self.next_seq.read()
+    }
+
+    /// Is `txn` definitely finished (committed or aborted)? Used by groom
+    /// to decide which versions are reclaimable.
+    pub fn is_finished(&self, txn: TxnId) -> bool {
+        matches!(self.status(txn), TxnStatus::Committed(_) | TxnStatus::Aborted)
+    }
+
+    /// Visibility of a creation event to `snap`.
+    #[inline]
+    pub fn created_visible(&self, created: TxnId, snap: &Snapshot) -> bool {
+        if created == snap.me {
+            return true;
+        }
+        matches!(self.status(created), TxnStatus::Committed(seq) if seq <= snap.seq)
+    }
+
+    /// Visibility of a deletion event to `snap` (0 = not deleted).
+    #[inline]
+    pub fn delete_visible(&self, deleted: TxnId, snap: &Snapshot) -> bool {
+        if deleted == 0 {
+            return false;
+        }
+        if deleted == snap.me {
+            return true;
+        }
+        matches!(self.status(deleted), TxnStatus::Committed(seq) if seq <= snap.seq)
+    }
+
+    /// Full row-version visibility rule.
+    #[inline]
+    pub fn version_visible(&self, created: TxnId, deleted: TxnId, snap: &Snapshot) -> bool {
+        self.created_visible(created, snap) && !self.delete_visible(deleted, snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_uncommitted_writes_visible() {
+        let reg = TxnRegistry::default();
+        reg.begin(7);
+        let snap = reg.snapshot(7);
+        assert!(reg.version_visible(7, 0, &snap));
+        // Another transaction does not see them.
+        let other = reg.snapshot(8);
+        assert!(!reg.version_visible(7, 0, &other));
+    }
+
+    #[test]
+    fn own_deletes_hide_rows() {
+        let reg = TxnRegistry::default();
+        reg.begin(1);
+        let c = reg.commit(1); // row created by committed txn 1
+        reg.begin(2);
+        let snap2 = reg.snapshot(2);
+        assert!(reg.version_visible(1, 0, &snap2));
+        // Txn 2 deletes it: immediately invisible to itself…
+        assert!(!reg.version_visible(1, 2, &snap2));
+        // …but still visible to a concurrent txn 3.
+        reg.begin(3);
+        let snap3 = reg.snapshot(3);
+        assert!(reg.version_visible(1, 2, &snap3));
+        let _ = c;
+    }
+
+    #[test]
+    fn snapshot_isolation_ignores_later_commits() {
+        let reg = TxnRegistry::default();
+        reg.begin(1);
+        reg.begin(2);
+        let snap2 = reg.snapshot(2); // taken before txn 1 commits
+        reg.commit(1);
+        assert!(!reg.version_visible(1, 0, &snap2), "commit after snapshot is invisible");
+        let fresh = reg.snapshot(3);
+        assert!(reg.version_visible(1, 0, &fresh));
+    }
+
+    #[test]
+    fn prepared_is_not_visible() {
+        let reg = TxnRegistry::default();
+        reg.begin(1);
+        reg.prepare(1);
+        let snap = reg.snapshot(2);
+        assert!(!reg.version_visible(1, 0, &snap));
+        reg.commit(1);
+        let snap = reg.snapshot(2);
+        assert!(reg.version_visible(1, 0, &snap));
+    }
+
+    #[test]
+    fn aborted_never_visible() {
+        let reg = TxnRegistry::default();
+        reg.begin(1);
+        reg.abort(1);
+        let snap = reg.snapshot(2);
+        assert!(!reg.version_visible(1, 0, &snap));
+        // A delete by an aborted txn does not hide the row.
+        reg.begin(3);
+        reg.commit(3);
+        let snap = reg.snapshot(4);
+        assert!(reg.version_visible(3, 1, &snap));
+    }
+
+    #[test]
+    fn unknown_txns_treated_as_aborted() {
+        let reg = TxnRegistry::default();
+        let snap = reg.snapshot(1);
+        assert!(!reg.version_visible(999, 0, &snap));
+    }
+
+    #[test]
+    fn commit_sequences_monotonic() {
+        let reg = TxnRegistry::default();
+        reg.begin(1);
+        reg.begin(2);
+        let s1 = reg.commit(1);
+        let s2 = reg.commit(2);
+        assert!(s2 > s1);
+        assert_eq!(reg.high_water(), s2);
+        assert!(reg.is_finished(1) && reg.is_finished(2));
+        reg.begin(3);
+        assert!(!reg.is_finished(3));
+    }
+}

@@ -1,0 +1,225 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the textbook math
+
+//! CART-style decision-tree classification (binary splits on numeric
+//! features, Gini impurity).
+
+use idaa_common::{Error, Result};
+use std::collections::HashMap;
+
+/// Tree growth parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 6, min_samples_split: 4 }
+    }
+}
+
+/// A tree node, stored flat for easy table serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Internal: `feature < threshold` → left child, else right child.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    /// Leaf with majority label.
+    Leaf { label: String },
+}
+
+/// A fitted tree.
+#[derive(Debug, Clone)]
+pub struct TreeModel {
+    /// Node 0 is the root.
+    pub nodes: Vec<Node>,
+}
+
+impl TreeModel {
+    /// Predicted label for one observation.
+    pub fn predict(&self, x: &[f64]) -> &str {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { label } => return label,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Accuracy over a labeled set.
+    pub fn accuracy(&self, features: &[Vec<f64>], labels: &[String]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let hits = features
+            .iter()
+            .zip(labels)
+            .filter(|(f, l)| self.predict(f) == l.as_str())
+            .count();
+        hits as f64 / features.len() as f64
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Train a tree.
+pub fn train(features: &[Vec<f64>], labels: &[String], cfg: &TreeConfig) -> Result<TreeModel> {
+    let n = features.len();
+    if n == 0 || n != labels.len() {
+        return Err(Error::Arithmetic("decision tree needs matching, non-empty X and labels".into()));
+    }
+    let d = features[0].len();
+    if d == 0 || features.iter().any(|r| r.len() != d) {
+        return Err(Error::Arithmetic("ragged or empty feature matrix".into()));
+    }
+    let mut nodes = Vec::new();
+    let idx: Vec<usize> = (0..n).collect();
+    grow(features, labels, &idx, cfg, 0, &mut nodes);
+    Ok(TreeModel { nodes })
+}
+
+fn majority(labels: &[String], idx: &[usize]) -> String {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for &i in idx {
+        *counts.entry(labels[i].as_str()).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+        .map(|(l, _)| l.to_string())
+        .unwrap_or_default()
+}
+
+fn gini(labels: &[String], idx: &[usize]) -> f64 {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for &i in idx {
+        *counts.entry(labels[i].as_str()).or_default() += 1;
+    }
+    let n = idx.len() as f64;
+    1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+/// Grow a subtree over `idx`; returns its node index.
+fn grow(
+    features: &[Vec<f64>],
+    labels: &[String],
+    idx: &[usize],
+    cfg: &TreeConfig,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let this_gini = gini(labels, idx);
+    if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split || this_gini == 0.0 {
+        nodes.push(Node::Leaf { label: majority(labels, idx) });
+        return nodes.len() - 1;
+    }
+    // Best split: scan every feature, candidate thresholds at midpoints of
+    // consecutive distinct sorted values.
+    let d = features[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+    for f in 0..d {
+        let mut vals: Vec<f64> = idx.iter().map(|&i| features[i][f]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        for w in vals.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (l, r): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| features[i][f] < threshold);
+            if l.is_empty() || r.is_empty() {
+                continue;
+            }
+            let score = (l.len() as f64 * gini(labels, &l)
+                + r.len() as f64 * gini(labels, &r))
+                / idx.len() as f64;
+            if best.map(|(_, _, b)| score < b - 1e-12).unwrap_or(true) {
+                best = Some((f, threshold, score));
+            }
+        }
+    }
+    // Gini is concave, so the best split never *increases* impurity;
+    // zero-gain splits are still taken (they are what makes XOR-shaped
+    // concepts learnable) — depth and min-samples bound the recursion.
+    match best {
+        Some((feature, threshold, _score)) => {
+            let (l, r): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| features[i][feature] < threshold);
+            let me = nodes.len();
+            nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+            let left = grow(features, labels, &l, cfg, depth + 1, nodes);
+            let right = grow(features, labels, &r, cfg, depth + 1, nodes);
+            nodes[me] = Node::Split { feature, threshold, left, right };
+            me
+        }
+        _ => {
+            nodes.push(Node::Leaf { label: majority(labels, idx) });
+            nodes.len() - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<String>) {
+        // XOR: not linearly separable; a depth-2 tree handles it.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for _ in 0..10 {
+                x.push(vec![a, b]);
+                y.push(if (a == 1.0) != (b == 1.0) { "ON" } else { "OFF" }.to_string());
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let m = train(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(m.accuracy(&x, &y), 1.0);
+        assert_eq!(m.predict(&[1.0, 0.0]), "ON");
+        assert_eq!(m.predict(&[1.0, 1.0]), "OFF");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = xor_data();
+        let m = train(&x, &y, &TreeConfig { max_depth: 0, min_samples_split: 2 }).unwrap();
+        assert_eq!(m.size(), 1, "depth 0 is a single leaf");
+        assert!(matches!(&m.nodes[0], Node::Leaf { .. }));
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec!["A".to_string(), "A".to_string(), "A".to_string()];
+        let m = train(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.predict(&[99.0]), "A");
+    }
+
+    #[test]
+    fn threshold_split_on_continuous_feature() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<String> =
+            (0..40).map(|i| if i < 20 { "LOW" } else { "HIGH" }.to_string()).collect();
+        let m = train(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(m.accuracy(&x, &y), 1.0);
+        let Node::Split { threshold, .. } = &m.nodes[0] else { panic!() };
+        assert!((threshold - 19.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(train(&[], &[], &TreeConfig::default()).is_err());
+        assert!(train(&[vec![1.0]], &["A".into(), "B".into()], &TreeConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Governed table I/O for analytics procedures.
+//!
+//! Every read is authorized against the *DB2* privilege catalog before any
+//! accelerator data is touched, and inputs must physically exist on the
+//! accelerator (AOTs or loaded replicas) — the framework never pulls table
+//! data across the link for an in-database operation. Results are written
+//! to accelerator-only tables, ready to feed the next pipeline stage.
+
+use idaa_common::{Error, ObjectName, Result, Row, Rows, Schema, Value};
+use idaa_core::Idaa;
+use idaa_host::TableKind;
+use idaa_netsim::Direction;
+use idaa_sql::Privilege;
+
+/// Read an accelerator-resident table (schema + visible rows), enforcing
+/// SELECT privilege on DB2. Data does **not** cross the link: the caller
+/// is executing *on* the accelerator.
+pub fn read_accel_table(idaa: &Idaa, user: &str, table: &ObjectName) -> Result<(Schema, Vec<Row>)> {
+    let resolved = table.resolve(idaa.default_schema());
+    let meta = idaa.host().table_meta(&resolved)?;
+    idaa.host().privileges.read().check(user, &resolved, Privilege::Select)?;
+    if !idaa.accel().has_table(&resolved) {
+        return Err(Error::InvalidAcceleratorUse(format!(
+            "analytics input {resolved} is not on the accelerator; add and load it \
+             (ACCEL_ADD_TABLES / ACCEL_LOAD_TABLES) or use an accelerator-only table"
+        )));
+    }
+    let rows = idaa.accel().scan_visible(&resolved)?;
+    Ok((meta.schema, rows))
+}
+
+/// Split a `"COL1,COL2"` argument into normalized column names.
+pub fn parse_column_list(arg: &str) -> Vec<String> {
+    arg.split(',')
+        .map(|c| idaa_common::ident::normalize(c.trim()))
+        .filter(|c| !c.is_empty())
+        .collect()
+}
+
+/// Extract named numeric columns as a row-major `f64` matrix. Rows
+/// containing NULL in any requested column are skipped; the skip count is
+/// returned alongside.
+pub fn numeric_matrix(
+    schema: &Schema,
+    rows: &[Row],
+    columns: &[String],
+) -> Result<(Vec<Vec<f64>>, usize)> {
+    let ordinals: Vec<usize> = columns
+        .iter()
+        .map(|c| {
+            let i = schema.index_of(c)?;
+            let t = schema.columns()[i].data_type;
+            if !t.is_numeric() {
+                return Err(Error::TypeMismatch(format!(
+                    "column {c} has type {t}; analytics requires numeric columns"
+                )));
+            }
+            Ok(i)
+        })
+        .collect::<Result<_>>()?;
+    let mut out = Vec::with_capacity(rows.len());
+    let mut skipped = 0;
+    'row: for row in rows {
+        let mut v = Vec::with_capacity(ordinals.len());
+        for &i in &ordinals {
+            match row[i].as_f64() {
+                Ok(x) => v.push(x),
+                Err(_) => {
+                    skipped += 1;
+                    continue 'row;
+                }
+            }
+        }
+        out.push(v);
+    }
+    Ok((out, skipped))
+}
+
+/// Extract one column rendered as strings (labels). NULLs become `"?"`.
+pub fn label_column(schema: &Schema, rows: &[Row], column: &str) -> Result<Vec<String>> {
+    let i = schema.index_of(column)?;
+    Ok(rows
+        .iter()
+        .map(|r| if r[i].is_null() { "?".to_string() } else { r[i].render() })
+        .collect())
+}
+
+/// Extract one column as raw values (ids carried through scoring).
+pub fn value_column(schema: &Schema, rows: &[Row], column: &str) -> Result<Vec<Value>> {
+    let i = schema.index_of(column)?;
+    Ok(rows.iter().map(|r| r[i].clone()).collect())
+}
+
+/// Create (or replace) an accelerator-only output table owned by `user`
+/// and fill it with `rows`, committed. Only control messages cross the
+/// link — the data was produced on the accelerator.
+pub fn write_output_aot(
+    idaa: &Idaa,
+    user: &str,
+    table: &ObjectName,
+    schema: Schema,
+    rows: Vec<Row>,
+    replace: bool,
+) -> Result<usize> {
+    let resolved = table.resolve(idaa.default_schema());
+    if idaa.host().table_meta(&resolved).is_ok() {
+        if !replace {
+            return Err(Error::AlreadyExists(format!("output table {resolved} already exists")));
+        }
+        let meta = idaa.host().table_meta(&resolved)?;
+        if meta.kind != TableKind::AcceleratorOnly {
+            return Err(Error::InvalidAcceleratorUse(format!(
+                "output table {resolved} exists and is not accelerator-only"
+            )));
+        }
+        idaa.host().drop_table(user, &resolved)?;
+        idaa.accel().drop_table(&resolved)?;
+    }
+    idaa.host().create_table(user, &resolved, schema.clone(), TableKind::AcceleratorOnly, vec![])?;
+    idaa.accel().create_table(&resolved, schema, &[])?;
+    // Control-plane traffic only.
+    idaa.link().transfer(Direction::ToAccel, 96);
+    let n = idaa.accel().load_committed(&resolved, rows)?;
+    idaa.link().transfer(Direction::ToHost, 64);
+    Ok(n)
+}
+
+/// Pull an accelerator table's numeric matrix *to the client side*,
+/// paying full link cost — the extract-then-compute baseline the paper's
+/// in-database framework replaces (used by experiment E7/E8 baselines).
+pub fn extract_matrix_to_client(
+    idaa: &Idaa,
+    user: &str,
+    table: &ObjectName,
+    columns: &[String],
+) -> Result<(Vec<Vec<f64>>, usize)> {
+    let (schema, rows) = read_accel_table(idaa, user, table)?;
+    let bytes: usize = rows
+        .iter()
+        .map(|r| r.iter().map(Value::wire_size).sum::<usize>() + 4)
+        .sum::<usize>()
+        + 64;
+    idaa.link().transfer(Direction::ToHost, bytes);
+    numeric_matrix(&schema, &rows, columns)
+}
+
+/// Convenience: a one-row summary result (procedure return value).
+pub fn summary_row(pairs: &[(&str, Value)]) -> Rows {
+    let schema = Schema::new_unchecked(
+        pairs
+            .iter()
+            .map(|(n, v)| {
+                idaa_common::ColumnDef::new(
+                    *n,
+                    v.data_type().unwrap_or(idaa_common::DataType::Varchar(64)),
+                )
+            })
+            .collect(),
+    );
+    Rows::new(schema, vec![pairs.iter().map(|(_, v)| v.clone()).collect()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idaa_common::{ColumnDef, DataType};
+
+    #[test]
+    fn column_list_parsing() {
+        assert_eq!(parse_column_list("a, b ,C"), vec!["A", "B", "C"]);
+        assert!(parse_column_list("").is_empty());
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("ID", DataType::Integer),
+            ColumnDef::new("X", DataType::Double),
+            ColumnDef::new("NAME", DataType::Varchar(8)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_extraction_skips_nulls() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Double(2.0), Value::Varchar("a".into())],
+            vec![Value::Int(2), Value::Null, Value::Varchar("b".into())],
+        ];
+        let (m, skipped) =
+            numeric_matrix(&schema(), &rows, &["ID".into(), "X".into()]).unwrap();
+        assert_eq!(m, vec![vec![1.0, 2.0]]);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn matrix_rejects_non_numeric() {
+        let r = numeric_matrix(&schema(), &[], &["NAME".into()]);
+        assert!(matches!(r, Err(Error::TypeMismatch(_))));
+        assert!(numeric_matrix(&schema(), &[], &["NOPE".into()]).is_err());
+    }
+
+    #[test]
+    fn label_and_value_columns() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Double(2.0), Value::Varchar("a".into())],
+            vec![Value::Int(2), Value::Double(3.0), Value::Null],
+        ];
+        assert_eq!(label_column(&schema(), &rows, "NAME").unwrap(), vec!["a", "?"]);
+        assert_eq!(
+            value_column(&schema(), &rows, "ID").unwrap(),
+            vec![Value::Int(1), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn summary_row_shape() {
+        let r = summary_row(&[("K", Value::Int(3)), ("NOTE", Value::Varchar("ok".into()))]);
+        assert_eq!(r.schema.columns()[0].name, "K");
+        assert_eq!(r.rows[0][1].render(), "ok");
+    }
+}

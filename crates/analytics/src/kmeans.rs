@@ -1,0 +1,231 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+use crate::linalg::dist2;
+use idaa_common::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means parameters.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    pub k: usize,
+    pub max_iter: usize,
+    pub seed: u64,
+    /// Stop when total centroid movement² falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 3, max_iter: 50, seed: 42, tolerance: 1e-9 }
+    }
+}
+
+/// A fitted model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    pub centroids: Vec<Vec<f64>>,
+    pub cluster_sizes: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    pub iterations: usize,
+}
+
+impl KMeansModel {
+    /// Index of the nearest centroid.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        self.centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, dist2(point, c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Fit k-means on row-major `data`.
+pub fn kmeans(data: &[Vec<f64>], cfg: &KMeansConfig) -> Result<KMeansModel> {
+    if cfg.k == 0 {
+        return Err(Error::Arithmetic("k must be positive".into()));
+    }
+    if data.len() < cfg.k {
+        return Err(Error::Arithmetic(format!(
+            "k-means needs at least k={} points, got {}",
+            cfg.k,
+            data.len()
+        )));
+    }
+    let dims = data[0].len();
+    if dims == 0 || data.iter().any(|r| r.len() != dims) {
+        return Err(Error::Arithmetic("k-means input must be a non-ragged matrix".into()));
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut centroids = kmeanspp_init(data, cfg.k, &mut rng);
+    let mut assignment = vec![0usize; data.len()];
+    let mut iterations = 0;
+
+    for it in 0..cfg.max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        for (i, p) in data.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = dist2(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignment[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dims]; cfg.k];
+        let mut counts = vec![0usize; cfg.k];
+        for (p, &a) in data.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (j, v) in p.iter().enumerate() {
+                sums[a][j] += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..cfg.k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster from a random point.
+                let p = &data[rng.gen_range(0..data.len())];
+                movement += dist2(&centroids[c], p);
+                centroids[c] = p.clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += dist2(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= cfg.tolerance {
+            break;
+        }
+    }
+
+    let mut cluster_sizes = vec![0usize; cfg.k];
+    let mut inertia = 0.0;
+    for (p, &a) in data.iter().zip(&assignment) {
+        cluster_sizes[a] += 1;
+        inertia += dist2(p, &centroids[a]);
+    }
+    Ok(KMeansModel { centroids, cluster_sizes, inertia, iterations })
+}
+
+/// k-means++ seeding: first centroid uniform, the rest proportional to
+/// squared distance from the nearest chosen centroid.
+fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points equal the chosen centroids: duplicate one.
+            centroids.push(data[rng.gen_range(0..data.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = data.len() - 1;
+        for (i, d) in d2.iter().enumerate() {
+            if target < *d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(data[chosen].clone());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        // Three well-separated 2D blobs of 20 points each.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)] {
+            for _ in 0..20 {
+                data.push(vec![cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn finds_separated_blobs() {
+        let model = kmeans(&blobs(), &KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        let mut sizes = model.cluster_sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![20, 20, 20]);
+        assert!(model.inertia < 60.0 * 0.5, "tight clusters");
+        // Centroids near blob centers.
+        let mut found = [false; 3];
+        for c in &model.centroids {
+            for (i, (cx, cy)) in [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)].iter().enumerate() {
+                if (c[0] - cx).abs() < 1.0 && (c[1] - cy).abs() < 1.0 {
+                    found[i] = true;
+                }
+            }
+        }
+        assert!(found.iter().all(|f| *f));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = kmeans(&blobs(), &KMeansConfig::default()).unwrap();
+        let b = kmeans(&blobs(), &KMeansConfig::default()).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn assign_picks_nearest() {
+        let model = kmeans(&blobs(), &KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        let c = model.assign(&[10.2, 9.8]);
+        assert!(dist2(&model.centroids[c], &[10.0, 10.0]) < 1.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(kmeans(&[], &KMeansConfig::default()).is_err());
+        assert!(kmeans(&[vec![1.0]], &KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &[vec![1.0], vec![2.0, 3.0], vec![4.0]],
+            &KMeansConfig { k: 2, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn k_equals_n_degenerates_gracefully() {
+        let data = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let model = kmeans(&data, &KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        assert!(model.inertia < 1e-9);
+        assert_eq!(model.cluster_sizes.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn identical_points() {
+        let data = vec![vec![5.0, 5.0]; 10];
+        let model = kmeans(&data, &KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        assert_eq!(model.cluster_sizes.iter().sum::<usize>(), 10);
+        assert!(model.inertia < 1e-9);
+    }
+}

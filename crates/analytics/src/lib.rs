@@ -1,0 +1,32 @@
+//! # idaa-analytics
+//!
+//! The paper's §3 framework: "executing arbitrary in-database analytics
+//! operations on the accelerator while ensuring data governance aspects
+//! like privilege management on DB2".
+//!
+//! * Pure, unit-tested mining algorithms: [`mod@kmeans`], [`linreg`],
+//!   [`naive_bayes`], [`dectree`], plus data preparation in [`prep`].
+//! * [`procedures`] wraps each algorithm as a deployable stored procedure
+//!   (`CALL ANALYTICS.…`): inputs are read from accelerator-resident
+//!   tables after a DB2-side SELECT-privilege check, models and scores are
+//!   materialized into accelerator-only tables for the next stage.
+//! * [`pipeline`] implements the SPSS-style multi-stage pipeline runner
+//!   with the pre-AOT *materialize-in-DB2* baseline and the paper's
+//!   *accelerator-only* mode.
+
+pub mod dectree;
+pub mod io;
+pub mod kmeans;
+pub mod linalg;
+pub mod linreg;
+pub mod naive_bayes;
+pub mod pipeline;
+pub mod prep;
+pub mod procedures;
+
+pub use kmeans::{kmeans, KMeansConfig, KMeansModel};
+pub use linreg::{fit as linreg_fit, LinRegModel};
+pub use naive_bayes::{train as nb_train, NaiveBayesModel};
+pub use dectree::{train as tree_train, TreeConfig, TreeModel};
+pub use pipeline::{Pipeline, PipelineMode, PipelineReport, Stage, StageReport};
+pub use procedures::{all_procedures, deploy_all, ANALYTICS_SCHEMA};

@@ -1,0 +1,115 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the textbook math
+
+//! Small dense linear algebra used by the mining algorithms.
+
+use idaa_common::{Error, Result};
+
+/// Solve `A x = b` for square `A` via Gaussian elimination with partial
+/// pivoting. `A` is row-major and consumed.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = a.len();
+    if n == 0 || a.iter().any(|r| r.len() != n) || b.len() != n {
+        return Err(Error::internal("solve: non-square system"));
+    }
+    for col in 0..n {
+        // Pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, a[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty range");
+        if pivot_val < 1e-12 {
+            return Err(Error::Arithmetic(
+                "singular matrix: features are linearly dependent".into(),
+            ));
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in (row + 1)..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Squared Euclidean distance.
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Column means of a row-major matrix.
+pub fn column_means(data: &[Vec<f64>]) -> Vec<f64> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let d = data[0].len();
+    let mut m = vec![0.0; d];
+    for row in data {
+        for (j, v) in row.iter().enumerate() {
+            m[j] += v;
+        }
+    }
+    for v in &mut m {
+        *v /= data.len() as f64;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_general() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![2.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(matches!(solve(a, vec![1.0, 2.0]), Err(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn distances_and_means() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        let m = column_means(&[vec![1.0, 10.0], vec![3.0, 20.0]]);
+        assert_eq!(m, vec![2.0, 15.0]);
+        assert!(column_means(&[]).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the textbook math
+
+//! Multiple linear regression via the normal equations.
+
+use crate::linalg::solve;
+use idaa_common::{Error, Result};
+
+/// A fitted linear model `y = intercept + Σ coef_j · x_j`.
+#[derive(Debug, Clone)]
+pub struct LinRegModel {
+    pub intercept: f64,
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r2: f64,
+    pub n: usize,
+}
+
+impl LinRegModel {
+    /// Predict one observation.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept + self.coefficients.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+    }
+}
+
+/// Fit on row-major features `x` and targets `y`.
+pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<LinRegModel> {
+    let n = x.len();
+    if n == 0 || n != y.len() {
+        return Err(Error::Arithmetic("linear regression needs matching, non-empty X and y".into()));
+    }
+    let d = x[0].len();
+    if x.iter().any(|r| r.len() != d) {
+        return Err(Error::Arithmetic("ragged feature matrix".into()));
+    }
+    if n <= d {
+        return Err(Error::Arithmetic(format!(
+            "need more observations ({n}) than features ({d})"
+        )));
+    }
+    // Build the (d+1)x(d+1) normal equations with an intercept column.
+    let m = d + 1;
+    let mut xtx = vec![vec![0.0; m]; m];
+    let mut xty = vec![0.0; m];
+    for (row, &target) in x.iter().zip(y) {
+        let aug = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+        for i in 0..m {
+            for j in i..m {
+                xtx[i][j] += aug(i) * aug(j);
+            }
+            xty[i] += aug(i) * target;
+        }
+    }
+    for i in 0..m {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+    }
+    let beta = solve(xtx, xty)?;
+    let model = LinRegModel {
+        intercept: beta[0],
+        coefficients: beta[1..].to_vec(),
+        r2: 0.0,
+        n,
+    };
+    // R².
+    let mean_y: f64 = y.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = y.iter().map(|v| (v - mean_y) * (v - mean_y)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(row, &target)| {
+            let p = model.predict(row);
+            (target - p) * (target - p)
+        })
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Ok(LinRegModel { r2, ..model })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_line() {
+        // y = 2 + 3x.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let m = fit(&x, &y).unwrap();
+        assert!((m.intercept - 2.0).abs() < 1e-9);
+        assert!((m.coefficients[0] - 3.0).abs() < 1e-9);
+        assert!((m.r2 - 1.0).abs() < 1e-9);
+        assert!((m.predict(&[100.0]) - 302.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multivariate_with_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 1.5 - 2.0 * r[0] + 0.5 * r[1] + rng.gen_range(-0.1..0.1))
+            .collect();
+        let m = fit(&x, &y).unwrap();
+        assert!((m.intercept - 1.5).abs() < 0.05);
+        assert!((m.coefficients[0] + 2.0).abs() < 0.05);
+        assert!((m.coefficients[1] - 0.5).abs() < 0.05);
+        assert!(m.r2 > 0.99);
+    }
+
+    #[test]
+    fn collinear_features_rejected() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(matches!(fit(&x, &y), Err(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(fit(&[], &[]).is_err());
+        assert!(fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(fit(&[vec![1.0]], &[1.0]).is_err(), "n must exceed d");
+    }
+
+    #[test]
+    fn constant_target_r2_is_one() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 10];
+        let m = fit(&x, &y).unwrap();
+        assert!((m.predict(&[3.0]) - 7.0).abs() < 1e-9);
+        assert!((m.r2 - 1.0).abs() < 1e-9);
+    }
+}

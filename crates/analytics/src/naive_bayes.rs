@@ -1,0 +1,161 @@
+//! Gaussian naive Bayes classification.
+
+use idaa_common::{Error, Result};
+
+/// Per-class parameters.
+#[derive(Debug, Clone)]
+pub struct ClassParams {
+    pub label: String,
+    pub prior: f64,
+    pub means: Vec<f64>,
+    pub variances: Vec<f64>,
+}
+
+/// A fitted model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesModel {
+    pub classes: Vec<ClassParams>,
+}
+
+/// Variance floor to avoid zero-variance degeneracy.
+const VAR_FLOOR: f64 = 1e-9;
+
+/// Train on row-major features and string labels.
+pub fn train(features: &[Vec<f64>], labels: &[String]) -> Result<NaiveBayesModel> {
+    let n = features.len();
+    if n == 0 || n != labels.len() {
+        return Err(Error::Arithmetic("naive Bayes needs matching, non-empty X and labels".into()));
+    }
+    let d = features[0].len();
+    if d == 0 || features.iter().any(|r| r.len() != d) {
+        return Err(Error::Arithmetic("ragged or empty feature matrix".into()));
+    }
+    let mut class_names: Vec<String> = labels.to_vec();
+    class_names.sort();
+    class_names.dedup();
+    let mut classes = Vec::with_capacity(class_names.len());
+    for name in class_names {
+        let rows: Vec<&Vec<f64>> = features
+            .iter()
+            .zip(labels)
+            .filter(|(_, l)| **l == name)
+            .map(|(f, _)| f)
+            .collect();
+        let count = rows.len() as f64;
+        let mut means = vec![0.0; d];
+        for r in &rows {
+            for (j, v) in r.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= count;
+        }
+        let mut variances = vec![0.0; d];
+        for r in &rows {
+            for (j, v) in r.iter().enumerate() {
+                let dlt = v - means[j];
+                variances[j] += dlt * dlt;
+            }
+        }
+        for v in &mut variances {
+            *v = (*v / count).max(VAR_FLOOR);
+        }
+        classes.push(ClassParams { label: name, prior: count / n as f64, means, variances });
+    }
+    Ok(NaiveBayesModel { classes })
+}
+
+impl NaiveBayesModel {
+    /// Log joint probability of `x` under class `c`.
+    fn log_likelihood(&self, c: &ClassParams, x: &[f64]) -> f64 {
+        let mut ll = c.prior.ln();
+        for ((v, m), var) in x.iter().zip(&c.means).zip(&c.variances) {
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + (v - m) * (v - m) / var);
+        }
+        ll
+    }
+
+    /// Most probable class with its log-probability.
+    pub fn predict(&self, x: &[f64]) -> (&str, f64) {
+        self.classes
+            .iter()
+            .map(|c| (c.label.as_str(), self.log_likelihood(c, x)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one class")
+    }
+
+    /// Accuracy over a labeled set.
+    pub fn accuracy(&self, features: &[Vec<f64>], labels: &[String]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let hits = features
+            .iter()
+            .zip(labels)
+            .filter(|(f, l)| self.predict(f).0 == l.as_str())
+            .count();
+        hits as f64 / features.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_data(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<String>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            // Class A around (0, 0); class B around (5, 5).
+            if rng.gen_bool(0.5) {
+                x.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+                y.push("A".to_string());
+            } else {
+                x.push(vec![5.0 + rng.gen_range(-1.0..1.0), 5.0 + rng.gen_range(-1.0..1.0)]);
+                y.push("B".to_string());
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separable_classes_high_accuracy() {
+        let (x, y) = gaussian_data(9, 400);
+        let model = train(&x, &y).unwrap();
+        assert_eq!(model.classes.len(), 2);
+        assert!(model.accuracy(&x, &y) > 0.99);
+        let (test_x, test_y) = gaussian_data(10, 100);
+        assert!(model.accuracy(&test_x, &test_y) > 0.99);
+    }
+
+    #[test]
+    fn priors_reflect_class_balance() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2], vec![5.0]];
+        let y: Vec<String> = ["A", "A", "A", "B"].iter().map(|s| s.to_string()).collect();
+        let model = train(&x, &y).unwrap();
+        let a = model.classes.iter().find(|c| c.label == "A").unwrap();
+        let b = model.classes.iter().find(|c| c.label == "B").unwrap();
+        assert!((a.prior - 0.75).abs() < 1e-9);
+        assert!((b.prior - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_variance_is_floored() {
+        let x = vec![vec![1.0], vec![1.0], vec![2.0], vec![2.0]];
+        let y: Vec<String> = ["A", "A", "B", "B"].iter().map(|s| s.to_string()).collect();
+        let model = train(&x, &y).unwrap();
+        assert_eq!(model.predict(&[1.0]).0, "A");
+        assert_eq!(model.predict(&[2.0]).0, "B");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(train(&[], &[]).is_err());
+        assert!(train(&[vec![1.0]], &["A".into(), "B".into()]).is_err());
+        assert!(train(&[vec![]], &["A".into()]).is_err());
+    }
+}

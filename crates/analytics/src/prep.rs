@@ -1,0 +1,240 @@
+//! Data-preparation primitives: the transformation stages SPSS-style
+//! pipelines chain before mining (normalize, impute, bin, split).
+
+use idaa_common::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Normalization method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalizeMethod {
+    /// Scale to `[0, 1]` by column min/max.
+    MinMax,
+    /// Center to zero mean, unit (population) standard deviation.
+    ZScore,
+}
+
+impl NormalizeMethod {
+    /// Parse a method keyword.
+    pub fn parse(s: &str) -> Result<NormalizeMethod> {
+        match s.to_ascii_uppercase().as_str() {
+            "MINMAX" | "MIN_MAX" => Ok(NormalizeMethod::MinMax),
+            "ZSCORE" | "Z_SCORE" | "STANDARD" => Ok(NormalizeMethod::ZScore),
+            other => Err(Error::Parse(format!("unknown normalization method '{other}'"))),
+        }
+    }
+}
+
+/// Normalize a column in place; constant columns map to 0.
+pub fn normalize_column(values: &mut [f64], method: NormalizeMethod) {
+    if values.is_empty() {
+        return;
+    }
+    match method {
+        NormalizeMethod::MinMax => {
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let range = max - min;
+            for v in values.iter_mut() {
+                *v = if range > 0.0 { (*v - min) / range } else { 0.0 };
+            }
+        }
+        NormalizeMethod::ZScore => {
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            let sd = var.sqrt();
+            for v in values.iter_mut() {
+                *v = if sd > 0.0 { (*v - mean) / sd } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Replace `None` entries with the column mean (all-`None` columns fill
+/// with 0). Returns the number of imputed cells.
+pub fn impute_mean(column: &mut [Option<f64>]) -> usize {
+    let known: Vec<f64> = column.iter().flatten().copied().collect();
+    let mean = if known.is_empty() { 0.0 } else { known.iter().sum::<f64>() / known.len() as f64 };
+    let mut imputed = 0;
+    for v in column.iter_mut() {
+        if v.is_none() {
+            *v = Some(mean);
+            imputed += 1;
+        }
+    }
+    imputed
+}
+
+/// Equi-width binning: map each value to a bin index in `0..bins`.
+pub fn bin_equiwidth(values: &[f64], bins: usize) -> Result<Vec<usize>> {
+    if bins == 0 {
+        return Err(Error::Arithmetic("bin count must be positive".into()));
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = (max - min) / bins as f64;
+    Ok(values
+        .iter()
+        .map(|v| {
+            if width <= 0.0 {
+                0
+            } else {
+                (((v - min) / width) as usize).min(bins - 1)
+            }
+        })
+        .collect())
+}
+
+/// Deterministic train/test split: returns (train_indices, test_indices).
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> Result<(Vec<usize>, Vec<usize>)> {
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err(Error::Arithmetic("train fraction must be in [0, 1]".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let cut = (n as f64 * train_fraction).round() as usize;
+    let test = idx.split_off(cut.min(n));
+    Ok((idx, test))
+}
+
+/// Per-column summary statistics (the `DESCRIBE` procedure's engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    pub name: String,
+    pub count: usize,
+    pub nulls: usize,
+    pub mean: f64,
+    pub stddev: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Describe named columns of optional values.
+pub fn describe(columns: &[(String, Vec<Option<f64>>)]) -> Vec<ColumnStats> {
+    columns
+        .iter()
+        .map(|(name, vals)| {
+            let known: Vec<f64> = vals.iter().flatten().copied().collect();
+            let count = known.len();
+            let nulls = vals.len() - count;
+            if count == 0 {
+                return ColumnStats {
+                    name: name.clone(),
+                    count,
+                    nulls,
+                    mean: 0.0,
+                    stddev: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                };
+            }
+            let mean = known.iter().sum::<f64>() / count as f64;
+            let var = known.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / (count.max(2) - 1) as f64;
+            ColumnStats {
+                name: name.clone(),
+                count,
+                nulls,
+                mean,
+                stddev: var.sqrt(),
+                min: known.iter().copied().fold(f64::INFINITY, f64::min),
+                max: known.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_scales_to_unit() {
+        let mut v = vec![10.0, 20.0, 30.0];
+        normalize_column(&mut v, NormalizeMethod::MinMax);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn zscore_centers() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        normalize_column(&mut v, NormalizeMethod::ZScore);
+        assert!(v.iter().sum::<f64>().abs() < 1e-9);
+        let var: f64 = v.iter().map(|x| x * x).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let mut v = vec![5.0, 5.0];
+        normalize_column(&mut v, NormalizeMethod::MinMax);
+        assert_eq!(v, vec![0.0, 0.0]);
+        let mut w = vec![5.0, 5.0];
+        normalize_column(&mut w, NormalizeMethod::ZScore);
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn method_parsing() {
+        assert_eq!(NormalizeMethod::parse("minmax").unwrap(), NormalizeMethod::MinMax);
+        assert_eq!(NormalizeMethod::parse("ZSCORE").unwrap(), NormalizeMethod::ZScore);
+        assert!(NormalizeMethod::parse("nope").is_err());
+    }
+
+    #[test]
+    fn imputation_fills_with_mean() {
+        let mut col = vec![Some(1.0), None, Some(3.0), None];
+        let n = impute_mean(&mut col);
+        assert_eq!(n, 2);
+        assert_eq!(col, vec![Some(1.0), Some(2.0), Some(3.0), Some(2.0)]);
+        let mut empty: Vec<Option<f64>> = vec![None, None];
+        impute_mean(&mut empty);
+        assert_eq!(empty, vec![Some(0.0), Some(0.0)]);
+    }
+
+    #[test]
+    fn binning() {
+        let bins = bin_equiwidth(&[0.0, 2.5, 5.0, 7.5, 10.0], 4).unwrap();
+        assert_eq!(bins, vec![0, 1, 2, 3, 3]);
+        assert!(bin_equiwidth(&[1.0], 0).is_err());
+        // Constant column: everything in bin 0.
+        assert_eq!(bin_equiwidth(&[3.0, 3.0], 4).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn split_is_deterministic_partition() {
+        let (train, test) = train_test_split(100, 0.8, 7).unwrap();
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        let (train2, _) = train_test_split(100, 0.8, 7).unwrap();
+        assert_eq!(train, train2);
+        let (train3, _) = train_test_split(100, 0.8, 8).unwrap();
+        assert_ne!(train, train3);
+        assert!(train_test_split(10, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn describe_summarizes() {
+        let stats = describe(&[
+            ("A".into(), vec![Some(1.0), Some(2.0), Some(3.0), None]),
+            ("B".into(), vec![None, None]),
+        ]);
+        assert_eq!(stats[0].count, 3);
+        assert_eq!(stats[0].nulls, 1);
+        assert!((stats[0].mean - 2.0).abs() < 1e-9);
+        assert!((stats[0].stddev - 1.0).abs() < 1e-9);
+        assert_eq!(stats[0].min, 1.0);
+        assert_eq!(stats[0].max, 3.0);
+        assert_eq!(stats[1].count, 0);
+        assert_eq!(stats[1].nulls, 2);
+    }
+}

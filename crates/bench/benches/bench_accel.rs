@@ -1,0 +1,43 @@
+//! Criterion microbench for experiment E10: accelerator internals — zone
+//! maps and slice parallelism on a selective scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idaa_accel::{AccelConfig, AccelEngine};
+use idaa_common::{ColumnDef, DataType, ObjectName, Schema, Value};
+use idaa_sql::{parse_statement, Statement};
+
+const ROWS: usize = 500_000;
+const QUERY: &str = "SELECT COUNT(*), SUM(v) FROM big WHERE k < 1000";
+
+fn build(slices: usize, zone_maps: bool) -> AccelEngine {
+    let engine = AccelEngine::new("APP", AccelConfig { slices, zone_maps, parallel: true });
+    let schema = Schema::new(vec![
+        ColumnDef::new("K", DataType::Integer),
+        ColumnDef::new("V", DataType::Integer),
+    ])
+    .unwrap();
+    engine.create_table(&ObjectName::bare("BIG"), schema, &[]).unwrap();
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| vec![Value::Int(i as i32), Value::Int((i % 997) as i32)])
+        .collect();
+    engine.load_committed(&ObjectName::bare("BIG"), rows).unwrap();
+    engine
+}
+
+fn bench_accel(c: &mut Criterion) {
+    let Statement::Query(q) = parse_statement(QUERY).unwrap() else { unreachable!() };
+    let mut group = c.benchmark_group("selective_scan_500k");
+    group.sample_size(10);
+    for (slices, zones) in [(1, false), (1, true), (4, true), (8, true)] {
+        let engine = build(slices, zones);
+        group.bench_with_input(
+            BenchmarkId::new(format!("zones_{zones}"), slices),
+            &slices,
+            |b, _| b.iter(|| engine.query(0, &q).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accel);
+criterion_main!(benches);

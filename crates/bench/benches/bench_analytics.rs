@@ -1,0 +1,62 @@
+//! Criterion microbench for experiments E7/E8: in-database analytics vs
+//! the extract-to-client baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idaa_analytics::kmeans::{kmeans, KMeansConfig};
+use idaa_bench::system;
+use idaa_common::ObjectName;
+use idaa_core::IdaaConfig;
+use idaa_host::SYSADM;
+
+const ROWS: usize = 20_000;
+
+fn setup() -> (idaa_core::Idaa, idaa_core::Session) {
+    let (idaa, mut s) = system(IdaaConfig::default());
+    idaa_analytics::deploy_all(&idaa, SYSADM).unwrap();
+    idaa.execute(&mut s, "CREATE TABLE PTS (ID INT, F0 DOUBLE, F1 DOUBLE, F2 DOUBLE) IN ACCELERATOR")
+        .unwrap();
+    let mut vals = Vec::new();
+    for i in 0..ROWS {
+        let c = (i % 3) as f64 * 10.0;
+        vals.push(format!(
+            "({i}, {:.2}E0, {:.2}E0, {:.2}E0)",
+            c + (i % 97) as f64 / 100.0,
+            c + (i % 89) as f64 / 100.0,
+            c + (i % 83) as f64 / 100.0
+        ));
+        if vals.len() == 1000 {
+            idaa.execute(&mut s, &format!("INSERT INTO PTS VALUES {}", vals.join(", ")))
+                .unwrap();
+            vals.clear();
+        }
+    }
+    (idaa, s)
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_20k_x3");
+    group.sample_size(10);
+    let (idaa, mut s) = setup();
+    group.bench_function("in_database_call", |b| {
+        b.iter(|| {
+            idaa.query(&mut s, "CALL ANALYTICS.KMEANS('PTS', 'F0,F1,F2', 3, 15, 'KM_OUT')")
+                .unwrap()
+        })
+    });
+    group.bench_function("extract_to_client", |b| {
+        b.iter(|| {
+            let (matrix, _) = idaa_analytics::io::extract_matrix_to_client(
+                &idaa,
+                SYSADM,
+                &ObjectName::bare("PTS"),
+                &["F0".to_string(), "F1".to_string(), "F2".to_string()],
+            )
+            .unwrap();
+            kmeans(&matrix, &KMeansConfig { k: 3, max_iter: 15, ..Default::default() }).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytics);
+criterion_main!(benches);

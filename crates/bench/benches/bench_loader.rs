@@ -1,0 +1,77 @@
+//! Criterion microbench for experiment E5: loader throughput per path and
+//! parser parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use idaa_bench::{accelerate, system};
+use idaa_common::ObjectName;
+use idaa_core::IdaaConfig;
+use idaa_host::SYSADM;
+use idaa_loader::{EventSource, LoadTarget, Loader};
+
+const ROWS: usize = 20_000;
+const DDL: &str = "(EVENT_ID INT, CUST_ID INT, TOPIC VARCHAR(10), SENTIMENT DOUBLE, \
+                   POSTED_AT TIMESTAMP)";
+
+fn bench_loader(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loader");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("direct_to_aot", workers),
+            &workers,
+            |b, &workers| {
+                b.iter_with_setup(
+                    || {
+                        let (idaa, mut s) = system(IdaaConfig::default());
+                        idaa.execute(&mut s, &format!("CREATE TABLE FEED {DDL} IN ACCELERATOR"))
+                            .unwrap();
+                        let mut loader = Loader::new(SYSADM);
+                        loader.config.parallelism = workers;
+                        (idaa, loader)
+                    },
+                    |(idaa, loader)| {
+                        loader
+                            .load(
+                                &idaa,
+                                Box::new(EventSource::new(ROWS, 7)),
+                                &ObjectName::bare("FEED"),
+                                LoadTarget::AcceleratorDirect,
+                            )
+                            .unwrap()
+                    },
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("via_db2_replicated", workers),
+            &workers,
+            |b, &workers| {
+                b.iter_with_setup(
+                    || {
+                        let (idaa, mut s) = system(IdaaConfig::default());
+                        idaa.execute(&mut s, &format!("CREATE TABLE FEED {DDL}")).unwrap();
+                        accelerate(&idaa, &mut s, "FEED");
+                        let mut loader = Loader::new(SYSADM);
+                        loader.config.parallelism = workers;
+                        (idaa, loader)
+                    },
+                    |(idaa, loader)| {
+                        loader
+                            .load(
+                                &idaa,
+                                Box::new(EventSource::new(ROWS, 7)),
+                                &ObjectName::bare("FEED"),
+                                LoadTarget::Db2,
+                            )
+                            .unwrap()
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loader);
+criterion_main!(benches);

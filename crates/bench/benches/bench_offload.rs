@@ -1,0 +1,32 @@
+//! Criterion microbench for experiment E1: the same OLAP query on the host
+//! row store vs the accelerator's columnar engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idaa_bench::{accelerate, seed_sales, system};
+use idaa_core::IdaaConfig;
+
+const QUERY: &str = "SELECT region, COUNT(*), SUM(amount), AVG(qty) FROM sales \
+                     WHERE qty > 2 AND amount < 800 GROUP BY region";
+
+fn bench_offload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offload");
+    group.sample_size(10);
+    for rows in [20_000usize, 100_000] {
+        let (idaa, mut s) = system(IdaaConfig::default());
+        seed_sales(&idaa, &mut s, rows);
+        accelerate(&idaa, &mut s, "SALES");
+
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
+        group.bench_with_input(BenchmarkId::new("host", rows), &rows, |b, _| {
+            b.iter(|| idaa.query(&mut s, QUERY).unwrap())
+        });
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        group.bench_with_input(BenchmarkId::new("accelerator", rows), &rows, |b, _| {
+            b.iter(|| idaa.query(&mut s, QUERY).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offload);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbench for experiment E3: a 3-stage transformation
+//! pipeline in materialize-in-DB2 vs accelerator-only mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idaa_analytics::pipeline::{Pipeline, PipelineMode};
+use idaa_bench::{accelerate, seed_sales, system};
+use idaa_core::IdaaConfig;
+
+fn pipeline() -> Pipeline {
+    Pipeline::new()
+        .stage("P1", "SELECT id, amount, qty FROM sales WHERE qty > 1")
+        .stage("P2", "SELECT id, amount * 1.1E0 AS AMOUNT, qty FROM p1")
+        .stage("P3", "SELECT qty, COUNT(*) AS N, SUM(amount) AS TOTAL FROM p2 GROUP BY qty")
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_3_stages_20k_rows");
+    group.sample_size(10);
+    for mode in [PipelineMode::MaterializeInDb2, PipelineMode::AcceleratorOnly] {
+        group.bench_function(format!("{mode:?}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let (idaa, mut s) = system(IdaaConfig::default());
+                    seed_sales(&idaa, &mut s, 20_000);
+                    accelerate(&idaa, &mut s, "SALES");
+                    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+                    (idaa, s)
+                },
+                |(idaa, mut s)| {
+                    pipeline().run(&idaa, &mut s, mode).unwrap();
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

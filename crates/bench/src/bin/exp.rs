@@ -1,0 +1,30 @@
+//! Experiment runner: regenerates every table of the evaluation.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p idaa-bench --bin exp -- e3      # one experiment
+//! cargo run --release -p idaa-bench --bin exp -- all     # the whole suite
+//! ```
+//! The experiment ids and what they measure are indexed in DESIGN.md;
+//! recorded outputs live in EXPERIMENTS.md.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: exp <e1..e12|all> [more ids...]");
+        eprintln!("  E1  OLAP offload crossover        E7  in-DB analytics vs client");
+        eprintln!("  E2  OLTP point access             E8  in-DB scoring vs client");
+        eprintln!("  E3  pipeline stages (headline)    E9  replication batch ablation");
+        eprintln!("  E4  INSERT..SELECT targets        E10 accelerator ablation");
+        eprintln!("  E5  loader paths                  E11 governance overhead");
+        eprintln!("  E6  txn correctness probes        E12 end-to-end churn scenario");
+        std::process::exit(2);
+    }
+    for id in &args {
+        if !idaa_bench::experiments::run(id) {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        }
+        println!();
+    }
+}

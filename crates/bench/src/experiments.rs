@@ -1,0 +1,789 @@
+//! The experiment suite E1–E12 (see DESIGN.md for the index and
+//! EXPERIMENTS.md for recorded results). Each function regenerates one
+//! table of the evaluation.
+
+use crate::{accelerate, fmt_bytes, measure, ms, seed_sales, system, Table};
+use idaa_analytics::kmeans::{kmeans, KMeansConfig};
+use idaa_analytics::pipeline::{Pipeline, PipelineMode};
+use idaa_core::{Idaa, IdaaConfig, Session};
+use idaa_host::SYSADM;
+use idaa_loader::{EventSource, LoadTarget, Loader};
+use idaa_sql::Privilege;
+use std::time::Instant;
+
+/// Run one experiment by id (`e1`…`e12`) or `all`.
+pub fn run(id: &str) -> bool {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => e1_offload_crossover(),
+        "e2" => e2_oltp_point_access(),
+        "e3" => e3_pipeline_stages(),
+        "e4" => e4_insert_select_target(),
+        "e5" => e5_loader_paths(),
+        "e6" => e6_transaction_correctness(),
+        "e7" => e7_in_database_analytics(),
+        "e8" => e8_in_database_scoring(),
+        "e9" => e9_replication_batch(),
+        "e10" => e10_accelerator_ablation(),
+        "e11" => e11_governance_overhead(),
+        "e12" => e12_end_to_end_scenario(),
+        "all" => {
+            for e in [
+                e1_offload_crossover,
+                e2_oltp_point_access,
+                e3_pipeline_stages,
+                e4_insert_select_target,
+                e5_loader_paths,
+                e6_transaction_correctness,
+                e7_in_database_analytics,
+                e8_in_database_scoring,
+                e9_replication_batch,
+                e10_accelerator_ablation,
+                e11_governance_overhead,
+                e12_end_to_end_scenario,
+            ] {
+                e();
+                println!();
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn banner(id: &str, title: &str) {
+    println!("=== {id}: {title} ===");
+}
+
+/// E1 — OLAP offload: scan/aggregate latency, DB2 row store vs accelerator,
+/// as table size grows. Claim: "extremely fast execution of complex,
+/// analytical queries" on the accelerator.
+pub fn e1_offload_crossover() {
+    banner("E1", "OLAP query offload (host row store vs accelerator), size sweep");
+    let query = "SELECT region, COUNT(*), SUM(amount), AVG(qty) FROM sales \
+                 WHERE qty > 2 AND amount < 800 GROUP BY region";
+    let mut table = Table::new(&[
+        "rows", "host_ms", "accel_ms", "speedup", "accel+wire_ms",
+    ]);
+    for rows in [10_000usize, 50_000, 200_000, 500_000] {
+        let (idaa, mut s) = system(IdaaConfig::default());
+        seed_sales(&idaa, &mut s, rows);
+        accelerate(&idaa, &mut s, "SALES");
+        // Warm both paths once.
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
+        idaa.query(&mut s, query).unwrap();
+        let (_, host_t, _) = measure(&idaa, || idaa.query(&mut s, query).unwrap());
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        idaa.query(&mut s, query).unwrap();
+        let (_, accel_t, link) = measure(&idaa, || idaa.query(&mut s, query).unwrap());
+        table.row(&[
+            rows.to_string(),
+            ms(host_t),
+            ms(accel_t),
+            format!("{:.1}x", host_t.as_secs_f64() / accel_t.as_secs_f64()),
+            ms(accel_t + link.wire_time),
+        ]);
+    }
+    table.print();
+}
+
+/// E2 — OLTP point access stays on the host: indexed point SELECTs,
+/// host-with-index vs forced accelerator execution.
+pub fn e2_oltp_point_access() {
+    banner("E2", "OLTP point lookups (indexed host vs accelerator scan)");
+    const ROWS: usize = 200_000;
+    const PROBES: usize = 200;
+    let (idaa, mut s) = system(IdaaConfig::default());
+    seed_sales(&idaa, &mut s, ROWS);
+    idaa.execute(&mut s, "CREATE INDEX SALES_ID ON SALES (ID)").unwrap();
+    accelerate(&idaa, &mut s, "SALES");
+    let probe = |idaa: &Idaa, s: &mut Session| {
+        for i in 0..PROBES {
+            let id = (i * 997) % ROWS;
+            idaa.query(s, &format!("SELECT product FROM sales WHERE id = {id}")).unwrap();
+        }
+    };
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
+    let (_, host_t, _) = measure(&idaa, || probe(&idaa, &mut s));
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    let (_, accel_t, link) = measure(&idaa, || probe(&idaa, &mut s));
+    // Routing check: ENABLE keeps the point lookups local.
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ENABLE").unwrap();
+    let out = idaa.execute(&mut s, "SELECT product FROM sales WHERE id = 7").unwrap();
+    let mut table = Table::new(&["path", "total_ms", "us/query", "wire_ms"]);
+    table.row(&[
+        "host (indexed)".into(),
+        ms(host_t),
+        format!("{:.1}", host_t.as_secs_f64() * 1e6 / PROBES as f64),
+        "0.00".into(),
+    ]);
+    table.row(&[
+        "accelerator".into(),
+        ms(accel_t),
+        format!("{:.1}", accel_t.as_secs_f64() * 1e6 / PROBES as f64),
+        ms(link.wire_time),
+    ]);
+    table.print();
+    println!("ENABLE-mode routing for a point lookup: {:?} (expected Host)", out.route);
+}
+
+/// E3 — the headline: multi-staged transformation pipeline, materialized in
+/// DB2 (pre-AOT) vs accelerator-only tables, stage-count sweep.
+pub fn e3_pipeline_stages() {
+    banner("E3", "multi-stage pipeline: materialize-in-DB2 vs accelerator-only tables");
+    const ROWS: usize = 50_000;
+    let mut table = Table::new(&[
+        "stages", "mode", "elapsed_ms", "bytes_moved", "msgs", "wire_ms",
+    ]);
+    for k in [1usize, 2, 4, 8] {
+        for mode in [PipelineMode::MaterializeInDb2, PipelineMode::AcceleratorOnly] {
+            let (idaa, mut s) = system(IdaaConfig::default());
+            seed_sales(&idaa, &mut s, ROWS);
+            accelerate(&idaa, &mut s, "SALES");
+            idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+            let mut p = Pipeline::new();
+            let mut prev = "SALES".to_string();
+            for i in 0..k {
+                let out = format!("STG{i}");
+                // Row-preserving transformation chain.
+                let select = if i == 0 {
+                    format!("SELECT id, amount, qty FROM {prev} WHERE qty >= 0")
+                } else {
+                    format!("SELECT id, amount * 1.01E0 AS AMOUNT, qty FROM {prev}")
+                };
+                p = p.stage(&out, &select);
+                prev = out;
+            }
+            idaa.link().reset();
+            let report = p.run(&idaa, &mut s, mode).unwrap();
+            table.row(&[
+                k.to_string(),
+                format!("{mode:?}"),
+                ms(report.elapsed),
+                fmt_bytes(report.link.total_bytes()),
+                report.link.total_messages().to_string(),
+                ms(report.link.wire_time),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E4 — `INSERT INTO … SELECT` target comparison: AOT target (pushdown,
+/// no data movement) vs regular DB2 target (result materialization).
+pub fn e4_insert_select_target() {
+    banner("E4", "INSERT FROM SELECT: accelerator-only target vs DB2 target");
+    let mut table = Table::new(&[
+        "rows", "target", "elapsed_ms", "bytes_moved", "wire_ms",
+    ]);
+    for rows in [10_000usize, 100_000, 300_000] {
+        for aot in [false, true] {
+            let (idaa, mut s) = system(IdaaConfig::default());
+            seed_sales(&idaa, &mut s, rows);
+            accelerate(&idaa, &mut s, "SALES");
+            idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+            let ddl = "(ID INT, AMOUNT DOUBLE, QTY INT)";
+            let target = if aot { "AOT target" } else { "DB2 target" };
+            idaa.execute(
+                &mut s,
+                &format!(
+                    "CREATE TABLE OUT1 {ddl}{}",
+                    if aot { " IN ACCELERATOR" } else { "" }
+                ),
+            )
+            .unwrap();
+            idaa.link().reset();
+            let (_, t, link) = measure(&idaa, || {
+                idaa.execute(&mut s, "INSERT INTO OUT1 SELECT id, amount, qty FROM sales")
+                    .unwrap()
+            });
+            table.row(&[
+                rows.to_string(),
+                target.into(),
+                ms(t),
+                fmt_bytes(link.total_bytes()),
+                ms(link.wire_time),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E5 — IDAA Loader paths: direct-to-accelerator vs through DB2 with
+/// replication, with a parser-parallelism sweep.
+pub fn e5_loader_paths() {
+    banner("E5", "loader ingestion: direct-to-AOT vs via DB2 (+replication), worker sweep");
+    const ROWS: usize = 100_000;
+    let ddl = "(EVENT_ID INT, CUST_ID INT, TOPIC VARCHAR(10), SENTIMENT DOUBLE, \
+               POSTED_AT TIMESTAMP)";
+    let mut table = Table::new(&[
+        "path", "workers", "rows/s", "elapsed_ms", "bytes_to_accel",
+    ]);
+    for workers in [1usize, 2, 4, 8] {
+        for direct in [false, true] {
+            let (idaa, mut s) = system(IdaaConfig::default());
+            if direct {
+                idaa.execute(&mut s, &format!("CREATE TABLE FEED {ddl} IN ACCELERATOR")).unwrap();
+            } else {
+                idaa.execute(&mut s, &format!("CREATE TABLE FEED {ddl}")).unwrap();
+                accelerate(&idaa, &mut s, "FEED");
+            }
+            let mut loader = Loader::new(SYSADM);
+            loader.config.parallelism = workers;
+            idaa.link().reset();
+            let (report, t, link) = measure(&idaa, || {
+                loader
+                    .load(
+                        &idaa,
+                        Box::new(EventSource::new(ROWS, 7)),
+                        &idaa_common::ObjectName::bare("FEED"),
+                        if direct { LoadTarget::AcceleratorDirect } else { LoadTarget::Db2 },
+                    )
+                    .unwrap()
+            });
+            assert_eq!(report.rows_loaded, ROWS);
+            table.row(&[
+                if direct { "direct-to-AOT" } else { "via DB2" }.into(),
+                workers.to_string(),
+                format!("{:.0}", ROWS as f64 / t.as_secs_f64()),
+                ms(t),
+                fmt_bytes(link.bytes_to_accel),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E6 — transaction-correctness probes for AOTs (the paper's §2
+/// correctness requirements), reported as a pass/fail table.
+pub fn e6_transaction_correctness() {
+    banner("E6", "AOT transaction-context correctness probes");
+    let mut table = Table::new(&["probe", "result"]);
+    let check = |name: &str, ok: bool, table: &mut Table| {
+        table.row(&[name.into(), if ok { "PASS" } else { "FAIL" }.into()]);
+    };
+
+    // Own uncommitted changes visible.
+    let (idaa, mut s) = system(IdaaConfig::default());
+    idaa.execute(&mut s, "CREATE TABLE T (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO T VALUES (1)").unwrap();
+    let own = idaa.query(&mut s, "SELECT COUNT(*) FROM t").unwrap();
+    check("own uncommitted inserts visible", own.scalar().unwrap().render() == "1", &mut table);
+
+    // Not visible to a concurrent session (no dirty reads).
+    let mut other = idaa.session(SYSADM);
+    let theirs = idaa.query(&mut other, "SELECT COUNT(*) FROM t").unwrap();
+    check("no dirty reads across sessions", theirs.scalar().unwrap().render() == "0", &mut table);
+    idaa.execute(&mut s, "COMMIT").unwrap();
+
+    // Snapshot stability inside a transaction.
+    let mut reader = idaa.session(SYSADM);
+    idaa.execute(&mut reader, "BEGIN").unwrap();
+    idaa.execute(&mut reader, "INSERT INTO T VALUES (50)").unwrap(); // pin snapshot
+    let before = idaa.query(&mut reader, "SELECT COUNT(*) FROM t").unwrap();
+    idaa.execute(&mut s, "INSERT INTO T VALUES (2)").unwrap(); // concurrent commit
+    let after = idaa.query(&mut reader, "SELECT COUNT(*) FROM t").unwrap();
+    check(
+        "snapshot stable under concurrent commit",
+        before.scalar() == after.scalar(),
+        &mut table,
+    );
+    idaa.execute(&mut reader, "ROLLBACK").unwrap();
+
+    // Write-write conflict detection.
+    let mut a = idaa.session(SYSADM);
+    let mut b = idaa.session(SYSADM);
+    idaa.execute(&mut a, "BEGIN").unwrap();
+    idaa.execute(&mut b, "BEGIN").unwrap();
+    idaa.execute(&mut a, "DELETE FROM T WHERE X = 1").unwrap();
+    let conflict = idaa.execute(&mut b, "DELETE FROM T WHERE X = 1").is_err();
+    check("first-updater-wins conflict detected", conflict, &mut table);
+    idaa.execute(&mut a, "ROLLBACK").unwrap();
+    idaa.execute(&mut b, "ROLLBACK").unwrap();
+
+    // Cross-system atomic rollback.
+    idaa.execute(&mut s, "CREATE TABLE H (X INT)").unwrap();
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO H VALUES (1)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO T VALUES (9)").unwrap();
+    idaa.execute(&mut s, "ROLLBACK").unwrap();
+    let h = idaa.query(&mut s, "SELECT COUNT(*) FROM h").unwrap();
+    let t = idaa.query(&mut s, "SELECT COUNT(*) FROM t WHERE x = 9").unwrap();
+    check(
+        "rollback atomic across host and accelerator",
+        h.scalar().unwrap().render() == "0" && t.scalar().unwrap().render() == "0",
+        &mut table,
+    );
+
+    // 2PC prepare failure leaves both sides clean.
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO H VALUES (1)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO T VALUES (9)").unwrap();
+    idaa.faults.fail_next_prepare.store(true, std::sync::atomic::Ordering::Relaxed);
+    let failed = idaa.execute(&mut s, "COMMIT").is_err();
+    s.explicit_txn = false;
+    let h = idaa.query(&mut s, "SELECT COUNT(*) FROM h").unwrap();
+    let t = idaa.query(&mut s, "SELECT COUNT(*) FROM t WHERE x = 9").unwrap();
+    check(
+        "failed PREPARE rolls back all participants",
+        failed && h.scalar().unwrap().render() == "0" && t.scalar().unwrap().render() == "0",
+        &mut table,
+    );
+    table.print();
+}
+
+/// E7 — in-database analytics vs extract-to-client: k-means training.
+pub fn e7_in_database_analytics() {
+    banner("E7", "k-means: in-database (on accelerator) vs extract-to-client");
+    let mut table = Table::new(&[
+        "rows", "dims", "mode", "elapsed_ms", "bytes_moved", "wire_ms",
+    ]);
+    for rows in [10_000usize, 100_000, 300_000] {
+        for dims in [4usize, 8] {
+            let (idaa, mut s) = system(IdaaConfig::default());
+            idaa_analytics::deploy_all(&idaa, SYSADM).unwrap();
+            let cols: Vec<String> = (0..dims).map(|d| format!("F{d} DOUBLE")).collect();
+            idaa.execute(
+                &mut s,
+                &format!("CREATE TABLE PTS (ID INT, {}) IN ACCELERATOR", cols.join(", ")),
+            )
+            .unwrap();
+            let mut vals = Vec::new();
+            for i in 0..rows {
+                let fs: Vec<String> = (0..dims)
+                    .map(|d| {
+                        let center = if i % 3 == 0 { 0.0 } else if i % 3 == 1 { 10.0 } else { 20.0 };
+                        format!("{:.2}E0", center + ((i * (d + 3)) % 100) as f64 / 100.0)
+                    })
+                    .collect();
+                vals.push(format!("({i}, {})", fs.join(", ")));
+                if vals.len() == 1000 {
+                    idaa.execute(&mut s, &format!("INSERT INTO PTS VALUES {}", vals.join(", ")))
+                        .unwrap();
+                    vals.clear();
+                }
+            }
+            let col_list: Vec<String> = (0..dims).map(|d| format!("F{d}")).collect();
+            let col_arg = col_list.join(",");
+
+            // In-database: CALL runs on the accelerator; no data movement.
+            idaa.link().reset();
+            let (_, t_indb, link_indb) = measure(&idaa, || {
+                idaa.query(
+                    &mut s,
+                    &format!("CALL ANALYTICS.KMEANS('PTS', '{col_arg}', 3, 20, 'KM_OUT')"),
+                )
+                .unwrap()
+            });
+            table.row(&[
+                rows.to_string(),
+                dims.to_string(),
+                "in-database".into(),
+                ms(t_indb),
+                fmt_bytes(link_indb.total_bytes()),
+                ms(link_indb.wire_time),
+            ]);
+
+            // Client-side baseline: extract the matrix over the link, then
+            // run the identical algorithm "at the client".
+            idaa.link().reset();
+            let (_, t_client, link_client) = measure(&idaa, || {
+                let (matrix, _) = idaa_analytics::io::extract_matrix_to_client(
+                    &idaa,
+                    SYSADM,
+                    &idaa_common::ObjectName::bare("PTS"),
+                    &col_list,
+                )
+                .unwrap();
+                kmeans(&matrix, &KMeansConfig { k: 3, max_iter: 20, ..Default::default() })
+                    .unwrap()
+            });
+            table.row(&[
+                rows.to_string(),
+                dims.to_string(),
+                "extract-to-client".into(),
+                ms(t_client),
+                fmt_bytes(link_client.total_bytes()),
+                ms(link_client.wire_time),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// E8 — predictive scoring inside the accelerator vs at the client.
+pub fn e8_in_database_scoring() {
+    banner("E8", "naive-Bayes scoring: in-database vs extract-to-client");
+    let mut table = Table::new(&[
+        "score_rows", "mode", "elapsed_ms", "bytes_moved", "wire_ms",
+    ]);
+    for rows in [50_000usize, 200_000, 500_000] {
+        let (idaa, mut s) = system(IdaaConfig::default());
+        idaa_analytics::deploy_all(&idaa, SYSADM).unwrap();
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE OBS (ID INT, X DOUBLE, Y DOUBLE, LABEL VARCHAR(4)) IN ACCELERATOR",
+        )
+        .unwrap();
+        let mut vals = Vec::new();
+        for i in 0..rows {
+            let hi = i % 2 == 1;
+            let (cx, cy) = if hi { (8.0, 8.0) } else { (0.0, 0.0) };
+            vals.push(format!(
+                "({i}, {:.2}E0, {:.2}E0, '{}')",
+                cx + ((i * 53) % 100) as f64 / 100.0,
+                cy + ((i * 31) % 100) as f64 / 100.0,
+                if hi { "HI" } else { "LO" }
+            ));
+            if vals.len() == 1000 {
+                idaa.execute(&mut s, &format!("INSERT INTO OBS VALUES {}", vals.join(", ")))
+                    .unwrap();
+                vals.clear();
+            }
+        }
+        idaa.query(&mut s, "CALL ANALYTICS.NAIVEBAYES_TRAIN('OBS', 'LABEL', 'X,Y', 'NBM')")
+            .unwrap();
+
+        idaa.link().reset();
+        let (_, t_indb, link_indb) = measure(&idaa, || {
+            idaa.query(
+                &mut s,
+                "CALL ANALYTICS.NAIVEBAYES_SCORE('OBS', 'ID', 'X,Y', 'NBM', 'SCORES')",
+            )
+            .unwrap()
+        });
+        table.row(&[
+            rows.to_string(),
+            "in-database".into(),
+            ms(t_indb),
+            fmt_bytes(link_indb.total_bytes()),
+            ms(link_indb.wire_time),
+        ]);
+
+        idaa.link().reset();
+        let (_, t_client, link_client) = measure(&idaa, || {
+            let model = idaa_analytics::procedures::load_nb_model(
+                &idaa,
+                SYSADM,
+                &idaa_common::ObjectName::bare("NBM"),
+            )
+            .unwrap();
+            let (matrix, _) = idaa_analytics::io::extract_matrix_to_client(
+                &idaa,
+                SYSADM,
+                &idaa_common::ObjectName::bare("OBS"),
+                &["X".to_string(), "Y".to_string()],
+            )
+            .unwrap();
+            matrix.iter().map(|p| model.predict(p).0.to_string()).collect::<Vec<_>>()
+        });
+        table.row(&[
+            rows.to_string(),
+            "extract-to-client".into(),
+            ms(t_client),
+            fmt_bytes(link_client.total_bytes()),
+            ms(link_client.wire_time),
+        ]);
+    }
+    table.print();
+}
+
+/// E9 — ablation: replication batch size vs messages/bytes/latency.
+pub fn e9_replication_batch() {
+    banner("E9", "replication batch-size ablation (20k single-row commits)");
+    const CHANGES: usize = 20_000;
+    let mut table = Table::new(&[
+        "batch", "apply_ms", "msgs", "bytes", "wire_ms",
+    ]);
+    for batch in [1usize, 32, 1024, 32_768] {
+        let (idaa, mut s) = system(IdaaConfig {
+            replication_batch: batch,
+            auto_replicate: false,
+            ..Default::default()
+        });
+        idaa.execute(&mut s, "CREATE TABLE T (K INT, V INT)").unwrap();
+        accelerate(&idaa, &mut s, "T");
+        let mut vals = Vec::new();
+        for i in 0..CHANGES {
+            vals.push(format!("({i}, {})", i % 100));
+            if vals.len() == 1000 {
+                idaa.execute(&mut s, &format!("INSERT INTO T VALUES {}", vals.join(", ")))
+                    .unwrap();
+                vals.clear();
+            }
+        }
+        idaa.link().reset();
+        let (applied, t, link) = measure(&idaa, || idaa.replicate_now().unwrap());
+        assert_eq!(applied, CHANGES);
+        table.row(&[
+            batch.to_string(),
+            ms(t),
+            link.total_messages().to_string(),
+            fmt_bytes(link.total_bytes()),
+            ms(link.wire_time),
+        ]);
+    }
+    table.print();
+}
+
+/// E10 — accelerator internals ablation: zone maps, slice parallelism,
+/// groom after churn.
+pub fn e10_accelerator_ablation() {
+    banner("E10", "accelerator ablation: zone maps, data slices, groom");
+    const ROWS: usize = 1_000_000;
+    let selective = "SELECT COUNT(*), SUM(v) FROM big WHERE k < 1000";
+
+    let build = |slices: usize, zone_maps: bool| -> (Idaa, Session) {
+        let cfg = IdaaConfig {
+            accel: idaa_accel::AccelConfig { slices, zone_maps, parallel: true },
+            ..Default::default()
+        };
+        let (idaa, mut s) = system(cfg);
+        idaa.execute(&mut s, "CREATE TABLE BIG (K INT, V INT) IN ACCELERATOR DISTRIBUTE BY HASH(K)")
+            .unwrap();
+        // Load sorted data directly (zone maps love clustering).
+        let rows: Vec<idaa_common::Row> = (0..ROWS)
+            .map(|i| vec![idaa_common::Value::Int(i as i32), idaa_common::Value::Int((i % 997) as i32)])
+            .collect();
+        idaa.accel().load_committed(&idaa_common::ObjectName::bare("BIG"), rows).unwrap();
+        (idaa, s)
+    };
+
+    let mut table = Table::new(&["slices", "zone_maps", "query_ms", "blocks_pruned"]);
+    for slices in [1usize, 2, 4, 8] {
+        for zones in [true, false] {
+            let (idaa, mut s) = build(slices, zones);
+            idaa.query(&mut s, selective).unwrap(); // warm
+            let pruned0 = idaa.accel().stats.blocks_pruned.load(std::sync::atomic::Ordering::Relaxed);
+            let (_, t, _) = measure(&idaa, || idaa.query(&mut s, selective).unwrap());
+            let pruned = idaa.accel().stats.blocks_pruned.load(std::sync::atomic::Ordering::Relaxed)
+                - pruned0;
+            table.row(&[
+                slices.to_string(),
+                zones.to_string(),
+                ms(t),
+                pruned.to_string(),
+            ]);
+        }
+    }
+    table.print();
+
+    // Groom effect after churn.
+    let (idaa, mut s) = build(4, true);
+    idaa.execute(&mut s, "DELETE FROM BIG WHERE V < 500").unwrap();
+    let full = "SELECT COUNT(*) FROM big";
+    let (_, before, _) = measure(&idaa, || idaa.query(&mut s, full).unwrap());
+    let groomed = idaa.accel().groom_all();
+    let (_, after, _) = measure(&idaa, || idaa.query(&mut s, full).unwrap());
+    let mut t2 = Table::new(&["phase", "scan_ms", "versions_groomed"]);
+    t2.row(&["after 50% delete".into(), ms(before), "0".into()]);
+    t2.row(&["after GROOM".into(), ms(after), groomed.to_string()]);
+    t2.print();
+}
+
+/// E11 — governance path overhead: DB2-side privilege checks on the
+/// delegation path.
+pub fn e11_governance_overhead() {
+    banner("E11", "governance: DB2 privilege-check overhead on delegated work");
+    let (idaa, mut s) = system(IdaaConfig::default());
+    idaa_analytics::deploy_all(&idaa, SYSADM).unwrap();
+    seed_sales(&idaa, &mut s, 20_000);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    idaa.execute(&mut s, "GRANT SELECT ON SALES TO ANALYST").unwrap();
+    idaa.execute(&mut s, "GRANT EXECUTE ON ANALYTICS.DESCRIBE TO ANALYST").unwrap();
+
+    // Raw privilege-check latency.
+    const CHECKS: usize = 100_000;
+    let table_name = idaa_common::ObjectName::qualified("APP", "SALES");
+    let t0 = Instant::now();
+    for _ in 0..CHECKS {
+        idaa.host()
+            .privileges
+            .read()
+            .check("ANALYST", &table_name, Privilege::Select)
+            .unwrap();
+    }
+    let per_check = t0.elapsed().as_secs_f64() * 1e9 / CHECKS as f64;
+
+    // Authorized vs rejected CALL latency.
+    let mut analyst = idaa.session("ANALYST");
+    let (_, t_ok, _) = measure(&idaa, || {
+        idaa.query(&mut analyst, "CALL ANALYTICS.DESCRIBE('SALES', 'SALES_STATS')").unwrap()
+    });
+    let mut intruder = idaa.session("INTRUDER");
+    let t1 = Instant::now();
+    const REJECTS: usize = 1000;
+    for _ in 0..REJECTS {
+        let _ = idaa
+            .query(&mut intruder, "CALL ANALYTICS.DESCRIBE('SALES', 'X')")
+            .unwrap_err();
+    }
+    let per_reject = t1.elapsed().as_secs_f64() * 1e6 / REJECTS as f64;
+
+    // Query-path overhead: offloaded query as admin (owner fast path) vs
+    // as grantee (grant lookup).
+    let q = "SELECT COUNT(*) FROM sales WHERE qty = 3";
+    let (_, t_admin, _) = measure(&idaa, || idaa.query(&mut s, q).unwrap());
+    idaa.execute(&mut analyst, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    let (_, t_analyst, _) = measure(&idaa, || idaa.query(&mut analyst, q).unwrap());
+
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(&["privilege check".into(), format!("{per_check:.0} ns")]);
+    table.row(&["authorized CALL (DESCRIBE 20k rows)".into(), format!("{} ms", ms(t_ok))]);
+    table.row(&["rejected CALL".into(), format!("{per_reject:.1} us")]);
+    table.row(&["offloaded query as admin".into(), format!("{} ms", ms(t_admin))]);
+    table.row(&["offloaded query as grantee".into(), format!("{} ms", ms(t_analyst))]);
+    table.print();
+}
+
+/// E12 — the paper's end-to-end scenario: social-media-enriched churn
+/// pipeline, legacy (no AOT, client-side mining) vs extended IDAA.
+pub fn e12_end_to_end_scenario() {
+    banner("E12", "end-to-end churn scenario: legacy vs extended IDAA");
+    const CUSTOMERS: usize = 5_000;
+    const EVENTS: usize = 50_000;
+
+    let build = || -> (Idaa, Session) {
+        let (idaa, mut s) = system(IdaaConfig::default());
+        idaa_analytics::deploy_all(&idaa, SYSADM).unwrap();
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE CUSTOMERS (CUST_ID INT NOT NULL, TENURE_M INT, MONTHLY DOUBLE, \
+             SUPPORT_CALLS INT, CHURNED VARCHAR(3))",
+        )
+        .unwrap();
+        let mut vals = Vec::new();
+        for i in 0..CUSTOMERS as i64 {
+            let tenure = (i * 37 % 72) + 1;
+            let calls = (i * 13) % 9;
+            let churned = if tenure < 12 && calls > 4 { "YES" } else { "NO" };
+            vals.push(format!("({i}, {tenure}, {}.0E0, {calls}, '{churned}')", 20 + i % 80));
+            if vals.len() == 1000 {
+                idaa.execute(&mut s, &format!("INSERT INTO CUSTOMERS VALUES {}", vals.join(", ")))
+                    .unwrap();
+                vals.clear();
+            }
+        }
+        accelerate(&idaa, &mut s, "CUSTOMERS");
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        (idaa, s)
+    };
+
+    let feature_sql = "SELECT c.cust_id, CAST(c.tenure_m AS DOUBLE) AS TENURE_M, c.monthly, \
+                CAST(c.support_calls AS DOUBLE) AS SUPPORT_CALLS, \
+                COALESCE(CAST(a.neg_posts AS DOUBLE), 0.0E0) AS NEG_POSTS, c.churned \
+         FROM customers c LEFT JOIN social_agg a ON c.cust_id = a.cust_id".to_string();
+    let agg_sql = format!(
+        "SELECT cust_id % {CUSTOMERS} AS CUST_ID, \
+                CAST(SUM(CASE WHEN sentiment < 0 THEN 1 ELSE 0 END) AS INT) AS NEG_POSTS \
+         FROM social GROUP BY cust_id % {CUSTOMERS}"
+    );
+
+    let mut table = Table::new(&["mode", "elapsed_ms", "bytes_moved", "msgs", "wire_ms"]);
+
+    // --- Extended IDAA: direct load + AOT stages + in-database mining -----
+    {
+        let (idaa, mut s) = build();
+        idaa.link().reset();
+        let t0 = Instant::now();
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE SOCIAL (EVENT_ID INT, CUST_ID INT, TOPIC VARCHAR(10), \
+             SENTIMENT DOUBLE, POSTED_AT TIMESTAMP) IN ACCELERATOR",
+        )
+        .unwrap();
+        Loader::new(SYSADM)
+            .load(
+                &idaa,
+                Box::new(EventSource::new(EVENTS, 5)),
+                &idaa_common::ObjectName::bare("SOCIAL"),
+                LoadTarget::AcceleratorDirect,
+            )
+            .unwrap();
+        let p = Pipeline::new()
+            .stage("SOCIAL_AGG", &agg_sql)
+            .stage("FEATURES", &feature_sql);
+        p.run(&idaa, &mut s, PipelineMode::AcceleratorOnly).unwrap();
+        idaa.query(
+            &mut s,
+            "CALL ANALYTICS.DECTREE_TRAIN('FEATURES', 'CHURNED', \
+             'TENURE_M,MONTHLY,SUPPORT_CALLS,NEG_POSTS', 'MODEL', 5)",
+        )
+        .unwrap();
+        idaa.query(
+            &mut s,
+            "CALL ANALYTICS.DECTREE_SCORE('FEATURES', 'CUST_ID', \
+             'TENURE_M,MONTHLY,SUPPORT_CALLS,NEG_POSTS', 'MODEL', 'SCORES')",
+        )
+        .unwrap();
+        let link = idaa.link().metrics();
+        table.row(&[
+            "extended IDAA (AOT + in-DB)".into(),
+            ms(t0.elapsed()),
+            fmt_bytes(link.total_bytes()),
+            link.total_messages().to_string(),
+            ms(link.wire_time),
+        ]);
+    }
+
+    // --- Legacy: load via DB2, materialize stages in DB2, mine client-side
+    {
+        let (idaa, mut s) = build();
+        idaa.link().reset();
+        let t0 = Instant::now();
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE SOCIAL (EVENT_ID INT, CUST_ID INT, TOPIC VARCHAR(10), \
+             SENTIMENT DOUBLE, POSTED_AT TIMESTAMP)",
+        )
+        .unwrap();
+        accelerate(&idaa, &mut s, "SOCIAL");
+        Loader::new(SYSADM)
+            .load(
+                &idaa,
+                Box::new(EventSource::new(EVENTS, 5)),
+                &idaa_common::ObjectName::bare("SOCIAL"),
+                LoadTarget::Db2,
+            )
+            .unwrap();
+        let p = Pipeline::new()
+            .stage("SOCIAL_AGG", &agg_sql)
+            .stage("FEATURES", &feature_sql);
+        p.run(&idaa, &mut s, PipelineMode::MaterializeInDb2).unwrap();
+        // Client-side mining: extract features over the link, train and
+        // score locally.
+        let cols: Vec<String> =
+            ["TENURE_M", "MONTHLY", "SUPPORT_CALLS", "NEG_POSTS"].iter().map(|c| c.to_string()).collect();
+        let (schema, rows) = idaa_analytics::io::read_accel_table(
+            &idaa,
+            SYSADM,
+            &idaa_common::ObjectName::bare("FEATURES"),
+        )
+        .unwrap();
+        // Charge the extract to the link (client-side baseline).
+        let bytes: usize = rows
+            .iter()
+            .map(|r| r.iter().map(idaa_common::Value::wire_size).sum::<usize>() + 4)
+            .sum();
+        idaa.link().transfer(idaa_netsim::Direction::ToHost, bytes + 64);
+        let (matrix, _) = idaa_analytics::io::numeric_matrix(&schema, &rows, &cols).unwrap();
+        let labels = idaa_analytics::io::label_column(&schema, &rows, "CHURNED").unwrap();
+        let model = idaa_analytics::dectree::train(
+            &matrix,
+            &labels,
+            &idaa_analytics::dectree::TreeConfig { max_depth: 5, ..Default::default() },
+        )
+        .unwrap();
+        let _scores: Vec<&str> = matrix.iter().map(|p| model.predict(p)).collect();
+        let link = idaa.link().metrics();
+        table.row(&[
+            "legacy (materialize + client)".into(),
+            ms(t0.elapsed()),
+            fmt_bytes(link.total_bytes()),
+            link.total_messages().to_string(),
+            ms(link.wire_time),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,306 @@
+//! Fixed-point `DECIMAL(p,s)` arithmetic.
+//!
+//! DB2's `DECIMAL` is pervasive in the ELT workloads the paper targets, so
+//! the reproduction models it properly instead of falling back to `f64`.
+//! A [`Decimal`] is an `i128` count of scale units; arithmetic aligns scales
+//! the way DB2 does (result scale = max input scale for `+`/`-`, sum of
+//! scales for `*`, dividend scale for `/` after rescaling).
+
+use crate::error::{Error, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Maximum supported scale (digits right of the decimal point).
+pub const MAX_SCALE: u8 = 31;
+
+/// A fixed-point decimal number: `units * 10^-scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal {
+    units: i128,
+    scale: u8,
+}
+
+fn pow10(n: u8) -> i128 {
+    10i128.pow(n as u32)
+}
+
+impl Decimal {
+    /// Build from raw units and scale.
+    pub fn new(units: i128, scale: u8) -> Self {
+        Decimal { units, scale }
+    }
+
+    /// Build from an integer (scale 0).
+    pub fn from_int(v: i64) -> Self {
+        Decimal { units: v as i128, scale: 0 }
+    }
+
+    /// Raw unit count.
+    pub fn units(&self) -> i128 {
+        self.units
+    }
+
+    /// Scale (digits right of the point).
+    pub fn scale(&self) -> u8 {
+        self.scale
+    }
+
+    /// Approximate `f64` value (used when mixing DECIMAL and DOUBLE).
+    pub fn to_f64(&self) -> f64 {
+        self.units as f64 / pow10(self.scale) as f64
+    }
+
+    /// Truncate toward zero to an `i64`, as DB2 does when casting to
+    /// INTEGER family types.
+    pub fn to_i64_trunc(&self) -> i64 {
+        (self.units / pow10(self.scale)) as i64
+    }
+
+    /// Rescale to `scale`, truncating extra fractional digits (DB2 CAST
+    /// semantics truncate rather than round).
+    pub fn rescale(&self, scale: u8) -> Result<Decimal> {
+        if scale > MAX_SCALE {
+            return Err(Error::Arithmetic(format!("decimal scale {scale} exceeds maximum {MAX_SCALE}")));
+        }
+        let units = match scale.cmp(&self.scale) {
+            Ordering::Equal => self.units,
+            Ordering::Greater => self
+                .units
+                .checked_mul(pow10(scale - self.scale))
+                .ok_or_else(|| Error::Arithmetic("decimal overflow during rescale".into()))?,
+            Ordering::Less => self.units / pow10(self.scale - scale),
+        };
+        Ok(Decimal { units, scale })
+    }
+
+    fn aligned(a: &Decimal, b: &Decimal) -> Result<(i128, i128, u8)> {
+        let scale = a.scale.max(b.scale);
+        Ok((a.rescale(scale)?.units, b.rescale(scale)?.units, scale))
+    }
+
+    /// Checked addition with DB2 scale alignment.
+    pub fn add(&self, other: &Decimal) -> Result<Decimal> {
+        let (a, b, scale) = Self::aligned(self, other)?;
+        let units = a
+            .checked_add(b)
+            .ok_or_else(|| Error::Arithmetic("decimal overflow in addition".into()))?;
+        Ok(Decimal { units, scale })
+    }
+
+    /// Checked subtraction with DB2 scale alignment.
+    pub fn sub(&self, other: &Decimal) -> Result<Decimal> {
+        let (a, b, scale) = Self::aligned(self, other)?;
+        let units = a
+            .checked_sub(b)
+            .ok_or_else(|| Error::Arithmetic("decimal overflow in subtraction".into()))?;
+        Ok(Decimal { units, scale })
+    }
+
+    /// Checked multiplication; result scale is the sum of scales, capped at
+    /// [`MAX_SCALE`] with truncation (mirrors DB2's scale arithmetic).
+    pub fn mul(&self, other: &Decimal) -> Result<Decimal> {
+        let units = self
+            .units
+            .checked_mul(other.units)
+            .ok_or_else(|| Error::Arithmetic("decimal overflow in multiplication".into()))?;
+        let raw_scale = self.scale as u16 + other.scale as u16;
+        let d = Decimal { units, scale: raw_scale.min(MAX_SCALE as u16) as u8 };
+        if raw_scale > MAX_SCALE as u16 {
+            // The overflowed digits were already merged into `units`; divide
+            // them back out.
+            let excess = (raw_scale - MAX_SCALE as u16) as u8;
+            return Ok(Decimal { units: units / pow10(excess), scale: MAX_SCALE });
+        }
+        Ok(d)
+    }
+
+    /// Checked division. The result keeps `max(scale_a, scale_b) + 6` digits
+    /// of scale (a pragmatic stand-in for DB2's 15-digit rule), truncated.
+    pub fn div(&self, other: &Decimal) -> Result<Decimal> {
+        if other.units == 0 {
+            return Err(Error::Arithmetic("division by zero".into()));
+        }
+        let scale = (self.scale.max(other.scale) + 6).min(MAX_SCALE);
+        // numerator * 10^(scale + other.scale - self.scale) / other.units
+        let shift = scale + other.scale - self.scale.min(scale + other.scale);
+        let num = self
+            .units
+            .checked_mul(pow10(shift))
+            .ok_or_else(|| Error::Arithmetic("decimal overflow in division".into()))?;
+        Ok(Decimal { units: num / other.units, scale })
+    }
+
+    /// Unary negation.
+    pub fn neg(&self) -> Decimal {
+        Decimal { units: -self.units, scale: self.scale }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Decimal {
+        Decimal { units: self.units.abs(), scale: self.scale }
+    }
+
+    /// True if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.units == 0
+    }
+
+    /// Parse a decimal literal such as `-12.345`.
+    pub fn parse(text: &str) -> Result<Decimal> {
+        let text = text.trim();
+        let (neg, digits) = match text.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, text.strip_prefix('+').unwrap_or(text)),
+        };
+        let (int_part, frac_part) = match digits.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (digits, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(Error::Parse(format!("invalid decimal literal '{text}'")));
+        }
+        if frac_part.len() > MAX_SCALE as usize {
+            return Err(Error::Parse(format!("decimal literal '{text}' exceeds maximum scale {MAX_SCALE}")));
+        }
+        let mut units: i128 = 0;
+        for c in int_part.chars().chain(frac_part.chars()) {
+            let d = c
+                .to_digit(10)
+                .ok_or_else(|| Error::Parse(format!("invalid decimal literal '{text}'")))? as i128;
+            units = units
+                .checked_mul(10)
+                .and_then(|u| u.checked_add(d))
+                .ok_or_else(|| Error::Arithmetic(format!("decimal literal '{text}' overflows")))?;
+        }
+        if neg {
+            units = -units;
+        }
+        Ok(Decimal { units, scale: frac_part.len() as u8 })
+    }
+
+    /// Total-order comparison after scale alignment. Saturates (rather than
+    /// erroring) on the pathological rescale-overflow case, since ordering
+    /// must be total for sorting.
+    pub fn compare(&self, other: &Decimal) -> Ordering {
+        match Self::aligned(self, other) {
+            Ok((a, b, _)) => a.cmp(&b),
+            Err(_) => self.to_f64().partial_cmp(&other.to_f64()).unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.compare(other)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.units);
+        }
+        let sign = if self.units < 0 { "-" } else { "" };
+        let abs = self.units.unsigned_abs();
+        let p = pow10(self.scale) as u128;
+        write!(f, "{}{}.{:0width$}", sign, abs / p, abs % p, width = self.scale as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "1", "-1", "12.50", "-0.05", "123456789.123456"] {
+            let d = Decimal::parse(s).unwrap();
+            assert_eq!(d.to_string(), s.trim_start_matches('+'));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Decimal::parse("abc").is_err());
+        assert!(Decimal::parse("").is_err());
+        assert!(Decimal::parse("1.2.3").is_err());
+        assert!(Decimal::parse(".").is_err());
+    }
+
+    #[test]
+    fn addition_aligns_scales() {
+        let a = Decimal::parse("1.5").unwrap();
+        let b = Decimal::parse("2.25").unwrap();
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.to_string(), "3.75");
+        assert_eq!(c.scale(), 2);
+    }
+
+    #[test]
+    fn subtraction_can_go_negative() {
+        let a = Decimal::parse("1.00").unwrap();
+        let b = Decimal::parse("2.5").unwrap();
+        assert_eq!(a.sub(&b).unwrap().to_string(), "-1.50");
+    }
+
+    #[test]
+    fn multiplication_sums_scales() {
+        let a = Decimal::parse("1.5").unwrap();
+        let b = Decimal::parse("0.25").unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.to_string(), "0.375");
+        assert_eq!(c.scale(), 3);
+    }
+
+    #[test]
+    fn division_truncates() {
+        let a = Decimal::parse("1").unwrap();
+        let b = Decimal::parse("3").unwrap();
+        let c = a.div(&b).unwrap();
+        assert_eq!(c.to_string(), "0.333333");
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let a = Decimal::from_int(1);
+        let b = Decimal::from_int(0);
+        assert!(matches!(a.div(&b), Err(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn comparison_across_scales() {
+        let a = Decimal::parse("1.50").unwrap();
+        let b = Decimal::parse("1.5").unwrap();
+        assert_eq!(a.compare(&b), Ordering::Equal);
+        assert!(Decimal::parse("2.1").unwrap() > Decimal::parse("2.09").unwrap());
+        assert!(Decimal::parse("-3").unwrap() < Decimal::parse("0.001").unwrap());
+    }
+
+    #[test]
+    fn rescale_truncates_not_rounds() {
+        let d = Decimal::parse("1.999").unwrap();
+        assert_eq!(d.rescale(1).unwrap().to_string(), "1.9");
+        assert_eq!(d.rescale(5).unwrap().to_string(), "1.99900");
+    }
+
+    #[test]
+    fn cast_to_i64_truncates_toward_zero() {
+        assert_eq!(Decimal::parse("2.9").unwrap().to_i64_trunc(), 2);
+        assert_eq!(Decimal::parse("-2.9").unwrap().to_i64_trunc(), -2);
+    }
+
+    #[test]
+    fn neg_abs_zero() {
+        let d = Decimal::parse("-4.2").unwrap();
+        assert_eq!(d.neg().to_string(), "4.2");
+        assert_eq!(d.abs().to_string(), "4.2");
+        assert!(!d.is_zero());
+        assert!(Decimal::parse("0.00").unwrap().is_zero());
+    }
+}

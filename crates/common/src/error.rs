@@ -1,0 +1,162 @@
+//! Workspace-wide error type.
+//!
+//! Error variants carry a DB2-compatible SQLCODE analogue where one exists,
+//! so tests and applications can assert on the same negative codes a real
+//! DB2 for z/OS installation would surface (e.g. `-204` undefined object,
+//! `-551` missing privilege, `-4742` invalid accelerator table mix).
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All errors produced anywhere in the idaa-rs stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// SQL text could not be tokenized or parsed. SQLCODE -104.
+    Parse(String),
+    /// Referenced object (table, column, index, procedure) does not exist.
+    /// SQLCODE -204.
+    UndefinedObject(String),
+    /// Object already exists. SQLCODE -601.
+    AlreadyExists(String),
+    /// Column not found or ambiguous. SQLCODE -206.
+    UndefinedColumn(String),
+    /// Authorization failure: the current user lacks a required privilege.
+    /// SQLCODE -551.
+    Privilege(String),
+    /// A statement mixes accelerator-only tables with tables that are not
+    /// available on the accelerator, or is otherwise not executable in the
+    /// required location. SQLCODE -4742.
+    InvalidAcceleratorUse(String),
+    /// The statement is valid SQL but not eligible for acceleration while
+    /// `CURRENT QUERY ACCELERATION` demands it. SQLCODE -4742 (reason 13).
+    NotOffloadable(String),
+    /// NOT NULL or type constraint violated. SQLCODE -407.
+    Constraint(String),
+    /// Type error during evaluation (incomparable/uncastable values).
+    /// SQLCODE -420.
+    TypeMismatch(String),
+    /// Arithmetic error such as division by zero or overflow. SQLCODE -802.
+    Arithmetic(String),
+    /// Deadlock or lock timeout. SQLCODE -911/-913.
+    LockTimeout(String),
+    /// Transaction state error (e.g. operating on an aborted transaction).
+    TransactionState(String),
+    /// The two-phase commit protocol failed; the transaction was rolled
+    /// back on all participants.
+    CommitFailed(String),
+    /// A feature that exists in full DB2/IDAA but is outside this
+    /// reproduction's dialect subset.
+    Unsupported(String),
+    /// Loader-side ingestion error (malformed record, source failure).
+    Load(String),
+    /// Invariant violation inside the engine — always a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// DB2-style SQLCODE analogue for this error, when one applies.
+    pub fn sqlcode(&self) -> i32 {
+        match self {
+            Error::Parse(_) => -104,
+            Error::UndefinedObject(_) => -204,
+            Error::AlreadyExists(_) => -601,
+            Error::UndefinedColumn(_) => -206,
+            Error::Privilege(_) => -551,
+            Error::InvalidAcceleratorUse(_) => -4742,
+            Error::NotOffloadable(_) => -4742,
+            Error::Constraint(_) => -407,
+            Error::TypeMismatch(_) => -420,
+            Error::Arithmetic(_) => -802,
+            Error::LockTimeout(_) => -913,
+            Error::TransactionState(_) => -918,
+            Error::CommitFailed(_) => -926,
+            Error::Unsupported(_) => -84,
+            Error::Load(_) => -103,
+            Error::Internal(_) => -901,
+        }
+    }
+
+    /// Short classification keyword, useful in logs and test assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::UndefinedObject(_) => "undefined_object",
+            Error::AlreadyExists(_) => "already_exists",
+            Error::UndefinedColumn(_) => "undefined_column",
+            Error::Privilege(_) => "privilege",
+            Error::InvalidAcceleratorUse(_) => "invalid_accelerator_use",
+            Error::NotOffloadable(_) => "not_offloadable",
+            Error::Constraint(_) => "constraint",
+            Error::TypeMismatch(_) => "type_mismatch",
+            Error::Arithmetic(_) => "arithmetic",
+            Error::LockTimeout(_) => "lock_timeout",
+            Error::TransactionState(_) => "transaction_state",
+            Error::CommitFailed(_) => "commit_failed",
+            Error::Unsupported(_) => "unsupported",
+            Error::Load(_) => "load",
+            Error::Internal(_) => "internal",
+        }
+    }
+
+    /// Helper for `Error::Internal` with formatted message.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            Error::Parse(m)
+            | Error::UndefinedObject(m)
+            | Error::AlreadyExists(m)
+            | Error::UndefinedColumn(m)
+            | Error::Privilege(m)
+            | Error::InvalidAcceleratorUse(m)
+            | Error::NotOffloadable(m)
+            | Error::Constraint(m)
+            | Error::TypeMismatch(m)
+            | Error::Arithmetic(m)
+            | Error::LockTimeout(m)
+            | Error::TransactionState(m)
+            | Error::CommitFailed(m)
+            | Error::Unsupported(m)
+            | Error::Load(m)
+            | Error::Internal(m) => m,
+        };
+        write!(f, "SQLCODE {} [{}]: {}", self.sqlcode(), self.kind(), msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqlcodes_match_db2_analogues() {
+        assert_eq!(Error::UndefinedObject("t".into()).sqlcode(), -204);
+        assert_eq!(Error::Privilege("p".into()).sqlcode(), -551);
+        assert_eq!(Error::InvalidAcceleratorUse("x".into()).sqlcode(), -4742);
+        assert_eq!(Error::AlreadyExists("t".into()).sqlcode(), -601);
+        assert_eq!(Error::Constraint("c".into()).sqlcode(), -407);
+    }
+
+    #[test]
+    fn display_includes_code_kind_and_message() {
+        let e = Error::Privilege("user BOB lacks SELECT on SALES".into());
+        let s = e.to_string();
+        assert!(s.contains("-551"));
+        assert!(s.contains("privilege"));
+        assert!(s.contains("BOB"));
+    }
+
+    #[test]
+    fn kind_is_stable() {
+        assert_eq!(Error::Parse("x".into()).kind(), "parse");
+        assert_eq!(Error::NotOffloadable("x".into()).kind(), "not_offloadable");
+    }
+}

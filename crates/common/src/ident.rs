@@ -1,0 +1,78 @@
+//! SQL object identifiers.
+//!
+//! DB2 folds unquoted identifiers to upper case; we follow that rule at
+//! parse time, so identifiers here are stored already-normalized.
+
+use std::fmt;
+
+/// A (possibly schema-qualified) object name, e.g. `SALES` or `DWH.SALES`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectName {
+    /// Optional schema qualifier.
+    pub schema: Option<String>,
+    /// Unqualified object name.
+    pub name: String,
+}
+
+impl ObjectName {
+    /// Unqualified name.
+    pub fn bare(name: impl Into<String>) -> Self {
+        ObjectName { schema: None, name: normalize(&name.into()) }
+    }
+
+    /// Schema-qualified name.
+    pub fn qualified(schema: impl Into<String>, name: impl Into<String>) -> Self {
+        ObjectName { schema: Some(normalize(&schema.into())), name: normalize(&name.into()) }
+    }
+
+    /// Catalog key: schema-qualified names resolve as-is; bare names resolve
+    /// in the given default schema.
+    pub fn resolve(&self, default_schema: &str) -> ObjectName {
+        match &self.schema {
+            Some(_) => self.clone(),
+            None => ObjectName { schema: Some(default_schema.to_string()), name: self.name.clone() },
+        }
+    }
+}
+
+/// Uppercase-fold an identifier the way DB2 treats unquoted identifiers.
+pub fn normalize(s: &str) -> String {
+    s.to_ascii_uppercase()
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.schema {
+            Some(s) => write!(f, "{}.{}", s, self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for ObjectName {
+    fn from(s: &str) -> Self {
+        match s.split_once('.') {
+            Some((schema, name)) => ObjectName::qualified(schema, name),
+            None => ObjectName::bare(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_fold_to_upper() {
+        assert_eq!(ObjectName::bare("sales").name, "SALES");
+        assert_eq!(ObjectName::from("dwh.sales").to_string(), "DWH.SALES");
+    }
+
+    #[test]
+    fn resolve_applies_default_schema() {
+        let n = ObjectName::bare("T1").resolve("APP");
+        assert_eq!(n.to_string(), "APP.T1");
+        let q = ObjectName::qualified("X", "T1").resolve("APP");
+        assert_eq!(q.to_string(), "X.T1");
+    }
+}

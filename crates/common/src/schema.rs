@@ -1,0 +1,208 @@
+//! Table schemas: ordered, named, typed columns.
+
+use crate::error::{Error, Result};
+use crate::types::DataType;
+use crate::value::Value;
+use std::fmt;
+
+/// One column of a table or derived result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Upper-cased column name.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// `NOT NULL` constraint.
+    pub not_null: bool,
+}
+
+impl ColumnDef {
+    /// Nullable column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef { name: crate::ident::normalize(&name.into()), data_type, not_null: false }
+    }
+
+    /// NOT NULL column.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef { name: crate::ident::normalize(&name.into()), data_type, not_null: true }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names (SQLCODE -612
+    /// analogue surfaces as `AlreadyExists`).
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Schema> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(Error::AlreadyExists(format!("duplicate column {}", c.name)));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Build a schema without the duplicate-name check. Result sets may
+    /// legitimately carry duplicate column names (`SELECT a, a FROM t`), so
+    /// derived schemas use this constructor; base-table DDL must not.
+    pub fn new_unchecked(columns: Vec<ColumnDef>) -> Schema {
+        Schema { columns }
+    }
+
+    /// Columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Ordinal of `name` (already-normalized or not).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        let norm = crate::ident::normalize(name);
+        self.columns
+            .iter()
+            .position(|c| c.name == norm)
+            .ok_or_else(|| Error::UndefinedColumn(format!("column {norm} not found")))
+    }
+
+    /// Column def by name.
+    pub fn column(&self, name: &str) -> Result<&ColumnDef> {
+        Ok(&self.columns[self.index_of(name)?])
+    }
+
+    /// Validate a row against this schema: arity, NOT NULL, and value/type
+    /// compatibility; coerces values to the declared column types
+    /// (e.g. INT literal into a DECIMAL column, CHAR padding).
+    pub fn check_row(&self, values: &[Value]) -> Result<Vec<Value>> {
+        if values.len() != self.columns.len() {
+            return Err(Error::Constraint(format!(
+                "row has {} values but table has {} columns",
+                values.len(),
+                self.columns.len()
+            )));
+        }
+        self.columns
+            .iter()
+            .zip(values)
+            .map(|(col, v)| {
+                if v.is_null() {
+                    if col.not_null {
+                        return Err(Error::Constraint(format!(
+                            "NULL not allowed in NOT NULL column {}",
+                            col.name
+                        )));
+                    }
+                    return Ok(Value::Null);
+                }
+                v.cast(col.data_type)
+            })
+            .collect()
+    }
+
+    /// Byte width of one row on the wire (used for cost estimation before
+    /// actual values exist).
+    pub fn estimated_row_width(&self) -> usize {
+        self.columns.iter().map(|c| 1 + c.data_type.storage_width()).sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+            if c.not_null {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::not_null("id", DataType::Integer),
+            ColumnDef::new("name", DataType::Varchar(10)),
+            ColumnDef::new("amount", DataType::Decimal(10, 2)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = Schema::new(vec![
+            ColumnDef::new("a", DataType::Integer),
+            ColumnDef::new("A", DataType::Integer),
+        ]);
+        assert!(matches!(r, Err(Error::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("ID").unwrap(), 0);
+        assert_eq!(s.index_of("name").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn check_row_enforces_arity() {
+        let s = schema();
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn check_row_enforces_not_null() {
+        let s = schema();
+        let r = s.check_row(&[Value::Null, Value::Null, Value::Null]);
+        assert!(matches!(r, Err(Error::Constraint(_))));
+    }
+
+    #[test]
+    fn check_row_coerces_types() {
+        let s = schema();
+        let row = s
+            .check_row(&[Value::BigInt(7), Value::Varchar("bob".into()), Value::Int(3)])
+            .unwrap();
+        assert_eq!(row[0], Value::Int(7));
+        assert_eq!(row[2].render(), "3.00");
+    }
+
+    #[test]
+    fn check_row_rejects_oversize_varchar() {
+        let s = schema();
+        let r = s.check_row(&[
+            Value::Int(1),
+            Value::Varchar("0123456789ABC".into()),
+            Value::Null,
+        ]);
+        assert!(matches!(r, Err(Error::Constraint(_))));
+    }
+
+    #[test]
+    fn display_renders_ddl_fragment() {
+        assert_eq!(
+            schema().to_string(),
+            "(ID INTEGER NOT NULL, NAME VARCHAR(10), AMOUNT DECIMAL(10,2))"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! SQL data types of the supported dialect subset and their coercion rules.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A SQL data type as declared in DDL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Boolean,
+    SmallInt,
+    Integer,
+    BigInt,
+    /// 8-byte IEEE double (`DOUBLE` / `FLOAT` in DB2).
+    Double,
+    /// `DECIMAL(precision, scale)`.
+    Decimal(u8, u8),
+    /// `VARCHAR(n)` — `n` is advisory; we store the declared bound for DDL
+    /// fidelity and enforce it on insert like DB2 does (SQLCODE -433 analog).
+    Varchar(u16),
+    /// `CHAR(n)` — fixed length, blank padded on insert.
+    Char(u16),
+    /// Days since 1970-01-01.
+    Date,
+    /// Microseconds since 1970-01-01T00:00:00.
+    Timestamp,
+}
+
+impl DataType {
+    /// True for the four integer-family and two float-family types.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            DataType::SmallInt | DataType::Integer | DataType::BigInt | DataType::Double | DataType::Decimal(_, _)
+        )
+    }
+
+    /// True for integer-family types.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, DataType::SmallInt | DataType::Integer | DataType::BigInt)
+    }
+
+    /// True for character types.
+    pub fn is_character(&self) -> bool {
+        matches!(self, DataType::Varchar(_) | DataType::Char(_))
+    }
+
+    /// Fixed storage width in bytes used by the network cost model and the
+    /// row-store page layout. Character types report their declared maximum.
+    pub fn storage_width(&self) -> usize {
+        match self {
+            DataType::Boolean => 1,
+            DataType::SmallInt => 2,
+            DataType::Integer => 4,
+            DataType::BigInt | DataType::Double | DataType::Timestamp => 8,
+            DataType::Decimal(_, _) => 16,
+            DataType::Varchar(n) | DataType::Char(n) => *n as usize,
+            DataType::Date => 4,
+        }
+    }
+
+    /// The common type two operands are promoted to for comparison or
+    /// arithmetic, per (simplified) DB2 rules: any DOUBLE involvement
+    /// yields DOUBLE; DECIMAL beats integers; wider integer wins;
+    /// character types unify to VARCHAR.
+    pub fn unify(a: DataType, b: DataType) -> Result<DataType> {
+        use DataType::*;
+        if a == b {
+            return Ok(a);
+        }
+        let err = || Error::TypeMismatch(format!("types {a} and {b} are not compatible"));
+        match (a, b) {
+            (Double, x) | (x, Double) if x.is_numeric() => Ok(Double),
+            (Decimal(p1, s1), Decimal(p2, s2)) => Ok(Decimal(p1.max(p2), s1.max(s2))),
+            (Decimal(p, s), x) | (x, Decimal(p, s)) if x.is_integer() => Ok(Decimal(p.max(19), s)),
+            (BigInt, x) | (x, BigInt) if x.is_integer() => Ok(BigInt),
+            (Integer, x) | (x, Integer) if x.is_integer() => Ok(Integer),
+            (Varchar(n), Varchar(m)) => Ok(Varchar(n.max(m))),
+            (Varchar(n), Char(m)) | (Char(m), Varchar(n)) => Ok(Varchar(n.max(m))),
+            (Char(n), Char(m)) => Ok(Char(n.max(m))),
+            (Date, Date) | (Timestamp, Timestamp) | (Boolean, Boolean) => Ok(a),
+            _ => Err(err()),
+        }
+    }
+
+    /// Parse a type name as it appears in DDL (already upper-cased pieces).
+    pub fn parse_name(name: &str, args: &[u16]) -> Result<DataType> {
+        match (name, args) {
+            ("BOOLEAN", []) => Ok(DataType::Boolean),
+            ("SMALLINT", []) => Ok(DataType::SmallInt),
+            ("INTEGER", []) | ("INT", []) => Ok(DataType::Integer),
+            ("BIGINT", []) => Ok(DataType::BigInt),
+            ("DOUBLE", []) | ("FLOAT", []) | ("REAL", []) => Ok(DataType::Double),
+            ("DECIMAL", [p]) | ("DEC", [p]) | ("NUMERIC", [p]) => Ok(DataType::Decimal(*p as u8, 0)),
+            ("DECIMAL", [p, s]) | ("DEC", [p, s]) | ("NUMERIC", [p, s]) => {
+                Ok(DataType::Decimal(*p as u8, *s as u8))
+            }
+            ("DECIMAL", []) | ("DEC", []) | ("NUMERIC", []) => Ok(DataType::Decimal(15, 0)),
+            ("VARCHAR", [n]) => Ok(DataType::Varchar(*n)),
+            ("VARCHAR", []) => Ok(DataType::Varchar(255)),
+            ("CHAR", [n]) | ("CHARACTER", [n]) => Ok(DataType::Char(*n)),
+            ("CHAR", []) | ("CHARACTER", []) => Ok(DataType::Char(1)),
+            ("DATE", []) => Ok(DataType::Date),
+            ("TIMESTAMP", []) => Ok(DataType::Timestamp),
+            _ => Err(Error::Parse(format!("unknown data type {name}({args:?})"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Boolean => write!(f, "BOOLEAN"),
+            DataType::SmallInt => write!(f, "SMALLINT"),
+            DataType::Integer => write!(f, "INTEGER"),
+            DataType::BigInt => write!(f, "BIGINT"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Decimal(p, s) => write!(f, "DECIMAL({p},{s})"),
+            DataType::Varchar(n) => write!(f, "VARCHAR({n})"),
+            DataType::Char(n) => write!(f, "CHAR({n})"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Timestamp => write!(f, "TIMESTAMP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_promotes_to_double() {
+        assert_eq!(DataType::unify(DataType::Integer, DataType::Double).unwrap(), DataType::Double);
+        assert_eq!(
+            DataType::unify(DataType::Double, DataType::Decimal(10, 2)).unwrap(),
+            DataType::Double
+        );
+    }
+
+    #[test]
+    fn unify_integers_widen() {
+        assert_eq!(DataType::unify(DataType::SmallInt, DataType::BigInt).unwrap(), DataType::BigInt);
+        assert_eq!(DataType::unify(DataType::SmallInt, DataType::Integer).unwrap(), DataType::Integer);
+        assert_eq!(DataType::unify(DataType::SmallInt, DataType::SmallInt).unwrap(), DataType::SmallInt);
+    }
+
+    #[test]
+    fn unify_chars() {
+        assert_eq!(
+            DataType::unify(DataType::Varchar(5), DataType::Char(10)).unwrap(),
+            DataType::Varchar(10)
+        );
+    }
+
+    #[test]
+    fn unify_incompatible_fails() {
+        assert!(DataType::unify(DataType::Date, DataType::Integer).is_err());
+        assert!(DataType::unify(DataType::Boolean, DataType::Varchar(4)).is_err());
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(DataType::parse_name("INT", &[]).unwrap(), DataType::Integer);
+        assert_eq!(DataType::parse_name("DECIMAL", &[12, 2]).unwrap(), DataType::Decimal(12, 2));
+        assert_eq!(DataType::parse_name("VARCHAR", &[40]).unwrap(), DataType::Varchar(40));
+        assert!(DataType::parse_name("BLOB", &[]).is_err());
+    }
+
+    #[test]
+    fn storage_widths() {
+        assert_eq!(DataType::Integer.storage_width(), 4);
+        assert_eq!(DataType::Varchar(17).storage_width(), 17);
+        assert_eq!(DataType::Decimal(10, 2).storage_width(), 16);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for t in [
+            DataType::Boolean,
+            DataType::SmallInt,
+            DataType::Integer,
+            DataType::BigInt,
+            DataType::Double,
+            DataType::Date,
+            DataType::Timestamp,
+        ] {
+            let shown = t.to_string();
+            assert_eq!(DataType::parse_name(&shown, &[]).unwrap(), t);
+        }
+    }
+}

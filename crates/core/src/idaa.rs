@@ -1,0 +1,1111 @@
+//! The federated system facade — "DB2 + IDAA" as one object.
+//!
+//! [`Idaa`] owns the host engine, the accelerator engine, the metered link
+//! between them, the replication applier, and the stored-procedure
+//! registry. [`Idaa::execute`] is the single SQL entry point an
+//! application sees: it parses, authorizes (on the host — governance),
+//! routes (host vs. accelerator), meters every byte that crosses the link,
+//! and coordinates two-phase commit when a transaction touched both sides.
+
+use crate::procedures::{system_procedures, Procedure};
+use crate::replication::Replicator;
+use crate::router::{self, Route};
+use crate::session::Session;
+use idaa_accel::{AccelConfig, AccelEngine};
+use idaa_common::{Error, ObjectName, Result, Row, Rows, Value};
+use idaa_host::{HostEngine, TableKind, TxnId, SYSADM};
+use idaa_netsim::{Direction, LinkConfig, NetLink};
+use idaa_sql::ast::{Expr, InsertSource, Query, Statement};
+use idaa_sql::eval::{bind, eval, FlatResolver};
+use idaa_sql::plan::plan_query;
+use idaa_sql::{parse_statement, parse_statements, Privilege};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// System-wide configuration.
+#[derive(Debug, Clone)]
+pub struct IdaaConfig {
+    /// Default schema for unqualified names (shared by both engines).
+    pub default_schema: String,
+    /// Accelerator tunables.
+    pub accel: AccelConfig,
+    /// Link parameters.
+    pub link: LinkConfig,
+    /// Replication batch size (change records per shipped batch).
+    pub replication_batch: usize,
+    /// Drain the CDC log to the accelerator after every commit.
+    pub auto_replicate: bool,
+}
+
+impl Default for IdaaConfig {
+    fn default() -> Self {
+        IdaaConfig {
+            default_schema: "APP".into(),
+            accel: AccelConfig::default(),
+            link: LinkConfig::default(),
+            replication_batch: 1024,
+            auto_replicate: true,
+        }
+    }
+}
+
+/// Test hooks for failure injection.
+#[derive(Debug, Default)]
+pub struct Faults {
+    /// Make the next accelerator PREPARE vote NO (2PC atomicity tests).
+    pub fail_next_prepare: AtomicBool,
+    /// Simulate an accelerator outage: offload-eligible queries fall back
+    /// to DB2 (DB2's behavior when the accelerator is stopped), while
+    /// statements that *require* the accelerator (AOTs, ALL mode) fail.
+    pub accel_unavailable: AtomicBool,
+}
+
+/// What a statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A result set.
+    Rows(Rows),
+    /// An affected-row count.
+    Count(usize),
+    /// Nothing (DDL, transaction control, SET).
+    None,
+}
+
+/// Result of one statement: where it ran and what it returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    pub route: Route,
+    pub payload: Payload,
+}
+
+impl ExecOutcome {
+    fn host(payload: Payload) -> ExecOutcome {
+        ExecOutcome { route: Route::Host, payload }
+    }
+
+    fn accel(payload: Payload) -> ExecOutcome {
+        ExecOutcome { route: Route::Accelerator, payload }
+    }
+
+    /// The result set, if any.
+    pub fn rows(&self) -> Option<&Rows> {
+        match &self.payload {
+            Payload::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The affected-row count (0 for non-DML).
+    pub fn count(&self) -> usize {
+        match &self.payload {
+            Payload::Count(n) => *n,
+            _ => 0,
+        }
+    }
+}
+
+/// The federated DB2 + accelerator system.
+pub struct Idaa {
+    host: Arc<HostEngine>,
+    accel: Arc<AccelEngine>,
+    link: Arc<NetLink>,
+    replicator: Mutex<Replicator>,
+    procedures: RwLock<HashMap<ObjectName, Arc<dyn Procedure>>>,
+    config: IdaaConfig,
+    pub faults: Faults,
+}
+
+impl Default for Idaa {
+    fn default() -> Self {
+        Idaa::new(IdaaConfig::default())
+    }
+}
+
+impl Idaa {
+    /// Build the system and register the IDAA system procedures.
+    pub fn new(config: IdaaConfig) -> Idaa {
+        let idaa = Idaa {
+            host: Arc::new(HostEngine::new(&config.default_schema)),
+            accel: Arc::new(AccelEngine::new(&config.default_schema, config.accel.clone())),
+            link: Arc::new(NetLink::new(config.link.clone())),
+            replicator: Mutex::new(Replicator::new(config.replication_batch)),
+            procedures: RwLock::new(HashMap::new()),
+            config,
+            faults: Faults::default(),
+        };
+        for p in system_procedures() {
+            idaa.register_procedure(Arc::from(p), SYSADM)
+                .expect("registering system procedures cannot fail");
+        }
+        idaa
+    }
+
+    /// Open a session for `user`.
+    pub fn session(&self, user: &str) -> Session {
+        Session::new(user)
+    }
+
+    /// The host engine (DB2 side).
+    pub fn host(&self) -> &HostEngine {
+        &self.host
+    }
+
+    /// The accelerator engine.
+    pub fn accel(&self) -> &AccelEngine {
+        &self.accel
+    }
+
+    /// The metered host↔accelerator link.
+    pub fn link(&self) -> &NetLink {
+        &self.link
+    }
+
+    /// Default schema for unqualified names.
+    pub fn default_schema(&self) -> &str {
+        &self.config.default_schema
+    }
+
+    /// Register a stored procedure owned by `owner` (analytics framework
+    /// deployment path).
+    pub fn register_procedure(&self, proc: Arc<dyn Procedure>, owner: &str) -> Result<()> {
+        let name = proc.name();
+        let mut procs = self.procedures.write();
+        if procs.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("procedure {name} already registered")));
+        }
+        self.host.privileges.write().set_owner(name.clone(), owner);
+        procs.insert(name, proc);
+        Ok(())
+    }
+
+    /// Charge DDL/control-message shipping to the link.
+    pub fn ship_ddl(&self, text: &str) -> Result<()> {
+        self.link.transfer(Direction::ToAccel, text.len() + 32);
+        self.link.transfer(Direction::ToHost, 32);
+        Ok(())
+    }
+
+    /// Snapshot-load an accelerated table (ACCEL_LOAD_TABLES body): pull
+    /// all rows from DB2, ship them over the link, and enable replication.
+    pub fn load_accelerated_table(&self, table: &ObjectName) -> Result<usize> {
+        let meta = self.host.table_meta(table)?;
+        if meta.kind != TableKind::Regular {
+            return Err(Error::InvalidAcceleratorUse(format!(
+                "{table} is accelerator-only and cannot be loaded from DB2"
+            )));
+        }
+        if !self.accel.has_table(&meta.name) {
+            return Err(Error::UndefinedObject(format!(
+                "table {table} has not been added to the accelerator (ACCEL_ADD_TABLES)"
+            )));
+        }
+        // Bring the replication watermark up to now *before* the snapshot,
+        // so changes committed before the load are not double-applied.
+        self.replicate_now()?;
+        let rows = self.host.scan_all(&meta.name)?;
+        let bytes: usize = rows.iter().map(row_wire).sum::<usize>() + 64;
+        self.link.transfer(Direction::ToAccel, bytes);
+        self.accel.truncate(&meta.name)?;
+        let n = self.accel.load_committed(&meta.name, rows)?;
+        self.link.transfer(Direction::ToHost, 64);
+        self.host.set_accel_status(&meta.name, idaa_host::AccelStatus::Loaded)?;
+        Ok(n)
+    }
+
+    /// Drain committed changes to the accelerator now.
+    pub fn replicate_now(&self) -> Result<usize> {
+        self.replicator.lock().apply(&self.host, &self.accel, &self.link)
+    }
+
+    // -- SQL entry points ---------------------------------------------------
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, session: &mut Session, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(session, &stmt)
+    }
+
+    /// Execute a semicolon-separated script, stopping at the first error.
+    pub fn execute_script(&self, session: &mut Session, sql: &str) -> Result<Vec<ExecOutcome>> {
+        parse_statements(sql)?
+            .iter()
+            .map(|s| self.execute_stmt(session, s))
+            .collect()
+    }
+
+    /// Execute a query and return its rows (errors if the statement does
+    /// not produce a result set).
+    pub fn query(&self, session: &mut Session, sql: &str) -> Result<Rows> {
+        match self.execute(session, sql)?.payload {
+            Payload::Rows(r) => Ok(r),
+            other => Err(Error::TypeMismatch(format!(
+                "statement did not produce a result set ({other:?})"
+            ))),
+        }
+    }
+
+    /// Execute one SQL statement with `?` parameter markers bound to
+    /// `params` (prepared-statement style).
+    pub fn execute_with_params(
+        &self,
+        session: &mut Session,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        let bound = idaa_sql::params::bind_statement(&stmt, params)?;
+        self.execute_stmt(session, &bound)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_stmt(&self, session: &mut Session, stmt: &Statement) -> Result<ExecOutcome> {
+        session.statements += 1;
+        let result = self.dispatch(session, stmt);
+        match &result {
+            Ok(_) => {
+                // Autocommit unless inside an explicit transaction.
+                if !session.explicit_txn
+                    && !matches!(stmt, Statement::Begin | Statement::Commit | Statement::Rollback)
+                {
+                    self.commit_session(session)?;
+                }
+            }
+            Err(_) => {
+                // Statement-level atomicity in autocommit mode: roll the
+                // implicit transaction back.
+                if !session.explicit_txn && session.txn.is_some() {
+                    self.rollback_session(session)?;
+                }
+            }
+        }
+        result
+    }
+
+    fn dispatch(&self, session: &mut Session, stmt: &Statement) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::Begin => {
+                if session.explicit_txn {
+                    return Err(Error::TransactionState("transaction already open".into()));
+                }
+                session.explicit_txn = true;
+                self.ensure_txn(session);
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::Commit => {
+                // A failed COMMIT ends the transaction too (everything was
+                // rolled back) — the session must not stay "in transaction".
+                let result = self.commit_session(session);
+                session.explicit_txn = false;
+                result?;
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::Rollback => {
+                self.rollback_session(session)?;
+                session.explicit_txn = false;
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::SetQueryAcceleration(mode) => {
+                session.acceleration = *mode;
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::SetCurrentSchema(s) => {
+                if s != &self.config.default_schema {
+                    return Err(Error::Unsupported(
+                        "per-session CURRENT SCHEMA is not supported; configure the \
+                         system default instead"
+                            .into(),
+                    ));
+                }
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::CreateTable { name, columns, in_accelerator, distribute_by } => {
+                let schema = idaa_common::Schema::new(
+                    columns
+                        .iter()
+                        .map(|c| idaa_common::ColumnDef {
+                            name: c.name.clone(),
+                            data_type: c.data_type,
+                            not_null: c.not_null,
+                        })
+                        .collect(),
+                )?;
+                let kind = if *in_accelerator {
+                    TableKind::AcceleratorOnly
+                } else {
+                    TableKind::Regular
+                };
+                self.host.create_table(
+                    &session.user,
+                    name,
+                    schema.clone(),
+                    kind,
+                    distribute_by.clone(),
+                )?;
+                if *in_accelerator {
+                    // Nickname proxy exists in DB2; actual table lives on
+                    // the accelerator.
+                    let resolved = name.resolve(&self.config.default_schema);
+                    self.ship_ddl(&stmt.to_string())?;
+                    if let Err(e) = self.accel.create_table(&resolved, schema, distribute_by) {
+                        // Keep catalog and accelerator consistent.
+                        let _ = self.host.drop_table(SYSADM, name);
+                        return Err(e);
+                    }
+                    return Ok(ExecOutcome::accel(Payload::None));
+                }
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::DropTable { name } => {
+                let meta = self.host.table_meta(name)?;
+                let on_accel = meta.kind == TableKind::AcceleratorOnly
+                    || meta.accel_status != idaa_host::AccelStatus::NotAccelerated;
+                self.host.drop_table(&session.user, name)?;
+                if on_accel {
+                    self.ship_ddl(&stmt.to_string())?;
+                    let _ = self.accel.drop_table(&meta.name);
+                    return Ok(ExecOutcome::accel(Payload::None));
+                }
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::CreateIndex { name, table, columns } => {
+                self.host.create_index(&session.user, name, table, columns.clone())?;
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::Grant { privileges, object, grantees } => {
+                let object = object.resolve(&self.config.default_schema);
+                let mut privs = self.host.privileges.write();
+                for g in grantees {
+                    privs.grant(&session.user, g, &object, privileges)?;
+                }
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::Revoke { privileges, object, grantees } => {
+                let object = object.resolve(&self.config.default_schema);
+                let mut privs = self.host.privileges.write();
+                for g in grantees {
+                    privs.revoke(&session.user, g, &object, privileges)?;
+                }
+                Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::Call { procedure, args } => self.dispatch_call(session, procedure, args),
+            Statement::Explain(inner) => self.dispatch_explain(session, inner),
+            Statement::Query(q) => self.dispatch_query(session, q),
+            Statement::Insert { table, columns, source } => {
+                self.dispatch_insert(session, table, columns, source)
+            }
+            Statement::Update { table, assignments, filter } => {
+                match router::route_dml(&self.host, table)? {
+                    Route::Host => {
+                        let txn = self.ensure_txn(session);
+                        let n = self.host.update_where(
+                            &session.user,
+                            txn,
+                            table,
+                            assignments,
+                            filter.as_ref(),
+                        )?;
+                        Ok(ExecOutcome::host(Payload::Count(n)))
+                    }
+                    Route::Accelerator => {
+                        let table_r = table.resolve(&self.config.default_schema);
+                        self.host.privileges.read().check(
+                            &session.user,
+                            &table_r,
+                            Privilege::Update,
+                        )?;
+                        let txn = self.enlist_accel(session)?;
+                        self.ship_statement(&stmt.to_string());
+                        let n = self.accel.update_where(
+                            txn,
+                            &table_r,
+                            assignments,
+                            filter.as_ref(),
+                        )?;
+                        self.link.transfer(Direction::ToHost, 64);
+                        Ok(ExecOutcome::accel(Payload::Count(n)))
+                    }
+                }
+            }
+            Statement::Delete { table, filter } => {
+                match router::route_dml(&self.host, table)? {
+                    Route::Host => {
+                        let txn = self.ensure_txn(session);
+                        let n =
+                            self.host.delete_where(&session.user, txn, table, filter.as_ref())?;
+                        Ok(ExecOutcome::host(Payload::Count(n)))
+                    }
+                    Route::Accelerator => {
+                        let table_r = table.resolve(&self.config.default_schema);
+                        self.host.privileges.read().check(
+                            &session.user,
+                            &table_r,
+                            Privilege::Delete,
+                        )?;
+                        let txn = self.enlist_accel(session)?;
+                        self.ship_statement(&stmt.to_string());
+                        let n = self.accel.delete_where(txn, &table_r, filter.as_ref())?;
+                        self.link.transfer(Direction::ToHost, 64);
+                        Ok(ExecOutcome::accel(Payload::Count(n)))
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch_call(
+        &self,
+        session: &mut Session,
+        procedure: &ObjectName,
+        args: &[Expr],
+    ) -> Result<ExecOutcome> {
+        let name = match procedure.schema {
+            Some(_) => procedure.clone(),
+            // Procedures default to SYSPROC, then the default schema.
+            None => {
+                let sysproc = ObjectName::qualified("SYSPROC", &procedure.name);
+                if self.procedures.read().contains_key(&sysproc) {
+                    sysproc
+                } else {
+                    procedure.resolve(&self.config.default_schema)
+                }
+            }
+        };
+        let proc = self
+            .procedures
+            .read()
+            .get(&name)
+            .cloned()
+            .ok_or_else(|| Error::UndefinedObject(format!("procedure {name} is not defined")))?;
+        // Governance: EXECUTE on the procedure object, checked on DB2.
+        self.host.privileges.read().check(&session.user, &name, Privilege::Execute)?;
+        let arg_values: Vec<Value> = args
+            .iter()
+            .map(|e| {
+                let resolver = FlatResolver::new(vec![]);
+                eval(&bind(e, &resolver)?, &[])
+            })
+            .collect::<Result<_>>()?;
+        let rows = proc.execute(self, session, &arg_values)?;
+        Ok(ExecOutcome::host(Payload::Rows(rows)))
+    }
+
+    /// `EXPLAIN`: plan the statement, report the routing decision and the
+    /// operator tree — without executing anything.
+    fn dispatch_explain(&self, session: &mut Session, inner: &Statement) -> Result<ExecOutcome> {
+        let (plan, route_desc) = match inner {
+            Statement::Query(q) => {
+                let plan = plan_query(q, &*self.host)?;
+                let tables: Vec<ObjectName> = plan
+                    .tables()
+                    .iter()
+                    .map(|t| t.resolve(&self.config.default_schema))
+                    .collect();
+                let mut mix = router::classify(&self.host, &tables)?;
+                mix.indexed_point = router::is_indexed_point(&self.host, &plan);
+                let route = router::route_query(&mix, session.acceleration)?;
+                (plan, format!(
+                    "ROUTE: {route:?} (CURRENT QUERY ACCELERATION = {})",
+                    session.acceleration
+                ))
+            }
+            Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. } => {
+                let route = router::route_dml(&self.host, table)?;
+                let desc = format!("ROUTE: {route:?} (DML target {table})");
+                match inner {
+                    Statement::Insert { source: InsertSource::Query(q), .. } => {
+                        (plan_query(q, &*self.host)?, desc)
+                    }
+                    _ => {
+                        // No query plan to show for VALUES/UPDATE/DELETE —
+                        // report the route only.
+                        let lines = vec![vec![Value::Varchar(desc)]];
+                        return Ok(ExecOutcome::host(Payload::Rows(Rows::new(
+                            explain_schema(),
+                            lines,
+                        ))));
+                    }
+                }
+            }
+            other => {
+                return Err(Error::Unsupported(format!(
+                    "EXPLAIN is not supported for this statement: {other}"
+                )))
+            }
+        };
+        let mut lines = vec![vec![Value::Varchar(route_desc)]];
+        for l in plan.explain().lines() {
+            lines.push(vec![Value::Varchar(l.to_string())]);
+        }
+        Ok(ExecOutcome::host(Payload::Rows(Rows::new(explain_schema(), lines))))
+    }
+
+    fn dispatch_query(&self, session: &mut Session, q: &Query) -> Result<ExecOutcome> {
+        let plan = plan_query(q, &*self.host)?;
+        let tables: Vec<ObjectName> = plan
+            .tables()
+            .iter()
+            .map(|t| t.resolve(&self.config.default_schema))
+            .collect();
+        let mut mix = router::classify(&self.host, &tables)?;
+        mix.indexed_point = router::is_indexed_point(&self.host, &plan);
+        let mut route = router::route_query(&mix, session.acceleration)?;
+        // Accelerator outage: fall back to DB2 when the data still lives
+        // there; fail when only the accelerator could answer.
+        if route == Route::Accelerator && self.faults.accel_unavailable.load(Ordering::Relaxed) {
+            if mix.aot > 0 || session.acceleration == idaa_sql::AccelerationMode::All {
+                return Err(Error::NotOffloadable(
+                    "the accelerator is not available and the statement cannot run in DB2"
+                        .into(),
+                ));
+            }
+            route = Route::Host;
+        }
+        match route {
+            Route::Host => {
+                let txn = self.ensure_txn(session);
+                let rows = self.host.query(&session.user, txn, q)?;
+                Ok(ExecOutcome::host(Payload::Rows(rows)))
+            }
+            Route::Accelerator => {
+                // Governance on DB2 before delegation.
+                {
+                    let privs = self.host.privileges.read();
+                    for t in &tables {
+                        if t.name == "SYSDUMMY1" {
+                            continue;
+                        }
+                        privs.check(&session.user, t, Privilege::Select)?;
+                    }
+                }
+                let txn = self.accel_query_txn(session);
+                let sql = q.to_string();
+                self.ship_statement(&sql);
+                let rows = self.accel.query(txn, q)?;
+                // Result set travels back to DB2 and the application.
+                self.link.transfer(Direction::ToHost, rows.wire_size());
+                Ok(ExecOutcome::accel(Payload::Rows(rows)))
+            }
+        }
+    }
+
+    fn dispatch_insert(
+        &self,
+        session: &mut Session,
+        table: &ObjectName,
+        columns: &[String],
+        source: &InsertSource,
+    ) -> Result<ExecOutcome> {
+        let target = table.resolve(&self.config.default_schema);
+        let meta = self.host.table_meta(&target)?;
+        // Build full-width rows from VALUES, or run the source query.
+        let rows: Vec<Row> = match source {
+            InsertSource::Values(value_rows) => {
+                let resolver = FlatResolver::new(vec![]);
+                let mut out = Vec::with_capacity(value_rows.len());
+                for exprs in value_rows {
+                    let vals: Vec<Value> = exprs
+                        .iter()
+                        .map(|e| eval(&bind(e, &resolver)?, &[]))
+                        .collect::<Result<_>>()?;
+                    out.push(self.widen_row(&meta.schema, columns, vals)?);
+                }
+                out
+            }
+            InsertSource::Query(src_q) => {
+                // Pushdown path — the paper's contribution: an AOT target
+                // whose source tables all exist on the accelerator executes
+                // entirely there; only the statement text crosses the link.
+                if meta.kind == TableKind::AcceleratorOnly {
+                    let plan = plan_query(src_q, &*self.host)?;
+                    let src_tables: Vec<ObjectName> = plan
+                        .tables()
+                        .iter()
+                        .map(|t| t.resolve(&self.config.default_schema))
+                        .collect();
+                    let mix = router::classify(&self.host, &src_tables)?;
+                    if mix.host_only == 0 {
+                        let privs = self.host.privileges.read();
+                        privs.check(&session.user, &target, Privilege::Insert)?;
+                        for t in &src_tables {
+                            if t.name == "SYSDUMMY1" {
+                                continue;
+                            }
+                            privs.check(&session.user, t, Privilege::Select)?;
+                        }
+                        drop(privs);
+                        let txn = self.enlist_accel(session)?;
+                        self.ship_statement(&format!(
+                            "INSERT INTO {target} {src_q}"
+                        ));
+                        let result = self.accel.query(txn, src_q)?;
+                        let rows: Vec<Row> = result
+                            .rows
+                            .into_iter()
+                            .map(|r| self.widen_row(&meta.schema, columns, r))
+                            .collect::<Result<_>>()?;
+                        let n = self.accel.insert_rows(txn, &target, rows)?;
+                        self.link.transfer(Direction::ToHost, 64);
+                        return Ok(ExecOutcome::accel(Payload::Count(n)));
+                    }
+                }
+                // Otherwise the source runs wherever routing says; result
+                // rows materialize on the host side and pay link cost when
+                // they came from the accelerator.
+                let outcome = self.dispatch_query(session, src_q)?;
+                let result = match outcome.payload {
+                    Payload::Rows(r) => r,
+                    _ => unreachable!("queries produce rows"),
+                };
+                result
+                    .rows
+                    .into_iter()
+                    .map(|r| self.widen_row(&meta.schema, columns, r))
+                    .collect::<Result<_>>()?
+            }
+        };
+        match meta.kind {
+            TableKind::Regular => {
+                let txn = self.ensure_txn(session);
+                let n = self.host.insert_rows(&session.user, txn, &target, rows)?;
+                Ok(ExecOutcome::host(Payload::Count(n)))
+            }
+            TableKind::AcceleratorOnly => {
+                self.host.privileges.read().check(&session.user, &target, Privilege::Insert)?;
+                let txn = self.enlist_accel(session)?;
+                // Rows originate on the host side (VALUES literals or a
+                // host-executed source query): they must cross the link.
+                let bytes: usize = rows.iter().map(row_wire).sum::<usize>() + 64;
+                self.link.transfer(Direction::ToAccel, bytes);
+                let n = self.accel.insert_rows(txn, &target, rows)?;
+                self.link.transfer(Direction::ToHost, 64);
+                Ok(ExecOutcome::accel(Payload::Count(n)))
+            }
+        }
+    }
+
+    /// Expand an explicit column list to a full-width row (missing columns
+    /// become NULL, which `check_row` then validates).
+    fn widen_row(
+        &self,
+        schema: &idaa_common::Schema,
+        columns: &[String],
+        values: Vec<Value>,
+    ) -> Result<Row> {
+        if columns.is_empty() {
+            return Ok(values);
+        }
+        if columns.len() != values.len() {
+            return Err(Error::Constraint(format!(
+                "INSERT specifies {} columns but {} values",
+                columns.len(),
+                values.len()
+            )));
+        }
+        let mut row = vec![Value::Null; schema.len()];
+        for (col, v) in columns.iter().zip(values) {
+            row[schema.index_of(col)?] = v;
+        }
+        Ok(row)
+    }
+
+    // -- transactions ---------------------------------------------------------
+
+    fn ensure_txn(&self, session: &mut Session) -> TxnId {
+        match session.txn {
+            Some(t) => t,
+            None => {
+                let t = self.host.begin();
+                session.txn = Some(t);
+                t
+            }
+        }
+    }
+
+    /// Transaction id used for a read-only accelerator query: the session's
+    /// transaction when one is open and enlisted (own-writes visibility),
+    /// else 0 (fresh snapshot).
+    fn accel_query_txn(&self, session: &mut Session) -> TxnId {
+        match session.txn {
+            Some(t) if self.host.txns.accelerator_enlisted(t) => t,
+            _ => 0,
+        }
+    }
+
+    /// Enlist the accelerator in the session's transaction (starting one if
+    /// needed) — required for AOT DML so that the paper's own-uncommitted-
+    /// changes visibility holds.
+    fn enlist_accel(&self, session: &mut Session) -> Result<TxnId> {
+        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
+            return Err(Error::NotOffloadable(
+                "the accelerator is not available; accelerator-only data cannot be accessed"
+                    .into(),
+            ));
+        }
+        let txn = self.ensure_txn(session);
+        if !self.host.txns.accelerator_enlisted(txn) {
+            self.link.transfer(Direction::ToAccel, 32); // BEGIN message
+            self.accel.begin(txn);
+            self.host.txns.enlist_accelerator(txn);
+        }
+        Ok(txn)
+    }
+
+    fn ship_statement(&self, sql: &str) {
+        self.link.transfer(Direction::ToAccel, sql.len() + 32);
+    }
+
+    /// Commit the session's transaction. When the accelerator participated,
+    /// run two-phase commit: PREPARE on the accelerator, COMMIT on DB2 (the
+    /// coordinator), COMMIT on the accelerator.
+    pub fn commit_session(&self, session: &mut Session) -> Result<()> {
+        let Some(txn) = session.txn.take() else { return Ok(()) };
+        if self.host.txns.accelerator_enlisted(txn) {
+            // Phase 1: PREPARE.
+            self.link.transfer(Direction::ToAccel, 32);
+            let prepare_ok = !self.faults.fail_next_prepare.swap(false, Ordering::Relaxed);
+            if !prepare_ok {
+                // Vote NO: roll back everywhere.
+                self.accel.abort(txn);
+                self.host.rollback(txn)?;
+                return Err(Error::CommitFailed(
+                    "accelerator failed to prepare; transaction rolled back on all \
+                     participants"
+                        .into(),
+                ));
+            }
+            if let Err(e) = self.accel.prepare(txn) {
+                // A NO vote (or protocol error) aborts everywhere; the host
+                // transaction must not stay open holding locks.
+                self.accel.abort(txn);
+                self.host.rollback(txn)?;
+                return Err(Error::CommitFailed(format!(
+                    "accelerator PREPARE failed ({e}); transaction rolled back on all \
+                     participants"
+                )));
+            }
+            self.link.transfer(Direction::ToHost, 32);
+            // Phase 2: commit coordinator (DB2) then participant.
+            self.host.commit(txn);
+            self.link.transfer(Direction::ToAccel, 32);
+            self.accel.commit(txn);
+        } else {
+            self.host.commit(txn);
+        }
+        if self.config.auto_replicate {
+            self.replicate_now()?;
+        }
+        Ok(())
+    }
+
+    /// Roll the session's transaction back on every participant.
+    pub fn rollback_session(&self, session: &mut Session) -> Result<()> {
+        let Some(txn) = session.txn.take() else { return Ok(()) };
+        if self.host.txns.accelerator_enlisted(txn) {
+            self.link.transfer(Direction::ToAccel, 32);
+            self.accel.abort(txn);
+        }
+        self.host.rollback(txn)?;
+        Ok(())
+    }
+}
+
+fn explain_schema() -> idaa_common::Schema {
+    idaa_common::Schema::new_unchecked(vec![idaa_common::ColumnDef::new(
+        "PLAN",
+        idaa_common::DataType::Varchar(255),
+    )])
+}
+
+fn row_wire(r: &Row) -> usize {
+    r.iter().map(Value::wire_size).sum::<usize>() + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(idaa: &Idaa) -> Session {
+        idaa.session(SYSADM)
+    }
+
+    fn setup_sales(idaa: &Idaa, s: &mut Session, rows: usize) {
+        idaa.execute(s, "CREATE TABLE SALES (ID INT NOT NULL, REGION VARCHAR(8), AMOUNT DOUBLE)")
+            .unwrap();
+        let mut values = Vec::new();
+        for i in 0..rows {
+            values.push(format!(
+                "({}, '{}', {}.0E0)",
+                i,
+                if i % 2 == 0 { "EU" } else { "US" },
+                i
+            ));
+        }
+        idaa.execute(s, &format!("INSERT INTO SALES VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+
+    #[test]
+    fn ddl_dml_query_on_host() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 10);
+        let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(out.route, Route::Host);
+        assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::BigInt(10));
+        // Nothing crossed the link.
+        assert_eq!(idaa.link().metrics().total_bytes(), 0);
+    }
+
+    #[test]
+    fn acceleration_lifecycle_and_offload() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 100);
+        idaa.execute(&mut s, "CALL SYSPROC.ACCEL_ADD_TABLES('ACCEL1', 'SALES')").unwrap();
+        idaa.execute(&mut s, "CALL SYSPROC.ACCEL_LOAD_TABLES('ACCEL1', 'SALES')").unwrap();
+        // Still NONE: stays on host.
+        let out = idaa.execute(&mut s, "SELECT SUM(amount) FROM sales").unwrap();
+        assert_eq!(out.route, Route::Host);
+        // ELIGIBLE: offloads.
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        let out = idaa.execute(&mut s, "SELECT SUM(amount) FROM sales").unwrap();
+        assert_eq!(out.route, Route::Accelerator);
+        assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::Double(4950.0));
+    }
+
+    #[test]
+    fn replication_keeps_replica_fresh() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 20);
+        idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+        idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        idaa.execute(&mut s, "INSERT INTO SALES VALUES (999, 'EU', 5.0E0)").unwrap();
+        idaa.execute(&mut s, "UPDATE SALES SET AMOUNT = 7.0E0 WHERE ID = 999").unwrap();
+        let out = idaa
+            .execute(&mut s, "SELECT amount FROM sales WHERE id = 999")
+            .unwrap();
+        assert_eq!(out.route, Route::Accelerator);
+        assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::Double(7.0));
+    }
+
+    #[test]
+    fn aot_lifecycle_transforms_without_host_data() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 50);
+        idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+        idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE STAGE1 (REGION VARCHAR(8), TOTAL DOUBLE) IN ACCELERATOR",
+        )
+        .unwrap();
+        let out = idaa
+            .execute(
+                &mut s,
+                "INSERT INTO STAGE1 SELECT region, SUM(amount) FROM sales GROUP BY region",
+            )
+            .unwrap();
+        assert_eq!(out.route, Route::Accelerator);
+        assert_eq!(out.count(), 2);
+        let r = idaa.query(&mut s, "SELECT total FROM stage1 ORDER BY region").unwrap();
+        assert_eq!(r.len(), 2);
+        // The host has no storage for the AOT.
+        assert_eq!(idaa.host().scan_count(&ObjectName::bare("STAGE1")), 0);
+    }
+
+    #[test]
+    fn aot_mixed_with_host_only_table_fails() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 5);
+        idaa.execute(&mut s, "CREATE TABLE A1 (X INT) IN ACCELERATOR").unwrap();
+        let err = idaa
+            .execute(&mut s, "SELECT * FROM a1 INNER JOIN sales ON a1.x = sales.id")
+            .unwrap_err();
+        assert_eq!(err.sqlcode(), -4742);
+    }
+
+    #[test]
+    fn explicit_txn_with_aot_sees_own_changes_and_commits_atomically() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE W (X INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut s, "BEGIN").unwrap();
+        idaa.execute(&mut s, "INSERT INTO W VALUES (1), (2)").unwrap();
+        // Own uncommitted changes visible.
+        let r = idaa.query(&mut s, "SELECT COUNT(*) FROM w").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(2));
+        // Another session does not see them.
+        let mut s2 = sys(&idaa);
+        let r2 = idaa.query(&mut s2, "SELECT COUNT(*) FROM w").unwrap();
+        assert_eq!(r2.scalar().unwrap(), &Value::BigInt(0));
+        idaa.execute(&mut s, "COMMIT").unwrap();
+        let r3 = idaa.query(&mut s2, "SELECT COUNT(*) FROM w").unwrap();
+        assert_eq!(r3.scalar().unwrap(), &Value::BigInt(2));
+    }
+
+    #[test]
+    fn rollback_spans_host_and_accelerator() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE HOSTT (X INT)").unwrap();
+        idaa.execute(&mut s, "CREATE TABLE AOTT (X INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut s, "BEGIN").unwrap();
+        idaa.execute(&mut s, "INSERT INTO HOSTT VALUES (1)").unwrap();
+        idaa.execute(&mut s, "INSERT INTO AOTT VALUES (1)").unwrap();
+        idaa.execute(&mut s, "ROLLBACK").unwrap();
+        assert_eq!(
+            idaa.query(&mut s, "SELECT COUNT(*) FROM hostt").unwrap().scalar().unwrap(),
+            &Value::BigInt(0)
+        );
+        assert_eq!(
+            idaa.query(&mut s, "SELECT COUNT(*) FROM aott").unwrap().scalar().unwrap(),
+            &Value::BigInt(0)
+        );
+    }
+
+    #[test]
+    fn failed_prepare_rolls_back_everywhere() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE HOSTT (X INT)").unwrap();
+        idaa.execute(&mut s, "CREATE TABLE AOTT (X INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut s, "BEGIN").unwrap();
+        idaa.execute(&mut s, "INSERT INTO HOSTT VALUES (1)").unwrap();
+        idaa.execute(&mut s, "INSERT INTO AOTT VALUES (1)").unwrap();
+        idaa.faults.fail_next_prepare.store(true, Ordering::Relaxed);
+        let err = idaa.execute(&mut s, "COMMIT").unwrap_err();
+        assert!(matches!(err, Error::CommitFailed(_)));
+
+        assert_eq!(
+            idaa.query(&mut s, "SELECT COUNT(*) FROM hostt").unwrap().scalar().unwrap(),
+            &Value::BigInt(0)
+        );
+        assert_eq!(
+            idaa.query(&mut s, "SELECT COUNT(*) FROM aott").unwrap().scalar().unwrap(),
+            &Value::BigInt(0)
+        );
+    }
+
+    #[test]
+    fn governance_checked_before_delegation() {
+        let idaa = Idaa::default();
+        let mut admin = sys(&idaa);
+        idaa.execute(&mut admin, "CREATE TABLE SECRETS (X INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut admin, "INSERT INTO SECRETS VALUES (42)").unwrap();
+        let mut bob = idaa.session("BOB");
+        let err = idaa.query(&mut bob, "SELECT * FROM secrets").unwrap_err();
+        assert_eq!(err.sqlcode(), -551);
+        let err = idaa.execute(&mut bob, "DELETE FROM secrets").unwrap_err();
+        assert_eq!(err.sqlcode(), -551);
+        idaa.execute(&mut admin, "GRANT SELECT ON SECRETS TO BOB").unwrap();
+        let r = idaa.query(&mut bob, "SELECT * FROM secrets").unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn call_requires_execute_privilege() {
+        let idaa = Idaa::default();
+        let mut bob = idaa.session("BOB");
+        let err = idaa
+            .execute(&mut bob, "CALL SYSPROC.ACCEL_GROOM_TABLES()")
+            .unwrap_err();
+        assert_eq!(err.sqlcode(), -551);
+        let mut admin = sys(&idaa);
+        idaa.execute(&mut admin, "GRANT EXECUTE ON SYSPROC.ACCEL_GROOM_TABLES TO BOB")
+            .unwrap();
+        idaa.execute(&mut bob, "CALL SYSPROC.ACCEL_GROOM_TABLES()").unwrap();
+    }
+
+    #[test]
+    fn unknown_procedure_errors() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        let err = idaa.execute(&mut s, "CALL NO_SUCH_PROC(1)").unwrap_err();
+        assert_eq!(err.sqlcode(), -204);
+    }
+
+    #[test]
+    fn insert_select_from_host_to_aot_moves_data_once() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 30);
+        // SALES is NOT accelerated: the source query runs on the host and
+        // rows must cross the link into the AOT (the pre-AOT baseline path).
+        idaa.execute(&mut s, "CREATE TABLE COPYT (ID INT, AMOUNT DOUBLE) IN ACCELERATOR")
+            .unwrap();
+        let before = idaa.link().metrics();
+        let out = idaa
+            .execute(&mut s, "INSERT INTO COPYT SELECT id, amount FROM sales")
+            .unwrap();
+        assert_eq!(out.count(), 30);
+        let moved = idaa.link().metrics().since(&before);
+        assert!(moved.bytes_to_accel > 30 * 8, "row payload must cross the link");
+    }
+
+    #[test]
+    fn autocommit_statement_failure_rolls_back() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE T1 (X INT NOT NULL)").unwrap();
+        // Multi-row insert where the second row violates NOT NULL.
+        let err = idaa.execute(&mut s, "INSERT INTO T1 VALUES (1), (NULL)");
+        assert!(err.is_err());
+        assert_eq!(
+            idaa.query(&mut s, "SELECT COUNT(*) FROM t1").unwrap().scalar().unwrap(),
+            &Value::BigInt(0),
+            "autocommit statement failure must not leave partial rows"
+        );
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE T2 (A INT, B VARCHAR(4), C INT)").unwrap();
+        idaa.execute(&mut s, "INSERT INTO T2 (C, A) VALUES (3, 1)").unwrap();
+        let r = idaa.query(&mut s, "SELECT a, b, c FROM t2").unwrap();
+        assert_eq!(r.rows[0], vec![Value::Int(1), Value::Null, Value::Int(3)]);
+    }
+
+    #[test]
+    fn drop_aot_removes_both_sides() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE D1 (X INT) IN ACCELERATOR").unwrap();
+        assert!(idaa.accel().has_table(&ObjectName::bare("D1")));
+        idaa.execute(&mut s, "DROP TABLE D1").unwrap();
+        assert!(!idaa.accel().has_table(&ObjectName::bare("D1")));
+        assert!(idaa.host().table_meta(&ObjectName::bare("D1")).is_err());
+    }
+
+    #[test]
+    fn enable_mode_keeps_small_tables_on_host() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 50);
+        idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+        idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ENABLE").unwrap();
+        let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(out.route, Route::Host, "50 rows is below the offload threshold");
+    }
+
+    #[test]
+    fn all_mode_fails_for_non_accelerated() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 5);
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ALL").unwrap();
+        let err = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap_err();
+        assert_eq!(err.sqlcode(), -4742);
+    }
+}

@@ -1,0 +1,28 @@
+//! # idaa-core
+//!
+//! The paper's contribution: the federation layer that turns a DB2-style
+//! host (`idaa-host`) and a Netezza-style accelerator (`idaa-accel`) into
+//! one transparent system —
+//!
+//! * **query routing** honoring `CURRENT QUERY ACCELERATION` and the
+//!   accelerator-only-table rules ([`router`]),
+//! * **accelerator-only tables** created with `CREATE TABLE … IN
+//!   ACCELERATOR`, populated and transformed entirely on the accelerator,
+//! * **transaction awareness**: the accelerator enrolls in DB2 transactions
+//!   and a two-phase commit keeps both sides atomic ([`Idaa::execute`]),
+//! * **incremental replication** for regular accelerated tables
+//!   ([`replication`]),
+//! * **governed stored procedures** for system management and in-database
+//!   analytics deployment ([`procedures`]).
+
+pub mod idaa;
+pub mod procedures;
+pub mod replication;
+pub mod router;
+pub mod session;
+
+pub use idaa::{ExecOutcome, Faults, Idaa, IdaaConfig, Payload};
+pub use procedures::{message_result, Procedure};
+pub use replication::Replicator;
+pub use router::{Route, TableMix};
+pub use session::Session;

@@ -1,0 +1,295 @@
+//! Incremental-update replication: ships committed DB2 changes on
+//! accelerated tables to the accelerator in batches over the metered link.
+//!
+//! This is the *only* freshness mechanism for regular accelerated tables —
+//! and the machinery whose per-stage round trips the paper's AOT extension
+//! exists to avoid. Ablation experiment E9 sweeps the batch size.
+
+use idaa_accel::AccelEngine;
+use idaa_common::{ObjectName, Result, Row, Value};
+use idaa_host::{AccelStatus, ChangeOp, HostEngine, Lsn};
+use idaa_netsim::{Direction, NetLink};
+use idaa_sql::ast::{BinaryOp, Expr};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Replication applier state.
+pub struct Replicator {
+    last_applied: Lsn,
+    /// Max change records shipped per apply message.
+    pub batch_size: usize,
+    pub batches_shipped: AtomicU64,
+    pub changes_applied: AtomicU64,
+}
+
+impl Default for Replicator {
+    fn default() -> Self {
+        Replicator::new(1024)
+    }
+}
+
+impl Replicator {
+    /// Applier starting at LSN 0 with the given batch size.
+    pub fn new(batch_size: usize) -> Replicator {
+        Replicator {
+            last_applied: 0,
+            batch_size: batch_size.max(1),
+            batches_shipped: AtomicU64::new(0),
+            changes_applied: AtomicU64::new(0),
+        }
+    }
+
+    /// LSN up to which changes have been applied.
+    pub fn last_applied(&self) -> Lsn {
+        self.last_applied
+    }
+
+    /// Drain all committed changes newer than `last_applied` and apply them
+    /// to the accelerator. Returns the number of change records applied.
+    ///
+    /// Only tables in `Loaded` state replicate; changes to other tables are
+    /// skipped (their LSNs still advance the applied watermark).
+    pub fn apply(
+        &mut self,
+        host: &HostEngine,
+        accel: &AccelEngine,
+        link: &NetLink,
+    ) -> Result<usize> {
+        let all = host.txns.changes_since(self.last_applied);
+        if all.is_empty() {
+            return Ok(0);
+        }
+        let last_lsn = all.last().expect("non-empty").lsn;
+        // Only tables in Loaded state replicate; other changes never cross
+        // the link (their LSNs still advance the watermark below).
+        let mut changes = Vec::with_capacity(all.len());
+        for c in all {
+            if host.table_meta(&c.table)?.accel_status == AccelStatus::Loaded {
+                changes.push(c);
+            }
+        }
+        let mut applied = 0;
+        for batch in changes.chunks(self.batch_size) {
+            // Wire cost: full row images of every change in the batch.
+            let bytes: usize = batch
+                .iter()
+                .map(|c| match &c.op {
+                    ChangeOp::Insert(r) | ChangeOp::Delete(r) => row_bytes(r),
+                    ChangeOp::Update { old, new } => row_bytes(old) + row_bytes(new),
+                })
+                .sum::<usize>()
+                + 64;
+            link.transfer(Direction::ToAccel, bytes);
+            self.batches_shipped.fetch_add(1, Ordering::Relaxed);
+
+            // Each batch applies under one accelerator transaction, so a
+            // batch becomes visible atomically.
+            let txn = next_apply_txn();
+            accel.begin(txn);
+            for change in batch {
+                match &change.op {
+                    ChangeOp::Insert(row) => {
+                        accel.insert_rows(txn, &change.table, vec![row.clone()])?;
+                    }
+                    ChangeOp::Delete(row) => {
+                        delete_exact(accel, txn, &change.table, row)?;
+                    }
+                    ChangeOp::Update { old, new } => {
+                        delete_exact(accel, txn, &change.table, old)?;
+                        accel.insert_rows(txn, &change.table, vec![new.clone()])?;
+                    }
+                }
+                applied += 1;
+            }
+            accel.prepare(txn)?;
+            accel.commit(txn);
+            // Acknowledgement back to the host side.
+            link.transfer(Direction::ToHost, 64);
+            self.last_applied = batch.last().expect("non-empty batch").lsn;
+        }
+        self.last_applied = last_lsn;
+        self.changes_applied.fetch_add(applied as u64, Ordering::Relaxed);
+        // The host may truncate its log now.
+        host.txns.truncate_log(self.last_applied);
+        Ok(applied)
+    }
+}
+
+fn row_bytes(r: &Row) -> usize {
+    r.iter().map(Value::wire_size).sum::<usize>() + 4
+}
+
+static NEXT_APPLY_TXN: AtomicU64 = AtomicU64::new(1 << 61);
+
+fn next_apply_txn() -> u64 {
+    NEXT_APPLY_TXN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Delete exactly one accelerator row matching the full image `row`.
+/// Log-based capture ships full before-images, so equality on all columns
+/// identifies the victim.
+fn delete_exact(
+    accel: &AccelEngine,
+    txn: u64,
+    table: &ObjectName,
+    row: &Row,
+) -> Result<()> {
+    let t = accel.table(table)?;
+    let mut filter: Option<Expr> = None;
+    for (col, v) in t.schema.columns().iter().zip(row) {
+        let conj = if v.is_null() {
+            Expr::IsNull { expr: Box::new(Expr::col(&col.name)), negated: false }
+        } else {
+            Expr::Binary {
+                left: Box::new(Expr::col(&col.name)),
+                op: BinaryOp::Eq,
+                right: Box::new(Expr::Literal(v.clone())),
+            }
+        };
+        filter = Some(match filter {
+            None => conj,
+            Some(f) => f.and(conj),
+        });
+    }
+    // Delete only the first match when duplicates exist: emulate by
+    // deleting all matches and re-inserting n-1 copies — but duplicates of
+    // *full rows* are rare in practice; the simple implementation deletes
+    // all matches and reinserts the surplus.
+    let n = accel.delete_where(txn, table, filter.as_ref())?;
+    if n > 1 {
+        let surplus = vec![row.clone(); n - 1];
+        accel.insert_rows(txn, table, surplus)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idaa_common::{ColumnDef, DataType, Schema};
+    use idaa_host::{TableKind, SYSADM};
+
+    fn setup() -> (HostEngine, AccelEngine, NetLink) {
+        let host = HostEngine::default();
+        let accel = AccelEngine::default();
+        let link = NetLink::default();
+        let schema = Schema::new(vec![
+            ColumnDef::not_null("ID", DataType::Integer),
+            ColumnDef::new("V", DataType::Varchar(16)),
+        ])
+        .unwrap();
+        let name = ObjectName::bare("T");
+        host.create_table(SYSADM, &name, schema.clone(), TableKind::Regular, vec![]).unwrap();
+        accel.create_table(&name, schema, &[]).unwrap();
+        host.set_accel_status(&name, AccelStatus::Loaded).unwrap();
+        (host, accel, link)
+    }
+
+    fn row(id: i32, v: &str) -> Row {
+        vec![Value::Int(id), Value::Varchar(v.into())]
+    }
+
+    #[test]
+    fn inserts_replicate() {
+        let (host, accel, link) = setup();
+        let mut rep = Replicator::new(10);
+        let t = host.begin();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a"), row(2, "b")])
+            .unwrap();
+        host.commit(t);
+        let n = rep.apply(&host, &accel, &link).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 2);
+        assert!(link.metrics().bytes_to_accel > 0);
+    }
+
+    #[test]
+    fn uncommitted_changes_do_not_replicate() {
+        let (host, accel, link) = setup();
+        let mut rep = Replicator::new(10);
+        let t = host.begin();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a")]).unwrap();
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 0);
+        host.rollback(t).unwrap();
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 0);
+        assert!(accel.scan_visible(&ObjectName::bare("T")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn updates_and_deletes_converge() {
+        let (host, accel, link) = setup();
+        let mut rep = Replicator::new(10);
+        let t = host.begin();
+        host.insert_rows(
+            SYSADM,
+            t,
+            &ObjectName::bare("T"),
+            vec![row(1, "a"), row(2, "b"), row(3, "c")],
+        )
+        .unwrap();
+        host.commit(t);
+        rep.apply(&host, &accel, &link).unwrap();
+        let t2 = host.begin();
+        host.update_where(
+            SYSADM,
+            t2,
+            &ObjectName::bare("T"),
+            &[("V".into(), Expr::str("z"))],
+            Some(&Expr::col("ID").eq(Expr::int(2))),
+        )
+        .unwrap();
+        host.delete_where(SYSADM, t2, &ObjectName::bare("T"), Some(&Expr::col("ID").eq(Expr::int(3))))
+            .unwrap();
+        host.commit(t2);
+        rep.apply(&host, &accel, &link).unwrap();
+        let mut rows = accel.scan_visible(&ObjectName::bare("T")).unwrap();
+        rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], row(2, "z"));
+    }
+
+    #[test]
+    fn batching_controls_message_count() {
+        let (host, accel, link) = setup();
+        let t = host.begin();
+        let rows: Vec<Row> = (0..100).map(|i| row(i, "x")).collect();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), rows).unwrap();
+        host.commit(t);
+        let mut rep = Replicator::new(10);
+        rep.apply(&host, &accel, &link).unwrap();
+        assert_eq!(rep.batches_shipped.load(Ordering::Relaxed), 10);
+        assert_eq!(link.metrics().messages_to_accel, 10);
+    }
+
+    #[test]
+    fn duplicate_rows_delete_only_one() {
+        let (host, accel, link) = setup();
+        let mut rep = Replicator::new(100);
+        let t = host.begin();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a"), row(1, "a")])
+            .unwrap();
+        host.commit(t);
+        rep.apply(&host, &accel, &link).unwrap();
+        let t2 = host.begin();
+        // Host deletes both (same predicate matches both rows there too),
+        // producing two delete records; accel must converge to zero.
+        host.delete_where(SYSADM, t2, &ObjectName::bare("T"), Some(&Expr::col("ID").eq(Expr::int(1))))
+            .unwrap();
+        host.commit(t2);
+        rep.apply(&host, &accel, &link).unwrap();
+        assert!(accel.scan_visible(&ObjectName::bare("T")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn watermark_advances_and_log_truncates() {
+        let (host, accel, link) = setup();
+        let mut rep = Replicator::new(10);
+        let t = host.begin();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a")]).unwrap();
+        host.commit(t);
+        rep.apply(&host, &accel, &link).unwrap();
+        assert!(rep.last_applied() > 0);
+        assert!(host.txns.changes_since(0).is_empty(), "log truncated after apply");
+        // Idempotent when nothing new.
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Query routing: decide *where* a statement runs.
+//!
+//! Mirrors the DB2/IDAA rules:
+//!
+//! * Statements touching only accelerator-only tables always run on the
+//!   accelerator, regardless of the acceleration register — AOT data exists
+//!   nowhere else.
+//! * Read-only queries over *accelerated* regular tables are offloaded
+//!   according to `CURRENT QUERY ACCELERATION`:
+//!   `NONE` never offloads; `ENABLE` offloads when the (cost-heuristic)
+//!   optimizer expects a benefit; `ELIGIBLE` offloads whenever possible;
+//!   `ALL` offloads or fails (SQLCODE -4742 analogue).
+//! * Queries mixing AOTs with tables *not present* on the accelerator fail
+//!   with -4742 — there is no single place that can answer them.
+//! * DML on regular tables always runs in DB2; DML on AOTs always runs on
+//!   the accelerator.
+
+use idaa_common::{Error, ObjectName, Result};
+use idaa_host::{AccelStatus, HostEngine, TableKind};
+use idaa_sql::ast::{BinaryOp, Expr};
+use idaa_sql::plan::Plan;
+use idaa_sql::AccelerationMode;
+
+/// Where a statement executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    Host,
+    Accelerator,
+}
+
+/// Classification of the tables a statement references.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TableMix {
+    pub aot: usize,
+    pub accelerated: usize,
+    pub host_only: usize,
+    /// Total rows across referenced host tables (cost heuristic input).
+    pub host_rows: usize,
+    /// The query is an indexed point access on the host — `ENABLE` keeps
+    /// those local no matter the table size (DB2's optimizer would, too).
+    pub indexed_point: bool,
+}
+
+/// Does the plan look like an indexed point access? True when every base
+/// scan is filtered by an equality on the leading column of one of its
+/// host indexes.
+pub fn is_indexed_point(host: &HostEngine, plan: &Plan) -> bool {
+    fn walk(host: &HostEngine, plan: &Plan, all_indexed: &mut bool, scans: &mut usize) {
+        match plan {
+            Plan::Filter { input, predicate } => {
+                if let Plan::Scan { table, .. } = input.as_ref() {
+                    *scans += 1;
+                    if !filter_hits_index(host, table, predicate) {
+                        *all_indexed = false;
+                    }
+                } else {
+                    walk(host, input, all_indexed, scans);
+                }
+            }
+            Plan::Scan { cols, .. } => {
+                if !cols.is_empty() {
+                    *scans += 1;
+                    *all_indexed = false; // unfiltered scan
+                }
+            }
+            Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Limit { input, .. }
+            | Plan::KeepCols { input, .. } => walk(host, input, all_indexed, scans),
+            Plan::Join { left, right, .. } | Plan::Union { left, right, .. } => {
+                walk(host, left, all_indexed, scans);
+                walk(host, right, all_indexed, scans);
+            }
+        }
+    }
+    let mut all_indexed = true;
+    let mut scans = 0;
+    walk(host, plan, &mut all_indexed, &mut scans);
+    scans > 0 && all_indexed
+}
+
+fn filter_hits_index(host: &HostEngine, table: &ObjectName, predicate: &Expr) -> bool {
+    let Ok(meta) = host.table_meta(table) else { return false };
+    let mut conjs = vec![predicate];
+    let mut eq_cols: Vec<&str> = Vec::new();
+    while let Some(e) = conjs.pop() {
+        match e {
+            Expr::Binary { left, op: BinaryOp::And, right } => {
+                conjs.push(left);
+                conjs.push(right);
+            }
+            Expr::Binary { left, op: BinaryOp::Eq, right } => {
+                match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column { name, .. }, Expr::Literal(_))
+                    | (Expr::Literal(_), Expr::Column { name, .. }) => eq_cols.push(name),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    meta.indexes
+        .iter()
+        .any(|idx| idx.key_columns.first().map(|c| eq_cols.contains(&c.as_str())).unwrap_or(false))
+}
+
+/// Classify the referenced tables (resolved against the host catalog —
+/// the system of record for all metadata, per the paper's design).
+pub fn classify(host: &HostEngine, tables: &[ObjectName]) -> Result<TableMix> {
+    let mut mix = TableMix::default();
+    for t in tables {
+        if t.schema.is_none() && t.name == "SYSDUMMY1" {
+            continue;
+        }
+        let meta = host.table_meta(t)?;
+        match meta.kind {
+            TableKind::AcceleratorOnly => mix.aot += 1,
+            TableKind::Regular => match meta.accel_status {
+                AccelStatus::Loaded => {
+                    mix.accelerated += 1;
+                    mix.host_rows += host.scan_count(&meta.name);
+                }
+                _ => {
+                    mix.host_only += 1;
+                    mix.host_rows += host.scan_count(&meta.name);
+                }
+            },
+        }
+    }
+    Ok(mix)
+}
+
+/// Row-count threshold above which `ENABLE` considers offload worthwhile.
+/// DB2's real optimizer uses a cost model; a table-size threshold captures
+/// the shape that matters for the experiments (small lookups stay, big
+/// scans go).
+pub const ENABLE_OFFLOAD_ROW_THRESHOLD: usize = 10_000;
+
+/// Route a read-only query given the table mix and the session register.
+pub fn route_query(mix: &TableMix, mode: AccelerationMode) -> Result<Route> {
+    if mix.aot > 0 {
+        if mix.host_only > 0 {
+            return Err(Error::InvalidAcceleratorUse(
+                "statement references accelerator-only tables together with tables \
+                 that are not available on the accelerator"
+                    .into(),
+            ));
+        }
+        return Ok(Route::Accelerator);
+    }
+    let all_offloadable = mix.host_only == 0 && mix.accelerated > 0;
+    match mode {
+        AccelerationMode::None => Ok(Route::Host),
+        AccelerationMode::Enable => {
+            if all_offloadable
+                && mix.host_rows >= ENABLE_OFFLOAD_ROW_THRESHOLD
+                && !mix.indexed_point
+            {
+                Ok(Route::Accelerator)
+            } else {
+                Ok(Route::Host)
+            }
+        }
+        AccelerationMode::Eligible => {
+            if all_offloadable {
+                Ok(Route::Accelerator)
+            } else {
+                Ok(Route::Host)
+            }
+        }
+        AccelerationMode::All => {
+            if all_offloadable {
+                Ok(Route::Accelerator)
+            } else if mix.accelerated == 0 && mix.host_only == 0 {
+                // FROM-less / catalog-only statements run locally.
+                Ok(Route::Host)
+            } else {
+                Err(Error::NotOffloadable(
+                    "CURRENT QUERY ACCELERATION = ALL but the statement references \
+                     tables that are not accelerated"
+                        .into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Route DML by its *target* table.
+pub fn route_dml(host: &HostEngine, target: &ObjectName) -> Result<Route> {
+    let meta = host.table_meta(target)?;
+    Ok(match meta.kind {
+        TableKind::AcceleratorOnly => Route::Accelerator,
+        TableKind::Regular => Route::Host,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(aot: usize, accelerated: usize, host_only: usize, host_rows: usize) -> TableMix {
+        TableMix { aot, accelerated, host_only, host_rows, indexed_point: false }
+    }
+
+    #[test]
+    fn enable_keeps_indexed_point_lookups_local() {
+        let m = TableMix { indexed_point: true, ..mix(0, 1, 0, 1_000_000) };
+        assert_eq!(route_query(&m, AccelerationMode::Enable).unwrap(), Route::Host);
+        // ELIGIBLE still offloads (the register demands it when possible).
+        assert_eq!(route_query(&m, AccelerationMode::Eligible).unwrap(), Route::Accelerator);
+    }
+
+    #[test]
+    fn indexed_point_detection() {
+        use idaa_host::{HostEngine, TableKind, SYSADM};
+        use idaa_sql::plan::plan_query;
+        use idaa_sql::{parse_statement, Statement};
+        let host = HostEngine::default();
+        host.create_table(
+            SYSADM,
+            &ObjectName::bare("T"),
+            idaa_common::Schema::new(vec![
+                idaa_common::ColumnDef::new("ID", idaa_common::DataType::Integer),
+                idaa_common::ColumnDef::new("V", idaa_common::DataType::Integer),
+            ])
+            .unwrap(),
+            TableKind::Regular,
+            vec![],
+        )
+        .unwrap();
+        host.create_index(SYSADM, &ObjectName::bare("I1"), &ObjectName::bare("T"), vec!["ID".into()])
+            .unwrap();
+        let plan_of = |sql: &str| {
+            let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!() };
+            plan_query(&q, &host).unwrap()
+        };
+        assert!(is_indexed_point(&host, &plan_of("SELECT v FROM t WHERE id = 5")));
+        assert!(is_indexed_point(&host, &plan_of("SELECT v FROM t WHERE id = 5 AND v > 2")));
+        assert!(!is_indexed_point(&host, &plan_of("SELECT v FROM t WHERE v = 5")), "no index on V");
+        assert!(!is_indexed_point(&host, &plan_of("SELECT v FROM t WHERE id > 5")), "range, not point");
+        assert!(!is_indexed_point(&host, &plan_of("SELECT SUM(v) FROM t")), "full scan");
+        assert!(!is_indexed_point(&host, &plan_of("SELECT 1")), "no scan at all");
+    }
+
+    #[test]
+    fn aot_always_offloads() {
+        for mode in [
+            AccelerationMode::None,
+            AccelerationMode::Enable,
+            AccelerationMode::Eligible,
+            AccelerationMode::All,
+        ] {
+            assert_eq!(route_query(&mix(1, 0, 0, 0), mode).unwrap(), Route::Accelerator);
+            assert_eq!(route_query(&mix(1, 2, 0, 0), mode).unwrap(), Route::Accelerator);
+        }
+    }
+
+    #[test]
+    fn aot_mixed_with_host_only_fails() {
+        let err = route_query(&mix(1, 0, 1, 0), AccelerationMode::Eligible).unwrap_err();
+        assert_eq!(err.sqlcode(), -4742);
+    }
+
+    #[test]
+    fn none_never_offloads() {
+        assert_eq!(
+            route_query(&mix(0, 3, 0, 1_000_000), AccelerationMode::None).unwrap(),
+            Route::Host
+        );
+    }
+
+    #[test]
+    fn enable_uses_cost_heuristic() {
+        assert_eq!(
+            route_query(&mix(0, 1, 0, 100), AccelerationMode::Enable).unwrap(),
+            Route::Host,
+            "small tables stay on the host"
+        );
+        assert_eq!(
+            route_query(&mix(0, 1, 0, 1_000_000), AccelerationMode::Enable).unwrap(),
+            Route::Accelerator
+        );
+    }
+
+    #[test]
+    fn eligible_offloads_when_possible() {
+        assert_eq!(
+            route_query(&mix(0, 1, 0, 10), AccelerationMode::Eligible).unwrap(),
+            Route::Accelerator
+        );
+        assert_eq!(
+            route_query(&mix(0, 1, 1, 10), AccelerationMode::Eligible).unwrap(),
+            Route::Host,
+            "non-accelerated reference forces host execution"
+        );
+    }
+
+    #[test]
+    fn all_fails_when_not_offloadable() {
+        assert_eq!(
+            route_query(&mix(0, 2, 0, 10), AccelerationMode::All).unwrap(),
+            Route::Accelerator
+        );
+        let err = route_query(&mix(0, 1, 1, 10), AccelerationMode::All).unwrap_err();
+        assert_eq!(err.sqlcode(), -4742);
+        // FROM-less is fine.
+        assert_eq!(route_query(&mix(0, 0, 0, 0), AccelerationMode::All).unwrap(), Route::Host);
+    }
+}

@@ -1,0 +1,47 @@
+//! Client sessions: authorization id, special registers, transaction state.
+
+use idaa_host::TxnId;
+use idaa_sql::AccelerationMode;
+
+/// One application connection to the federated system.
+#[derive(Debug)]
+pub struct Session {
+    /// Authorization id (user) — all governance checks use this.
+    pub user: String,
+    /// `CURRENT QUERY ACCELERATION` special register. DB2's default is
+    /// NONE: nothing is offloaded until the application opts in.
+    pub acceleration: AccelerationMode,
+    /// Open explicit transaction, if any.
+    pub txn: Option<TxnId>,
+    /// True while inside `BEGIN … COMMIT` (suppresses autocommit).
+    pub explicit_txn: bool,
+    /// Statements executed on this session (diagnostics).
+    pub statements: u64,
+}
+
+impl Session {
+    /// Fresh session for `user` with DB2 defaults.
+    pub fn new(user: &str) -> Session {
+        Session {
+            user: user.to_uppercase(),
+            acceleration: AccelerationMode::None,
+            txn: None,
+            explicit_txn: false,
+            statements: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_db2() {
+        let s = Session::new("alice");
+        assert_eq!(s.user, "ALICE");
+        assert_eq!(s.acceleration, AccelerationMode::None);
+        assert!(s.txn.is_none());
+        assert!(!s.explicit_txn);
+    }
+}

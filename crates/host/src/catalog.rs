@@ -1,0 +1,234 @@
+//! The DB2 catalog: table metadata, index metadata, and the accelerator
+//! bookkeeping the paper's federation layer needs (nickname proxies for
+//! accelerator-only tables and acceleration status of regular tables —
+//! DB2's `SYSACCEL.SYSACCELERATEDTABLES` analogue).
+
+use idaa_common::{Error, ObjectName, Result, Schema};
+use std::collections::BTreeMap;
+
+/// Stable table identifier.
+pub type TableId = u64;
+
+/// What kind of object a catalog entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Ordinary DB2 table with heap storage on the host.
+    Regular,
+    /// Accelerator-only table: the host keeps *only this proxy entry*
+    /// ("nickname"); all data lives on the accelerator.
+    AcceleratorOnly,
+}
+
+/// Replication status of a regular table with respect to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccelStatus {
+    /// Not defined on the accelerator.
+    #[default]
+    NotAccelerated,
+    /// Defined (`ACCEL_ADD_TABLES`) but not yet loaded.
+    Added,
+    /// Snapshot loaded; incremental replication keeps it fresh; queries may
+    /// be routed to the accelerator.
+    Loaded,
+}
+
+/// Index metadata (the index structure itself lives with the storage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMeta {
+    pub name: ObjectName,
+    pub key_columns: Vec<String>,
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub id: TableId,
+    pub name: ObjectName,
+    pub schema: Schema,
+    pub kind: TableKind,
+    pub accel_status: AccelStatus,
+    /// Distribution key recorded for accelerator tables.
+    pub distribute_by: Vec<String>,
+    pub indexes: Vec<IndexMeta>,
+    /// Authorization id that created the table (implicit full privileges).
+    pub owner: String,
+}
+
+/// The catalog proper.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<ObjectName, TableMeta>,
+    next_id: TableId,
+}
+
+impl Catalog {
+    /// Register a new table; errors on duplicates (SQLCODE -601 analogue).
+    pub fn create_table(
+        &mut self,
+        name: ObjectName,
+        schema: Schema,
+        kind: TableKind,
+        distribute_by: Vec<String>,
+        owner: &str,
+    ) -> Result<TableId> {
+        if self.tables.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("table {name} already exists")));
+        }
+        // Validate the distribution key names exist.
+        for c in &distribute_by {
+            schema.index_of(c)?;
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        self.tables.insert(
+            name.clone(),
+            TableMeta {
+                id,
+                name,
+                schema,
+                kind,
+                accel_status: AccelStatus::NotAccelerated,
+                distribute_by,
+                indexes: Vec::new(),
+                owner: owner.to_string(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Remove a table entry, returning its metadata.
+    pub fn drop_table(&mut self, name: &ObjectName) -> Result<TableMeta> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| Error::UndefinedObject(format!("table {name} is not defined")))
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &ObjectName) -> Result<&TableMeta> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::UndefinedObject(format!("table {name} is not defined")))
+    }
+
+    /// Mutable lookup.
+    pub fn table_mut(&mut self, name: &ObjectName) -> Result<&mut TableMeta> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::UndefinedObject(format!("table {name} is not defined")))
+    }
+
+    /// True if the table exists.
+    pub fn exists(&self, name: &ObjectName) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Register an index on an existing table.
+    pub fn create_index(
+        &mut self,
+        index_name: ObjectName,
+        table: &ObjectName,
+        key_columns: Vec<String>,
+    ) -> Result<()> {
+        if self.tables.values().any(|t| t.indexes.iter().any(|i| i.name == index_name)) {
+            return Err(Error::AlreadyExists(format!("index {index_name} already exists")));
+        }
+        let meta = self.table_mut(table)?;
+        if meta.kind == TableKind::AcceleratorOnly {
+            return Err(Error::InvalidAcceleratorUse(format!(
+                "indexes cannot be created on accelerator-only table {table}"
+            )));
+        }
+        for c in &key_columns {
+            meta.schema.index_of(c)?;
+        }
+        meta.indexes.push(IndexMeta { name: index_name, key_columns });
+        Ok(())
+    }
+
+    /// All table entries (deterministic order).
+    pub fn all_tables(&self) -> impl Iterator<Item = &TableMeta> {
+        self.tables.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idaa_common::{ColumnDef, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("A", DataType::Integer),
+            ColumnDef::new("B", DataType::Varchar(8)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut c = Catalog::default();
+        let name = ObjectName::qualified("APP", "T1");
+        let id = c
+            .create_table(name.clone(), schema(), TableKind::Regular, vec![], "ALICE")
+            .unwrap();
+        assert_eq!(c.table(&name).unwrap().id, id);
+        assert_eq!(c.table(&name).unwrap().owner, "ALICE");
+        let meta = c.drop_table(&name).unwrap();
+        assert_eq!(meta.id, id);
+        assert!(matches!(c.table(&name), Err(Error::UndefinedObject(_))));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::default();
+        let name = ObjectName::bare("T");
+        c.create_table(name.clone(), schema(), TableKind::Regular, vec![], "A").unwrap();
+        assert!(matches!(
+            c.create_table(name, schema(), TableKind::Regular, vec![], "A"),
+            Err(Error::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn distribution_key_validated() {
+        let mut c = Catalog::default();
+        let r = c.create_table(
+            ObjectName::bare("T"),
+            schema(),
+            TableKind::AcceleratorOnly,
+            vec!["NOPE".into()],
+            "A",
+        );
+        assert!(matches!(r, Err(Error::UndefinedColumn(_))));
+    }
+
+    #[test]
+    fn index_creation_rules() {
+        let mut c = Catalog::default();
+        let t = ObjectName::bare("T");
+        let aot = ObjectName::bare("AOT");
+        c.create_table(t.clone(), schema(), TableKind::Regular, vec![], "A").unwrap();
+        c.create_table(aot.clone(), schema(), TableKind::AcceleratorOnly, vec![], "A").unwrap();
+        c.create_index(ObjectName::bare("I1"), &t, vec!["A".into()]).unwrap();
+        // Duplicate index name.
+        assert!(c.create_index(ObjectName::bare("I1"), &t, vec!["B".into()]).is_err());
+        // Unknown column.
+        assert!(c.create_index(ObjectName::bare("I2"), &t, vec!["Z".into()]).is_err());
+        // AOTs cannot have host indexes.
+        assert!(matches!(
+            c.create_index(ObjectName::bare("I3"), &aot, vec!["A".into()]),
+            Err(Error::InvalidAcceleratorUse(_))
+        ));
+    }
+
+    #[test]
+    fn accel_status_transitions() {
+        let mut c = Catalog::default();
+        let t = ObjectName::bare("T");
+        c.create_table(t.clone(), schema(), TableKind::Regular, vec![], "A").unwrap();
+        assert_eq!(c.table(&t).unwrap().accel_status, AccelStatus::NotAccelerated);
+        c.table_mut(&t).unwrap().accel_status = AccelStatus::Added;
+        c.table_mut(&t).unwrap().accel_status = AccelStatus::Loaded;
+        assert_eq!(c.table(&t).unwrap().accel_status, AccelStatus::Loaded);
+    }
+}

@@ -1,0 +1,731 @@
+//! The host engine facade: DB2-for-z/OS stand-in.
+//!
+//! Glues catalog, heap storage, indexes, the lock manager, transactions,
+//! change capture and the row executor into one object with a
+//! statement-level API. The federation layer (`idaa-core`) sits on top and
+//! decides which statements ever reach this engine versus the accelerator.
+
+use crate::catalog::{AccelStatus, Catalog, TableId, TableKind, TableMeta};
+use crate::exec::{execute_plan, RowSource};
+use crate::index::BTreeIndex;
+use crate::lock::{LockManager, LockMode};
+use crate::privilege::PrivilegeCatalog;
+use crate::storage::{HeapTable, Rid};
+use crate::txn::{ChangeOp, ChangeRecord, TxnId, TxnManager, UndoRecord};
+use idaa_common::{Error, ObjectName, Result, Row, Rows, Schema, Value};
+use idaa_sql::ast::{Expr, Query};
+use idaa_sql::eval::{bind, eval, eval_predicate, FlatResolver};
+use idaa_sql::plan::{plan_query, SchemaProvider};
+use idaa_sql::Privilege;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Storage attached to one regular table.
+struct TableStore {
+    heap: HeapTable,
+    indexes: RwLock<Vec<Arc<BTreeIndex>>>,
+}
+
+/// Simple operation counters (exposed to the bench harness).
+#[derive(Debug, Default)]
+pub struct HostStats {
+    pub rows_scanned: AtomicU64,
+    pub rows_inserted: AtomicU64,
+    pub rows_deleted: AtomicU64,
+    pub rows_updated: AtomicU64,
+    pub index_lookups: AtomicU64,
+    pub index_range_scans: AtomicU64,
+    pub statements: AtomicU64,
+}
+
+/// The DB2-style host engine.
+pub struct HostEngine {
+    catalog: RwLock<Catalog>,
+    stores: RwLock<HashMap<TableId, Arc<TableStore>>>,
+    pub txns: TxnManager,
+    pub locks: LockManager,
+    pub privileges: RwLock<PrivilegeCatalog>,
+    pub stats: HostStats,
+    default_schema: String,
+}
+
+/// The authorization id that administers the system.
+pub const SYSADM: &str = "SYSADM";
+
+impl Default for HostEngine {
+    fn default() -> Self {
+        Self::new("APP")
+    }
+}
+
+impl HostEngine {
+    /// Engine with the given default schema and a SYSADM administrator.
+    pub fn new(default_schema: &str) -> HostEngine {
+        HostEngine {
+            catalog: RwLock::new(Catalog::default()),
+            stores: RwLock::new(HashMap::new()),
+            txns: TxnManager::default(),
+            locks: LockManager::default(),
+            privileges: RwLock::new(PrivilegeCatalog::with_admin(SYSADM)),
+            stats: HostStats::default(),
+            default_schema: default_schema.to_string(),
+        }
+    }
+
+    /// Resolve a possibly-unqualified name in the default schema.
+    pub fn resolve(&self, name: &ObjectName) -> ObjectName {
+        name.resolve(&self.default_schema)
+    }
+
+    // -- transactions --------------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        self.txns.begin()
+    }
+
+    /// Commit: publish CDC records and release all locks.
+    pub fn commit(&self, txn: TxnId) -> Vec<ChangeRecord> {
+        let changes = self.txns.commit(txn);
+        self.locks.release_all(txn);
+        changes
+    }
+
+    /// Roll back: apply the undo log in reverse, then release locks.
+    pub fn rollback(&self, txn: TxnId) -> Result<()> {
+        let undo = self.txns.rollback(txn);
+        for rec in undo {
+            match rec {
+                UndoRecord::Insert { table, rid, row } => {
+                    let store = self.store(&table)?;
+                    store.heap.delete(rid)?;
+                    for idx in store.indexes.read().iter() {
+                        idx.remove(&row, rid);
+                    }
+                }
+                UndoRecord::Delete { table, rid, row } => {
+                    let store = self.store(&table)?;
+                    store.heap.restore(rid, row.clone())?;
+                    for idx in store.indexes.read().iter() {
+                        idx.insert(&row, rid);
+                    }
+                }
+                UndoRecord::Update { table, rid, old, new } => {
+                    let store = self.store(&table)?;
+                    store.heap.update(rid, old.clone())?;
+                    for idx in store.indexes.read().iter() {
+                        idx.remove(&new, rid);
+                        idx.insert(&old, rid);
+                    }
+                }
+            }
+        }
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    /// End-of-statement processing under cursor stability: drop S locks.
+    pub fn end_statement(&self, txn: TxnId) {
+        self.locks.release_shared(txn);
+    }
+
+    // -- DDL ------------------------------------------------------------------
+
+    /// `CREATE TABLE`. For `kind == AcceleratorOnly` only the catalog proxy
+    /// is created — data placement is the federation layer's job.
+    pub fn create_table(
+        &self,
+        user: &str,
+        name: &ObjectName,
+        schema: Schema,
+        kind: TableKind,
+        distribute_by: Vec<String>,
+    ) -> Result<TableId> {
+        let name = self.resolve(name);
+        let id = self.catalog.write().create_table(
+            name.clone(),
+            schema.clone(),
+            kind,
+            distribute_by,
+            user,
+        )?;
+        if kind == TableKind::Regular {
+            self.stores.write().insert(
+                id,
+                Arc::new(TableStore { heap: HeapTable::new(&schema), indexes: RwLock::new(vec![]) }),
+            );
+        }
+        self.privileges.write().set_owner(name, user);
+        Ok(id)
+    }
+
+    /// `DROP TABLE` (requires ownership or admin).
+    pub fn drop_table(&self, user: &str, name: &ObjectName) -> Result<TableMeta> {
+        let name = self.resolve(name);
+        // DROP requires control: model as needing every privilege.
+        self.privileges.read().check(user, &name, Privilege::All)?;
+        let meta = self.catalog.write().drop_table(&name)?;
+        self.stores.write().remove(&meta.id);
+        self.privileges.write().drop_object(&name);
+        Ok(meta)
+    }
+
+    /// `CREATE INDEX` (backfills from existing rows).
+    pub fn create_index(
+        &self,
+        user: &str,
+        index_name: &ObjectName,
+        table: &ObjectName,
+        columns: Vec<String>,
+    ) -> Result<()> {
+        let table = self.resolve(table);
+        self.privileges.read().check(user, &table, Privilege::All)?;
+        self.catalog.write().create_index(index_name.clone(), &table, columns.clone())?;
+        let meta = self.table_meta(&table)?;
+        let ordinals: Vec<usize> = columns
+            .iter()
+            .map(|c| meta.schema.index_of(c))
+            .collect::<Result<_>>()?;
+        let idx = Arc::new(BTreeIndex::new(index_name.to_string(), ordinals));
+        let store = self.store(&table)?;
+        store.heap.for_each(|rid, row| idx.insert(row, rid));
+        store.indexes.write().push(idx);
+        Ok(())
+    }
+
+    // -- metadata access ------------------------------------------------------
+
+    /// Catalog entry for `name`.
+    pub fn table_meta(&self, name: &ObjectName) -> Result<TableMeta> {
+        let name = self.resolve(name);
+        self.catalog.read().table(&name).cloned()
+    }
+
+    /// Update the acceleration status of a regular table.
+    pub fn set_accel_status(&self, name: &ObjectName, status: AccelStatus) -> Result<()> {
+        let name = self.resolve(name);
+        self.catalog.write().table_mut(&name)?.accel_status = status;
+        Ok(())
+    }
+
+    /// Names of all tables in the catalog.
+    pub fn table_names(&self) -> Vec<ObjectName> {
+        self.catalog.read().all_tables().map(|t| t.name.clone()).collect()
+    }
+
+    fn store(&self, name: &ObjectName) -> Result<Arc<TableStore>> {
+        let name = self.resolve(name);
+        let meta = self.catalog.read().table(&name)?.clone();
+        if meta.kind == TableKind::AcceleratorOnly {
+            return Err(Error::InvalidAcceleratorUse(format!(
+                "table {name} is accelerator-only; the host holds no data for it"
+            )));
+        }
+        self.stores
+            .read()
+            .get(&meta.id)
+            .cloned()
+            .ok_or_else(|| Error::internal(format!("missing store for {name}")))
+    }
+
+    // -- DML -------------------------------------------------------------------
+
+    /// Insert fully-materialized rows (after `check_row` coercion) into a
+    /// regular table. Returns the number of rows inserted.
+    pub fn insert_rows(
+        &self,
+        user: &str,
+        txn: TxnId,
+        table: &ObjectName,
+        rows: Vec<Row>,
+    ) -> Result<usize> {
+        let table = self.resolve(table);
+        self.privileges.read().check(user, &table, Privilege::Insert)?;
+        let meta = self.table_meta(&table)?;
+        self.locks.lock(txn, &table, LockMode::Exclusive)?;
+        let store = self.store(&table)?;
+        let mut n = 0;
+        for raw in rows {
+            let row = meta.schema.check_row(&raw)?;
+            let rid = store.heap.insert(row.clone());
+            for idx in store.indexes.read().iter() {
+                idx.insert(&row, rid);
+            }
+            self.txns.record(
+                txn,
+                UndoRecord::Insert { table: table.clone(), rid, row: row.clone() },
+                Some((table.clone(), ChangeOp::Insert(row))),
+            );
+            n += 1;
+        }
+        self.stats.rows_inserted.fetch_add(n as u64, Ordering::Relaxed);
+        self.stats.statements.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// `DELETE FROM table [WHERE filter]`; returns rows deleted.
+    pub fn delete_where(
+        &self,
+        user: &str,
+        txn: TxnId,
+        table: &ObjectName,
+        filter: Option<&Expr>,
+    ) -> Result<usize> {
+        let table = self.resolve(table);
+        self.privileges.read().check(user, &table, Privilege::Delete)?;
+        let meta = self.table_meta(&table)?;
+        self.locks.lock(txn, &table, LockMode::Exclusive)?;
+        let store = self.store(&table)?;
+        let victims = self.matching_rids(&store, &meta, filter)?;
+        for (rid, row) in &victims {
+            store.heap.delete(*rid)?;
+            for idx in store.indexes.read().iter() {
+                idx.remove(row, *rid);
+            }
+            self.txns.record(
+                txn,
+                UndoRecord::Delete { table: table.clone(), rid: *rid, row: row.clone() },
+                Some((table.clone(), ChangeOp::Delete(row.clone()))),
+            );
+        }
+        self.stats.rows_deleted.fetch_add(victims.len() as u64, Ordering::Relaxed);
+        self.stats.statements.fetch_add(1, Ordering::Relaxed);
+        Ok(victims.len())
+    }
+
+    /// `UPDATE table SET assignments [WHERE filter]`; returns rows updated.
+    pub fn update_where(
+        &self,
+        user: &str,
+        txn: TxnId,
+        table: &ObjectName,
+        assignments: &[(String, Expr)],
+        filter: Option<&Expr>,
+    ) -> Result<usize> {
+        let table = self.resolve(table);
+        self.privileges.read().check(user, &table, Privilege::Update)?;
+        let meta = self.table_meta(&table)?;
+        self.locks.lock(txn, &table, LockMode::Exclusive)?;
+        let store = self.store(&table)?;
+        let resolver = FlatResolver::from_schema(Some(&table.name), &meta.schema);
+        let bound: Vec<(usize, idaa_sql::eval::BoundExpr)> = assignments
+            .iter()
+            .map(|(col, e)| Ok((meta.schema.index_of(col)?, bind(e, &resolver)?)))
+            .collect::<Result<_>>()?;
+        let victims = self.matching_rids(&store, &meta, filter)?;
+        for (rid, old) in &victims {
+            let mut new = old.clone();
+            for (ordinal, expr) in &bound {
+                new[*ordinal] = eval(expr, old)?;
+            }
+            let new = meta.schema.check_row(&new)?;
+            store.heap.update(*rid, new.clone())?;
+            for idx in store.indexes.read().iter() {
+                idx.remove(old, *rid);
+                idx.insert(&new, *rid);
+            }
+            self.txns.record(
+                txn,
+                UndoRecord::Update {
+                    table: table.clone(),
+                    rid: *rid,
+                    old: old.clone(),
+                    new: new.clone(),
+                },
+                Some((table.clone(), ChangeOp::Update { old: old.clone(), new })),
+            );
+        }
+        self.stats.rows_updated.fetch_add(victims.len() as u64, Ordering::Relaxed);
+        self.stats.statements.fetch_add(1, Ordering::Relaxed);
+        Ok(victims.len())
+    }
+
+    fn matching_rids(
+        &self,
+        store: &TableStore,
+        meta: &TableMeta,
+        filter: Option<&Expr>,
+    ) -> Result<Vec<(Rid, Row)>> {
+        let all = store.heap.scan();
+        self.stats.rows_scanned.fetch_add(all.len() as u64, Ordering::Relaxed);
+        match filter {
+            None => Ok(all),
+            Some(f) => {
+                let resolver = FlatResolver::from_schema(Some(&meta.name.name), &meta.schema);
+                let bound = bind(f, &resolver)?;
+                all.into_iter()
+                    .filter_map(|(rid, row)| match eval_predicate(&bound, &row) {
+                        Ok(true) => Some(Ok((rid, row))),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    // -- queries ---------------------------------------------------------------
+
+    /// Execute a `SELECT` on the host: authorization, S locks (cursor
+    /// stability — released at statement end), plan, run.
+    pub fn query(&self, user: &str, txn: TxnId, query: &Query) -> Result<Rows> {
+        let plan = plan_query(query, self)?;
+        let tables: Vec<ObjectName> =
+            plan.tables().iter().map(|t| self.resolve(t)).collect();
+        {
+            let privs = self.privileges.read();
+            for t in &tables {
+                if t.name == "SYSDUMMY1" {
+                    continue;
+                }
+                privs.check(user, t, Privilege::Select)?;
+            }
+        }
+        for t in &tables {
+            if t.name == "SYSDUMMY1" {
+                continue;
+            }
+            self.locks.lock(txn, t, LockMode::Shared)?;
+        }
+        let result = execute_plan(&plan, &EngineSource { engine: self });
+        self.end_statement(txn);
+        self.stats.statements.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Live row count of a regular table (0 for AOT proxies) — the
+    /// router's cost-heuristic input, analogous to catalog statistics.
+    pub fn scan_count(&self, name: &ObjectName) -> usize {
+        self.store(name).map(|s| s.heap.len()).unwrap_or(0)
+    }
+
+    /// Raw scan used by the federation layer (initial accelerator load).
+    pub fn scan_all(&self, table: &ObjectName) -> Result<Vec<Row>> {
+        let store = self.store(table)?;
+        let rows: Vec<Row> = store.heap.scan().into_iter().map(|(_, r)| r).collect();
+        self.stats.rows_scanned.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        Ok(rows)
+    }
+}
+
+impl SchemaProvider for HostEngine {
+    fn table_schema(&self, name: &ObjectName) -> Result<Schema> {
+        if name.schema.is_none() && name.name == "SYSDUMMY1" {
+            return Ok(Schema::default());
+        }
+        Ok(self.table_meta(name)?.schema)
+    }
+}
+
+/// Adapter exposing engine storage to the executor.
+struct EngineSource<'a> {
+    engine: &'a HostEngine,
+}
+
+impl RowSource for EngineSource<'_> {
+    fn scan_table(&self, table: &ObjectName) -> Result<Vec<Row>> {
+        self.engine.scan_all(table)
+    }
+
+    fn index_lookup(
+        &self,
+        table: &ObjectName,
+        column: &str,
+        value: &Value,
+    ) -> Result<Option<Vec<Row>>> {
+        let store = self.engine.store(table)?;
+        let meta = self.engine.table_meta(table)?;
+        let ordinal = meta.schema.index_of(column)?;
+        let indexes = store.indexes.read();
+        let Some(idx) = indexes.iter().find(|i| i.key_columns.first() == Some(&ordinal)) else {
+            return Ok(None);
+        };
+        // Single-column prefix match only: multi-column indexes still serve
+        // equality on their leading column, with the residual re-checked by
+        // the caller — but only if the lookup key is the full key.
+        if idx.key_columns.len() != 1 {
+            return Ok(None);
+        }
+        self.engine.stats.index_lookups.fetch_add(1, Ordering::Relaxed);
+        let rows = idx
+            .lookup(std::slice::from_ref(value))
+            .into_iter()
+            .filter_map(|rid| store.heap.get(rid))
+            .collect();
+        Ok(Some(rows))
+    }
+
+    fn index_range(
+        &self,
+        table: &ObjectName,
+        column: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Result<Option<Vec<Row>>> {
+        if low.is_none() && high.is_none() {
+            return Ok(None);
+        }
+        let store = self.engine.store(table)?;
+        let meta = self.engine.table_meta(table)?;
+        let ordinal = meta.schema.index_of(column)?;
+        let indexes = store.indexes.read();
+        let Some(idx) = indexes
+            .iter()
+            .find(|i| i.key_columns.len() == 1 && i.key_columns[0] == ordinal)
+        else {
+            return Ok(None);
+        };
+        self.engine.stats.index_range_scans.fetch_add(1, Ordering::Relaxed);
+        let rows = idx
+            .range(low, high)
+            .into_iter()
+            .filter_map(|rid| store.heap.get(rid))
+            .collect();
+        Ok(Some(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idaa_common::{ColumnDef, DataType};
+    use idaa_sql::{parse_statement, Statement};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::not_null("ID", DataType::Integer),
+            ColumnDef::new("NAME", DataType::Varchar(16)),
+            ColumnDef::new("PAY", DataType::Integer),
+        ])
+        .unwrap()
+    }
+
+    fn setup() -> HostEngine {
+        let e = HostEngine::default();
+        e.create_table(SYSADM, &ObjectName::bare("EMP"), schema(), TableKind::Regular, vec![])
+            .unwrap();
+        e
+    }
+
+    fn query(e: &HostEngine, user: &str, txn: TxnId, sql: &str) -> Result<Rows> {
+        let Statement::Query(q) = parse_statement(sql).unwrap() else { panic!() };
+        e.query(user, txn, &q)
+    }
+
+    fn row(id: i32, name: &str, pay: i32) -> Row {
+        vec![Value::Int(id), Value::Varchar(name.into()), Value::Int(pay)]
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let e = setup();
+        let t = e.begin();
+        e.insert_rows(SYSADM, t, &ObjectName::bare("EMP"), vec![row(1, "ann", 10)]).unwrap();
+        e.commit(t);
+        let t2 = e.begin();
+        let r = query(&e, SYSADM, t2, "SELECT name FROM emp WHERE id = 1").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Varchar("ann".into()));
+    }
+
+    #[test]
+    fn rollback_undoes_everything() {
+        let e = setup();
+        let t = e.begin();
+        e.insert_rows(SYSADM, t, &ObjectName::bare("EMP"), vec![row(1, "a", 1), row(2, "b", 2)])
+            .unwrap();
+        e.commit(t);
+        let t2 = e.begin();
+        e.insert_rows(SYSADM, t2, &ObjectName::bare("EMP"), vec![row(3, "c", 3)]).unwrap();
+        e.update_where(
+            SYSADM,
+            t2,
+            &ObjectName::bare("EMP"),
+            &[("PAY".into(), Expr::int(99))],
+            Some(&Expr::col("ID").eq(Expr::int(1))),
+        )
+        .unwrap();
+        e.delete_where(SYSADM, t2, &ObjectName::bare("EMP"), Some(&Expr::col("ID").eq(Expr::int(2))))
+            .unwrap();
+        e.rollback(t2).unwrap();
+        let t3 = e.begin();
+        let r = query(&e, SYSADM, t3, "SELECT id, pay FROM emp ORDER BY id").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0], vec![Value::Int(1), Value::Int(1)]);
+        assert_eq!(r.rows[1], vec![Value::Int(2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn commit_publishes_cdc() {
+        let e = setup();
+        let t = e.begin();
+        e.insert_rows(SYSADM, t, &ObjectName::bare("EMP"), vec![row(1, "a", 1)]).unwrap();
+        let changes = e.commit(t);
+        assert_eq!(changes.len(), 1);
+        assert!(matches!(changes[0].op, ChangeOp::Insert(_)));
+        assert_eq!(e.txns.changes_since(0).len(), 1);
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let e = setup();
+        let t = e.begin();
+        let r = e.insert_rows(
+            SYSADM,
+            t,
+            &ObjectName::bare("EMP"),
+            vec![vec![Value::Null, Value::Null, Value::Null]],
+        );
+        assert!(matches!(r, Err(Error::Constraint(_))));
+    }
+
+    #[test]
+    fn privileges_enforced_on_dml_and_query() {
+        let e = setup();
+        let t = e.begin();
+        assert!(matches!(
+            e.insert_rows("BOB", t, &ObjectName::bare("EMP"), vec![row(1, "x", 1)]),
+            Err(Error::Privilege(_))
+        ));
+        assert!(matches!(
+            query(&e, "BOB", t, "SELECT * FROM emp"),
+            Err(Error::Privilege(_))
+        ));
+        e.privileges
+            .write()
+            .grant(SYSADM, "BOB", &ObjectName::qualified("APP", "EMP"), &[Privilege::Select])
+            .unwrap();
+        query(&e, "BOB", t, "SELECT * FROM emp").unwrap();
+    }
+
+    #[test]
+    fn index_speeds_point_lookup_and_stays_consistent() {
+        let e = setup();
+        let t = e.begin();
+        let rows: Vec<Row> = (0..500).map(|i| row(i, "n", i * 2)).collect();
+        e.insert_rows(SYSADM, t, &ObjectName::bare("EMP"), rows).unwrap();
+        e.commit(t);
+        e.create_index(SYSADM, &ObjectName::bare("EMP_ID"), &ObjectName::bare("EMP"), vec!["ID".into()])
+            .unwrap();
+        let t2 = e.begin();
+        let before = e.stats.index_lookups.load(Ordering::Relaxed);
+        let r = query(&e, SYSADM, t2, "SELECT pay FROM emp WHERE id = 123").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(246));
+        assert_eq!(e.stats.index_lookups.load(Ordering::Relaxed), before + 1);
+        // Update moves the row in the index.
+        e.update_where(
+            SYSADM,
+            t2,
+            &ObjectName::bare("EMP"),
+            &[("ID".into(), Expr::int(9999))],
+            Some(&Expr::col("ID").eq(Expr::int(123))),
+        )
+        .unwrap();
+        let r = query(&e, SYSADM, t2, "SELECT pay FROM emp WHERE id = 9999").unwrap();
+        assert_eq!(r.len(), 1);
+        let r = query(&e, SYSADM, t2, "SELECT pay FROM emp WHERE id = 123").unwrap();
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn index_range_scan_serves_between_and_comparisons() {
+        let e = setup();
+        let t = e.begin();
+        let rows: Vec<Row> = (0..1000).map(|i| row(i, "n", i)).collect();
+        e.insert_rows(SYSADM, t, &ObjectName::bare("EMP"), rows).unwrap();
+        e.commit(t);
+        e.create_index(SYSADM, &ObjectName::bare("EMP_ID"), &ObjectName::bare("EMP"), vec!["ID".into()])
+            .unwrap();
+        let t2 = e.begin();
+        let before = e.stats.index_range_scans.load(Ordering::Relaxed);
+        let r = query(&e, SYSADM, t2, "SELECT COUNT(*) FROM emp WHERE id BETWEEN 100 AND 199").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(100));
+        assert_eq!(e.stats.index_range_scans.load(Ordering::Relaxed), before + 1);
+        // Strict bounds return the exact answer (superset + residual).
+        let r = query(&e, SYSADM, t2, "SELECT COUNT(*) FROM emp WHERE id > 990 AND id < 995").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(4));
+        assert_eq!(e.stats.index_range_scans.load(Ordering::Relaxed), before + 2);
+        // Unindexed column still answers via scan.
+        let r = query(&e, SYSADM, t2, "SELECT COUNT(*) FROM emp WHERE pay < 10").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(10));
+        assert_eq!(e.stats.index_range_scans.load(Ordering::Relaxed), before + 2);
+    }
+
+    #[test]
+    fn write_blocks_concurrent_reader_until_commit() {
+        let e = Arc::new(HostEngine::new("APP"));
+        e.create_table(SYSADM, &ObjectName::bare("EMP"), schema(), TableKind::Regular, vec![])
+            .unwrap();
+        let t1 = e.begin();
+        e.insert_rows(SYSADM, t1, &ObjectName::bare("EMP"), vec![row(1, "a", 1)]).unwrap();
+        let e2 = Arc::clone(&e);
+        let reader = std::thread::spawn(move || {
+            let t2 = e2.begin();
+            let r = query(&e2, SYSADM, t2, "SELECT COUNT(*) FROM emp");
+            e2.commit(t2);
+            r
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        e.commit(t1);
+        let r = reader.join().unwrap().unwrap();
+        // Reader waited for the X lock; sees the committed row.
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(1));
+    }
+
+    #[test]
+    fn aot_proxy_has_no_host_storage() {
+        let e = setup();
+        e.create_table(
+            SYSADM,
+            &ObjectName::bare("STAGE"),
+            schema(),
+            TableKind::AcceleratorOnly,
+            vec![],
+        )
+        .unwrap();
+        let t = e.begin();
+        let r = e.insert_rows(SYSADM, t, &ObjectName::bare("STAGE"), vec![row(1, "x", 1)]);
+        assert!(matches!(r, Err(Error::InvalidAcceleratorUse(_))));
+        // But the schema is visible through the catalog proxy.
+        assert_eq!(e.table_meta(&ObjectName::bare("STAGE")).unwrap().schema.len(), 3);
+    }
+
+    #[test]
+    fn drop_table_requires_control() {
+        let e = setup();
+        assert!(matches!(
+            e.drop_table("BOB", &ObjectName::bare("EMP")),
+            Err(Error::Privilege(_))
+        ));
+        e.drop_table(SYSADM, &ObjectName::bare("EMP")).unwrap();
+        assert!(e.table_meta(&ObjectName::bare("EMP")).is_err());
+    }
+
+    #[test]
+    fn update_with_expression_assignment() {
+        let e = setup();
+        let t = e.begin();
+        e.insert_rows(SYSADM, t, &ObjectName::bare("EMP"), vec![row(1, "a", 10), row(2, "b", 20)])
+            .unwrap();
+        let n = e
+            .update_where(
+                SYSADM,
+                t,
+                &ObjectName::bare("EMP"),
+                &[(
+                    "PAY".into(),
+                    Expr::Binary {
+                        left: Box::new(Expr::col("PAY")),
+                        op: idaa_sql::ast::BinaryOp::Mul,
+                        right: Box::new(Expr::int(2)),
+                    },
+                )],
+                None,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        let r = query(&e, SYSADM, t, "SELECT SUM(pay) FROM emp").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(60));
+    }
+}

@@ -1,0 +1,160 @@
+//! In-memory B-tree indexes for the host engine.
+//!
+//! Indexes give the host its OLTP edge: point `SELECT`s on indexed keys are
+//! O(log n) here versus a full (even if parallel) scan on the accelerator —
+//! experiment E2 measures exactly this asymmetry.
+
+use crate::storage::Rid;
+use idaa_common::{Row, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Composite index key ordered by SQL total order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexKey(pub Vec<Value>);
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            let o = a.cmp_total(b);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+/// A secondary index over one or more columns of a heap table.
+#[derive(Debug)]
+pub struct BTreeIndex {
+    /// Name (for the catalog).
+    pub name: String,
+    /// Column ordinals forming the key, in order.
+    pub key_columns: Vec<usize>,
+    entries: RwLock<BTreeMap<IndexKey, Vec<Rid>>>,
+}
+
+impl BTreeIndex {
+    /// Empty index over `key_columns` of the owning table.
+    pub fn new(name: impl Into<String>, key_columns: Vec<usize>) -> BTreeIndex {
+        BTreeIndex { name: name.into(), key_columns, entries: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// Extract this index's key from a full row.
+    pub fn key_of(&self, row: &Row) -> IndexKey {
+        IndexKey(self.key_columns.iter().map(|&i| row[i].clone()).collect())
+    }
+
+    /// Register a row.
+    pub fn insert(&self, row: &Row, rid: Rid) {
+        self.entries.write().entry(self.key_of(row)).or_default().push(rid);
+    }
+
+    /// Deregister a row.
+    pub fn remove(&self, row: &Row, rid: Rid) {
+        let key = self.key_of(row);
+        let mut entries = self.entries.write();
+        if let Some(rids) = entries.get_mut(&key) {
+            rids.retain(|r| *r != rid);
+            if rids.is_empty() {
+                entries.remove(&key);
+            }
+        }
+    }
+
+    /// RIDs matching an exact key.
+    pub fn lookup(&self, key: &[Value]) -> Vec<Rid> {
+        self.entries
+            .read()
+            .get(&IndexKey(key.to_vec()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// RIDs in an inclusive key range over the *first* key column (used for
+    /// BETWEEN/`<`/`>` on single-column indexes).
+    pub fn range(&self, low: Option<&Value>, high: Option<&Value>) -> Vec<Rid> {
+        let entries = self.entries.read();
+        entries
+            .iter()
+            .filter(|(k, _)| {
+                let first = &k.0[0];
+                let above = low
+                    .map(|l| first.cmp_total(l) != std::cmp::Ordering::Less)
+                    .unwrap_or(true);
+                let below = high
+                    .map(|h| first.cmp_total(h) != std::cmp::Ordering::Greater)
+                    .unwrap_or(true);
+                above && below
+            })
+            .flat_map(|(_, rids)| rids.iter().copied())
+            .collect()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(a: i32, b: &str) -> Row {
+        vec![Value::Int(a), Value::Varchar(b.into())]
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let idx = BTreeIndex::new("I1", vec![0]);
+        let r1 = Rid::new(0, 0);
+        let r2 = Rid::new(0, 1);
+        idx.insert(&row(5, "a"), r1);
+        idx.insert(&row(5, "b"), r2);
+        idx.insert(&row(7, "c"), Rid::new(0, 2));
+        assert_eq!(idx.lookup(&[Value::Int(5)]), vec![r1, r2]);
+        idx.remove(&row(5, "a"), r1);
+        assert_eq!(idx.lookup(&[Value::Int(5)]), vec![r2]);
+        idx.remove(&row(5, "b"), r2);
+        assert!(idx.lookup(&[Value::Int(5)]).is_empty());
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let idx = BTreeIndex::new("I2", vec![0, 1]);
+        idx.insert(&row(1, "x"), Rid::new(0, 0));
+        idx.insert(&row(1, "y"), Rid::new(0, 1));
+        assert_eq!(idx.lookup(&[Value::Int(1), Value::Varchar("x".into())]).len(), 1);
+        assert!(idx.lookup(&[Value::Int(1), Value::Varchar("z".into())]).is_empty());
+    }
+
+    #[test]
+    fn lookup_across_numeric_widths() {
+        // Keys are stored as the table's column type; probes may arrive as
+        // BIGINT literals. cmp_total equality makes these match.
+        let idx = BTreeIndex::new("I3", vec![0]);
+        idx.insert(&row(5, "a"), Rid::new(0, 0));
+        assert_eq!(idx.lookup(&[Value::BigInt(5)]).len(), 1);
+    }
+
+    #[test]
+    fn range_scan() {
+        let idx = BTreeIndex::new("I4", vec![0]);
+        for i in 0..10 {
+            idx.insert(&row(i, "r"), Rid::new(0, i as u16));
+        }
+        let rids = idx.range(Some(&Value::Int(3)), Some(&Value::Int(5)));
+        assert_eq!(rids.len(), 3);
+        let open = idx.range(Some(&Value::Int(8)), None);
+        assert_eq!(open.len(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Table-level lock manager with shared/exclusive modes and timeouts.
+//!
+//! Models DB2's *cursor stability* (CS) isolation at table granularity:
+//! readers take S locks for the duration of a statement and release them at
+//! statement end; writers take X locks held to commit. Lock waits time out
+//! (SQLCODE -913 analogue) instead of deadlocking forever.
+
+use idaa_common::{Error, ObjectName, Result};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Lock modes (table granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+/// Transaction identifier (assigned by the host's transaction manager).
+pub type TxnId = u64;
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders and their strongest mode.
+    holders: HashMap<TxnId, LockMode>,
+}
+
+impl LockState {
+    fn compatible(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.keys().all(|t| *t == txn),
+        }
+    }
+}
+
+/// The lock manager.
+pub struct LockManager {
+    tables: Mutex<HashMap<ObjectName, LockState>>,
+    changed: Condvar,
+    timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(Duration::from_millis(2000))
+    }
+}
+
+impl LockManager {
+    /// Lock manager with the given wait timeout.
+    pub fn new(timeout: Duration) -> LockManager {
+        LockManager { tables: Mutex::new(HashMap::new()), changed: Condvar::new(), timeout }
+    }
+
+    /// Acquire `mode` on `table` for `txn`, waiting up to the configured
+    /// timeout. Re-acquisition and S→X upgrade (when sole holder) succeed
+    /// immediately.
+    pub fn lock(&self, txn: TxnId, table: &ObjectName, mode: LockMode) -> Result<()> {
+        let deadline = Instant::now() + self.timeout;
+        let mut tables = self.tables.lock();
+        loop {
+            let state = tables.entry(table.clone()).or_default();
+            if state.compatible(txn, mode) {
+                let entry = state.holders.entry(txn).or_insert(mode);
+                if mode == LockMode::Exclusive {
+                    *entry = LockMode::Exclusive;
+                }
+                return Ok(());
+            }
+            let waited = self.changed.wait_until(&mut tables, deadline);
+            if waited.timed_out() {
+                return Err(Error::LockTimeout(format!(
+                    "timeout waiting for {mode:?} lock on {table} (txn {txn})"
+                )));
+            }
+        }
+    }
+
+    /// Release every lock `txn` holds (commit/rollback).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut tables = self.tables.lock();
+        tables.retain(|_, state| {
+            state.holders.remove(&txn);
+            !state.holders.is_empty()
+        });
+        self.changed.notify_all();
+    }
+
+    /// Release only the *shared* locks `txn` holds — cursor stability at
+    /// statement end. Exclusive locks persist to commit.
+    pub fn release_shared(&self, txn: TxnId) {
+        let mut tables = self.tables.lock();
+        tables.retain(|_, state| {
+            if state.holders.get(&txn) == Some(&LockMode::Shared) {
+                state.holders.remove(&txn);
+            }
+            !state.holders.is_empty()
+        });
+        self.changed.notify_all();
+    }
+
+    /// Mode currently held by `txn` on `table`.
+    pub fn held(&self, txn: TxnId, table: &ObjectName) -> Option<LockMode> {
+        self.tables.lock().get(table).and_then(|s| s.holders.get(&txn)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn t(name: &str) -> ObjectName {
+        ObjectName::bare(name)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &t("A"), LockMode::Shared).unwrap();
+        lm.lock(2, &t("A"), LockMode::Shared).unwrap();
+        assert_eq!(lm.held(1, &t("A")), Some(LockMode::Shared));
+        assert_eq!(lm.held(2, &t("A")), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_blocks_and_times_out() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &t("A"), LockMode::Exclusive).unwrap();
+        let err = lm.lock(2, &t("A"), LockMode::Shared).unwrap_err();
+        assert!(matches!(err, Error::LockTimeout(_)));
+    }
+
+    #[test]
+    fn reacquire_and_upgrade() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &t("A"), LockMode::Shared).unwrap();
+        lm.lock(1, &t("A"), LockMode::Shared).unwrap();
+        lm.lock(1, &t("A"), LockMode::Exclusive).unwrap();
+        assert_eq!(lm.held(1, &t("A")), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &t("A"), LockMode::Shared).unwrap();
+        lm.lock(2, &t("A"), LockMode::Shared).unwrap();
+        assert!(lm.lock(1, &t("A"), LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn release_shared_keeps_exclusive() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &t("A"), LockMode::Shared).unwrap();
+        lm.lock(1, &t("B"), LockMode::Exclusive).unwrap();
+        lm.release_shared(1);
+        assert_eq!(lm.held(1, &t("A")), None);
+        assert_eq!(lm.held(1, &t("B")), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn release_all_unblocks_waiter() {
+        let lm = Arc::new(LockManager::new(Duration::from_millis(2000)));
+        lm.lock(1, &t("A"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || lm2.lock(2, &t("A"), LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release_all(1);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(lm.held(2, &t("A")), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn locks_are_per_table() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, &t("A"), LockMode::Exclusive).unwrap();
+        lm.lock(2, &t("B"), LockMode::Exclusive).unwrap();
+    }
+}

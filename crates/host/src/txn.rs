@@ -1,0 +1,265 @@
+//! Transactions: undo logging for rollback, and change capture (CDC) that
+//! feeds the accelerator's incremental-update replication.
+
+use crate::storage::Rid;
+use idaa_common::{ObjectName, Row};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// Log sequence number of a committed change.
+pub type Lsn = u64;
+
+/// Undo record for one DML action, applied in reverse order on rollback.
+#[derive(Debug, Clone)]
+pub enum UndoRecord {
+    /// Undo an insert: delete the row again.
+    Insert { table: ObjectName, rid: Rid, row: Row },
+    /// Undo a delete: restore the old row at its RID.
+    Delete { table: ObjectName, rid: Rid, row: Row },
+    /// Undo an update: put the old image back.
+    Update { table: ObjectName, rid: Rid, old: Row, new: Row },
+}
+
+/// A committed, replicable change (the unit the CDC applier ships to the
+/// accelerator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeRecord {
+    pub lsn: Lsn,
+    pub table: ObjectName,
+    pub op: ChangeOp,
+}
+
+/// The change operation, carrying full row images (DB2's log-based capture
+/// ships full images to IDAA too).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeOp {
+    Insert(Row),
+    Delete(Row),
+    Update { old: Row, new: Row },
+}
+
+/// State of one live transaction on the host.
+#[derive(Debug, Default)]
+pub struct TxnState {
+    /// Undo log in execution order.
+    pub undo: Vec<UndoRecord>,
+    /// Pending (uncommitted) change records awaiting commit.
+    pub pending_changes: Vec<(ObjectName, ChangeOp)>,
+    /// Whether the paired accelerator transaction (if any) has been opened —
+    /// managed by the federation layer.
+    pub accel_enlisted: bool,
+}
+
+/// Transaction manager: id assignment, per-transaction state, and the
+/// committed change log.
+#[derive(Debug, Default)]
+pub struct TxnManager {
+    next_id: AtomicU64,
+    next_lsn: AtomicU64,
+    active: Mutex<HashMap<TxnId, TxnState>>,
+    committed_log: Mutex<Vec<ChangeRecord>>,
+}
+
+impl TxnManager {
+    /// Start a transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.active.lock().insert(id, TxnState::default());
+        id
+    }
+
+    /// True if `txn` is active.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.active.lock().contains_key(&txn)
+    }
+
+    /// Append an undo record and optionally a pending change for `txn`.
+    pub fn record(&self, txn: TxnId, undo: UndoRecord, change: Option<(ObjectName, ChangeOp)>) {
+        let mut active = self.active.lock();
+        if let Some(state) = active.get_mut(&txn) {
+            state.undo.push(undo);
+            if let Some(c) = change {
+                state.pending_changes.push(c);
+            }
+        }
+    }
+
+    /// Mark that the accelerator participates in this transaction.
+    pub fn enlist_accelerator(&self, txn: TxnId) {
+        if let Some(state) = self.active.lock().get_mut(&txn) {
+            state.accel_enlisted = true;
+        }
+    }
+
+    /// Whether the accelerator participates.
+    pub fn accelerator_enlisted(&self, txn: TxnId) -> bool {
+        self.active.lock().get(&txn).map(|s| s.accel_enlisted).unwrap_or(false)
+    }
+
+    /// Commit: moves pending changes into the committed log (assigning
+    /// LSNs) and drops the undo log. Returns the LSN range assigned.
+    pub fn commit(&self, txn: TxnId) -> Vec<ChangeRecord> {
+        let state = match self.active.lock().remove(&txn) {
+            Some(s) => s,
+            None => return Vec::new(),
+        };
+        let mut log = self.committed_log.lock();
+        let mut out = Vec::with_capacity(state.pending_changes.len());
+        for (table, op) in state.pending_changes {
+            let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed) + 1;
+            let rec = ChangeRecord { lsn, table, op };
+            log.push(rec.clone());
+            out.push(rec);
+        }
+        out
+    }
+
+    /// Abort: remove the transaction and hand back its undo log (newest
+    /// first) for the engine to apply. Pending changes are discarded.
+    pub fn rollback(&self, txn: TxnId) -> Vec<UndoRecord> {
+        match self.active.lock().remove(&txn) {
+            Some(mut s) => {
+                s.undo.reverse();
+                s.undo
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Committed changes with `lsn > after`, in LSN order — the replication
+    /// applier's read interface.
+    pub fn changes_since(&self, after: Lsn) -> Vec<ChangeRecord> {
+        self.committed_log
+            .lock()
+            .iter()
+            .filter(|c| c.lsn > after)
+            .cloned()
+            .collect()
+    }
+
+    /// Highest LSN assigned so far.
+    pub fn current_lsn(&self) -> Lsn {
+        self.next_lsn.load(Ordering::Relaxed)
+    }
+
+    /// Drop committed log entries with `lsn <= up_to` (log truncation once
+    /// the applier confirmed them).
+    pub fn truncate_log(&self, up_to: Lsn) {
+        self.committed_log.lock().retain(|c| c.lsn > up_to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idaa_common::Value;
+
+    fn row(i: i32) -> Row {
+        vec![Value::Int(i)]
+    }
+
+    fn t(n: &str) -> ObjectName {
+        ObjectName::bare(n)
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let tm = TxnManager::default();
+        let a = tm.begin();
+        let b = tm.begin();
+        assert!(b > a);
+        assert!(tm.is_active(a) && tm.is_active(b));
+    }
+
+    #[test]
+    fn commit_publishes_changes_in_order() {
+        let tm = TxnManager::default();
+        let x = tm.begin();
+        tm.record(
+            x,
+            UndoRecord::Insert { table: t("T"), rid: Rid::new(0, 0), row: row(1) },
+            Some((t("T"), ChangeOp::Insert(row(1)))),
+        );
+        tm.record(
+            x,
+            UndoRecord::Insert { table: t("T"), rid: Rid::new(0, 1), row: row(2) },
+            Some((t("T"), ChangeOp::Insert(row(2)))),
+        );
+        let committed = tm.commit(x);
+        assert_eq!(committed.len(), 2);
+        assert!(committed[0].lsn < committed[1].lsn);
+        assert_eq!(tm.changes_since(0).len(), 2);
+        assert_eq!(tm.changes_since(committed[0].lsn).len(), 1);
+        assert!(!tm.is_active(x));
+    }
+
+    #[test]
+    fn rollback_discards_changes_and_returns_undo_reversed() {
+        let tm = TxnManager::default();
+        let x = tm.begin();
+        tm.record(
+            x,
+            UndoRecord::Insert { table: t("T"), rid: Rid::new(0, 0), row: row(1) },
+            Some((t("T"), ChangeOp::Insert(row(1)))),
+        );
+        tm.record(
+            x,
+            UndoRecord::Delete { table: t("T"), rid: Rid::new(0, 1), row: row(2) },
+            Some((t("T"), ChangeOp::Delete(row(2)))),
+        );
+        let undo = tm.rollback(x);
+        assert_eq!(undo.len(), 2);
+        assert!(matches!(undo[0], UndoRecord::Delete { .. }), "undo comes newest-first");
+        assert!(tm.changes_since(0).is_empty(), "rolled-back changes never reach the log");
+    }
+
+    #[test]
+    fn log_truncation() {
+        let tm = TxnManager::default();
+        let x = tm.begin();
+        tm.record(
+            x,
+            UndoRecord::Insert { table: t("T"), rid: Rid::new(0, 0), row: row(1) },
+            Some((t("T"), ChangeOp::Insert(row(1)))),
+        );
+        let committed = tm.commit(x);
+        tm.truncate_log(committed[0].lsn);
+        assert!(tm.changes_since(0).is_empty());
+        assert_eq!(tm.current_lsn(), committed[0].lsn);
+    }
+
+    #[test]
+    fn accelerator_enlistment_flag() {
+        let tm = TxnManager::default();
+        let x = tm.begin();
+        assert!(!tm.accelerator_enlisted(x));
+        tm.enlist_accelerator(x);
+        assert!(tm.accelerator_enlisted(x));
+        tm.commit(x);
+        assert!(!tm.accelerator_enlisted(x));
+    }
+
+    #[test]
+    fn interleaved_transactions_serialize_lsns() {
+        let tm = TxnManager::default();
+        let a = tm.begin();
+        let b = tm.begin();
+        tm.record(
+            b,
+            UndoRecord::Insert { table: t("T"), rid: Rid::new(0, 0), row: row(1) },
+            Some((t("T"), ChangeOp::Insert(row(1)))),
+        );
+        tm.record(
+            a,
+            UndoRecord::Insert { table: t("T"), rid: Rid::new(0, 1), row: row(2) },
+            Some((t("T"), ChangeOp::Insert(row(2)))),
+        );
+        let cb = tm.commit(b);
+        let ca = tm.commit(a);
+        assert!(cb[0].lsn < ca[0].lsn, "commit order decides replication order");
+    }
+}

@@ -1,0 +1,16 @@
+//! # idaa-loader
+//!
+//! The IDAA Loader: parallel bulk ingestion from external sources (CSV
+//! files, synthetic social-media event feeds, arbitrary record adapters)
+//! into regular DB2 tables *or* directly into accelerator(-only) tables —
+//! the paper's second contribution, which "opens up a wide range of new
+//! use cases" by letting off-mainframe applications feed the accelerator
+//! without a DB2 round trip.
+
+pub mod loader;
+pub mod pipeline;
+pub mod source;
+
+pub use loader::{LoadTarget, Loader};
+pub use pipeline::{parse_field, parse_record, LoadConfig, LoadReport, RejectPolicy};
+pub use source::{CsvSource, EventSource, Record, RecordSource, VecSource, TOPICS};

@@ -1,0 +1,233 @@
+//! # idaa-netsim
+//!
+//! A metered model of the z/OS ↔ accelerator network link.
+//!
+//! The paper's headline claim is that accelerator-only tables *minimize
+//! data movement* between DB2 and the accelerator. To make that claim
+//! measurable and deterministic, every byte that crosses the federation
+//! boundary in this reproduction goes through a [`NetLink`]: transfers are
+//! counted per direction, and a virtual clock accumulates the time the
+//! transfer would take on a link with configurable bandwidth and latency
+//! (default: 10 GbE with 200 µs round-trip, roughly the IDAA appliance
+//! attachment). Wall-clock time is never consumed — benchmarks report
+//! compute (wall) and network (virtual) time separately and combined.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Transfer direction over the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// DB2 → accelerator (statements, load batches, replication).
+    ToAccel,
+    /// Accelerator → DB2 (result sets, acknowledgements).
+    ToHost,
+}
+
+/// Link parameters.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Payload bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// One-way message latency.
+    pub latency: Duration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        // 10 GbE ≈ 1.25 GB/s payload, 100 µs one-way latency.
+        LinkConfig {
+            bandwidth_bytes_per_sec: 1.25e9,
+            latency: Duration::from_micros(100),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A deliberately slow link (useful to expose data-movement costs in
+    /// examples: 100 MB/s, 1 ms latency).
+    pub fn slow() -> LinkConfig {
+        LinkConfig { bandwidth_bytes_per_sec: 1.0e8, latency: Duration::from_millis(1) }
+    }
+}
+
+/// Accumulated link metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkMetrics {
+    pub bytes_to_accel: u64,
+    pub bytes_to_host: u64,
+    pub messages_to_accel: u64,
+    pub messages_to_host: u64,
+    /// Virtual time spent on the wire.
+    pub wire_time: Duration,
+}
+
+impl LinkMetrics {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_to_accel + self.bytes_to_host
+    }
+
+    /// Total messages in either direction.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_to_accel + self.messages_to_host
+    }
+
+    /// Difference against an earlier snapshot of the same link.
+    pub fn since(&self, earlier: &LinkMetrics) -> LinkMetrics {
+        LinkMetrics {
+            bytes_to_accel: self.bytes_to_accel - earlier.bytes_to_accel,
+            bytes_to_host: self.bytes_to_host - earlier.bytes_to_host,
+            messages_to_accel: self.messages_to_accel - earlier.messages_to_accel,
+            messages_to_host: self.messages_to_host - earlier.messages_to_host,
+            wire_time: self.wire_time - earlier.wire_time,
+        }
+    }
+}
+
+/// The metered link.
+#[derive(Debug)]
+pub struct NetLink {
+    config: Mutex<LinkConfig>,
+    bytes_to_accel: AtomicU64,
+    bytes_to_host: AtomicU64,
+    messages_to_accel: AtomicU64,
+    messages_to_host: AtomicU64,
+    wire_nanos: AtomicU64,
+}
+
+impl Default for NetLink {
+    fn default() -> Self {
+        NetLink::new(LinkConfig::default())
+    }
+}
+
+impl NetLink {
+    /// Link with the given parameters.
+    pub fn new(config: LinkConfig) -> NetLink {
+        NetLink {
+            config: Mutex::new(config),
+            bytes_to_accel: AtomicU64::new(0),
+            bytes_to_host: AtomicU64::new(0),
+            messages_to_accel: AtomicU64::new(0),
+            messages_to_host: AtomicU64::new(0),
+            wire_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Change parameters mid-flight (experiments sweep these).
+    pub fn set_config(&self, config: LinkConfig) {
+        *self.config.lock() = config;
+    }
+
+    /// Record one message of `bytes` payload in `direction`; returns the
+    /// virtual transfer time charged.
+    pub fn transfer(&self, direction: Direction, bytes: usize) -> Duration {
+        let cfg = self.config.lock().clone();
+        let cost = cfg.latency
+            + Duration::from_secs_f64(bytes as f64 / cfg.bandwidth_bytes_per_sec);
+        match direction {
+            Direction::ToAccel => {
+                self.bytes_to_accel.fetch_add(bytes as u64, Ordering::Relaxed);
+                self.messages_to_accel.fetch_add(1, Ordering::Relaxed);
+            }
+            Direction::ToHost => {
+                self.bytes_to_host.fetch_add(bytes as u64, Ordering::Relaxed);
+                self.messages_to_host.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.wire_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        cost
+    }
+
+    /// Snapshot of the counters.
+    pub fn metrics(&self) -> LinkMetrics {
+        LinkMetrics {
+            bytes_to_accel: self.bytes_to_accel.load(Ordering::Relaxed),
+            bytes_to_host: self.bytes_to_host.load(Ordering::Relaxed),
+            messages_to_accel: self.messages_to_accel.load(Ordering::Relaxed),
+            messages_to_host: self.messages_to_host.load(Ordering::Relaxed),
+            wire_time: Duration::from_nanos(self.wire_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.bytes_to_accel.store(0, Ordering::Relaxed);
+        self.bytes_to_host.store(0, Ordering::Relaxed);
+        self.messages_to_accel.store(0, Ordering::Relaxed);
+        self.messages_to_host.store(0, Ordering::Relaxed);
+        self.wire_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_accumulates_both_directions() {
+        let link = NetLink::default();
+        link.transfer(Direction::ToAccel, 1000);
+        link.transfer(Direction::ToAccel, 500);
+        link.transfer(Direction::ToHost, 200);
+        let m = link.metrics();
+        assert_eq!(m.bytes_to_accel, 1500);
+        assert_eq!(m.bytes_to_host, 200);
+        assert_eq!(m.messages_to_accel, 2);
+        assert_eq!(m.messages_to_host, 1);
+        assert_eq!(m.total_bytes(), 1700);
+        assert_eq!(m.total_messages(), 3);
+    }
+
+    #[test]
+    fn wire_time_scales_with_bytes_and_latency() {
+        let link = NetLink::new(LinkConfig {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency: Duration::from_millis(1),
+        });
+        let t = link.transfer(Direction::ToAccel, 1000);
+        // 1 ms latency + 1 s payload.
+        assert_eq!(t, Duration::from_millis(1001));
+        let t2 = link.transfer(Direction::ToAccel, 0);
+        assert_eq!(t2, Duration::from_millis(1), "empty message still pays latency");
+        assert_eq!(link.metrics().wire_time, Duration::from_millis(1002));
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let link = NetLink::default();
+        link.transfer(Direction::ToAccel, 100);
+        let before = link.metrics();
+        link.transfer(Direction::ToAccel, 50);
+        link.transfer(Direction::ToHost, 10);
+        let delta = link.metrics().since(&before);
+        assert_eq!(delta.bytes_to_accel, 50);
+        assert_eq!(delta.bytes_to_host, 10);
+        assert_eq!(delta.messages_to_accel, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let link = NetLink::default();
+        link.transfer(Direction::ToHost, 10);
+        link.reset();
+        assert_eq!(link.metrics(), LinkMetrics::default());
+    }
+
+    #[test]
+    fn reconfiguration_applies_to_later_transfers() {
+        let link = NetLink::new(LinkConfig {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency: Duration::ZERO,
+        });
+        let t1 = link.transfer(Direction::ToAccel, 1000);
+        link.set_config(LinkConfig {
+            bandwidth_bytes_per_sec: 2000.0,
+            latency: Duration::ZERO,
+        });
+        let t2 = link.transfer(Direction::ToAccel, 1000);
+        assert!(t2 < t1);
+    }
+}

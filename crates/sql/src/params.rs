@@ -1,0 +1,197 @@
+//! Parameter-marker substitution for prepared-statement-style execution.
+//!
+//! `?` markers parse to [`Expr::Parameter`] with sequential indices (or
+//! explicit `?N` indices). Before execution, [`bind_statement`] replaces
+//! every marker with the literal value supplied for its index — the
+//! federation facade exposes this as `execute_with_params`.
+
+use crate::ast::{Expr, InsertSource, Query, Statement, TableRef};
+use idaa_common::{Error, Result, Value};
+
+/// Replace every parameter marker in `stmt` with the corresponding literal
+/// from `params` (marker `?i` takes `params[i]`).
+pub fn bind_statement(stmt: &Statement, params: &[Value]) -> Result<Statement> {
+    let mut out = stmt.clone();
+    visit_statement(&mut out, params)?;
+    Ok(out)
+}
+
+fn visit_statement(stmt: &mut Statement, params: &[Value]) -> Result<()> {
+    match stmt {
+        Statement::Query(q) => visit_query(q, params),
+        Statement::Insert { source, .. } => match source {
+            InsertSource::Values(rows) => {
+                for row in rows {
+                    for e in row {
+                        visit_expr(e, params)?;
+                    }
+                }
+                Ok(())
+            }
+            InsertSource::Query(q) => visit_query(q, params),
+        },
+        Statement::Update { assignments, filter, .. } => {
+            for (_, e) in assignments {
+                visit_expr(e, params)?;
+            }
+            if let Some(f) = filter {
+                visit_expr(f, params)?;
+            }
+            Ok(())
+        }
+        Statement::Delete { filter, .. } => {
+            if let Some(f) = filter {
+                visit_expr(f, params)?;
+            }
+            Ok(())
+        }
+        Statement::Call { args, .. } => {
+            for a in args {
+                visit_expr(a, params)?;
+            }
+            Ok(())
+        }
+        Statement::Explain(inner) => visit_statement(inner, params),
+        _ => Ok(()),
+    }
+}
+
+fn visit_query(q: &mut Query, params: &[Value]) -> Result<()> {
+    for item in &mut q.projection {
+        if let crate::ast::SelectItem::Expr { expr, .. } = item {
+            visit_expr(expr, params)?;
+        }
+    }
+    if let Some(from) = &mut q.from {
+        visit_table_ref(from, params)?;
+    }
+    if let Some(f) = &mut q.filter {
+        visit_expr(f, params)?;
+    }
+    for e in &mut q.group_by {
+        visit_expr(e, params)?;
+    }
+    if let Some(h) = &mut q.having {
+        visit_expr(h, params)?;
+    }
+    for (_, block) in &mut q.unions {
+        visit_query(block, params)?;
+    }
+    for o in &mut q.order_by {
+        visit_expr(&mut o.expr, params)?;
+    }
+    Ok(())
+}
+
+fn visit_table_ref(tr: &mut TableRef, params: &[Value]) -> Result<()> {
+    match tr {
+        TableRef::Table { .. } => Ok(()),
+        TableRef::Subquery { query, .. } => visit_query(query, params),
+        TableRef::Join { left, right, on, .. } => {
+            visit_table_ref(left, params)?;
+            visit_table_ref(right, params)?;
+            visit_expr(on, params)
+        }
+    }
+}
+
+fn visit_expr(e: &mut Expr, params: &[Value]) -> Result<()> {
+    if let Expr::Parameter(i) = e {
+        let v = params.get(*i).ok_or_else(|| {
+            Error::TypeMismatch(format!(
+                "statement uses parameter ?{i} but only {} value(s) were supplied",
+                params.len()
+            ))
+        })?;
+        *e = Expr::Literal(v.clone());
+        return Ok(());
+    }
+    match e {
+        Expr::Binary { left, right, .. } => {
+            visit_expr(left, params)?;
+            visit_expr(right, params)
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            visit_expr(expr, params)
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                visit_expr(a, params)?;
+            }
+            Ok(())
+        }
+        Expr::InList { expr, list, .. } => {
+            visit_expr(expr, params)?;
+            for i in list {
+                visit_expr(i, params)?;
+            }
+            Ok(())
+        }
+        Expr::Between { expr, low, high, .. } => {
+            visit_expr(expr, params)?;
+            visit_expr(low, params)?;
+            visit_expr(high, params)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            visit_expr(expr, params)?;
+            visit_expr(pattern, params)
+        }
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(o) = operand {
+                visit_expr(o, params)?;
+            }
+            for (w, t) in branches {
+                visit_expr(w, params)?;
+                visit_expr(t, params)?;
+            }
+            if let Some(el) = else_result {
+                visit_expr(el, params)?;
+            }
+            Ok(())
+        }
+        Expr::Literal(_) | Expr::Column { .. } | Expr::Parameter(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statement;
+
+    #[test]
+    fn substitutes_sequential_markers() {
+        let stmt = parse_statement("SELECT a FROM t WHERE a = ? AND b < ?").unwrap();
+        let bound =
+            bind_statement(&stmt, &[Value::Int(5), Value::Varchar("x".into())]).unwrap();
+        let printed = bound.to_string();
+        assert!(printed.contains("(A = 5)"), "{printed}");
+        assert!(printed.contains("(B < 'x')"), "{printed}");
+    }
+
+    #[test]
+    fn explicit_indices_can_repeat() {
+        let stmt = parse_statement("SELECT a FROM t WHERE a = ?0 OR b = ?0").unwrap();
+        let bound = bind_statement(&stmt, &[Value::Int(9)]).unwrap();
+        let printed = bound.to_string();
+        assert_eq!(printed.matches("= 9").count(), 2, "{printed}");
+    }
+
+    #[test]
+    fn missing_parameter_errors() {
+        let stmt = parse_statement("SELECT a FROM t WHERE a = ?").unwrap();
+        assert!(bind_statement(&stmt, &[]).is_err());
+    }
+
+    #[test]
+    fn markers_in_dml_and_call() {
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (?, ?)").unwrap();
+        let bound = bind_statement(&stmt, &[Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(bound.to_string().contains("VALUES (1, 2)"));
+        let stmt = parse_statement("UPDATE t SET a = ? WHERE b = ?").unwrap();
+        let bound = bind_statement(&stmt, &[Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(bound.to_string().contains("SET A = 1"));
+        let stmt = parse_statement("CALL p(?)").unwrap();
+        let bound = bind_statement(&stmt, &[Value::Varchar("T".into())]).unwrap();
+        assert!(bound.to_string().contains("P('T')"));
+    }
+}

@@ -1,0 +1,1175 @@
+//! Recursive-descent parser with precedence climbing for expressions.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use idaa_common::{DataType, Decimal, Error, ObjectName, Result, Value};
+
+/// Parse a single SQL statement (a trailing semicolon is tolerated).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.parse_statement()?;
+    p.eat(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a semicolon-separated script into statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.parse_statement()?);
+        if !p.at_eof() && !p.peek_is(&Token::Semicolon) {
+            return Err(p.unexpected("';' between statements"));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_param: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Parser> {
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0, next_param: 0 })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_is(&self, t: &Token) -> bool {
+        self.peek() == Some(t)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn peek2_kw(&self, kw: &str) -> bool {
+        self.tokens.get(self.pos + 1).map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek_is(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("{t:?}")))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of statement"))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> Error {
+        match self.peek() {
+            Some(t) => Error::Parse(format!("expected {wanted}, found {t:?} at token {}", self.pos)),
+            None => Error::Parse(format!("expected {wanted}, found end of input")),
+        }
+    }
+
+    /// Any identifier (keyword or not), upper-cased; quoted identifiers
+    /// pass through unchanged.
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::QuotedIdent(s)) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn object_name(&mut self) -> Result<ObjectName> {
+        let first = self.ident()?;
+        if self.eat(&Token::Period) {
+            let second = self.ident()?;
+            Ok(ObjectName { schema: Some(first), name: second })
+        } else {
+            Ok(ObjectName { schema: None, name: first })
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            // `EXPLAIN PLAN FOR …` is accepted as a synonym.
+            if self.eat_kw("PLAN") {
+                self.eat_kw("FOR");
+            }
+            let inner = self.parse_statement()?;
+            return Ok(Statement::Explain(Box::new(inner)));
+        }
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Query(Box::new(self.parse_query()?)));
+        }
+        if self.eat_kw("CREATE") {
+            if self.peek_kw("TABLE") {
+                return self.parse_create_table();
+            }
+            if self.peek_kw("INDEX") || self.peek_kw("UNIQUE") {
+                return self.parse_create_index();
+            }
+            return Err(self.unexpected("TABLE or INDEX after CREATE"));
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            return Ok(Statement::DropTable { name: self.object_name()? });
+        }
+        if self.eat_kw("INSERT") {
+            return self.parse_insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.parse_update();
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.object_name()?;
+            let filter = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+            return Ok(Statement::Delete { table, filter });
+        }
+        if self.eat_kw("BEGIN") {
+            self.eat_kw("TRANSACTION");
+            self.eat_kw("WORK");
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            self.eat_kw("WORK");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            self.eat_kw("WORK");
+            return Ok(Statement::Rollback);
+        }
+        if self.eat_kw("SET") {
+            return self.parse_set();
+        }
+        if self.eat_kw("CALL") {
+            let procedure = self.object_name()?;
+            let mut args = Vec::new();
+            self.expect(&Token::LParen)?;
+            if !self.peek_is(&Token::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::Call { procedure, args });
+        }
+        if self.eat_kw("GRANT") {
+            let (privileges, object, grantees) = self.parse_grant_body("TO")?;
+            return Ok(Statement::Grant { privileges, object, grantees });
+        }
+        if self.eat_kw("REVOKE") {
+            let (privileges, object, grantees) = self.parse_grant_body("FROM")?;
+            return Ok(Statement::Revoke { privileges, object, grantees });
+        }
+        Err(self.unexpected("a SQL statement"))
+    }
+
+    fn parse_grant_body(
+        &mut self,
+        connective: &str,
+    ) -> Result<(Vec<Privilege>, ObjectName, Vec<String>)> {
+        let mut privileges = Vec::new();
+        loop {
+            let word = self.ident()?;
+            let p = Privilege::parse(&word)
+                .ok_or_else(|| Error::Parse(format!("unknown privilege {word}")))?;
+            // `ALL PRIVILEGES` is a synonym for `ALL`.
+            if p == Privilege::All {
+                self.eat_kw("PRIVILEGES");
+            }
+            privileges.push(p);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("ON")?;
+        self.eat_kw("TABLE");
+        self.eat_kw("PROCEDURE");
+        let object = self.object_name()?;
+        self.expect_kw(connective)?;
+        let mut grantees = Vec::new();
+        loop {
+            grantees.push(self.ident()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok((privileges, object, grantees))
+    }
+
+    fn parse_set(&mut self) -> Result<Statement> {
+        self.expect_kw("CURRENT")?;
+        if self.eat_kw("QUERY") {
+            self.expect_kw("ACCELERATION")?;
+            self.eat(&Token::Eq);
+            let word = self.ident()?;
+            let mode = AccelerationMode::parse(&word)
+                .ok_or_else(|| Error::Parse(format!("invalid acceleration mode {word}")))?;
+            return Ok(Statement::SetQueryAcceleration(mode));
+        }
+        if self.eat_kw("SCHEMA") {
+            self.eat(&Token::Eq);
+            let s = self.ident()?;
+            return Ok(Statement::SetCurrentSchema(s));
+        }
+        Err(self.unexpected("QUERY ACCELERATION or SCHEMA"))
+    }
+
+    fn parse_create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("TABLE")?;
+        let name = self.object_name()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let data_type = self.parse_data_type()?;
+            let mut not_null = false;
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                not_null = true;
+            }
+            columns.push(ColumnSpec { name: col_name, data_type, not_null });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let mut in_accelerator = false;
+        let mut distribute_by = Vec::new();
+        loop {
+            if self.eat_kw("IN") {
+                self.expect_kw("ACCELERATOR")?;
+                // Optional accelerator name, as in the product syntax.
+                if !self.at_eof()
+                    && !self.peek_is(&Token::Semicolon)
+                    && !self.peek_kw("DISTRIBUTE")
+                {
+                    let _accel_name = self.ident()?;
+                }
+                in_accelerator = true;
+            } else if self.eat_kw("DISTRIBUTE") {
+                self.expect_kw("BY")?;
+                self.expect_kw("HASH")?;
+                self.expect(&Token::LParen)?;
+                loop {
+                    distribute_by.push(self.ident()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::CreateTable { name, columns, in_accelerator, distribute_by })
+    }
+
+    fn parse_create_index(&mut self) -> Result<Statement> {
+        self.eat_kw("UNIQUE");
+        self.expect_kw("INDEX")?;
+        let name = self.object_name()?;
+        self.expect_kw("ON")?;
+        let table = self.object_name()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateIndex { name, table, columns })
+    }
+
+    fn parse_data_type(&mut self) -> Result<DataType> {
+        let mut name = self.ident()?;
+        // Two-word names such as `DOUBLE PRECISION`.
+        if name == "DOUBLE" && self.eat_kw("PRECISION") {
+            name = "DOUBLE".into();
+        }
+        let mut args = Vec::new();
+        if self.eat(&Token::LParen) {
+            loop {
+                match self.advance() {
+                    Some(Token::Integer(v)) if (0..=65535).contains(&v) => args.push(v as u16),
+                    other => {
+                        return Err(Error::Parse(format!("invalid type argument {other:?}")));
+                    }
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        DataType::parse_name(&name, &args)
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.object_name()?;
+        let mut columns = Vec::new();
+        if self.peek_is(&Token::LParen) && !self.peek2_kw("SELECT") {
+            self.expect(&Token::LParen)?;
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let source = if self.eat_kw("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.parse_expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                rows.push(row);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.peek_kw("SELECT") || self.peek_is(&Token::LParen) {
+            self.eat(&Token::LParen);
+            let q = self.parse_query()?;
+            self.eat(&Token::RParen);
+            InsertSource::Query(Box::new(q))
+        } else {
+            return Err(self.unexpected("VALUES or SELECT"));
+        };
+        Ok(Statement::Insert { table, columns, source })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        let table = self.object_name()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let e = self.parse_expr()?;
+            assignments.push((col, e));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update { table, assignments, filter })
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<Query> {
+        let mut q = self.parse_query_core()?;
+        while self.eat_kw("UNION") {
+            let all = self.eat_kw("ALL");
+            let block = self.parse_query_core()?;
+            q.unions.push((all, block));
+        }
+        self.parse_order_limit(&mut q)?;
+        Ok(q)
+    }
+
+    fn parse_query_core(&mut self) -> Result<Query> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        self.eat_kw("ALL");
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.parse_select_item()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_kw("FROM") { Some(self.parse_table_ref()?) } else { None };
+        let filter = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.parse_expr()?) } else { None };
+        Ok(Query {
+            distinct,
+            projection,
+            from,
+            filter,
+            group_by,
+            having,
+            unions: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+        })
+    }
+
+    /// ORDER BY / LIMIT / FETCH FIRST, attached to the outer query.
+    fn parse_order_limit(&mut self, q: &mut Query) -> Result<()> {
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                q.order_by.push(OrderByItem { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("LIMIT") {
+            match self.advance() {
+                Some(Token::Integer(v)) if v >= 0 => q.limit = Some(v as u64),
+                other => return Err(Error::Parse(format!("invalid LIMIT {other:?}"))),
+            }
+        } else if self.eat_kw("FETCH") {
+            // DB2's `FETCH FIRST n ROWS ONLY`.
+            self.expect_kw("FIRST")?;
+            match self.advance() {
+                Some(Token::Integer(v)) if v >= 0 => q.limit = Some(v as u64),
+                other => return Err(Error::Parse(format!("invalid FETCH FIRST {other:?}"))),
+            }
+            self.eat_kw("ROWS");
+            self.eat_kw("ROW");
+            self.expect_kw("ONLY")?;
+        }
+        Ok(())
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Some(Token::Ident(q)), Some(Token::Period), Some(Token::Star)) = (
+            self.tokens.get(self.pos),
+            self.tokens.get(self.pos + 1),
+            self.tokens.get(self.pos + 2),
+        ) {
+            let q = q.clone();
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedWildcard(q));
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("AS")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            let kind = if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else if self.eat(&Token::Comma) {
+                // Comma join: cross product with the ON condition pushed to
+                // WHERE by the planner; encode as INNER JOIN ON TRUE.
+                let right = self.parse_table_factor()?;
+                left = TableRef::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    kind: JoinKind::Inner,
+                    on: Expr::Literal(Value::Boolean(true)),
+                };
+                continue;
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            self.expect_kw("ON")?;
+            let on = self.parse_expr()?;
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableRef> {
+        if self.eat(&Token::LParen) {
+            let q = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            self.eat_kw("AS");
+            let alias = self.ident()?;
+            return Ok(TableRef::Subquery { query: Box::new(q), alias });
+        }
+        let name = self.object_name()?;
+        let alias = if self.eat_kw("AS")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // -- expressions (precedence climbing) -----------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // Postfix predicates: IS NULL, IN, BETWEEN, LIKE — optionally
+        // prefixed with NOT.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = if self.peek_kw("NOT")
+            && (self.peek2_kw("IN") || self.peek2_kw("BETWEEN") || self.peek2_kw("LIKE"))
+        {
+            self.eat_kw("NOT");
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinaryOp::Eq,
+            Some(Token::Neq) => BinaryOp::Neq,
+            Some(Token::Lt) => BinaryOp::Lt,
+            Some(Token::LtEq) => BinaryOp::LtEq,
+            Some(Token::Gt) => BinaryOp::Gt,
+            Some(Token::GtEq) => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                Some(Token::ConcatOp) => BinaryOp::Concat,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            // Fold negation into numeric literals for natural round-trips.
+            let inner = self.parse_unary()?;
+            return Ok(match inner {
+                Expr::Literal(Value::BigInt(v)) => Expr::Literal(Value::BigInt(-v)),
+                Expr::Literal(Value::Double(v)) => Expr::Literal(Value::Double(-v)),
+                Expr::Literal(Value::Decimal(d)) => Expr::Literal(Value::Decimal(d.neg())),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Integer(v)) => {
+                self.advance();
+                Ok(Expr::Literal(Value::BigInt(v)))
+            }
+            Some(Token::Number(text)) => {
+                self.advance();
+                if text.contains(['e', 'E']) {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad float literal {text}")))?;
+                    Ok(Expr::Literal(Value::Double(v)))
+                } else {
+                    Ok(Expr::Literal(Value::Decimal(Decimal::parse(&text)?)))
+                }
+            }
+            Some(Token::String(s)) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Varchar(s)))
+            }
+            Some(Token::QuestionMark) => {
+                self.advance();
+                // Optional explicit index `?3`; otherwise auto-number.
+                if let Some(Token::Integer(v)) = self.peek().cloned() {
+                    self.advance();
+                    Ok(Expr::Parameter(v as usize))
+                } else {
+                    let i = self.next_param;
+                    self.next_param += 1;
+                    Ok(Expr::Parameter(i))
+                }
+            }
+            Some(Token::LParen) => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(word)) => self.parse_ident_expr(word),
+            Some(Token::QuotedIdent(name)) => {
+                self.advance();
+                if self.eat(&Token::Period) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column { qualifier: Some(name), name: col })
+                } else {
+                    Ok(Expr::Column { qualifier: None, name })
+                }
+            }
+            other => Err(Error::Parse(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_ident_expr(&mut self, word: String) -> Result<Expr> {
+        if is_clause_keyword(&word) {
+            return Err(Error::Parse(format!(
+                "reserved keyword {word} cannot start an expression"
+            )));
+        }
+        match word.as_str() {
+            "NULL" => {
+                self.advance();
+                return Ok(Expr::Literal(Value::Null));
+            }
+            "TRUE" => {
+                self.advance();
+                return Ok(Expr::Literal(Value::Boolean(true)));
+            }
+            "FALSE" => {
+                self.advance();
+                return Ok(Expr::Literal(Value::Boolean(false)));
+            }
+            "DATE" => {
+                if let Some(Token::String(s)) = self.tokens.get(self.pos + 1).cloned() {
+                    self.pos += 2;
+                    return Ok(Expr::Literal(Value::Date(idaa_common::value::parse_date(&s)?)));
+                }
+            }
+            "TIMESTAMP" => {
+                if let Some(Token::String(s)) = self.tokens.get(self.pos + 1).cloned() {
+                    self.pos += 2;
+                    return Ok(Expr::Literal(Value::Timestamp(
+                        idaa_common::value::parse_timestamp(&s)?,
+                    )));
+                }
+            }
+            "CAST" => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let e = self.parse_expr()?;
+                self.expect_kw("AS")?;
+                let t = self.parse_data_type()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Cast { expr: Box::new(e), data_type: t });
+            }
+            "CASE" => {
+                self.advance();
+                return self.parse_case();
+            }
+            _ => {}
+        }
+        self.advance();
+        // Function call?
+        if self.peek_is(&Token::LParen) {
+            self.advance();
+            if word == "COUNT" && self.eat(&Token::Star) {
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Function { name: "COUNT".into(), args: vec![], distinct: false });
+            }
+            let distinct = self.eat_kw("DISTINCT");
+            let mut args = Vec::new();
+            if !self.peek_is(&Token::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Function { name: word, args, distinct });
+        }
+        // Qualified column?
+        if self.eat(&Token::Period) {
+            let col = self.ident()?;
+            return Ok(Expr::Column { qualifier: Some(word), name: col });
+        }
+        Ok(Expr::Column { qualifier: None, name: word })
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        let operand = if self.peek_kw("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let w = self.parse_expr()?;
+            self.expect_kw("THEN")?;
+            let t = self.parse_expr()?;
+            branches.push((w, t));
+        }
+        if branches.is_empty() {
+            return Err(self.unexpected("WHEN"));
+        }
+        let else_result = if self.eat_kw("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { operand, branches, else_result })
+    }
+}
+
+/// Keywords that terminate an implicit alias position.
+fn is_clause_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "HAVING"
+            | "ORDER"
+            | "LIMIT"
+            | "FETCH"
+            | "ON"
+            | "INNER"
+            | "LEFT"
+            | "RIGHT"
+            | "JOIN"
+            | "AS"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "UNION"
+            | "SET"
+            | "VALUES"
+            | "IN"
+            | "DISTRIBUTE"
+            | "ASC"
+            | "DESC"
+            | "WHEN"
+            | "THEN"
+            | "ELSE"
+            | "END"
+            | "IS"
+            | "BETWEEN"
+            | "LIKE"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sql: &str) -> Statement {
+        let s = parse_statement(sql).unwrap();
+        let printed = s.to_string();
+        let s2 = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of '{printed}' failed: {e}"));
+        assert_eq!(s, s2, "round trip mismatch for {sql} -> {printed}");
+        s
+    }
+
+    #[test]
+    fn select_basic() {
+        let s = roundtrip("SELECT a, b AS total FROM t WHERE a > 1 ORDER BY b DESC LIMIT 10");
+        let Statement::Query(q) = s else { panic!() };
+        assert_eq!(q.projection.len(), 2);
+        assert!(q.filter.is_some());
+        assert_eq!(q.limit, Some(10));
+        assert!(q.order_by[0].desc);
+    }
+
+    #[test]
+    fn select_star_and_qualified_star() {
+        roundtrip("SELECT * FROM t");
+        roundtrip("SELECT t.* FROM t");
+    }
+
+    #[test]
+    fn fetch_first_rows_only() {
+        let s = parse_statement("SELECT a FROM t FETCH FIRST 5 ROWS ONLY").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn joins() {
+        let s = roundtrip(
+            "SELECT a FROM t1 INNER JOIN t2 ON t1.id = t2.id LEFT JOIN t3 ON t2.k = t3.k",
+        );
+        let Statement::Query(q) = s else { panic!() };
+        let Some(TableRef::Join { kind, .. }) = q.from else { panic!() };
+        assert_eq!(kind, JoinKind::Left);
+    }
+
+    #[test]
+    fn comma_join_becomes_cross() {
+        let s = parse_statement("SELECT a FROM t1, t2 WHERE t1.x = t2.x").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        assert!(matches!(q.from, Some(TableRef::Join { .. })));
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let s = roundtrip("SELECT x FROM (SELECT a AS x FROM t) AS sub WHERE x > 0");
+        let Statement::Query(q) = s else { panic!() };
+        assert!(matches!(q.from, Some(TableRef::Subquery { .. })));
+    }
+
+    #[test]
+    fn group_by_having() {
+        let s = roundtrip(
+            "SELECT dept, SUM(pay) FROM emp GROUP BY dept HAVING (SUM(pay) > 100)",
+        );
+        let Statement::Query(q) = s else { panic!() };
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn aggregates_and_distinct() {
+        roundtrip("SELECT COUNT(*), COUNT(DISTINCT a), AVG(b), STDDEV(c) FROM t");
+        let s = parse_statement("SELECT DISTINCT a FROM t").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = parse_statement("SELECT 1 + 2 * 3 FROM t").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let SelectItem::Expr { expr, .. } = &q.projection[0] else { panic!() };
+        assert_eq!(expr.to_string(), "(1 + (2 * 3))");
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let s = parse_statement("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        assert_eq!(q.filter.unwrap().to_string(), "((A = 1) OR ((B = 2) AND (C = 3)))");
+    }
+
+    #[test]
+    fn predicates() {
+        roundtrip("SELECT a FROM t WHERE (a IS NULL)");
+        roundtrip("SELECT a FROM t WHERE (a IS NOT NULL)");
+        roundtrip("SELECT a FROM t WHERE (a IN (1, 2, 3))");
+        roundtrip("SELECT a FROM t WHERE (a NOT BETWEEN 1 AND 5)");
+        roundtrip("SELECT a FROM t WHERE (name LIKE 'AB%')");
+    }
+
+    #[test]
+    fn case_expressions() {
+        roundtrip("SELECT CASE WHEN (a > 1) THEN 'hi' ELSE 'lo' END FROM t");
+        roundtrip("SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t");
+    }
+
+    #[test]
+    fn cast_and_literals() {
+        roundtrip("SELECT CAST(a AS DECIMAL(10,2)) FROM t");
+        roundtrip("SELECT DATE '2016-03-15', TIMESTAMP '2016-03-15 10:00:00.000000' FROM t");
+        let s = parse_statement("SELECT 1.5, 2E0 FROM t").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let SelectItem::Expr { expr, .. } = &q.projection[0] else { panic!() };
+        assert!(matches!(expr, Expr::Literal(Value::Decimal(_))));
+        let SelectItem::Expr { expr, .. } = &q.projection[1] else { panic!() };
+        assert!(matches!(expr, Expr::Literal(Value::Double(_))));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let s = parse_statement("SELECT -5, -2.5 FROM t").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let SelectItem::Expr { expr, .. } = &q.projection[0] else { panic!() };
+        assert_eq!(*expr, Expr::Literal(Value::BigInt(-5)));
+    }
+
+    #[test]
+    fn create_table_plain_and_aot() {
+        let s = roundtrip("CREATE TABLE T1 (A INTEGER NOT NULL, B VARCHAR(20))");
+        assert!(matches!(s, Statement::CreateTable { in_accelerator: false, .. }));
+        let s = roundtrip(
+            "CREATE TABLE DWH.STAGE1 (A INTEGER NOT NULL) IN ACCELERATOR DISTRIBUTE BY HASH(A)",
+        );
+        let Statement::CreateTable { in_accelerator, distribute_by, .. } = s else { panic!() };
+        assert!(in_accelerator);
+        assert_eq!(distribute_by, vec!["A"]);
+    }
+
+    #[test]
+    fn create_table_in_named_accelerator() {
+        let s = parse_statement("CREATE TABLE T1 (A INT) IN ACCELERATOR ACCEL1").unwrap();
+        assert!(matches!(s, Statement::CreateTable { in_accelerator: true, .. }));
+    }
+
+    #[test]
+    fn insert_values_and_select() {
+        roundtrip("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+        roundtrip("INSERT INTO t SELECT a, b FROM s WHERE (a > 0)");
+        let s = parse_statement("INSERT INTO t (SELECT a FROM s)").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Insert { source: InsertSource::Query(_), .. }
+        ));
+    }
+
+    #[test]
+    fn update_delete() {
+        roundtrip("UPDATE t SET a = (a + 1), b = 'z' WHERE (a < 10)");
+        roundtrip("DELETE FROM t WHERE (a = 5)");
+        roundtrip("DELETE FROM t");
+    }
+
+    #[test]
+    fn transaction_control() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("COMMIT WORK").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn set_registers() {
+        let s = parse_statement("SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        assert_eq!(s, Statement::SetQueryAcceleration(AccelerationMode::Eligible));
+        let s = parse_statement("SET CURRENT QUERY ACCELERATION ALL").unwrap();
+        assert_eq!(s, Statement::SetQueryAcceleration(AccelerationMode::All));
+        let s = parse_statement("SET CURRENT SCHEMA = DWH").unwrap();
+        assert_eq!(s, Statement::SetCurrentSchema("DWH".into()));
+    }
+
+    #[test]
+    fn call_statement() {
+        let s = roundtrip("CALL SYSPROC.ACCEL_ADD_TABLES('ACCEL1', 'SALES')");
+        let Statement::Call { procedure, args } = s else { panic!() };
+        assert_eq!(procedure.to_string(), "SYSPROC.ACCEL_ADD_TABLES");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn grant_revoke() {
+        let s = roundtrip("GRANT SELECT, INSERT ON SALES TO ALICE, BOB");
+        let Statement::Grant { privileges, grantees, .. } = s else { panic!() };
+        assert_eq!(privileges, vec![Privilege::Select, Privilege::Insert]);
+        assert_eq!(grantees, vec!["ALICE", "BOB"]);
+        roundtrip("REVOKE ALL ON SALES FROM BOB");
+        let s = parse_statement("GRANT ALL PRIVILEGES ON T TO U").unwrap();
+        assert!(matches!(s, Statement::Grant { .. }));
+    }
+
+    #[test]
+    fn union_parsing() {
+        let s = roundtrip("SELECT a FROM t UNION ALL SELECT a FROM s UNION SELECT a FROM t ORDER BY 1 LIMIT 5");
+        let Statement::Query(q) = s else { panic!() };
+        assert_eq!(q.unions.len(), 2);
+        assert!(q.unions[0].0, "first arm is UNION ALL");
+        assert!(!q.unions[1].0, "second arm is plain UNION");
+        assert_eq!(q.limit, Some(5));
+        assert!(q.unions.iter().all(|(_, b)| b.order_by.is_empty() && b.limit.is_none()));
+    }
+
+    #[test]
+    fn union_inside_subquery_keeps_own_scope() {
+        let s = parse_statement(
+            "SELECT x FROM (SELECT a AS x FROM t UNION ALL SELECT a AS x FROM s) AS u ORDER BY x",
+        )
+        .unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        assert!(q.unions.is_empty());
+        assert_eq!(q.order_by.len(), 1);
+    }
+
+    #[test]
+    fn multi_statement_script() {
+        let script = "CREATE TABLE a (x INT); INSERT INTO a VALUES (1); SELECT x FROM a;";
+        let stmts = parse_statements(script).unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_statement("SELEKT 1").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("CREATE TABLE t").is_err());
+        assert!(parse_statement("INSERT INTO t").is_err());
+        assert!(parse_statement("SELECT 1 2 3 FROM t WHERE").is_err());
+        assert!(parse_statement("SET CURRENT QUERY ACCELERATION = SOMETIMES").is_err());
+    }
+
+    #[test]
+    fn parameters_autonumber() {
+        let s = parse_statement("SELECT a FROM t WHERE a = ? AND b = ?").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let printed = q.filter.unwrap().to_string();
+        assert!(printed.contains("?0") && printed.contains("?1"));
+    }
+
+    #[test]
+    fn double_precision_type() {
+        let s = parse_statement("CREATE TABLE t (x DOUBLE PRECISION)").unwrap();
+        let Statement::CreateTable { columns, .. } = s else { panic!() };
+        assert_eq!(columns[0].data_type, DataType::Double);
+    }
+}

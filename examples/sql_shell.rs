@@ -1,0 +1,115 @@
+//! An interactive SQL shell over the federated system — the closest thing
+//! to sitting at a DB2 terminal with an accelerator attached.
+//!
+//! ```text
+//! cargo run --release --example sql_shell
+//! idaa> CREATE TABLE T (X INT);
+//! idaa> INSERT INTO T VALUES (1), (2), (3);
+//! idaa> SELECT COUNT(*) FROM T;
+//! idaa> EXPLAIN SELECT COUNT(*) FROM T;
+//! idaa> \link      -- link metrics      \stats  -- engine counters
+//! idaa> \quit
+//! ```
+//!
+//! Statements may span lines; they execute at `;`. Each result reports
+//! where it ran (host vs. accelerator). Also reads a script from stdin
+//! when piped: `echo "SELECT 1;" | cargo run --example sql_shell`.
+
+use idaa::{Idaa, Payload, Route, SYSADM};
+use std::io::{BufRead, IsTerminal, Write};
+
+fn main() {
+    let idaa = Idaa::default();
+    let mut session = idaa.session(SYSADM);
+    let stdin = std::io::stdin();
+    let interactive = stdin.is_terminal();
+    if interactive {
+        println!("idaa-rs SQL shell — statements end with ';', \\help for commands");
+    }
+    let mut buffer = String::new();
+    loop {
+        if interactive {
+            print!("{}", if buffer.is_empty() { "idaa> " } else { "   -> " });
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        // Shell meta-commands.
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match trimmed {
+                "\\quit" | "\\q" => break,
+                "\\link" => {
+                    let m = idaa.link().metrics();
+                    println!(
+                        "link: {} bytes to accel, {} bytes to host, {} msgs, {:?} wire time",
+                        m.bytes_to_accel,
+                        m.bytes_to_host,
+                        m.total_messages(),
+                        m.wire_time
+                    );
+                }
+                "\\stats" => {
+                    use std::sync::atomic::Ordering::Relaxed;
+                    let h = &idaa.host().stats;
+                    let a = &idaa.accel().stats;
+                    println!(
+                        "host: {} stmts, {} rows scanned, {} index lookups",
+                        h.statements.load(Relaxed),
+                        h.rows_scanned.load(Relaxed),
+                        h.index_lookups.load(Relaxed)
+                    );
+                    println!(
+                        "accel: {} queries, {} rows scanned, {} blocks pruned",
+                        a.queries.load(Relaxed),
+                        a.rows_scanned.load(Relaxed),
+                        a.blocks_pruned.load(Relaxed)
+                    );
+                }
+                "\\help" => {
+                    println!("\\quit  exit    \\link  link metrics    \\stats  engine counters");
+                    println!("SQL ends with ';' — e.g. SET CURRENT QUERY ACCELERATION = ELIGIBLE;");
+                }
+                other => println!("unknown command {other} (try \\help)"),
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            if buffer.trim().is_empty() {
+                buffer.clear();
+            }
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        for stmt in sql.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            match idaa.execute(&mut session, stmt) {
+                Ok(out) => {
+                    let site = match out.route {
+                        Route::Host => "DB2",
+                        Route::Accelerator => "accelerator",
+                    };
+                    match out.payload {
+                        Payload::Rows(rows) => {
+                            print!("{}", rows.to_table());
+                            println!("(executed on {site})");
+                        }
+                        Payload::Count(n) => println!("{n} row(s) affected (on {site})"),
+                        Payload::None => println!("OK"),
+                    }
+                }
+                Err(e) => println!("{e}"),
+            }
+        }
+    }
+    if interactive {
+        println!("bye");
+    }
+}

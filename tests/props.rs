@@ -1,0 +1,475 @@
+//! Property-based tests over the core invariants:
+//!
+//! * the SQL pretty-printer and parser are inverses on random ASTs;
+//! * `LIKE` matching agrees with an independent DP oracle;
+//! * decimal arithmetic laws;
+//! * `Value` ordering/hashing consistency;
+//! * zone-map pruning never changes query answers;
+//! * host and accelerator engines agree on random data;
+//! * random committed DML streams keep the replica convergent.
+
+use idaa::sql::ast::*;
+use idaa::sql::{parse_statement, Statement};
+use idaa::{DataType, Decimal, Idaa, ObjectName, Value, SYSADM};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // C-prefixed identifiers can never collide with keywords.
+    "[C][0-9]{1,3}".prop_map(|s| s)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Boolean),
+        (-1_000_000i64..1_000_000).prop_map(Value::BigInt),
+        (-1e9f64..1e9)
+            .prop_filter("finite", |v| v.is_finite())
+            .prop_map(Value::Double),
+        (-10_000i64..10_000, 0u8..4).prop_map(|(units, scale)| {
+            Value::Decimal(Decimal::new(units as i128, scale))
+        }),
+        "[a-z ]{0,8}".prop_map(Value::Varchar),
+        (-3000i32..30000).prop_map(Value::Date),
+    ]
+}
+
+fn arb_data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::SmallInt),
+        Just(DataType::Integer),
+        Just(DataType::BigInt),
+        Just(DataType::Double),
+        (1u8..18, 0u8..5).prop_map(|(p, s)| DataType::Decimal(p.max(s + 1), s)),
+        (1u16..200).prop_map(DataType::Varchar),
+        (1u16..20).prop_map(DataType::Char),
+        Just(DataType::Date),
+        Just(DataType::Timestamp),
+        Just(DataType::Boolean),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Literal),
+        arb_ident().prop_map(|name| Expr::Column { qualifier: None, name }),
+        (arb_ident(), arb_ident())
+            .prop_map(|(q, name)| Expr::Column { qualifier: Some(q), name }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinaryOp::Add), Just(BinaryOp::Sub), Just(BinaryOp::Mul),
+                Just(BinaryOp::Div), Just(BinaryOp::Mod), Just(BinaryOp::Eq),
+                Just(BinaryOp::Neq), Just(BinaryOp::Lt), Just(BinaryOp::LtEq),
+                Just(BinaryOp::Gt), Just(BinaryOp::GtEq), Just(BinaryOp::And),
+                Just(BinaryOp::Or), Just(BinaryOp::Concat),
+            ])
+                .prop_map(|(l, r, op)| Expr::Binary {
+                    left: Box::new(l),
+                    op,
+                    right: Box::new(r)
+                }),
+            // NOT over anything; unary minus only over columns (the parser
+            // folds -literal into the literal).
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            arb_ident().prop_map(|name| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::Column { qualifier: None, name })
+            }),
+            (arb_ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| {
+                    // COUNT() would print as COUNT(*); keep generated
+                    // functions distinct from the aggregate namespace.
+                    Expr::Function { name: format!("F{name}"), args, distinct: false }
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated
+                }
+            ),
+            (inner.clone(), "[a-z%_]{0,6}", any::<bool>()).prop_map(|(e, pat, negated)| {
+                Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(Expr::Literal(Value::Varchar(pat))),
+                    negated,
+                }
+            }),
+            (
+                proptest::option::of(inner.clone()),
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone())
+            )
+                .prop_map(|(operand, branches, else_result)| Expr::Case {
+                    operand: operand.map(Box::new),
+                    branches,
+                    else_result: else_result.map(Box::new),
+                }),
+            (inner, arb_data_type()).prop_map(|(e, data_type)| Expr::Cast {
+                expr: Box::new(e),
+                data_type
+            }),
+        ]
+    })
+}
+
+fn arb_query_block() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            (arb_expr(), proptest::option::of(arb_ident())),
+            1..4,
+        ),
+        proptest::option::of((arb_ident(), proptest::option::of(arb_ident()))),
+        proptest::option::of(arb_expr()),
+        proptest::collection::vec(arb_expr(), 0..3),
+        proptest::option::of(arb_expr()),
+        proptest::collection::vec((arb_expr(), any::<bool>()), 0..3),
+        proptest::option::of(0u64..1000),
+    )
+        .prop_map(
+            |(distinct, proj, from, filter, group_by, having, order_by, limit)| Query {
+                unions: Vec::new(),
+                distinct,
+                projection: proj
+                    .into_iter()
+                    .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                    .collect(),
+                from: from.map(|(name, alias)| TableRef::Table {
+                    name: ObjectName::bare(name),
+                    alias,
+                }),
+                filter,
+                group_by,
+                having,
+                order_by: order_by
+                    .into_iter()
+                    .map(|(expr, desc)| OrderByItem { expr, desc })
+                    .collect(),
+                limit,
+            },
+        )
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    // Optionally chain UNION blocks (blocks carry no ORDER BY/LIMIT; the
+    // outer query's ORDER BY must be output-resolvable, so strip it when a
+    // union is attached to keep generated queries plan-valid in shape).
+    (
+        arb_query_block(),
+        proptest::collection::vec((any::<bool>(), arb_query_block()), 0..3),
+    )
+        .prop_map(|(mut q, unions)| {
+            if !unions.is_empty() {
+                q.unions = unions
+                    .into_iter()
+                    .map(|(all, mut b)| {
+                        b.order_by = Vec::new();
+                        b.limit = None;
+                        b.unions = Vec::new();
+                        (all, b)
+                    })
+                    .collect();
+                q.order_by = Vec::new();
+            }
+            q
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Parser round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn printed_queries_reparse_identically(q in arb_query()) {
+        let stmt = Statement::Query(Box::new(q));
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(stmt, reparsed);
+    }
+
+    #[test]
+    fn printed_dml_reparses(
+        table in arb_ident(),
+        cols in proptest::collection::vec(arb_ident(), 1..4),
+        exprs in proptest::collection::vec(arb_expr(), 1..4),
+        filter in proptest::option::of(arb_expr()),
+    ) {
+        let n = cols.len().min(exprs.len());
+        let insert = Statement::Insert {
+            table: ObjectName::bare(&table),
+            columns: cols[..n].to_vec(),
+            source: InsertSource::Values(vec![exprs[..n].to_vec()]),
+        };
+        let printed = insert.to_string();
+        prop_assert_eq!(insert, parse_statement(&printed).unwrap());
+
+        let update = Statement::Update {
+            table: ObjectName::bare(&table),
+            assignments: cols[..n].iter().cloned().zip(exprs[..n].iter().cloned()).collect(),
+            filter: filter.clone(),
+        };
+        let printed = update.to_string();
+        prop_assert_eq!(update, parse_statement(&printed).unwrap());
+
+        let delete = Statement::Delete { table: ObjectName::bare(&table), filter };
+        let printed = delete.to_string();
+        prop_assert_eq!(delete, parse_statement(&printed).unwrap());
+    }
+
+    #[test]
+    fn printed_ddl_reparses(
+        table in arb_ident(),
+        cols in proptest::collection::vec((arb_ident(), arb_data_type(), any::<bool>()), 1..5),
+        in_accel in any::<bool>(),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let columns: Vec<ColumnSpec> = cols
+            .into_iter()
+            .filter(|(n, _, _)| seen.insert(n.clone()))
+            .map(|(name, data_type, not_null)| ColumnSpec { name, data_type, not_null })
+            .collect();
+        let dist = if in_accel { vec![columns[0].name.clone()] } else { vec![] };
+        let stmt = Statement::CreateTable {
+            name: ObjectName::bare(&table),
+            columns,
+            in_accelerator: in_accel,
+            distribute_by: dist,
+        };
+        let printed = stmt.to_string();
+        prop_assert_eq!(stmt, parse_statement(&printed).unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LIKE oracle
+// ---------------------------------------------------------------------------
+
+/// Independent O(n·m) dynamic-programming LIKE implementation.
+fn like_oracle(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let mut dp = vec![vec![false; p.len() + 1]; t.len() + 1];
+    dp[0][0] = true;
+    for j in 1..=p.len() {
+        dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
+    }
+    for i in 1..=t.len() {
+        for j in 1..=p.len() {
+            dp[i][j] = match p[j - 1] {
+                '%' => dp[i - 1][j] || dp[i][j - 1],
+                '_' => dp[i - 1][j - 1],
+                c => c == t[i - 1] && dp[i - 1][j - 1],
+            };
+        }
+    }
+    dp[t.len()][p.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn like_agrees_with_oracle(text in "[ab]{0,8}", pattern in "[ab%_]{0,6}") {
+        prop_assert_eq!(
+            idaa::sql::eval::like_match(&text, &pattern),
+            like_oracle(&text, &pattern),
+            "text={:?} pattern={:?}", text, pattern
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decimal laws
+// ---------------------------------------------------------------------------
+
+fn arb_decimal() -> impl Strategy<Value = Decimal> {
+    (-1_000_000i64..1_000_000, 0u8..6).prop_map(|(u, s)| Decimal::new(u as i128, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decimal_display_parse_roundtrip(d in arb_decimal()) {
+        let printed = d.to_string();
+        let back = Decimal::parse(&printed).unwrap();
+        prop_assert_eq!(d.compare(&back), std::cmp::Ordering::Equal);
+        prop_assert_eq!(back.to_string(), printed);
+    }
+
+    #[test]
+    fn decimal_addition_commutes_and_sub_inverts(a in arb_decimal(), b in arb_decimal()) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.compare(&ba), std::cmp::Ordering::Equal);
+        let back = ab.sub(&b).unwrap();
+        prop_assert_eq!(back.compare(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn decimal_order_matches_f64(a in arb_decimal(), b in arb_decimal()) {
+        // Within these magnitudes f64 is exact enough to be an oracle.
+        let expect = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+        prop_assert_eq!(a.compare(&b), expect);
+    }
+
+    #[test]
+    fn value_group_eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        if a.group_eq(&b) {
+            prop_assert_eq!(h(&a), h(&b), "equal values must hash equally: {} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn value_total_order_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.cmp_total(&b);
+        let ba = b.cmp_total(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn value_total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let (ab, bc, ac) = (a.cmp_total(&b), b.cmp_total(&c), a.cmp_total(&c));
+        if ab != Greater && bc != Greater {
+            prop_assert_ne!(ac, Greater, "a={} b={} c={}", a, b, c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zone maps and engine equivalence
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn zone_map_pruning_never_changes_answers(
+        rows in proptest::collection::vec((-5000i64..5000, -100i64..100), 100..400),
+        threshold in -5000i64..5000,
+    ) {
+        use idaa::accel::{AccelConfig, AccelEngine};
+        use idaa::common::{ColumnDef, Schema};
+        let schema = Schema::new(vec![
+            ColumnDef::new("A", DataType::BigInt),
+            ColumnDef::new("B", DataType::BigInt),
+        ]).unwrap();
+        let data: Vec<idaa::Row> = rows
+            .iter()
+            .map(|(a, b)| vec![Value::BigInt(*a), Value::BigInt(*b)])
+            .collect();
+        let mut results = Vec::new();
+        for zone_maps in [true, false] {
+            let engine = AccelEngine::new("APP", AccelConfig { slices: 2, zone_maps, parallel: false });
+            engine.create_table(&ObjectName::bare("T"), schema.clone(), &[]).unwrap();
+            engine.load_committed(&ObjectName::bare("T"), data.clone()).unwrap();
+            let Statement::Query(q) = parse_statement(
+                &format!("SELECT COUNT(*), SUM(b) FROM t WHERE a < {threshold}")
+            ).unwrap() else { unreachable!() };
+            results.push(engine.query(0, &q).unwrap().rows);
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+    }
+
+    #[test]
+    fn engines_agree_on_random_data(
+        rows in proptest::collection::vec(
+            (0i64..1000, 0i64..50, "[a-c]{1}"),
+            50..200,
+        ),
+    ) {
+        let idaa = Idaa::default();
+        let mut s = idaa.session(SYSADM);
+        idaa.execute(&mut s, "CREATE TABLE T (A BIGINT, B BIGINT, G VARCHAR(2))").unwrap();
+        let vals: Vec<String> = rows
+            .iter()
+            .map(|(a, b, g)| format!("({a}, {b}, '{g}')"))
+            .collect();
+        for chunk in vals.chunks(200) {
+            idaa.execute(&mut s, &format!("INSERT INTO T VALUES {}", chunk.join(", "))).unwrap();
+        }
+        idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('T')").unwrap();
+        idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('T')").unwrap();
+        for q in [
+            "SELECT COUNT(*) FROM t WHERE a BETWEEN 100 AND 700",
+            "SELECT g, COUNT(*), SUM(a), MIN(b), MAX(b) FROM t GROUP BY g ORDER BY g",
+            "SELECT a, b FROM t WHERE b = 7 ORDER BY a, b",
+            "SELECT COUNT(DISTINCT b) FROM t WHERE g <> 'a'",
+            "SELECT a FROM t WHERE g = 'a' UNION SELECT b FROM t WHERE g = 'b' ORDER BY 1",
+            "SELECT a FROM t UNION ALL SELECT a FROM t ORDER BY 1 LIMIT 50",
+        ] {
+            idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
+            let host = idaa.query(&mut s, q).unwrap();
+            idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+            let accel = idaa.query(&mut s, q).unwrap();
+            prop_assert_eq!(host.rows, accel.rows, "disagreement on {}", q);
+        }
+    }
+
+    #[test]
+    fn replication_converges_on_random_streams(
+        ops in proptest::collection::vec((0u8..10, 0i64..30, -50i64..50), 10..60),
+        batch in prop_oneof![Just(1usize), Just(7), Just(64)],
+    ) {
+        let idaa = Idaa::new(idaa::IdaaConfig { replication_batch: batch, ..Default::default() });
+        let mut s = idaa.session(SYSADM);
+        idaa.execute(&mut s, "CREATE TABLE T (K BIGINT, V BIGINT)").unwrap();
+        idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('T')").unwrap();
+        idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('T')").unwrap();
+        for (op, k, v) in ops {
+            match op {
+                0..=5 => {
+                    idaa.execute(&mut s, &format!("INSERT INTO T VALUES ({k}, {v})")).unwrap();
+                }
+                6..=7 => {
+                    idaa.execute(&mut s, &format!("UPDATE T SET V = {v} WHERE K = {k}")).unwrap();
+                }
+                _ => {
+                    idaa.execute(&mut s, &format!("DELETE FROM T WHERE K = {k}")).unwrap();
+                }
+            }
+        }
+        idaa.replicate_now().unwrap();
+        let sort = |mut rows: Vec<idaa::Row>| {
+            rows.sort_by(|a, b| {
+                a.iter().zip(b).map(|(x, y)| x.cmp_total(y))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            rows
+        };
+        let host_rows = sort(idaa.host().scan_all(&ObjectName::bare("T")).unwrap());
+        let accel_rows = sort(idaa.accel().scan_visible(&ObjectName::bare("T")).unwrap());
+        prop_assert_eq!(host_rows, accel_rows);
+    }
+}

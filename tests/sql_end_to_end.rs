@@ -1,0 +1,443 @@
+//! End-to-end SQL behavior through the federated facade: DDL, DML,
+//! queries, routing, and error codes — spanning idaa-sql, idaa-host,
+//! idaa-accel, idaa-netsim and idaa-core.
+
+use idaa::{Idaa, Route, Value, SYSADM};
+
+fn system() -> (Idaa, idaa::Session) {
+    let idaa = Idaa::default();
+    let s = idaa.session(SYSADM);
+    (idaa, s)
+}
+
+fn seed_sales(idaa: &Idaa, s: &mut idaa::Session, n: usize) {
+    idaa.execute(
+        s,
+        "CREATE TABLE SALES (ID INT NOT NULL, REGION VARCHAR(8), AMOUNT DECIMAL(10,2), \
+         QTY INT, SOLD_ON DATE)",
+    )
+    .unwrap();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        vals.push(format!(
+            "({i}, '{}', {}.25, {}, DATE '2015-0{}-01')",
+            ["EU", "US", "APAC"][i % 3],
+            (i % 500) + 1,
+            i % 7,
+            (i % 9) + 1
+        ));
+        if vals.len() == 500 {
+            idaa.execute(s, &format!("INSERT INTO SALES VALUES {}", vals.join(", "))).unwrap();
+            vals.clear();
+        }
+    }
+    if !vals.is_empty() {
+        idaa.execute(s, &format!("INSERT INTO SALES VALUES {}", vals.join(", "))).unwrap();
+    }
+}
+
+fn accelerate(idaa: &Idaa, s: &mut idaa::Session, table: &str) {
+    idaa.execute(s, &format!("CALL ACCEL_ADD_TABLES('{table}')")).unwrap();
+    idaa.execute(s, &format!("CALL ACCEL_LOAD_TABLES('{table}')")).unwrap();
+}
+
+#[test]
+fn same_query_same_answer_on_both_engines() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 3000);
+    accelerate(&idaa, &mut s, "SALES");
+    let queries = [
+        "SELECT COUNT(*) FROM sales",
+        "SELECT region, COUNT(*), SUM(amount), AVG(qty) FROM sales GROUP BY region ORDER BY region",
+        "SELECT id FROM sales WHERE amount > 400 AND qty = 3 ORDER BY id LIMIT 20",
+        "SELECT region, SUM(qty) FROM sales WHERE sold_on >= DATE '2015-04-01' GROUP BY region \
+         HAVING SUM(qty) > 10 ORDER BY region",
+        "SELECT DISTINCT qty FROM sales ORDER BY qty",
+        "SELECT CASE WHEN qty > 3 THEN 'hi' ELSE 'lo' END AS band, COUNT(*) FROM sales \
+         GROUP BY CASE WHEN qty > 3 THEN 'hi' ELSE 'lo' END ORDER BY band",
+        "SELECT MIN(sold_on), MAX(sold_on) FROM sales WHERE region = 'EU'",
+        "SELECT COUNT(DISTINCT region), STDDEV(qty) FROM sales",
+    ];
+    for q in queries {
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
+        let host = idaa.execute(&mut s, q).unwrap();
+        assert_eq!(host.route, Route::Host);
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        let accel = idaa.execute(&mut s, q).unwrap();
+        assert_eq!(accel.route, Route::Accelerator, "query should offload: {q}");
+        assert_rows_approx_eq(host.rows().unwrap(), accel.rows().unwrap(), q);
+    }
+}
+
+/// Row-set equality with a relative tolerance on DOUBLE values: the two
+/// engines accumulate floating-point sums in different row orders (the
+/// accelerator's slices interleave), which is allowed to perturb the last
+/// few bits.
+fn assert_rows_approx_eq(a: &idaa::Rows, b: &idaa::Rows, context: &str) {
+    assert_eq!(a.len(), b.len(), "row count mismatch for: {context}");
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.len(), rb.len(), "arity mismatch for: {context}");
+        for (va, vb) in ra.iter().zip(rb) {
+            match (va, vb) {
+                (Value::Double(x), Value::Double(y)) => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!(
+                        (x - y).abs() / scale < 1e-9,
+                        "double mismatch {x} vs {y} for: {context}"
+                    );
+                }
+                _ => assert_eq!(va, vb, "value mismatch for: {context}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn joins_across_replicated_tables_offload() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 1000);
+    idaa.execute(&mut s, "CREATE TABLE REGIONS (NAME VARCHAR(8) NOT NULL, MGR VARCHAR(10))")
+        .unwrap();
+    idaa.execute(
+        &mut s,
+        "INSERT INTO REGIONS VALUES ('EU', 'anna'), ('US', 'bob'), ('APAC', 'chen')",
+    )
+    .unwrap();
+    accelerate(&idaa, &mut s, "SALES");
+    accelerate(&idaa, &mut s, "REGIONS");
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    let out = idaa
+        .execute(
+            &mut s,
+            "SELECT r.mgr, COUNT(*) FROM sales sl INNER JOIN regions r ON sl.region = r.name \
+             GROUP BY r.mgr ORDER BY r.mgr",
+        )
+        .unwrap();
+    assert_eq!(out.route, Route::Accelerator);
+    assert_eq!(out.rows().unwrap().len(), 3);
+    // Partially accelerated join falls back to host under ELIGIBLE.
+    idaa.execute(&mut s, "CREATE TABLE LOCAL_ONLY (NAME VARCHAR(8))").unwrap();
+    idaa.execute(&mut s, "INSERT INTO LOCAL_ONLY VALUES ('EU')").unwrap();
+    let out = idaa
+        .execute(
+            &mut s,
+            "SELECT COUNT(*) FROM sales sl INNER JOIN local_only l ON sl.region = l.name",
+        )
+        .unwrap();
+    assert_eq!(out.route, Route::Host);
+}
+
+#[test]
+fn aot_dml_full_cycle() {
+    let (idaa, mut s) = system();
+    idaa.execute(&mut s, "CREATE TABLE STAGE (K INT NOT NULL, V VARCHAR(8)) IN ACCELERATOR")
+        .unwrap();
+    // INSERT VALUES, UPDATE, DELETE all run on the accelerator.
+    let out = idaa
+        .execute(&mut s, "INSERT INTO STAGE VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+        .unwrap();
+    assert_eq!(out.route, Route::Accelerator);
+    assert_eq!(out.count(), 3);
+    let out = idaa.execute(&mut s, "UPDATE STAGE SET V = 'z' WHERE K >= 2").unwrap();
+    assert_eq!(out.count(), 2);
+    let out = idaa.execute(&mut s, "DELETE FROM STAGE WHERE K = 1").unwrap();
+    assert_eq!(out.count(), 1);
+    let rows = idaa.query(&mut s, "SELECT k, v FROM stage ORDER BY k").unwrap();
+    assert_eq!(rows.rows, vec![
+        vec![Value::Int(2), Value::Varchar("z".into())],
+        vec![Value::Int(3), Value::Varchar("z".into())],
+    ]);
+}
+
+#[test]
+fn insert_select_between_aots_is_pure_pushdown() {
+    let (idaa, mut s) = system();
+    idaa.execute(&mut s, "CREATE TABLE A (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE B (X INT, DOUBLED BIGINT) IN ACCELERATOR").unwrap();
+    let vals: Vec<String> = (0..500).map(|i| format!("({i})")).collect();
+    idaa.execute(&mut s, &format!("INSERT INTO A VALUES {}", vals.join(", "))).unwrap();
+    let before = idaa.link().metrics();
+    let out = idaa.execute(&mut s, "INSERT INTO B SELECT x, x * 2 FROM a WHERE x < 100").unwrap();
+    assert_eq!(out.count(), 100);
+    let moved = idaa.link().metrics().since(&before);
+    assert!(
+        moved.total_bytes() < 500,
+        "pushdown must move only control messages, moved {} bytes",
+        moved.total_bytes()
+    );
+}
+
+#[test]
+fn db2_error_codes_surface() {
+    let (idaa, mut s) = system();
+    assert_eq!(idaa.execute(&mut s, "SELECT * FROM nope").unwrap_err().sqlcode(), -204);
+    idaa.execute(&mut s, "CREATE TABLE T (X INT)").unwrap();
+    assert_eq!(idaa.execute(&mut s, "CREATE TABLE T (Y INT)").unwrap_err().sqlcode(), -601);
+    assert_eq!(idaa.execute(&mut s, "SELECT nope FROM t").unwrap_err().sqlcode(), -206);
+    assert_eq!(idaa.execute(&mut s, "SELEC 1").unwrap_err().sqlcode(), -104);
+    idaa.execute(&mut s, "CREATE TABLE AO (X INT) IN ACCELERATOR").unwrap();
+    assert_eq!(
+        idaa.execute(&mut s, "SELECT * FROM ao INNER JOIN t ON ao.x = t.x")
+            .unwrap_err()
+            .sqlcode(),
+        -4742
+    );
+}
+
+#[test]
+fn update_on_aot_visible_to_later_offloaded_query_same_txn() {
+    let (idaa, mut s) = system();
+    idaa.execute(&mut s, "CREATE TABLE W (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "INSERT INTO W VALUES (10)").unwrap();
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "UPDATE W SET X = 99").unwrap();
+    let r = idaa.query(&mut s, "SELECT x FROM w").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Int(99), "own update visible before commit");
+    idaa.execute(&mut s, "ROLLBACK").unwrap();
+    let r = idaa.query(&mut s, "SELECT x FROM w").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::Int(10));
+}
+
+#[test]
+fn groom_reclaims_after_churn() {
+    let (idaa, mut s) = system();
+    idaa.execute(&mut s, "CREATE TABLE G (X INT) IN ACCELERATOR").unwrap();
+    let vals: Vec<String> = (0..200).map(|i| format!("({i})")).collect();
+    idaa.execute(&mut s, &format!("INSERT INTO G VALUES {}", vals.join(", "))).unwrap();
+    idaa.execute(&mut s, "DELETE FROM G WHERE X < 100").unwrap();
+    idaa.execute(&mut s, "UPDATE G SET X = X + 1000 WHERE X < 150").unwrap();
+    // versions: 200 inserts + 50 update-inserts = 250; dead: 100 deletes + 50 updated-old.
+    let table = idaa.accel().table(&idaa::ObjectName::bare("G")).unwrap();
+    assert_eq!(table.version_count(), 250);
+    let r = idaa.query(&mut s, "CALL SYSPROC.ACCEL_GROOM_TABLES('G')").unwrap();
+    assert!(r.rows[0][0].render().contains("150"), "groomed 150 versions: {:?}", r.rows);
+    assert_eq!(table.version_count(), 100);
+    let r = idaa.query(&mut s, "SELECT COUNT(*) FROM g").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::BigInt(100));
+}
+
+#[test]
+fn script_execution_and_table_render() {
+    let (idaa, mut s) = system();
+    let outcomes = idaa
+        .execute_script(
+            &mut s,
+            "CREATE TABLE SC (A INT, B VARCHAR(4));
+             INSERT INTO SC VALUES (1, 'x'), (2, 'y');
+             SELECT * FROM SC ORDER BY A;",
+        )
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    let table = outcomes[2].rows().unwrap().to_table();
+    assert!(table.contains("| A |") || table.contains("| A  |"), "{table}");
+    assert!(table.contains("2 row(s)"));
+}
+
+#[test]
+fn order_by_non_projected_and_aggregate_keys() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 300);
+    let r = idaa
+        .query(&mut s, "SELECT id FROM sales ORDER BY amount DESC, id LIMIT 3")
+        .unwrap();
+    assert_eq!(r.schema.len(), 1, "hidden sort key must be stripped");
+    let r = idaa
+        .query(
+            &mut s,
+            "SELECT region FROM sales GROUP BY region ORDER BY SUM(amount) DESC LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn union_and_union_all() {
+    let (idaa, mut s) = system();
+    idaa.execute(&mut s, "CREATE TABLE U1 (X INT, TAG VARCHAR(4))").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE U2 (X INT, TAG VARCHAR(4))").unwrap();
+    idaa.execute(&mut s, "INSERT INTO U1 VALUES (1, 'a'), (2, 'b')").unwrap();
+    idaa.execute(&mut s, "INSERT INTO U2 VALUES (2, 'b'), (3, 'c')").unwrap();
+    let r = idaa
+        .query(&mut s, "SELECT x, tag FROM u1 UNION ALL SELECT x, tag FROM u2 ORDER BY x")
+        .unwrap();
+    assert_eq!(r.len(), 4);
+    let r = idaa
+        .query(&mut s, "SELECT x, tag FROM u1 UNION SELECT x, tag FROM u2 ORDER BY x")
+        .unwrap();
+    assert_eq!(r.len(), 3, "plain UNION dedups");
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    // Offloaded union over accelerated tables matches host answer.
+    accelerate(&idaa, &mut s, "U1");
+    accelerate(&idaa, &mut s, "U2");
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    let out = idaa
+        .execute(&mut s, "SELECT x, tag FROM u1 UNION SELECT x, tag FROM u2 ORDER BY x")
+        .unwrap();
+    assert_eq!(out.route, Route::Accelerator);
+    assert_eq!(out.rows().unwrap().rows, r.rows);
+    // Mismatched arity errors.
+    let err = idaa.query(&mut s, "SELECT x FROM u1 UNION SELECT x, tag FROM u2").unwrap_err();
+    assert_eq!(err.sqlcode(), -104);
+}
+
+#[test]
+fn decimal_arithmetic_through_sql() {
+    let (idaa, mut s) = system();
+    idaa.execute(&mut s, "CREATE TABLE MONEY (AMT DECIMAL(10,2))").unwrap();
+    idaa.execute(&mut s, "INSERT INTO MONEY VALUES (10.25), (0.75), (5.00)").unwrap();
+    let r = idaa.query(&mut s, "SELECT SUM(amt) FROM money").unwrap();
+    assert_eq!(r.scalar().unwrap().render(), "16.00");
+    let r = idaa.query(&mut s, "SELECT amt * 2 FROM money WHERE amt = 10.25").unwrap();
+    assert_eq!(r.scalar().unwrap().render(), "20.50");
+    let err = idaa.query(&mut s, "SELECT amt / 0 FROM money").unwrap_err();
+    assert_eq!(err.sqlcode(), -802);
+}
+
+#[test]
+fn subqueries_and_left_joins_offloaded() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 2000);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    let q = "SELECT t.region, t.total FROM \
+             (SELECT region, SUM(amount) AS total FROM sales GROUP BY region) AS t \
+             WHERE t.total > 0 ORDER BY t.region";
+    let out = idaa.execute(&mut s, q).unwrap();
+    assert_eq!(out.route, Route::Accelerator);
+    assert_eq!(out.rows().unwrap().len(), 3);
+}
+
+#[test]
+fn explain_reports_route_and_plan() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 100);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    let r = idaa
+        .query(&mut s, "EXPLAIN SELECT region, SUM(amount) FROM sales WHERE qty > 2 GROUP BY region")
+        .unwrap();
+    let text: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+    assert!(text[0].contains("ROUTE: Accelerator"), "{text:?}");
+    assert!(text.iter().any(|l| l.contains("AGGREGATE")), "{text:?}");
+    assert!(text.iter().any(|l| l.contains("SCAN")), "{text:?}");
+    // EXPLAIN does not execute: no accelerator query was issued for it.
+    let before = idaa.accel().stats.queries.load(std::sync::atomic::Ordering::Relaxed);
+    idaa.query(&mut s, "EXPLAIN SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(
+        idaa.accel().stats.queries.load(std::sync::atomic::Ordering::Relaxed),
+        before
+    );
+    // DML explain shows the route.
+    let r = idaa.query(&mut s, "EXPLAIN DELETE FROM sales WHERE id = 1").unwrap();
+    assert!(r.rows[0][0].render().contains("ROUTE: Host"));
+    // EXPLAIN of transaction control is unsupported.
+    assert!(idaa.query(&mut s, "EXPLAIN COMMIT").is_err());
+}
+
+#[test]
+fn parameter_markers_execute() {
+    let (idaa, mut s) = system();
+    idaa.execute(&mut s, "CREATE TABLE PM (A INT, B VARCHAR(8))").unwrap();
+    idaa.execute_with_params(
+        &mut s,
+        "INSERT INTO PM VALUES (?, ?)",
+        &[Value::Int(1), Value::Varchar("one".into())],
+    )
+    .unwrap();
+    idaa.execute_with_params(
+        &mut s,
+        "INSERT INTO PM VALUES (?, ?)",
+        &[Value::Int(2), Value::Varchar("two".into())],
+    )
+    .unwrap();
+    let out = idaa
+        .execute_with_params(&mut s, "SELECT b FROM pm WHERE a = ?", &[Value::Int(2)])
+        .unwrap();
+    assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::Varchar("two".into()));
+    // Unbound marker is a clear error.
+    assert!(idaa.execute(&mut s, "SELECT b FROM pm WHERE a = ?").is_err());
+    assert!(idaa
+        .execute_with_params(&mut s, "SELECT b FROM pm WHERE a = ? AND b = ?", &[Value::Int(1)])
+        .is_err());
+}
+
+#[test]
+fn accelerator_outage_falls_back_where_possible() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 200);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "CREATE TABLE OUT_AOT (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "INSERT INTO OUT_AOT VALUES (1)").unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+
+    idaa.faults.accel_unavailable.store(true, std::sync::atomic::Ordering::Relaxed);
+    // Replicated table: falls back to the host copy.
+    let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(out.route, Route::Host);
+    assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::BigInt(200));
+    // AOT query cannot fall back.
+    assert_eq!(idaa.execute(&mut s, "SELECT * FROM out_aot").unwrap_err().sqlcode(), -4742);
+    // AOT DML cannot fall back either.
+    assert_eq!(idaa.execute(&mut s, "INSERT INTO OUT_AOT VALUES (2)").unwrap_err().sqlcode(), -4742);
+    // ALL mode demands the accelerator: fail.
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ALL").unwrap();
+    assert_eq!(idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap_err().sqlcode(), -4742);
+
+    // Accelerator comes back: everything resumes.
+    idaa.faults.accel_unavailable.store(false, std::sync::atomic::Ordering::Relaxed);
+    let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(out.route, Route::Accelerator);
+    let r = idaa.query(&mut s, "SELECT COUNT(*) FROM out_aot").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::BigInt(1));
+}
+
+#[test]
+fn union_type_mismatch_rejected() {
+    let (idaa, mut s) = system();
+    idaa.execute(&mut s, "CREATE TABLE UA (X INT)").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE UB (NAME VARCHAR(8))").unwrap();
+    let err = idaa.query(&mut s, "SELECT x FROM ua UNION SELECT name FROM ub").unwrap_err();
+    assert_eq!(err.sqlcode(), -420);
+    // Compatible numeric widening is fine.
+    idaa.execute(&mut s, "CREATE TABLE UC (Y BIGINT)").unwrap();
+    idaa.query(&mut s, "SELECT x FROM ua UNION SELECT y FROM uc").unwrap();
+}
+
+#[test]
+fn csv_export_reimports_through_the_loader() {
+    use idaa::loader::{CsvSource, LoadTarget, Loader};
+    let (idaa, mut s) = system();
+    idaa.execute(
+        &mut s,
+        "CREATE TABLE SRC (ID INT, NOTE VARCHAR(32), AMT DECIMAL(8,2), D DATE)",
+    )
+    .unwrap();
+    idaa.execute(
+        &mut s,
+        "INSERT INTO SRC VALUES \
+         (1, 'plain', 10.50, DATE '2015-06-01'), \
+         (2, 'has, comma', 0.25, DATE '2015-06-02'), \
+         (3, NULL, NULL, NULL)",
+    )
+    .unwrap();
+    let exported = idaa.query(&mut s, "SELECT * FROM src ORDER BY id").unwrap();
+    let csv = exported.to_csv();
+
+    idaa.execute(
+        &mut s,
+        "CREATE TABLE DST (ID INT, NOTE VARCHAR(32), AMT DECIMAL(8,2), D DATE) IN ACCELERATOR",
+    )
+    .unwrap();
+    let report = Loader::new(SYSADM)
+        .load(
+            &idaa,
+            Box::new(CsvSource::with_header(&csv)),
+            &idaa::ObjectName::bare("DST"),
+            LoadTarget::Auto,
+        )
+        .unwrap();
+    assert_eq!(report.rows_loaded, 3);
+    assert_eq!(report.rows_rejected, 0);
+    let reimported = idaa.query(&mut s, "SELECT * FROM dst ORDER BY id").unwrap();
+    assert_eq!(exported.rows, reimported.rows, "export → import must round-trip");
+}

@@ -1,0 +1,173 @@
+//! Model-checking property tests for the storage substrates: the host
+//! heap against a simple map model, and the accelerator's MVCC registry
+//! against the declarative visibility rule.
+
+use idaa::accel::{Snapshot, TxnRegistry, TxnStatus};
+use idaa::common::{ColumnDef, Schema};
+use idaa::host::storage::HeapTable;
+use idaa::{DataType, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Insert(i32),
+    /// Delete the n-th live row (modulo count).
+    Delete(usize),
+    /// Update the n-th live row (modulo count) to the value.
+    Update(usize, i32),
+}
+
+fn arb_heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (-1000i32..1000).prop_map(HeapOp::Insert),
+            (0usize..64).prop_map(HeapOp::Delete),
+            (0usize..64, -1000i32..1000).prop_map(|(i, v)| HeapOp::Update(i, v)),
+        ],
+        1..250,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The slotted heap behaves exactly like a RID→row map, through
+    /// arbitrary interleavings of inserts, deletes, updates and slot reuse.
+    #[test]
+    fn heap_matches_map_model(ops in arb_heap_ops()) {
+        let schema = Schema::new(vec![ColumnDef::new("V", DataType::Integer)]).unwrap();
+        let heap = HeapTable::new(&schema);
+        let mut model: HashMap<idaa::host::Rid, i32> = HashMap::new();
+        for op in ops {
+            match op {
+                HeapOp::Insert(v) => {
+                    let rid = heap.insert(vec![Value::Int(v)]);
+                    prop_assert!(model.insert(rid, v).is_none(), "RID reused while live");
+                }
+                HeapOp::Delete(nth) => {
+                    if model.is_empty() { continue; }
+                    let mut keys: Vec<_> = model.keys().copied().collect();
+                    keys.sort();
+                    let rid = keys[nth % keys.len()];
+                    let old = heap.delete(rid).unwrap();
+                    prop_assert_eq!(&old[0], &Value::Int(model.remove(&rid).unwrap()));
+                }
+                HeapOp::Update(nth, v) => {
+                    if model.is_empty() { continue; }
+                    let mut keys: Vec<_> = model.keys().copied().collect();
+                    keys.sort();
+                    let rid = keys[nth % keys.len()];
+                    let old = heap.update(rid, vec![Value::Int(v)]).unwrap();
+                    prop_assert_eq!(&old[0], &Value::Int(model[&rid]));
+                    model.insert(rid, v);
+                }
+            }
+            prop_assert_eq!(heap.len(), model.len());
+        }
+        // Final full-scan equivalence.
+        let mut scanned: Vec<(idaa::host::Rid, i32)> = heap
+            .scan()
+            .into_iter()
+            .map(|(rid, row)| (rid, row[0].as_i64().unwrap() as i32))
+            .collect();
+        scanned.sort();
+        let mut expect: Vec<(idaa::host::Rid, i32)> = model.into_iter().collect();
+        expect.sort();
+        prop_assert_eq!(scanned, expect);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TxnOp {
+    Begin(u8),
+    Prepare(u8),
+    Commit(u8),
+    Abort(u8),
+}
+
+fn arb_txn_ops() -> impl Strategy<Value = Vec<TxnOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u8..12).prop_map(TxnOp::Begin),
+            (1u8..12).prop_map(TxnOp::Prepare),
+            (1u8..12).prop_map(TxnOp::Commit),
+            (1u8..12).prop_map(TxnOp::Abort),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MVCC visibility satisfies the declarative rule for any sequence of
+    /// transaction state transitions and any snapshot taken along the way.
+    #[test]
+    fn mvcc_visibility_matches_declarative_rule(ops in arb_txn_ops(), me in 1u64..12) {
+        let reg = TxnRegistry::default();
+        // Shadow model: txn → (status, commit order).
+        let mut model: HashMap<u64, TxnStatus> = HashMap::new();
+        for op in &ops {
+            match op {
+                TxnOp::Begin(t) => {
+                    reg.begin(*t as u64);
+                    model.insert(*t as u64, TxnStatus::Active);
+                }
+                TxnOp::Prepare(t) => {
+                    // Only meaningful for known transactions; the registry
+                    // registers unknowns, mirror that.
+                    reg.prepare(*t as u64);
+                    model.insert(*t as u64, TxnStatus::Prepared);
+                }
+                TxnOp::Commit(t) => {
+                    let seq = reg.commit(*t as u64);
+                    model.insert(*t as u64, TxnStatus::Committed(seq));
+                }
+                TxnOp::Abort(t) => {
+                    reg.abort(*t as u64);
+                    model.insert(*t as u64, TxnStatus::Aborted);
+                }
+            }
+        }
+        let snap: Snapshot = reg.snapshot(me);
+        // Declarative rule, evaluated purely on the model:
+        let visible_creation = |t: u64| -> bool {
+            t == me
+                || matches!(model.get(&t), Some(TxnStatus::Committed(seq)) if *seq <= snap.seq)
+        };
+        for creator in 0u64..14 {
+            for deleter in 0u64..14 {
+                let expect = visible_creation(creator)
+                    && !(deleter != 0 && (deleter == me || visible_creation(deleter)));
+                prop_assert_eq!(
+                    reg.version_visible(creator, deleter, &snap),
+                    expect,
+                    "creator={} deleter={} me={}", creator, deleter, me
+                );
+            }
+        }
+    }
+
+    /// Snapshots are stable: later commits never become visible to an
+    /// earlier snapshot.
+    #[test]
+    fn snapshots_are_stable(pre in 0u8..6, post in 1u8..6) {
+        let reg = TxnRegistry::default();
+        for t in 0..pre {
+            let id = 100 + t as u64;
+            reg.begin(id);
+            reg.commit(id);
+        }
+        let snap = reg.snapshot(999);
+        for t in 0..pre {
+            prop_assert!(reg.created_visible(100 + t as u64, &snap));
+        }
+        for t in 0..post {
+            let id = 200 + t as u64;
+            reg.begin(id);
+            reg.commit(id);
+            prop_assert!(!reg.created_visible(id, &snap), "post-snapshot commit leaked in");
+        }
+    }
+}

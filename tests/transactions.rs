@@ -1,0 +1,219 @@
+//! Cross-system transaction semantics: the paper's §2 requirement that
+//! with AOTs "IDAA has to be aware of the DB2 transaction context so that
+//! correct results are guaranteed" — own-uncommitted visibility, snapshot
+//! isolation between sessions, atomic commit/rollback across both engines,
+//! two-phase-commit failure handling, and lock behavior on the host.
+
+use idaa::{Idaa, Value, SYSADM};
+use std::sync::atomic::Ordering;
+
+fn system() -> Idaa {
+    Idaa::default()
+}
+
+#[test]
+fn own_uncommitted_changes_visible_only_to_self() {
+    let idaa = system();
+    let mut writer = idaa.session(SYSADM);
+    let mut reader = idaa.session(SYSADM);
+    idaa.execute(&mut writer, "CREATE TABLE T (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut writer, "BEGIN").unwrap();
+    idaa.execute(&mut writer, "INSERT INTO T VALUES (1), (2), (3)").unwrap();
+    idaa.execute(&mut writer, "DELETE FROM T WHERE X = 2").unwrap();
+
+    let mine = idaa.query(&mut writer, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(mine.scalar().unwrap(), &Value::BigInt(2));
+    let theirs = idaa.query(&mut reader, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(theirs.scalar().unwrap(), &Value::BigInt(0));
+
+    idaa.execute(&mut writer, "COMMIT").unwrap();
+    let after = idaa.query(&mut reader, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(after.scalar().unwrap(), &Value::BigInt(2));
+}
+
+#[test]
+fn snapshot_isolation_within_reader_transaction() {
+    let idaa = system();
+    let mut writer = idaa.session(SYSADM);
+    let mut reader = idaa.session(SYSADM);
+    idaa.execute(&mut writer, "CREATE TABLE T (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut writer, "INSERT INTO T VALUES (1)").unwrap();
+
+    // The reader opens a transaction and touches the accelerator, pinning
+    // its snapshot.
+    idaa.execute(&mut reader, "BEGIN").unwrap();
+    idaa.execute(&mut reader, "INSERT INTO T VALUES (100)").unwrap(); // enlists
+    let c1 = idaa.query(&mut reader, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(c1.scalar().unwrap(), &Value::BigInt(2)); // 1 committed + own
+
+    // A concurrent commit must stay invisible to the pinned snapshot.
+    idaa.execute(&mut writer, "INSERT INTO T VALUES (2)").unwrap();
+    let c2 = idaa.query(&mut reader, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(c2.scalar().unwrap(), &Value::BigInt(2), "snapshot must not move");
+
+    idaa.execute(&mut reader, "COMMIT").unwrap();
+    let c3 = idaa.query(&mut reader, "SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(c3.scalar().unwrap(), &Value::BigInt(3));
+}
+
+#[test]
+fn dirty_reads_never_happen_across_engines() {
+    let idaa = system();
+    let mut a = idaa.session(SYSADM);
+    let mut b = idaa.session(SYSADM);
+    idaa.execute(&mut a, "CREATE TABLE HOSTT (X INT)").unwrap();
+    idaa.execute(&mut a, "CREATE TABLE AOTT (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut a, "BEGIN").unwrap();
+    idaa.execute(&mut a, "INSERT INTO AOTT VALUES (1)").unwrap();
+    // The AOT write is invisible to b.
+    let r = idaa.query(&mut b, "SELECT COUNT(*) FROM aott").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::BigInt(0));
+    idaa.execute(&mut a, "ROLLBACK").unwrap();
+    let r = idaa.query(&mut b, "SELECT COUNT(*) FROM aott").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::BigInt(0));
+}
+
+#[test]
+fn write_write_conflict_on_aot_is_detected() {
+    let idaa = system();
+    let mut a = idaa.session(SYSADM);
+    let mut b = idaa.session(SYSADM);
+    idaa.execute(&mut a, "CREATE TABLE C (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut a, "INSERT INTO C VALUES (1)").unwrap();
+    idaa.execute(&mut a, "BEGIN").unwrap();
+    idaa.execute(&mut b, "BEGIN").unwrap();
+    idaa.execute(&mut a, "DELETE FROM C WHERE X = 1").unwrap();
+    // First-updater-wins: b's delete of the same version fails.
+    let err = idaa.execute(&mut b, "DELETE FROM C WHERE X = 1");
+    // b's snapshot still sees the row, so it attempts the delete and hits
+    // the conflict.
+    assert!(err.is_err(), "expected write-write conflict");
+    idaa.execute(&mut a, "COMMIT").unwrap();
+    idaa.execute(&mut b, "ROLLBACK").unwrap();
+    let mut c = idaa.session(SYSADM);
+    let r = idaa.query(&mut c, "SELECT COUNT(*) FROM c").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::BigInt(0));
+}
+
+#[test]
+fn two_phase_commit_failure_is_atomic_and_recoverable() {
+    let idaa = system();
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE H (X INT)").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE A (X INT) IN ACCELERATOR").unwrap();
+
+    // Failed 2PC leaves both sides clean…
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO H VALUES (1)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO A VALUES (1)").unwrap();
+    idaa.faults.fail_next_prepare.store(true, Ordering::Relaxed);
+    assert!(idaa.execute(&mut s, "COMMIT").is_err());
+    assert_eq!(
+        idaa.query(&mut s, "SELECT COUNT(*) FROM h").unwrap().scalar().unwrap(),
+        &Value::BigInt(0)
+    );
+    assert_eq!(
+        idaa.query(&mut s, "SELECT COUNT(*) FROM a").unwrap().scalar().unwrap(),
+        &Value::BigInt(0)
+    );
+
+    // …and the session keeps working afterwards.
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO H VALUES (2)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO A VALUES (2)").unwrap();
+    idaa.execute(&mut s, "COMMIT").unwrap();
+    assert_eq!(
+        idaa.query(&mut s, "SELECT COUNT(*) FROM h").unwrap().scalar().unwrap(),
+        &Value::BigInt(1)
+    );
+    assert_eq!(
+        idaa.query(&mut s, "SELECT COUNT(*) FROM a").unwrap().scalar().unwrap(),
+        &Value::BigInt(1)
+    );
+}
+
+#[test]
+fn concurrent_sessions_parallel_aot_inserts() {
+    let idaa = std::sync::Arc::new(system());
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE P (T INT, X INT) IN ACCELERATOR").unwrap();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let idaa = std::sync::Arc::clone(&idaa);
+            std::thread::spawn(move || {
+                let mut sess = idaa.session(SYSADM);
+                for i in 0..50 {
+                    idaa.execute(&mut sess, &format!("INSERT INTO P VALUES ({t}, {i})"))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let r = idaa.query(&mut s, "SELECT COUNT(*), COUNT(DISTINCT t) FROM p").unwrap();
+    assert_eq!(r.rows[0][0], Value::BigInt(200));
+    assert_eq!(r.rows[0][1], Value::BigInt(4));
+}
+
+#[test]
+fn host_lock_timeout_surfaces_as_minus_913() {
+    let idaa = system();
+    let mut a = idaa.session(SYSADM);
+    idaa.execute(&mut a, "CREATE TABLE L (X INT)").unwrap();
+    idaa.execute(&mut a, "BEGIN").unwrap();
+    idaa.execute(&mut a, "INSERT INTO L VALUES (1)").unwrap(); // X lock held
+    let idaa_ref = &idaa;
+    std::thread::scope(|scope| {
+        let h = scope.spawn(move || {
+            let mut b = idaa_ref.session(SYSADM);
+            idaa_ref.execute(&mut b, "SELECT COUNT(*) FROM l")
+        });
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err.sqlcode(), -913);
+    });
+    idaa.execute(&mut a, "COMMIT").unwrap();
+}
+
+#[test]
+fn autocommit_failure_of_multirow_aot_insert_is_atomic() {
+    let idaa = system();
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE NN (X INT NOT NULL) IN ACCELERATOR").unwrap();
+    let err = idaa.execute(&mut s, "INSERT INTO NN VALUES (1), (NULL), (3)");
+    assert!(err.is_err());
+    let r = idaa.query(&mut s, "SELECT COUNT(*) FROM nn").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::BigInt(0));
+}
+
+#[test]
+fn commit_without_begin_is_noop_and_begin_twice_errors() {
+    let idaa = system();
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "COMMIT").unwrap();
+    idaa.execute(&mut s, "ROLLBACK").unwrap();
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    let err = idaa.execute(&mut s, "BEGIN").unwrap_err();
+    assert_eq!(err.kind(), "transaction_state");
+    idaa.execute(&mut s, "COMMIT").unwrap();
+}
+
+#[test]
+fn replication_waits_for_commit_lock_release() {
+    // A committed host transaction must be fully visible on the accelerator
+    // replica immediately after COMMIT (auto-replicate drains the log).
+    let idaa = system();
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE R (X INT)").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('R')").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('R')").unwrap();
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    for i in 0..20 {
+        idaa.execute(&mut s, &format!("INSERT INTO R VALUES ({i})")).unwrap();
+    }
+    // Not replicated yet (uncommitted).
+    assert_eq!(idaa.accel().scan_visible(&idaa::ObjectName::bare("R")).unwrap().len(), 0);
+    idaa.execute(&mut s, "COMMIT").unwrap();
+    assert_eq!(idaa.accel().scan_visible(&idaa::ObjectName::bare("R")).unwrap().len(), 20);
+}
