@@ -27,11 +27,32 @@ pub struct AccelConfig {
     pub zone_maps: bool,
     /// Scan slices in parallel threads.
     pub parallel: bool,
+    /// Worker threads for post-scan operators (joins, aggregation, sort).
+    /// `0` means "auto": `available_parallelism()` capped at `slices`.
+    pub parallelism: usize,
 }
 
 impl Default for AccelConfig {
     fn default() -> Self {
-        AccelConfig { slices: 4, zone_maps: true, parallel: true }
+        AccelConfig { slices: 4, zone_maps: true, parallel: true, parallelism: 0 }
+    }
+}
+
+impl AccelConfig {
+    /// Effective worker count for parallel operators: 1 when `parallel` is
+    /// off, else the explicit `parallelism`, else `available_parallelism()`
+    /// capped at the slice count.
+    pub fn workers(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        if self.parallelism > 0 {
+            return self.parallelism;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.slices.max(1))
     }
 }
 
@@ -547,7 +568,7 @@ mod tests {
 
     #[test]
     fn zone_maps_prune_blocks() {
-        let cfg = AccelConfig { slices: 1, zone_maps: true, parallel: false };
+        let cfg = AccelConfig { slices: 1, zone_maps: true, parallel: false, parallelism: 0 };
         let e = AccelEngine::new("APP", cfg);
         e.create_table(&ObjectName::bare("T"), schema(), &[]).unwrap();
         // Two blocks worth of ordered ids: 0..4095 and 4096..8191.

@@ -16,7 +16,30 @@ use idaa_sql::ast::{BinaryOp, Expr, JoinKind};
 use idaa_sql::eval::{bind, eval, eval_predicate, AggState, BoundExpr, FlatResolver};
 use idaa_sql::plan::{Plan, PlanCol};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
+
+/// `Limit(Sort(…))` fuses into a bounded top-K selection when the limit is
+/// at most this many rows (beyond that a full parallel sort wins).
+const TOPK_MAX: u64 = 1024;
+
+/// Run `f(0)..f(parts-1)` on scoped worker threads and return the results
+/// in part order. The fixed partition order is what keeps every parallel
+/// operator deterministic for a given configuration.
+fn run_parts<T, F>(parts: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if parts <= 1 {
+        return (0..parts).map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let fr = &f;
+        let handles: Vec<_> = (0..parts).map(|i| scope.spawn(move || fr(i))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    })
+}
 
 /// Execution context for one statement.
 pub struct ExecCtx<'a> {
@@ -121,18 +144,8 @@ fn run_masked(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Result<V
                 }
                 m
             });
-            let mut rows = run_masked(input, ctx, child_mask)?;
-            rows.sort_by(|a, b| {
-                for (i, desc) in keys {
-                    let o = a[*i].cmp_total(&b[*i]);
-                    let o = if *desc { o.reverse() } else { o };
-                    if o != std::cmp::Ordering::Equal {
-                        return o;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            Ok(rows)
+            let rows = run_masked(input, ctx, child_mask)?;
+            Ok(sort_rows(rows, keys, ctx.engine.config.workers()))
         }
         Plan::Distinct { input } => {
             // Row-level dedup reads every column: no pushdown through here.
@@ -147,6 +160,26 @@ fn run_masked(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Result<V
             Ok(out)
         }
         Plan::Limit { input, n } => {
+            // `Limit(Sort(…))` fuses into a bounded top-K selection: keep the
+            // `n` best rows by (sort key, input position) in one pass instead
+            // of sorting everything. The position tiebreak makes the result
+            // identical to a stable sort followed by truncation.
+            if let Plan::Sort { input: sorted, keys } = input.as_ref() {
+                if *n <= TOPK_MAX {
+                    let in_width = sorted.cols().len();
+                    let child_mask = needed.clone().map(|mut m| {
+                        m.resize(in_width, false);
+                        for (i, _) in keys {
+                            if *i < in_width {
+                                m[*i] = true;
+                            }
+                        }
+                        m
+                    });
+                    let rows = run_masked(sorted, ctx, child_mask)?;
+                    return Ok(top_k(rows, *n as usize, sort_cmp(keys)));
+                }
+            }
             let mut rows = run_masked(input, ctx, needed)?;
             rows.truncate(*n as usize);
             Ok(rows)
@@ -482,6 +515,112 @@ fn idaa_host_conjuncts(e: &Expr) -> Vec<&Expr> {
     }
 }
 
+/// Comparator over `Plan::Sort` keys (shared by sort and top-K).
+fn sort_cmp(keys: &[(usize, bool)]) -> impl Fn(&Row, &Row) -> std::cmp::Ordering + Sync + '_ {
+    move |a, b| {
+        for (i, desc) in keys {
+            let o = a[*i].cmp_total(&b[*i]);
+            let o = if *desc { o.reverse() } else { o };
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Stable sort, parallelized as chunk-sorts plus a k-way merge that breaks
+/// ties toward the earliest chunk — output is identical to a serial stable
+/// sort regardless of worker count.
+fn sort_rows(mut rows: Vec<Row>, keys: &[(usize, bool)], workers: usize) -> Vec<Row> {
+    let cmp = sort_cmp(keys);
+    if workers <= 1 || rows.len() <= 1 {
+        rows.sort_by(&cmp);
+        return rows;
+    }
+    let chunk = rows.len().div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        for part in rows.chunks_mut(chunk) {
+            let c = &cmp;
+            scope.spawn(move || part.sort_by(c));
+        }
+    });
+    let mut bounds: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    while start < rows.len() {
+        let end = (start + chunk).min(rows.len());
+        bounds.push((start, end));
+        start = end;
+    }
+    let mut cursors: Vec<usize> = bounds.iter().map(|(s, _)| *s).collect();
+    let mut out = Vec::with_capacity(rows.len());
+    loop {
+        let mut best: Option<usize> = None;
+        for ci in 0..bounds.len() {
+            if cursors[ci] >= bounds[ci].1 {
+                continue;
+            }
+            best = match best {
+                None => Some(ci),
+                Some(b)
+                    if cmp(&rows[cursors[ci]], &rows[cursors[b]])
+                        == std::cmp::Ordering::Less =>
+                {
+                    Some(ci)
+                }
+                keep => keep,
+            };
+        }
+        match best {
+            None => break,
+            Some(b) => {
+                out.push(std::mem::take(&mut rows[cursors[b]]));
+                cursors[b] += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Bounded top-K selection: the `k` smallest rows under `(cmp, input
+/// position)`, in that order — exactly a stable sort followed by
+/// `truncate(k)`, without sorting the rest.
+fn top_k<F: Fn(&Row, &Row) -> std::cmp::Ordering>(rows: Vec<Row>, k: usize, cmp: F) -> Vec<Row> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Sorted buffer of the current best k, worst last. Entries carry their
+    // input position so ties keep first-seen order (stable-sort semantics).
+    let mut buf: Vec<(usize, Row)> = Vec::with_capacity(k + 1);
+    for (seq, row) in rows.into_iter().enumerate() {
+        if buf.len() == k {
+            let (_, worst) = buf.last().expect("k > 0");
+            // Existing entries always have earlier positions, so an Equal
+            // comparison means the newcomer loses the tiebreak too.
+            if cmp(&row, worst) != std::cmp::Ordering::Less {
+                continue;
+            }
+        }
+        let pos = buf.partition_point(|(_, b)| cmp(b, &row) != std::cmp::Ordering::Greater);
+        buf.insert(pos, (seq, row));
+        buf.truncate(k);
+    }
+    buf.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Evaluate a key tuple for one row: `None` when any component is NULL (SQL
+/// join keys never match on NULL), else the tuple plus its 64-bit hash so
+/// the probe loop works with integers instead of re-hashing `Vec<Value>`s.
+fn key_of(keys: &[BoundExpr], row: &Row) -> Result<Option<(u64, Vec<Value>)>> {
+    let key: Vec<Value> = keys.iter().map(|k| eval(k, row)).collect::<Result<_>>()?;
+    if key.iter().any(Value::is_null) {
+        return Ok(None);
+    }
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    Ok(Some((hasher.finish(), key)))
+}
+
 fn run_join(
     left: &Plan,
     right: &Plan,
@@ -499,9 +638,11 @@ fn run_join(
     let lrows = run_masked(left, ctx, None)?;
     let rrows = run_masked(right, ctx, None)?;
 
+    let conjs = idaa_host_conjuncts(on);
+    let total_conjs = conjs.len();
     let mut lkeys: Vec<BoundExpr> = Vec::new();
     let mut rkeys: Vec<BoundExpr> = Vec::new();
-    for conj in idaa_host_conjuncts(on) {
+    for conj in conjs {
         if let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = conj {
             if let (Ok(la), Ok(rb)) = (bind(a, &lres), bind(b, &rres)) {
                 lkeys.push(la);
@@ -514,46 +655,120 @@ fn run_join(
             }
         }
     }
+    // When every ON conjunct became an equi-key pair, key equality *is* the
+    // whole predicate — matched candidates skip the per-row ON re-check.
+    let on_covered = lkeys.len() == total_conjs;
 
     let rwidth = rcols.len();
-    let mut out = Vec::new();
-    if !lkeys.is_empty() {
-        let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(rrows.len());
-        for rrow in &rrows {
-            let key: Vec<Value> = rkeys.iter().map(|k| eval(k, rrow)).collect::<Result<_>>()?;
-            if key.iter().any(Value::is_null) {
-                continue;
-            }
-            table.entry(key).or_default().push(rrow);
+    let workers = ctx.engine.config.workers();
+    if lkeys.is_empty() {
+        nested_loop_join(&lrows, &rrows, kind, &bound_on, rwidth, workers)
+    } else {
+        let residual_on = if on_covered { None } else { Some(&bound_on) };
+        hash_join(&lrows, &rrows, kind, &lkeys, &rkeys, residual_on, rwidth, workers)
+    }
+}
+
+/// Partitioned parallel hash join: both sides are split by key hash across
+/// the worker pool, each partition builds and probes independently, and
+/// partition outputs concatenate in partition order (deterministic for a
+/// given configuration). LEFT-join padding stays correct because a probe
+/// row's key maps it to exactly one partition; probe rows with NULL keys
+/// ride along in partition 0 and can only null-extend.
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    lrows: &[Row],
+    rrows: &[Row],
+    kind: JoinKind,
+    lkeys: &[BoundExpr],
+    rkeys: &[BoundExpr],
+    residual_on: Option<&BoundExpr>,
+    rwidth: usize,
+    workers: usize,
+) -> Result<Vec<Row>> {
+    let rkeyed: Vec<Option<(u64, Vec<Value>)>> =
+        rrows.iter().map(|r| key_of(rkeys, r)).collect::<Result<_>>()?;
+    let lkeyed: Vec<Option<(u64, Vec<Value>)>> =
+        lrows.iter().map(|r| key_of(lkeys, r)).collect::<Result<_>>()?;
+
+    let parts = workers.clamp(1, lrows.len().max(1));
+    let mut build_parts: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for (i, k) in rkeyed.iter().enumerate() {
+        if let Some((h, _)) = k {
+            build_parts[(h % parts as u64) as usize].push(i);
         }
-        for lrow in &lrows {
-            let key: Vec<Value> = lkeys.iter().map(|k| eval(k, lrow)).collect::<Result<_>>()?;
+    }
+    let mut probe_parts: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for (i, k) in lkeyed.iter().enumerate() {
+        let h = k.as_ref().map(|(h, _)| *h).unwrap_or(0);
+        probe_parts[(h % parts as u64) as usize].push(i);
+    }
+
+    let results = run_parts(parts, |p| -> Result<Vec<Row>> {
+        let mut table: HashMap<u64, Vec<usize>> =
+            HashMap::with_capacity(build_parts[p].len());
+        for &ri in &build_parts[p] {
+            let (h, _) = rkeyed[ri].as_ref().expect("build partitions hold keyed rows");
+            table.entry(*h).or_default().push(ri);
+        }
+        let mut out = Vec::new();
+        for &li in &probe_parts[p] {
             let mut matched = false;
-            if !key.iter().any(Value::is_null) {
-                if let Some(cands) = table.get(&key) {
-                    for rrow in cands {
-                        let mut j = lrow.clone();
-                        j.extend(rrow.iter().cloned());
-                        if eval_predicate(&bound_on, &j)? {
-                            matched = true;
-                            out.push(j);
+            if let Some((h, key)) = &lkeyed[li] {
+                if let Some(cands) = table.get(h) {
+                    for &ri in cands {
+                        let (_, rkey) = rkeyed[ri].as_ref().expect("keyed");
+                        if rkey != key {
+                            continue; // same hash bucket, different key
                         }
+                        let mut j = lrows[li].clone();
+                        j.extend(rrows[ri].iter().cloned());
+                        if let Some(b) = residual_on {
+                            if !eval_predicate(b, &j)? {
+                                continue;
+                            }
+                        }
+                        matched = true;
+                        out.push(j);
                     }
                 }
             }
             if !matched && kind == JoinKind::Left {
-                let mut j = lrow.clone();
+                let mut j = lrows[li].clone();
                 j.extend(std::iter::repeat_n(Value::Null, rwidth));
                 out.push(j);
             }
         }
-    } else {
-        for lrow in &lrows {
+        Ok(out)
+    });
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Nested-loop join for non-equi conditions, parallelized over contiguous
+/// probe chunks — chunk order concatenation reproduces the serial output
+/// exactly.
+fn nested_loop_join(
+    lrows: &[Row],
+    rrows: &[Row],
+    kind: JoinKind,
+    bound_on: &BoundExpr,
+    rwidth: usize,
+    workers: usize,
+) -> Result<Vec<Row>> {
+    let chunk = lrows.len().div_ceil(workers.max(1)).max(1);
+    let chunks: Vec<&[Row]> = lrows.chunks(chunk).collect();
+    let results = run_parts(chunks.len(), |ci| -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        for lrow in chunks[ci] {
             let mut matched = false;
-            for rrow in &rrows {
+            for rrow in rrows {
                 let mut j = lrow.clone();
                 j.extend(rrow.iter().cloned());
-                if eval_predicate(&bound_on, &j)? {
+                if eval_predicate(bound_on, &j)? {
                     matched = true;
                     out.push(j);
                 }
@@ -564,6 +779,11 @@ fn run_join(
                 out.push(j);
             }
         }
+        Ok(out)
+    });
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?);
     }
     Ok(out)
 }
@@ -591,7 +811,10 @@ fn try_fused_aggregate(
         _ => return Ok(None),
     };
     let table = ctx.engine.table(table_name)?;
-    // Keys and aggregate arguments must be bare columns of the scan.
+    // Group keys must be bare columns of the scan; aggregate arguments may
+    // additionally be scalar expressions over scan columns (CAST, arithmetic
+    // on a column, …) — those evaluate against a scratch row holding only
+    // the columns the expression reads.
     let resolver = resolver_of(&scan_cols);
     let mut key_ords = Vec::with_capacity(group_exprs.len());
     for g in group_exprs {
@@ -603,19 +826,33 @@ fn try_fused_aggregate(
             Err(_) => return Ok(None),
         }
     }
-    let mut arg_ords: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    enum FusedArg {
+        Star,
+        Col(usize),
+        Expr(BoundExpr),
+    }
+    let mut fused_args: Vec<FusedArg> = Vec::with_capacity(aggs.len());
+    let mut expr_cols: std::collections::HashSet<usize> = std::collections::HashSet::new();
     for a in aggs {
         match &a.arg {
-            None => arg_ords.push(None),
+            None => fused_args.push(FusedArg::Star),
             Some(e) => match bind(e, &resolver) {
                 Ok(b) => match b.as_column() {
-                    Some(i) => arg_ords.push(Some(i)),
-                    None => return Ok(None),
+                    Some(i) => fused_args.push(FusedArg::Col(i)),
+                    None => {
+                        b.collect_columns(&mut expr_cols);
+                        fused_args.push(FusedArg::Expr(b));
+                    }
                 },
                 Err(_) => return Ok(None),
             },
         }
     }
+    let expr_cols: Vec<usize> = {
+        let mut v: Vec<usize> = expr_cols.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
     // The whole predicate must compile to kernels.
     let mut kernels: Vec<Kernel> = Vec::new();
     if let Some(pred) = predicate {
@@ -630,12 +867,18 @@ fn try_fused_aggregate(
     let engine = ctx.engine;
     let use_zones = engine.config.zone_maps;
     let snap = ctx.snap;
-    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
-    for slice_lock in table.slices() {
+    let width = table.schema.len();
+    let slices = table.slices();
+
+    let fuse_slice = |slice_lock: &parking_lot::RwLock<crate::table::Slice>| -> Result<Groups> {
         let slice = slice_lock.read();
         let spec: Vec<SpecKernel> = kernels.iter().map(|k| k.specialize(&slice)).collect();
         let total = slice.version_count();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut groups: Groups = Vec::new();
+        // Scratch row for expression arguments: only the ordinals an
+        // expression reads are ever filled in.
+        let mut scratch: Row = vec![Value::Null; width];
         let blocks = total.div_ceil(BLOCK_ROWS);
         for b in 0..blocks {
             engine.stats.blocks_scanned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -672,10 +915,16 @@ fn try_fused_aggregate(
                         groups.len() - 1
                     }
                 };
-                for (state, arg) in groups[gi].1.iter_mut().zip(&arg_ords) {
+                if !expr_cols.is_empty() {
+                    for &c in &expr_cols {
+                        scratch[c] = slice.columns[c].get(pos);
+                    }
+                }
+                for (state, arg) in groups[gi].1.iter_mut().zip(&fused_args) {
                     let v = match arg {
-                        Some(i) => slice.columns[*i].get(pos),
-                        None => Value::Null,
+                        FusedArg::Col(i) => slice.columns[*i].get(pos),
+                        FusedArg::Expr(b) => eval(b, &scratch)?,
+                        FusedArg::Star => Value::Null,
                     };
                     state.update(&v)?;
                 }
@@ -685,20 +934,101 @@ fn try_fused_aggregate(
                 .rows_scanned
                 .fetch_add((end - start) as u64, std::sync::atomic::Ordering::Relaxed);
         }
+        Ok(groups)
+    };
+
+    // One partial per slice, scanned in parallel like the base scan, merged
+    // in slice order so group order matches the serial pass.
+    let partials: Vec<Groups> = if engine.config.parallel && slices.len() > 1 {
+        run_parts(slices.len(), |si| fuse_slice(&slices[si])).into_iter().collect::<Result<_>>()?
+    } else {
+        let mut v = Vec::with_capacity(slices.len());
+        for s in slices {
+            v.push(fuse_slice(s)?);
+        }
+        v
+    };
+    let groups = merge_groups(partials)?;
+    Ok(Some(finish_groups(groups, group_exprs, aggs)?))
+}
+
+/// Grouped partial-aggregation state: insertion-ordered groups plus a key
+/// index. Insertion order is what makes chunked aggregation deterministic —
+/// merging chunk results in chunk order reproduces the serial
+/// first-encounter group order exactly.
+type Groups = Vec<(Vec<Value>, Vec<AggState>)>;
+
+/// Aggregate one run of rows into insertion-ordered groups.
+fn aggregate_rows(
+    rows: &[Row],
+    bound_keys: &[BoundExpr],
+    bound_args: &[Option<BoundExpr>],
+    aggs: &[idaa_sql::plan::AggCall],
+) -> Result<Groups> {
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Groups = Vec::new();
+    for row in rows {
+        let key: Vec<Value> = bound_keys.iter().map(|k| eval(k, row)).collect::<Result<_>>()?;
+        let gi = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                groups.push((
+                    key.clone(),
+                    aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect(),
+                ));
+                index.insert(key, groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        for (state, arg) in groups[gi].1.iter_mut().zip(bound_args) {
+            let v = match arg {
+                Some(b) => eval(b, row)?,
+                None => Value::Null,
+            };
+            state.update(&v)?;
+        }
     }
+    Ok(groups)
+}
+
+/// Fold per-worker partial groups together in worker order.
+fn merge_groups(parts: Vec<Groups>) -> Result<Groups> {
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().unwrap_or_default();
+    let mut index: HashMap<Vec<Value>, usize> =
+        acc.iter().enumerate().map(|(i, (k, _))| (k.clone(), i)).collect();
+    for part in iter {
+        for (key, states) in part {
+            match index.get(&key) {
+                Some(&i) => {
+                    for (a, b) in acc[i].1.iter_mut().zip(&states) {
+                        a.merge(b)?;
+                    }
+                }
+                None => {
+                    index.insert(key.clone(), acc.len());
+                    acc.push((key, states));
+                }
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Turn finished groups into output rows (`key columns… then aggregates…`).
+fn finish_groups(mut groups: Groups, group_exprs: &[Expr], aggs: &[idaa_sql::plan::AggCall]) -> Result<Vec<Row>> {
     if groups.is_empty() && group_exprs.is_empty() {
         groups.push((vec![], aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect()));
     }
-    let rows: Vec<Row> = groups
+    groups
         .into_iter()
         .map(|(mut key, states)| {
-            for st in states {
-                key.push(st.finish()?);
+            for s in states {
+                key.push(s.finish()?);
             }
             Ok(key)
         })
-        .collect::<Result<_>>()?;
-    Ok(Some(rows))
+        .collect()
 }
 
 fn run_aggregate(
@@ -720,41 +1050,20 @@ fn run_aggregate(
         bound_keys.iter().chain(bound_args.iter().flatten()).collect();
     let child_mask = mask_of(cols.len(), &refs);
     let rows = run_masked(input, ctx, Some(child_mask))?;
-    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
-    for row in &rows {
-        let key: Vec<Value> = bound_keys.iter().map(|k| eval(k, row)).collect::<Result<_>>()?;
-        let gi = match index.get(&key) {
-            Some(&i) => i,
-            None => {
-                groups.push((
-                    key.clone(),
-                    aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect(),
-                ));
-                index.insert(key, groups.len() - 1);
-                groups.len() - 1
-            }
-        };
-        for (state, arg) in groups[gi].1.iter_mut().zip(&bound_args) {
-            let v = match arg {
-                Some(b) => eval(b, row)?,
-                None => Value::Null,
-            };
-            state.update(&v)?;
-        }
-    }
-    if groups.is_empty() && group_exprs.is_empty() {
-        groups.push((vec![], aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect()));
-    }
-    groups
-        .into_iter()
-        .map(|(mut key, states)| {
-            for s in states {
-                key.push(s.finish()?);
-            }
-            Ok(key)
-        })
-        .collect()
+
+    let workers = ctx.engine.config.workers();
+    let groups = if workers > 1 && rows.len() > 1 {
+        let chunk = rows.len().div_ceil(workers).max(1);
+        let chunks: Vec<&[Row]> = rows.chunks(chunk).collect();
+        let parts: Vec<Groups> =
+            run_parts(chunks.len(), |ci| aggregate_rows(chunks[ci], &bound_keys, &bound_args, aggs))
+                .into_iter()
+                .collect::<Result<_>>()?;
+        merge_groups(parts)?
+    } else {
+        aggregate_rows(&rows, &bound_keys, &bound_args, aggs)?
+    };
+    finish_groups(groups, group_exprs, aggs)
 }
 
 // Kernel-level unit tests live here; engine-level behavior is tested in
@@ -826,5 +1135,122 @@ mod tests {
         let e = idaa_sql::parse_statement("SELECT 1 FROM t WHERE s LIKE 'x%'").unwrap();
         let idaa_sql::Statement::Query(q) = e else { panic!() };
         assert!(compile_kernel(q.filter.as_ref().unwrap(), &table, &cols).is_none());
+    }
+
+    /// Deterministic pseudo-random rows: (key, payload) pairs with heavy
+    /// key duplication so joins and sorts exercise ties.
+    fn synth_rows(n: usize, seed: u64, key_mod: i64) -> Vec<Row> {
+        let mut x = seed;
+        (0..n)
+            .map(|i| {
+                // splitmix64 step — fixed, no external RNG.
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^= z >> 31;
+                vec![Value::BigInt((z % key_mod as u64) as i64), Value::BigInt(i as i64)]
+            })
+            .collect()
+    }
+
+    fn canon(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.cmp_total(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial() {
+        let rows = synth_rows(501, 7, 13);
+        let keys = [(0usize, false), (1usize, true)];
+        let serial = sort_rows(rows.clone(), &keys, 1);
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(sort_rows(rows.clone(), &keys, workers), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_is_stable_like_serial() {
+        // Many ties on the single sort key: the k-way merge must preserve
+        // the original relative order of equal rows, like the serial
+        // stable sort does.
+        let rows = synth_rows(200, 3, 4);
+        let keys = [(0usize, false)];
+        let serial = sort_rows(rows.clone(), &keys, 1);
+        assert_eq!(sort_rows(rows, &keys, 4), serial);
+    }
+
+    #[test]
+    fn top_k_matches_stable_sort_truncate() {
+        let rows = synth_rows(300, 11, 9);
+        let keys = [(0usize, true)];
+        for k in [0usize, 1, 5, 50, 299, 300, 400] {
+            let mut expect = sort_rows(rows.clone(), &keys, 1);
+            expect.truncate(k);
+            let got = top_k(rows.clone(), k, sort_cmp(&keys));
+            assert_eq!(got, expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn hash_join_parallel_matches_serial() {
+        let mut lrows = synth_rows(400, 1, 37);
+        let mut rrows = synth_rows(350, 2, 37);
+        // Sprinkle NULL keys on both sides: they must never match, and
+        // LEFT joins must null-extend the probe-side ones exactly once.
+        for i in (0..rrows.len()).step_by(41) {
+            rrows[i][0] = Value::Null;
+        }
+        for i in (0..lrows.len()).step_by(53) {
+            lrows[i][0] = Value::Null;
+        }
+        let lkeys = [BoundExpr::Column(0)];
+        let rkeys = [BoundExpr::Column(0)];
+        for kind in [JoinKind::Inner, JoinKind::Left] {
+            let serial =
+                hash_join(&lrows, &rrows, kind, &lkeys, &rkeys, None, 2, 1).unwrap();
+            for workers in [2, 4, 8] {
+                let par =
+                    hash_join(&lrows, &rrows, kind, &lkeys, &rkeys, None, 2, workers)
+                        .unwrap();
+                // Partition concatenation order differs from serial row
+                // order, but the multiset of joined rows is identical.
+                assert_eq!(canon(par), canon(serial.clone()), "{kind:?} workers={workers}");
+            }
+            if kind == JoinKind::Left {
+                let padded = serial
+                    .iter()
+                    .filter(|r| r[2] == Value::Null && r[3] == Value::Null)
+                    .count();
+                assert!(padded > 0, "expected null-extended probe rows");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_loop_parallel_matches_serial_order_exactly() {
+        let lrows = synth_rows(120, 5, 11);
+        let rrows = synth_rows(90, 6, 11);
+        // Non-equi ON: left.key < right.key.
+        let on = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column(0)),
+            op: BinaryOp::Lt,
+            right: Box::new(BoundExpr::Column(2)),
+        };
+        for kind in [JoinKind::Inner, JoinKind::Left] {
+            let serial = nested_loop_join(&lrows, &rrows, kind, &on, 2, 1).unwrap();
+            for workers in [2, 4, 7] {
+                // Chunk-order concatenation reproduces the serial output
+                // byte for byte — not just as a multiset.
+                let par = nested_loop_join(&lrows, &rrows, kind, &on, 2, workers).unwrap();
+                assert_eq!(par, serial, "{kind:?} workers={workers}");
+            }
+        }
     }
 }

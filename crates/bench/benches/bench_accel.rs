@@ -10,7 +10,7 @@ const ROWS: usize = 500_000;
 const QUERY: &str = "SELECT COUNT(*), SUM(v) FROM big WHERE k < 1000";
 
 fn build(slices: usize, zone_maps: bool) -> AccelEngine {
-    let engine = AccelEngine::new("APP", AccelConfig { slices, zone_maps, parallel: true });
+    let engine = AccelEngine::new("APP", AccelConfig { slices, zone_maps, parallel: true, parallelism: 0 });
     let schema = Schema::new(vec![
         ColumnDef::new("K", DataType::Integer),
         ColumnDef::new("V", DataType::Integer),

@@ -1,0 +1,58 @@
+//! Criterion microbench for experiment E13: partitioned parallel hash
+//! join, parallel sort, and fused top-K on the accelerator, swept over the
+//! worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idaa_accel::{AccelConfig, AccelEngine};
+use idaa_common::{ColumnDef, DataType, ObjectName, Schema, Value};
+use idaa_sql::{parse_statement, Statement};
+
+const ROWS: usize = 100_000;
+const JOIN: &str = "SELECT COUNT(*), SUM(f.v) FROM f INNER JOIN d ON f.id = d.id \
+                    WHERE d.grp < 50";
+const SORT: &str = "SELECT id, v FROM f WHERE v < 100 ORDER BY v, id";
+const TOPK: &str = "SELECT id, v FROM f ORDER BY v DESC, id LIMIT 100";
+
+fn build(parallelism: usize) -> AccelEngine {
+    let engine = AccelEngine::new(
+        "APP",
+        AccelConfig { slices: 8, zone_maps: true, parallel: true, parallelism },
+    );
+    let two_ints = |a: &str, b: &str| {
+        Schema::new(vec![
+            ColumnDef::new(a, DataType::Integer),
+            ColumnDef::new(b, DataType::Integer),
+        ])
+        .unwrap()
+    };
+    engine.create_table(&ObjectName::bare("F"), two_ints("ID", "V"), &[]).unwrap();
+    engine.create_table(&ObjectName::bare("D"), two_ints("ID", "GRP"), &[]).unwrap();
+    let fact: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| {
+            vec![Value::Int((i * 2_654_435_761 % ROWS) as i32), Value::Int((i % 1000) as i32)]
+        })
+        .collect();
+    let dim: Vec<Vec<Value>> =
+        (0..ROWS).map(|i| vec![Value::Int(i as i32), Value::Int((i % 100) as i32)]).collect();
+    engine.load_committed(&ObjectName::bare("F"), fact).unwrap();
+    engine.load_committed(&ObjectName::bare("D"), dim).unwrap();
+    engine
+}
+
+fn bench_join(c: &mut Criterion) {
+    for (name, sql) in [("hash_join_100kx100k", JOIN), ("sort_100k", SORT), ("topk_100k", TOPK)] {
+        let Statement::Query(q) = parse_statement(sql).unwrap() else { unreachable!() };
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+        for workers in [1usize, 2, 4, 8] {
+            let engine = build(workers);
+            group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+                b.iter(|| engine.query(0, &q).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

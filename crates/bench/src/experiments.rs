@@ -1,4 +1,4 @@
-//! The experiment suite E1–E12 (see DESIGN.md for the index and
+//! The experiment suite E1–E13 (see DESIGN.md for the index and
 //! EXPERIMENTS.md for recorded results). Each function regenerates one
 //! table of the evaluation.
 
@@ -11,7 +11,7 @@ use idaa_loader::{EventSource, LoadTarget, Loader};
 use idaa_sql::Privilege;
 use std::time::Instant;
 
-/// Run one experiment by id (`e1`…`e12`) or `all`.
+/// Run one experiment by id (`e1`…`e13`) or `all`.
 pub fn run(id: &str) -> bool {
     match id.to_ascii_lowercase().as_str() {
         "e1" => e1_offload_crossover(),
@@ -26,6 +26,7 @@ pub fn run(id: &str) -> bool {
         "e10" => e10_accelerator_ablation(),
         "e11" => e11_governance_overhead(),
         "e12" => e12_end_to_end_scenario(),
+        "e13" => e13_parallel_operators(),
         "all" => {
             for e in [
                 e1_offload_crossover,
@@ -40,6 +41,7 @@ pub fn run(id: &str) -> bool {
                 e10_accelerator_ablation,
                 e11_governance_overhead,
                 e12_end_to_end_scenario,
+                e13_parallel_operators,
             ] {
                 e();
                 println!();
@@ -535,7 +537,7 @@ pub fn e10_accelerator_ablation() {
 
     let build = |slices: usize, zone_maps: bool| -> (Idaa, Session) {
         let cfg = IdaaConfig {
-            accel: idaa_accel::AccelConfig { slices, zone_maps, parallel: true },
+            accel: idaa_accel::AccelConfig { slices, zone_maps, parallel: true, parallelism: 0 },
             ..Default::default()
         };
         let (idaa, mut s) = system(cfg);
@@ -783,6 +785,82 @@ pub fn e12_end_to_end_scenario() {
             fmt_bytes(link.total_bytes()),
             link.total_messages().to_string(),
             ms(link.wire_time),
+        ]);
+    }
+    table.print();
+}
+
+/// E13 — slice-parallel post-scan operators: partitioned hash join,
+/// parallel sort, and fused top-K, swept over the accelerator worker count.
+/// The link columns are deterministic (AOT queries move only control
+/// messages plus the result rows), so they must not vary with parallelism.
+pub fn e13_parallel_operators() {
+    banner("E13", "parallel join/sort/top-K scaling vs accelerator workers");
+    const ROWS: usize = 100_000;
+
+    let build = |parallelism: usize| -> (Idaa, Session) {
+        let cfg = IdaaConfig {
+            accel: idaa_accel::AccelConfig {
+                slices: 8,
+                zone_maps: true,
+                parallel: true,
+                parallelism,
+            },
+            ..Default::default()
+        };
+        let (idaa, mut s) = system(cfg);
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE F (ID INT, V INT) IN ACCELERATOR DISTRIBUTE BY HASH(ID)",
+        )
+        .unwrap();
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE D (ID INT, GRP INT) IN ACCELERATOR DISTRIBUTE BY HASH(ID)",
+        )
+        .unwrap();
+        // Deterministic synthetic data — no RNG, so every sweep loads the
+        // same bytes and the link metrics stay byte-stable.
+        let fact: Vec<idaa_common::Row> = (0..ROWS)
+            .map(|i| {
+                vec![
+                    idaa_common::Value::Int((i * 2_654_435_761 % ROWS) as i32),
+                    idaa_common::Value::Int((i % 1000) as i32),
+                ]
+            })
+            .collect();
+        let dim: Vec<idaa_common::Row> = (0..ROWS)
+            .map(|i| vec![idaa_common::Value::Int(i as i32), idaa_common::Value::Int((i % 100) as i32)])
+            .collect();
+        idaa.accel().load_committed(&idaa_common::ObjectName::bare("F"), fact).unwrap();
+        idaa.accel().load_committed(&idaa_common::ObjectName::bare("D"), dim).unwrap();
+        (idaa, s)
+    };
+
+    let join = "SELECT COUNT(*), SUM(f.v) FROM f INNER JOIN d ON f.id = d.id WHERE d.grp < 50";
+    let sort = "SELECT id, v FROM f WHERE v < 100 ORDER BY v, id";
+    let topk = "SELECT id, v FROM f ORDER BY v DESC, id LIMIT 100";
+
+    let mut table = Table::new(&[
+        "workers", "join_ms", "sort_ms", "topk_ms", "link_msgs", "link_bytes",
+    ]);
+    for parallelism in [1usize, 2, 4, 8] {
+        let (idaa, mut s) = build(parallelism);
+        for q in [join, sort, topk] {
+            idaa.query(&mut s, q).unwrap(); // warm
+        }
+        let (_, join_t, l1) = measure(&idaa, || idaa.query(&mut s, join).unwrap());
+        let (_, sort_t, l2) = measure(&idaa, || idaa.query(&mut s, sort).unwrap());
+        let (_, topk_t, l3) = measure(&idaa, || idaa.query(&mut s, topk).unwrap());
+        let msgs = l1.total_messages() + l2.total_messages() + l3.total_messages();
+        let bytes = l1.total_bytes() + l2.total_bytes() + l3.total_bytes();
+        table.row(&[
+            parallelism.to_string(),
+            ms(join_t),
+            ms(sort_t),
+            ms(topk_t),
+            msgs.to_string(),
+            fmt_bytes(bytes),
         ]);
     }
     table.print();

@@ -316,9 +316,11 @@ fn run_join(
 
     // Extract equi-key pairs: conjuncts of the form <left-only expr> =
     // <right-only expr>.
+    let all_conjuncts = conjuncts(on);
+    let total_conjuncts = all_conjuncts.len();
     let mut lkeys: Vec<BoundExpr> = Vec::new();
     let mut rkeys: Vec<BoundExpr> = Vec::new();
-    for conj in conjuncts(on) {
+    for conj in all_conjuncts {
         if let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = conj {
             if let (Ok(la), Ok(rb)) = (bind(a, &lres), bind(b, &rres)) {
                 lkeys.push(la);
@@ -331,6 +333,10 @@ fn run_join(
             }
         }
     }
+    // When every ON conjunct became an equi-key pair, hash-key equality
+    // already decides the whole predicate — skip the per-candidate re-check
+    // (the accelerator applies the same rule, keeping answers aligned).
+    let on_covered = lkeys.len() == total_conjuncts;
 
     let rwidth = rcols.len();
     let mut out = Vec::new();
@@ -354,7 +360,7 @@ fn run_join(
                     for rrow in candidates {
                         let mut joined = lrow.clone();
                         joined.extend(rrow.iter().cloned());
-                        if eval_predicate(&bound_on, &joined)? {
+                        if on_covered || eval_predicate(&bound_on, &joined)? {
                             matched = true;
                             out.push(joined);
                         }

@@ -778,6 +778,77 @@ impl AggState {
         Ok(())
     }
 
+    /// Fold another accumulator of the same kind into this one, as if its
+    /// inputs had been fed after ours. Parallel operators build per-worker
+    /// partials and merge them in a fixed worker order, so results are
+    /// deterministic for a given configuration (float sums may still differ
+    /// from the serial feed order, which the engines already tolerate).
+    pub fn merge(&mut self, other: &AggState) -> Result<()> {
+        debug_assert_eq!(self.kind, other.kind);
+        if let Some(theirs) = &other.seen {
+            // DISTINCT: replay the other side's distinct values through
+            // `update`, which dedups against our own `seen` set and keeps
+            // every downstream accumulator consistent.
+            for v in theirs {
+                self.update(v)?;
+            }
+            return Ok(());
+        }
+        match self.kind {
+            AggregateKind::CountStar | AggregateKind::Count => self.count += other.count,
+            AggregateKind::Sum | AggregateKind::Avg => {
+                self.count += other.count;
+                self.sum = match (self.sum.take(), &other.sum) {
+                    (None, None) => None,
+                    (Some(a), None) => Some(a),
+                    (None, Some(b)) => Some(b.clone()),
+                    (Some(a), Some(b)) => Some(arithmetic(&a, BinaryOp::Add, b)?),
+                };
+            }
+            AggregateKind::Min => {
+                self.count += other.count;
+                if let Some(v) = &other.min {
+                    let replace = match &self.min {
+                        None => true,
+                        Some(cur) => v.compare(cur)? == Some(std::cmp::Ordering::Less),
+                    };
+                    if replace {
+                        self.min = Some(v.clone());
+                    }
+                }
+            }
+            AggregateKind::Max => {
+                self.count += other.count;
+                if let Some(v) = &other.max {
+                    let replace = match &self.max {
+                        None => true,
+                        Some(cur) => v.compare(cur)? == Some(std::cmp::Ordering::Greater),
+                    };
+                    if replace {
+                        self.max = Some(v.clone());
+                    }
+                }
+            }
+            AggregateKind::Stddev | AggregateKind::Variance => {
+                // Chan et al. parallel Welford combination.
+                if other.count > 0 {
+                    if self.count == 0 {
+                        self.count = other.count;
+                        self.w_mean = other.w_mean;
+                        self.w_m2 = other.w_m2;
+                    } else {
+                        let (n1, n2) = (self.count as f64, other.count as f64);
+                        let delta = other.w_mean - self.w_mean;
+                        self.w_mean += delta * n2 / (n1 + n2);
+                        self.w_m2 += other.w_m2 + delta * delta * n1 * n2 / (n1 + n2);
+                        self.count += other.count;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Final aggregate value for the group.
     pub fn finish(&self) -> Result<Value> {
         Ok(match self.kind {

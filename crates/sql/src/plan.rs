@@ -301,6 +301,12 @@ fn plan_block(q: &Query, provider: &dyn SchemaProvider) -> Result<Plan> {
             return Err(Error::Parse("aggregates are not allowed in WHERE".into()));
         }
         plan = Plan::Filter { input: Box::new(plan), predicate: pred.clone() };
+        // Push single-sided WHERE conjuncts below joins: both engines compile
+        // `Filter(Scan)` shapes to their best access path (indexes on the
+        // host, zone-map-pruned kernels on the accelerator), and because the
+        // rewrite lives in the shared planner, host/accelerator answer
+        // agreement is preserved by construction.
+        plan = push_filters_below_joins(plan);
     }
 
     let needs_agg = !q.group_by.is_empty()
@@ -452,6 +458,102 @@ fn plan_block(q: &Query, provider: &dyn SchemaProvider) -> Result<Plan> {
         plan = Plan::Limit { input: Box::new(plan), n };
     }
     Ok(plan)
+}
+
+/// Split an expression into its top-level AND conjuncts.
+fn split_conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary { left, op: crate::ast::BinaryOp::And, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// AND-fold a list of conjuncts back into one predicate.
+fn and_all(conjs: Vec<Expr>) -> Option<Expr> {
+    conjs.into_iter().reduce(|a, b| Expr::Binary {
+        left: Box::new(a),
+        op: crate::ast::BinaryOp::And,
+        right: Box::new(b),
+    })
+}
+
+/// Does `conj` bind cleanly (every column resolved, unambiguously) against
+/// one join input's columns?
+fn binds_against(conj: &Expr, cols: &[PlanCol]) -> bool {
+    let resolver = crate::eval::FlatResolver::new(
+        cols.iter().map(|c| (c.qualifier.clone(), c.name.clone())).collect(),
+    );
+    crate::eval::bind(conj, &resolver).is_ok()
+}
+
+/// Join predicate pushdown: move WHERE conjuncts that reference columns of
+/// exactly one join input below the join, onto that input.
+///
+/// A conjunct is moved only when it binds against one side and *fails* to
+/// bind against the other — conjuncts referencing both sides, ambiguous
+/// unqualified names, or no columns at all stay above the join untouched.
+/// For LEFT joins only the preserved (left) side accepts pushdown: filtering
+/// the nullable side below the join would change null-extension semantics.
+/// The rewrite recurses so multi-level join trees push predicates all the
+/// way down to their scans.
+pub fn push_filters_below_joins(plan: Plan) -> Plan {
+    let (input, predicate) = match plan {
+        Plan::Filter { input, predicate } => (input, predicate),
+        other => return other,
+    };
+    let (left, right, kind, on) = match *input {
+        Plan::Join { left, right, kind, on } => (left, right, kind, on),
+        other => return Plan::Filter { input: Box::new(other), predicate },
+    };
+    let lcols = left.cols();
+    let rcols = right.cols();
+    let mut to_left: Vec<Expr> = Vec::new();
+    let mut to_right: Vec<Expr> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for conj in split_conjuncts(&predicate) {
+        let on_l = binds_against(&conj, &lcols);
+        let on_r = binds_against(&conj, &rcols);
+        if on_l && !on_r {
+            to_left.push(conj);
+        } else if on_r && !on_l && kind == JoinKind::Inner {
+            to_right.push(conj);
+        } else {
+            residual.push(conj);
+        }
+    }
+    let new_left = apply_pushed_filter(*left, to_left);
+    let new_right = apply_pushed_filter(*right, to_right);
+    let joined =
+        Plan::Join { left: Box::new(new_left), right: Box::new(new_right), kind, on };
+    match and_all(residual) {
+        Some(p) => Plan::Filter { input: Box::new(joined), predicate: p },
+        None => joined,
+    }
+}
+
+/// Wrap `child` in the pushed conjuncts (merging with an existing filter so
+/// scans keep their single fused `Filter(Scan)` shape), then keep pushing
+/// through any join below.
+fn apply_pushed_filter(child: Plan, preds: Vec<Expr>) -> Plan {
+    let child = match and_all(preds) {
+        None => child,
+        Some(p) => match child {
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input,
+                predicate: Expr::Binary {
+                    left: Box::new(predicate),
+                    op: crate::ast::BinaryOp::And,
+                    right: Box::new(p),
+                },
+            },
+            other => Plan::Filter { input: Box::new(other), predicate: p },
+        },
+    };
+    push_filters_below_joins(child)
 }
 
 fn plan_table_ref(tr: &TableRef, provider: &dyn SchemaProvider) -> Result<Plan> {
@@ -834,6 +936,75 @@ mod tests {
         let cols = p.cols();
         assert_eq!(cols.len(), 2);
         assert_eq!(cols[1].data_type, DataType::Date);
+    }
+
+    #[test]
+    fn join_pushdown_moves_single_sided_conjuncts() {
+        let p = plan(
+            "SELECT t.a FROM t INNER JOIN s ON t.a = s.a \
+             WHERE t.c > 1 AND s.a = 3 AND t.a < s.a",
+        );
+        let Plan::Project { input, .. } = &p else { panic!("{p:?}") };
+        // Residual keeps only the two-sided conjunct above the join.
+        let Plan::Filter { input: join, predicate } = input.as_ref() else { panic!("{input:?}") };
+        assert_eq!(predicate.to_string(), "(T.A < S.A)");
+        let Plan::Join { left, right, .. } = join.as_ref() else { panic!("{join:?}") };
+        let Plan::Filter { input: lscan, predicate: lp } = left.as_ref() else {
+            panic!("left not filtered: {left:?}")
+        };
+        assert!(matches!(lscan.as_ref(), Plan::Scan { .. }));
+        assert_eq!(lp.to_string(), "(T.C > 1)");
+        let Plan::Filter { input: rscan, predicate: rp } = right.as_ref() else {
+            panic!("right not filtered: {right:?}")
+        };
+        assert!(matches!(rscan.as_ref(), Plan::Scan { .. }));
+        assert_eq!(rp.to_string(), "(S.A = 3)");
+    }
+
+    #[test]
+    fn join_pushdown_never_moves_two_sided_or_ambiguous_conjuncts() {
+        // Unqualified A exists on both sides: ambiguous, must stay above.
+        let p = plan("SELECT t.b FROM t INNER JOIN s ON t.a = s.a WHERE a = 5");
+        let Plan::Project { input, .. } = &p else { panic!("{p:?}") };
+        let Plan::Filter { input: join, predicate } = input.as_ref() else { panic!("{input:?}") };
+        assert_eq!(predicate.to_string(), "(A = 5)");
+        let Plan::Join { left, right, .. } = join.as_ref() else { panic!("{join:?}") };
+        assert!(matches!(left.as_ref(), Plan::Scan { .. }));
+        assert!(matches!(right.as_ref(), Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn left_join_pushdown_only_touches_preserved_side() {
+        let p = plan(
+            "SELECT t.a FROM t LEFT JOIN s ON t.a = s.a WHERE t.c > 1 AND s.d IS NULL",
+        );
+        let Plan::Project { input, .. } = &p else { panic!("{p:?}") };
+        // The nullable-side conjunct must stay above the join (pushing it
+        // below would change null-extension semantics)…
+        let Plan::Filter { input: join, predicate } = input.as_ref() else { panic!("{input:?}") };
+        assert_eq!(predicate.to_string(), "(S.D IS NULL)");
+        let Plan::Join { left, right, .. } = join.as_ref() else { panic!("{join:?}") };
+        // …while the preserved-side conjunct still pushes down.
+        let Plan::Filter { predicate: lp, .. } = left.as_ref() else { panic!("{left:?}") };
+        assert_eq!(lp.to_string(), "(T.C > 1)");
+        assert!(matches!(right.as_ref(), Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn join_pushdown_recurses_into_nested_joins() {
+        let p = plan(
+            "SELECT t.a FROM t INNER JOIN s ON t.a = s.a \
+             INNER JOIN t AS u ON s.a = u.a WHERE u.c > 9 AND t.b = 'x'",
+        );
+        let Plan::Project { input, .. } = &p else { panic!("{p:?}") };
+        // Both conjuncts are single-sided: nothing remains above the join.
+        let Plan::Join { left, right, .. } = input.as_ref() else { panic!("{input:?}") };
+        let Plan::Filter { predicate: up, .. } = right.as_ref() else { panic!("{right:?}") };
+        assert_eq!(up.to_string(), "(U.C > 9)");
+        // t.b = 'x' pushed through the outer join into the inner one.
+        let Plan::Join { left: t_side, .. } = left.as_ref() else { panic!("{left:?}") };
+        let Plan::Filter { predicate: tp, .. } = t_side.as_ref() else { panic!("{t_side:?}") };
+        assert_eq!(tp.to_string(), "(T.B = 'x')");
     }
 
     #[test]

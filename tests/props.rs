@@ -390,7 +390,7 @@ proptest! {
             .collect();
         let mut results = Vec::new();
         for zone_maps in [true, false] {
-            let engine = AccelEngine::new("APP", AccelConfig { slices: 2, zone_maps, parallel: false });
+            let engine = AccelEngine::new("APP", AccelConfig { slices: 2, zone_maps, parallel: false, parallelism: 0 });
             engine.create_table(&ObjectName::bare("T"), schema.clone(), &[]).unwrap();
             engine.load_committed(&ObjectName::bare("T"), data.clone()).unwrap();
             let Statement::Query(q) = parse_statement(
@@ -427,12 +427,92 @@ proptest! {
             "SELECT COUNT(DISTINCT b) FROM t WHERE g <> 'a'",
             "SELECT a FROM t WHERE g = 'a' UNION SELECT b FROM t WHERE g = 'b' ORDER BY 1",
             "SELECT a FROM t UNION ALL SELECT a FROM t ORDER BY 1 LIMIT 50",
+            // Join-heavy: equi self-join with single-sided WHERE conjuncts
+            // (exercises the filter-below-join rewrite on both executors).
+            "SELECT x.a, y.b FROM t AS x INNER JOIN t AS y ON x.a = y.a \
+             WHERE x.g = 'a' AND y.b < 25 ORDER BY x.a, y.b",
+            "SELECT x.g, COUNT(*) FROM t AS x LEFT JOIN t AS y ON x.b = y.a \
+             GROUP BY x.g ORDER BY x.g",
+            "SELECT x.a, y.a FROM t AS x INNER JOIN t AS y ON x.b = y.b AND x.g = y.g \
+             WHERE x.a < y.a ORDER BY x.a, y.a LIMIT 40",
         ] {
             idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
             let host = idaa.query(&mut s, q).unwrap();
             idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
             let accel = idaa.query(&mut s, q).unwrap();
             prop_assert_eq!(host.rows, accel.rows, "disagreement on {}", q);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_accel_agree(
+        rows in proptest::collection::vec((0i64..200, 0i64..40), 100..300),
+    ) {
+        use idaa::accel::{AccelConfig, AccelEngine};
+        use idaa::common::{ColumnDef, Schema};
+        // All-integer data: every operator is exact, so parallel execution
+        // must reproduce the serial answers bit for bit — including row
+        // order for sorts and top-K (stable merges, fixed partition order).
+        let schema = Schema::new(vec![
+            ColumnDef::new("A", DataType::BigInt),
+            ColumnDef::new("B", DataType::BigInt),
+        ]).unwrap();
+        let data: Vec<idaa::Row> = rows
+            .iter()
+            .map(|(a, b)| vec![Value::BigInt(*a), Value::BigInt(*b)])
+            .collect();
+        let canon = |mut rows: Vec<idaa::Row>| {
+            rows.sort_by(|a, b| {
+                a.iter().zip(b).map(|(x, y)| x.cmp_total(y))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            rows
+        };
+        let run = |parallelism: usize| -> Vec<(bool, Vec<idaa::Row>)> {
+            let config = if parallelism == 0 {
+                AccelConfig { slices: 4, zone_maps: true, parallel: false, parallelism: 0 }
+            } else {
+                AccelConfig { slices: 4, zone_maps: true, parallel: true, parallelism }
+            };
+            let engine = AccelEngine::new("APP", config);
+            engine.create_table(&ObjectName::bare("T"), schema.clone(), &[]).unwrap();
+            engine.load_committed(&ObjectName::bare("T"), data.clone()).unwrap();
+            // (order_sensitive, query): sorts and top-K must agree on exact
+            // row order; join/aggregate outputs agree as multisets (their
+            // concatenation order legitimately varies with partition count).
+            [
+                (false, "SELECT x.a, y.b FROM t AS x INNER JOIN t AS y ON x.a = y.a \
+                         WHERE y.b < 20"),
+                (false, "SELECT x.a, y.b FROM t AS x LEFT JOIN t AS y ON x.a = y.a \
+                         AND y.b > 30"),
+                (false, "SELECT x.a, y.a FROM t AS x INNER JOIN t AS y ON x.b = y.b \
+                         WHERE x.a < y.a"),
+                (false, "SELECT b, COUNT(*), SUM(a), MIN(a), MAX(a) FROM t GROUP BY b"),
+                (false, "SELECT COUNT(DISTINCT a), SUM(b) FROM t"),
+                (true,  "SELECT a, b FROM t ORDER BY a DESC, b"),
+                (true,  "SELECT a, b FROM t ORDER BY b, a LIMIT 17"),
+            ]
+            .into_iter()
+            .map(|(ordered, q)| {
+                let Statement::Query(q) = parse_statement(q).unwrap() else { unreachable!() };
+                (ordered, engine.query(0, &q).unwrap().rows)
+            })
+            .collect()
+        };
+        let serial = run(0);
+        for workers in [1usize, 2, 4, 8] {
+            let parallel = run(workers);
+            for (i, ((ordered, s), (_, p))) in serial.iter().zip(&parallel).enumerate() {
+                if *ordered {
+                    prop_assert_eq!(s, p, "query #{} order mismatch at workers={}", i, workers);
+                } else {
+                    prop_assert_eq!(
+                        canon(s.clone()), canon(p.clone()),
+                        "query #{} multiset mismatch at workers={}", i, workers
+                    );
+                }
+            }
         }
     }
 

@@ -57,6 +57,17 @@ fn same_query_same_answer_on_both_engines() {
          GROUP BY CASE WHEN qty > 3 THEN 'hi' ELSE 'lo' END ORDER BY band",
         "SELECT MIN(sold_on), MAX(sold_on) FROM sales WHERE region = 'EU'",
         "SELECT COUNT(DISTINCT region), STDDEV(qty) FROM sales",
+        // Join-heavy: the WHERE conjuncts are single-sided, so the planner
+        // pushes them below the join on both engines; answers must agree.
+        "SELECT a.id, b.id FROM sales a INNER JOIN sales b ON a.id = b.id \
+         WHERE a.qty = 3 AND b.amount > 400 ORDER BY a.id",
+        "SELECT a.id, b.id FROM sales a LEFT JOIN sales b ON a.id = b.id AND b.qty > 5 \
+         WHERE a.id < 50 ORDER BY a.id, b.id",
+        "SELECT COUNT(*), SUM(a.qty) FROM sales a INNER JOIN sales b ON a.qty = b.qty \
+         WHERE a.id < 100 AND b.id < 100",
+        "SELECT COUNT(*) FROM sales a INNER JOIN sales b ON a.id < b.id \
+         WHERE a.id < 40 AND b.id < 40",
+        "SELECT id, amount FROM sales ORDER BY amount DESC, id LIMIT 15",
     ];
     for q in queries {
         idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
