@@ -119,9 +119,9 @@ pub fn write_output_aot(
     idaa.host().create_table(user, &resolved, schema.clone(), TableKind::AcceleratorOnly, vec![])?;
     idaa.accel().create_table(&resolved, schema, &[])?;
     // Control-plane traffic only.
-    idaa.link().transfer(Direction::ToAccel, 96);
+    idaa.ship(Direction::ToAccel, 96)?;
     let n = idaa.accel().load_committed(&resolved, rows)?;
-    idaa.link().transfer(Direction::ToHost, 64);
+    idaa.ship(Direction::ToHost, 64)?;
     Ok(n)
 }
 
@@ -140,7 +140,7 @@ pub fn extract_matrix_to_client(
         .map(|r| r.iter().map(Value::wire_size).sum::<usize>() + 4)
         .sum::<usize>()
         + 64;
-    idaa.link().transfer(Direction::ToHost, bytes);
+    idaa.ship(Direction::ToHost, bytes)?;
     numeric_matrix(&schema, &rows, columns)
 }
 

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E13 (see DESIGN.md for the index and
+//! The experiment suite E1–E14 (see DESIGN.md for the index and
 //! EXPERIMENTS.md for recorded results). Each function regenerates one
 //! table of the evaluation.
 
@@ -11,7 +11,7 @@ use idaa_loader::{EventSource, LoadTarget, Loader};
 use idaa_sql::Privilege;
 use std::time::Instant;
 
-/// Run one experiment by id (`e1`…`e13`) or `all`.
+/// Run one experiment by id (`e1`…`e14`) or `all`.
 pub fn run(id: &str) -> bool {
     match id.to_ascii_lowercase().as_str() {
         "e1" => e1_offload_crossover(),
@@ -27,6 +27,7 @@ pub fn run(id: &str) -> bool {
         "e11" => e11_governance_overhead(),
         "e12" => e12_end_to_end_scenario(),
         "e13" => e13_parallel_operators(),
+        "e14" => e14_outage_recovery(),
         "all" => {
             for e in [
                 e1_offload_crossover,
@@ -42,6 +43,7 @@ pub fn run(id: &str) -> bool {
                 e11_governance_overhead,
                 e12_end_to_end_scenario,
                 e13_parallel_operators,
+                e14_outage_recovery,
             ] {
                 e();
                 println!();
@@ -768,7 +770,7 @@ pub fn e12_end_to_end_scenario() {
             .iter()
             .map(|r| r.iter().map(idaa_common::Value::wire_size).sum::<usize>() + 4)
             .sum();
-        idaa.link().transfer(idaa_netsim::Direction::ToHost, bytes + 64);
+        idaa.ship(idaa_netsim::Direction::ToHost, bytes + 64).unwrap();
         let (matrix, _) = idaa_analytics::io::numeric_matrix(&schema, &rows, &cols).unwrap();
         let labels = idaa_analytics::io::label_column(&schema, &rows, "CHURNED").unwrap();
         let model = idaa_analytics::dectree::train(
@@ -864,4 +866,89 @@ pub fn e13_parallel_operators() {
         ]);
     }
     table.print();
+}
+
+/// E14 — link outage and recovery: offload-eligible queries fail over to
+/// DB2, AOT statements surface -30081, committed changes queue for
+/// catch-up, and an operator recovery probe restores acceleration and
+/// drains the backlog. Claim: federation survives accelerator outages
+/// without losing or duplicating replicated data.
+pub fn e14_outage_recovery() {
+    banner("E14", "scheduled link outage: failover, queued replication, recovery");
+    let (idaa, mut s) = system(IdaaConfig::default());
+    seed_sales(&idaa, &mut s, 10_000);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "CREATE TABLE EVENTS (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+
+    let mut table = Table::new(&[
+        "phase", "query_route", "aot_errs", "backlog_rows", "link_msgs", "link_bytes",
+        "failed_xfers", "phase_ms",
+    ]);
+    let mut next_id = 100_000usize;
+    let mut phase = |name: &str,
+                     s: &mut Session,
+                     prep: &dyn Fn(&Idaa),
+                     table: &mut Table| {
+        let before = idaa.link().metrics();
+        let t0 = Instant::now();
+        prep(&idaa);
+        let mut aot_errs = 0u64;
+        let mut route = idaa_core::Route::Host;
+        for i in 0..40 {
+            let id = next_id;
+            next_id += 1;
+            idaa.execute(
+                s,
+                &format!("INSERT INTO SALES VALUES ({id}, 'EU', 'P001', 1.5E0, 1, DATE '2015-01-01')"),
+            )
+            .unwrap();
+            if idaa.execute(s, &format!("INSERT INTO EVENTS VALUES ({i})")).is_err() {
+                aot_errs += 1;
+            }
+            route = idaa.execute(s, "SELECT COUNT(*) FROM sales").unwrap().route;
+        }
+        let wall = t0.elapsed();
+        let m = idaa.link().metrics().since(&before);
+        table.row(&[
+            name.into(),
+            format!("{route:?}"),
+            aot_errs.to_string(),
+            idaa.replication_backlog().to_string(),
+            m.total_messages().to_string(),
+            fmt_bytes(m.total_bytes()),
+            m.failures.to_string(),
+            ms(wall),
+        ]);
+    };
+
+    phase("healthy", &mut s, &|_| {}, &mut table);
+    phase(
+        "outage",
+        &mut s,
+        &|idaa: &Idaa| {
+            let now = idaa.link().now();
+            idaa.set_fault_plan(idaa_netsim::FaultPlan::outage(
+                now,
+                now + std::time::Duration::from_secs(30),
+            ));
+        },
+        &mut table,
+    );
+    phase(
+        "recovery",
+        &mut s,
+        &|idaa: &Idaa| {
+            // The outage window passes on the virtual clock; an operator
+            // probe restores the accelerator and drains the backlog.
+            idaa.link().advance(std::time::Duration::from_secs(35));
+            assert!(idaa.recover(), "recovery probe after the outage window");
+        },
+        &mut table,
+    );
+    table.print();
+    println!(
+        "note: outage-phase AOT statements fail with SQLCODE -30081; the recovery \
+         probe replays queued commits and replication catches up before new work."
+    );
 }

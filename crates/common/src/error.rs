@@ -46,6 +46,13 @@ pub enum Error {
     /// The two-phase commit protocol failed; the transaction was rolled
     /// back on all participants.
     CommitFailed(String),
+    /// Communication with the accelerator failed (message lost, link
+    /// outage) and the statement could not be completed there.
+    /// SQLCODE -30081 (DRDA communication failure).
+    LinkFailure(String),
+    /// A required resource — here, the accelerator itself — is stopped or
+    /// otherwise unavailable. SQLCODE -904.
+    ResourceUnavailable(String),
     /// A feature that exists in full DB2/IDAA but is outside this
     /// reproduction's dialect subset.
     Unsupported(String),
@@ -72,6 +79,8 @@ impl Error {
             Error::LockTimeout(_) => -913,
             Error::TransactionState(_) => -918,
             Error::CommitFailed(_) => -926,
+            Error::LinkFailure(_) => -30081,
+            Error::ResourceUnavailable(_) => -904,
             Error::Unsupported(_) => -84,
             Error::Load(_) => -103,
             Error::Internal(_) => -901,
@@ -94,6 +103,8 @@ impl Error {
             Error::LockTimeout(_) => "lock_timeout",
             Error::TransactionState(_) => "transaction_state",
             Error::CommitFailed(_) => "commit_failed",
+            Error::LinkFailure(_) => "link_failure",
+            Error::ResourceUnavailable(_) => "resource_unavailable",
             Error::Unsupported(_) => "unsupported",
             Error::Load(_) => "load",
             Error::Internal(_) => "internal",
@@ -122,6 +133,8 @@ impl fmt::Display for Error {
             | Error::LockTimeout(m)
             | Error::TransactionState(m)
             | Error::CommitFailed(m)
+            | Error::LinkFailure(m)
+            | Error::ResourceUnavailable(m)
             | Error::Unsupported(m)
             | Error::Load(m)
             | Error::Internal(m) => m,
@@ -143,6 +156,8 @@ mod tests {
         assert_eq!(Error::InvalidAcceleratorUse("x".into()).sqlcode(), -4742);
         assert_eq!(Error::AlreadyExists("t".into()).sqlcode(), -601);
         assert_eq!(Error::Constraint("c".into()).sqlcode(), -407);
+        assert_eq!(Error::LinkFailure("l".into()).sqlcode(), -30081);
+        assert_eq!(Error::ResourceUnavailable("r".into()).sqlcode(), -904);
     }
 
     #[test]

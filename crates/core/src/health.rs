@@ -1,0 +1,247 @@
+//! Accelerator health tracking and idempotent-delivery bookkeeping.
+//!
+//! Real IDAA coordinators watch the accelerator's heartbeat: after a few
+//! consecutive communication failures DB2 marks the accelerator *stopped*
+//! and routes eligible work back to the host; periodic probes detect when
+//! it comes back and re-enable offload. [`HealthMonitor`] reproduces that
+//! state machine against the simulated link, with all timing on the
+//! virtual clock so tests stay deterministic and fast.
+//!
+//! [`SeqTracker`] is the accelerator-side half of idempotent statement
+//! shipping: every shipped statement carries a per-session sequence
+//! number, and a redelivered (retried) statement with an already-seen
+//! number is discarded instead of applied twice.
+
+use idaa_netsim::{Direction, NetLink, RetryPolicy};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Coordinator's view of the accelerator, from best to worst.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// All recent transfers succeeded; offload is enabled.
+    #[default]
+    Online,
+    /// Some transfers failed; offload still allowed, but suspect.
+    Degraded,
+    /// Consecutive failures exhausted the threshold; the coordinator
+    /// treats the accelerator as unreachable and falls back to the host
+    /// until a probe succeeds.
+    Offline,
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthState::Online => write!(f, "online"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::Offline => write!(f, "offline"),
+        }
+    }
+}
+
+/// Thresholds for the health state machine.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures before `Online` decays to `Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive failures before the accelerator is declared `Offline`.
+    pub offline_after: u32,
+    /// Consecutive successes needed to return to `Online`.
+    pub recover_after: u32,
+    /// Minimum virtual time between recovery probes while `Offline`.
+    pub probe_interval: Duration,
+    /// Payload of one probe ping (per direction).
+    pub probe_bytes: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degraded_after: 1,
+            offline_after: 3,
+            recover_after: 2,
+            probe_interval: Duration::from_millis(5),
+            probe_bytes: 16,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct HealthInner {
+    state: HealthState,
+    fail_streak: u32,
+    ok_streak: u32,
+    last_probe: Option<Duration>,
+}
+
+/// The accelerator health state machine (`Online → Degraded → Offline`
+/// on consecutive failures, back to `Online` on consecutive successes).
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    inner: Mutex<HealthInner>,
+}
+
+impl HealthMonitor {
+    pub fn new(config: HealthConfig) -> HealthMonitor {
+        HealthMonitor { config, inner: Mutex::new(HealthInner::default()) }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.inner.lock().state
+    }
+
+    /// True unless the accelerator has been declared `Offline`.
+    pub fn is_available(&self) -> bool {
+        self.state() != HealthState::Offline
+    }
+
+    /// Record a successful round-trip; returns the resulting state.
+    pub fn record_success(&self) -> HealthState {
+        let mut i = self.inner.lock();
+        i.fail_streak = 0;
+        if i.state != HealthState::Online {
+            i.ok_streak += 1;
+            if i.ok_streak >= self.config.recover_after {
+                i.state = HealthState::Online;
+                i.ok_streak = 0;
+            }
+        }
+        i.state
+    }
+
+    /// Record a communication failure (one per exhausted retry round, not
+    /// per attempt); returns the resulting state.
+    pub fn record_failure(&self) -> HealthState {
+        let mut i = self.inner.lock();
+        i.ok_streak = 0;
+        i.fail_streak = i.fail_streak.saturating_add(1);
+        if i.fail_streak >= self.config.offline_after {
+            i.state = HealthState::Offline;
+        } else if i.fail_streak >= self.config.degraded_after {
+            i.state = i.state.max(HealthState::Degraded);
+        }
+        i.state
+    }
+
+    /// Whether an `Offline` accelerator is due for a recovery probe at
+    /// virtual time `now` (probes are rate-limited to `probe_interval`).
+    pub fn should_probe(&self, now: Duration) -> bool {
+        let i = self.inner.lock();
+        i.state == HealthState::Offline
+            && i.last_probe.map_or(true, |t| now >= t + self.config.probe_interval)
+    }
+
+    /// Send one probe ping each way over `link`. Probe results feed the
+    /// same streak counters as regular traffic; with the default config a
+    /// single full round-trip is enough to return `Online`. Returns true
+    /// if the accelerator is `Online` afterwards.
+    pub fn probe(&self, link: &NetLink, retry: &RetryPolicy) -> bool {
+        self.inner.lock().last_probe = Some(link.now());
+        for direction in [Direction::ToAccel, Direction::ToHost] {
+            if retry.transfer(link, direction, self.config.probe_bytes).is_err() {
+                self.record_failure();
+                return false;
+            }
+            self.record_success();
+        }
+        self.state() == HealthState::Online
+    }
+}
+
+/// Highest delivered sequence number per statement stream (session id).
+///
+/// Shipping a statement is idempotent: a retry that redelivers an
+/// already-seen `(stream, seq)` pair is recognized and discarded by the
+/// receiver, so a retried statement can never execute twice.
+#[derive(Debug, Default)]
+pub struct SeqTracker {
+    high: Mutex<HashMap<u64, u64>>,
+}
+
+impl SeqTracker {
+    /// Record delivery of `(stream, seq)`; returns true if this is the
+    /// first delivery (the statement should be applied) and false for a
+    /// duplicate redelivery (discard).
+    pub fn deliver(&self, stream: u64, seq: u64) -> bool {
+        let mut high = self.high.lock();
+        let entry = high.entry(stream).or_insert(0);
+        if seq > *entry {
+            *entry = seq;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Highest sequence number seen on `stream` (0 if none).
+    pub fn high_water(&self, stream: u64) -> u64 {
+        self.high.lock().get(&stream).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idaa_netsim::{FaultPlan, LinkConfig};
+
+    #[test]
+    fn decays_through_degraded_to_offline_and_recovers() {
+        let h = HealthMonitor::default();
+        assert_eq!(h.state(), HealthState::Online);
+        assert_eq!(h.record_failure(), HealthState::Degraded);
+        assert_eq!(h.record_failure(), HealthState::Degraded);
+        assert_eq!(h.record_failure(), HealthState::Offline);
+        assert!(!h.is_available());
+        assert_eq!(h.record_success(), HealthState::Offline, "one success is not enough");
+        assert_eq!(h.record_success(), HealthState::Online);
+        assert!(h.is_available());
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let h = HealthMonitor::default();
+        h.record_failure();
+        h.record_failure();
+        h.record_success();
+        h.record_success();
+        assert_eq!(h.state(), HealthState::Online);
+        assert_eq!(h.record_failure(), HealthState::Degraded, "streak restarted");
+        assert_ne!(h.record_failure(), HealthState::Offline);
+    }
+
+    #[test]
+    fn probe_rate_limited_on_virtual_clock() {
+        let h = HealthMonitor::default();
+        let link = NetLink::new(LinkConfig::default());
+        for _ in 0..3 {
+            h.record_failure();
+        }
+        assert!(h.should_probe(link.now()));
+        // A failed probe during an outage leaves us Offline and throttled.
+        link.set_fault_plan(FaultPlan::outage(Duration::ZERO, Duration::from_secs(1)));
+        assert!(!h.probe(&link, &RetryPolicy::none()));
+        assert!(!h.should_probe(link.now()), "probe just happened");
+        link.advance(Duration::from_secs(2));
+        assert!(h.should_probe(link.now()));
+        // Past the window the probe round-trips and restores Online.
+        assert!(h.probe(&link, &RetryPolicy::none()));
+        assert_eq!(h.state(), HealthState::Online);
+    }
+
+    #[test]
+    fn seq_tracker_discards_redelivery() {
+        let t = SeqTracker::default();
+        assert!(t.deliver(7, 1));
+        assert!(t.deliver(7, 2));
+        assert!(!t.deliver(7, 2), "retried statement must not apply twice");
+        assert!(!t.deliver(7, 1));
+        assert!(t.deliver(8, 1), "streams are independent");
+        assert_eq!(t.high_water(7), 2);
+        assert_eq!(t.high_water(9), 0);
+    }
+}

@@ -7,6 +7,7 @@
 //! routes (host vs. accelerator), meters every byte that crosses the link,
 //! and coordinates two-phase commit when a transaction touched both sides.
 
+use crate::health::{HealthConfig, HealthMonitor, HealthState, SeqTracker};
 use crate::procedures::{system_procedures, Procedure};
 use crate::replication::Replicator;
 use crate::router::{self, Route};
@@ -14,15 +15,16 @@ use crate::session::Session;
 use idaa_accel::{AccelConfig, AccelEngine};
 use idaa_common::{Error, ObjectName, Result, Row, Rows, Value};
 use idaa_host::{HostEngine, TableKind, TxnId, SYSADM};
-use idaa_netsim::{Direction, LinkConfig, NetLink};
+use idaa_netsim::{Direction, FaultPlan, LinkConfig, NetLink, RetryPolicy};
 use idaa_sql::ast::{Expr, InsertSource, Query, Statement};
 use idaa_sql::eval::{bind, eval, FlatResolver};
 use idaa_sql::plan::plan_query;
 use idaa_sql::{parse_statement, parse_statements, Privilege};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// System-wide configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +39,11 @@ pub struct IdaaConfig {
     pub replication_batch: usize,
     /// Drain the CDC log to the accelerator after every commit.
     pub auto_replicate: bool,
+    /// Retry policy for every host↔accelerator message (backoff consumes
+    /// only the link's virtual clock).
+    pub retry: RetryPolicy,
+    /// Thresholds for the accelerator health state machine.
+    pub health: HealthConfig,
 }
 
 impl Default for IdaaConfig {
@@ -47,18 +54,25 @@ impl Default for IdaaConfig {
             link: LinkConfig::default(),
             replication_batch: 1024,
             auto_replicate: true,
+            retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
         }
     }
 }
 
 /// Test hooks for failure injection.
+///
+/// Link-level faults (drops, outage windows) are configured on the link
+/// itself via [`Idaa::set_fault_plan`]; these booleans model conditions
+/// the link cannot express.
 #[derive(Debug, Default)]
 pub struct Faults {
     /// Make the next accelerator PREPARE vote NO (2PC atomicity tests).
     pub fail_next_prepare: AtomicBool,
-    /// Simulate an accelerator outage: offload-eligible queries fall back
-    /// to DB2 (DB2's behavior when the accelerator is stopped), while
-    /// statements that *require* the accelerator (AOTs, ALL mode) fail.
+    /// Simulate a *stopped* accelerator (operator ran ACCEL_STOP, or the
+    /// appliance is down): offload-eligible queries fall back to DB2,
+    /// while statements that require the accelerator (AOTs, ALL mode)
+    /// fail with SQLCODE -904 (resource unavailable).
     pub accel_unavailable: AtomicBool,
 }
 
@@ -115,6 +129,15 @@ pub struct Idaa {
     procedures: RwLock<HashMap<ObjectName, Arc<dyn Procedure>>>,
     config: IdaaConfig,
     pub faults: Faults,
+    health: HealthMonitor,
+    retry: RetryPolicy,
+    /// Accelerator-side record of delivered statement sequence numbers.
+    delivered: SeqTracker,
+    /// COMMIT decisions whose phase-2 message was lost; redelivered on the
+    /// next replication round or recovery probe.
+    pending_commits: Mutex<Vec<TxnId>>,
+    /// In-doubt transactions resolved by the 2PC resolver (diagnostics).
+    in_doubt_resolved: AtomicU64,
 }
 
 impl Default for Idaa {
@@ -130,8 +153,13 @@ impl Idaa {
             host: Arc::new(HostEngine::new(&config.default_schema)),
             accel: Arc::new(AccelEngine::new(&config.default_schema, config.accel.clone())),
             link: Arc::new(NetLink::new(config.link.clone())),
-            replicator: Mutex::new(Replicator::new(config.replication_batch)),
+            replicator: Mutex::new(Replicator::new(config.replication_batch, config.retry)),
             procedures: RwLock::new(HashMap::new()),
+            health: HealthMonitor::new(config.health.clone()),
+            retry: config.retry,
+            delivered: SeqTracker::default(),
+            pending_commits: Mutex::new(Vec::new()),
+            in_doubt_resolved: AtomicU64::new(0),
             config,
             faults: Faults::default(),
         };
@@ -162,6 +190,32 @@ impl Idaa {
         &self.link
     }
 
+    /// The coordinator's health view of the accelerator.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Arm a deterministic fault plan on the link.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.link.set_fault_plan(plan);
+    }
+
+    /// COMMIT decisions queued for redelivery (phase-2 message lost).
+    pub fn pending_accel_commits(&self) -> usize {
+        self.pending_commits.lock().len()
+    }
+
+    /// In-doubt transactions the 2PC resolver recovered (diagnostics).
+    pub fn in_doubt_resolved(&self) -> u64 {
+        self.in_doubt_resolved.load(Ordering::Relaxed)
+    }
+
+    /// Committed change records not yet applied on the accelerator.
+    pub fn replication_backlog(&self) -> usize {
+        let watermark = self.replicator.lock().last_applied();
+        self.host.txns.changes_since(watermark).len()
+    }
+
     /// Default schema for unqualified names.
     pub fn default_schema(&self) -> &str {
         &self.config.default_schema
@@ -180,10 +234,29 @@ impl Idaa {
         Ok(())
     }
 
+    /// Send one message over the link with bounded retry (backoff consumes
+    /// only virtual time) and feed the outcome to the health monitor. Every
+    /// federation path sends through here so consecutive communication
+    /// failures decay the accelerator's health state.
+    pub fn ship(&self, direction: Direction, bytes: usize) -> Result<Duration> {
+        match self.retry.transfer(&self.link, direction, bytes) {
+            Ok(cost) => {
+                self.health.record_success();
+                Ok(cost)
+            }
+            Err(e) => {
+                self.health.record_failure();
+                Err(Error::LinkFailure(format!(
+                    "communication with the accelerator failed: {e}"
+                )))
+            }
+        }
+    }
+
     /// Charge DDL/control-message shipping to the link.
     pub fn ship_ddl(&self, text: &str) -> Result<()> {
-        self.link.transfer(Direction::ToAccel, text.len() + 32);
-        self.link.transfer(Direction::ToHost, 32);
+        self.ship(Direction::ToAccel, text.len() + 32)?;
+        self.ship(Direction::ToHost, 32)?;
         Ok(())
     }
 
@@ -206,17 +279,97 @@ impl Idaa {
         self.replicate_now()?;
         let rows = self.host.scan_all(&meta.name)?;
         let bytes: usize = rows.iter().map(row_wire).sum::<usize>() + 64;
-        self.link.transfer(Direction::ToAccel, bytes);
+        self.ship(Direction::ToAccel, bytes)?;
         self.accel.truncate(&meta.name)?;
         let n = self.accel.load_committed(&meta.name, rows)?;
-        self.link.transfer(Direction::ToHost, 64);
+        self.ship(Direction::ToHost, 64)?;
         self.host.set_accel_status(&meta.name, idaa_host::AccelStatus::Loaded)?;
         Ok(n)
     }
 
     /// Drain committed changes to the accelerator now.
+    ///
+    /// Delivery failures do not error: the replicator leaves the watermark
+    /// on the last *acknowledged* batch and catches up on a later round, so
+    /// a link outage can never fail a host commit. Only engine errors
+    /// (always a bug) propagate.
     pub fn replicate_now(&self) -> Result<usize> {
-        self.replicator.lock().apply(&self.host, &self.accel, &self.link)
+        if !self.faults.accel_unavailable.load(Ordering::Relaxed) {
+            self.flush_pending_commits();
+        }
+        let mut rep = self.replicator.lock();
+        let applied = rep.apply(&self.host, &self.accel, &self.link)?;
+        if rep.stalled() {
+            self.health.record_failure();
+        }
+        Ok(applied)
+    }
+
+    /// Redeliver COMMIT decisions whose phase-2 message was lost; the
+    /// accelerator holds those transactions prepared until the decision
+    /// arrives.
+    fn flush_pending_commits(&self) {
+        let mut pending = self.pending_commits.lock();
+        pending.retain(|&txn| {
+            if self.retry.transfer(&self.link, Direction::ToAccel, 32).is_ok() {
+                self.accel.commit(txn);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// True when statements may be sent to the accelerator: it is not
+    /// stopped, and the health state machine has not declared it offline.
+    /// While offline, a rate-limited probe (virtual clock) checks for
+    /// recovery; a successful probe flushes queued commit decisions and
+    /// lets replication catch up before reporting ready.
+    fn accel_ready(&self) -> bool {
+        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.health.state() != HealthState::Offline {
+            return true;
+        }
+        if self.health.should_probe(self.link.now()) && self.health.probe(&self.link, &self.retry)
+        {
+            let _ = self.replicate_now();
+            return true;
+        }
+        false
+    }
+
+    /// Force a recovery probe immediately, ignoring the probe interval
+    /// (operator-initiated restart). On success the health returns to
+    /// `Online`, queued commit decisions are redelivered, and replication
+    /// catches up. Returns whether the accelerator is available again.
+    pub fn recover(&self) -> bool {
+        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.health.probe(&self.link, &self.retry) {
+            let _ = self.replicate_now();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The error a statement gets when it requires an unavailable
+    /// accelerator: -904 when the accelerator is administratively stopped,
+    /// -30081 when communication with it failed.
+    fn unavailable_error(&self) -> Error {
+        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
+            Error::ResourceUnavailable(
+                "the accelerator is stopped; statements requiring it cannot run".into(),
+            )
+        } else {
+            Error::LinkFailure(
+                "communication with the accelerator failed and the statement requires it"
+                    .into(),
+            )
+        }
     }
 
     // -- SQL entry points ---------------------------------------------------
@@ -347,7 +500,12 @@ impl Idaa {
                     // Nickname proxy exists in DB2; actual table lives on
                     // the accelerator.
                     let resolved = name.resolve(&self.config.default_schema);
-                    self.ship_ddl(&stmt.to_string())?;
+                    if let Err(e) = self.ship_ddl(&stmt.to_string()) {
+                        // DDL never reached the accelerator: undo the
+                        // catalog entry so both sides stay consistent.
+                        let _ = self.host.drop_table(SYSADM, name);
+                        return Err(e);
+                    }
                     if let Err(e) = self.accel.create_table(&resolved, schema, distribute_by) {
                         // Keep catalog and accelerator consistent.
                         let _ = self.host.drop_table(SYSADM, name);
@@ -363,7 +521,10 @@ impl Idaa {
                     || meta.accel_status != idaa_host::AccelStatus::NotAccelerated;
                 self.host.drop_table(&session.user, name)?;
                 if on_accel {
-                    self.ship_ddl(&stmt.to_string())?;
+                    // Best effort: the DB2 catalog entry is gone either
+                    // way; an unreachable accelerator cleans up its copy
+                    // when the DDL is redelivered on recovery.
+                    let _ = self.ship_ddl(&stmt.to_string());
                     let _ = self.accel.drop_table(&meta.name);
                     return Ok(ExecOutcome::accel(Payload::None));
                 }
@@ -416,14 +577,14 @@ impl Idaa {
                             Privilege::Update,
                         )?;
                         let txn = self.enlist_accel(session)?;
-                        self.ship_statement(&stmt.to_string());
+                        self.ship_statement(session, &stmt.to_string())?;
                         let n = self.accel.update_where(
                             txn,
                             &table_r,
                             assignments,
                             filter.as_ref(),
                         )?;
-                        self.link.transfer(Direction::ToHost, 64);
+                        self.ship(Direction::ToHost, 64)?;
                         Ok(ExecOutcome::accel(Payload::Count(n)))
                     }
                 }
@@ -444,9 +605,9 @@ impl Idaa {
                             Privilege::Delete,
                         )?;
                         let txn = self.enlist_accel(session)?;
-                        self.ship_statement(&stmt.to_string());
+                        self.ship_statement(session, &stmt.to_string())?;
                         let n = self.accel.delete_where(txn, &table_r, filter.as_ref())?;
-                        self.link.transfer(Direction::ToHost, 64);
+                        self.ship(Direction::ToHost, 64)?;
                         Ok(ExecOutcome::accel(Payload::Count(n)))
                     }
                 }
@@ -553,43 +714,50 @@ impl Idaa {
         let mut mix = router::classify(&self.host, &tables)?;
         mix.indexed_point = router::is_indexed_point(&self.host, &plan);
         let mut route = router::route_query(&mix, session.acceleration)?;
-        // Accelerator outage: fall back to DB2 when the data still lives
-        // there; fail when only the accelerator could answer.
-        if route == Route::Accelerator && self.faults.accel_unavailable.load(Ordering::Relaxed) {
-            if mix.aot > 0 || session.acceleration == idaa_sql::AccelerationMode::All {
-                return Err(Error::NotOffloadable(
-                    "the accelerator is not available and the statement cannot run in DB2"
-                        .into(),
-                ));
+        // Accelerator unavailable (stopped, or declared offline after
+        // consecutive communication failures): fall back to DB2 when the
+        // data still lives there; fail when only the accelerator could
+        // answer.
+        let must_accelerate = router::must_accelerate(&mix, session.acceleration);
+        if route == Route::Accelerator && !self.accel_ready() {
+            if must_accelerate {
+                return Err(self.unavailable_error());
             }
             route = Route::Host;
         }
-        match route {
-            Route::Host => {
-                let txn = self.ensure_txn(session);
-                let rows = self.host.query(&session.user, txn, q)?;
-                Ok(ExecOutcome::host(Payload::Rows(rows)))
-            }
-            Route::Accelerator => {
-                // Governance on DB2 before delegation.
-                {
-                    let privs = self.host.privileges.read();
-                    for t in &tables {
-                        if t.name == "SYSDUMMY1" {
-                            continue;
-                        }
-                        privs.check(&session.user, t, Privilege::Select)?;
+        if route == Route::Accelerator {
+            // Governance on DB2 before delegation — a failover must never
+            // mask a privilege error.
+            {
+                let privs = self.host.privileges.read();
+                for t in &tables {
+                    if t.name == "SYSDUMMY1" {
+                        continue;
                     }
+                    privs.check(&session.user, t, Privilege::Select)?;
                 }
-                let txn = self.accel_query_txn(session);
-                let sql = q.to_string();
-                self.ship_statement(&sql);
-                let rows = self.accel.query(txn, q)?;
-                // Result set travels back to DB2 and the application.
-                self.link.transfer(Direction::ToHost, rows.wire_size());
-                Ok(ExecOutcome::accel(Payload::Rows(rows)))
+            }
+            match self.accel_query(session, q) {
+                Ok(rows) => return Ok(ExecOutcome::accel(Payload::Rows(rows))),
+                // Communication failed mid-statement: like DB2, re-execute
+                // the read-only query locally when the data allows it.
+                Err(Error::LinkFailure(_)) if !must_accelerate => {}
+                Err(e) => return Err(e),
             }
         }
+        let txn = self.ensure_txn(session);
+        let rows = self.host.query(&session.user, txn, q)?;
+        Ok(ExecOutcome::host(Payload::Rows(rows)))
+    }
+
+    /// Run a routed query on the accelerator: ship the statement, execute,
+    /// and pay for the result set's trip back to DB2.
+    fn accel_query(&self, session: &mut Session, q: &Query) -> Result<Rows> {
+        let txn = self.accel_query_txn(session);
+        self.ship_statement(session, &q.to_string())?;
+        let rows = self.accel.query(txn, q)?;
+        self.ship(Direction::ToHost, rows.wire_size())?;
+        Ok(rows)
     }
 
     fn dispatch_insert(
@@ -638,9 +806,9 @@ impl Idaa {
                         }
                         drop(privs);
                         let txn = self.enlist_accel(session)?;
-                        self.ship_statement(&format!(
+                        self.ship_statement(session, &format!(
                             "INSERT INTO {target} {src_q}"
-                        ));
+                        ))?;
                         let result = self.accel.query(txn, src_q)?;
                         let rows: Vec<Row> = result
                             .rows
@@ -648,7 +816,7 @@ impl Idaa {
                             .map(|r| self.widen_row(&meta.schema, columns, r))
                             .collect::<Result<_>>()?;
                         let n = self.accel.insert_rows(txn, &target, rows)?;
-                        self.link.transfer(Direction::ToHost, 64);
+                        self.ship(Direction::ToHost, 64)?;
                         return Ok(ExecOutcome::accel(Payload::Count(n)));
                     }
                 }
@@ -679,9 +847,9 @@ impl Idaa {
                 // Rows originate on the host side (VALUES literals or a
                 // host-executed source query): they must cross the link.
                 let bytes: usize = rows.iter().map(row_wire).sum::<usize>() + 64;
-                self.link.transfer(Direction::ToAccel, bytes);
+                self.ship(Direction::ToAccel, bytes)?;
                 let n = self.accel.insert_rows(txn, &target, rows)?;
-                self.link.transfer(Direction::ToHost, 64);
+                self.ship(Direction::ToHost, 64)?;
                 Ok(ExecOutcome::accel(Payload::Count(n)))
             }
         }
@@ -739,23 +907,28 @@ impl Idaa {
     /// needed) — required for AOT DML so that the paper's own-uncommitted-
     /// changes visibility holds.
     fn enlist_accel(&self, session: &mut Session) -> Result<TxnId> {
-        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
-            return Err(Error::NotOffloadable(
-                "the accelerator is not available; accelerator-only data cannot be accessed"
-                    .into(),
-            ));
+        if !self.accel_ready() {
+            return Err(self.unavailable_error());
         }
         let txn = self.ensure_txn(session);
         if !self.host.txns.accelerator_enlisted(txn) {
-            self.link.transfer(Direction::ToAccel, 32); // BEGIN message
+            self.ship(Direction::ToAccel, 32)?; // BEGIN message
             self.accel.begin(txn);
             self.host.txns.enlist_accelerator(txn);
         }
         Ok(txn)
     }
 
-    fn ship_statement(&self, sql: &str) {
-        self.link.transfer(Direction::ToAccel, sql.len() + 32);
+    /// Ship a statement to the accelerator. The 32-byte envelope carries
+    /// the session id and a per-session sequence number; a redelivered
+    /// (retried) statement with an already-seen sequence number is
+    /// discarded by the receiver, making shipping idempotent.
+    fn ship_statement(&self, session: &mut Session, sql: &str) -> Result<()> {
+        let seq = session.next_seq();
+        self.ship(Direction::ToAccel, sql.len() + 32)?;
+        let fresh = self.delivered.deliver(session.id, seq);
+        debug_assert!(fresh, "statement sequence numbers are monotonic per session");
+        Ok(())
     }
 
     /// Commit the session's transaction. When the accelerator participated,
@@ -764,34 +937,7 @@ impl Idaa {
     pub fn commit_session(&self, session: &mut Session) -> Result<()> {
         let Some(txn) = session.txn.take() else { return Ok(()) };
         if self.host.txns.accelerator_enlisted(txn) {
-            // Phase 1: PREPARE.
-            self.link.transfer(Direction::ToAccel, 32);
-            let prepare_ok = !self.faults.fail_next_prepare.swap(false, Ordering::Relaxed);
-            if !prepare_ok {
-                // Vote NO: roll back everywhere.
-                self.accel.abort(txn);
-                self.host.rollback(txn)?;
-                return Err(Error::CommitFailed(
-                    "accelerator failed to prepare; transaction rolled back on all \
-                     participants"
-                        .into(),
-                ));
-            }
-            if let Err(e) = self.accel.prepare(txn) {
-                // A NO vote (or protocol error) aborts everywhere; the host
-                // transaction must not stay open holding locks.
-                self.accel.abort(txn);
-                self.host.rollback(txn)?;
-                return Err(Error::CommitFailed(format!(
-                    "accelerator PREPARE failed ({e}); transaction rolled back on all \
-                     participants"
-                )));
-            }
-            self.link.transfer(Direction::ToHost, 32);
-            // Phase 2: commit coordinator (DB2) then participant.
-            self.host.commit(txn);
-            self.link.transfer(Direction::ToAccel, 32);
-            self.accel.commit(txn);
+            self.commit_two_phase(txn)?;
         } else {
             self.host.commit(txn);
         }
@@ -801,11 +947,88 @@ impl Idaa {
         Ok(())
     }
 
+    /// Two-phase commit with an enlisted accelerator, hardened against a
+    /// stopped accelerator and link-level message loss at every step.
+    fn commit_two_phase(&self, txn: TxnId) -> Result<()> {
+        // A stopped accelerator cannot vote: presume abort on both sides.
+        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
+            self.accel.abort(txn);
+            self.host.rollback(txn)?;
+            return Err(Error::ResourceUnavailable(
+                "the accelerator is stopped; transaction rolled back on all participants"
+                    .into(),
+            ));
+        }
+        // Phase 1: PREPARE request. Undeliverable after retries means the
+        // participant never voted — presumed abort everywhere.
+        if let Err(e) = self.ship(Direction::ToAccel, 32) {
+            self.accel.abort(txn);
+            self.host.rollback(txn)?;
+            return Err(Error::CommitFailed(format!(
+                "PREPARE could not be delivered ({e}); transaction rolled back on all \
+                 participants"
+            )));
+        }
+        let prepare_ok = !self.faults.fail_next_prepare.swap(false, Ordering::Relaxed);
+        if !prepare_ok {
+            // Vote NO: roll back everywhere.
+            self.accel.abort(txn);
+            self.host.rollback(txn)?;
+            return Err(Error::CommitFailed(
+                "accelerator failed to prepare; transaction rolled back on all \
+                 participants"
+                    .into(),
+            ));
+        }
+        if let Err(e) = self.accel.prepare(txn) {
+            // A NO vote (or protocol error) aborts everywhere; the host
+            // transaction must not stay open holding locks.
+            self.accel.abort(txn);
+            self.host.rollback(txn)?;
+            return Err(Error::CommitFailed(format!(
+                "accelerator PREPARE failed ({e}); transaction rolled back on all \
+                 participants"
+            )));
+        }
+        // The YES vote travels back. Losing it leaves the transaction
+        // in-doubt: the participant is prepared but the coordinator cannot
+        // see the outcome. The resolver re-runs the status inquiry once;
+        // if that fails too, both sides roll back (presumed abort).
+        if self.ship(Direction::ToHost, 32).is_err() {
+            let recovered = self.ship(Direction::ToAccel, 32).is_ok()
+                && self.ship(Direction::ToHost, 32).is_ok();
+            if !recovered {
+                self.accel.abort(txn);
+                self.host.rollback(txn)?;
+                return Err(Error::CommitFailed(
+                    "in-doubt transaction could not be resolved before timeout; rolled \
+                     back on all participants"
+                        .into(),
+                ));
+            }
+            self.in_doubt_resolved.fetch_add(1, Ordering::Relaxed);
+        }
+        // Phase 2: the decision is durable once the coordinator commits.
+        self.host.commit(txn);
+        if self.ship(Direction::ToAccel, 32).is_err() {
+            // The COMMIT decision is queued and redelivered on the next
+            // replication round or recovery probe; the accelerator holds
+            // the transaction prepared until it arrives.
+            self.pending_commits.lock().push(txn);
+        } else {
+            self.accel.commit(txn);
+        }
+        Ok(())
+    }
+
     /// Roll the session's transaction back on every participant.
     pub fn rollback_session(&self, session: &mut Session) -> Result<()> {
         let Some(txn) = session.txn.take() else { return Ok(()) };
         if self.host.txns.accelerator_enlisted(txn) {
-            self.link.transfer(Direction::ToAccel, 32);
+            // Best-effort abort message — the participant presumes abort
+            // for unresolved transactions on reconnect, so a lost message
+            // cannot leave it committed.
+            let _ = self.ship(Direction::ToAccel, 32);
             self.accel.abort(txn);
         }
         self.host.rollback(txn)?;
@@ -1107,5 +1330,66 @@ mod tests {
         idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ALL").unwrap();
         let err = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap_err();
         assert_eq!(err.sqlcode(), -4742);
+    }
+
+    #[test]
+    fn query_fails_over_to_host_when_link_fails_mid_statement() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        setup_sales(&idaa, &mut s, 100);
+        idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+        idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        // Exhaust the retry budget for the shipped statement.
+        idaa.link().fail_next_transfers(4);
+        let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(out.route, Route::Host, "statement re-executes locally");
+        assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::BigInt(100));
+        assert_eq!(idaa.health().state(), HealthState::Degraded);
+        // The link is healthy again: offload resumes and health recovers.
+        let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(out.route, Route::Accelerator);
+        assert_eq!(idaa.health().state(), HealthState::Online);
+    }
+
+    #[test]
+    fn repeated_failures_take_accelerator_offline_and_recovery_restores_it() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE T (X INT) IN ACCELERATOR").unwrap();
+        idaa.set_fault_plan(FaultPlan::dropping(11, 1.0));
+        for _ in 0..3 {
+            let err = idaa.execute(&mut s, "INSERT INTO T VALUES (1)").unwrap_err();
+            assert_eq!(err.sqlcode(), -30081);
+        }
+        assert_eq!(idaa.health().state(), HealthState::Offline);
+        // Offline short-circuits: the AOT statement fails without the
+        // enlist even being attempted (a probe may fire, but the plan is
+        // still dropping everything).
+        let err = idaa.execute(&mut s, "SELECT COUNT(*) FROM t").unwrap_err();
+        assert_eq!(err.sqlcode(), -30081);
+        idaa.link().clear_faults();
+        assert!(idaa.recover());
+        assert_eq!(idaa.health().state(), HealthState::Online);
+        idaa.execute(&mut s, "INSERT INTO T VALUES (1)").unwrap();
+        let r = idaa.query(&mut s, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(1));
+    }
+
+    #[test]
+    fn retried_statement_sequences_stay_monotonic() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE SEQT (X INT) IN ACCELERATOR").unwrap();
+        // First attempt of each shipped message is lost; the retry
+        // redelivers under the same sequence number, so the receiver-side
+        // tracker sees every sequence exactly once.
+        for i in 0..5 {
+            idaa.link().fail_next_transfers(1);
+            idaa.execute(&mut s, &format!("INSERT INTO SEQT VALUES ({i})")).unwrap();
+        }
+        let r = idaa.query(&mut s, "SELECT COUNT(*) FROM seqt").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::BigInt(5));
+        assert_eq!(idaa.health().state(), HealthState::Online);
     }
 }

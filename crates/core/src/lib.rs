@@ -15,12 +15,14 @@
 //! * **governed stored procedures** for system management and in-database
 //!   analytics deployment ([`procedures`]).
 
+pub mod health;
 pub mod idaa;
 pub mod procedures;
 pub mod replication;
 pub mod router;
 pub mod session;
 
+pub use health::{HealthConfig, HealthMonitor, HealthState, SeqTracker};
 pub use idaa::{ExecOutcome, Faults, Idaa, IdaaConfig, Payload};
 pub use procedures::{message_result, Procedure};
 pub use replication::Replicator;

@@ -4,43 +4,71 @@
 //! This is the *only* freshness mechanism for regular accelerated tables —
 //! and the machinery whose per-stage round trips the paper's AOT extension
 //! exists to avoid. Ablation experiment E9 sweeps the batch size.
+//!
+//! The applier survives link faults: the CDC watermark advances only when
+//! a batch has been delivered *and acknowledged*, so a mid-stream failure
+//! leaves the remaining changes queued in the host log for catch-up. A
+//! batch whose acknowledgement was lost is redelivered on the next round
+//! and deduplicated on the accelerator side by its last LSN — every
+//! committed change applies exactly once no matter how often the link
+//! drops (experiment E14, chaos suite in `tests/chaos.rs`).
 
 use idaa_accel::AccelEngine;
 use idaa_common::{ObjectName, Result, Row, Value};
 use idaa_host::{AccelStatus, ChangeOp, HostEngine, Lsn};
-use idaa_netsim::{Direction, NetLink};
+use idaa_netsim::{Direction, NetLink, RetryPolicy};
 use idaa_sql::ast::{BinaryOp, Expr};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Replication applier state.
 pub struct Replicator {
+    /// Host-side watermark: highest LSN whose batch was acknowledged.
     last_applied: Lsn,
+    /// Accelerator-side durable record of the highest applied LSN — the
+    /// dedup key for redelivered batches.
+    accel_applied: Lsn,
+    /// The last apply round could not deliver everything (link fault); the
+    /// backlog stays queued in the host log until the next round.
+    stalled: bool,
+    retry: RetryPolicy,
     /// Max change records shipped per apply message.
     pub batch_size: usize,
     pub batches_shipped: AtomicU64,
     pub changes_applied: AtomicU64,
+    /// Batches shipped more than once because their ack was lost.
+    pub batches_redelivered: AtomicU64,
 }
 
 impl Default for Replicator {
     fn default() -> Self {
-        Replicator::new(1024)
+        Replicator::new(1024, RetryPolicy::default())
     }
 }
 
 impl Replicator {
-    /// Applier starting at LSN 0 with the given batch size.
-    pub fn new(batch_size: usize) -> Replicator {
+    /// Applier starting at LSN 0 with the given batch size and per-message
+    /// retry policy.
+    pub fn new(batch_size: usize, retry: RetryPolicy) -> Replicator {
         Replicator {
             last_applied: 0,
+            accel_applied: 0,
+            stalled: false,
+            retry,
             batch_size: batch_size.max(1),
             batches_shipped: AtomicU64::new(0),
             changes_applied: AtomicU64::new(0),
+            batches_redelivered: AtomicU64::new(0),
         }
     }
 
-    /// LSN up to which changes have been applied.
+    /// LSN up to which changes have been acknowledged by the accelerator.
     pub fn last_applied(&self) -> Lsn {
         self.last_applied
+    }
+
+    /// True if the last apply round hit a link fault and left a backlog.
+    pub fn stalled(&self) -> bool {
+        self.stalled
     }
 
     /// Drain all committed changes newer than `last_applied` and apply them
@@ -48,12 +76,18 @@ impl Replicator {
     ///
     /// Only tables in `Loaded` state replicate; changes to other tables are
     /// skipped (their LSNs still advance the applied watermark).
+    ///
+    /// Link faults do not error: the round returns what it managed to
+    /// apply, marks the stream [`stalled`](Self::stalled), and the next
+    /// round resumes from the last acknowledged batch. Engine errors
+    /// (always a bug) propagate.
     pub fn apply(
         &mut self,
         host: &HostEngine,
         accel: &AccelEngine,
         link: &NetLink,
     ) -> Result<usize> {
+        self.stalled = false;
         let all = host.txns.changes_since(self.last_applied);
         if all.is_empty() {
             return Ok(0);
@@ -69,6 +103,7 @@ impl Replicator {
         }
         let mut applied = 0;
         for batch in changes.chunks(self.batch_size) {
+            let batch_last = batch.last().expect("non-empty batch").lsn;
             // Wire cost: full row images of every change in the batch.
             let bytes: usize = batch
                 .iter()
@@ -78,36 +113,51 @@ impl Replicator {
                 })
                 .sum::<usize>()
                 + 64;
-            link.transfer(Direction::ToAccel, bytes);
+            if self.retry.transfer(link, Direction::ToAccel, bytes).is_err() {
+                self.stalled = true;
+                return Ok(applied);
+            }
             self.batches_shipped.fetch_add(1, Ordering::Relaxed);
 
-            // Each batch applies under one accelerator transaction, so a
-            // batch becomes visible atomically.
-            let txn = next_apply_txn();
-            accel.begin(txn);
-            for change in batch {
-                match &change.op {
-                    ChangeOp::Insert(row) => {
-                        accel.insert_rows(txn, &change.table, vec![row.clone()])?;
+            // Accelerator-side dedup: a batch whose ack was lost last round
+            // arrives again; its LSN shows it is already applied.
+            if batch_last > self.accel_applied {
+                // Each batch applies under one accelerator transaction, so
+                // a batch becomes visible atomically.
+                let txn = next_apply_txn();
+                accel.begin(txn);
+                for change in batch {
+                    match &change.op {
+                        ChangeOp::Insert(row) => {
+                            accel.insert_rows(txn, &change.table, vec![row.clone()])?;
+                        }
+                        ChangeOp::Delete(row) => {
+                            delete_exact(accel, txn, &change.table, row)?;
+                        }
+                        ChangeOp::Update { old, new } => {
+                            delete_exact(accel, txn, &change.table, old)?;
+                            accel.insert_rows(txn, &change.table, vec![new.clone()])?;
+                        }
                     }
-                    ChangeOp::Delete(row) => {
-                        delete_exact(accel, txn, &change.table, row)?;
-                    }
-                    ChangeOp::Update { old, new } => {
-                        delete_exact(accel, txn, &change.table, old)?;
-                        accel.insert_rows(txn, &change.table, vec![new.clone()])?;
-                    }
+                    applied += 1;
                 }
-                applied += 1;
+                accel.prepare(txn)?;
+                accel.commit(txn);
+                self.accel_applied = batch_last;
+                self.changes_applied.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            } else {
+                self.batches_redelivered.fetch_add(1, Ordering::Relaxed);
             }
-            accel.prepare(txn)?;
-            accel.commit(txn);
-            // Acknowledgement back to the host side.
-            link.transfer(Direction::ToHost, 64);
-            self.last_applied = batch.last().expect("non-empty batch").lsn;
+            // Acknowledgement back to the host side; only an acknowledged
+            // batch may advance the watermark.
+            if self.retry.transfer(link, Direction::ToHost, 64).is_err() {
+                self.stalled = true;
+                return Ok(applied);
+            }
+            self.last_applied = batch_last;
         }
         self.last_applied = last_lsn;
-        self.changes_applied.fetch_add(applied as u64, Ordering::Relaxed);
+        self.accel_applied = self.accel_applied.max(last_lsn);
         // The host may truncate its log now.
         host.txns.truncate_log(self.last_applied);
         Ok(applied)
@@ -191,7 +241,7 @@ mod tests {
     #[test]
     fn inserts_replicate() {
         let (host, accel, link) = setup();
-        let mut rep = Replicator::new(10);
+        let mut rep = Replicator::new(10, RetryPolicy::default());
         let t = host.begin();
         host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a"), row(2, "b")])
             .unwrap();
@@ -205,7 +255,7 @@ mod tests {
     #[test]
     fn uncommitted_changes_do_not_replicate() {
         let (host, accel, link) = setup();
-        let mut rep = Replicator::new(10);
+        let mut rep = Replicator::new(10, RetryPolicy::default());
         let t = host.begin();
         host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a")]).unwrap();
         assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 0);
@@ -217,7 +267,7 @@ mod tests {
     #[test]
     fn updates_and_deletes_converge() {
         let (host, accel, link) = setup();
-        let mut rep = Replicator::new(10);
+        let mut rep = Replicator::new(10, RetryPolicy::default());
         let t = host.begin();
         host.insert_rows(
             SYSADM,
@@ -254,7 +304,7 @@ mod tests {
         let rows: Vec<Row> = (0..100).map(|i| row(i, "x")).collect();
         host.insert_rows(SYSADM, t, &ObjectName::bare("T"), rows).unwrap();
         host.commit(t);
-        let mut rep = Replicator::new(10);
+        let mut rep = Replicator::new(10, RetryPolicy::default());
         rep.apply(&host, &accel, &link).unwrap();
         assert_eq!(rep.batches_shipped.load(Ordering::Relaxed), 10);
         assert_eq!(link.metrics().messages_to_accel, 10);
@@ -263,7 +313,7 @@ mod tests {
     #[test]
     fn duplicate_rows_delete_only_one() {
         let (host, accel, link) = setup();
-        let mut rep = Replicator::new(100);
+        let mut rep = Replicator::new(100, RetryPolicy::default());
         let t = host.begin();
         host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a"), row(1, "a")])
             .unwrap();
@@ -282,7 +332,7 @@ mod tests {
     #[test]
     fn watermark_advances_and_log_truncates() {
         let (host, accel, link) = setup();
-        let mut rep = Replicator::new(10);
+        let mut rep = Replicator::new(10, RetryPolicy::default());
         let t = host.begin();
         host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a")]).unwrap();
         host.commit(t);
@@ -291,5 +341,78 @@ mod tests {
         assert!(host.txns.changes_since(0).is_empty(), "log truncated after apply");
         // Idempotent when nothing new.
         assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 0);
+    }
+
+    #[test]
+    fn mid_stream_delivery_failure_resumes_without_loss() {
+        let (host, accel, link) = setup();
+        let t = host.begin();
+        let rows: Vec<Row> = (0..100).map(|i| row(i, "x")).collect();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), rows).unwrap();
+        host.commit(t);
+        let mut rep = Replicator::new(10, RetryPolicy::none());
+        // Batches cost 2 transfers each (payload + ack); kill the payload
+        // of batch 4 after 3 healthy batches.
+        link.fail_transfers_after(6, 1);
+        let first = rep.apply(&host, &accel, &link).unwrap();
+        assert_eq!(first, 30, "three batches landed before the fault");
+        assert!(rep.stalled());
+        assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 30);
+        assert!(
+            !host.txns.changes_since(rep.last_applied()).is_empty(),
+            "backlog stays queued in the host log"
+        );
+        // Next round catches up from the last acknowledged batch.
+        let second = rep.apply(&host, &accel, &link).unwrap();
+        assert_eq!(second, 70);
+        assert!(!rep.stalled());
+        assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 100);
+        assert_eq!(rep.batches_shipped.load(Ordering::Relaxed), 10);
+        assert_eq!(rep.batches_redelivered.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn lost_ack_redelivers_batch_exactly_once() {
+        let (host, accel, link) = setup();
+        let t = host.begin();
+        let rows: Vec<Row> = (0..20).map(|i| row(i, "x")).collect();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), rows).unwrap();
+        host.commit(t);
+        let mut rep = Replicator::new(10, RetryPolicy::none());
+        // Deliver batch 1, lose its acknowledgement (transfer #2).
+        link.fail_transfers_after(1, 1);
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 10);
+        assert!(rep.stalled());
+        assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 10);
+        // The watermark did not advance: batch 1 ships again, but its LSN
+        // identifies it as already applied — no duplicate rows.
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 10);
+        assert_eq!(rep.batches_redelivered.load(Ordering::Relaxed), 1);
+        assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 20);
+        assert_eq!(rep.changes_applied.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn outage_queues_changes_and_catches_up_after_window() {
+        let (host, accel, link) = setup();
+        link.set_fault_plan(idaa_netsim::FaultPlan::outage(
+            std::time::Duration::ZERO,
+            std::time::Duration::from_millis(50),
+        ));
+        let mut rep = Replicator::new(10, RetryPolicy::none());
+        let t = host.begin();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), vec![row(1, "a")]).unwrap();
+        host.commit(t);
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 0);
+        assert!(rep.stalled());
+        // More changes accumulate during the outage.
+        let t2 = host.begin();
+        host.insert_rows(SYSADM, t2, &ObjectName::bare("T"), vec![row(2, "b")]).unwrap();
+        host.commit(t2);
+        // The window passes on the virtual clock; everything catches up.
+        link.advance(std::time::Duration::from_millis(60));
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 2);
+        assert!(!rep.stalled());
+        assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 2);
     }
 }

@@ -187,6 +187,14 @@ pub fn route_query(mix: &TableMix, mode: AccelerationMode) -> Result<Route> {
     }
 }
 
+/// True when a query routed to the accelerator has no host fallback: it
+/// touches accelerator-only tables (the data exists nowhere else) or the
+/// session demands `ALL`. Availability handling consults this — anything
+/// else can re-run on the host when the accelerator is unreachable.
+pub fn must_accelerate(mix: &TableMix, mode: AccelerationMode) -> bool {
+    mix.aot > 0 || mode == AccelerationMode::All
+}
+
 /// Route DML by its *target* table.
 pub fn route_dml(host: &HostEngine, target: &ObjectName) -> Result<Route> {
     let meta = host.table_meta(target)?;
@@ -295,6 +303,14 @@ mod tests {
             Route::Host,
             "non-accelerated reference forces host execution"
         );
+    }
+
+    #[test]
+    fn must_accelerate_identifies_no_fallback_cases() {
+        assert!(must_accelerate(&mix(1, 0, 0, 0), AccelerationMode::None));
+        assert!(must_accelerate(&mix(0, 1, 0, 0), AccelerationMode::All));
+        assert!(!must_accelerate(&mix(0, 2, 0, 1_000_000), AccelerationMode::Eligible));
+        assert!(!must_accelerate(&mix(0, 1, 0, 50), AccelerationMode::Enable));
     }
 
     #[test]

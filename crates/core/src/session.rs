@@ -2,10 +2,16 @@
 
 use idaa_host::TxnId;
 use idaa_sql::AccelerationMode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
 
 /// One application connection to the federated system.
 #[derive(Debug)]
 pub struct Session {
+    /// Process-unique session id; statements shipped to the accelerator
+    /// are sequenced per session so retried deliveries deduplicate.
+    pub id: u64,
     /// Authorization id (user) — all governance checks use this.
     pub user: String,
     /// `CURRENT QUERY ACCELERATION` special register. DB2's default is
@@ -17,18 +23,27 @@ pub struct Session {
     pub explicit_txn: bool,
     /// Statements executed on this session (diagnostics).
     pub statements: u64,
+    seq: u64,
 }
 
 impl Session {
     /// Fresh session for `user` with DB2 defaults.
     pub fn new(user: &str) -> Session {
         Session {
+            id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
             user: user.to_uppercase(),
             acceleration: AccelerationMode::None,
             txn: None,
             explicit_txn: false,
             statements: 0,
+            seq: 0,
         }
+    }
+
+    /// Next statement sequence number for idempotent shipping (1-based).
+    pub fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
     }
 }
 

@@ -138,7 +138,7 @@ impl Loader {
             let bytes =
                 rows.iter().map(|r| r.iter().map(Value::wire_size).sum::<usize>() + 4).sum::<usize>()
                     + 64;
-            idaa.link().transfer(Direction::ToAccel, bytes);
+            idaa.ship(Direction::ToAccel, bytes)?;
             accel.insert_rows(txn, table, rows)?;
             Ok(())
         });
@@ -146,7 +146,7 @@ impl Loader {
             Ok(r) => {
                 accel.prepare(txn)?;
                 accel.commit(txn);
-                idaa.link().transfer(Direction::ToHost, 64);
+                idaa.ship(Direction::ToHost, 64)?;
                 Ok(r)
             }
             Err(e) => {

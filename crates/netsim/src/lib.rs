@@ -1,6 +1,7 @@
 //! # idaa-netsim
 //!
-//! A metered model of the z/OS ↔ accelerator network link.
+//! A metered, fault-injectable model of the z/OS ↔ accelerator network
+//! link.
 //!
 //! The paper's headline claim is that accelerator-only tables *minimize
 //! data movement* between DB2 and the accelerator. To make that claim
@@ -11,8 +12,22 @@
 //! (default: 10 GbE with 200 µs round-trip, roughly the IDAA appliance
 //! attachment). Wall-clock time is never consumed — benchmarks report
 //! compute (wall) and network (virtual) time separately and combined.
+//!
+//! ## Fault injection
+//!
+//! Real IDAA deployments survive accelerator outages; to reproduce that,
+//! the link can be armed with a [`FaultPlan`]: seeded per-direction
+//! drop/corrupt/delay probabilities, scheduled [`OutageWindow`]s keyed to
+//! the virtual clock, and a "fail the next N transfers" hook for targeted
+//! tests. [`NetLink::transfer`] returns `Result<Duration, LinkError>`, so
+//! every caller must decide what a lost message means for its protocol.
+//! All randomness comes from a splitmix64 stream owned by the link —
+//! replaying the same plan against the same workload yields byte-identical
+//! metrics. Retry backoff ([`RetryPolicy`]) is charged to the same virtual
+//! clock via [`NetLink::advance`], never to wall time.
 
 use parking_lot::Mutex;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -23,6 +38,15 @@ pub enum Direction {
     ToAccel,
     /// Accelerator → DB2 (result sets, acknowledgements).
     ToHost,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::ToAccel => write!(f, "host→accelerator"),
+            Direction::ToHost => write!(f, "accelerator→host"),
+        }
+    }
 }
 
 /// Link parameters.
@@ -52,15 +76,146 @@ impl LinkConfig {
     }
 }
 
+/// Per-direction fault probabilities applied to each transfer attempt.
+///
+/// Probabilities are evaluated in a fixed order (drop, corrupt, delay)
+/// against a seeded random stream so a given `FaultPlan` seed reproduces
+/// the exact same failure pattern — and therefore byte-identical
+/// [`LinkMetrics`] — on replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability the message is silently lost in flight.
+    pub drop: f64,
+    /// Probability the message arrives damaged (receiver discards it).
+    pub corrupt: f64,
+    /// Probability the message is delivered but late.
+    pub delay: f64,
+    /// Extra virtual time charged when a delay fires.
+    pub delay_extra: Duration,
+}
+
+impl FaultSpec {
+    /// Spec that only drops messages with probability `p`.
+    pub fn dropping(p: f64) -> FaultSpec {
+        FaultSpec { drop: p, ..FaultSpec::default() }
+    }
+
+    fn is_clean(&self) -> bool {
+        self.drop <= 0.0 && self.corrupt <= 0.0 && self.delay <= 0.0
+    }
+}
+
+/// A scheduled outage on the virtual clock: every transfer attempted while
+/// `start <= link.now() < end` fails with [`LinkError::Outage`]. Because
+/// retry backoff advances the same clock, a bounded retry loop can ride
+/// out a short window — exactly how a real coordinator outlasts a failover
+/// blip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    pub start: Duration,
+    pub end: Duration,
+}
+
+impl OutageWindow {
+    pub fn new(start: Duration, end: Duration) -> OutageWindow {
+        OutageWindow { start, end }
+    }
+
+    fn contains(&self, t: Duration) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A deterministic schedule of link faults.
+///
+/// The default plan is clean: it injects nothing, draws no random numbers,
+/// and leaves every successful-path metric identical to an unfaulted link.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the splitmix64 stream behind the probabilistic faults.
+    pub seed: u64,
+    /// Faults applied to host → accelerator messages.
+    pub to_accel: FaultSpec,
+    /// Faults applied to accelerator → host messages.
+    pub to_host: FaultSpec,
+    /// Scheduled outages on the virtual clock.
+    pub outages: Vec<OutageWindow>,
+}
+
+impl FaultPlan {
+    /// Plan that drops a fraction `p` of messages in both directions.
+    pub fn dropping(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            to_accel: FaultSpec::dropping(p),
+            to_host: FaultSpec::dropping(p),
+            outages: Vec::new(),
+        }
+    }
+
+    /// Plan with a single scheduled outage window and no random faults.
+    pub fn outage(start: Duration, end: Duration) -> FaultPlan {
+        FaultPlan { outages: vec![OutageWindow::new(start, end)], ..FaultPlan::default() }
+    }
+
+    /// True if this plan can never fault a transfer.
+    pub fn is_clean(&self) -> bool {
+        self.to_accel.is_clean() && self.to_host.is_clean() && self.outages.is_empty()
+    }
+}
+
+/// Why a transfer failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The message was lost in flight.
+    Dropped { direction: Direction, bytes: usize },
+    /// The message arrived damaged and was discarded by the receiver.
+    Corrupted { direction: Direction, bytes: usize },
+    /// The link is inside a scheduled outage window until `until`.
+    Outage { until: Duration },
+    /// An explicitly injected failure (`fail_next_transfers`).
+    Injected { remaining: u64 },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Dropped { direction, bytes } => {
+                write!(f, "message dropped ({bytes} bytes {direction})")
+            }
+            LinkError::Corrupted { direction, bytes } => {
+                write!(f, "message corrupted ({bytes} bytes {direction})")
+            }
+            LinkError::Outage { until } => {
+                write!(f, "link outage until t={:?} on the virtual clock", until)
+            }
+            LinkError::Injected { remaining } => {
+                write!(f, "injected failure ({remaining} more scheduled)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 /// Accumulated link metrics.
+///
+/// `bytes_*`/`messages_*`/`wire_time` count only *delivered* messages, so
+/// pre-existing byte-exact assertions hold regardless of faults; failed
+/// attempts are tallied separately in `failures`/`fault_time`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LinkMetrics {
     pub bytes_to_accel: u64,
     pub bytes_to_host: u64,
     pub messages_to_accel: u64,
     pub messages_to_host: u64,
-    /// Virtual time spent on the wire.
+    /// Virtual time spent on the wire by delivered messages.
     pub wire_time: Duration,
+    /// Transfer attempts that failed (dropped, corrupted, outage, injected).
+    pub failures: u64,
+    /// Virtual time consumed by failed attempts, injected delays, and
+    /// retry backoff ([`NetLink::advance`]).
+    pub fault_time: Duration,
 }
 
 impl LinkMetrics {
@@ -75,26 +230,59 @@ impl LinkMetrics {
     }
 
     /// Difference against an earlier snapshot of the same link.
+    ///
+    /// Saturating: if the link was `reset()` between snapshots the deltas
+    /// clamp to zero instead of panicking on underflow.
     pub fn since(&self, earlier: &LinkMetrics) -> LinkMetrics {
         LinkMetrics {
-            bytes_to_accel: self.bytes_to_accel - earlier.bytes_to_accel,
-            bytes_to_host: self.bytes_to_host - earlier.bytes_to_host,
-            messages_to_accel: self.messages_to_accel - earlier.messages_to_accel,
-            messages_to_host: self.messages_to_host - earlier.messages_to_host,
-            wire_time: self.wire_time - earlier.wire_time,
+            bytes_to_accel: self.bytes_to_accel.saturating_sub(earlier.bytes_to_accel),
+            bytes_to_host: self.bytes_to_host.saturating_sub(earlier.bytes_to_host),
+            messages_to_accel: self.messages_to_accel.saturating_sub(earlier.messages_to_accel),
+            messages_to_host: self.messages_to_host.saturating_sub(earlier.messages_to_host),
+            wire_time: self.wire_time.saturating_sub(earlier.wire_time),
+            failures: self.failures.saturating_sub(earlier.failures),
+            fault_time: self.fault_time.saturating_sub(earlier.fault_time),
         }
     }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    plan: FaultPlan,
+    /// splitmix64 state; one stream per link keeps replays deterministic.
+    rng: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from the splitmix64 stream.
+fn next_unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// The metered link.
 #[derive(Debug)]
 pub struct NetLink {
     config: Mutex<LinkConfig>,
+    faults: Mutex<FaultState>,
+    /// Countdown armed by `fail_next_transfers`.
+    injected: AtomicU64,
+    /// Healthy transfers to let through before `injected` starts firing
+    /// (`fail_transfers_after`).
+    inject_skip: AtomicU64,
     bytes_to_accel: AtomicU64,
     bytes_to_host: AtomicU64,
     messages_to_accel: AtomicU64,
     messages_to_host: AtomicU64,
     wire_nanos: AtomicU64,
+    failures: AtomicU64,
+    fault_nanos: AtomicU64,
 }
 
 impl Default for NetLink {
@@ -104,15 +292,20 @@ impl Default for NetLink {
 }
 
 impl NetLink {
-    /// Link with the given parameters.
+    /// Link with the given parameters and no faults armed.
     pub fn new(config: LinkConfig) -> NetLink {
         NetLink {
             config: Mutex::new(config),
+            faults: Mutex::new(FaultState::default()),
+            injected: AtomicU64::new(0),
+            inject_skip: AtomicU64::new(0),
             bytes_to_accel: AtomicU64::new(0),
             bytes_to_host: AtomicU64::new(0),
             messages_to_accel: AtomicU64::new(0),
             messages_to_host: AtomicU64::new(0),
             wire_nanos: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            fault_nanos: AtomicU64::new(0),
         }
     }
 
@@ -121,12 +314,123 @@ impl NetLink {
         *self.config.lock() = config;
     }
 
-    /// Record one message of `bytes` payload in `direction`; returns the
-    /// virtual transfer time charged.
-    pub fn transfer(&self, direction: Direction, bytes: usize) -> Duration {
-        let cfg = self.config.lock().clone();
-        let cost = cfg.latency
-            + Duration::from_secs_f64(bytes as f64 / cfg.bandwidth_bytes_per_sec);
+    /// Arm a fault plan; the random stream is reseeded from `plan.seed`.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut st = self.faults.lock();
+        st.rng = plan.seed ^ 0x51ed_270b_9a3f_c42d;
+        st.plan = plan;
+    }
+
+    /// Disarm all probabilistic faults and outage windows (explicitly
+    /// injected `fail_next_transfers` counts are cleared too).
+    pub fn clear_faults(&self) {
+        *self.faults.lock() = FaultState::default();
+        self.injected.store(0, Ordering::Relaxed);
+        self.inject_skip.store(0, Ordering::Relaxed);
+    }
+
+    /// Fail the next `n` transfer attempts with [`LinkError::Injected`],
+    /// regardless of direction or fault plan.
+    pub fn fail_next_transfers(&self, n: u64) {
+        self.injected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Let `skip` transfer attempts through untouched, then fail the `n`
+    /// after that — pinpoints a specific protocol message (e.g. "lose the
+    /// 2PC vote but deliver the PREPARE request").
+    pub fn fail_transfers_after(&self, skip: u64, n: u64) {
+        self.inject_skip.store(skip, Ordering::Relaxed);
+        self.injected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current virtual time: wire time of delivered messages plus fault
+    /// and backoff time. Outage windows are positioned against this clock.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(
+            self.wire_nanos.load(Ordering::Relaxed) + self.fault_nanos.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Advance the virtual clock without touching the wire — this is how
+    /// retry backoff "sleeps" without consuming wall time.
+    pub fn advance(&self, d: Duration) {
+        self.fault_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn record_failure(&self, cost: Duration) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        self.fault_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Attempt one message of `bytes` payload in `direction`.
+    ///
+    /// On delivery, returns the virtual transfer time charged and updates
+    /// the delivered-traffic counters. On a fault, returns the
+    /// [`LinkError`], charges the wasted attempt to `fault_time`, and
+    /// leaves the delivered-traffic counters untouched.
+    pub fn transfer(&self, direction: Direction, bytes: usize) -> Result<Duration, LinkError> {
+        let (bandwidth, latency) = {
+            let cfg = self.config.lock();
+            (cfg.bandwidth_bytes_per_sec, cfg.latency)
+        };
+        let payload = Duration::from_secs_f64(bytes as f64 / bandwidth);
+
+        // Explicitly injected failures take precedence over the plan; a
+        // pending skip count shields this transfer from them.
+        let skipped = self
+            .inject_skip
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok();
+        if !skipped
+            && self
+                .injected
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        {
+            self.record_failure(latency);
+            return Err(LinkError::Injected { remaining: self.injected.load(Ordering::Relaxed) });
+        }
+
+        let mut extra = Duration::ZERO;
+        {
+            let mut st = self.faults.lock();
+            if !st.plan.is_clean() {
+                let now = self.now();
+                if let Some(w) = st.plan.outages.iter().find(|w| w.contains(now)) {
+                    // During an outage nothing reaches the other side; the
+                    // sender only wastes its send latency noticing.
+                    let until = w.end;
+                    drop(st);
+                    self.record_failure(latency);
+                    return Err(LinkError::Outage { until });
+                }
+                let spec = match direction {
+                    Direction::ToAccel => st.plan.to_accel,
+                    Direction::ToHost => st.plan.to_host,
+                };
+                if !spec.is_clean() {
+                    // Fixed draw order (drop, corrupt, delay) keeps the
+                    // stream — and the metrics — identical on replay.
+                    let (d_drop, d_corrupt, d_delay) =
+                        (next_unit(&mut st.rng), next_unit(&mut st.rng), next_unit(&mut st.rng));
+                    drop(st);
+                    if d_drop < spec.drop {
+                        // A dropped message still occupied the wire.
+                        self.record_failure(latency + payload);
+                        return Err(LinkError::Dropped { direction, bytes });
+                    }
+                    if d_corrupt < spec.corrupt {
+                        self.record_failure(latency + payload);
+                        return Err(LinkError::Corrupted { direction, bytes });
+                    }
+                    if d_delay < spec.delay {
+                        extra = spec.delay_extra;
+                    }
+                }
+            }
+        }
+
+        let cost = latency + payload + extra;
         match direction {
             Direction::ToAccel => {
                 self.bytes_to_accel.fetch_add(bytes as u64, Ordering::Relaxed);
@@ -138,7 +442,7 @@ impl NetLink {
             }
         }
         self.wire_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
-        cost
+        Ok(cost)
     }
 
     /// Snapshot of the counters.
@@ -149,16 +453,73 @@ impl NetLink {
             messages_to_accel: self.messages_to_accel.load(Ordering::Relaxed),
             messages_to_host: self.messages_to_host.load(Ordering::Relaxed),
             wire_time: Duration::from_nanos(self.wire_nanos.load(Ordering::Relaxed)),
+            failures: self.failures.load(Ordering::Relaxed),
+            fault_time: Duration::from_nanos(self.fault_nanos.load(Ordering::Relaxed)),
         }
     }
 
-    /// Zero all counters.
+    /// Zero all counters (the fault plan and its random stream stay armed).
     pub fn reset(&self) {
         self.bytes_to_accel.store(0, Ordering::Relaxed);
         self.bytes_to_host.store(0, Ordering::Relaxed);
         self.messages_to_accel.store(0, Ordering::Relaxed);
         self.messages_to_host.store(0, Ordering::Relaxed);
         self.wire_nanos.store(0, Ordering::Relaxed);
+        self.failures.store(0, Ordering::Relaxed);
+        self.fault_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Bounded retry with exponential backoff, charged entirely to the link's
+/// virtual clock — a retry loop never sleeps on the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Must be at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub backoff: Duration,
+    /// Backoff multiplier between consecutive retries.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, backoff: Duration::from_micros(500), multiplier: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that never retries (single attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO, multiplier: 1 }
+    }
+
+    /// Transfer with retry. Backoff advances the virtual clock between
+    /// attempts, so a retry sequence can outlast a short scheduled outage
+    /// window. Returns the cost of the delivered attempt, or the last
+    /// error once attempts are exhausted.
+    pub fn transfer(
+        &self,
+        link: &NetLink,
+        direction: Direction,
+        bytes: usize,
+    ) -> Result<Duration, LinkError> {
+        let attempts = self.max_attempts.max(1);
+        let mut wait = self.backoff;
+        let mut attempt = 1;
+        loop {
+            match link.transfer(direction, bytes) {
+                Ok(cost) => return Ok(cost),
+                Err(e) => {
+                    if attempt >= attempts {
+                        return Err(e);
+                    }
+                    link.advance(wait);
+                    wait = wait.saturating_mul(self.multiplier);
+                    attempt += 1;
+                }
+            }
+        }
     }
 }
 
@@ -169,9 +530,9 @@ mod tests {
     #[test]
     fn transfer_accumulates_both_directions() {
         let link = NetLink::default();
-        link.transfer(Direction::ToAccel, 1000);
-        link.transfer(Direction::ToAccel, 500);
-        link.transfer(Direction::ToHost, 200);
+        link.transfer(Direction::ToAccel, 1000).unwrap();
+        link.transfer(Direction::ToAccel, 500).unwrap();
+        link.transfer(Direction::ToHost, 200).unwrap();
         let m = link.metrics();
         assert_eq!(m.bytes_to_accel, 1500);
         assert_eq!(m.bytes_to_host, 200);
@@ -179,6 +540,8 @@ mod tests {
         assert_eq!(m.messages_to_host, 1);
         assert_eq!(m.total_bytes(), 1700);
         assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.failures, 0);
+        assert_eq!(m.fault_time, Duration::ZERO);
     }
 
     #[test]
@@ -187,10 +550,10 @@ mod tests {
             bandwidth_bytes_per_sec: 1000.0,
             latency: Duration::from_millis(1),
         });
-        let t = link.transfer(Direction::ToAccel, 1000);
+        let t = link.transfer(Direction::ToAccel, 1000).unwrap();
         // 1 ms latency + 1 s payload.
         assert_eq!(t, Duration::from_millis(1001));
-        let t2 = link.transfer(Direction::ToAccel, 0);
+        let t2 = link.transfer(Direction::ToAccel, 0).unwrap();
         assert_eq!(t2, Duration::from_millis(1), "empty message still pays latency");
         assert_eq!(link.metrics().wire_time, Duration::from_millis(1002));
     }
@@ -198,10 +561,10 @@ mod tests {
     #[test]
     fn since_computes_deltas() {
         let link = NetLink::default();
-        link.transfer(Direction::ToAccel, 100);
+        link.transfer(Direction::ToAccel, 100).unwrap();
         let before = link.metrics();
-        link.transfer(Direction::ToAccel, 50);
-        link.transfer(Direction::ToHost, 10);
+        link.transfer(Direction::ToAccel, 50).unwrap();
+        link.transfer(Direction::ToHost, 10).unwrap();
         let delta = link.metrics().since(&before);
         assert_eq!(delta.bytes_to_accel, 50);
         assert_eq!(delta.bytes_to_host, 10);
@@ -209,9 +572,24 @@ mod tests {
     }
 
     #[test]
+    fn since_saturates_after_reset() {
+        let link = NetLink::default();
+        link.transfer(Direction::ToAccel, 100).unwrap();
+        let before = link.metrics();
+        link.reset();
+        link.transfer(Direction::ToHost, 10).unwrap();
+        // The link went backwards between snapshots; deltas clamp to zero
+        // instead of panicking on unsigned underflow.
+        let delta = link.metrics().since(&before);
+        assert_eq!(delta.bytes_to_accel, 0);
+        assert_eq!(delta.wire_time, Duration::ZERO);
+        assert_eq!(delta.bytes_to_host, 10);
+    }
+
+    #[test]
     fn reset_zeroes() {
         let link = NetLink::default();
-        link.transfer(Direction::ToHost, 10);
+        link.transfer(Direction::ToHost, 10).unwrap();
         link.reset();
         assert_eq!(link.metrics(), LinkMetrics::default());
     }
@@ -222,12 +600,164 @@ mod tests {
             bandwidth_bytes_per_sec: 1000.0,
             latency: Duration::ZERO,
         });
-        let t1 = link.transfer(Direction::ToAccel, 1000);
+        let t1 = link.transfer(Direction::ToAccel, 1000).unwrap();
         link.set_config(LinkConfig {
             bandwidth_bytes_per_sec: 2000.0,
             latency: Duration::ZERO,
         });
-        let t2 = link.transfer(Direction::ToAccel, 1000);
+        let t2 = link.transfer(Direction::ToAccel, 1000).unwrap();
         assert!(t2 < t1);
+    }
+
+    #[test]
+    fn clean_plan_never_faults_and_draws_nothing() {
+        let link = NetLink::default();
+        link.set_fault_plan(FaultPlan::default());
+        for _ in 0..100 {
+            link.transfer(Direction::ToAccel, 64).unwrap();
+        }
+        let m = link.metrics();
+        assert_eq!(m.failures, 0);
+        assert_eq!(m.fault_time, Duration::ZERO);
+        assert_eq!(m.messages_to_accel, 100);
+    }
+
+    #[test]
+    fn fail_next_transfers_fails_exactly_n() {
+        let link = NetLink::default();
+        link.fail_next_transfers(2);
+        assert!(matches!(
+            link.transfer(Direction::ToAccel, 10),
+            Err(LinkError::Injected { remaining: 1 })
+        ));
+        assert!(matches!(
+            link.transfer(Direction::ToHost, 10),
+            Err(LinkError::Injected { remaining: 0 })
+        ));
+        link.transfer(Direction::ToAccel, 10).unwrap();
+        let m = link.metrics();
+        assert_eq!(m.failures, 2);
+        assert_eq!(m.messages_to_accel, 1);
+        assert_eq!(m.bytes_to_accel, 10, "failed attempts do not count as delivered");
+    }
+
+    #[test]
+    fn fail_transfers_after_skips_then_fails() {
+        let link = NetLink::default();
+        link.fail_transfers_after(2, 1);
+        link.transfer(Direction::ToAccel, 10).unwrap();
+        link.transfer(Direction::ToHost, 10).unwrap();
+        assert!(link.transfer(Direction::ToAccel, 10).is_err());
+        link.transfer(Direction::ToAccel, 10).unwrap();
+    }
+
+    #[test]
+    fn outage_window_blocks_until_clock_passes() {
+        let link = NetLink::new(LinkConfig {
+            bandwidth_bytes_per_sec: 1.0e9,
+            latency: Duration::from_millis(1),
+        });
+        link.set_fault_plan(FaultPlan::outage(Duration::ZERO, Duration::from_millis(5)));
+        let err = link.transfer(Direction::ToAccel, 100).unwrap_err();
+        assert_eq!(err, LinkError::Outage { until: Duration::from_millis(5) });
+        // Ride the clock past the window; transfers succeed again.
+        link.advance(Duration::from_millis(10));
+        link.transfer(Direction::ToAccel, 100).unwrap();
+        assert_eq!(link.metrics().failures, 1);
+    }
+
+    #[test]
+    fn drop_probability_one_loses_everything_and_charges_fault_time() {
+        let link = NetLink::default();
+        link.set_fault_plan(FaultPlan::dropping(7, 1.0));
+        for _ in 0..5 {
+            assert!(matches!(
+                link.transfer(Direction::ToAccel, 100),
+                Err(LinkError::Dropped { direction: Direction::ToAccel, bytes: 100 })
+            ));
+        }
+        let m = link.metrics();
+        assert_eq!(m.failures, 5);
+        assert_eq!(m.total_bytes(), 0);
+        assert!(m.fault_time > Duration::ZERO, "dropped messages still burned wire time");
+        assert_eq!(m.wire_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn same_seed_replays_identical_fault_pattern() {
+        let run = |seed: u64| {
+            let link = NetLink::default();
+            link.set_fault_plan(FaultPlan::dropping(seed, 0.3));
+            let outcomes: Vec<bool> = (0..200)
+                .map(|i| {
+                    let dir = if i % 3 == 0 { Direction::ToHost } else { Direction::ToAccel };
+                    link.transfer(dir, 64 + i).is_ok()
+                })
+                .collect();
+            (outcomes, link.metrics())
+        };
+        let (o1, m1) = run(42);
+        let (o2, m2) = run(42);
+        assert_eq!(o1, o2);
+        assert_eq!(m1, m2, "replaying a seed must yield byte-identical metrics");
+        let (o3, _) = run(43);
+        assert_ne!(o1, o3, "a different seed should fault differently");
+    }
+
+    #[test]
+    fn delay_fault_charges_extra_time_but_delivers() {
+        let link = NetLink::new(LinkConfig {
+            bandwidth_bytes_per_sec: 1.0e9,
+            latency: Duration::from_micros(100),
+        });
+        link.set_fault_plan(FaultPlan {
+            seed: 1,
+            to_accel: FaultSpec {
+                delay: 1.0,
+                delay_extra: Duration::from_millis(3),
+                ..FaultSpec::default()
+            },
+            ..FaultPlan::default()
+        });
+        let cost = link.transfer(Direction::ToAccel, 0).unwrap();
+        assert_eq!(cost, Duration::from_micros(100) + Duration::from_millis(3));
+        assert_eq!(link.metrics().messages_to_accel, 1);
+        assert_eq!(link.metrics().failures, 0);
+    }
+
+    #[test]
+    fn retry_rides_out_injected_failures() {
+        let link = NetLink::default();
+        link.fail_next_transfers(2);
+        let policy = RetryPolicy::default();
+        policy.transfer(&link, Direction::ToAccel, 50).unwrap();
+        let m = link.metrics();
+        assert_eq!(m.failures, 2);
+        assert_eq!(m.messages_to_accel, 1);
+        // Two backoffs elapsed on the virtual clock: 500 µs + 1 ms.
+        assert!(m.fault_time >= Duration::from_micros(1500));
+    }
+
+    #[test]
+    fn retry_exhausts_and_reports_last_error() {
+        let link = NetLink::default();
+        link.set_fault_plan(FaultPlan::dropping(3, 1.0));
+        let policy = RetryPolicy::default();
+        let err = policy.transfer(&link, Direction::ToHost, 9).unwrap_err();
+        assert!(matches!(err, LinkError::Dropped { direction: Direction::ToHost, bytes: 9 }));
+        assert_eq!(link.metrics().failures, u64::from(policy.max_attempts));
+    }
+
+    #[test]
+    fn retry_backoff_outlasts_short_outage() {
+        let link = NetLink::new(LinkConfig {
+            bandwidth_bytes_per_sec: 1.0e9,
+            latency: Duration::from_micros(100),
+        });
+        link.set_fault_plan(FaultPlan::outage(Duration::ZERO, Duration::from_micros(800)));
+        // Default policy backs off 500 µs then 1 ms — the clock passes the
+        // 800 µs window boundary before attempts run out.
+        RetryPolicy::default().transfer(&link, Direction::ToAccel, 10).unwrap();
+        assert!(link.metrics().messages_to_accel == 1);
     }
 }

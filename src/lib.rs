@@ -53,6 +53,11 @@ pub use idaa_sql as sql;
 
 pub use idaa_accel::{AccelConfig, AccelEngine};
 pub use idaa_common::{DataType, Decimal, Error, ObjectName, Result, Row, Rows, Schema, Value};
-pub use idaa_core::{ExecOutcome, Idaa, IdaaConfig, Payload, Route, Session};
+pub use idaa_core::{
+    ExecOutcome, HealthConfig, HealthState, Idaa, IdaaConfig, Payload, Route, Session,
+};
 pub use idaa_host::{HostEngine, SYSADM};
-pub use idaa_netsim::{LinkConfig, LinkMetrics, NetLink};
+pub use idaa_netsim::{
+    Direction, FaultPlan, FaultSpec, LinkConfig, LinkError, LinkMetrics, NetLink, OutageWindow,
+    RetryPolicy,
+};

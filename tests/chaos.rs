@@ -1,0 +1,305 @@
+//! Chaos suite: random workloads under deterministic link-fault plans.
+//!
+//! Every test here runs on the virtual clock only — retries, backoff and
+//! outage windows consume `NetLink` time, never wall time. Case count for
+//! the randomized test follows `PROPTEST_CASES` (default 16) so CI can pin
+//! it; each case derives from a fixed seed, so failures reproduce exactly.
+//!
+//! Tolerated statement outcomes under faults are the federation SQLCODEs:
+//! -30081 (communication failure), -904 (accelerator stopped), -926
+//! (transaction rolled back). Everything else is a bug.
+
+use idaa::{FaultPlan, HealthState, Idaa, IdaaConfig, ObjectName, Route, Value, SYSADM};
+use std::time::Duration;
+
+/// splitmix64 — the same generator the link's fault stream uses; good
+/// enough to derive per-case workloads deterministically.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+}
+
+/// Build a system with one replicated host table (SALES) and one AOT (LOG),
+/// ready for an ELIGIBLE-mode faulted workload.
+fn faulted_system(batch: usize) -> (Idaa, idaa::Session) {
+    let idaa = Idaa::new(IdaaConfig { replication_batch: batch, ..IdaaConfig::default() });
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE SALES (ID INT NOT NULL)").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE LOG (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    (idaa, s)
+}
+
+fn sorted_ints(rows: Vec<idaa::Row>) -> Vec<i32> {
+    let mut out: Vec<i32> = rows
+        .into_iter()
+        .map(|r| match r[0] {
+            Value::Int(v) => v,
+            ref other => panic!("expected INT, got {other:?}"),
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn assert_tolerated(e: &idaa::Error) {
+    assert!(
+        matches!(e.sqlcode(), -30081 | -904 | -926),
+        "unexpected failure under link faults: {e} (sqlcode {})",
+        e.sqlcode()
+    );
+}
+
+/// Heal the link and bring the accelerator back: recovery probe, queued
+/// phase-2 commit decisions, replication catch-up.
+fn heal(idaa: &Idaa) {
+    idaa.link().clear_faults();
+    assert!(idaa.recover(), "recovery probe must succeed on a healed link");
+    idaa.replicate_now().unwrap();
+    assert_eq!(idaa.health().state(), HealthState::Online);
+    assert_eq!(idaa.pending_accel_commits(), 0);
+    assert_eq!(idaa.replication_backlog(), 0);
+}
+
+/// One random workload under one random fault plan; returns nothing —
+/// panics on any invariant violation.
+fn chaos_case(case_seed: u64) {
+    let mut rng = Rng(case_seed);
+    let batch = [1usize, 5, 64][rng.below(3) as usize];
+    let (idaa, mut s) = faulted_system(batch);
+
+    let mut plan = FaultPlan::dropping(rng.next(), 0.02 + 0.23 * rng.f64());
+    plan.to_host.drop = 0.02 + 0.23 * rng.f64();
+    if rng.below(3) == 0 {
+        let start = idaa.link().now() + Duration::from_micros(rng.below(2_000));
+        plan.outages.push(idaa::OutageWindow::new(start, start + Duration::from_millis(2)));
+    }
+    idaa.set_fault_plan(plan);
+
+    // Shadow model. Host-table rows are certain (link faults cannot fail a
+    // host insert); AOT rows are certain when the statement succeeded and
+    // ambiguous when it failed inside an explicit transaction that later
+    // committed (the loss may have hit the acknowledgement, after the
+    // accelerator applied the write).
+    let mut expect_sales: Vec<i32> = Vec::new();
+    let mut log_definite: Vec<i32> = Vec::new();
+    let mut log_maybe: Vec<i32> = Vec::new();
+    let mut next_val = 0i32;
+
+    for _ in 0..rng.below(30) + 20 {
+        match rng.below(4) {
+            0 => {
+                // Autocommitted host insert: always succeeds; replication
+                // may stall and catch up later.
+                let v = next_val;
+                next_val += 1;
+                idaa.execute(&mut s, &format!("INSERT INTO SALES VALUES ({v})")).unwrap();
+                expect_sales.push(v);
+            }
+            1 => {
+                // Autocommitted AOT insert: statement-level atomicity — an
+                // error rolls the implicit transaction back on both sides.
+                let v = next_val;
+                next_val += 1;
+                match idaa.execute(&mut s, &format!("INSERT INTO LOG VALUES ({v})")) {
+                    Ok(_) => log_definite.push(v),
+                    Err(e) => assert_tolerated(&e),
+                }
+            }
+            2 => {
+                // Explicit transaction across both engines: must be atomic.
+                idaa.execute(&mut s, "BEGIN").unwrap();
+                let mut txn_sales: Vec<i32> = Vec::new();
+                let mut txn_log_ok: Vec<i32> = Vec::new();
+                let mut txn_log_err: Vec<i32> = Vec::new();
+                for _ in 0..rng.below(4) + 1 {
+                    let v = next_val;
+                    next_val += 1;
+                    if rng.below(2) == 0 {
+                        idaa.execute(&mut s, &format!("INSERT INTO SALES VALUES ({v})"))
+                            .unwrap();
+                        txn_sales.push(v);
+                    } else {
+                        match idaa.execute(&mut s, &format!("INSERT INTO LOG VALUES ({v})")) {
+                            Ok(_) => txn_log_ok.push(v),
+                            Err(e) => {
+                                // The loss may have hit the acknowledgement
+                                // after the accelerator applied the write:
+                                // the row is ambiguous if this txn commits.
+                                assert_tolerated(&e);
+                                txn_log_err.push(v);
+                            }
+                        }
+                    }
+                }
+                if rng.below(5) == 0 {
+                    idaa.execute(&mut s, "ROLLBACK").unwrap();
+                } else {
+                    match idaa.execute(&mut s, "COMMIT") {
+                        Ok(_) => {
+                            expect_sales.extend(txn_sales);
+                            log_definite.extend(txn_log_ok);
+                            log_maybe.extend(txn_log_err);
+                        }
+                        Err(e) => assert_tolerated(&e), // rolled back everywhere
+                    }
+                }
+            }
+            _ => {
+                // Offload-eligible query: never errors — a link failure
+                // mid-statement falls back to the host copy. The host
+                // answer is exact; an accelerator answer may lag stalled
+                // replication but can never overshoot.
+                let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+                let n = match out.rows().unwrap().scalar().unwrap() {
+                    Value::BigInt(n) => *n,
+                    other => panic!("expected BIGINT count, got {other:?}"),
+                };
+                match out.route {
+                    Route::Host => assert_eq!(n, expect_sales.len() as i64),
+                    Route::Accelerator => assert!(n <= expect_sales.len() as i64),
+                }
+            }
+        }
+    }
+
+    heal(&idaa);
+
+    // Exactly-once replication: the accelerator replica equals the host
+    // table, row for row — nothing lost, nothing applied twice.
+    let host_sales = sorted_ints(idaa.host().scan_all(&ObjectName::bare("SALES")).unwrap());
+    let accel_sales = sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("SALES")).unwrap());
+    expect_sales.sort_unstable();
+    assert_eq!(host_sales, expect_sales, "host lost or invented committed rows");
+    assert_eq!(accel_sales, expect_sales, "replica diverged from the host table");
+
+    // AOT atomicity: every certain row present exactly once, every row
+    // present accounted for (certain or ack-loss ambiguous), nothing from
+    // rolled-back transactions.
+    let log = sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("LOG")).unwrap());
+    for w in log.windows(2) {
+        assert!(w[0] < w[1], "duplicate AOT row {} after redelivery", w[0]);
+    }
+    for v in &log_definite {
+        assert!(log.binary_search(v).is_ok(), "committed AOT row {v} lost");
+    }
+    for v in &log {
+        assert!(
+            log_definite.contains(v) || log_maybe.contains(v),
+            "AOT row {v} from a rolled-back or never-issued statement"
+        );
+    }
+}
+
+#[test]
+fn chaos_random_workloads_converge_after_recovery() {
+    for case in 0..cases() as u64 {
+        chaos_case(0xc4a0_5000 + case);
+    }
+}
+
+/// Fixed-seed replay: the same workload under the same `FaultPlan` seed
+/// must produce byte-identical link metrics — delivered traffic, failure
+/// count and fault time included.
+#[test]
+fn fixed_seed_ten_percent_drop_replays_byte_identically() {
+    let run = || {
+        let (idaa, mut s) = faulted_system(7);
+        idaa.set_fault_plan(FaultPlan::dropping(42, 0.10));
+        let mut log_ok = 0i64;
+        for i in 0..60 {
+            idaa.execute(&mut s, &format!("INSERT INTO SALES VALUES ({i})")).unwrap();
+            match idaa.execute(&mut s, &format!("INSERT INTO LOG VALUES ({i})")) {
+                Ok(_) => log_ok += 1,
+                Err(e) => assert_tolerated(&e),
+            }
+            let n = idaa.query(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+            match n.scalar().unwrap() {
+                // Accelerator answers may lag stalled replication.
+                Value::BigInt(c) => assert!(*c <= i + 1),
+                other => panic!("expected BIGINT count, got {other:?}"),
+            }
+        }
+        heal(&idaa);
+        let sales = idaa.accel().scan_visible(&ObjectName::bare("SALES")).unwrap().len();
+        assert_eq!(sales, 60, "exactly-once replication under 10% drop");
+        let log = idaa.accel().scan_visible(&ObjectName::bare("LOG")).unwrap().len();
+        assert_eq!(log as i64, log_ok, "autocommitted AOT inserts are atomic");
+        (idaa.link().metrics(), log_ok)
+    };
+    let (m1, ok1) = run();
+    let (m2, ok2) = run();
+    assert_eq!(ok1, ok2, "same seed must fail the same statements");
+    assert_eq!(m1, m2, "link metrics must replay byte-identically");
+    assert!(m1.failures > 0, "a 10% drop plan over 180+ messages must fault");
+}
+
+/// A scheduled outage window: offload-eligible work falls back to the
+/// host, accelerator-bound statements fail with -30081, health decays to
+/// Offline, and once the window passes recovery restores everything and
+/// replication catches up.
+#[test]
+fn scheduled_outage_falls_back_then_recovers() {
+    let (idaa, mut s) = faulted_system(16);
+    idaa.execute(&mut s, "INSERT INTO SALES VALUES (1)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO LOG VALUES (1)").unwrap();
+
+    let start = idaa.link().now();
+    idaa.set_fault_plan(FaultPlan::outage(start, start + Duration::from_millis(50)));
+
+    // Mid-statement failure on an eligible query: falls back to the host.
+    let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(out.route, Route::Host);
+    assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::BigInt(1));
+    assert_eq!(idaa.health().state(), HealthState::Degraded);
+
+    // Statements that require the accelerator fail with the communication
+    // SQLCODE, and repeated failures take it offline.
+    for _ in 0..2 {
+        let err = idaa.execute(&mut s, "INSERT INTO LOG VALUES (2)").unwrap_err();
+        assert_eq!(err.sqlcode(), -30081);
+    }
+    assert_eq!(idaa.health().state(), HealthState::Offline);
+
+    // While offline, eligible queries route straight to the host and a
+    // host-side commit queues its replication backlog for catch-up.
+    idaa.execute(&mut s, "INSERT INTO SALES VALUES (2)").unwrap();
+    let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(out.route, Route::Host);
+    assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::BigInt(2));
+    assert!(idaa.replication_backlog() > 0, "changes queue during the outage");
+
+    // The window passes on the virtual clock; the operator probe brings the
+    // accelerator back and drains the backlog.
+    idaa.link().advance(Duration::from_millis(60));
+    assert!(idaa.recover());
+    assert_eq!(idaa.health().state(), HealthState::Online);
+    assert_eq!(idaa.replication_backlog(), 0);
+    let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(out.route, Route::Accelerator);
+    assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::BigInt(2));
+    idaa.execute(&mut s, "INSERT INTO LOG VALUES (3)").unwrap();
+    let n = idaa.query(&mut s, "SELECT COUNT(*) FROM log").unwrap();
+    assert_eq!(n.scalar().unwrap(), &Value::BigInt(2));
+}

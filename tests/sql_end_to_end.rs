@@ -386,13 +386,13 @@ fn accelerator_outage_falls_back_where_possible() {
     let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
     assert_eq!(out.route, Route::Host);
     assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::BigInt(200));
-    // AOT query cannot fall back.
-    assert_eq!(idaa.execute(&mut s, "SELECT * FROM out_aot").unwrap_err().sqlcode(), -4742);
+    // AOT query cannot fall back: the accelerator is stopped, -904.
+    assert_eq!(idaa.execute(&mut s, "SELECT * FROM out_aot").unwrap_err().sqlcode(), -904);
     // AOT DML cannot fall back either.
-    assert_eq!(idaa.execute(&mut s, "INSERT INTO OUT_AOT VALUES (2)").unwrap_err().sqlcode(), -4742);
+    assert_eq!(idaa.execute(&mut s, "INSERT INTO OUT_AOT VALUES (2)").unwrap_err().sqlcode(), -904);
     // ALL mode demands the accelerator: fail.
     idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ALL").unwrap();
-    assert_eq!(idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap_err().sqlcode(), -4742);
+    assert_eq!(idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap_err().sqlcode(), -904);
 
     // Accelerator comes back: everything resumes.
     idaa.faults.accel_unavailable.store(false, std::sync::atomic::Ordering::Relaxed);

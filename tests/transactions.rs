@@ -4,11 +4,30 @@
 //! isolation between sessions, atomic commit/rollback across both engines,
 //! two-phase-commit failure handling, and lock behavior on the host.
 
-use idaa::{Idaa, Value, SYSADM};
+use idaa::{Idaa, IdaaConfig, Value, SYSADM};
 use std::sync::atomic::Ordering;
 
 fn system() -> Idaa {
     Idaa::default()
+}
+
+/// BEGIN a transaction writing one row to a host table and one to an AOT,
+/// leaving it open so the test can fail the COMMIT protocol.
+fn open_mixed_txn(idaa: &Idaa) -> idaa::Session {
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE H (X INT)").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE A (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO H VALUES (1)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO A VALUES (1)").unwrap();
+    s
+}
+
+fn count(idaa: &Idaa, s: &mut idaa::Session, table: &str) -> i64 {
+    match idaa.query(s, &format!("SELECT COUNT(*) FROM {table}")).unwrap().scalar().unwrap() {
+        Value::BigInt(n) => *n,
+        other => panic!("expected BIGINT count, got {other:?}"),
+    }
 }
 
 #[test]
@@ -216,4 +235,100 @@ fn replication_waits_for_commit_lock_release() {
     assert_eq!(idaa.accel().scan_visible(&idaa::ObjectName::bare("R")).unwrap().len(), 0);
     idaa.execute(&mut s, "COMMIT").unwrap();
     assert_eq!(idaa.accel().scan_visible(&idaa::ObjectName::bare("R")).unwrap().len(), 20);
+}
+
+#[test]
+fn undeliverable_prepare_rolls_back_everywhere() {
+    // Link-level generalization of the vote-NO case: the PREPARE request
+    // itself never arrives (all retries fail), so the participant never
+    // voted — presumed abort on both sides.
+    let idaa = system();
+    let mut s = open_mixed_txn(&idaa);
+    idaa.link().fail_next_transfers(4); // all 4 delivery attempts
+    let err = idaa.execute(&mut s, "COMMIT").unwrap_err();
+    assert_eq!(err.sqlcode(), -926);
+    assert_eq!(count(&idaa, &mut s, "h"), 0);
+    assert_eq!(count(&idaa, &mut s, "a"), 0);
+    // The session keeps working afterwards.
+    idaa.execute(&mut s, "INSERT INTO A VALUES (2)").unwrap();
+    assert_eq!(count(&idaa, &mut s, "a"), 1);
+}
+
+#[test]
+fn lost_vote_leaves_in_doubt_transaction_that_the_resolver_commits() {
+    // The accelerator prepared, but its YES vote is lost: the transaction
+    // is in-doubt. The resolver's status inquiry succeeds, so the commit
+    // goes through — exactly once, on both sides.
+    let idaa = system();
+    let mut s = open_mixed_txn(&idaa);
+    // COMMIT ships: PREPARE →accel (1 transfer), vote →host (fails ×4),
+    // then the resolver re-runs the inquiry on a healed link.
+    idaa.link().fail_transfers_after(1, 4);
+    idaa.execute(&mut s, "COMMIT").unwrap();
+    assert_eq!(idaa.in_doubt_resolved(), 1);
+    assert_eq!(count(&idaa, &mut s, "h"), 1);
+    assert_eq!(count(&idaa, &mut s, "a"), 1);
+    let mut other = idaa.session(SYSADM);
+    assert_eq!(count(&idaa, &mut other, "a"), 1, "commit visible to other sessions");
+}
+
+#[test]
+fn unresolvable_in_doubt_transaction_rolls_back_everywhere() {
+    // Vote lost AND the resolver cannot reach the participant either:
+    // presumed abort, both sides clean.
+    let idaa = system();
+    let mut s = open_mixed_txn(&idaa);
+    // vote ×4 + resolver inquiry →accel ×4 all fail.
+    idaa.link().fail_transfers_after(1, 8);
+    let err = idaa.execute(&mut s, "COMMIT").unwrap_err();
+    assert_eq!(err.sqlcode(), -926);
+    assert_eq!(idaa.in_doubt_resolved(), 0);
+    assert_eq!(count(&idaa, &mut s, "h"), 0);
+    assert_eq!(count(&idaa, &mut s, "a"), 0);
+}
+
+#[test]
+fn lost_phase_two_commit_is_queued_and_redelivered() {
+    // Both participants voted YES and the coordinator committed, but the
+    // phase-2 COMMIT message to the accelerator is lost. The decision is
+    // queued; the accelerator holds the transaction prepared (invisible)
+    // until redelivery.
+    let idaa = Idaa::new(IdaaConfig { auto_replicate: false, ..IdaaConfig::default() });
+    let mut s = open_mixed_txn(&idaa);
+    // PREPARE (1) and vote (2) deliver; phase-2 COMMIT →accel fails ×4.
+    idaa.link().fail_transfers_after(2, 4);
+    idaa.execute(&mut s, "COMMIT").unwrap(); // coordinator decision is durable
+    assert_eq!(idaa.pending_accel_commits(), 1);
+    assert_eq!(count(&idaa, &mut s, "h"), 1);
+    let mut other = idaa.session(SYSADM);
+    assert_eq!(count(&idaa, &mut other, "a"), 0, "still prepared, not visible");
+    // Recovery redelivers the queued decision.
+    assert!(idaa.recover());
+    assert_eq!(idaa.pending_accel_commits(), 0);
+    assert_eq!(count(&idaa, &mut other, "a"), 1);
+}
+
+#[test]
+fn accel_stop_inside_open_transaction_rolls_back_cleanly() {
+    // The accelerator is stopped while an explicit transaction has AOT
+    // writes in flight: further AOT statements fail with -904, and COMMIT
+    // rolls back both participants.
+    let idaa = system();
+    let mut s = open_mixed_txn(&idaa);
+    idaa.faults.accel_unavailable.store(true, Ordering::Relaxed);
+    assert_eq!(idaa.execute(&mut s, "INSERT INTO A VALUES (2)").unwrap_err().sqlcode(), -904);
+    assert_eq!(idaa.execute(&mut s, "SELECT COUNT(*) FROM a").unwrap_err().sqlcode(), -904);
+    assert!(!idaa.recover(), "a stopped accelerator cannot recover by probing");
+    let err = idaa.execute(&mut s, "COMMIT").unwrap_err();
+    assert_eq!(err.sqlcode(), -904);
+    // Back online: both sides are clean and the session keeps working.
+    idaa.faults.accel_unavailable.store(false, Ordering::Relaxed);
+    assert_eq!(count(&idaa, &mut s, "h"), 0);
+    assert_eq!(count(&idaa, &mut s, "a"), 0);
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO H VALUES (2)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO A VALUES (2)").unwrap();
+    idaa.execute(&mut s, "COMMIT").unwrap();
+    assert_eq!(count(&idaa, &mut s, "h"), 1);
+    assert_eq!(count(&idaa, &mut s, "a"), 1);
 }
