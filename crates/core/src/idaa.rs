@@ -131,13 +131,18 @@ pub struct Idaa {
     pub faults: Faults,
     health: HealthMonitor,
     retry: RetryPolicy,
-    /// Accelerator-side record of delivered statement sequence numbers.
+    /// Accelerator-side record of delivered statement sequence numbers —
+    /// a statement redelivered after a lost reply is recognized here and
+    /// discarded instead of executed twice.
     delivered: SeqTracker,
     /// COMMIT decisions whose phase-2 message was lost; redelivered on the
     /// next replication round or recovery probe.
     pending_commits: Mutex<Vec<TxnId>>,
     /// In-doubt transactions resolved by the 2PC resolver (diagnostics).
     in_doubt_resolved: AtomicU64,
+    /// Redelivered statements the receiver discarded as duplicates
+    /// (diagnostics).
+    statements_deduped: AtomicU64,
 }
 
 impl Default for Idaa {
@@ -160,6 +165,7 @@ impl Idaa {
             delivered: SeqTracker::default(),
             pending_commits: Mutex::new(Vec::new()),
             in_doubt_resolved: AtomicU64::new(0),
+            statements_deduped: AtomicU64::new(0),
             config,
             faults: Faults::default(),
         };
@@ -208,6 +214,12 @@ impl Idaa {
     /// In-doubt transactions the 2PC resolver recovered (diagnostics).
     pub fn in_doubt_resolved(&self) -> u64 {
         self.in_doubt_resolved.load(Ordering::Relaxed)
+    }
+
+    /// Statements redelivered after a lost reply and discarded as
+    /// duplicates by the receiver's sequence tracker (diagnostics).
+    pub fn statements_deduped(&self) -> u64 {
+        self.statements_deduped.load(Ordering::Relaxed)
     }
 
     /// Committed change records not yet applied on the accelerator.
@@ -311,7 +323,10 @@ impl Idaa {
     fn flush_pending_commits(&self) {
         let mut pending = self.pending_commits.lock();
         pending.retain(|&txn| {
-            if self.retry.transfer(&self.link, Direction::ToAccel, 32).is_ok() {
+            // Through ship(), like every federation message, so redelivery
+            // outcomes feed the health monitor; a failure keeps the
+            // decision queued for the next round.
+            if self.ship(Direction::ToAccel, 32).is_ok() {
                 self.accel.commit(txn);
                 false
             } else {
@@ -577,14 +592,12 @@ impl Idaa {
                             Privilege::Update,
                         )?;
                         let txn = self.enlist_accel(session)?;
-                        self.ship_statement(session, &stmt.to_string())?;
-                        let n = self.accel.update_where(
-                            txn,
-                            &table_r,
-                            assignments,
-                            filter.as_ref(),
+                        let n = self.accel_exchange(
+                            session,
+                            stmt.to_string().len() + 32,
+                            || self.accel.update_where(txn, &table_r, assignments, filter.as_ref()),
+                            |_| 64,
                         )?;
-                        self.ship(Direction::ToHost, 64)?;
                         Ok(ExecOutcome::accel(Payload::Count(n)))
                     }
                 }
@@ -605,9 +618,12 @@ impl Idaa {
                             Privilege::Delete,
                         )?;
                         let txn = self.enlist_accel(session)?;
-                        self.ship_statement(session, &stmt.to_string())?;
-                        let n = self.accel.delete_where(txn, &table_r, filter.as_ref())?;
-                        self.ship(Direction::ToHost, 64)?;
+                        let n = self.accel_exchange(
+                            session,
+                            stmt.to_string().len() + 32,
+                            || self.accel.delete_where(txn, &table_r, filter.as_ref()),
+                            |_| 64,
+                        )?;
                         Ok(ExecOutcome::accel(Payload::Count(n)))
                     }
                 }
@@ -754,10 +770,12 @@ impl Idaa {
     /// and pay for the result set's trip back to DB2.
     fn accel_query(&self, session: &mut Session, q: &Query) -> Result<Rows> {
         let txn = self.accel_query_txn(session);
-        self.ship_statement(session, &q.to_string())?;
-        let rows = self.accel.query(txn, q)?;
-        self.ship(Direction::ToHost, rows.wire_size())?;
-        Ok(rows)
+        self.accel_exchange(
+            session,
+            q.to_string().len() + 32,
+            || self.accel.query(txn, q),
+            Rows::wire_size,
+        )
     }
 
     fn dispatch_insert(
@@ -806,17 +824,21 @@ impl Idaa {
                         }
                         drop(privs);
                         let txn = self.enlist_accel(session)?;
-                        self.ship_statement(session, &format!(
-                            "INSERT INTO {target} {src_q}"
-                        ))?;
-                        let result = self.accel.query(txn, src_q)?;
-                        let rows: Vec<Row> = result
-                            .rows
-                            .into_iter()
-                            .map(|r| self.widen_row(&meta.schema, columns, r))
-                            .collect::<Result<_>>()?;
-                        let n = self.accel.insert_rows(txn, &target, rows)?;
-                        self.ship(Direction::ToHost, 64)?;
+                        let sql = format!("INSERT INTO {target} {src_q}");
+                        let n = self.accel_exchange(
+                            session,
+                            sql.len() + 32,
+                            || {
+                                let result = self.accel.query(txn, src_q)?;
+                                let rows: Vec<Row> = result
+                                    .rows
+                                    .into_iter()
+                                    .map(|r| self.widen_row(&meta.schema, columns, r))
+                                    .collect::<Result<_>>()?;
+                                self.accel.insert_rows(txn, &target, rows)
+                            },
+                            |_| 64,
+                        )?;
                         return Ok(ExecOutcome::accel(Payload::Count(n)));
                     }
                 }
@@ -919,16 +941,63 @@ impl Idaa {
         Ok(txn)
     }
 
-    /// Ship a statement to the accelerator. The 32-byte envelope carries
-    /// the session id and a per-session sequence number; a redelivered
-    /// (retried) statement with an already-seen sequence number is
-    /// discarded by the receiver, making shipping idempotent.
-    fn ship_statement(&self, session: &mut Session, sql: &str) -> Result<()> {
+    /// One statement exchange with the accelerator: deliver the request
+    /// (at least once), execute it exactly once, and deliver the reply.
+    ///
+    /// The 32-byte request envelope carries the session id and a
+    /// per-session sequence number. A lost *request* attempt means the
+    /// statement never arrived and is simply resent. A lost *reply* leaves
+    /// the coordinator unsure whether the statement ran, so it redelivers
+    /// the request under the same sequence number — the receiver
+    /// recognizes the duplicate in its [`SeqTracker`] and resends the
+    /// reply without executing again, making shipping idempotent. Retries
+    /// ride the bounded backoff of `self.retry` on the virtual clock;
+    /// exhausting it fails the statement with SQLCODE -30081, and the
+    /// outcome feeds the health monitor like every other federation path.
+    fn accel_exchange<T>(
+        &self,
+        session: &mut Session,
+        request_bytes: usize,
+        exec: impl FnOnce() -> Result<T>,
+        reply_bytes: impl Fn(&T) -> usize,
+    ) -> Result<T> {
         let seq = session.next_seq();
-        self.ship(Direction::ToAccel, sql.len() + 32)?;
-        let fresh = self.delivered.deliver(session.id, seq);
-        debug_assert!(fresh, "statement sequence numbers are monotonic per session");
-        Ok(())
+        let mut exec = Some(exec);
+        let mut result: Option<T> = None;
+        let attempts = self.retry.max_attempts.max(1);
+        let mut wait = self.retry.backoff;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                self.link.advance(wait);
+                wait = wait.saturating_mul(self.retry.multiplier);
+            }
+            // Request leg: loss means the statement never reached the
+            // accelerator — resend it.
+            if self.link.transfer(Direction::ToAccel, request_bytes).is_err() {
+                continue;
+            }
+            self.health.record_success();
+            // Receiver side: execute on first delivery, discard duplicates.
+            if self.delivered.deliver(session.id, seq) {
+                let run = exec.take().expect("first delivery executes the statement");
+                result = Some(run()?);
+            } else {
+                self.statements_deduped.fetch_add(1, Ordering::Relaxed);
+            }
+            let reply = result.as_ref().expect("executed on or before this delivery");
+            if self.link.transfer(Direction::ToHost, reply_bytes(reply)).is_ok() {
+                self.health.record_success();
+                return Ok(result.take().expect("reply delivered"));
+            }
+            // Reply lost: redeliver the request (same sequence number) on
+            // the next attempt.
+        }
+        self.health.record_failure();
+        Err(Error::LinkFailure(
+            "communication with the accelerator failed; the statement exchange could \
+             not be completed"
+                .into(),
+        ))
     }
 
     /// Commit the session's transaction. When the accelerator participated,
@@ -1377,19 +1446,40 @@ mod tests {
     }
 
     #[test]
-    fn retried_statement_sequences_stay_monotonic() {
+    fn lost_request_attempts_are_resent_without_duplication() {
         let idaa = Idaa::default();
         let mut s = sys(&idaa);
         idaa.execute(&mut s, "CREATE TABLE SEQT (X INT) IN ACCELERATOR").unwrap();
-        // First attempt of each shipped message is lost; the retry
-        // redelivers under the same sequence number, so the receiver-side
-        // tracker sees every sequence exactly once.
+        // First attempt of each shipped message is lost in flight — the
+        // statement never reached the accelerator, so the resend is a
+        // first delivery, not a duplicate.
         for i in 0..5 {
             idaa.link().fail_next_transfers(1);
             idaa.execute(&mut s, &format!("INSERT INTO SEQT VALUES ({i})")).unwrap();
         }
         let r = idaa.query(&mut s, "SELECT COUNT(*) FROM seqt").unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::BigInt(5));
+        assert_eq!(idaa.statements_deduped(), 0);
+        assert_eq!(idaa.health().state(), HealthState::Online);
+    }
+
+    #[test]
+    fn lost_reply_redelivers_statement_and_receiver_discards_duplicate() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE T (X INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut s, "INSERT INTO T VALUES (10)").unwrap();
+        // The UPDATE exchange is BEGIN, request, reply — deliver the
+        // request but lose the reply. The coordinator cannot tell whether
+        // the statement ran, so it redelivers under the same sequence
+        // number; the receiver recognizes the duplicate and resends the
+        // reply without executing again (X + 1 must apply exactly once).
+        idaa.link().fail_transfers_after(2, 1);
+        let out = idaa.execute(&mut s, "UPDATE T SET X = X + 1").unwrap();
+        assert_eq!(out.count(), 1);
+        assert_eq!(idaa.statements_deduped(), 1);
+        let r = idaa.query(&mut s, "SELECT X FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(11));
         assert_eq!(idaa.health().state(), HealthState::Online);
     }
 }

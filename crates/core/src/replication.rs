@@ -9,9 +9,12 @@
 //! a batch has been delivered *and acknowledged*, so a mid-stream failure
 //! leaves the remaining changes queued in the host log for catch-up. A
 //! batch whose acknowledgement was lost is redelivered on the next round
-//! and deduplicated on the accelerator side by its last LSN — every
-//! committed change applies exactly once no matter how often the link
-//! drops (experiment E14, chaos suite in `tests/chaos.rs`).
+//! and deduplicated on the accelerator side *per change LSN* — batch
+//! boundaries shift when new commits re-chunk the backlog, so a
+//! redelivered batch may mix already-applied changes with new ones and
+//! only the genuinely new suffix applies. Every committed change applies
+//! exactly once no matter how often the link drops (experiment E14, chaos
+//! suite in `tests/chaos.rs`).
 
 use idaa_accel::AccelEngine;
 use idaa_common::{ObjectName, Result, Row, Value};
@@ -24,8 +27,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct Replicator {
     /// Host-side watermark: highest LSN whose batch was acknowledged.
     last_applied: Lsn,
-    /// Accelerator-side durable record of the highest applied LSN — the
-    /// dedup key for redelivered batches.
+    /// Accelerator-side durable record of the highest applied LSN —
+    /// redelivered changes at or below it are discarded.
     accel_applied: Lsn,
     /// The last apply round could not deliver everything (link fault); the
     /// backlog stays queued in the host log until the next round.
@@ -119,14 +122,22 @@ impl Replicator {
             }
             self.batches_shipped.fetch_add(1, Ordering::Relaxed);
 
-            // Accelerator-side dedup: a batch whose ack was lost last round
-            // arrives again; its LSN shows it is already applied.
+            // Accelerator-side dedup, per change: anything at or below the
+            // durable applied LSN landed in an earlier round whose ack was
+            // lost. Batch boundaries are not stable across rounds (new
+            // commits re-chunk the backlog), so a redelivered batch may mix
+            // already-applied changes with new ones — only the genuinely
+            // new suffix may apply.
             if batch_last > self.accel_applied {
                 // Each batch applies under one accelerator transaction, so
                 // a batch becomes visible atomically.
                 let txn = next_apply_txn();
                 accel.begin(txn);
+                let mut fresh: u64 = 0;
                 for change in batch {
+                    if change.lsn <= self.accel_applied {
+                        continue;
+                    }
                     match &change.op {
                         ChangeOp::Insert(row) => {
                             accel.insert_rows(txn, &change.table, vec![row.clone()])?;
@@ -140,11 +151,15 @@ impl Replicator {
                         }
                     }
                     applied += 1;
+                    fresh += 1;
                 }
                 accel.prepare(txn)?;
                 accel.commit(txn);
                 self.accel_applied = batch_last;
-                self.changes_applied.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                self.changes_applied.fetch_add(fresh, Ordering::Relaxed);
+                if (fresh as usize) < batch.len() {
+                    self.batches_redelivered.fetch_add(1, Ordering::Relaxed);
+                }
             } else {
                 self.batches_redelivered.fetch_add(1, Ordering::Relaxed);
             }
@@ -390,6 +405,35 @@ mod tests {
         assert_eq!(rep.batches_redelivered.load(Ordering::Relaxed), 1);
         assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 20);
         assert_eq!(rep.changes_applied.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn rechunked_redelivery_applies_only_the_new_suffix() {
+        let (host, accel, link) = setup();
+        let t = host.begin();
+        let rows: Vec<Row> = (0..15).map(|i| row(i, "x")).collect();
+        host.insert_rows(SYSADM, t, &ObjectName::bare("T"), rows).unwrap();
+        host.commit(t);
+        let mut rep = Replicator::new(10, RetryPolicy::none());
+        // Transfers: batch 1 payload, batch 1 ack, batch 2 payload, batch 2
+        // ack — lose the *second* batch's ack, so a partial (5-change)
+        // batch is applied but unacknowledged.
+        link.fail_transfers_after(3, 1);
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 15);
+        assert!(rep.stalled());
+        assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 15);
+        // New commits re-chunk the backlog: the first redelivered batch now
+        // mixes the 5 already-applied changes with 5 new ones. Only the new
+        // suffix may apply — batch-granularity dedup would duplicate rows.
+        let t2 = host.begin();
+        let more: Vec<Row> = (15..25).map(|i| row(i, "y")).collect();
+        host.insert_rows(SYSADM, t2, &ObjectName::bare("T"), more).unwrap();
+        host.commit(t2);
+        assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 10);
+        assert!(!rep.stalled());
+        assert_eq!(accel.scan_visible(&ObjectName::bare("T")).unwrap().len(), 25);
+        assert_eq!(rep.changes_applied.load(Ordering::Relaxed), 25);
+        assert_eq!(rep.batches_redelivered.load(Ordering::Relaxed), 1);
     }
 
     #[test]
