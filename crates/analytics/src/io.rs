@@ -6,7 +6,7 @@
 //! data across the link for an in-database operation. Results are written
 //! to accelerator-only tables, ready to feed the next pipeline stage.
 
-use idaa_common::{Error, ObjectName, Result, Row, Rows, Schema, Value};
+use idaa_common::{wire, Error, ObjectName, Result, Row, Rows, Schema, Value};
 use idaa_core::Idaa;
 use idaa_host::TableKind;
 use idaa_netsim::Direction;
@@ -119,9 +119,9 @@ pub fn write_output_aot(
     idaa.host().create_table(user, &resolved, schema.clone(), TableKind::AcceleratorOnly, vec![])?;
     idaa.accel().create_table(&resolved, schema, &[])?;
     // Control-plane traffic only.
-    idaa.ship(Direction::ToAccel, 96)?;
+    idaa.ship(Direction::ToAccel, wire::CREATE_OUTPUT_FRAME)?;
     let n = idaa.accel().load_committed(&resolved, rows)?;
-    idaa.ship(Direction::ToHost, 64)?;
+    idaa.ship(Direction::ToHost, wire::ACK_FRAME)?;
     Ok(n)
 }
 
@@ -135,13 +135,10 @@ pub fn extract_matrix_to_client(
     columns: &[String],
 ) -> Result<(Vec<Vec<f64>>, usize)> {
     let (schema, rows) = read_accel_table(idaa, user, table)?;
-    let bytes: usize = rows
-        .iter()
-        .map(|r| r.iter().map(Value::wire_size).sum::<usize>() + 4)
-        .sum::<usize>()
-        + 64;
-    idaa.ship(Direction::ToHost, bytes)?;
-    numeric_matrix(&schema, &rows, columns)
+    // The full result set crosses the link as encoded frames; the client
+    // computes on the decoded rows, as a real extract would.
+    let delivered = idaa.ship_rows(Direction::ToHost, &schema, &rows)?;
+    numeric_matrix(&schema, &delivered, columns)
 }
 
 /// Convenience: a one-row summary result (procedure return value).

@@ -1,0 +1,71 @@
+//! Criterion microbench for the wire codec: encode / decode / verify
+//! throughput over a mixed-type batch shaped like the SALES workload
+//! (sequential ids, low-cardinality strings, doubles, dates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use idaa_common::{wire, ColumnDef, DataType, Row, Schema, Value};
+
+const ROWS: usize = 20_000;
+
+fn sales_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("ID", DataType::Integer),
+        ColumnDef::new("REGION", DataType::Varchar(8)),
+        ColumnDef::new("PRODUCT", DataType::Varchar(8)),
+        ColumnDef::new("AMOUNT", DataType::Double),
+        ColumnDef::new("QTY", DataType::Integer),
+        ColumnDef::new("SOLD_ON", DataType::Date),
+    ])
+    .unwrap()
+}
+
+fn sales_rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i as i32),
+                Value::Varchar(["EU", "US", "APAC", "LATAM"][i % 4].into()),
+                Value::Varchar(format!("P{:03}", i % 200)),
+                Value::Double((i * 13 % 1000) as f64 + 0.5),
+                Value::Int((i % 9) as i32 + 1),
+                Value::Date(16_436 + (i % 300) as i32),
+            ]
+        })
+        .collect()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let schema = sales_schema();
+    let rows = sales_rows(ROWS);
+    let logical = wire::logical_size(&rows) as u64;
+    let frames = wire::encode_frames(&schema, &rows);
+    let wire_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+    println!(
+        "wire codec: {ROWS} rows, logical {logical} B -> {} frames, {wire_bytes} B \
+         ({:.2}x)",
+        frames.len(),
+        logical as f64 / wire_bytes as f64
+    );
+
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.bench_function(BenchmarkId::new("encode", ROWS), |b| {
+        b.iter(|| wire::encode_frames(&schema, &rows))
+    });
+    group.bench_function(BenchmarkId::new("decode", ROWS), |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|f| wire::decode_rows(f, &schema).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::new("verify", ROWS), |b| {
+        b.iter(|| frames.iter().all(|f| wire::verify(f)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E14 (see DESIGN.md for the index and
+//! The experiment suite E1–E15 (see DESIGN.md for the index and
 //! EXPERIMENTS.md for recorded results). Each function regenerates one
 //! table of the evaluation.
 
@@ -11,7 +11,7 @@ use idaa_loader::{EventSource, LoadTarget, Loader};
 use idaa_sql::Privilege;
 use std::time::Instant;
 
-/// Run one experiment by id (`e1`…`e14`) or `all`.
+/// Run one experiment by id (`e1`…`e15`) or `all`.
 pub fn run(id: &str) -> bool {
     match id.to_ascii_lowercase().as_str() {
         "e1" => e1_offload_crossover(),
@@ -28,6 +28,7 @@ pub fn run(id: &str) -> bool {
         "e12" => e12_end_to_end_scenario(),
         "e13" => e13_parallel_operators(),
         "e14" => e14_outage_recovery(),
+        "e15" => e15_wire_codec(),
         "all" => {
             for e in [
                 e1_offload_crossover,
@@ -44,6 +45,7 @@ pub fn run(id: &str) -> bool {
                 e12_end_to_end_scenario,
                 e13_parallel_operators,
                 e14_outage_recovery,
+                e15_wire_codec,
             ] {
                 e();
                 println!();
@@ -765,12 +767,9 @@ pub fn e12_end_to_end_scenario() {
             &idaa_common::ObjectName::bare("FEATURES"),
         )
         .unwrap();
-        // Charge the extract to the link (client-side baseline).
-        let bytes: usize = rows
-            .iter()
-            .map(|r| r.iter().map(idaa_common::Value::wire_size).sum::<usize>() + 4)
-            .sum();
-        idaa.ship(idaa_netsim::Direction::ToHost, bytes + 64).unwrap();
+        // The extract crosses the link as encoded wire frames (client-side
+        // baseline pays full data-movement cost, but through the same codec).
+        let rows = idaa.ship_rows(idaa_netsim::Direction::ToHost, &schema, &rows).unwrap();
         let (matrix, _) = idaa_analytics::io::numeric_matrix(&schema, &rows, &cols).unwrap();
         let labels = idaa_analytics::io::label_column(&schema, &rows, "CHURNED").unwrap();
         let model = idaa_analytics::dectree::train(
@@ -951,4 +950,164 @@ pub fn e14_outage_recovery() {
         "note: outage-phase AOT statements fail with SQLCODE -30081; the recovery \
          probe replays queued commits and replication catches up before new work."
     );
+}
+
+/// E15 — wire codec: logical (pre-encoding) vs. encoded bytes and message
+/// counts per workload. Dictionary/RLE/delta columns compress the
+/// low-cardinality strings and sequential ids these workloads ship; framing
+/// is deterministic, so every column except `*_ms` is byte-stable.
+pub fn e15_wire_codec() {
+    banner("E15", "wire codec: logical vs. encoded bytes per workload");
+    let mut table = Table::new(&[
+        "workload", "rows", "logical", "wire", "ratio", "msgs", "wire_ms",
+    ]);
+    let ratio = |m: &idaa_netsim::LinkMetrics| {
+        if m.total_bytes() == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.2}x", m.total_logical_bytes() as f64 / m.total_bytes() as f64)
+        }
+    };
+    const ROWS: usize = 20_000;
+
+    // Bulk load: seeded event stream straight into an AOT — the loader's
+    // chunked frame path.
+    {
+        let (idaa, _s) = system(IdaaConfig::default());
+        let mut s = idaa.session(SYSADM);
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE EVENTS (EVENT_ID INT, USER_ID INT, TOPIC VARCHAR(10), \
+             SENTIMENT DOUBLE, POSTED_AT TIMESTAMP) IN ACCELERATOR",
+        )
+        .unwrap();
+        idaa.link().reset();
+        let (_, _, m) = measure(&idaa, || {
+            Loader::new(SYSADM)
+                .load(
+                    &idaa,
+                    Box::new(EventSource::new(ROWS, 7)),
+                    &idaa_common::ObjectName::bare("EVENTS"),
+                    LoadTarget::AcceleratorDirect,
+                )
+                .unwrap()
+        });
+        table.row(&[
+            "bulk load (direct)".into(),
+            ROWS.to_string(),
+            fmt_bytes(m.total_logical_bytes()),
+            fmt_bytes(m.total_bytes()),
+            ratio(&m),
+            m.total_messages().to_string(),
+            ms(m.wire_time),
+        ]);
+    }
+
+    // INSERT … SELECT with a DB2 target: the accelerator's result set comes
+    // back to the host as encoded frames.
+    {
+        let (idaa, mut s) = system(IdaaConfig::default());
+        seed_sales(&idaa, &mut s, ROWS);
+        accelerate(&idaa, &mut s, "SALES");
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        idaa.execute(&mut s, "CREATE TABLE OUT1 (ID INT, REGION VARCHAR(8), AMOUNT DOUBLE)")
+            .unwrap();
+        idaa.link().reset();
+        let (_, _, m) = measure(&idaa, || {
+            idaa.execute(&mut s, "INSERT INTO OUT1 SELECT id, region, amount FROM sales")
+                .unwrap()
+        });
+        table.row(&[
+            "INSERT..SELECT (accel->DB2)".into(),
+            ROWS.to_string(),
+            fmt_bytes(m.total_logical_bytes()),
+            fmt_bytes(m.total_bytes()),
+            ratio(&m),
+            m.total_messages().to_string(),
+            ms(m.wire_time),
+        ]);
+    }
+
+    // Replication catch-up: a committed host backlog drains to the
+    // accelerator as per-batch change frames. Auto-replication is off so
+    // the backlog accumulates and one catch-up round ships it all.
+    {
+        let (idaa, mut s) = system(IdaaConfig { auto_replicate: false, ..Default::default() });
+        seed_sales(&idaa, &mut s, ROWS);
+        accelerate(&idaa, &mut s, "SALES");
+        for i in 0..ROWS / 4 {
+            let id = ROWS + i;
+            if i % 500 == 0 {
+                idaa.execute(
+                    &mut s,
+                    &format!(
+                        "INSERT INTO SALES VALUES ({id}, 'EU', 'P001', 1.5E0, 1, DATE '2015-01-01')"
+                    ),
+                )
+                .unwrap();
+            } else {
+                idaa.execute(
+                    &mut s,
+                    &format!(
+                        "INSERT INTO SALES VALUES ({id}, 'US', 'P002', 2.5E0, 2, DATE '2015-02-02')"
+                    ),
+                )
+                .unwrap();
+            }
+        }
+        idaa.link().reset();
+        let (_, _, m) = measure(&idaa, || idaa.replicate_now().unwrap());
+        table.row(&[
+            "replication catch-up".into(),
+            (ROWS / 4).to_string(),
+            fmt_bytes(m.total_logical_bytes()),
+            fmt_bytes(m.total_bytes()),
+            ratio(&m),
+            m.total_messages().to_string(),
+            ms(m.wire_time),
+        ]);
+    }
+
+    // Analytics write-back: results are produced and stored on the
+    // accelerator, so only fixed-size control frames cross (ratio 1.00x).
+    {
+        let (idaa, mut s) = system(IdaaConfig::default());
+        idaa_analytics::deploy_all(&idaa, SYSADM).unwrap();
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE PTS (ID INT, F0 DOUBLE, F1 DOUBLE, F2 DOUBLE, F3 DOUBLE) IN ACCELERATOR",
+        )
+        .unwrap();
+        let mut vals = Vec::new();
+        for i in 0..5_000usize {
+            let c = [(0.0), (10.0), (20.0)][i % 3];
+            vals.push(format!(
+                "({i}, {:.2}E0, {:.2}E0, {:.2}E0, {:.2}E0)",
+                c + (i % 100) as f64 / 100.0,
+                c + (i % 77) as f64 / 100.0,
+                c + (i % 53) as f64 / 100.0,
+                c + (i % 31) as f64 / 100.0
+            ));
+            if vals.len() == 1000 {
+                idaa.execute(&mut s, &format!("INSERT INTO PTS VALUES {}", vals.join(", ")))
+                    .unwrap();
+                vals.clear();
+            }
+        }
+        idaa.link().reset();
+        let (_, _, m) = measure(&idaa, || {
+            idaa.query(&mut s, "CALL ANALYTICS.KMEANS('PTS', 'F0,F1,F2,F3', 3, 10, 'KM_OUT')")
+                .unwrap()
+        });
+        table.row(&[
+            "analytics write-back".into(),
+            "5000".into(),
+            fmt_bytes(m.total_logical_bytes()),
+            fmt_bytes(m.total_bytes()),
+            ratio(&m),
+            m.total_messages().to_string(),
+            ms(m.wire_time),
+        ]);
+    }
+    table.print();
 }

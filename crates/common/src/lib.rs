@@ -16,6 +16,7 @@ pub mod row;
 pub mod schema;
 pub mod types;
 pub mod value;
+pub mod wire;
 
 pub use decimal::Decimal;
 pub use error::{Error, Result};

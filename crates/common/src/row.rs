@@ -38,18 +38,12 @@ impl Rows {
         self.rows.is_empty()
     }
 
-    /// Total bytes this result occupies on the wire: per-value variable
+    /// Logical (pre-encoding) bytes of this result: per-value variable
     /// encoding plus a small per-row and per-result frame overhead. The
-    /// network simulator charges exactly this amount.
+    /// link charges the *encoded* frame length (see [`crate::wire`]) and
+    /// accounts this logical size alongside it for compression reporting.
     pub fn wire_size(&self) -> usize {
-        const RESULT_FRAME: usize = 64;
-        const ROW_FRAME: usize = 4;
-        RESULT_FRAME
-            + self
-                .rows
-                .iter()
-                .map(|r| ROW_FRAME + r.iter().map(Value::wire_size).sum::<usize>())
-                .sum::<usize>()
+        crate::wire::logical_size(&self.rows)
     }
 
     /// First value of the first row — convenient for scalar queries.

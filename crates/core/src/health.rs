@@ -133,7 +133,7 @@ impl HealthMonitor {
     pub fn should_probe(&self, now: Duration) -> bool {
         let i = self.inner.lock();
         i.state == HealthState::Offline
-            && i.last_probe.map_or(true, |t| now >= t + self.config.probe_interval)
+            && i.last_probe.is_none_or(|t| now >= t + self.config.probe_interval)
     }
 
     /// Send one probe ping each way over `link`. Probe results feed the

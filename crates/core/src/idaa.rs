@@ -13,6 +13,7 @@ use crate::replication::Replicator;
 use crate::router::{self, Route};
 use crate::session::Session;
 use idaa_accel::{AccelConfig, AccelEngine};
+use idaa_common::wire;
 use idaa_common::{Error, ObjectName, Result, Row, Rows, Value};
 use idaa_host::{HostEngine, TableKind, TxnId, SYSADM};
 use idaa_netsim::{Direction, FaultPlan, LinkConfig, NetLink, RetryPolicy};
@@ -265,10 +266,48 @@ impl Idaa {
         }
     }
 
+    /// Ship one encoded row frame over the link with the same bounded
+    /// retry and health accounting as [`Idaa::ship`]. A frame rejected by
+    /// the receiver's checksum ([`idaa_common::wire::verify`]) is
+    /// retransmitted like any other lost message.
+    pub fn ship_frame(&self, direction: Direction, frame: &[u8]) -> Result<Duration> {
+        match self.retry.transfer_frame(&self.link, direction, frame) {
+            Ok(cost) => {
+                self.health.record_success();
+                Ok(cost)
+            }
+            Err(e) => {
+                self.health.record_failure();
+                Err(Error::LinkFailure(format!(
+                    "communication with the accelerator failed: {e}"
+                )))
+            }
+        }
+    }
+
+    /// Stream a row batch across the link as chunked encoded frames and
+    /// return what the receiving side decodes. The destination engine
+    /// ingests the *decoded* payload — not the sender's in-memory rows —
+    /// so the codec is on the actual data path, and a frame that fails
+    /// checksum or fingerprint verification surfaces before any row lands.
+    pub fn ship_rows(
+        &self,
+        direction: Direction,
+        schema: &idaa_common::Schema,
+        rows: &[Row],
+    ) -> Result<Vec<Row>> {
+        let mut delivered = Vec::with_capacity(rows.len());
+        for frame in wire::encode_frames(schema, rows) {
+            self.ship_frame(direction, &frame)?;
+            delivered.extend(wire::decode_rows(&frame, schema)?);
+        }
+        Ok(delivered)
+    }
+
     /// Charge DDL/control-message shipping to the link.
     pub fn ship_ddl(&self, text: &str) -> Result<()> {
-        self.ship(Direction::ToAccel, text.len() + 32)?;
-        self.ship(Direction::ToHost, 32)?;
+        self.ship(Direction::ToAccel, text.len() + wire::CONTROL_FRAME)?;
+        self.ship(Direction::ToHost, wire::CONTROL_FRAME)?;
         Ok(())
     }
 
@@ -290,11 +329,10 @@ impl Idaa {
         // so changes committed before the load are not double-applied.
         self.replicate_now()?;
         let rows = self.host.scan_all(&meta.name)?;
-        let bytes: usize = rows.iter().map(row_wire).sum::<usize>() + 64;
-        self.ship(Direction::ToAccel, bytes)?;
+        let delivered = self.ship_rows(Direction::ToAccel, &meta.schema, &rows)?;
         self.accel.truncate(&meta.name)?;
-        let n = self.accel.load_committed(&meta.name, rows)?;
-        self.ship(Direction::ToHost, 64)?;
+        let n = self.accel.load_committed(&meta.name, delivered)?;
+        self.ship(Direction::ToHost, wire::ACK_FRAME)?;
         self.host.set_accel_status(&meta.name, idaa_host::AccelStatus::Loaded)?;
         Ok(n)
     }
@@ -326,7 +364,7 @@ impl Idaa {
             // Through ship(), like every federation message, so redelivery
             // outcomes feed the health monitor; a failure keeps the
             // decision queued for the next round.
-            if self.ship(Direction::ToAccel, 32).is_ok() {
+            if self.ship(Direction::ToAccel, wire::CONTROL_FRAME).is_ok() {
                 self.accel.commit(txn);
                 false
             } else {
@@ -594,9 +632,9 @@ impl Idaa {
                         let txn = self.enlist_accel(session)?;
                         let n = self.accel_exchange(
                             session,
-                            stmt.to_string().len() + 32,
+                            stmt.to_string().len() + wire::CONTROL_FRAME,
                             || self.accel.update_where(txn, &table_r, assignments, filter.as_ref()),
-                            |_| 64,
+                            |_| ReplyPayload::Control(wire::ACK_FRAME),
                         )?;
                         Ok(ExecOutcome::accel(Payload::Count(n)))
                     }
@@ -620,9 +658,9 @@ impl Idaa {
                         let txn = self.enlist_accel(session)?;
                         let n = self.accel_exchange(
                             session,
-                            stmt.to_string().len() + 32,
+                            stmt.to_string().len() + wire::CONTROL_FRAME,
                             || self.accel.delete_where(txn, &table_r, filter.as_ref()),
-                            |_| 64,
+                            |_| ReplyPayload::Control(wire::ACK_FRAME),
                         )?;
                         Ok(ExecOutcome::accel(Payload::Count(n)))
                     }
@@ -767,15 +805,19 @@ impl Idaa {
     }
 
     /// Run a routed query on the accelerator: ship the statement, execute,
-    /// and pay for the result set's trip back to DB2.
+    /// and pay for the result set's trip back to DB2 as an encoded wire
+    /// frame. The result handed to the caller is decoded from that frame.
     fn accel_query(&self, session: &mut Session, q: &Query) -> Result<Rows> {
         let txn = self.accel_query_txn(session);
-        self.accel_exchange(
+        let (rows, frame) = self.accel_exchange_inner(
             session,
-            q.to_string().len() + 32,
+            q.to_string().len() + wire::CONTROL_FRAME,
             || self.accel.query(txn, q),
-            Rows::wire_size,
-        )
+            |r: &Rows| ReplyPayload::Frame(wire::encode_frame(&r.schema, &r.rows)),
+        )?;
+        let frame = frame.expect("row replies travel as frames");
+        let decoded = wire::decode_rows(&frame, &rows.schema)?;
+        Ok(Rows::new(rows.schema, decoded))
     }
 
     fn dispatch_insert(
@@ -827,7 +869,7 @@ impl Idaa {
                         let sql = format!("INSERT INTO {target} {src_q}");
                         let n = self.accel_exchange(
                             session,
-                            sql.len() + 32,
+                            sql.len() + wire::CONTROL_FRAME,
                             || {
                                 let result = self.accel.query(txn, src_q)?;
                                 let rows: Vec<Row> = result
@@ -837,7 +879,7 @@ impl Idaa {
                                     .collect::<Result<_>>()?;
                                 self.accel.insert_rows(txn, &target, rows)
                             },
-                            |_| 64,
+                            |_| ReplyPayload::Control(wire::ACK_FRAME),
                         )?;
                         return Ok(ExecOutcome::accel(Payload::Count(n)));
                     }
@@ -867,11 +909,12 @@ impl Idaa {
                 self.host.privileges.read().check(&session.user, &target, Privilege::Insert)?;
                 let txn = self.enlist_accel(session)?;
                 // Rows originate on the host side (VALUES literals or a
-                // host-executed source query): they must cross the link.
-                let bytes: usize = rows.iter().map(row_wire).sum::<usize>() + 64;
-                self.ship(Direction::ToAccel, bytes)?;
-                let n = self.accel.insert_rows(txn, &target, rows)?;
-                self.ship(Direction::ToHost, 64)?;
+                // host-executed source query): they cross the link as
+                // encoded frames and the accelerator inserts what it
+                // decodes.
+                let delivered = self.ship_rows(Direction::ToAccel, &meta.schema, &rows)?;
+                let n = self.accel.insert_rows(txn, &target, delivered)?;
+                self.ship(Direction::ToHost, wire::ACK_FRAME)?;
                 Ok(ExecOutcome::accel(Payload::Count(n)))
             }
         }
@@ -934,7 +977,7 @@ impl Idaa {
         }
         let txn = self.ensure_txn(session);
         if !self.host.txns.accelerator_enlisted(txn) {
-            self.ship(Direction::ToAccel, 32)?; // BEGIN message
+            self.ship(Direction::ToAccel, wire::CONTROL_FRAME)?; // BEGIN message
             self.accel.begin(txn);
             self.host.txns.enlist_accelerator(txn);
         }
@@ -959,8 +1002,21 @@ impl Idaa {
         session: &mut Session,
         request_bytes: usize,
         exec: impl FnOnce() -> Result<T>,
-        reply_bytes: impl Fn(&T) -> usize,
+        reply: impl Fn(&T) -> ReplyPayload,
     ) -> Result<T> {
+        Ok(self.accel_exchange_inner(session, request_bytes, exec, reply)?.0)
+    }
+
+    /// [`Idaa::accel_exchange`], also returning the encoded reply frame
+    /// when the reply was a row frame — the host side decodes its result
+    /// set from that frame, not from the accelerator's in-memory rows.
+    fn accel_exchange_inner<T>(
+        &self,
+        session: &mut Session,
+        request_bytes: usize,
+        exec: impl FnOnce() -> Result<T>,
+        reply: impl Fn(&T) -> ReplyPayload,
+    ) -> Result<(T, Option<Vec<u8>>)> {
         let seq = session.next_seq();
         let mut exec = Some(exec);
         let mut result: Option<T> = None;
@@ -984,10 +1040,21 @@ impl Idaa {
             } else {
                 self.statements_deduped.fetch_add(1, Ordering::Relaxed);
             }
-            let reply = result.as_ref().expect("executed on or before this delivery");
-            if self.link.transfer(Direction::ToHost, reply_bytes(reply)).is_ok() {
+            let outcome = result.as_ref().expect("executed on or before this delivery");
+            // Reply leg: control acknowledgements go as plain messages; row
+            // results are encoded into a wire frame whose checksum the host
+            // side verifies on receipt.
+            let sent = match reply(outcome) {
+                ReplyPayload::Control(bytes) => {
+                    self.link.transfer(Direction::ToHost, bytes).map(|_| None)
+                }
+                ReplyPayload::Frame(frame) => {
+                    self.link.transfer_frame(Direction::ToHost, &frame).map(|_| Some(frame))
+                }
+            };
+            if let Ok(frame) = sent {
                 self.health.record_success();
-                return Ok(result.take().expect("reply delivered"));
+                return Ok((result.take().expect("reply delivered"), frame));
             }
             // Reply lost: redeliver the request (same sequence number) on
             // the next attempt.
@@ -1030,7 +1097,7 @@ impl Idaa {
         }
         // Phase 1: PREPARE request. Undeliverable after retries means the
         // participant never voted — presumed abort everywhere.
-        if let Err(e) = self.ship(Direction::ToAccel, 32) {
+        if let Err(e) = self.ship(Direction::ToAccel, wire::CONTROL_FRAME) {
             self.accel.abort(txn);
             self.host.rollback(txn)?;
             return Err(Error::CommitFailed(format!(
@@ -1063,9 +1130,9 @@ impl Idaa {
         // in-doubt: the participant is prepared but the coordinator cannot
         // see the outcome. The resolver re-runs the status inquiry once;
         // if that fails too, both sides roll back (presumed abort).
-        if self.ship(Direction::ToHost, 32).is_err() {
-            let recovered = self.ship(Direction::ToAccel, 32).is_ok()
-                && self.ship(Direction::ToHost, 32).is_ok();
+        if self.ship(Direction::ToHost, wire::CONTROL_FRAME).is_err() {
+            let recovered = self.ship(Direction::ToAccel, wire::CONTROL_FRAME).is_ok()
+                && self.ship(Direction::ToHost, wire::CONTROL_FRAME).is_ok();
             if !recovered {
                 self.accel.abort(txn);
                 self.host.rollback(txn)?;
@@ -1079,7 +1146,7 @@ impl Idaa {
         }
         // Phase 2: the decision is durable once the coordinator commits.
         self.host.commit(txn);
-        if self.ship(Direction::ToAccel, 32).is_err() {
+        if self.ship(Direction::ToAccel, wire::CONTROL_FRAME).is_err() {
             // The COMMIT decision is queued and redelivered on the next
             // replication round or recovery probe; the accelerator holds
             // the transaction prepared until it arrives.
@@ -1097,7 +1164,7 @@ impl Idaa {
             // Best-effort abort message — the participant presumes abort
             // for unresolved transactions on reconnect, so a lost message
             // cannot leave it committed.
-            let _ = self.ship(Direction::ToAccel, 32);
+            let _ = self.ship(Direction::ToAccel, wire::CONTROL_FRAME);
             self.accel.abort(txn);
         }
         self.host.rollback(txn)?;
@@ -1112,8 +1179,12 @@ fn explain_schema() -> idaa_common::Schema {
     )])
 }
 
-fn row_wire(r: &Row) -> usize {
-    r.iter().map(Value::wire_size).sum::<usize>() + 4
+/// What an accelerator statement exchange sends back to DB2.
+enum ReplyPayload {
+    /// Fixed-size control acknowledgement (counts, DDL acks).
+    Control(usize),
+    /// Encoded row frame — the host decodes its result set from this.
+    Frame(Vec<u8>),
 }
 
 #[cfg(test)]

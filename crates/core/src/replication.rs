@@ -17,10 +17,11 @@
 //! suite in `tests/chaos.rs`).
 
 use idaa_accel::AccelEngine;
-use idaa_common::{ObjectName, Result, Row, Value};
+use idaa_common::{wire, ObjectName, Result, Row};
 use idaa_host::{AccelStatus, ChangeOp, HostEngine, Lsn};
 use idaa_netsim::{Direction, NetLink, RetryPolicy};
 use idaa_sql::ast::{BinaryOp, Expr};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Replication applier state.
@@ -107,16 +108,36 @@ impl Replicator {
         let mut applied = 0;
         for batch in changes.chunks(self.batch_size) {
             let batch_last = batch.last().expect("non-empty batch").lsn;
-            // Wire cost: full row images of every change in the batch.
-            let bytes: usize = batch
-                .iter()
-                .map(|c| match &c.op {
-                    ChangeOp::Insert(r) | ChangeOp::Delete(r) => row_bytes(r),
-                    ChangeOp::Update { old, new } => row_bytes(old) + row_bytes(new),
-                })
-                .sum::<usize>()
-                + 64;
-            if self.retry.transfer(link, Direction::ToAccel, bytes).is_err() {
+            // Full row images of every change in the batch cross the link as
+            // encoded wire frames, one per table in first-occurrence order so
+            // the frame sequence is deterministic for a given change stream.
+            let mut groups: Vec<(ObjectName, Vec<Row>)> = Vec::new();
+            for c in batch {
+                let images: Vec<Row> = match &c.op {
+                    ChangeOp::Insert(r) | ChangeOp::Delete(r) => vec![r.clone()],
+                    ChangeOp::Update { old, new } => vec![old.clone(), new.clone()],
+                };
+                match groups.iter_mut().find(|(t, _)| *t == c.table) {
+                    Some((_, g)) => g.extend(images),
+                    None => groups.push((c.table.clone(), images)),
+                }
+            }
+            // Ship every table's frame; the applier below works on the
+            // *decoded* images, so what lands on the accelerator is exactly
+            // what survived the checksum, not the host's in-memory rows.
+            let mut delivered: Vec<(ObjectName, VecDeque<Row>)> =
+                Vec::with_capacity(groups.len());
+            let mut faulted = false;
+            for (table, images) in &groups {
+                let schema = host.table_meta(table)?.schema;
+                let frame = wire::encode_frame(&schema, images);
+                if self.retry.transfer_frame(link, Direction::ToAccel, &frame).is_err() {
+                    faulted = true;
+                    break;
+                }
+                delivered.push((table.clone(), wire::decode_rows(&frame, &schema)?.into()));
+            }
+            if faulted {
                 self.stalled = true;
                 return Ok(applied);
             }
@@ -135,23 +156,40 @@ impl Replicator {
                 accel.begin(txn);
                 let mut fresh: u64 = 0;
                 for change in batch {
-                    if change.lsn <= self.accel_applied {
-                        continue;
-                    }
+                    // Decoded images are consumed in change order even for
+                    // deduplicated (stale) changes — they occupy frame slots.
+                    let queue = delivered
+                        .iter_mut()
+                        .find(|(t, _)| *t == change.table)
+                        .map(|(_, q)| q)
+                        .expect("every change's table shipped a frame");
+                    let stale = change.lsn <= self.accel_applied;
                     match &change.op {
-                        ChangeOp::Insert(row) => {
-                            accel.insert_rows(txn, &change.table, vec![row.clone()])?;
+                        ChangeOp::Insert(_) => {
+                            let row = queue.pop_front().expect("insert image in frame");
+                            if !stale {
+                                accel.insert_rows(txn, &change.table, vec![row])?;
+                            }
                         }
-                        ChangeOp::Delete(row) => {
-                            delete_exact(accel, txn, &change.table, row)?;
+                        ChangeOp::Delete(_) => {
+                            let row = queue.pop_front().expect("delete image in frame");
+                            if !stale {
+                                delete_exact(accel, txn, &change.table, &row)?;
+                            }
                         }
-                        ChangeOp::Update { old, new } => {
-                            delete_exact(accel, txn, &change.table, old)?;
-                            accel.insert_rows(txn, &change.table, vec![new.clone()])?;
+                        ChangeOp::Update { .. } => {
+                            let old = queue.pop_front().expect("old image in frame");
+                            let new = queue.pop_front().expect("new image in frame");
+                            if !stale {
+                                delete_exact(accel, txn, &change.table, &old)?;
+                                accel.insert_rows(txn, &change.table, vec![new])?;
+                            }
                         }
                     }
-                    applied += 1;
-                    fresh += 1;
+                    if !stale {
+                        applied += 1;
+                        fresh += 1;
+                    }
                 }
                 accel.prepare(txn)?;
                 accel.commit(txn);
@@ -165,7 +203,7 @@ impl Replicator {
             }
             // Acknowledgement back to the host side; only an acknowledged
             // batch may advance the watermark.
-            if self.retry.transfer(link, Direction::ToHost, 64).is_err() {
+            if self.retry.transfer(link, Direction::ToHost, wire::ACK_FRAME).is_err() {
                 self.stalled = true;
                 return Ok(applied);
             }
@@ -177,10 +215,6 @@ impl Replicator {
         host.txns.truncate_log(self.last_applied);
         Ok(applied)
     }
-}
-
-fn row_bytes(r: &Row) -> usize {
-    r.iter().map(Value::wire_size).sum::<usize>() + 4
 }
 
 static NEXT_APPLY_TXN: AtomicU64 = AtomicU64::new(1 << 61);
@@ -230,7 +264,7 @@ fn delete_exact(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use idaa_common::{ColumnDef, DataType, Schema};
+    use idaa_common::{ColumnDef, DataType, Schema, Value};
     use idaa_host::{TableKind, SYSADM};
 
     fn setup() -> (HostEngine, AccelEngine, NetLink) {

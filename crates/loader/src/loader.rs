@@ -13,7 +13,7 @@
 
 use crate::pipeline::{run_pipeline, LoadConfig, LoadReport};
 use crate::source::RecordSource;
-use idaa_common::{Error, ObjectName, Result, Row, Value};
+use idaa_common::{wire, Error, ObjectName, Result, Row};
 use idaa_core::Idaa;
 use idaa_host::TableKind;
 use idaa_netsim::Direction;
@@ -135,18 +135,18 @@ impl Loader {
         let txn = next_direct_txn();
         accel.begin(txn);
         let result = run_pipeline(source, schema, &self.config, |rows: Vec<Row>| {
-            let bytes =
-                rows.iter().map(|r| r.iter().map(Value::wire_size).sum::<usize>() + 4).sum::<usize>()
-                    + 64;
-            idaa.ship(Direction::ToAccel, bytes)?;
-            accel.insert_rows(txn, table, rows)?;
+            // Each pipeline batch crosses the link as encoded wire frames;
+            // the accelerator ingests the decoded rows, so the codec sits on
+            // the real data path rather than being a byte estimate.
+            let delivered = idaa.ship_rows(Direction::ToAccel, schema, &rows)?;
+            accel.insert_rows(txn, table, delivered)?;
             Ok(())
         });
         match result {
             Ok(r) => {
                 accel.prepare(txn)?;
                 accel.commit(txn);
-                idaa.ship(Direction::ToHost, 64)?;
+                idaa.ship(Direction::ToHost, wire::ACK_FRAME)?;
                 Ok(r)
             }
             Err(e) => {
@@ -167,6 +167,7 @@ fn next_direct_txn() -> u64 {
 mod tests {
     use super::*;
     use crate::source::{CsvSource, EventSource, VecSource};
+    use idaa_common::Value;
     use idaa_core::Session;
 
     fn system() -> (Idaa, Session) {

@@ -26,6 +26,7 @@
 //! metrics. Retry backoff ([`RetryPolicy`]) is charged to the same virtual
 //! clock via [`NetLink::advance`], never to wall time.
 
+use idaa_common::wire;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -209,6 +210,15 @@ pub struct LinkMetrics {
     pub bytes_to_host: u64,
     pub messages_to_accel: u64,
     pub messages_to_host: u64,
+    /// Pre-encoding (logical) bytes represented by delivered host →
+    /// accelerator messages. For control messages this equals the wire
+    /// bytes; for encoded row frames ([`NetLink::transfer_frame`]) it is
+    /// the frame's declared logical payload, so `bytes_*` vs.
+    /// `logical_bytes_*` measures the wire codec's compression.
+    pub logical_bytes_to_accel: u64,
+    /// Pre-encoding (logical) bytes represented by delivered accelerator
+    /// → host messages.
+    pub logical_bytes_to_host: u64,
     /// Virtual time spent on the wire by delivered messages.
     pub wire_time: Duration,
     /// Transfer attempts that failed (dropped, corrupted, outage, injected).
@@ -229,6 +239,11 @@ impl LinkMetrics {
         self.messages_to_accel + self.messages_to_host
     }
 
+    /// Total pre-encoding bytes represented by delivered messages.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.logical_bytes_to_accel + self.logical_bytes_to_host
+    }
+
     /// Difference against an earlier snapshot of the same link.
     ///
     /// Saturating: if the link was `reset()` between snapshots the deltas
@@ -239,6 +254,12 @@ impl LinkMetrics {
             bytes_to_host: self.bytes_to_host.saturating_sub(earlier.bytes_to_host),
             messages_to_accel: self.messages_to_accel.saturating_sub(earlier.messages_to_accel),
             messages_to_host: self.messages_to_host.saturating_sub(earlier.messages_to_host),
+            logical_bytes_to_accel: self
+                .logical_bytes_to_accel
+                .saturating_sub(earlier.logical_bytes_to_accel),
+            logical_bytes_to_host: self
+                .logical_bytes_to_host
+                .saturating_sub(earlier.logical_bytes_to_host),
             wire_time: self.wire_time.saturating_sub(earlier.wire_time),
             failures: self.failures.saturating_sub(earlier.failures),
             fault_time: self.fault_time.saturating_sub(earlier.fault_time),
@@ -280,6 +301,8 @@ pub struct NetLink {
     bytes_to_host: AtomicU64,
     messages_to_accel: AtomicU64,
     messages_to_host: AtomicU64,
+    logical_bytes_to_accel: AtomicU64,
+    logical_bytes_to_host: AtomicU64,
     wire_nanos: AtomicU64,
     failures: AtomicU64,
     fault_nanos: AtomicU64,
@@ -303,6 +326,8 @@ impl NetLink {
             bytes_to_host: AtomicU64::new(0),
             messages_to_accel: AtomicU64::new(0),
             messages_to_host: AtomicU64::new(0),
+            logical_bytes_to_accel: AtomicU64::new(0),
+            logical_bytes_to_host: AtomicU64::new(0),
             wire_nanos: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             fault_nanos: AtomicU64::new(0),
@@ -362,13 +387,38 @@ impl NetLink {
         self.fault_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// Attempt one message of `bytes` payload in `direction`.
+    /// Attempt one control message of `bytes` payload in `direction`.
     ///
     /// On delivery, returns the virtual transfer time charged and updates
-    /// the delivered-traffic counters. On a fault, returns the
-    /// [`LinkError`], charges the wasted attempt to `fault_time`, and
-    /// leaves the delivered-traffic counters untouched.
+    /// the delivered-traffic counters (logical bytes equal wire bytes for
+    /// control messages). On a fault, returns the [`LinkError`], charges
+    /// the wasted attempt to `fault_time`, and leaves the
+    /// delivered-traffic counters untouched.
     pub fn transfer(&self, direction: Direction, bytes: usize) -> Result<Duration, LinkError> {
+        self.attempt(direction, bytes, bytes as u64, None)
+    }
+
+    /// Attempt one encoded row frame (see `idaa_common::wire`) in
+    /// `direction`.
+    ///
+    /// The wire counters are charged the *encoded* frame length; the
+    /// logical counters are charged the frame's declared pre-encoding
+    /// payload. A `corrupt` fault damages one frame byte in flight and the
+    /// receiving side's checksum verification rejects it — the error path
+    /// is the checksum actually failing, not a fiat discard — which
+    /// surfaces as [`LinkError::Corrupted`] to the retry machinery.
+    pub fn transfer_frame(&self, direction: Direction, frame: &[u8]) -> Result<Duration, LinkError> {
+        let logical = wire::frame_logical_len(frame).unwrap_or(frame.len() as u64);
+        self.attempt(direction, frame.len(), logical, Some(frame))
+    }
+
+    fn attempt(
+        &self,
+        direction: Direction,
+        bytes: usize,
+        logical_bytes: u64,
+        frame: Option<&[u8]>,
+    ) -> Result<Duration, LinkError> {
         let (bandwidth, latency) = {
             let cfg = self.config.lock();
             (cfg.bandwidth_bytes_per_sec, cfg.latency)
@@ -413,6 +463,15 @@ impl NetLink {
                     // stream — and the metrics — identical on replay.
                     let (d_drop, d_corrupt, d_delay) =
                         (next_unit(&mut st.rng), next_unit(&mut st.rng), next_unit(&mut st.rng));
+                    // A firing corrupt fault on a frame consumes exactly
+                    // one extra draw (the damaged bit position), keeping
+                    // the stream replayable for a given seed and call
+                    // sequence.
+                    let damage = if d_drop >= spec.drop && d_corrupt < spec.corrupt {
+                        frame.map(|_| splitmix64(&mut st.rng))
+                    } else {
+                        None
+                    };
                     drop(st);
                     if d_drop < spec.drop {
                         // A dropped message still occupied the wire.
@@ -420,10 +479,34 @@ impl NetLink {
                         return Err(LinkError::Dropped { direction, bytes });
                     }
                     if d_corrupt < spec.corrupt {
-                        self.record_failure(latency + payload);
-                        return Err(LinkError::Corrupted { direction, bytes });
-                    }
-                    if d_delay < spec.delay {
+                        if let (Some(frame), Some(damage)) = (frame, damage) {
+                            if !frame.is_empty() {
+                                let mut damaged = frame.to_vec();
+                                let idx = (damage as usize) % damaged.len();
+                                damaged[idx] ^= 1 << ((damage >> 32) & 7);
+                                if wire::verify(&damaged) {
+                                    // Damage the checksum cannot see (not
+                                    // reachable for a single bit flip under
+                                    // XXH64): the frame is delivered as-is
+                                    // below rather than pretending the
+                                    // receiver caught it.
+                                    extra = Duration::ZERO;
+                                } else {
+                                    self.record_failure(latency + payload);
+                                    return Err(LinkError::Corrupted { direction, bytes });
+                                }
+                            } else {
+                                self.record_failure(latency + payload);
+                                return Err(LinkError::Corrupted { direction, bytes });
+                            }
+                        } else {
+                            // Control messages carry their own length-fixed
+                            // CRC in the real protocol; model detection as
+                            // certain.
+                            self.record_failure(latency + payload);
+                            return Err(LinkError::Corrupted { direction, bytes });
+                        }
+                    } else if d_delay < spec.delay {
                         extra = spec.delay_extra;
                     }
                 }
@@ -435,10 +518,12 @@ impl NetLink {
             Direction::ToAccel => {
                 self.bytes_to_accel.fetch_add(bytes as u64, Ordering::Relaxed);
                 self.messages_to_accel.fetch_add(1, Ordering::Relaxed);
+                self.logical_bytes_to_accel.fetch_add(logical_bytes, Ordering::Relaxed);
             }
             Direction::ToHost => {
                 self.bytes_to_host.fetch_add(bytes as u64, Ordering::Relaxed);
                 self.messages_to_host.fetch_add(1, Ordering::Relaxed);
+                self.logical_bytes_to_host.fetch_add(logical_bytes, Ordering::Relaxed);
             }
         }
         self.wire_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
@@ -452,6 +537,8 @@ impl NetLink {
             bytes_to_host: self.bytes_to_host.load(Ordering::Relaxed),
             messages_to_accel: self.messages_to_accel.load(Ordering::Relaxed),
             messages_to_host: self.messages_to_host.load(Ordering::Relaxed),
+            logical_bytes_to_accel: self.logical_bytes_to_accel.load(Ordering::Relaxed),
+            logical_bytes_to_host: self.logical_bytes_to_host.load(Ordering::Relaxed),
             wire_time: Duration::from_nanos(self.wire_nanos.load(Ordering::Relaxed)),
             failures: self.failures.load(Ordering::Relaxed),
             fault_time: Duration::from_nanos(self.fault_nanos.load(Ordering::Relaxed)),
@@ -464,6 +551,8 @@ impl NetLink {
         self.bytes_to_host.store(0, Ordering::Relaxed);
         self.messages_to_accel.store(0, Ordering::Relaxed);
         self.messages_to_host.store(0, Ordering::Relaxed);
+        self.logical_bytes_to_accel.store(0, Ordering::Relaxed);
+        self.logical_bytes_to_host.store(0, Ordering::Relaxed);
         self.wire_nanos.store(0, Ordering::Relaxed);
         self.failures.store(0, Ordering::Relaxed);
         self.fault_nanos.store(0, Ordering::Relaxed);
@@ -504,11 +593,32 @@ impl RetryPolicy {
         direction: Direction,
         bytes: usize,
     ) -> Result<Duration, LinkError> {
+        self.run(link, || link.transfer(direction, bytes))
+    }
+
+    /// [`NetLink::transfer_frame`] with the same retry/backoff behavior as
+    /// [`RetryPolicy::transfer`]. Each attempt re-sends the frame, so a
+    /// checksum-rejected ([`LinkError::Corrupted`]) attempt is recovered by
+    /// a clean retransmission.
+    pub fn transfer_frame(
+        &self,
+        link: &NetLink,
+        direction: Direction,
+        frame: &[u8],
+    ) -> Result<Duration, LinkError> {
+        self.run(link, || link.transfer_frame(direction, frame))
+    }
+
+    fn run(
+        &self,
+        link: &NetLink,
+        mut attempt_once: impl FnMut() -> Result<Duration, LinkError>,
+    ) -> Result<Duration, LinkError> {
         let attempts = self.max_attempts.max(1);
         let mut wait = self.backoff;
         let mut attempt = 1;
         loop {
-            match link.transfer(direction, bytes) {
+            match attempt_once() {
                 Ok(cost) => return Ok(cost),
                 Err(e) => {
                     if attempt >= attempts {
@@ -746,6 +856,103 @@ mod tests {
         let err = policy.transfer(&link, Direction::ToHost, 9).unwrap_err();
         assert!(matches!(err, LinkError::Dropped { direction: Direction::ToHost, bytes: 9 }));
         assert_eq!(link.metrics().failures, u64::from(policy.max_attempts));
+    }
+
+    fn sample_frame() -> Vec<u8> {
+        use idaa_common::schema::{ColumnDef, Schema};
+        use idaa_common::value::Value;
+        use idaa_common::DataType;
+        let schema = Schema::new_unchecked(vec![
+            ColumnDef::new("K", DataType::BigInt),
+            ColumnDef::new("V", DataType::Varchar(20)),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::BigInt(i), Value::Varchar(format!("row{}", i % 4))])
+            .collect();
+        wire::encode_frame(&schema, &rows)
+    }
+
+    #[test]
+    fn frame_transfer_charges_wire_and_logical_bytes() {
+        let link = NetLink::default();
+        let frame = sample_frame();
+        let logical = wire::frame_logical_len(&frame).unwrap();
+        assert!(logical > frame.len() as u64, "sample frame must compress");
+        link.transfer_frame(Direction::ToAccel, &frame).unwrap();
+        let m = link.metrics();
+        assert_eq!(m.bytes_to_accel, frame.len() as u64);
+        assert_eq!(m.logical_bytes_to_accel, logical);
+        assert_eq!(m.messages_to_accel, 1);
+        // Control transfers count the same bytes on both ledgers.
+        link.transfer(Direction::ToHost, 32).unwrap();
+        let m = link.metrics();
+        assert_eq!(m.bytes_to_host, 32);
+        assert_eq!(m.logical_bytes_to_host, 32);
+        assert_eq!(m.total_logical_bytes(), logical + 32);
+    }
+
+    #[test]
+    fn corrupt_fault_on_frame_is_caught_by_checksum_and_retried() {
+        let link = NetLink::default();
+        link.set_fault_plan(FaultPlan {
+            seed: 11,
+            to_accel: FaultSpec { corrupt: 1.0, ..FaultSpec::default() },
+            ..FaultPlan::default()
+        });
+        let frame = sample_frame();
+        let err = link.transfer_frame(Direction::ToAccel, &frame).unwrap_err();
+        assert!(matches!(err, LinkError::Corrupted { direction: Direction::ToAccel, .. }));
+        let m = link.metrics();
+        assert_eq!(m.failures, 1);
+        assert_eq!(m.bytes_to_accel, 0, "a rejected frame is not delivered traffic");
+        assert_eq!(m.logical_bytes_to_accel, 0);
+
+        // With an intermittent corruptor, the retry loop converges and only
+        // the delivered attempt lands on the traffic ledgers.
+        link.clear_faults();
+        link.set_fault_plan(FaultPlan {
+            seed: 11,
+            to_accel: FaultSpec { corrupt: 0.5, ..FaultSpec::default() },
+            ..FaultPlan::default()
+        });
+        link.reset();
+        let mut delivered = 0;
+        while delivered < 20 {
+            // A 50% corruptor can exhaust a whole retry budget; keep
+            // resending, as a statement-level caller would.
+            if RetryPolicy::default().transfer_frame(&link, Direction::ToAccel, &frame).is_ok() {
+                delivered += 1;
+            }
+        }
+        let m = link.metrics();
+        assert_eq!(m.messages_to_accel, 20);
+        assert_eq!(m.bytes_to_accel, 20 * frame.len() as u64);
+        assert!(m.failures > 0, "a 50% corruptor must have fired at least once in 20 sends");
+    }
+
+    #[test]
+    fn corrupt_frame_faults_replay_byte_identically() {
+        let run = |seed: u64| {
+            let link = NetLink::default();
+            link.set_fault_plan(FaultPlan {
+                seed,
+                to_accel: FaultSpec { corrupt: 0.3, ..FaultSpec::default() },
+                to_host: FaultSpec { corrupt: 0.3, ..FaultSpec::default() },
+                ..FaultPlan::default()
+            });
+            let frame = sample_frame();
+            let outcomes: Vec<bool> = (0..100)
+                .map(|i| {
+                    let dir = if i % 3 == 0 { Direction::ToHost } else { Direction::ToAccel };
+                    link.transfer_frame(dir, &frame).is_ok()
+                })
+                .collect();
+            (outcomes, link.metrics())
+        };
+        let (o1, m1) = run(9);
+        let (o2, m2) = run(9);
+        assert_eq!(o1, o2);
+        assert_eq!(m1, m2);
     }
 
     #[test]

@@ -553,3 +553,87 @@ proptest! {
         prop_assert_eq!(host_rows, accel_rows);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wire codec: encode -> decode round-trips arbitrary batches losslessly
+// ---------------------------------------------------------------------------
+
+/// Deterministic cell for column type `dt` from the raw 64-bit draw `x`:
+/// NULL one time in five, otherwise a full-range typed value (negative
+/// ints, empty strings, decimals with scale all reachable).
+fn wire_cell(dt: DataType, x: u64) -> Value {
+    if x.is_multiple_of(5) {
+        return Value::Null;
+    }
+    let text = |mut bits: u64| {
+        let len = (bits % 9) as usize;
+        let mut s = String::new();
+        for _ in 0..len {
+            s.push((b'a' + (bits % 26) as u8) as char);
+            bits /= 26;
+        }
+        s
+    };
+    match dt {
+        DataType::Boolean => Value::Boolean(x & 1 == 1),
+        DataType::SmallInt => Value::SmallInt(x as i16),
+        DataType::Integer => Value::Int(x as i32),
+        DataType::BigInt => Value::BigInt(x as i64),
+        DataType::Double => Value::Double((x as i64 >> 11) as f64 * 0.25),
+        DataType::Decimal(_, s) => Value::Decimal(Decimal::new((x as i64 >> 20) as i128, s)),
+        DataType::Varchar(_) | DataType::Char(_) => Value::Varchar(text(x >> 8)),
+        DataType::Date => Value::Date(x as i32 % 1_000_000),
+        DataType::Timestamp => Value::Timestamp(x as i64 >> 4),
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn wire_frames_roundtrip(
+        types in proptest::collection::vec(arb_data_type(), 1..6),
+        n in 0usize..60,
+        seed in any::<u64>(),
+    ) {
+        use idaa::common::{wire, ColumnDef};
+        let schema = idaa::Schema::new(
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, dt)| ColumnDef::new(format!("C{i}"), *dt))
+                .collect(),
+        )
+        .unwrap();
+        let mut st = seed;
+        let rows: Vec<idaa::Row> = (0..n)
+            .map(|_| types.iter().map(|dt| wire_cell(*dt, splitmix(&mut st))).collect())
+            .collect();
+
+        // Chunked framing round-trips the batch losslessly, exact variants
+        // included, and every frame passes its checksum and carries the
+        // batch's logical size split across frames.
+        let frames = wire::encode_frames(&schema, &rows);
+        prop_assert!(!frames.is_empty());
+        let mut decoded = Vec::new();
+        let mut logical = 0u64;
+        for f in &frames {
+            prop_assert!(wire::verify(f));
+            logical += wire::frame_logical_len(f).unwrap();
+            decoded.extend(wire::decode_rows(f, &schema).unwrap());
+        }
+        prop_assert_eq!(&decoded, &rows);
+        prop_assert_eq!(logical, wire::logical_size(&rows) as u64);
+
+        // Encoding is a pure function of (schema, rows).
+        prop_assert_eq!(&frames, &wire::encode_frames(&schema, &rows));
+    }
+}

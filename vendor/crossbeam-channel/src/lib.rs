@@ -1,0 +1,229 @@
+//! Vendored `crossbeam-channel` API subset (see `vendor/README.md`): a
+//! bounded MPMC channel with cloneable senders and receivers, blocking
+//! `send`/`recv`, non-blocking `try_recv`, and a draining `iter()` that
+//! ends when every sender is gone.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Create a bounded channel with room for `cap` queued messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; carries
+/// the unsent message back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// The sending half; cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is queued; fails if all receivers dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < st.cap {
+                st.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.shared.not_full.wait(st).unwrap();
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half; cloneable (every message goes to exactly one
+/// receiver).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives; fails once the channel is empty and
+    /// every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Pop a queued message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        match st.queue.pop_front() {
+            Some(v) => {
+                self.shared.not_full.notify_one();
+                Ok(v)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking iterator that ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Receiver { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator over received messages (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_disconnect() {
+        let (tx, rx) = bounded::<i32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_gone() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn fan_in_fan_out_across_threads() {
+        let (tx, rx) = bounded::<usize>(4);
+        let mut handles = Vec::new();
+        for t in 0..3 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let got: Vec<usize> = rx.iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 300);
+        let sum: usize = got.iter().sum();
+        assert_eq!(sum, (0..300).map(|i| (i / 100) * 100 + i % 100).sum::<usize>());
+    }
+}
