@@ -6,17 +6,20 @@
 //! (enrolled in host transactions), and entry points for queries, AOT DML,
 //! bulk load, and grooming.
 
+use crate::durable::{Checkpoint, DurableStore, LogRecord, SliceImage, TableImage};
 use crate::exec::{execute_plan, scan_filtered, ExecCtx};
 use crate::mvcc::{CommitSeq, Snapshot, TxnId, TxnRegistry, TxnStatus};
 use crate::table::{AccelTable, RowPos};
-use idaa_common::{Error, ObjectName, Result, Row, Rows, Schema};
+use idaa_common::{wire, Error, ObjectName, Result, Row, Rows, Schema};
+use idaa_netsim::{sites, FaultRegistry};
 use idaa_sql::ast::{Expr, Query};
 use idaa_sql::eval::{bind, eval, FlatResolver};
 use idaa_sql::plan::{plan_query, SchemaProvider};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Tunables for the accelerator (ablation experiments flip these).
 #[derive(Debug, Clone)]
@@ -68,6 +71,25 @@ pub struct AccelStats {
     pub versions_groomed: AtomicU64,
 }
 
+/// What one [`AccelEngine::restart`] did: sizes feed the recovery-time
+/// cost model (virtual time charged by the coordinator) and E16's table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestartStats {
+    /// Recovery epoch (incarnation number) after this restart.
+    pub epoch: u64,
+    /// Bytes of the checkpoint image restored (0 if none existed).
+    pub checkpoint_bytes: u64,
+    /// Log records replayed past the checkpoint.
+    pub log_records_replayed: u64,
+    /// Durable bytes of the replayed log tail.
+    pub log_bytes_replayed: u64,
+    /// In-flight (unprepared) transactions aborted by recovery.
+    pub aborted_in_flight: u64,
+    /// Prepared (in-doubt) transactions re-materialized for the
+    /// coordinator's resolution.
+    pub rematerialized_in_doubt: u64,
+}
+
 /// The accelerator.
 pub struct AccelEngine {
     tables: RwLock<HashMap<ObjectName, Arc<AccelTable>>>,
@@ -78,6 +100,17 @@ pub struct AccelEngine {
     /// transaction-level snapshot isolation (Netezza semantics).
     snapshots: RwLock<HashMap<TxnId, CommitSeq>>,
     default_schema: String,
+    /// The in-memory "disk": checkpoints + commit log. Survives `crash`.
+    durable: DurableStore,
+    /// Unified failure-injection registry (shared with the coordinator).
+    faults: RwLock<Arc<FaultRegistry>>,
+    /// True between a crash and the end of the next `restart`.
+    crashed: AtomicBool,
+    /// True while `restart` replays the log (suppresses re-logging).
+    replaying: AtomicBool,
+    /// Recovery epoch: bumped by every completed restart. Exchanges carry
+    /// it so pre-crash sequence state can be fenced off.
+    epoch: AtomicU64,
 }
 
 impl Default for AccelEngine {
@@ -97,11 +130,307 @@ impl AccelEngine {
             stats: AccelStats::default(),
             snapshots: RwLock::new(HashMap::new()),
             default_schema: default_schema.to_string(),
+            durable: DurableStore::default(),
+            faults: RwLock::new(Arc::new(FaultRegistry::default())),
+            crashed: AtomicBool::new(false),
+            replaying: AtomicBool::new(false),
+            epoch: AtomicU64::new(1),
         }
     }
 
     fn resolve(&self, name: &ObjectName) -> ObjectName {
         name.resolve(&self.default_schema)
+    }
+
+    // -- crash / recovery --------------------------------------------------------
+
+    /// Share a failure-injection registry (the coordinator installs its
+    /// own so one `CrashPlan` drives accelerator and protocol sites).
+    pub fn set_fault_registry(&self, registry: Arc<FaultRegistry>) {
+        *self.faults.write() = registry;
+    }
+
+    /// The engine's current failure-injection registry.
+    pub fn fault_registry(&self) -> Arc<FaultRegistry> {
+        self.faults.read().clone()
+    }
+
+    /// The durable store (observability: log length/bytes, checkpoints).
+    pub fn durable(&self) -> &DurableStore {
+        &self.durable
+    }
+
+    /// Has the engine crashed and not yet been restarted?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Recovery epoch (incarnation number): 1 at first boot, +1 per
+    /// completed [`restart`](Self::restart).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Prepared (in-doubt) transactions awaiting the coordinator's 2PC
+    /// decision — the set a restart re-materializes from the log.
+    pub fn in_doubt(&self) -> Vec<TxnId> {
+        self.txns.with_status(TxnStatus::Prepared)
+    }
+
+    /// Statements must not reach a crashed engine; the coordinator maps
+    /// this to SQLCODE -904 (resource unavailable) while recovery runs.
+    fn ensure_up(&self) -> Result<()> {
+        if self.crashed.load(Ordering::Relaxed) && !self.replaying.load(Ordering::Relaxed) {
+            return Err(Error::ResourceUnavailable(
+                "accelerator crashed; restart and log replay required".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Append to the commit log — unless recovery is replaying it.
+    fn log(&self, record: LogRecord) {
+        if !self.replaying.load(Ordering::Relaxed) {
+            self.durable.append(record);
+        }
+    }
+
+    /// Consult the failure registry at a named crash site; a firing site
+    /// crashes the engine (volatile state is lost) and surfaces as -904.
+    pub fn crash_point(&self, site: &str) -> Result<()> {
+        if self.replaying.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if self.faults.read().fire(site) {
+            self.crash();
+            return Err(Error::ResourceUnavailable(format!(
+                "accelerator crashed at fault site {site}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Crash now: all volatile state (tables, snapshots, transaction
+    /// registry) is lost; only the durable store survives. The engine
+    /// refuses work until [`restart`](Self::restart).
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Relaxed);
+        self.tables.write().clear();
+        self.snapshots.write().clear();
+        self.txns.reset();
+    }
+
+    /// Rebuild state as checkpoint + log replay, durably abort in-flight
+    /// (unprepared) transactions, and re-materialize prepared (in-doubt)
+    /// transactions for the coordinator's 2PC resolver. Replaying the same
+    /// durable state again (a second restart) reproduces the same engine
+    /// state byte for byte.
+    pub fn restart(&self) -> Result<RestartStats> {
+        self.replaying.store(true, Ordering::Relaxed);
+        // Whatever volatile state remains is discarded: recovery starts
+        // from the disk image alone.
+        self.tables.write().clear();
+        self.snapshots.write().clear();
+        self.txns.reset();
+
+        let set = self.durable.recovery_set();
+        let mut checkpoint_bytes = 0;
+        if let Some(cp) = &set.checkpoint {
+            checkpoint_bytes = cp.bytes();
+            self.txns.restore(&cp.txn_states, cp.next_seq);
+            let mut tables = self.tables.write();
+            for img in &cp.tables {
+                let t = AccelTable::new(
+                    img.name.clone(),
+                    img.schema.clone(),
+                    img.dist_cols.clone(),
+                    img.slices.len(),
+                );
+                for (si, s) in img.slices.iter().enumerate() {
+                    let rows = wire::decode_rows(&s.frame, &img.schema)?;
+                    t.restore_slice(si, &rows, &s.created, &s.deleted)?;
+                }
+                t.set_rr_cursor(img.rr);
+                tables.insert(img.name.clone(), Arc::new(t));
+            }
+        }
+        let log_records_replayed = set.tail.len() as u64;
+        let mut log_bytes_replayed = 0;
+        for (_, record) in &set.tail {
+            log_bytes_replayed += record.bytes();
+            self.apply_log_record(record)?;
+        }
+        self.crashed.store(false, Ordering::Relaxed);
+        self.replaying.store(false, Ordering::Relaxed);
+        // Unprepared transactions lost their session with the crash:
+        // abort them durably (so a second crash replays the aborts too).
+        let in_flight = self.txns.with_status(TxnStatus::Active);
+        let aborted_in_flight = in_flight.len() as u64;
+        for txn in in_flight {
+            self.abort(txn);
+        }
+        let rematerialized_in_doubt = self.txns.with_status(TxnStatus::Prepared).len() as u64;
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        Ok(RestartStats {
+            epoch,
+            checkpoint_bytes,
+            log_records_replayed,
+            log_bytes_replayed,
+            aborted_in_flight,
+            rematerialized_in_doubt,
+        })
+    }
+
+    fn apply_log_record(&self, record: &LogRecord) -> Result<()> {
+        match record {
+            LogRecord::Begin { txn } => self.txns.begin(*txn),
+            LogRecord::Prepare { txn } => self.txns.prepare(*txn),
+            LogRecord::Commit { txn, seq } => self.txns.commit_at(*txn, *seq),
+            LogRecord::Abort { txn } => self.txns.abort(*txn),
+            LogRecord::Insert { txn, table, frame } => {
+                let t = self.table(table)?;
+                let rows = wire::decode_rows(frame, &t.schema)?;
+                t.insert_bulk(&rows, *txn)?;
+            }
+            LogRecord::Marks { txn, table, positions } => {
+                let t = self.table(table)?;
+                for &(slice, pos) in positions {
+                    t.replay_delete_mark(RowPos { slice, pos }, *txn);
+                }
+            }
+            LogRecord::CreateTable { name, schema, dist_cols, slices } => {
+                self.tables.write().insert(
+                    name.clone(),
+                    Arc::new(AccelTable::new(
+                        name.clone(),
+                        schema.clone(),
+                        dist_cols.clone(),
+                        *slices,
+                    )),
+                );
+            }
+            LogRecord::DropTable { name } => {
+                self.tables.write().remove(name);
+            }
+            LogRecord::Truncate { table } => {
+                self.table(table)?.groom(|_| true, |_| true);
+            }
+            LogRecord::Groom { table } => {
+                // The replayed registry is in the same state the original
+                // was at this point in the log, so the same versions go.
+                let t = self.table(table)?;
+                t.groom(
+                    |c| matches!(self.txns.status(c), TxnStatus::Aborted),
+                    |d| matches!(self.txns.status(d), TxnStatus::Committed(_)),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Take a checkpoint stamped with virtual time `now`: a consistent cut
+    /// of every table heap, the MVCC watermark, and the full status map.
+    /// Atomic: a crash mid-build (the `MID_CHECKPOINT` site) loses nothing
+    /// — the previous checkpoint and the whole log stay intact. Returns
+    /// the installed checkpoint's size in bytes.
+    pub fn checkpoint(&self, now: Duration) -> Result<u64> {
+        self.ensure_up()?;
+        let cp = self.durable.with_consistent_cut(|covers_lsn| -> Result<Checkpoint> {
+            let mut images = Vec::new();
+            for name in self.table_names() {
+                let t = self.table(&name)?;
+                let mut slices = Vec::new();
+                for slice_lock in t.slices() {
+                    let slice = slice_lock.read();
+                    let rows: Vec<Row> =
+                        (0..slice.version_count()).map(|p| slice.row_at(p)).collect();
+                    slices.push(SliceImage {
+                        frame: wire::encode_frame(&t.schema, &rows),
+                        created: slice.created.clone(),
+                        deleted: slice.deleted.clone(),
+                    });
+                }
+                images.push(TableImage {
+                    name: t.name.clone(),
+                    schema: t.schema.clone(),
+                    dist_cols: t.dist_cols.clone(),
+                    rr: t.rr_cursor(),
+                    slices,
+                });
+            }
+            Ok(Checkpoint {
+                taken_at: now,
+                covers_lsn,
+                next_seq: self.txns.high_water(),
+                txn_states: self.txns.all_states(),
+                tables: images,
+            })
+        })?;
+        self.crash_point(sites::MID_CHECKPOINT)?;
+        let bytes = cp.bytes();
+        self.durable.install_checkpoint(cp);
+        Ok(bytes)
+    }
+
+    /// Periodic-checkpoint policy on the virtual clock: checkpoint if at
+    /// least `every` has elapsed since the last one (or since boot) and
+    /// the log is non-empty. Returns whether a checkpoint was taken.
+    pub fn maybe_checkpoint(&self, now: Duration, every: Duration) -> Result<bool> {
+        if self.crashed.load(Ordering::Relaxed) || self.durable.log_len() == 0 {
+            return Ok(false);
+        }
+        let due = match self.durable.last_checkpoint_at() {
+            None => now >= every,
+            Some(last) => now >= last + every,
+        };
+        if !due {
+            return Ok(false);
+        }
+        self.checkpoint(now)?;
+        Ok(true)
+    }
+
+    /// Deterministic fingerprint of all recoverable engine state: table
+    /// heaps (rows via the wire codec, version vectors, round-robin
+    /// cursors) and the transaction registry. Two engines answer queries
+    /// identically if their fingerprints match; the replay-idempotence
+    /// property test asserts byte-identical state across restarts.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        for name in self.table_names() {
+            let t = self.table(&name).expect("listed table exists");
+            buf.extend_from_slice(name.to_string().as_bytes());
+            buf.extend_from_slice(&wire::schema_fingerprint(&t.schema).to_le_bytes());
+            buf.extend_from_slice(&(t.rr_cursor() as u64).to_le_bytes());
+            for d in &t.dist_cols {
+                buf.extend_from_slice(&(*d as u64).to_le_bytes());
+            }
+            for slice_lock in t.slices() {
+                let slice = slice_lock.read();
+                let rows: Vec<Row> = (0..slice.version_count()).map(|p| slice.row_at(p)).collect();
+                let frame = wire::encode_frame(&t.schema, &rows);
+                buf.extend_from_slice(&wire::hash64(&frame).to_le_bytes());
+                for c in &slice.created {
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+                for d in &slice.deleted {
+                    buf.extend_from_slice(&d.to_le_bytes());
+                }
+            }
+        }
+        for (txn, status) in self.txns.all_states() {
+            buf.extend_from_slice(&txn.to_le_bytes());
+            let (tag, seq) = match status {
+                TxnStatus::Active => (0u8, 0),
+                TxnStatus::Prepared => (1, 0),
+                TxnStatus::Committed(s) => (2, s),
+                TxnStatus::Aborted => (3, 0),
+            };
+            buf.push(tag);
+            buf.extend_from_slice(&seq.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.txns.high_water().to_le_bytes());
+        wire::hash64(&buf)
     }
 
     // -- catalog ---------------------------------------------------------------
@@ -114,6 +443,7 @@ impl AccelEngine {
         schema: Schema,
         distribute_by: &[String],
     ) -> Result<()> {
+        self.ensure_up()?;
         let name = self.resolve(name);
         let mut tables = self.tables.write();
         if tables.contains_key(&name) {
@@ -123,6 +453,12 @@ impl AccelEngine {
             .iter()
             .map(|c| schema.index_of(c))
             .collect::<Result<_>>()?;
+        self.log(LogRecord::CreateTable {
+            name: name.clone(),
+            schema: schema.clone(),
+            dist_cols: dist.clone(),
+            slices: self.config.slices,
+        });
         tables.insert(
             name.clone(),
             Arc::new(AccelTable::new(name, schema, dist, self.config.slices)),
@@ -132,11 +468,12 @@ impl AccelEngine {
 
     /// Remove a table.
     pub fn drop_table(&self, name: &ObjectName) -> Result<()> {
+        self.ensure_up()?;
         let name = self.resolve(name);
         self.tables
             .write()
             .remove(&name)
-            .map(|_| ())
+            .map(|_| self.log(LogRecord::DropTable { name: name.clone() }))
             .ok_or_else(|| Error::UndefinedObject(format!("accelerator table {name} not defined")))
     }
 
@@ -164,41 +501,64 @@ impl AccelEngine {
 
     // -- transactions ------------------------------------------------------------
 
-    /// Enroll a host transaction (captures its snapshot).
+    /// Enroll a host transaction (captures its snapshot). A no-op on a
+    /// crashed engine — the coordinator checks readiness before enlisting.
     pub fn begin(&self, txn: TxnId) {
+        if self.is_crashed() {
+            return;
+        }
         self.txns.begin(txn);
         self.snapshots.write().insert(txn, self.txns.high_water());
+        self.log(LogRecord::Begin { txn });
     }
 
     /// 2PC phase 1. A transaction that never enrolled votes YES trivially.
+    /// The PREPARE is durably logged *before* the post-prepare crash site,
+    /// so a crash in the in-doubt window re-materializes the transaction
+    /// as `Prepared` on restart.
     pub fn prepare(&self, txn: TxnId) -> Result<()> {
+        self.ensure_up()?;
         match self.txns.status(txn) {
             TxnStatus::Active | TxnStatus::Prepared => {
                 self.txns.prepare(txn);
-                Ok(())
             }
             TxnStatus::Aborted => {
                 // Unknown ids land here too: treat as a trivially-prepared
                 // read-only participant.
                 self.txns.prepare(txn);
-                Ok(())
             }
-            TxnStatus::Committed(_) => Err(Error::TransactionState(format!(
-                "transaction {txn} already committed on the accelerator"
-            ))),
+            TxnStatus::Committed(_) => {
+                return Err(Error::TransactionState(format!(
+                    "transaction {txn} already committed on the accelerator"
+                )))
+            }
         }
+        self.log(LogRecord::Prepare { txn });
+        self.crash_point(sites::POST_PREPARE)?;
+        Ok(())
     }
 
-    /// 2PC phase 2: commit.
+    /// 2PC phase 2: commit. Idempotent (a redelivered COMMIT returns the
+    /// original sequence); a no-op returning 0 on a crashed engine.
     pub fn commit(&self, txn: TxnId) -> CommitSeq {
+        if self.is_crashed() {
+            return 0;
+        }
         self.snapshots.write().remove(&txn);
-        self.txns.commit(txn)
+        let seq = self.txns.commit(txn);
+        self.log(LogRecord::Commit { txn, seq });
+        seq
     }
 
-    /// Abort / rollback.
+    /// Abort / rollback. A no-op on a crashed engine (restart aborts
+    /// in-flight transactions durably on its own).
     pub fn abort(&self, txn: TxnId) {
+        if self.is_crashed() {
+            return;
+        }
         self.snapshots.write().remove(&txn);
         self.txns.abort(txn);
+        self.log(LogRecord::Abort { txn });
     }
 
     /// Snapshot for a statement of `txn`: the transaction-level snapshot if
@@ -214,6 +574,7 @@ impl AccelEngine {
 
     /// Execute a `SELECT` under `txn`'s snapshot.
     pub fn query(&self, txn: TxnId, query: &Query) -> Result<Rows> {
+        self.ensure_up()?;
         let plan = plan_query(query, self)?;
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let ctx = ExecCtx { engine: self, snap: self.snapshot_for(txn) };
@@ -224,12 +585,20 @@ impl AccelEngine {
 
     /// Insert pre-validated rows into a table as `txn`.
     pub fn insert_rows(&self, txn: TxnId, table: &ObjectName, rows: Vec<Row>) -> Result<usize> {
+        self.ensure_up()?;
         let t = self.table(table)?;
         let mut checked = Vec::with_capacity(rows.len());
         for r in rows {
             checked.push(t.schema.check_row(&r)?);
         }
         let n = t.insert_bulk(&checked, txn)?;
+        if !checked.is_empty() {
+            self.log(LogRecord::Insert {
+                txn,
+                table: t.name.clone(),
+                frame: wire::encode_frame(&t.schema, &checked),
+            });
+        }
         self.stats.rows_inserted.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
@@ -249,9 +618,11 @@ impl AccelEngine {
         table: &ObjectName,
         filter: Option<&Expr>,
     ) -> Result<usize> {
+        self.ensure_up()?;
         let t = self.table(table)?;
         let victims = self.matching_positions(&t, txn, filter)?;
         self.mark_all(&t, &victims, txn)?;
+        self.log_marks(txn, &t, &victims);
         self.stats.rows_deleted.fetch_add(victims.len() as u64, Ordering::Relaxed);
         Ok(victims.len())
     }
@@ -265,6 +636,7 @@ impl AccelEngine {
         assignments: &[(String, Expr)],
         filter: Option<&Expr>,
     ) -> Result<usize> {
+        self.ensure_up()?;
         let t = self.table(table)?;
         let resolver = FlatResolver::from_schema(Some(&t.name.name), &t.schema);
         let bound: Vec<(usize, idaa_sql::eval::BoundExpr)> = assignments
@@ -284,9 +656,29 @@ impl AccelEngine {
         }
         self.mark_all(&t, &victims, txn)?;
         t.insert_bulk(&replacements, txn)?;
+        self.log_marks(txn, &t, &victims);
+        if !replacements.is_empty() {
+            self.log(LogRecord::Insert {
+                txn,
+                table: t.name.clone(),
+                frame: wire::encode_frame(&t.schema, &replacements),
+            });
+        }
         self.stats.rows_inserted.fetch_add(replacements.len() as u64, Ordering::Relaxed);
         self.stats.rows_deleted.fetch_add(victims.len() as u64, Ordering::Relaxed);
         Ok(victims.len())
+    }
+
+    /// Durably log one statement's successfully-placed delete-marks.
+    fn log_marks(&self, txn: TxnId, t: &AccelTable, victims: &[(RowPos, Row)]) {
+        if victims.is_empty() {
+            return;
+        }
+        self.log(LogRecord::Marks {
+            txn,
+            table: t.name.clone(),
+            positions: victims.iter().map(|(p, _)| (p.slice, p.pos)).collect(),
+        });
     }
 
     /// Visible positions (and their rows) matching `filter` for `txn`.
@@ -347,26 +739,35 @@ impl AccelEngine {
     /// rows become visible via a dedicated single-use transaction that
     /// commits immediately.
     pub fn load_committed(&self, table: &ObjectName, rows: Vec<Row>) -> Result<usize> {
+        self.ensure_up()?;
         // Internal load transactions use ids above 2^62 to stay clear of
         // host transaction ids.
         static NEXT_LOAD_TXN: AtomicU64 = AtomicU64::new(1 << 62);
         let txn = NEXT_LOAD_TXN.fetch_add(1, Ordering::Relaxed);
         self.txns.begin(txn);
+        self.log(LogRecord::Begin { txn });
         let n = self.insert_rows(txn, table, rows)?;
-        self.txns.commit(txn);
+        // A crash here leaves the load transaction unprepared in the log;
+        // restart aborts it, so a half-loaded batch is never visible.
+        self.crash_point(sites::MID_BULK_LOAD)?;
+        let seq = self.txns.commit(txn);
+        self.log(LogRecord::Commit { txn, seq });
         Ok(n)
     }
 
     /// Remove all rows of `table` (used before a full reload).
     pub fn truncate(&self, table: &ObjectName) -> Result<()> {
+        self.ensure_up()?;
         let t = self.table(table)?;
         t.groom(|_| true, |_| true);
+        self.log(LogRecord::Truncate { table: t.name.clone() });
         Ok(())
     }
 
     /// Scan all rows visible to a fresh snapshot (diagnostics, tests,
     /// baseline "extract" paths).
     pub fn scan_visible(&self, table: &ObjectName) -> Result<Vec<Row>> {
+        self.ensure_up()?;
         let t = self.table(table)?;
         let ctx = ExecCtx { engine: self, snap: self.txns.snapshot(0) };
         scan_filtered(&t, None, &ctx)
@@ -375,11 +776,15 @@ impl AccelEngine {
     /// Groom one table: drop versions from aborted creators and versions
     /// whose deleter committed. Returns versions reclaimed.
     pub fn groom(&self, table: &ObjectName) -> Result<usize> {
+        self.ensure_up()?;
         let t = self.table(table)?;
         let n = t.groom(
             |c| matches!(self.txns.status(c), TxnStatus::Aborted),
             |d| matches!(self.txns.status(d), TxnStatus::Committed(_)),
         );
+        if n > 0 {
+            self.log(LogRecord::Groom { table: t.name.clone() });
+        }
         self.stats.versions_groomed.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
@@ -642,6 +1047,185 @@ mod tests {
         assert!(e.drop_table(&ObjectName::bare("NOPE")).is_err());
         e.drop_table(&ObjectName::bare("T")).unwrap();
         assert!(!e.has_table(&ObjectName::bare("T")));
+    }
+
+    fn count(e: &AccelEngine, txn: TxnId) -> i64 {
+        let Value::BigInt(n) = *q(e, txn, "SELECT COUNT(*) FROM t").unwrap().scalar().unwrap()
+        else {
+            panic!()
+        };
+        n
+    }
+
+    #[test]
+    fn crash_without_restart_refuses_statements_with_904() {
+        let e = engine();
+        e.load_committed(&ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        e.crash();
+        assert!(e.is_crashed());
+        let err = q(&e, 0, "SELECT COUNT(*) FROM t").unwrap_err();
+        assert_eq!(err.sqlcode(), -904);
+        let err = e.insert_rows(0, &ObjectName::bare("T"), vec![row(2, "B", 2.0)]).unwrap_err();
+        assert_eq!(err.sqlcode(), -904);
+        assert_eq!(e.prepare(1).unwrap_err().sqlcode(), -904);
+    }
+
+    #[test]
+    fn restart_replays_log_from_empty_checkpoint() {
+        let e = engine();
+        e.load_committed(
+            &ObjectName::bare("T"),
+            (0..100).map(|i| row(i, "A", i as f64)).collect(),
+        )
+        .unwrap();
+        e.begin(5);
+        e.delete_where(5, &ObjectName::bare("T"), Some(&Expr::col("ID").eq(Expr::int(7)))).unwrap();
+        e.prepare(5).unwrap();
+        e.commit(5);
+        let fp_before = e.state_fingerprint();
+        e.crash();
+        let stats = e.restart().unwrap();
+        assert_eq!(stats.checkpoint_bytes, 0, "no checkpoint was ever taken");
+        assert!(stats.log_records_replayed > 0);
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(e.state_fingerprint(), fp_before, "replay rebuilt identical state");
+        assert_eq!(count(&e, 0), 99);
+    }
+
+    #[test]
+    fn restart_from_checkpoint_plus_tail_and_is_idempotent() {
+        let e = engine();
+        e.load_committed(
+            &ObjectName::bare("T"),
+            (0..50).map(|i| row(i, "A", i as f64)).collect(),
+        )
+        .unwrap();
+        e.checkpoint(Duration::from_millis(1)).unwrap();
+        assert_eq!(e.durable().log_len(), 0, "checkpoint truncated the covered log");
+        // Post-checkpoint tail: an update and a second load.
+        e.begin(9);
+        e.update_where(9, &ObjectName::bare("T"), &[("VAL".into(), Expr::int(-1))], Some(&Expr::col("ID").eq(Expr::int(3))))
+            .unwrap();
+        e.prepare(9).unwrap();
+        e.commit(9);
+        e.load_committed(&ObjectName::bare("T"), vec![row(1000, "Z", 0.0)]).unwrap();
+        let fp_before = e.state_fingerprint();
+        e.crash();
+        let stats = e.restart().unwrap();
+        assert!(stats.checkpoint_bytes > 0);
+        assert!(stats.log_records_replayed > 0);
+        assert_eq!(e.state_fingerprint(), fp_before);
+        // Replaying the same durable state again (second crash–restart)
+        // reproduces the state byte for byte.
+        e.crash();
+        e.restart().unwrap();
+        assert_eq!(e.state_fingerprint(), fp_before);
+        assert_eq!(count(&e, 0), 51);
+    }
+
+    #[test]
+    fn restart_aborts_in_flight_and_rematerializes_prepared() {
+        let e = engine();
+        e.load_committed(&ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        // Txn 10: prepared (in-doubt) at crash time.
+        e.begin(10);
+        e.insert_rows(10, &ObjectName::bare("T"), vec![row(2, "B", 2.0)]).unwrap();
+        e.prepare(10).unwrap();
+        // Txn 11: active (unprepared) at crash time.
+        e.begin(11);
+        e.insert_rows(11, &ObjectName::bare("T"), vec![row(3, "C", 3.0)]).unwrap();
+        e.crash();
+        let stats = e.restart().unwrap();
+        assert_eq!(stats.aborted_in_flight, 1);
+        assert_eq!(stats.rematerialized_in_doubt, 1);
+        assert_eq!(e.txns.status(10), TxnStatus::Prepared, "in-doubt survives the crash");
+        assert_eq!(e.txns.status(11), TxnStatus::Aborted, "unprepared is rolled back");
+        // The coordinator resolves the in-doubt transaction: commit it.
+        let seq = e.commit(10);
+        assert!(seq > 0);
+        assert_eq!(count(&e, 0), 2, "committed in-doubt insert visible, aborted one not");
+        // A second restart replays the resolution too.
+        e.crash();
+        e.restart().unwrap();
+        assert_eq!(count(&e, 0), 2);
+    }
+
+    #[test]
+    fn crash_point_mid_bulk_load_loses_no_committed_data() {
+        use idaa_netsim::{sites, CrashPlan};
+        let e = engine();
+        e.load_committed(&ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        e.fault_registry().set_plan(CrashPlan::at(sites::MID_BULK_LOAD, 1));
+        let err = e
+            .load_committed(
+                &ObjectName::bare("T"),
+                (10..20).map(|i| row(i, "B", 0.0)).collect(),
+            )
+            .unwrap_err();
+        assert_eq!(err.sqlcode(), -904);
+        assert!(e.is_crashed());
+        e.restart().unwrap();
+        assert_eq!(count(&e, 0), 1, "half-loaded batch rolled back, old data intact");
+        // The interrupted load can simply be retried.
+        e.load_committed(&ObjectName::bare("T"), (10..20).map(|i| row(i, "B", 0.0)).collect())
+            .unwrap();
+        assert_eq!(count(&e, 0), 11);
+    }
+
+    #[test]
+    fn crash_point_mid_checkpoint_keeps_previous_checkpoint() {
+        use idaa_netsim::{sites, CrashPlan};
+        let e = engine();
+        e.load_committed(&ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        e.checkpoint(Duration::from_millis(1)).unwrap();
+        e.load_committed(&ObjectName::bare("T"), vec![row(2, "B", 2.0)]).unwrap();
+        let fp_before = e.state_fingerprint();
+        e.fault_registry().set_plan(CrashPlan::at(sites::MID_CHECKPOINT, 1));
+        assert_eq!(e.checkpoint(Duration::from_millis(2)).unwrap_err().sqlcode(), -904);
+        let stats = e.restart().unwrap();
+        assert!(stats.checkpoint_bytes > 0, "previous checkpoint survived");
+        assert!(stats.log_records_replayed > 0, "tail past it survived too");
+        assert_eq!(e.state_fingerprint(), fp_before);
+        assert_eq!(count(&e, 0), 2);
+    }
+
+    #[test]
+    fn maybe_checkpoint_follows_virtual_clock_interval() {
+        let e = engine();
+        e.load_committed(&ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        let every = Duration::from_millis(10);
+        assert!(!e.maybe_checkpoint(Duration::from_millis(5), every).unwrap());
+        assert!(e.maybe_checkpoint(Duration::from_millis(10), every).unwrap());
+        // Nothing new in the log: no checkpoint even past the interval.
+        assert!(!e.maybe_checkpoint(Duration::from_millis(25), every).unwrap());
+        e.load_committed(&ObjectName::bare("T"), vec![row(2, "B", 2.0)]).unwrap();
+        assert!(!e.maybe_checkpoint(Duration::from_millis(15), every).unwrap(), "too soon");
+        assert!(e.maybe_checkpoint(Duration::from_millis(20), every).unwrap());
+    }
+
+    #[test]
+    fn groom_before_crash_replays_identically() {
+        let e = engine();
+        e.load_committed(
+            &ObjectName::bare("T"),
+            (0..20).map(|i| row(i, "A", i as f64)).collect(),
+        )
+        .unwrap();
+        e.begin(1);
+        let id_lt_5 = Expr::Binary {
+            left: Box::new(Expr::col("ID")),
+            op: idaa_sql::ast::BinaryOp::Lt,
+            right: Box::new(Expr::int(5)),
+        };
+        e.delete_where(1, &ObjectName::bare("T"), Some(&id_lt_5)).unwrap();
+        e.prepare(1).unwrap();
+        e.commit(1);
+        assert_eq!(e.groom_all(), 5);
+        let fp = e.state_fingerprint();
+        e.crash();
+        e.restart().unwrap();
+        assert_eq!(e.state_fingerprint(), fp, "groom replays against the same txn states");
+        assert_eq!(count(&e, 0), 15);
     }
 
     #[test]

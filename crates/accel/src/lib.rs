@@ -11,11 +11,13 @@
 //! statements over the metered link after DB2-side governance checks.
 
 pub mod column;
+pub mod durable;
 pub mod engine;
 pub mod exec;
 pub mod mvcc;
 pub mod table;
 
-pub use engine::{AccelConfig, AccelEngine, AccelStats};
+pub use durable::{Checkpoint, DurableStore, LogRecord, Lsn, RecoverySet};
+pub use engine::{AccelConfig, AccelEngine, AccelStats, RestartStats};
 pub use mvcc::{CommitSeq, Snapshot, TxnRegistry, TxnStatus};
 pub use table::{AccelTable, RowPos, BLOCK_ROWS};

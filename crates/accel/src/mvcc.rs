@@ -63,11 +63,29 @@ impl TxnRegistry {
     }
 
     /// Commit, assigning the next commit sequence. Returns the sequence.
+    ///
+    /// Idempotent: committing an already-committed transaction returns its
+    /// existing sequence without advancing the watermark — a redelivered
+    /// phase-2 COMMIT (normal after coordinator retries or a crash–restart
+    /// of the accelerator) must never re-order history.
     pub fn commit(&self, txn: TxnId) -> CommitSeq {
         let mut seq = self.next_seq.write();
+        let mut states = self.states.write();
+        if let Some(TxnStatus::Committed(existing)) = states.get(&txn) {
+            return *existing;
+        }
         *seq += 1;
-        self.states.write().insert(txn, TxnStatus::Committed(*seq));
+        states.insert(txn, TxnStatus::Committed(*seq));
         *seq
+    }
+
+    /// Recovery replay: mark `txn` committed with the *original* sequence
+    /// from its log record, advancing the watermark as needed. Restoring
+    /// exact sequences reproduces snapshot visibility bit-for-bit.
+    pub fn commit_at(&self, txn: TxnId, at: CommitSeq) {
+        let mut seq = self.next_seq.write();
+        *seq = (*seq).max(at);
+        self.states.write().insert(txn, TxnStatus::Committed(at));
     }
 
     /// Abort.
@@ -94,6 +112,43 @@ impl TxnRegistry {
     /// to decide which versions are reclaimable.
     pub fn is_finished(&self, txn: TxnId) -> bool {
         matches!(self.status(txn), TxnStatus::Committed(_) | TxnStatus::Aborted)
+    }
+
+    /// Transactions currently in the given status, sorted by id. Recovery
+    /// uses this to enumerate in-doubt (`Prepared`) and in-flight
+    /// (`Active`) transactions after log replay.
+    pub fn with_status(&self, wanted: TxnStatus) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self
+            .states
+            .read()
+            .iter()
+            .filter(|(_, s)| **s == wanted)
+            .map(|(t, _)| *t)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Full status map sorted by transaction id (checkpointing and state
+    /// fingerprints need a canonical order).
+    pub fn all_states(&self) -> Vec<(TxnId, TxnStatus)> {
+        let mut v: Vec<(TxnId, TxnStatus)> = self.states.read().iter().map(|(t, s)| (*t, *s)).collect();
+        v.sort_unstable_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// Drop all volatile state (a crash lost it).
+    pub fn reset(&self) {
+        self.states.write().clear();
+        *self.next_seq.write() = 0;
+    }
+
+    /// Restore a checkpointed status map and commit watermark.
+    pub fn restore(&self, states: &[(TxnId, TxnStatus)], next_seq: CommitSeq) {
+        let mut map = self.states.write();
+        map.clear();
+        map.extend(states.iter().copied());
+        *self.next_seq.write() = next_seq;
     }
 
     /// Visibility of a creation event to `snap`.
@@ -199,6 +254,43 @@ mod tests {
         let reg = TxnRegistry::default();
         let snap = reg.snapshot(1);
         assert!(!reg.version_visible(999, 0, &snap));
+    }
+
+    #[test]
+    fn commit_is_idempotent_and_replay_restores_sequences() {
+        let reg = TxnRegistry::default();
+        reg.begin(1);
+        let s1 = reg.commit(1);
+        assert_eq!(reg.commit(1), s1, "re-commit returns the original sequence");
+        assert_eq!(reg.high_water(), s1, "watermark did not advance twice");
+        // Replay restores exact sequences and the watermark follows.
+        let reg2 = TxnRegistry::default();
+        reg2.commit_at(9, 4);
+        reg2.commit_at(3, 2);
+        assert_eq!(reg2.high_water(), 4);
+        assert_eq!(reg2.status(9), TxnStatus::Committed(4));
+        assert_eq!(reg2.status(3), TxnStatus::Committed(2));
+        // Restore from a checkpointed map.
+        let reg3 = TxnRegistry::default();
+        reg3.restore(&reg2.all_states(), reg2.high_water());
+        assert_eq!(reg3.all_states(), reg2.all_states());
+        assert_eq!(reg3.high_water(), 4);
+        reg3.reset();
+        assert_eq!(reg3.high_water(), 0);
+        assert!(reg3.all_states().is_empty());
+    }
+
+    #[test]
+    fn with_status_enumerates_sorted() {
+        let reg = TxnRegistry::default();
+        reg.begin(5);
+        reg.begin(2);
+        reg.begin(8);
+        reg.prepare(8);
+        reg.abort(5);
+        assert_eq!(reg.with_status(TxnStatus::Active), vec![2]);
+        assert_eq!(reg.with_status(TxnStatus::Prepared), vec![8]);
+        assert_eq!(reg.with_status(TxnStatus::Aborted), vec![5]);
     }
 
     #[test]

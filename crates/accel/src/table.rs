@@ -134,6 +134,44 @@ impl AccelTable {
         &self.slices
     }
 
+    /// Round-robin insert cursor (checkpointed so crash-recovery replay
+    /// routes re-applied inserts to the same slices as the original run).
+    pub fn rr_cursor(&self) -> usize {
+        self.rr.load(Ordering::Relaxed)
+    }
+
+    /// Restore the round-robin cursor from a checkpoint image.
+    pub fn set_rr_cursor(&self, v: usize) {
+        self.rr.store(v, Ordering::Relaxed);
+    }
+
+    /// Rebuild slice `si` verbatim from a checkpoint image: rows with
+    /// their original creator/deleter transaction ids, in position order.
+    /// Zone maps are rebuilt as a side effect of re-appending.
+    pub fn restore_slice(
+        &self,
+        si: usize,
+        rows: &[Row],
+        created: &[TxnId],
+        deleted: &[TxnId],
+    ) -> Result<()> {
+        let mut slice = self.slices[si].write();
+        let mut fresh = Slice::new(&self.schema);
+        for (pos, row) in rows.iter().enumerate() {
+            fresh.append(row, created[pos])?;
+            fresh.deleted[pos] = deleted[pos];
+        }
+        *slice = fresh;
+        Ok(())
+    }
+
+    /// Recovery replay of a logged delete-mark: applied verbatim, with no
+    /// conflict check — the original statement already won its conflicts
+    /// before the mark was logged.
+    pub fn replay_delete_mark(&self, at: RowPos, txn: TxnId) {
+        self.slices[at.slice].write().deleted[at.pos] = txn;
+    }
+
     /// Total stored versions across slices (live + dead).
     pub fn version_count(&self) -> usize {
         self.slices.iter().map(|s| s.read().version_count()).sum()

@@ -11,14 +11,15 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: exp <e1..e14|all> [more ids...]");
-        eprintln!("  E1  OLAP offload crossover        E8  in-DB scoring vs client");
-        eprintln!("  E2  OLTP point access             E9  replication batch ablation");
-        eprintln!("  E3  pipeline stages (headline)    E10 accelerator ablation");
-        eprintln!("  E4  INSERT..SELECT targets        E11 governance overhead");
-        eprintln!("  E5  loader paths                  E12 end-to-end churn scenario");
-        eprintln!("  E6  txn correctness probes        E13 parallel join/sort scaling");
-        eprintln!("  E7  in-DB analytics vs client     E14 outage failover + recovery");
+        eprintln!("usage: exp <e1..e16|all> [more ids...]");
+        eprintln!("  E1  OLAP offload crossover        E9  replication batch ablation");
+        eprintln!("  E2  OLTP point access             E10 accelerator ablation");
+        eprintln!("  E3  pipeline stages (headline)    E11 governance overhead");
+        eprintln!("  E4  INSERT..SELECT targets        E12 end-to-end churn scenario");
+        eprintln!("  E5  loader paths                  E13 parallel join/sort scaling");
+        eprintln!("  E6  txn correctness probes        E14 outage failover + recovery");
+        eprintln!("  E7  in-DB analytics vs client     E15 wire codec compression");
+        eprintln!("  E8  in-DB scoring vs client       E16 crash-restart recovery");
         std::process::exit(2);
     }
     for id in &args {

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E15 (see DESIGN.md for the index and
+//! The experiment suite E1–E16 (see DESIGN.md for the index and
 //! EXPERIMENTS.md for recorded results). Each function regenerates one
 //! table of the evaluation.
 
@@ -11,7 +11,7 @@ use idaa_loader::{EventSource, LoadTarget, Loader};
 use idaa_sql::Privilege;
 use std::time::Instant;
 
-/// Run one experiment by id (`e1`…`e15`) or `all`.
+/// Run one experiment by id (`e1`…`e16`) or `all`.
 pub fn run(id: &str) -> bool {
     match id.to_ascii_lowercase().as_str() {
         "e1" => e1_offload_crossover(),
@@ -29,6 +29,7 @@ pub fn run(id: &str) -> bool {
         "e13" => e13_parallel_operators(),
         "e14" => e14_outage_recovery(),
         "e15" => e15_wire_codec(),
+        "e16" => e16_crash_recovery(),
         "all" => {
             for e in [
                 e1_offload_crossover,
@@ -46,6 +47,7 @@ pub fn run(id: &str) -> bool {
                 e13_parallel_operators,
                 e14_outage_recovery,
                 e15_wire_codec,
+                e16_crash_recovery,
             ] {
                 e();
                 println!();
@@ -325,7 +327,7 @@ pub fn e6_transaction_correctness() {
     idaa.execute(&mut s, "BEGIN").unwrap();
     idaa.execute(&mut s, "INSERT INTO H VALUES (1)").unwrap();
     idaa.execute(&mut s, "INSERT INTO T VALUES (9)").unwrap();
-    idaa.faults.fail_next_prepare.store(true, std::sync::atomic::Ordering::Relaxed);
+    idaa.faults.registry.arm(idaa_netsim::sites::PREPARE_VOTE_NO, 1);
     let failed = idaa.execute(&mut s, "COMMIT").is_err();
     s.explicit_txn = false;
     let h = idaa.query(&mut s, "SELECT COUNT(*) FROM h").unwrap();
@@ -1110,4 +1112,84 @@ pub fn e15_wire_codec() {
         ]);
     }
     table.print();
+}
+
+/// E16 — crash–restart recovery: checkpoint cadence vs restart cost. The
+/// same AOT workload runs under different checkpoint intervals, then the
+/// accelerator crashes with one transaction still in flight and an
+/// operator probe restarts it. Frequent checkpoints shrink the log tail a
+/// restart replays (and the virtual recovery time) at the price of more
+/// checkpoint bytes written; recovery consumes virtual time only, so every
+/// column except `wall_ms` is byte-stable per run.
+pub fn e16_crash_recovery() {
+    banner("E16", "crash recovery: checkpoint interval vs replay cost");
+    let mut table = Table::new(&[
+        "ckpt_every", "ckpts", "ckpt_bytes", "tail_records", "tail_bytes",
+        "recovery_virt_us", "aborted", "in_doubt", "wall_ms",
+    ]);
+    use std::time::Duration;
+    for every_us in [500u64, 2_000, 10_000, 0] {
+        let (label, every) = if every_us == 0 {
+            ("off".to_string(), Duration::from_secs(3600))
+        } else {
+            (format!("{every_us}us"), Duration::from_micros(every_us))
+        };
+        let (idaa, mut s) =
+            system(IdaaConfig { checkpoint_every: every, ..IdaaConfig::default() });
+        idaa.execute(&mut s, "CREATE TABLE EVENTS (ID INT, V INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+
+        let t0 = Instant::now();
+        let mut ckpts = 0u64;
+        let mut last_cp = idaa.accel().durable().last_checkpoint_at();
+        for i in 0..400 {
+            idaa.execute(&mut s, &format!("INSERT INTO EVENTS VALUES ({i}, 0)")).unwrap();
+            if i % 10 == 9 {
+                idaa.execute(&mut s, &format!("UPDATE EVENTS SET V = V + 1 WHERE ID <= {i}"))
+                    .unwrap();
+            }
+            // A steady virtual-clock tick makes the checkpoint cadence the
+            // interval's, not the wire time's.
+            idaa.link().advance(Duration::from_micros(50));
+            let cp = idaa.accel().durable().last_checkpoint_at();
+            if cp != last_cp {
+                ckpts += 1;
+                last_cp = cp;
+            }
+        }
+        // Crash with one transaction still unprepared: recovery must abort
+        // it durably.
+        idaa.execute(&mut s, "BEGIN").unwrap();
+        idaa.execute(&mut s, "INSERT INTO EVENTS VALUES (9999, 9)").unwrap();
+        idaa.accel().crash();
+        let before = idaa.link().now();
+        assert!(idaa.recover(), "recovery probe must succeed on a healthy link");
+        let recovery_virt = idaa.link().now() - before;
+        idaa.execute(&mut s, "ROLLBACK").unwrap();
+        let wall = t0.elapsed();
+
+        let stats = idaa.last_restart().expect("the crash forced a restart");
+        let n = idaa.query(&mut s, "SELECT COUNT(*) FROM events").unwrap();
+        assert_eq!(
+            n.scalar().unwrap(),
+            &idaa_common::Value::BigInt(400),
+            "replay must rebuild exactly the committed rows"
+        );
+        table.row(&[
+            label,
+            ckpts.to_string(),
+            fmt_bytes(stats.checkpoint_bytes),
+            stats.log_records_replayed.to_string(),
+            fmt_bytes(stats.log_bytes_replayed),
+            recovery_virt.as_micros().to_string(),
+            stats.aborted_in_flight.to_string(),
+            stats.rematerialized_in_doubt.to_string(),
+            ms(wall),
+        ]);
+    }
+    table.print();
+    println!(
+        "note: recovery time = fixed restart latency + (checkpoint + log tail) bytes \
+         at the configured replay bandwidth, all on the virtual clock."
+    );
 }

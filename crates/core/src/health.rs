@@ -128,6 +128,18 @@ impl HealthMonitor {
         i.state
     }
 
+    /// Declare the accelerator `Offline` immediately, bypassing the
+    /// failure-streak decay — the coordinator calls this when it *knows*
+    /// the accelerator crashed (a crash point fired), rather than
+    /// inferring unreachability from lost messages. Streaks reset so the
+    /// usual probe → consecutive-successes path drives recovery.
+    pub fn force_offline(&self) {
+        let mut i = self.inner.lock();
+        i.state = HealthState::Offline;
+        i.fail_streak = 0;
+        i.ok_streak = 0;
+    }
+
     /// Whether an `Offline` accelerator is due for a recovery probe at
     /// virtual time `now` (probes are rate-limited to `probe_interval`).
     pub fn should_probe(&self, now: Duration) -> bool {
@@ -153,34 +165,89 @@ impl HealthMonitor {
     }
 }
 
-/// Highest delivered sequence number per statement stream (session id).
+/// Outcome of delivering a sequenced message to the [`SeqTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// First delivery in the current epoch: apply the statement.
+    Apply,
+    /// Already seen in the current epoch: discard (idempotent retry).
+    Duplicate,
+    /// Stamped with a pre-restart recovery epoch: the sender's view of
+    /// the accelerator predates the crash — discard without applying.
+    Fenced,
+}
+
+/// Highest delivered sequence number per statement stream (session id),
+/// fenced by the accelerator's recovery epoch.
 ///
 /// Shipping a statement is idempotent: a retry that redelivers an
 /// already-seen `(stream, seq)` pair is recognized and discarded by the
-/// receiver, so a retried statement can never execute twice.
+/// receiver, so a retried statement can never execute twice. The tracker
+/// is *volatile* accelerator state: a crash–restart bumps the recovery
+/// epoch, [`SeqTracker::reset`] clears the per-stream map, and anything
+/// still stamped with an older epoch is [`Delivery::Fenced`] off rather
+/// than matched against post-restart sequence state.
 #[derive(Debug, Default)]
 pub struct SeqTracker {
-    high: Mutex<HashMap<u64, u64>>,
+    inner: Mutex<SeqInner>,
+}
+
+#[derive(Debug, Default)]
+struct SeqInner {
+    epoch: u64,
+    high: HashMap<u64, u64>,
 }
 
 impl SeqTracker {
     /// Record delivery of `(stream, seq)`; returns true if this is the
     /// first delivery (the statement should be applied) and false for a
-    /// duplicate redelivery (discard).
+    /// duplicate redelivery (discard). Uses the tracker's current epoch.
     pub fn deliver(&self, stream: u64, seq: u64) -> bool {
-        let mut high = self.high.lock();
-        let entry = high.entry(stream).or_insert(0);
+        let epoch = self.inner.lock().epoch;
+        self.deliver_at(stream, seq, epoch) == Delivery::Apply
+    }
+
+    /// Record delivery of `(stream, seq)` stamped with the sender's view
+    /// of the recovery `epoch`. A newer epoch than the tracker's means
+    /// the tracker missed a restart: it resets itself before judging the
+    /// delivery. An older epoch is fenced off unconditionally.
+    pub fn deliver_at(&self, stream: u64, seq: u64, epoch: u64) -> Delivery {
+        let mut inner = self.inner.lock();
+        if epoch < inner.epoch {
+            return Delivery::Fenced;
+        }
+        if epoch > inner.epoch {
+            inner.epoch = epoch;
+            inner.high.clear();
+        }
+        let entry = inner.high.entry(stream).or_insert(0);
         if seq > *entry {
             *entry = seq;
-            true
+            Delivery::Apply
         } else {
-            false
+            Delivery::Duplicate
         }
+    }
+
+    /// A restart happened: adopt the new recovery epoch and drop all
+    /// pre-crash sequence state (it described the previous incarnation).
+    /// Older epochs are ignored — a stale reset cannot un-fence history.
+    pub fn reset(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        if epoch > inner.epoch {
+            inner.epoch = epoch;
+            inner.high.clear();
+        }
+    }
+
+    /// The tracker's current recovery epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
     }
 
     /// Highest sequence number seen on `stream` (0 if none).
     pub fn high_water(&self, stream: u64) -> u64 {
-        self.high.lock().get(&stream).copied().unwrap_or(0)
+        self.inner.lock().high.get(&stream).copied().unwrap_or(0)
     }
 }
 
@@ -243,5 +310,50 @@ mod tests {
         assert!(t.deliver(8, 1), "streams are independent");
         assert_eq!(t.high_water(7), 2);
         assert_eq!(t.high_water(9), 0);
+    }
+
+    #[test]
+    fn seq_tracker_epoch_fences_pre_crash_state() {
+        let t = SeqTracker::default();
+        assert_eq!(t.deliver_at(7, 1, 1), Delivery::Apply);
+        assert_eq!(t.deliver_at(7, 1, 1), Delivery::Duplicate);
+        // The accelerator restarts: epoch 2 fences everything older.
+        t.reset(2);
+        assert_eq!(t.epoch(), 2);
+        assert_eq!(t.high_water(7), 0, "pre-crash sequence state is gone");
+        assert_eq!(
+            t.deliver_at(7, 9, 1),
+            Delivery::Fenced,
+            "a message stamped with the dead incarnation must not apply"
+        );
+        // The same (stream, seq) re-sent under the new epoch is fresh.
+        assert_eq!(t.deliver_at(7, 1, 2), Delivery::Apply);
+        // A stale reset cannot roll the epoch back.
+        t.reset(1);
+        assert_eq!(t.epoch(), 2);
+        assert_eq!(t.high_water(7), 1);
+    }
+
+    #[test]
+    fn seq_tracker_adopts_newer_epoch_on_delivery() {
+        let t = SeqTracker::default();
+        assert_eq!(t.deliver_at(3, 5, 1), Delivery::Apply);
+        // A delivery already stamped with a newer epoch implies a restart
+        // the tracker has not seen yet: old state clears first.
+        assert_eq!(t.deliver_at(3, 5, 2), Delivery::Apply);
+        assert_eq!(t.epoch(), 2);
+        assert_eq!(t.deliver_at(3, 5, 2), Delivery::Duplicate);
+    }
+
+    #[test]
+    fn force_offline_skips_streak_decay() {
+        let h = HealthMonitor::default();
+        assert_eq!(h.state(), HealthState::Online);
+        h.force_offline();
+        assert_eq!(h.state(), HealthState::Offline);
+        assert!(!h.is_available());
+        // Recovery follows the normal consecutive-success path.
+        assert_eq!(h.record_success(), HealthState::Offline);
+        assert_eq!(h.record_success(), HealthState::Online);
     }
 }

@@ -7,16 +7,18 @@
 //! routes (host vs. accelerator), meters every byte that crosses the link,
 //! and coordinates two-phase commit when a transaction touched both sides.
 
-use crate::health::{HealthConfig, HealthMonitor, HealthState, SeqTracker};
+use crate::health::{Delivery, HealthConfig, HealthMonitor, HealthState, SeqTracker};
 use crate::procedures::{system_procedures, Procedure};
 use crate::replication::Replicator;
 use crate::router::{self, Route};
 use crate::session::Session;
-use idaa_accel::{AccelConfig, AccelEngine};
+use idaa_accel::{AccelConfig, AccelEngine, RestartStats};
 use idaa_common::wire;
 use idaa_common::{Error, ObjectName, Result, Row, Rows, Value};
 use idaa_host::{HostEngine, TableKind, TxnId, SYSADM};
-use idaa_netsim::{Direction, FaultPlan, LinkConfig, NetLink, RetryPolicy};
+use idaa_netsim::{
+    sites, CrashPlan, Direction, FaultPlan, FaultRegistry, LinkConfig, NetLink, RetryPolicy,
+};
 use idaa_sql::ast::{Expr, InsertSource, Query, Statement};
 use idaa_sql::eval::{bind, eval, FlatResolver};
 use idaa_sql::plan::plan_query;
@@ -45,6 +47,16 @@ pub struct IdaaConfig {
     pub retry: RetryPolicy,
     /// Thresholds for the accelerator health state machine.
     pub health: HealthConfig,
+    /// Virtual-clock interval between periodic accelerator checkpoints
+    /// (drives how much commit log a crash must replay — experiment E16
+    /// sweeps it).
+    pub checkpoint_every: Duration,
+    /// Fixed virtual-time cost of an accelerator restart, charged to the
+    /// link clock before log replay.
+    pub recovery_fixed: Duration,
+    /// Virtual replay bandwidth: checkpoint + replayed-log bytes are
+    /// charged to the link clock at this rate during recovery.
+    pub recovery_bytes_per_sec: u64,
 }
 
 impl Default for IdaaConfig {
@@ -57,24 +69,33 @@ impl Default for IdaaConfig {
             auto_replicate: true,
             retry: RetryPolicy::default(),
             health: HealthConfig::default(),
+            checkpoint_every: Duration::from_millis(25),
+            recovery_fixed: Duration::from_millis(2),
+            recovery_bytes_per_sec: 256 * 1024 * 1024,
         }
     }
 }
 
-/// Test hooks for failure injection.
+/// Failure-injection surface for tests and experiments.
 ///
 /// Link-level faults (drops, outage windows) are configured on the link
-/// itself via [`Idaa::set_fault_plan`]; these booleans model conditions
-/// the link cannot express.
+/// itself via [`Idaa::set_fault_plan`]; conditions the link cannot express
+/// go through the unified [`FaultRegistry`] — a [`CrashPlan`] names crash
+/// sites (or protocol sites like [`sites::PREPARE_VOTE_NO`]) and the
+/// registry replays the same firings for a given seed. One registry is
+/// shared between the coordinator and the accelerator engine so a single
+/// plan drives both.
 #[derive(Debug, Default)]
 pub struct Faults {
-    /// Make the next accelerator PREPARE vote NO (2PC atomicity tests).
-    pub fail_next_prepare: AtomicBool,
     /// Simulate a *stopped* accelerator (operator ran ACCEL_STOP, or the
     /// appliance is down): offload-eligible queries fall back to DB2,
     /// while statements that require the accelerator (AOTs, ALL mode)
     /// fail with SQLCODE -904 (resource unavailable).
     pub accel_unavailable: AtomicBool,
+    /// Named-site failure registry (crash points, 2PC vote-NO). Arm a
+    /// one-shot with [`FaultRegistry::arm`] or install a seeded
+    /// [`CrashPlan`] via [`Idaa::set_crash_plan`].
+    pub registry: Arc<FaultRegistry>,
 }
 
 /// What a statement produced.
@@ -144,6 +165,11 @@ pub struct Idaa {
     /// Redelivered statements the receiver discarded as duplicates
     /// (diagnostics).
     statements_deduped: AtomicU64,
+    /// Messages discarded because they carried a pre-crash recovery epoch
+    /// (diagnostics).
+    statements_fenced: AtomicU64,
+    /// Stats of the most recent accelerator crash recovery.
+    last_restart: Mutex<Option<RestartStats>>,
 }
 
 impl Default for Idaa {
@@ -167,9 +193,17 @@ impl Idaa {
             pending_commits: Mutex::new(Vec::new()),
             in_doubt_resolved: AtomicU64::new(0),
             statements_deduped: AtomicU64::new(0),
+            statements_fenced: AtomicU64::new(0),
+            last_restart: Mutex::new(None),
             config,
             faults: Faults::default(),
         };
+        // One failure registry drives both the coordinator's protocol
+        // sites and the accelerator's crash points.
+        idaa.accel.set_fault_registry(idaa.faults.registry.clone());
+        // The statement tracker starts fenced to the engine's first
+        // incarnation.
+        idaa.delivered.reset(idaa.accel.epoch());
         for p in system_procedures() {
             idaa.register_procedure(Arc::from(p), SYSADM)
                 .expect("registering system procedures cannot fail");
@@ -205,6 +239,24 @@ impl Idaa {
     /// Arm a deterministic fault plan on the link.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         self.link.set_fault_plan(plan);
+    }
+
+    /// Install a seeded crash plan on the shared failure registry: named
+    /// sites (mid-bulk-load, post-prepare, mid-replication-apply,
+    /// mid-checkpoint, 2PC vote-NO) fire deterministically per seed.
+    pub fn set_crash_plan(&self, plan: CrashPlan) {
+        self.faults.registry.set_plan(plan);
+    }
+
+    /// Stats of the most recent accelerator crash recovery, if any.
+    pub fn last_restart(&self) -> Option<RestartStats> {
+        *self.last_restart.lock()
+    }
+
+    /// Messages discarded because they carried a pre-crash recovery
+    /// epoch (diagnostics).
+    pub fn statements_fenced(&self) -> u64 {
+        self.statements_fenced.load(Ordering::Relaxed)
     }
 
     /// COMMIT decisions queued for redelivery (phase-2 message lost).
@@ -344,13 +396,25 @@ impl Idaa {
     /// a link outage can never fail a host commit. Only engine errors
     /// (always a bug) propagate.
     pub fn replicate_now(&self) -> Result<usize> {
+        if self.accel.is_crashed() {
+            // Nothing can apply while the accelerator is down: leave the
+            // backlog queued in the host log and let recovery catch up.
+            self.health.force_offline();
+            return Ok(0);
+        }
         if !self.faults.accel_unavailable.load(Ordering::Relaxed) {
             self.flush_pending_commits();
         }
         let mut rep = self.replicator.lock();
         let applied = rep.apply(&self.host, &self.accel, &self.link)?;
         if rep.stalled() {
-            self.health.record_failure();
+            if self.accel.is_crashed() {
+                // The accelerator crashed mid-apply (a crash site fired):
+                // the unacknowledged batch re-applies after recovery.
+                self.health.force_offline();
+            } else {
+                self.health.record_failure();
+            }
         }
         Ok(applied)
     }
@@ -359,6 +423,11 @@ impl Idaa {
     /// accelerator holds those transactions prepared until the decision
     /// arrives.
     fn flush_pending_commits(&self) {
+        if self.accel.is_crashed() {
+            // A crashed engine would silently drop the decision; keep it
+            // queued until recovery re-materializes the prepared txn.
+            return;
+        }
         let mut pending = self.pending_commits.lock();
         pending.retain(|&txn| {
             // Through ship(), like every federation message, so redelivery
@@ -382,11 +451,19 @@ impl Idaa {
         if self.faults.accel_unavailable.load(Ordering::Relaxed) {
             return false;
         }
+        if self.accel.is_crashed() {
+            // A crashed accelerator is unreachable no matter what the
+            // failure streaks said when the crash point fired.
+            self.health.force_offline();
+        }
         if self.health.state() != HealthState::Offline {
             return true;
         }
         if self.health.should_probe(self.link.now()) && self.health.probe(&self.link, &self.retry)
         {
+            if self.accel.is_crashed() && self.restart_accel().is_err() {
+                return false;
+            }
             let _ = self.replicate_now();
             return true;
         }
@@ -395,13 +472,20 @@ impl Idaa {
 
     /// Force a recovery probe immediately, ignoring the probe interval
     /// (operator-initiated restart). On success the health returns to
-    /// `Online`, queued commit decisions are redelivered, and replication
-    /// catches up. Returns whether the accelerator is available again.
+    /// `Online`, a crashed engine restarts (checkpoint + log replay),
+    /// queued commit decisions are redelivered, and replication catches
+    /// up. Returns whether the accelerator is available again.
     pub fn recover(&self) -> bool {
         if self.faults.accel_unavailable.load(Ordering::Relaxed) {
             return false;
         }
+        if self.accel.is_crashed() {
+            self.health.force_offline();
+        }
         if self.health.probe(&self.link, &self.retry) {
+            if self.accel.is_crashed() && self.restart_accel().is_err() {
+                return false;
+            }
             let _ = self.replicate_now();
             true
         } else {
@@ -409,11 +493,52 @@ impl Idaa {
         }
     }
 
+    /// Restart a crashed accelerator: rebuild state as checkpoint + log
+    /// replay, charge the replay cost to the *virtual* clock, fence the
+    /// statement tracker to the new recovery epoch, resolve re-materialized
+    /// in-doubt transactions (presumed abort unless the coordinator holds
+    /// a queued COMMIT decision), and redeliver queued decisions.
+    fn restart_accel(&self) -> Result<()> {
+        let stats = self.accel.restart()?;
+        // Recovery consumes virtual time only: a fixed restart latency
+        // plus replaying checkpoint + log bytes at the configured
+        // bandwidth. Never a wall-clock sleep.
+        let replayed = stats.checkpoint_bytes + stats.log_bytes_replayed;
+        let replay_time = Duration::from_secs_f64(
+            replayed as f64 / self.config.recovery_bytes_per_sec.max(1) as f64,
+        );
+        self.link.advance(self.config.recovery_fixed + replay_time);
+        // Epoch fence: sequence state and acks from the previous
+        // incarnation are stale.
+        self.delivered.reset(stats.epoch);
+        // Presumed abort: a prepared transaction whose COMMIT decision is
+        // not queued on the coordinator was never decided — roll it back.
+        // Queued decisions stay prepared until flush redelivers them.
+        {
+            let pending = self.pending_commits.lock();
+            for txn in self.accel.in_doubt() {
+                if !pending.contains(&txn) {
+                    self.accel.abort(txn);
+                }
+            }
+        }
+        self.flush_pending_commits();
+        *self.last_restart.lock() = Some(stats);
+        Ok(())
+    }
+
     /// The error a statement gets when it requires an unavailable
-    /// accelerator: -904 when the accelerator is administratively stopped,
-    /// -30081 when communication with it failed.
+    /// accelerator: -904 when the accelerator is administratively stopped
+    /// or crashed (recovery pending), -30081 when communication with it
+    /// failed.
     fn unavailable_error(&self) -> Error {
-        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
+        if self.accel.is_crashed() {
+            Error::ResourceUnavailable(
+                "the accelerator crashed and is recovering; statements requiring it \
+                 cannot run"
+                    .into(),
+            )
+        } else if self.faults.accel_unavailable.load(Ordering::Relaxed) {
             Error::ResourceUnavailable(
                 "the accelerator is stopped; statements requiring it cannot run".into(),
             )
@@ -1034,11 +1159,21 @@ impl Idaa {
             }
             self.health.record_success();
             // Receiver side: execute on first delivery, discard duplicates.
-            if self.delivered.deliver(session.id, seq) {
-                let run = exec.take().expect("first delivery executes the statement");
-                result = Some(run()?);
-            } else {
-                self.statements_deduped.fetch_add(1, Ordering::Relaxed);
+            // Every delivery is stamped with the accelerator's current
+            // recovery epoch; anything stamped with a dead incarnation is
+            // fenced off and the request is re-sent under the new epoch.
+            match self.delivered.deliver_at(session.id, seq, self.accel.epoch()) {
+                Delivery::Apply => {
+                    let run = exec.take().expect("first delivery executes the statement");
+                    result = Some(run()?);
+                }
+                Delivery::Duplicate => {
+                    self.statements_deduped.fetch_add(1, Ordering::Relaxed);
+                }
+                Delivery::Fenced => {
+                    self.statements_fenced.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
             }
             let outcome = result.as_ref().expect("executed on or before this delivery");
             // Reply leg: control acknowledgements go as plain messages; row
@@ -1080,18 +1215,26 @@ impl Idaa {
         if self.config.auto_replicate {
             self.replicate_now()?;
         }
+        // Periodic checkpoint policy on the virtual clock. A crash while
+        // building the checkpoint (the MID_CHECKPOINT site) must not fail
+        // the user's commit — the decision is already durable; the next
+        // statement observes the crash and drives recovery.
+        let _ = self.accel.maybe_checkpoint(self.link.now(), self.config.checkpoint_every);
         Ok(())
     }
 
     /// Two-phase commit with an enlisted accelerator, hardened against a
     /// stopped accelerator and link-level message loss at every step.
     fn commit_two_phase(&self, txn: TxnId) -> Result<()> {
-        // A stopped accelerator cannot vote: presume abort on both sides.
-        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
+        // A stopped or crashed accelerator cannot vote: presume abort on
+        // both sides. (A crashed engine's copy of the transaction is
+        // aborted durably when recovery replays the log.)
+        if self.faults.accel_unavailable.load(Ordering::Relaxed) || self.accel.is_crashed() {
             self.accel.abort(txn);
             self.host.rollback(txn)?;
             return Err(Error::ResourceUnavailable(
-                "the accelerator is stopped; transaction rolled back on all participants"
+                "the accelerator is unavailable; transaction rolled back on all \
+                 participants"
                     .into(),
             ));
         }
@@ -1105,7 +1248,10 @@ impl Idaa {
                  participants"
             )));
         }
-        let prepare_ok = !self.faults.fail_next_prepare.swap(false, Ordering::Relaxed);
+        // The PREPARE vote consults the failure registry: a fired
+        // `coord.prepare.vote_no` site (armed one-shot or seeded plan)
+        // makes this participant vote NO.
+        let prepare_ok = !self.faults.registry.fire(sites::PREPARE_VOTE_NO);
         if !prepare_ok {
             // Vote NO: roll back everywhere.
             self.accel.abort(txn);
@@ -1146,10 +1292,12 @@ impl Idaa {
         }
         // Phase 2: the decision is durable once the coordinator commits.
         self.host.commit(txn);
-        if self.ship(Direction::ToAccel, wire::CONTROL_FRAME).is_err() {
+        if self.accel.is_crashed() || self.ship(Direction::ToAccel, wire::CONTROL_FRAME).is_err()
+        {
             // The COMMIT decision is queued and redelivered on the next
             // replication round or recovery probe; the accelerator holds
-            // the transaction prepared until it arrives.
+            // the transaction prepared (durably — a crash re-materializes
+            // it from the log) until the decision arrives.
             self.pending_commits.lock().push(txn);
         } else {
             self.accel.commit(txn);
@@ -1344,7 +1492,7 @@ mod tests {
         idaa.execute(&mut s, "BEGIN").unwrap();
         idaa.execute(&mut s, "INSERT INTO HOSTT VALUES (1)").unwrap();
         idaa.execute(&mut s, "INSERT INTO AOTT VALUES (1)").unwrap();
-        idaa.faults.fail_next_prepare.store(true, Ordering::Relaxed);
+        idaa.faults.registry.arm(idaa_netsim::sites::PREPARE_VOTE_NO, 1);
         let err = idaa.execute(&mut s, "COMMIT").unwrap_err();
         assert!(matches!(err, Error::CommitFailed(_)));
 
@@ -1531,6 +1679,97 @@ mod tests {
         let r = idaa.query(&mut s, "SELECT COUNT(*) FROM seqt").unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::BigInt(5));
         assert_eq!(idaa.statements_deduped(), 0);
+        assert_eq!(idaa.health().state(), HealthState::Online);
+    }
+
+    #[test]
+    fn crash_recovery_replays_to_the_same_answer() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE R (X INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut s, "INSERT INTO R VALUES (1), (2), (3)").unwrap();
+        let before = idaa.query(&mut s, "SELECT COUNT(*), SUM(x) FROM r").unwrap();
+        idaa.accel().crash();
+        // The next statement finds the accelerator offline, probes,
+        // restarts it (checkpoint + log replay, virtual-clock cost only),
+        // and then runs against the recovered state.
+        let after = idaa.query(&mut s, "SELECT COUNT(*), SUM(x) FROM r").unwrap();
+        assert_eq!(before.rows, after.rows);
+        let stats = idaa.last_restart().expect("a restart happened");
+        assert_eq!(stats.epoch, 2);
+        assert!(stats.log_records_replayed > 0);
+        assert_eq!(idaa.accel().epoch(), 2);
+        assert_eq!(idaa.health().state(), HealthState::Online);
+    }
+
+    #[test]
+    fn statements_fail_with_904_until_recovery_can_probe() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE R (X INT) IN ACCELERATOR").unwrap();
+        idaa.accel().crash();
+        // Probes cannot round-trip during the outage window, so recovery
+        // cannot start: statements requiring the accelerator get -904
+        // (resource unavailable), not -30081.
+        idaa.set_fault_plan(FaultPlan::outage(Duration::ZERO, Duration::from_secs(1)));
+        let err = idaa.execute(&mut s, "INSERT INTO R VALUES (1)").unwrap_err();
+        assert_eq!(err.sqlcode(), -904);
+        // Past the window the next statement drives recovery end to end.
+        idaa.link().advance(Duration::from_secs(2));
+        idaa.execute(&mut s, "INSERT INTO R VALUES (1)").unwrap();
+        assert_eq!(idaa.accel().epoch(), 2, "exactly one restart");
+        assert_eq!(
+            idaa.query(&mut s, "SELECT COUNT(*) FROM r").unwrap().scalar().unwrap(),
+            &Value::BigInt(1)
+        );
+    }
+
+    #[test]
+    fn queued_commit_decision_survives_crash_and_resolves() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE Q (X INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut s, "BEGIN").unwrap();
+        idaa.execute(&mut s, "INSERT INTO Q VALUES (7)").unwrap();
+        // COMMIT: the prepare request and YES vote round-trip, then every
+        // phase-2 delivery attempt dies — the decision is queued while the
+        // accelerator holds the transaction prepared (durably).
+        idaa.link().fail_transfers_after(2, 8);
+        idaa.execute(&mut s, "COMMIT").unwrap();
+        assert_eq!(idaa.pending_accel_commits(), 1);
+        // Crash. Restart re-materializes the prepared transaction from the
+        // log; the queued decision resolves it instead of presumed abort.
+        idaa.accel().crash();
+        assert!(idaa.recover());
+        assert_eq!(idaa.pending_accel_commits(), 0);
+        assert_eq!(idaa.last_restart().unwrap().rematerialized_in_doubt, 1);
+        assert_eq!(
+            idaa.query(&mut s, "SELECT COUNT(*) FROM q").unwrap().scalar().unwrap(),
+            &Value::BigInt(1)
+        );
+    }
+
+    #[test]
+    fn prepared_transaction_without_queued_decision_presumes_abort() {
+        let idaa = Idaa::default();
+        let mut s = sys(&idaa);
+        idaa.execute(&mut s, "CREATE TABLE P (X INT) IN ACCELERATOR").unwrap();
+        idaa.execute(&mut s, "BEGIN").unwrap();
+        idaa.execute(&mut s, "INSERT INTO P VALUES (1)").unwrap();
+        // The crash fires at the post-prepare site: the vote was logged
+        // durably but never reached the coordinator, which rolls back.
+        idaa.faults.registry.arm(sites::POST_PREPARE, 1);
+        let err = idaa.execute(&mut s, "COMMIT").unwrap_err();
+        assert_eq!(err.sqlcode(), -926);
+        // Recovery re-materializes the prepared transaction; with no
+        // queued COMMIT decision, presumed abort rolls it back — matching
+        // the coordinator's outcome.
+        assert!(idaa.recover());
+        assert_eq!(idaa.last_restart().unwrap().rematerialized_in_doubt, 1);
+        assert_eq!(
+            idaa.query(&mut s, "SELECT COUNT(*) FROM p").unwrap().scalar().unwrap(),
+            &Value::BigInt(0)
+        );
         assert_eq!(idaa.health().state(), HealthState::Online);
     }
 

@@ -22,7 +22,7 @@ pub mod replication;
 pub mod router;
 pub mod session;
 
-pub use health::{HealthConfig, HealthMonitor, HealthState, SeqTracker};
+pub use health::{Delivery, HealthConfig, HealthMonitor, HealthState, SeqTracker};
 pub use idaa::{ExecOutcome, Faults, Idaa, IdaaConfig, Payload};
 pub use procedures::{message_result, Procedure};
 pub use replication::Replicator;

@@ -17,9 +17,9 @@
 //! suite in `tests/chaos.rs`).
 
 use idaa_accel::AccelEngine;
-use idaa_common::{wire, ObjectName, Result, Row};
-use idaa_host::{AccelStatus, ChangeOp, HostEngine, Lsn};
-use idaa_netsim::{Direction, NetLink, RetryPolicy};
+use idaa_common::{wire, Error, ObjectName, Result, Row};
+use idaa_host::{AccelStatus, ChangeOp, ChangeRecord, HostEngine, Lsn};
+use idaa_netsim::{sites, Direction, NetLink, RetryPolicy};
 use idaa_sql::ast::{BinaryOp, Expr};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -154,49 +154,26 @@ impl Replicator {
                 // a batch becomes visible atomically.
                 let txn = next_apply_txn();
                 accel.begin(txn);
-                let mut fresh: u64 = 0;
-                for change in batch {
-                    // Decoded images are consumed in change order even for
-                    // deduplicated (stale) changes — they occupy frame slots.
-                    let queue = delivered
-                        .iter_mut()
-                        .find(|(t, _)| *t == change.table)
-                        .map(|(_, q)| q)
-                        .expect("every change's table shipped a frame");
-                    let stale = change.lsn <= self.accel_applied;
-                    match &change.op {
-                        ChangeOp::Insert(_) => {
-                            let row = queue.pop_front().expect("insert image in frame");
-                            if !stale {
-                                accel.insert_rows(txn, &change.table, vec![row])?;
-                            }
-                        }
-                        ChangeOp::Delete(_) => {
-                            let row = queue.pop_front().expect("delete image in frame");
-                            if !stale {
-                                delete_exact(accel, txn, &change.table, &row)?;
-                            }
-                        }
-                        ChangeOp::Update { .. } => {
-                            let old = queue.pop_front().expect("old image in frame");
-                            let new = queue.pop_front().expect("new image in frame");
-                            if !stale {
-                                delete_exact(accel, txn, &change.table, &old)?;
-                                accel.insert_rows(txn, &change.table, vec![new])?;
-                            }
+                match apply_batch(accel, txn, batch, &mut delivered, self.accel_applied) {
+                    Ok(fresh) => {
+                        self.accel_applied = batch_last;
+                        applied += fresh as usize;
+                        self.changes_applied.fetch_add(fresh, Ordering::Relaxed);
+                        if (fresh as usize) < batch.len() {
+                            self.batches_redelivered.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    if !stale {
-                        applied += 1;
-                        fresh += 1;
+                    // The accelerator crashed mid-apply (a crash site
+                    // fired): like a link fault, the batch went
+                    // unacknowledged — `accel_applied` did not advance, so
+                    // it re-applies in full under a fresh transaction after
+                    // recovery; the partially-applied one is rolled back by
+                    // restart's presumed-abort pass.
+                    Err(Error::ResourceUnavailable(_)) => {
+                        self.stalled = true;
+                        return Ok(applied);
                     }
-                }
-                accel.prepare(txn)?;
-                accel.commit(txn);
-                self.accel_applied = batch_last;
-                self.changes_applied.fetch_add(fresh, Ordering::Relaxed);
-                if (fresh as usize) < batch.len() {
-                    self.batches_redelivered.fetch_add(1, Ordering::Relaxed);
+                    Err(e) => return Err(e),
                 }
             } else {
                 self.batches_redelivered.fetch_add(1, Ordering::Relaxed);
@@ -215,6 +192,65 @@ impl Replicator {
         host.txns.truncate_log(self.last_applied);
         Ok(applied)
     }
+}
+
+/// Apply one replication batch under transaction `txn`, consuming decoded
+/// row images from `delivered` in change order — stale changes (at or
+/// below `watermark`, redelivered after a lost ack) consume their frame
+/// slots without applying. Returns the number of genuinely new changes
+/// applied.
+///
+/// The `MID_REPL_APPLY` crash site fires before the first change; a crash
+/// there (or at `prepare`'s `POST_PREPARE` site) surfaces as
+/// `ResourceUnavailable`, which the caller treats like an unacknowledged
+/// batch.
+fn apply_batch(
+    accel: &AccelEngine,
+    txn: u64,
+    batch: &[ChangeRecord],
+    delivered: &mut [(ObjectName, VecDeque<Row>)],
+    watermark: Lsn,
+) -> Result<u64> {
+    accel.crash_point(sites::MID_REPL_APPLY)?;
+    let mut fresh: u64 = 0;
+    for change in batch {
+        // Decoded images are consumed in change order even for
+        // deduplicated (stale) changes — they occupy frame slots.
+        let queue = delivered
+            .iter_mut()
+            .find(|(t, _)| *t == change.table)
+            .map(|(_, q)| q)
+            .expect("every change's table shipped a frame");
+        let stale = change.lsn <= watermark;
+        match &change.op {
+            ChangeOp::Insert(_) => {
+                let row = queue.pop_front().expect("insert image in frame");
+                if !stale {
+                    accel.insert_rows(txn, &change.table, vec![row])?;
+                }
+            }
+            ChangeOp::Delete(_) => {
+                let row = queue.pop_front().expect("delete image in frame");
+                if !stale {
+                    delete_exact(accel, txn, &change.table, &row)?;
+                }
+            }
+            ChangeOp::Update { .. } => {
+                let old = queue.pop_front().expect("old image in frame");
+                let new = queue.pop_front().expect("new image in frame");
+                if !stale {
+                    delete_exact(accel, txn, &change.table, &old)?;
+                    accel.insert_rows(txn, &change.table, vec![new])?;
+                }
+            }
+        }
+        if !stale {
+            fresh += 1;
+        }
+    }
+    accel.prepare(txn)?;
+    accel.commit(txn);
+    Ok(fresh)
 }
 
 static NEXT_APPLY_TXN: AtomicU64 = AtomicU64::new(1 << 61);

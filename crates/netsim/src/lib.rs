@@ -28,6 +28,7 @@
 
 use idaa_common::wire;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -633,6 +634,208 @@ impl RetryPolicy {
     }
 }
 
+/// Well-known failure-injection site names used across the workspace.
+///
+/// A site names the *place in the protocol* where a [`FaultRegistry`] can
+/// fire — component code calls `registry.fire(site)` at these points, and
+/// plans/tests refer to the same constants. Keeping them here (next to the
+/// fault machinery) means every crate injects through one vocabulary.
+pub mod sites {
+    /// Accelerator crash after bulk-load rows are ingested but before the
+    /// internal load transaction commits.
+    pub const MID_BULK_LOAD: &str = "accel.bulk_load.mid";
+    /// Accelerator crash after a transaction's PREPARE is durably logged
+    /// but before the coordinator's phase-2 COMMIT arrives — the classic
+    /// in-doubt window.
+    pub const POST_PREPARE: &str = "accel.prepare.post";
+    /// Accelerator crash while applying a replication batch (after begin,
+    /// before the apply transaction prepares).
+    pub const MID_REPL_APPLY: &str = "accel.replication.apply.mid";
+    /// Accelerator crash in the middle of writing a checkpoint, before the
+    /// new checkpoint is atomically installed.
+    pub const MID_CHECKPOINT: &str = "accel.checkpoint.mid";
+    /// Coordinator-side injection: the accelerator's PREPARE vote comes
+    /// back NO (no crash; replaces the old `fail_next_prepare` hook).
+    pub const PREPARE_VOTE_NO: &str = "coord.prepare.vote_no";
+}
+
+/// Per-site crash/failure schedule inside a [`CrashPlan`].
+///
+/// A site fires on the listed 1-based `at_hits` (deterministic pinning for
+/// targeted tests) and additionally with `probability` per hit, drawn from
+/// the plan's seeded stream (for randomized chaos sweeps). Both can be
+/// combined; the deterministic check is evaluated first and consumes no
+/// random draw, so pinned hits never perturb the stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteSpec {
+    /// Site name (see [`sites`]).
+    pub site: String,
+    /// Probability that any given hit fires, drawn from the seeded stream.
+    pub probability: f64,
+    /// Hit counts (1-based, per site) that fire unconditionally.
+    pub at_hits: Vec<u64>,
+}
+
+/// A deterministic schedule of crash/failure points, the [`FaultPlan`]
+/// analogue for *process* failures rather than link failures.
+///
+/// Same determinism contract: probabilistic draws come from one splitmix64
+/// stream seeded by `seed` and are consumed in hit order, so a given seed
+/// replays the exact same firing pattern. Sites with `probability == 0`
+/// draw nothing, so the default plan is clean and free. Firing never
+/// touches [`LinkMetrics`] — what a firing *means* (crash, NO vote, …) is
+/// up to the component that called [`FaultRegistry::fire`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrashPlan {
+    /// Seed for the splitmix64 stream behind probabilistic firings.
+    pub seed: u64,
+    /// Per-site schedules; sites not listed never fire.
+    pub sites: Vec<SiteSpec>,
+}
+
+impl CrashPlan {
+    /// Plan that fires `site` exactly once, on its `hit`-th (1-based) hit.
+    pub fn at(site: &str, hit: u64) -> CrashPlan {
+        CrashPlan::default().and_at(site, hit)
+    }
+
+    /// Add a deterministic firing of `site` on its `hit`-th hit.
+    pub fn and_at(mut self, site: &str, hit: u64) -> CrashPlan {
+        if let Some(s) = self.sites.iter_mut().find(|s| s.site == site) {
+            s.at_hits.push(hit);
+        } else {
+            self.sites.push(SiteSpec {
+                site: site.to_string(),
+                probability: 0.0,
+                at_hits: vec![hit],
+            });
+        }
+        self
+    }
+
+    /// Add a probabilistic firing of `site` with probability `p` per hit.
+    pub fn and_probabilistic(mut self, site: &str, p: f64) -> CrashPlan {
+        if let Some(s) = self.sites.iter_mut().find(|s| s.site == site) {
+            s.probability = p;
+        } else {
+            self.sites.push(SiteSpec {
+                site: site.to_string(),
+                probability: p,
+                at_hits: Vec::new(),
+            });
+        }
+        self
+    }
+
+    /// Plan seed builder (relevant only with probabilistic sites).
+    pub fn seeded(mut self, seed: u64) -> CrashPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// True if this plan can never fire.
+    pub fn is_clean(&self) -> bool {
+        self.sites.iter().all(|s| s.probability <= 0.0 && s.at_hits.is_empty())
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    plan: CrashPlan,
+    /// splitmix64 state for probabilistic sites.
+    rng: u64,
+    /// Per-site hit counters (how many times `fire` was consulted).
+    hits: HashMap<String, u64>,
+    /// One-shot armings from [`FaultRegistry::arm`], per site.
+    armed: HashMap<String, u64>,
+    /// Log of firings as `(site, hit)` pairs, in firing order.
+    fired: Vec<(String, u64)>,
+}
+
+/// The unified failure-injection registry: every "make X fail next time"
+/// hook in the workspace flows through here instead of ad-hoc
+/// `AtomicBool`s, so all injection is seeded, replayable, and observable
+/// in one place.
+///
+/// Component code marks its injectable points with [`FaultRegistry::fire`]
+/// and reacts when it returns true. Tests either [`arm`](Self::arm) a
+/// one-shot failure or install a [`CrashPlan`] for seeded schedules. The
+/// registry never touches the link or its metrics.
+#[derive(Debug, Default)]
+pub struct FaultRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl FaultRegistry {
+    /// Install a crash plan; the random stream is reseeded from
+    /// `plan.seed` and all per-site hit counters restart from zero.
+    pub fn set_plan(&self, plan: CrashPlan) {
+        let mut inner = self.inner.lock();
+        inner.rng = plan.seed ^ 0x6c8e_9cf5_7093_1e4b;
+        inner.plan = plan;
+        inner.hits.clear();
+        inner.fired.clear();
+    }
+
+    /// Arm `site` to fire on its next `n` hits, independent of any plan.
+    /// This is the targeted-test hook (the `fail_next_transfers` analogue).
+    pub fn arm(&self, site: &str, n: u64) {
+        *self.inner.lock().armed.entry(site.to_string()).or_insert(0) += n;
+    }
+
+    /// Consult the registry at `site`: increments the site's hit counter
+    /// and returns true if an armed one-shot or the installed plan says
+    /// this hit fails. Deterministic checks (armed counts, pinned
+    /// `at_hits`) consume no random draw; a probabilistic site draws
+    /// exactly one number per hit whether or not it fires.
+    pub fn fire(&self, site: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let hit = {
+            let h = inner.hits.entry(site.to_string()).or_insert(0);
+            *h += 1;
+            *h
+        };
+        let mut fired = false;
+        if let Some(n) = inner.armed.get_mut(site) {
+            if *n > 0 {
+                *n -= 1;
+                fired = true;
+            }
+        }
+        if !fired {
+            if let Some(spec) =
+                inner.plan.sites.iter().find(|s| s.site == site).cloned()
+            {
+                if spec.at_hits.contains(&hit) {
+                    fired = true;
+                } else if spec.probability > 0.0 {
+                    fired = next_unit(&mut inner.rng) < spec.probability;
+                }
+            }
+        }
+        if fired {
+            inner.fired.push((site.to_string(), hit));
+        }
+        fired
+    }
+
+    /// How many times `site` has been consulted since the last
+    /// [`set_plan`](Self::set_plan)/[`clear`](Self::clear).
+    pub fn hits(&self, site: &str) -> u64 {
+        self.inner.lock().hits.get(site).copied().unwrap_or(0)
+    }
+
+    /// Firing log as `(site, hit)` pairs, in firing order.
+    pub fn fired(&self) -> Vec<(String, u64)> {
+        self.inner.lock().fired.clone()
+    }
+
+    /// Disarm everything: plan, one-shot armings, counters, and log.
+    pub fn clear(&self) {
+        *self.inner.lock() = RegistryInner::default();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -966,5 +1169,69 @@ mod tests {
         // 800 µs window boundary before attempts run out.
         RetryPolicy::default().transfer(&link, Direction::ToAccel, 10).unwrap();
         assert!(link.metrics().messages_to_accel == 1);
+    }
+
+    #[test]
+    fn registry_armed_one_shot_fires_exactly_n() {
+        let reg = FaultRegistry::default();
+        assert!(!reg.fire(sites::POST_PREPARE), "nothing armed yet");
+        reg.arm(sites::POST_PREPARE, 2);
+        assert!(reg.fire(sites::POST_PREPARE));
+        assert!(!reg.fire(sites::MID_BULK_LOAD), "other sites unaffected");
+        assert!(reg.fire(sites::POST_PREPARE));
+        assert!(!reg.fire(sites::POST_PREPARE), "arming exhausted");
+        assert_eq!(reg.hits(sites::POST_PREPARE), 4);
+        assert_eq!(
+            reg.fired(),
+            vec![(sites::POST_PREPARE.to_string(), 2), (sites::POST_PREPARE.to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn registry_pinned_hit_fires_deterministically() {
+        let reg = FaultRegistry::default();
+        reg.set_plan(CrashPlan::at(sites::MID_REPL_APPLY, 3));
+        assert!(!reg.fire(sites::MID_REPL_APPLY));
+        assert!(!reg.fire(sites::MID_REPL_APPLY));
+        assert!(reg.fire(sites::MID_REPL_APPLY), "third hit fires");
+        assert!(!reg.fire(sites::MID_REPL_APPLY));
+        // Reinstalling the plan restarts the hit counters.
+        reg.set_plan(CrashPlan::at(sites::MID_REPL_APPLY, 1));
+        assert!(reg.fire(sites::MID_REPL_APPLY));
+    }
+
+    #[test]
+    fn registry_probabilistic_sites_replay_per_seed() {
+        let run = |seed: u64| {
+            let reg = FaultRegistry::default();
+            reg.set_plan(
+                CrashPlan::default()
+                    .seeded(seed)
+                    .and_probabilistic(sites::MID_BULK_LOAD, 0.3)
+                    // A pinned-only site must not perturb the stream.
+                    .and_at(sites::MID_CHECKPOINT, 2),
+            );
+            let mut outcomes = Vec::new();
+            for i in 0..100 {
+                outcomes.push(reg.fire(sites::MID_BULK_LOAD));
+                if i % 5 == 0 {
+                    outcomes.push(reg.fire(sites::MID_CHECKPOINT));
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(17), run(17), "same seed replays the same firings");
+        assert_ne!(run(17), run(18), "a different seed fires differently");
+    }
+
+    #[test]
+    fn registry_clear_disarms_everything() {
+        let reg = FaultRegistry::default();
+        reg.arm(sites::PREPARE_VOTE_NO, 5);
+        reg.set_plan(CrashPlan::at(sites::POST_PREPARE, 1));
+        reg.clear();
+        assert!(!reg.fire(sites::PREPARE_VOTE_NO));
+        assert!(!reg.fire(sites::POST_PREPARE));
+        assert!(reg.fired().is_empty());
     }
 }

@@ -58,6 +58,6 @@ pub use idaa_core::{
 };
 pub use idaa_host::{HostEngine, SYSADM};
 pub use idaa_netsim::{
-    Direction, FaultPlan, FaultSpec, LinkConfig, LinkError, LinkMetrics, NetLink, OutageWindow,
-    RetryPolicy,
+    CrashPlan, Direction, FaultPlan, FaultRegistry, FaultSpec, LinkConfig, LinkError, LinkMetrics,
+    NetLink, OutageWindow, RetryPolicy,
 };

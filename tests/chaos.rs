@@ -9,7 +9,8 @@
 //! -30081 (communication failure), -904 (accelerator stopped), -926
 //! (transaction rolled back). Everything else is a bug.
 
-use idaa::{FaultPlan, HealthState, Idaa, IdaaConfig, ObjectName, Route, Value, SYSADM};
+use idaa::netsim::sites;
+use idaa::{CrashPlan, FaultPlan, HealthState, Idaa, IdaaConfig, ObjectName, Route, Value, SYSADM};
 use std::time::Duration;
 
 /// splitmix64 — the same generator the link's fault stream uses; good
@@ -302,6 +303,162 @@ fn scheduled_outage_falls_back_then_recovers() {
     idaa.execute(&mut s, "INSERT INTO LOG VALUES (3)").unwrap();
     let n = idaa.query(&mut s, "SELECT COUNT(*) FROM log").unwrap();
     assert_eq!(n.scalar().unwrap(), &Value::BigInt(2));
+}
+
+// ---------------------------------------------------------------------------
+// Crash–restart recovery
+// ---------------------------------------------------------------------------
+
+/// Build the two-table system with an aggressive checkpoint cadence so the
+/// mid-checkpoint crash site is reachable within a short workload.
+fn crash_system() -> (Idaa, idaa::Session) {
+    let idaa = Idaa::new(IdaaConfig {
+        replication_batch: 4,
+        checkpoint_every: Duration::from_micros(300),
+        ..IdaaConfig::default()
+    });
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE SALES (ID INT NOT NULL)").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE LOG (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    (idaa, s)
+}
+
+/// Execute a statement until it applies: a tolerated failure (the crash
+/// itself, or -904 while the engine is down) triggers an operator recovery
+/// — restart, log replay, catch-up — and a retry. Crash semantics make the
+/// retry safe: a failed statement was rolled back on both sides (presumed
+/// abort covers the post-prepare window).
+fn exec_until_applied(idaa: &Idaa, s: &mut idaa::Session, sql: &str) {
+    for _ in 0..6 {
+        match idaa.execute(s, sql) {
+            Ok(_) => return,
+            Err(e) => {
+                assert_tolerated(&e);
+                idaa.link().advance(Duration::from_millis(10));
+                idaa.recover();
+            }
+        }
+    }
+    panic!("`{sql}` still failing after recovery retries");
+}
+
+/// One deterministic workload under one crash plan: replicated host
+/// inserts, retried AOT inserts, periodic full reloads (the bulk-load
+/// path), replication pulls, and a steadily advancing virtual clock (the
+/// checkpoint cadence). Heals at the end and returns the link metrics, the
+/// registry's firing log, and the final accelerator contents.
+#[allow(clippy::type_complexity)]
+fn crash_run(plan: CrashPlan) -> (idaa::LinkMetrics, Vec<(String, u64)>, Vec<i32>, Vec<i32>) {
+    let (idaa, mut s) = crash_system();
+    let expect_crash = !plan.is_clean();
+    idaa.set_crash_plan(plan);
+    for i in 0..40 {
+        idaa.execute(&mut s, &format!("INSERT INTO SALES VALUES ({i})")).unwrap();
+        exec_until_applied(&idaa, &mut s, &format!("INSERT INTO LOG VALUES ({i})"));
+        if i % 10 == 9 {
+            exec_until_applied(&idaa, &mut s, "CALL ACCEL_LOAD_TABLES('SALES')");
+        }
+        idaa.replicate_now().unwrap();
+        idaa.link().advance(Duration::from_micros(100));
+    }
+    let fired = idaa.faults.registry.fired();
+    idaa.faults.registry.clear();
+    idaa.link().clear_faults();
+    assert!(idaa.recover(), "recovery must succeed once crash injection stops");
+    idaa.replicate_now().unwrap();
+    assert_eq!(idaa.health().state(), HealthState::Online);
+    assert_eq!(idaa.pending_accel_commits(), 0);
+    assert_eq!(idaa.replication_backlog(), 0);
+    if expect_crash {
+        let stats = idaa.last_restart().expect("a fired crash must force a restart");
+        assert!(stats.epoch >= 2, "restart must advance the recovery epoch");
+    }
+    (
+        idaa.link().metrics(),
+        fired,
+        sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("SALES")).unwrap()),
+        sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("LOG")).unwrap()),
+    )
+}
+
+/// Crash at every named site, at three different pinned hit counts each:
+/// after recovery and catch-up the accelerator converges to the crash-free
+/// answer, and replaying the same plan reproduces byte-identical link
+/// metrics and the exact same firing log.
+#[test]
+fn crash_at_every_named_site_converges_to_the_crash_free_answer() {
+    let (_, fired, sales_clean, log_clean) = crash_run(CrashPlan::default());
+    assert!(fired.is_empty(), "a clean plan must never fire");
+    assert_eq!(sales_clean, (0..40).collect::<Vec<_>>());
+    assert_eq!(log_clean, (0..40).collect::<Vec<_>>());
+
+    for site in [
+        sites::MID_BULK_LOAD,
+        sites::POST_PREPARE,
+        sites::MID_REPL_APPLY,
+        sites::MID_CHECKPOINT,
+    ] {
+        for (k, seed) in [0xA11CEu64, 0xB0B, 0xC0FFEE].into_iter().enumerate() {
+            let hit = k as u64 + 1;
+            let plan = CrashPlan::at(site, hit).seeded(seed);
+            let (m1, fired1, sales, log) = crash_run(plan.clone());
+            assert_eq!(
+                fired1,
+                vec![(site.to_string(), hit)],
+                "the pinned crash must fire exactly once at {site} hit {hit}"
+            );
+            assert_eq!(sales, sales_clean, "replica diverged after crash at {site} hit {hit}");
+            assert_eq!(log, log_clean, "AOT diverged after crash at {site} hit {hit}");
+
+            let (m2, fired2, sales2, log2) = crash_run(plan);
+            assert_eq!(m1, m2, "crash at {site} hit {hit} must replay byte-identically");
+            assert_eq!(fired1, fired2, "firing log must replay identically");
+            assert_eq!(sales, sales2);
+            assert_eq!(log, log2);
+        }
+    }
+}
+
+/// The in-doubt window end to end: a prepared transaction whose COMMIT
+/// decision is queued on the coordinator survives the crash and commits on
+/// restart; one whose vote never reached the coordinator is presumed
+/// aborted — matching the host's rollback.
+#[test]
+fn crash_preserves_in_doubt_transactions_until_the_coordinator_decides() {
+    let (idaa, mut s) = faulted_system(7);
+
+    // Queued decision: prepare round-trips, every phase-2 delivery dies,
+    // the host commits and queues the accelerator's COMMIT. Then a crash.
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO LOG VALUES (88)").unwrap();
+    idaa.link().fail_transfers_after(2, 8);
+    idaa.execute(&mut s, "COMMIT").unwrap();
+    assert_eq!(idaa.pending_accel_commits(), 1);
+    idaa.accel().crash();
+    idaa.link().clear_faults();
+    assert!(idaa.recover());
+    assert_eq!(idaa.pending_accel_commits(), 0, "queued decision resolved on restart");
+    assert_eq!(idaa.last_restart().unwrap().rematerialized_in_doubt, 1);
+
+    // No queued decision: the crash fires right after PREPARE is durably
+    // logged, the coordinator rolls back, restart presumes abort.
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO LOG VALUES (99)").unwrap();
+    idaa.faults.registry.arm(sites::POST_PREPARE, 1);
+    let err = idaa.execute(&mut s, "COMMIT").unwrap_err();
+    assert_eq!(err.sqlcode(), -926);
+    assert!(idaa.recover());
+    assert_eq!(idaa.last_restart().unwrap().rematerialized_in_doubt, 1);
+
+    // Exactly the committed row survives; health is fully restored.
+    assert_eq!(
+        sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("LOG")).unwrap()),
+        vec![88]
+    );
+    assert_eq!(idaa.health().state(), HealthState::Online);
 }
 
 /// Corrupt faults end-to-end: a damaged frame is caught by the wire

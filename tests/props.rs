@@ -6,7 +6,9 @@
 //! * `Value` ordering/hashing consistency;
 //! * zone-map pruning never changes query answers;
 //! * host and accelerator engines agree on random data;
-//! * random committed DML streams keep the replica convergent.
+//! * random committed DML streams keep the replica convergent;
+//! * commit-log replay is idempotent: any restart schedule rebuilds
+//!   byte-identical engine state.
 
 use idaa::sql::ast::*;
 use idaa::sql::{parse_statement, Statement};
@@ -551,6 +553,102 @@ proptest! {
         let host_rows = sort(idaa.host().scan_all(&ObjectName::bare("T")).unwrap());
         let accel_rows = sort(idaa.accel().scan_visible(&ObjectName::bare("T")).unwrap());
         prop_assert_eq!(host_rows, accel_rows);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: commit-log replay is idempotent
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A random committed/aborted DML stream with checkpoints sprinkled in,
+    /// then every restart schedule — replay the tail once, replay it again
+    /// (double restart), and optionally fold the whole log into a fresh
+    /// checkpoint between restarts (re-chunking the same history into a
+    /// different checkpoint/tail split) — rebuilds byte-identical state.
+    #[test]
+    fn commit_log_replay_is_idempotent(
+        ops in proptest::collection::vec((0u8..10, 0i64..40, -100i64..100), 10..50),
+        checkpoint_between in any::<bool>(),
+    ) {
+        use idaa::accel::{AccelConfig, AccelEngine};
+        use idaa::common::{ColumnDef, Schema};
+        use idaa::sql::ast::{BinaryOp, Expr};
+        use std::time::Duration;
+
+        let engine = AccelEngine::new(
+            "APP",
+            AccelConfig { slices: 3, zone_maps: true, parallel: false, parallelism: 0 },
+        );
+        let t = ObjectName::bare("T");
+        let schema = Schema::new(vec![
+            ColumnDef::new("K", DataType::BigInt),
+            ColumnDef::new("V", DataType::BigInt),
+        ]).unwrap();
+        engine.create_table(&t, schema, &[]).unwrap();
+        let key_eq = |k: i64| Expr::Binary {
+            left: Box::new(Expr::Column { qualifier: None, name: "K".into() }),
+            op: BinaryOp::Eq,
+            right: Box::new(Expr::Literal(Value::BigInt(k))),
+        };
+        let mut txn = 100u64;
+        for (i, (op, k, v)) in ops.iter().enumerate() {
+            txn += 1;
+            let row = vec![Value::BigInt(*k), Value::BigInt(*v)];
+            match op {
+                0..=4 => {
+                    engine.begin(txn);
+                    engine.insert_rows(txn, &t, vec![row]).unwrap();
+                    engine.commit(txn);
+                }
+                5..=6 => {
+                    engine.begin(txn);
+                    engine.update_where(
+                        txn,
+                        &t,
+                        &[("V".to_string(), Expr::Literal(Value::BigInt(*v)))],
+                        Some(&key_eq(*k)),
+                    ).unwrap();
+                    engine.commit(txn);
+                }
+                7 => {
+                    engine.begin(txn);
+                    engine.delete_where(txn, &t, Some(&key_eq(*k))).unwrap();
+                    engine.commit(txn);
+                }
+                8 => {
+                    // Aborted work: its effects must never reappear after
+                    // any replay.
+                    engine.begin(txn);
+                    engine.insert_rows(txn, &t, vec![row]).unwrap();
+                    engine.abort(txn);
+                }
+                _ => {
+                    engine.groom(&t).unwrap();
+                }
+            }
+            // Mid-stream checkpoints exercise checkpoint-plus-tail replay.
+            if i % 13 == 7 {
+                engine.checkpoint(Duration::from_millis(i as u64)).unwrap();
+            }
+        }
+        let fp_live = engine.state_fingerprint();
+        let rows_live = engine.scan_visible(&t).unwrap();
+
+        engine.crash();
+        engine.restart().unwrap();
+        prop_assert_eq!(engine.state_fingerprint(), fp_live, "first replay diverged");
+        prop_assert_eq!(&engine.scan_visible(&t).unwrap(), &rows_live);
+
+        if checkpoint_between {
+            engine.checkpoint(Duration::from_secs(1)).unwrap();
+        }
+        engine.crash();
+        engine.restart().unwrap();
+        prop_assert_eq!(engine.state_fingerprint(), fp_live, "second replay diverged");
+        prop_assert_eq!(&engine.scan_visible(&t).unwrap(), &rows_live);
     }
 }
 

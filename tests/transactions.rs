@@ -125,7 +125,7 @@ fn two_phase_commit_failure_is_atomic_and_recoverable() {
     idaa.execute(&mut s, "BEGIN").unwrap();
     idaa.execute(&mut s, "INSERT INTO H VALUES (1)").unwrap();
     idaa.execute(&mut s, "INSERT INTO A VALUES (1)").unwrap();
-    idaa.faults.fail_next_prepare.store(true, Ordering::Relaxed);
+    idaa.faults.registry.arm(idaa_netsim::sites::PREPARE_VOTE_NO, 1);
     assert!(idaa.execute(&mut s, "COMMIT").is_err());
     assert_eq!(
         idaa.query(&mut s, "SELECT COUNT(*) FROM h").unwrap().scalar().unwrap(),
