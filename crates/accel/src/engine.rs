@@ -14,7 +14,7 @@ use idaa_common::{wire, Error, ObjectName, Result, Row, Rows, Schema};
 use idaa_netsim::{sites, FaultRegistry};
 use idaa_sql::ast::{Expr, Query};
 use idaa_sql::eval::{bind, eval, FlatResolver};
-use idaa_sql::plan::{plan_query, SchemaProvider};
+use idaa_sql::plan::{plan_query, Plan, PlanProfile, SchemaProvider};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -577,8 +577,27 @@ impl AccelEngine {
         self.ensure_up()?;
         let plan = plan_query(query, self)?;
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
-        let ctx = ExecCtx { engine: self, snap: self.snapshot_for(txn) };
+        let ctx = ExecCtx { engine: self, snap: self.snapshot_for(txn), profile: None };
         execute_plan(&plan, &ctx)
+    }
+
+    /// Execute a `SELECT` and also return the executed plan plus a
+    /// per-operator row-count profile (for `EXPLAIN ANALYZE` / tracing).
+    /// The plan comes back boxed: the profile is keyed by node address, so
+    /// the tree must not move while the profile is being read.
+    pub fn query_profiled(
+        &self,
+        txn: TxnId,
+        query: &Query,
+    ) -> Result<(Rows, Box<Plan>, PlanProfile)> {
+        self.ensure_up()?;
+        let plan = Box::new(plan_query(query, self)?);
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let profile = PlanProfile::default();
+        let ctx =
+            ExecCtx { engine: self, snap: self.snapshot_for(txn), profile: Some(&profile) };
+        let rows = execute_plan(&plan, &ctx)?;
+        Ok((rows, plan, profile))
     }
 
     // -- DML (the AOT path) -----------------------------------------------------------
@@ -769,7 +788,7 @@ impl AccelEngine {
     pub fn scan_visible(&self, table: &ObjectName) -> Result<Vec<Row>> {
         self.ensure_up()?;
         let t = self.table(table)?;
-        let ctx = ExecCtx { engine: self, snap: self.txns.snapshot(0) };
+        let ctx = ExecCtx { engine: self, snap: self.txns.snapshot(0), profile: None };
         scan_filtered(&t, None, &ctx)
     }
 

@@ -14,7 +14,7 @@ use crate::table::{AccelTable, Slice, ZoneEntry, BLOCK_ROWS};
 use idaa_common::{ColumnDef, Result, Row, Rows, Schema, Value};
 use idaa_sql::ast::{BinaryOp, Expr, JoinKind};
 use idaa_sql::eval::{bind, eval, eval_predicate, AggState, BoundExpr, FlatResolver};
-use idaa_sql::plan::{Plan, PlanCol};
+use idaa_sql::plan::{Plan, PlanCol, PlanProfile};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
@@ -45,6 +45,9 @@ where
 pub struct ExecCtx<'a> {
     pub engine: &'a AccelEngine,
     pub snap: Snapshot,
+    /// When set, each executed plan node records its output cardinality
+    /// (fused children stay unrecorded — fusion is visible in the profile).
+    pub profile: Option<&'a PlanProfile>,
 }
 
 /// Execute a logical plan on the accelerator.
@@ -67,6 +70,16 @@ pub(crate) fn run(plan: &Plan, ctx: &ExecCtx) -> Result<Vec<Row>> {
     run_masked(plan, ctx, None)
 }
 
+/// Dispatch one node and, when profiling, record its output cardinality on
+/// the way out.
+fn run_masked(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Result<Vec<Row>> {
+    let rows = run_masked_inner(plan, ctx, needed)?;
+    if let Some(prof) = ctx.profile {
+        prof.record(plan, rows.len() as u64);
+    }
+    Ok(rows)
+}
+
 /// Union the column ordinals of `exprs` into a mask over `width` columns.
 fn mask_of(width: usize, bound: &[&BoundExpr]) -> Vec<bool> {
     let mut set = std::collections::HashSet::new();
@@ -87,7 +100,7 @@ fn union_mask(a: Option<Vec<bool>>, b: Vec<bool>) -> Vec<bool> {
 /// caller never reads output column `i`, so scans may leave it NULL and
 /// skip decoding the column vector — the columnar engine's signature
 /// advantage.
-fn run_masked(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Result<Vec<Row>> {
+fn run_masked_inner(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Result<Vec<Row>> {
     match plan {
         Plan::Scan { table, cols, .. } => {
             if cols.is_empty() && table.name == "SYSDUMMY1" {

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E16 (see DESIGN.md for the index and
+//! The experiment suite E1–E17 (see DESIGN.md for the index and
 //! EXPERIMENTS.md for recorded results). Each function regenerates one
 //! table of the evaluation.
 
@@ -11,7 +11,7 @@ use idaa_loader::{EventSource, LoadTarget, Loader};
 use idaa_sql::Privilege;
 use std::time::Instant;
 
-/// Run one experiment by id (`e1`…`e16`) or `all`.
+/// Run one experiment by id (`e1`…`e17`) or `all`.
 pub fn run(id: &str) -> bool {
     match id.to_ascii_lowercase().as_str() {
         "e1" => e1_offload_crossover(),
@@ -30,6 +30,7 @@ pub fn run(id: &str) -> bool {
         "e14" => e14_outage_recovery(),
         "e15" => e15_wire_codec(),
         "e16" => e16_crash_recovery(),
+        "e17" => e17_trace_overhead(),
         "all" => {
             for e in [
                 e1_offload_crossover,
@@ -48,6 +49,7 @@ pub fn run(id: &str) -> bool {
                 e14_outage_recovery,
                 e15_wire_codec,
                 e16_crash_recovery,
+                e17_trace_overhead,
             ] {
                 e();
                 println!();
@@ -1191,5 +1193,67 @@ pub fn e16_crash_recovery() {
     println!(
         "note: recovery time = fixed restart latency + (checkpoint + log tail) bytes \
          at the configured replay bandwidth, all on the virtual clock."
+    );
+}
+
+/// E17 — observability: what does full statement tracing cost, and what
+/// does it buy? The same offloaded workload runs with the trace sink off
+/// and on; the span counts and rendered-trace bytes are deterministic
+/// (virtual-clock timestamps only), so every column except `wall_ms` is
+/// byte-stable per seed. A second table shows the per-operator row
+/// attribution EXPLAIN ANALYZE reads off the same spans.
+pub fn e17_trace_overhead() {
+    banner("E17", "statement tracing: overhead + per-operator attribution");
+    fn span_count(n: &idaa_common::SpanNode) -> usize {
+        1 + n.children.iter().map(span_count).sum::<usize>()
+    }
+    let query = "SELECT region, COUNT(*), SUM(amount) FROM sales \
+                 WHERE qty > 2 GROUP BY region ORDER BY region";
+    let mut table = Table::new(&["tracing", "stmts", "traces", "spans", "trace_bytes", "wall_ms"]);
+    let mut attribution: Option<idaa_common::SpanNode> = None;
+    for traced in [false, true] {
+        let (idaa, mut setup) = system(IdaaConfig::default());
+        seed_sales(&idaa, &mut setup, 20_000);
+        accelerate(&idaa, &mut setup, "SALES");
+        idaa.tracer().set_enabled(traced);
+        idaa.tracer().clear();
+        // Sessions capture the sink's enablement at creation, so open the
+        // measured session *after* the toggle.
+        let mut s = idaa.session(SYSADM);
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        let stmts = 50usize;
+        let t0 = Instant::now();
+        for _ in 0..stmts {
+            idaa.query(&mut s, query).unwrap();
+        }
+        let wall = t0.elapsed();
+        let traces = idaa.tracer().statements();
+        let spans: usize = traces.iter().map(|t| span_count(&t.root)).sum();
+        let bytes: usize = traces.iter().map(|t| t.root.render().len()).sum();
+        table.row(&[
+            if traced { "on" } else { "off" }.to_string(),
+            stmts.to_string(),
+            traces.len().to_string(),
+            spans.to_string(),
+            fmt_bytes(bytes as u64),
+            ms(wall),
+        ]);
+        if traced {
+            attribution = traces.last().map(|t| t.root.clone());
+        }
+    }
+    table.print();
+    let root = attribution.expect("traced run recorded statements");
+    let mut ops = Table::new(&["operator", "rows_out"]);
+    for op in root.find_all("op") {
+        ops.row(&[
+            op.attr("op").unwrap_or("?").to_string(),
+            op.attr("rows").or(op.attr("fused").map(|_| "fused")).unwrap_or("?").to_string(),
+        ]);
+    }
+    ops.print();
+    println!(
+        "note: spans are stamped with virtual-clock timestamps only, so both tables \
+         are byte-stable per seed; the sink caps retained statements at 1024."
     );
 }

@@ -12,8 +12,10 @@
 pub mod decimal;
 pub mod error;
 pub mod ident;
+pub mod metrics;
 pub mod row;
 pub mod schema;
+pub mod trace;
 pub mod types;
 pub mod value;
 pub mod wire;
@@ -21,7 +23,9 @@ pub mod wire;
 pub use decimal::Decimal;
 pub use error::{Error, Result};
 pub use ident::ObjectName;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use row::{Row, Rows};
 pub use schema::{ColumnDef, Schema};
+pub use trace::{SpanId, SpanNode, StatementTrace, Trace, TraceSink};
 pub use types::DataType;
 pub use value::Value;

@@ -13,15 +13,16 @@ use crate::replication::Replicator;
 use crate::router::{self, Route};
 use crate::session::Session;
 use idaa_accel::{AccelConfig, AccelEngine, RestartStats};
+use idaa_common::trace::{SpanId, StatementTrace, Trace, TraceSink};
 use idaa_common::wire;
-use idaa_common::{Error, ObjectName, Result, Row, Rows, Value};
+use idaa_common::{Error, MetricsRegistry, ObjectName, Result, Row, Rows, Value};
 use idaa_host::{HostEngine, TableKind, TxnId, SYSADM};
 use idaa_netsim::{
     sites, CrashPlan, Direction, FaultPlan, FaultRegistry, LinkConfig, NetLink, RetryPolicy,
 };
 use idaa_sql::ast::{Expr, InsertSource, Query, Statement};
 use idaa_sql::eval::{bind, eval, FlatResolver};
-use idaa_sql::plan::plan_query;
+use idaa_sql::plan::{plan_query, Plan, PlanProfile};
 use idaa_sql::{parse_statement, parse_statements, Privilege};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -170,6 +171,12 @@ pub struct Idaa {
     statements_fenced: AtomicU64,
     /// Stats of the most recent accelerator crash recovery.
     last_restart: Mutex<Option<RestartStats>>,
+    /// Collected statement traces (query-lifecycle span trees on the
+    /// virtual clock).
+    tracer: Arc<TraceSink>,
+    /// Process-wide monotone counters and gauges; the link mirrors its
+    /// delivered/failed counters here as `link.*`.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for Idaa {
@@ -195,9 +202,15 @@ impl Idaa {
             statements_deduped: AtomicU64::new(0),
             statements_fenced: AtomicU64::new(0),
             last_restart: Mutex::new(None),
+            tracer: Arc::new(TraceSink::default()),
+            metrics: Arc::new(MetricsRegistry::default()),
             config,
             faults: Faults::default(),
         };
+        // Mirror delivered/failed link traffic into the metrics registry
+        // from the first transfer, so `link.*` counters reconcile with
+        // `LinkMetrics` by construction.
+        idaa.link.set_metrics(idaa.metrics.clone());
         // One failure registry drives both the coordinator's protocol
         // sites and the accelerator's crash points.
         idaa.accel.set_fault_registry(idaa.faults.registry.clone());
@@ -211,9 +224,25 @@ impl Idaa {
         idaa
     }
 
-    /// Open a session for `user`.
+    /// Open a session for `user`. When the system's [`TraceSink`] is
+    /// enabled (the default), the session records a query-lifecycle span
+    /// tree per statement, stamped with the link's virtual clock.
     pub fn session(&self, user: &str) -> Session {
-        Session::new(user)
+        let mut s = Session::new(user);
+        if self.tracer.enabled() {
+            s.trace = Trace::enabled();
+        }
+        s
+    }
+
+    /// The statement-trace collector.
+    pub fn tracer(&self) -> &TraceSink {
+        &self.tracer
+    }
+
+    /// The process-wide metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The host engine (DB2 side).
@@ -407,6 +436,7 @@ impl Idaa {
         }
         let mut rep = self.replicator.lock();
         let applied = rep.apply(&self.host, &self.accel, &self.link)?;
+        self.metrics.inc("replication.applied", applied as u64);
         if rep.stalled() {
             if self.accel.is_crashed() {
                 // The accelerator crashed mid-apply (a crash site fired):
@@ -493,6 +523,27 @@ impl Idaa {
         }
     }
 
+    /// [`Idaa::accel_ready`], recording an "accel.restart" trace event when
+    /// the readiness check drove a crash recovery.
+    fn accel_ready_traced(&self, trace: &Trace) -> bool {
+        let epoch_before = self.accel.epoch();
+        let ready = self.accel_ready();
+        if trace.is_enabled() && self.accel.epoch() != epoch_before {
+            let now = self.link.now();
+            let id = trace.begin("accel.restart", now);
+            trace.attr(id, "epoch", self.accel.epoch());
+            if let Some(stats) = self.last_restart() {
+                trace.attr(
+                    id,
+                    "replayed_bytes",
+                    stats.checkpoint_bytes + stats.log_bytes_replayed,
+                );
+            }
+            trace.end(id, now);
+        }
+        ready
+    }
+
     /// Restart a crashed accelerator: rebuild state as checkpoint + log
     /// replay, charge the replay cost to the *virtual* clock, fence the
     /// statement tracker to the new recovery epoch, resolve re-materialized
@@ -500,6 +551,11 @@ impl Idaa {
     /// a queued COMMIT decision), and redeliver queued decisions.
     fn restart_accel(&self) -> Result<()> {
         let stats = self.accel.restart()?;
+        self.metrics.inc("accel.restarts", 1);
+        self.metrics.inc(
+            "accel.recovery.replayed_bytes",
+            stats.checkpoint_bytes + stats.log_bytes_replayed,
+        );
         // Recovery consumes virtual time only: a fixed restart latency
         // plus replaying checkpoint + log bytes at the configured
         // bandwidth. Never a wall-clock sleep.
@@ -593,6 +649,19 @@ impl Idaa {
     /// Execute an already-parsed statement.
     pub fn execute_stmt(&self, session: &mut Session, stmt: &Statement) -> Result<ExecOutcome> {
         session.statements += 1;
+        // Only the outermost statement owns the root "statement" span;
+        // statements executed re-entrantly (procedures, EXPLAIN ANALYZE)
+        // add their spans under whatever is already open.
+        let trace = session.trace.clone();
+        let root = if trace.is_enabled() && !trace.in_statement() {
+            let id = trace.begin("statement", self.link.now());
+            trace.attr(id, "sql", stmt);
+            // Parsing consumes no virtual time — a zero-duration event.
+            trace.event("parse", &[], self.link.now());
+            Some(id)
+        } else {
+            None
+        };
         let result = self.dispatch(session, stmt);
         match &result {
             Ok(_) => {
@@ -600,7 +669,12 @@ impl Idaa {
                 if !session.explicit_txn
                     && !matches!(stmt, Statement::Begin | Statement::Commit | Statement::Rollback)
                 {
-                    self.commit_session(session)?;
+                    if let Err(e) = self.commit_session(session) {
+                        self.metrics.inc("statements.total", 1);
+                        self.metrics.inc(&format!("errors.sqlcode.{}", e.sqlcode()), 1);
+                        self.finish_statement_trace(session, stmt, root, Some(&e));
+                        return Err(e);
+                    }
                 }
             }
             Err(_) => {
@@ -611,7 +685,122 @@ impl Idaa {
                 }
             }
         }
+        self.metrics.inc("statements.total", 1);
+        match &result {
+            Ok(out) => {
+                let route = match out.route {
+                    Route::Host => "statements.route.host",
+                    Route::Accelerator => "statements.route.accel",
+                };
+                self.metrics.inc(route, 1);
+                if let Some(id) = root {
+                    trace.attr(id, "route", format!("{:?}", out.route));
+                }
+                self.finish_statement_trace(session, stmt, root, None);
+            }
+            Err(e) => {
+                self.metrics.inc(&format!("errors.sqlcode.{}", e.sqlcode()), 1);
+                self.finish_statement_trace(session, stmt, root, Some(e));
+            }
+        }
         result
+    }
+
+    /// Close a root "statement" span and deliver it to the trace sink.
+    fn finish_statement_trace(
+        &self,
+        session: &Session,
+        stmt: &Statement,
+        root: Option<SpanId>,
+        err: Option<&Error>,
+    ) {
+        let Some(id) = root else { return };
+        if let Some(e) = err {
+            session.trace.attr(id, "sqlcode", e.sqlcode());
+        }
+        if let Some(node) = session.trace.finish(id, self.link.now()) {
+            self.tracer.record(StatementTrace {
+                session: session.id,
+                sql: stmt.to_string(),
+                root: node,
+            });
+        }
+    }
+
+    /// Record a zero-duration "transfer" trace event (one link message).
+    fn transfer_event(
+        &self,
+        trace: &Trace,
+        direction: Direction,
+        kind: &str,
+        bytes: usize,
+        err: Option<String>,
+    ) {
+        if !trace.is_enabled() {
+            return;
+        }
+        let now = self.link.now();
+        let id = trace.begin("transfer", now);
+        let dir = match direction {
+            Direction::ToAccel => "to_accel",
+            Direction::ToHost => "to_host",
+        };
+        trace.attr(id, "dir", dir);
+        trace.attr(id, "kind", kind);
+        trace.attr(id, "bytes", bytes);
+        if let Some(e) = err {
+            trace.attr(id, "err", e);
+        }
+        trace.end(id, now);
+    }
+
+    /// [`Idaa::ship`] with a "transfer" trace event for the outcome.
+    fn ship_traced(
+        &self,
+        trace: &Trace,
+        direction: Direction,
+        kind: &str,
+        bytes: usize,
+    ) -> Result<Duration> {
+        match self.ship(direction, bytes) {
+            Ok(d) => {
+                self.transfer_event(trace, direction, kind, bytes, None);
+                Ok(d)
+            }
+            Err(e) => {
+                self.transfer_event(trace, direction, kind, bytes, Some(e.to_string()));
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Idaa::ship_rows`] with one "transfer" trace event per encoded
+    /// wire frame (kind `frame`, sized at the encoded frame length).
+    fn ship_rows_traced(
+        &self,
+        trace: &Trace,
+        direction: Direction,
+        schema: &idaa_common::Schema,
+        rows: &[Row],
+    ) -> Result<Vec<Row>> {
+        let mut delivered = Vec::with_capacity(rows.len());
+        for frame in wire::encode_frames(schema, rows) {
+            match self.ship_frame(direction, &frame) {
+                Ok(_) => self.transfer_event(trace, direction, "frame", frame.len(), None),
+                Err(e) => {
+                    self.transfer_event(
+                        trace,
+                        direction,
+                        "frame",
+                        frame.len(),
+                        Some(e.to_string()),
+                    );
+                    return Err(e);
+                }
+            }
+            delivered.extend(wire::decode_rows(&frame, schema)?);
+        }
+        Ok(delivered)
     }
 
     fn dispatch(&self, session: &mut Session, stmt: &Statement) -> Result<ExecOutcome> {
@@ -729,7 +918,10 @@ impl Idaa {
                 Ok(ExecOutcome::host(Payload::None))
             }
             Statement::Call { procedure, args } => self.dispatch_call(session, procedure, args),
-            Statement::Explain(inner) => self.dispatch_explain(session, inner),
+            Statement::Explain { analyze: false, stmt } => self.dispatch_explain(session, stmt),
+            Statement::Explain { analyze: true, stmt } => {
+                self.dispatch_explain_analyze(session, stmt)
+            }
             Statement::Query(q) => self.dispatch_query(session, q),
             Statement::Insert { table, columns, source } => {
                 self.dispatch_insert(session, table, columns, source)
@@ -844,9 +1036,10 @@ impl Idaa {
                     .collect();
                 let mut mix = router::classify(&self.host, &tables)?;
                 mix.indexed_point = router::is_indexed_point(&self.host, &plan);
-                let route = router::route_query(&mix, session.acceleration)?;
+                let (route, reason) =
+                    router::route_query_with_reason(&mix, session.acceleration)?;
                 (plan, format!(
-                    "ROUTE: {route:?} (CURRENT QUERY ACCELERATION = {})",
+                    "ROUTE: {route:?} (CURRENT QUERY ACCELERATION = {})\nREASON: {reason}",
                     session.acceleration
                 ))
             }
@@ -876,14 +1069,70 @@ impl Idaa {
                 )))
             }
         };
-        let mut lines = vec![vec![Value::Varchar(route_desc)]];
+        let mut lines: Vec<Row> = route_desc
+            .lines()
+            .map(|l| vec![Value::Varchar(l.to_string())])
+            .collect();
         for l in plan.explain().lines() {
             lines.push(vec![Value::Varchar(l.to_string())]);
         }
         Ok(ExecOutcome::host(Payload::Rows(Rows::new(explain_schema(), lines))))
     }
 
+    /// `EXPLAIN ANALYZE`: *execute* the statement (under a span tree even
+    /// when session tracing is off), then report the plan followed by the
+    /// executed spans — per-operator row counts and virtual-time costs.
+    fn dispatch_explain_analyze(
+        &self,
+        session: &mut Session,
+        inner: &Statement,
+    ) -> Result<ExecOutcome> {
+        // The report needs spans even when the session isn't tracing:
+        // borrow an enabled trace for the duration of the inner statement.
+        let borrowed = if session.trace.is_enabled() {
+            None
+        } else {
+            Some(std::mem::replace(&mut session.trace, Trace::enabled()))
+        };
+        let trace = session.trace.clone();
+        let span = trace.begin("analyze", self.link.now());
+        let result = self.dispatch(session, inner);
+        let analyzed = trace.finish(span, self.link.now());
+        if let Some(original) = borrowed {
+            session.trace = original;
+        }
+        let outcome = result?;
+        let mut lines: Vec<Row> = vec![vec![Value::Varchar(format!(
+            "ROUTE: {:?} (CURRENT QUERY ACCELERATION = {})",
+            outcome.route, session.acceleration
+        ))]];
+        // Show the plan for the query shape, as plain EXPLAIN would.
+        let query = match inner {
+            Statement::Query(q) => Some(q.as_ref()),
+            Statement::Insert { source: InsertSource::Query(q), .. } => Some(q.as_ref()),
+            _ => None,
+        };
+        if let Some(q) = query {
+            for l in plan_query(q, &*self.host)?.explain().lines() {
+                lines.push(vec![Value::Varchar(l.to_string())]);
+            }
+        }
+        lines.push(vec![Value::Varchar("-- ANALYZE --".into())]);
+        if let Some(node) = analyzed {
+            for child in &node.children {
+                for l in child.render().lines() {
+                    lines.push(vec![Value::Varchar(l.to_string())]);
+                }
+            }
+        }
+        Ok(ExecOutcome {
+            route: outcome.route,
+            payload: Payload::Rows(Rows::new(explain_schema(), lines)),
+        })
+    }
+
     fn dispatch_query(&self, session: &mut Session, q: &Query) -> Result<ExecOutcome> {
+        let trace = session.trace.clone();
         let plan = plan_query(q, &*self.host)?;
         let tables: Vec<ObjectName> = plan
             .tables()
@@ -892,18 +1141,21 @@ impl Idaa {
             .collect();
         let mut mix = router::classify(&self.host, &tables)?;
         mix.indexed_point = router::is_indexed_point(&self.host, &plan);
-        let mut route = router::route_query(&mix, session.acceleration)?;
+        let (mut route, mut reason) =
+            router::route_query_with_reason(&mix, session.acceleration)?;
         // Accelerator unavailable (stopped, or declared offline after
         // consecutive communication failures): fall back to DB2 when the
         // data still lives there; fail when only the accelerator could
         // answer.
         let must_accelerate = router::must_accelerate(&mix, session.acceleration);
-        if route == Route::Accelerator && !self.accel_ready() {
+        if route == Route::Accelerator && !self.accel_ready_traced(&trace) {
             if must_accelerate {
                 return Err(self.unavailable_error());
             }
             route = Route::Host;
+            reason = "accelerator unavailable; falling back to DB2";
         }
+        self.route_event(&trace, route, reason, session);
         if route == Route::Accelerator {
             // Governance on DB2 before delegation — a failover must never
             // mask a privilege error.
@@ -914,19 +1166,82 @@ impl Idaa {
                         continue;
                     }
                     privs.check(&session.user, t, Privilege::Select)?;
+                    self.privilege_event(&trace, t, "SELECT");
                 }
             }
             match self.accel_query(session, q) {
                 Ok(rows) => return Ok(ExecOutcome::accel(Payload::Rows(rows))),
                 // Communication failed mid-statement: like DB2, re-execute
                 // the read-only query locally when the data allows it.
-                Err(Error::LinkFailure(_)) if !must_accelerate => {}
+                Err(Error::LinkFailure(_)) if !must_accelerate => {
+                    self.route_event(
+                        &trace,
+                        Route::Host,
+                        "communication failed mid-statement; re-executing locally",
+                        session,
+                    );
+                }
                 Err(e) => return Err(e),
             }
         }
         let txn = self.ensure_txn(session);
-        let rows = self.host.query(&session.user, txn, q)?;
+        let rows = if trace.is_enabled() {
+            let now = self.link.now();
+            let span = trace.begin("host.exec", now);
+            let profiled = self.host.query_profiled(&session.user, txn, q);
+            if let Ok((_, plan, profile)) = &profiled {
+                self.emit_plan_spans(&trace, plan, profile);
+            }
+            trace.end(span, self.link.now());
+            profiled?.0
+        } else {
+            self.host.query(&session.user, txn, q)?
+        };
         Ok(ExecOutcome::host(Payload::Rows(rows)))
+    }
+
+    /// Record the routing decision (and its reason) as a trace event.
+    fn route_event(&self, trace: &Trace, route: Route, reason: &str, session: &Session) {
+        if !trace.is_enabled() {
+            return;
+        }
+        let now = self.link.now();
+        let id = trace.begin("route", now);
+        trace.attr(id, "route", format!("{route:?}"));
+        trace.attr(id, "reason", reason);
+        trace.attr(id, "mode", session.acceleration);
+        trace.end(id, now);
+    }
+
+    /// Record a passed host-side privilege check as a trace event.
+    fn privilege_event(&self, trace: &Trace, object: &ObjectName, privilege: &str) {
+        if !trace.is_enabled() {
+            return;
+        }
+        let now = self.link.now();
+        let id = trace.begin("privilege", now);
+        trace.attr(id, "object", object);
+        trace.attr(id, "priv", privilege);
+        trace.end(id, now);
+    }
+
+    /// Mirror an executed plan (with its row-count profile) into the trace
+    /// as nested zero-duration "op" spans. Operators consume no virtual
+    /// time — only link transfers do — so only the tree shape and `rows`
+    /// attributes carry information. A node without `rows` was fused into
+    /// its parent.
+    fn emit_plan_spans(&self, trace: &Trace, plan: &Plan, profile: &PlanProfile) {
+        let now = self.link.now();
+        let id = trace.begin("op", now);
+        trace.attr(id, "op", plan.label());
+        match profile.rows_out(plan) {
+            Some(rows) => trace.attr(id, "rows", rows),
+            None => trace.attr(id, "fused", "true"),
+        }
+        for child in plan.children() {
+            self.emit_plan_spans(trace, child, profile);
+        }
+        trace.end(id, now);
     }
 
     /// Run a routed query on the accelerator: ship the statement, execute,
@@ -934,10 +1249,19 @@ impl Idaa {
     /// frame. The result handed to the caller is decoded from that frame.
     fn accel_query(&self, session: &mut Session, q: &Query) -> Result<Rows> {
         let txn = self.accel_query_txn(session);
+        let trace = session.trace.clone();
         let (rows, frame) = self.accel_exchange_inner(
             session,
             q.to_string().len() + wire::CONTROL_FRAME,
-            || self.accel.query(txn, q),
+            || {
+                if trace.is_enabled() {
+                    let (rows, plan, profile) = self.accel.query_profiled(txn, q)?;
+                    self.emit_plan_spans(&trace, &plan, &profile);
+                    Ok(rows)
+                } else {
+                    self.accel.query(txn, q)
+                }
+            },
             |r: &Rows| ReplyPayload::Frame(wire::encode_frame(&r.schema, &r.rows)),
         )?;
         let frame = frame.expect("row replies travel as frames");
@@ -1033,13 +1357,15 @@ impl Idaa {
             TableKind::AcceleratorOnly => {
                 self.host.privileges.read().check(&session.user, &target, Privilege::Insert)?;
                 let txn = self.enlist_accel(session)?;
+                let trace = session.trace.clone();
                 // Rows originate on the host side (VALUES literals or a
                 // host-executed source query): they cross the link as
                 // encoded frames and the accelerator inserts what it
                 // decodes.
-                let delivered = self.ship_rows(Direction::ToAccel, &meta.schema, &rows)?;
+                let delivered =
+                    self.ship_rows_traced(&trace, Direction::ToAccel, &meta.schema, &rows)?;
                 let n = self.accel.insert_rows(txn, &target, delivered)?;
-                self.ship(Direction::ToHost, wire::ACK_FRAME)?;
+                self.ship_traced(&trace, Direction::ToHost, "control", wire::ACK_FRAME)?;
                 Ok(ExecOutcome::accel(Payload::Count(n)))
             }
         }
@@ -1097,12 +1423,14 @@ impl Idaa {
     /// needed) — required for AOT DML so that the paper's own-uncommitted-
     /// changes visibility holds.
     fn enlist_accel(&self, session: &mut Session) -> Result<TxnId> {
-        if !self.accel_ready() {
+        let trace = session.trace.clone();
+        if !self.accel_ready_traced(&trace) {
             return Err(self.unavailable_error());
         }
         let txn = self.ensure_txn(session);
         if !self.host.txns.accelerator_enlisted(txn) {
-            self.ship(Direction::ToAccel, wire::CONTROL_FRAME)?; // BEGIN message
+            // BEGIN message
+            self.ship_traced(&trace, Direction::ToAccel, "control", wire::CONTROL_FRAME)?;
             self.accel.begin(txn);
             self.host.txns.enlist_accelerator(txn);
         }
@@ -1142,6 +1470,7 @@ impl Idaa {
         exec: impl FnOnce() -> Result<T>,
         reply: impl Fn(&T) -> ReplyPayload,
     ) -> Result<(T, Option<Vec<u8>>)> {
+        let trace = session.trace.clone();
         let seq = session.next_seq();
         let mut exec = Some(exec);
         let mut result: Option<T> = None;
@@ -1149,13 +1478,27 @@ impl Idaa {
         let mut wait = self.retry.backoff;
         for attempt in 1..=attempts {
             if attempt > 1 {
+                self.metrics.inc("exchange.retries", 1);
+                trace.event("retry", &[("attempt", &attempt)], self.link.now());
                 self.link.advance(wait);
                 wait = wait.saturating_mul(self.retry.multiplier);
             }
             // Request leg: loss means the statement never reached the
             // accelerator — resend it.
-            if self.link.transfer(Direction::ToAccel, request_bytes).is_err() {
-                continue;
+            match self.link.transfer(Direction::ToAccel, request_bytes) {
+                Ok(_) => {
+                    self.transfer_event(&trace, Direction::ToAccel, "stmt", request_bytes, None)
+                }
+                Err(e) => {
+                    self.transfer_event(
+                        &trace,
+                        Direction::ToAccel,
+                        "stmt",
+                        request_bytes,
+                        Some(e.to_string()),
+                    );
+                    continue;
+                }
             }
             self.health.record_success();
             // Receiver side: execute on first delivery, discard duplicates.
@@ -1169,9 +1512,11 @@ impl Idaa {
                 }
                 Delivery::Duplicate => {
                     self.statements_deduped.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.inc("exchange.deduped", 1);
                 }
                 Delivery::Fenced => {
                     self.statements_fenced.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.inc("exchange.fenced", 1);
                     continue;
                 }
             }
@@ -1179,17 +1524,34 @@ impl Idaa {
             // Reply leg: control acknowledgements go as plain messages; row
             // results are encoded into a wire frame whose checksum the host
             // side verifies on receipt.
-            let sent = match reply(outcome) {
-                ReplyPayload::Control(bytes) => {
-                    self.link.transfer(Direction::ToHost, bytes).map(|_| None)
-                }
+            let (sent, kind, reply_bytes) = match reply(outcome) {
+                ReplyPayload::Control(bytes) => (
+                    self.link.transfer(Direction::ToHost, bytes).map(|_| None),
+                    "control",
+                    bytes,
+                ),
                 ReplyPayload::Frame(frame) => {
-                    self.link.transfer_frame(Direction::ToHost, &frame).map(|_| Some(frame))
+                    let len = frame.len();
+                    (
+                        self.link.transfer_frame(Direction::ToHost, &frame).map(|_| Some(frame)),
+                        "frame",
+                        len,
+                    )
                 }
             };
-            if let Ok(frame) = sent {
-                self.health.record_success();
-                return Ok((result.take().expect("reply delivered"), frame));
+            match sent {
+                Ok(frame) => {
+                    self.transfer_event(&trace, Direction::ToHost, kind, reply_bytes, None);
+                    self.health.record_success();
+                    return Ok((result.take().expect("reply delivered"), frame));
+                }
+                Err(e) => self.transfer_event(
+                    &trace,
+                    Direction::ToHost,
+                    kind,
+                    reply_bytes,
+                    Some(e.to_string()),
+                ),
             }
             // Reply lost: redeliver the request (same sequence number) on
             // the next attempt.
@@ -1207,25 +1569,59 @@ impl Idaa {
     /// coordinator), COMMIT on the accelerator.
     pub fn commit_session(&self, session: &mut Session) -> Result<()> {
         let Some(txn) = session.txn.take() else { return Ok(()) };
-        if self.host.txns.accelerator_enlisted(txn) {
-            self.commit_two_phase(txn)?;
+        let trace = session.trace.clone();
+        let span = if trace.is_enabled() {
+            Some(trace.begin("commit", self.link.now()))
         } else {
+            None
+        };
+        let enlisted = self.host.txns.accelerator_enlisted(txn);
+        if let Some(id) = span {
+            trace.attr(id, "kind", if enlisted { "2pc" } else { "local" });
+        }
+        let result = if enlisted {
+            self.metrics.inc("commits.twopc", 1);
+            self.commit_two_phase(&trace, txn)
+        } else {
+            self.metrics.inc("commits.local", 1);
             self.host.commit(txn);
+            Ok(())
+        };
+        if let Err(e) = result {
+            if let Some(id) = span {
+                trace.end(id, self.link.now());
+            }
+            return Err(e);
         }
         if self.config.auto_replicate {
-            self.replicate_now()?;
+            let applied = self.replicate_now();
+            match &applied {
+                Ok(n) if *n > 0 => {
+                    trace.event("replicate", &[("applied", n)], self.link.now());
+                }
+                _ => {}
+            }
+            applied?;
         }
         // Periodic checkpoint policy on the virtual clock. A crash while
         // building the checkpoint (the MID_CHECKPOINT site) must not fail
         // the user's commit — the decision is already durable; the next
         // statement observes the crash and drives recovery.
-        let _ = self.accel.maybe_checkpoint(self.link.now(), self.config.checkpoint_every);
+        if let Ok(true) =
+            self.accel.maybe_checkpoint(self.link.now(), self.config.checkpoint_every)
+        {
+            self.metrics.inc("accel.checkpoints", 1);
+            trace.event("checkpoint", &[], self.link.now());
+        }
+        if let Some(id) = span {
+            trace.end(id, self.link.now());
+        }
         Ok(())
     }
 
     /// Two-phase commit with an enlisted accelerator, hardened against a
     /// stopped accelerator and link-level message loss at every step.
-    fn commit_two_phase(&self, txn: TxnId) -> Result<()> {
+    fn commit_two_phase(&self, trace: &Trace, txn: TxnId) -> Result<()> {
         // A stopped or crashed accelerator cannot vote: presume abort on
         // both sides. (A crashed engine's copy of the transaction is
         // aborted durably when recovery replays the log.)
@@ -1240,7 +1636,8 @@ impl Idaa {
         }
         // Phase 1: PREPARE request. Undeliverable after retries means the
         // participant never voted — presumed abort everywhere.
-        if let Err(e) = self.ship(Direction::ToAccel, wire::CONTROL_FRAME) {
+        if let Err(e) = self.ship_traced(trace, Direction::ToAccel, "control", wire::CONTROL_FRAME)
+        {
             self.accel.abort(txn);
             self.host.rollback(txn)?;
             return Err(Error::CommitFailed(format!(
@@ -1276,9 +1673,13 @@ impl Idaa {
         // in-doubt: the participant is prepared but the coordinator cannot
         // see the outcome. The resolver re-runs the status inquiry once;
         // if that fails too, both sides roll back (presumed abort).
-        if self.ship(Direction::ToHost, wire::CONTROL_FRAME).is_err() {
-            let recovered = self.ship(Direction::ToAccel, wire::CONTROL_FRAME).is_ok()
-                && self.ship(Direction::ToHost, wire::CONTROL_FRAME).is_ok();
+        if self.ship_traced(trace, Direction::ToHost, "control", wire::CONTROL_FRAME).is_err() {
+            let recovered = self
+                .ship_traced(trace, Direction::ToAccel, "control", wire::CONTROL_FRAME)
+                .is_ok()
+                && self
+                    .ship_traced(trace, Direction::ToHost, "control", wire::CONTROL_FRAME)
+                    .is_ok();
             if !recovered {
                 self.accel.abort(txn);
                 self.host.rollback(txn)?;
@@ -1289,16 +1690,19 @@ impl Idaa {
                 ));
             }
             self.in_doubt_resolved.fetch_add(1, Ordering::Relaxed);
+            self.metrics.inc("twopc.in_doubt_resolved", 1);
         }
         // Phase 2: the decision is durable once the coordinator commits.
         self.host.commit(txn);
-        if self.accel.is_crashed() || self.ship(Direction::ToAccel, wire::CONTROL_FRAME).is_err()
+        if self.accel.is_crashed()
+            || self.ship_traced(trace, Direction::ToAccel, "control", wire::CONTROL_FRAME).is_err()
         {
             // The COMMIT decision is queued and redelivered on the next
             // replication round or recovery probe; the accelerator holds
             // the transaction prepared (durably — a crash re-materializes
             // it from the log) until the decision arrives.
             self.pending_commits.lock().push(txn);
+            self.metrics.inc("twopc.decisions_queued", 1);
         } else {
             self.accel.commit(txn);
         }

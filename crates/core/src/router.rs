@@ -140,6 +140,15 @@ pub const ENABLE_OFFLOAD_ROW_THRESHOLD: usize = 10_000;
 
 /// Route a read-only query given the table mix and the session register.
 pub fn route_query(mix: &TableMix, mode: AccelerationMode) -> Result<Route> {
+    Ok(route_query_with_reason(mix, mode)?.0)
+}
+
+/// [`route_query`] plus a static, deterministic *reason* string — recorded
+/// on the statement's `route` trace span and shown by `EXPLAIN`.
+pub fn route_query_with_reason(
+    mix: &TableMix,
+    mode: AccelerationMode,
+) -> Result<(Route, &'static str)> {
     if mix.aot > 0 {
         if mix.host_only > 0 {
             return Err(Error::InvalidAcceleratorUse(
@@ -148,34 +157,37 @@ pub fn route_query(mix: &TableMix, mode: AccelerationMode) -> Result<Route> {
                     .into(),
             ));
         }
-        return Ok(Route::Accelerator);
+        return Ok((Route::Accelerator, "accelerator-only tables referenced"));
     }
     let all_offloadable = mix.host_only == 0 && mix.accelerated > 0;
     match mode {
-        AccelerationMode::None => Ok(Route::Host),
+        AccelerationMode::None => Ok((Route::Host, "acceleration register is NONE")),
         AccelerationMode::Enable => {
-            if all_offloadable
-                && mix.host_rows >= ENABLE_OFFLOAD_ROW_THRESHOLD
-                && !mix.indexed_point
-            {
-                Ok(Route::Accelerator)
+            if all_offloadable && mix.host_rows >= ENABLE_OFFLOAD_ROW_THRESHOLD {
+                if mix.indexed_point {
+                    Ok((Route::Host, "indexed point access stays local"))
+                } else {
+                    Ok((Route::Accelerator, "cost heuristic favors offload"))
+                }
+            } else if all_offloadable {
+                Ok((Route::Host, "referenced tables below offload threshold"))
             } else {
-                Ok(Route::Host)
+                Ok((Route::Host, "not all tables available on the accelerator"))
             }
         }
         AccelerationMode::Eligible => {
             if all_offloadable {
-                Ok(Route::Accelerator)
+                Ok((Route::Accelerator, "all tables accelerated"))
             } else {
-                Ok(Route::Host)
+                Ok((Route::Host, "not all tables available on the accelerator"))
             }
         }
         AccelerationMode::All => {
             if all_offloadable {
-                Ok(Route::Accelerator)
+                Ok((Route::Accelerator, "ALL forces offload"))
             } else if mix.accelerated == 0 && mix.host_only == 0 {
                 // FROM-less / catalog-only statements run locally.
-                Ok(Route::Host)
+                Ok((Route::Host, "no base tables referenced"))
             } else {
                 Err(Error::NotOffloadable(
                     "CURRENT QUERY ACCELERATION = ALL but the statement references \

@@ -1,5 +1,6 @@
 //! Client sessions: authorization id, special registers, transaction state.
 
+use idaa_common::trace::Trace;
 use idaa_host::TxnId;
 use idaa_sql::AccelerationMode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +24,10 @@ pub struct Session {
     pub explicit_txn: bool,
     /// Statements executed on this session (diagnostics).
     pub statements: u64,
+    /// Query-lifecycle tracer. Sessions opened via `Idaa::session` get an
+    /// active trace when the system's `TraceSink` is enabled; every span it
+    /// records is stamped with the link's *virtual* clock only.
+    pub trace: Trace,
     seq: u64,
 }
 
@@ -36,6 +41,7 @@ impl Session {
             txn: None,
             explicit_txn: false,
             statements: 0,
+            trace: Trace::disabled(),
             seq: 0,
         }
     }

@@ -6,7 +6,7 @@
 //! decides which statements ever reach this engine versus the accelerator.
 
 use crate::catalog::{AccelStatus, Catalog, TableId, TableKind, TableMeta};
-use crate::exec::{execute_plan, RowSource};
+use crate::exec::{execute_plan, execute_plan_profiled, RowSource};
 use crate::index::BTreeIndex;
 use crate::lock::{LockManager, LockMode};
 use crate::privilege::PrivilegeCatalog;
@@ -15,7 +15,7 @@ use crate::txn::{ChangeOp, ChangeRecord, TxnId, TxnManager, UndoRecord};
 use idaa_common::{Error, ObjectName, Result, Row, Rows, Schema, Value};
 use idaa_sql::ast::{Expr, Query};
 use idaa_sql::eval::{bind, eval, eval_predicate, FlatResolver};
-use idaa_sql::plan::{plan_query, SchemaProvider};
+use idaa_sql::plan::{plan_query, Plan, PlanProfile, SchemaProvider};
 use idaa_sql::Privilege;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -372,6 +372,34 @@ impl HostEngine {
     /// stability — released at statement end), plan, run.
     pub fn query(&self, user: &str, txn: TxnId, query: &Query) -> Result<Rows> {
         let plan = plan_query(query, self)?;
+        self.check_and_lock_for_query(user, txn, &plan)?;
+        let result = execute_plan(&plan, &EngineSource { engine: self });
+        self.end_statement(txn);
+        self.stats.statements.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Like [`HostEngine::query`], also returning the executed plan plus a
+    /// per-operator row-count profile (for `EXPLAIN ANALYZE` / tracing).
+    /// The plan comes back boxed: the profile is keyed by node address, so
+    /// the tree must not move while the profile is being read.
+    pub fn query_profiled(
+        &self,
+        user: &str,
+        txn: TxnId,
+        query: &Query,
+    ) -> Result<(Rows, Box<Plan>, PlanProfile)> {
+        let plan = Box::new(plan_query(query, self)?);
+        self.check_and_lock_for_query(user, txn, &plan)?;
+        let profile = PlanProfile::default();
+        let result = execute_plan_profiled(&plan, &EngineSource { engine: self }, &profile);
+        self.end_statement(txn);
+        self.stats.statements.fetch_add(1, Ordering::Relaxed);
+        Ok((result?, plan, profile))
+    }
+
+    /// Shared privilege-check + S-lock preamble for `SELECT` execution.
+    fn check_and_lock_for_query(&self, user: &str, txn: TxnId, plan: &Plan) -> Result<()> {
         let tables: Vec<ObjectName> =
             plan.tables().iter().map(|t| self.resolve(t)).collect();
         {
@@ -389,10 +417,7 @@ impl HostEngine {
             }
             self.locks.lock(txn, t, LockMode::Shared)?;
         }
-        let result = execute_plan(&plan, &EngineSource { engine: self });
-        self.end_statement(txn);
-        self.stats.statements.fetch_add(1, Ordering::Relaxed);
-        result
+        Ok(())
     }
 
     /// Live row count of a regular table (0 for AOT proxies) — the

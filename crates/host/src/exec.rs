@@ -9,7 +9,7 @@
 use idaa_common::{ColumnDef, ObjectName, Result, Row, Rows, Schema, Value};
 use idaa_sql::ast::{BinaryOp, Expr, JoinKind};
 use idaa_sql::eval::{bind, eval, eval_predicate, AggState, BoundExpr, FlatResolver};
-use idaa_sql::plan::{Plan, PlanCol};
+use idaa_sql::plan::{Plan, PlanCol, PlanProfile};
 use std::collections::HashMap;
 
 /// Supplies base-table rows to the executor. The engine implements this on
@@ -44,7 +44,18 @@ pub trait RowSource {
 
 /// Execute `plan` against `src`, producing a materialized result.
 pub fn execute_plan(plan: &Plan, src: &dyn RowSource) -> Result<Rows> {
-    let rows = run(plan, src)?;
+    let rows = run(plan, src, None)?;
+    Ok(Rows::new(schema_of(plan), rows))
+}
+
+/// Like [`execute_plan`], recording each node's output cardinality into
+/// `profile` (for `EXPLAIN ANALYZE` / tracing).
+pub fn execute_plan_profiled(
+    plan: &Plan,
+    src: &dyn RowSource,
+    profile: &PlanProfile,
+) -> Result<Rows> {
+    let rows = run(plan, src, Some(profile))?;
     Ok(Rows::new(schema_of(plan), rows))
 }
 
@@ -61,7 +72,17 @@ fn resolver_of(cols: &[PlanCol]) -> FlatResolver {
     FlatResolver::new(cols.iter().map(|c| (c.qualifier.clone(), c.name.clone())).collect())
 }
 
-fn run(plan: &Plan, src: &dyn RowSource) -> Result<Vec<Row>> {
+/// Dispatch one node and, when profiling, record its output cardinality on
+/// the way out.
+fn run(plan: &Plan, src: &dyn RowSource, prof: Option<&PlanProfile>) -> Result<Vec<Row>> {
+    let rows = run_inner(plan, src, prof)?;
+    if let Some(prof) = prof {
+        prof.record(plan, rows.len() as u64);
+    }
+    Ok(rows)
+}
+
+fn run_inner(plan: &Plan, src: &dyn RowSource, prof: Option<&PlanProfile>) -> Result<Vec<Row>> {
     match plan {
         Plan::Scan { table, cols, .. } => {
             if cols.is_empty() && table.name == "SYSDUMMY1" {
@@ -70,7 +91,7 @@ fn run(plan: &Plan, src: &dyn RowSource) -> Result<Vec<Row>> {
             }
             src.scan_table(table)
         }
-        Plan::Filter { input, predicate } => run_filter(input, predicate, src),
+        Plan::Filter { input, predicate } => run_filter(input, predicate, src, prof),
         Plan::Project { input, exprs, .. } => {
             let in_cols = input.cols();
             let resolver = resolver_of(&in_cols);
@@ -78,17 +99,17 @@ fn run(plan: &Plan, src: &dyn RowSource) -> Result<Vec<Row>> {
                 .iter()
                 .map(|(e, _)| bind(e, &resolver))
                 .collect::<Result<_>>()?;
-            let rows = run(input, src)?;
+            let rows = run(input, src, prof)?;
             rows.into_iter()
                 .map(|row| bound.iter().map(|b| eval(b, &row)).collect())
                 .collect()
         }
-        Plan::Join { left, right, kind, on } => run_join(left, right, *kind, on, src),
+        Plan::Join { left, right, kind, on } => run_join(left, right, *kind, on, src, prof),
         Plan::Aggregate { input, group_exprs, aggs, .. } => {
-            run_aggregate(input, group_exprs, aggs, src)
+            run_aggregate(input, group_exprs, aggs, src, prof)
         }
         Plan::Sort { input, keys } => {
-            let mut rows = run(input, src)?;
+            let mut rows = run(input, src, prof)?;
             rows.sort_by(|a, b| {
                 for (i, desc) in keys {
                     let o = a[*i].cmp_total(&b[*i]);
@@ -102,14 +123,14 @@ fn run(plan: &Plan, src: &dyn RowSource) -> Result<Vec<Row>> {
             Ok(rows)
         }
         Plan::KeepCols { input, n } => {
-            let mut rows = run(input, src)?;
+            let mut rows = run(input, src, prof)?;
             for row in &mut rows {
                 row.truncate(*n);
             }
             Ok(rows)
         }
         Plan::Distinct { input } => {
-            let rows = run(input, src)?;
+            let rows = run(input, src, prof)?;
             let mut seen: HashMap<Vec<Value>, ()> = HashMap::with_capacity(rows.len());
             let mut out = Vec::new();
             for row in rows {
@@ -120,13 +141,13 @@ fn run(plan: &Plan, src: &dyn RowSource) -> Result<Vec<Row>> {
             Ok(out)
         }
         Plan::Limit { input, n } => {
-            let mut rows = run(input, src)?;
+            let mut rows = run(input, src, prof)?;
             rows.truncate(*n as usize);
             Ok(rows)
         }
         Plan::Union { left, right, all } => {
-            let mut rows = run(left, src)?;
-            rows.extend(run(right, src)?);
+            let mut rows = run(left, src, prof)?;
+            rows.extend(run(right, src, prof)?);
             if !*all {
                 let mut seen: HashMap<Vec<Value>, ()> = HashMap::with_capacity(rows.len());
                 rows.retain(|r| seen.insert(r.clone(), ()).is_none());
@@ -238,7 +259,12 @@ fn eq_literal<'a>(conj: &'a Expr, cols: &[PlanCol]) -> Option<(&'a str, &'a Valu
     }
 }
 
-fn run_filter(input: &Plan, predicate: &Expr, src: &dyn RowSource) -> Result<Vec<Row>> {
+fn run_filter(
+    input: &Plan,
+    predicate: &Expr,
+    src: &dyn RowSource,
+    prof: Option<&PlanProfile>,
+) -> Result<Vec<Row>> {
     let cols = input.cols();
     let resolver = resolver_of(&cols);
     let bound = bind(predicate, &resolver)?;
@@ -287,7 +313,7 @@ fn run_filter(input: &Plan, predicate: &Expr, src: &dyn RowSource) -> Result<Vec
             }
         }
     }
-    let rows = run(input, src)?;
+    let rows = run(input, src, prof)?;
     rows.into_iter()
         .filter_map(|row| match eval_predicate(&bound, &row) {
             Ok(true) => Some(Ok(row)),
@@ -303,6 +329,7 @@ fn run_join(
     kind: JoinKind,
     on: &Expr,
     src: &dyn RowSource,
+    prof: Option<&PlanProfile>,
 ) -> Result<Vec<Row>> {
     let lcols = left.cols();
     let rcols = right.cols();
@@ -311,8 +338,8 @@ fn run_join(
     let combined = lres.concat(&rres);
     let bound_on = bind(on, &combined)?;
 
-    let lrows = run(left, src)?;
-    let rrows = run(right, src)?;
+    let lrows = run(left, src, prof)?;
+    let rrows = run(right, src, prof)?;
 
     // Extract equi-key pairs: conjuncts of the form <left-only expr> =
     // <right-only expr>.
@@ -400,6 +427,7 @@ fn run_aggregate(
     group_exprs: &[Expr],
     aggs: &[idaa_sql::plan::AggCall],
     src: &dyn RowSource,
+    prof: Option<&PlanProfile>,
 ) -> Result<Vec<Row>> {
     let cols = input.cols();
     let resolver = resolver_of(&cols);
@@ -412,7 +440,7 @@ fn run_aggregate(
         .map(|a| a.arg.as_ref().map(|e| bind(e, &resolver)).transpose())
         .collect::<Result<_>>()?;
 
-    let rows = run(input, src)?;
+    let rows = run(input, src, prof)?;
     // Insertion-ordered grouping for deterministic output.
     let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();

@@ -26,11 +26,12 @@
 //! metrics. Retry backoff ([`RetryPolicy`]) is charged to the same virtual
 //! clock via [`NetLink::advance`], never to wall time.
 
-use idaa_common::wire;
+use idaa_common::{wire, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Transfer direction over the link.
@@ -307,6 +308,9 @@ pub struct NetLink {
     wire_nanos: AtomicU64,
     failures: AtomicU64,
     fault_nanos: AtomicU64,
+    /// Optional mirror of the delivered/failed counters into a shared
+    /// [`MetricsRegistry`] (`link.*` counters).
+    registry: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 impl Default for NetLink {
@@ -332,7 +336,15 @@ impl NetLink {
             wire_nanos: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             fault_nanos: AtomicU64::new(0),
+            registry: Mutex::new(None),
         }
+    }
+
+    /// Mirror every delivered transfer and failed attempt into `registry`
+    /// as monotone `link.*` counters. By construction these reconcile with
+    /// [`NetLink::metrics`] from the moment of installation.
+    pub fn set_metrics(&self, registry: Arc<MetricsRegistry>) {
+        *self.registry.lock() = Some(registry);
     }
 
     /// Change parameters mid-flight (experiments sweep these).
@@ -386,6 +398,9 @@ impl NetLink {
     fn record_failure(&self, cost: Duration) {
         self.failures.fetch_add(1, Ordering::Relaxed);
         self.fault_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(reg) = self.registry.lock().as_ref() {
+            reg.inc("link.failures", 1);
+        }
     }
 
     /// Attempt one control message of `bytes` payload in `direction`.
@@ -528,6 +543,14 @@ impl NetLink {
             }
         }
         self.wire_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(reg) = self.registry.lock().as_ref() {
+            let dir = match direction {
+                Direction::ToAccel => "to_accel",
+                Direction::ToHost => "to_host",
+            };
+            reg.inc(&format!("link.delivered.{dir}.bytes"), bytes as u64);
+            reg.inc(&format!("link.delivered.{dir}.msgs"), 1);
+        }
         Ok(cost)
     }
 

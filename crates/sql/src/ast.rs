@@ -46,8 +46,10 @@ pub enum Statement {
     /// `REVOKE priv, … ON table FROM user, …`
     Revoke { privileges: Vec<Privilege>, object: ObjectName, grantees: Vec<String> },
     /// `EXPLAIN statement` — report the plan and routing decision without
-    /// executing.
-    Explain(Box<Statement>),
+    /// executing. With `analyze`, the statement *is* executed and the
+    /// report appends the executed span tree (per-operator row counts and
+    /// virtual-time costs).
+    Explain { analyze: bool, stmt: Box<Statement> },
 }
 
 /// Column definition inside `CREATE TABLE`.
@@ -644,7 +646,9 @@ impl fmt::Display for Statement {
                     grantees.join(", ")
                 )
             }
-            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::Explain { analyze, stmt } => {
+                write!(f, "EXPLAIN {}{stmt}", if *analyze { "ANALYZE " } else { "" })
+            }
         }
     }
 }

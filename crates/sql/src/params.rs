@@ -51,7 +51,7 @@ fn visit_statement(stmt: &mut Statement, params: &[Value]) -> Result<()> {
             }
             Ok(())
         }
-        Statement::Explain(inner) => visit_statement(inner, params),
+        Statement::Explain { stmt, .. } => visit_statement(stmt, params),
         _ => Ok(()),
     }
 }

@@ -146,8 +146,9 @@ impl Parser {
             if self.eat_kw("PLAN") {
                 self.eat_kw("FOR");
             }
+            let analyze = self.eat_kw("ANALYZE");
             let inner = self.parse_statement()?;
-            return Ok(Statement::Explain(Box::new(inner)));
+            return Ok(Statement::Explain { analyze, stmt: Box::new(inner) });
         }
         if self.peek_kw("SELECT") {
             return Ok(Statement::Query(Box::new(self.parse_query()?)));

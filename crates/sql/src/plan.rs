@@ -125,62 +125,64 @@ impl Plan {
 
     fn explain_into(&self, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push_str(&self.label());
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(depth + 1, out);
+        }
+    }
+
+    /// This node's own `EXPLAIN` line (no indentation, no children).
+    pub fn label(&self) -> String {
         match self {
-            Plan::Scan { table, alias, cols } => {
-                out.push_str(&format!(
-                    "{pad}SCAN {table}{} [{} cols]\n",
-                    alias.as_ref().map(|a| format!(" AS {a}")).unwrap_or_default(),
-                    cols.len()
-                ));
-            }
-            Plan::Filter { input, predicate } => {
-                out.push_str(&format!("{pad}FILTER {predicate}\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Project { input, exprs, .. } => {
+            Plan::Scan { table, alias, cols } => format!(
+                "SCAN {table}{} [{} cols]",
+                alias.as_ref().map(|a| format!(" AS {a}")).unwrap_or_default(),
+                cols.len()
+            ),
+            Plan::Filter { predicate, .. } => format!("FILTER {predicate}"),
+            Plan::Project { exprs, .. } => {
                 let items: Vec<String> =
                     exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                out.push_str(&format!("{pad}PROJECT {}\n", items.join(", ")));
-                input.explain_into(depth + 1, out);
+                format!("PROJECT {}", items.join(", "))
             }
-            Plan::Join { left, right, kind, on } => {
-                out.push_str(&format!("{pad}{kind:?} JOIN ON {on}\n"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            Plan::Aggregate { input, group_exprs, aggs, .. } => {
+            Plan::Join { kind, on, .. } => format!("{kind:?} JOIN ON {on}"),
+            Plan::Aggregate { group_exprs, aggs, .. } => {
                 let keys: Vec<String> = group_exprs.iter().map(|e| e.to_string()).collect();
-                out.push_str(&format!(
-                    "{pad}AGGREGATE [{} aggs] GROUP BY {}\n",
+                format!(
+                    "AGGREGATE [{} aggs] GROUP BY {}",
                     aggs.len(),
                     if keys.is_empty() { "()".to_string() } else { keys.join(", ") }
-                ));
-                input.explain_into(depth + 1, out);
+                )
             }
-            Plan::Sort { input, keys } => {
+            Plan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(i, d)| format!("#{i}{}", if *d { " DESC" } else { "" }))
                     .collect();
-                out.push_str(&format!("{pad}SORT {}\n", ks.join(", ")));
-                input.explain_into(depth + 1, out);
+                format!("SORT {}", ks.join(", "))
             }
-            Plan::Distinct { input } => {
-                out.push_str(&format!("{pad}DISTINCT\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Limit { input, n } => {
-                out.push_str(&format!("{pad}LIMIT {n}\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::KeepCols { input, n } => {
-                out.push_str(&format!("{pad}KEEP FIRST {n} COLS\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Union { left, right, all } => {
-                out.push_str(&format!("{pad}UNION{}\n", if *all { " ALL" } else { "" }));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+            Plan::Distinct { .. } => "DISTINCT".to_string(),
+            Plan::Limit { n, .. } => format!("LIMIT {n}"),
+            Plan::KeepCols { n, .. } => format!("KEEP FIRST {n} COLS"),
+            Plan::Union { all, .. } => format!("UNION{}", if *all { " ALL" } else { "" }),
+        }
+    }
+
+    /// Child nodes in `EXPLAIN` order.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => Vec::new(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Limit { input, .. }
+            | Plan::KeepCols { input, .. } => vec![input],
+            Plan::Join { left, right, .. } | Plan::Union { left, right, .. } => {
+                vec![left, right]
             }
         }
     }
@@ -200,6 +202,34 @@ impl Plan {
                 right.collect_tables(out);
             }
         }
+    }
+}
+
+/// Per-operator row counts collected during one execution of a [`Plan`].
+///
+/// Keyed by plan-node *identity* (address), so the profiled plan must live
+/// at a stable address for the profile's lifetime — keep the root boxed and
+/// don't move it between execution and readout. Executors record each
+/// node's output cardinality as they unwind; operator fusion (e.g. a filter
+/// fused into its scan) legitimately leaves the fused child unrecorded.
+#[derive(Debug, Default)]
+pub struct PlanProfile {
+    rows_out: std::sync::Mutex<std::collections::HashMap<usize, u64>>,
+}
+
+impl PlanProfile {
+    fn key(node: &Plan) -> usize {
+        node as *const Plan as usize
+    }
+
+    /// Record `node`'s output row count.
+    pub fn record(&self, node: &Plan, rows: u64) {
+        self.rows_out.lock().unwrap().insert(Self::key(node), rows);
+    }
+
+    /// Output row count for `node`, if it executed unfused.
+    pub fn rows_out(&self, node: &Plan) -> Option<u64> {
+        self.rows_out.lock().unwrap().get(&Self::key(node)).copied()
     }
 }
 

@@ -52,7 +52,10 @@ pub use idaa_netsim as netsim;
 pub use idaa_sql as sql;
 
 pub use idaa_accel::{AccelConfig, AccelEngine};
-pub use idaa_common::{DataType, Decimal, Error, ObjectName, Result, Row, Rows, Schema, Value};
+pub use idaa_common::{
+    DataType, Decimal, Error, MetricsRegistry, MetricsSnapshot, ObjectName, Result, Row, Rows,
+    Schema, SpanNode, StatementTrace, Trace, TraceSink, Value,
+};
 pub use idaa_core::{
     ExecOutcome, HealthConfig, HealthState, Idaa, IdaaConfig, Payload, Route, Session,
 };

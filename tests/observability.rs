@@ -1,0 +1,308 @@
+//! Query-lifecycle observability: deterministic trace span trees on the
+//! virtual clock, the process-wide metrics registry, and EXPLAIN ANALYZE.
+//!
+//! The invariants under test:
+//!
+//! * every statement produces a well-nested span tree whose timestamps are
+//!   virtual-clock offsets only — two same-seed runs render byte-identical
+//!   traces;
+//! * an AOT `INSERT … SELECT` pushdown trace contains control-message
+//!   transfers only (no row frames cross the link);
+//! * the `link.*` metrics counters reconcile exactly with `LinkMetrics`,
+//!   and counters stay monotone under seeded chaos;
+//! * retries, crash recovery, and 2PC legs all surface as trace events.
+
+use idaa::{FaultPlan, Idaa, Route, Value, SYSADM};
+use std::time::Duration;
+
+fn seeded_system() -> (Idaa, idaa::Session) {
+    let idaa = Idaa::default();
+    let s = idaa.session(SYSADM);
+    (idaa, s)
+}
+
+/// Build an accelerated SALES table plus an AOT staging table.
+fn stage_setup(idaa: &Idaa, s: &mut idaa::Session, rows: usize) {
+    idaa.execute(s, "CREATE TABLE SALES (ID INT NOT NULL, REGION VARCHAR(8), AMOUNT DOUBLE)")
+        .unwrap();
+    let vals: Vec<String> = (0..rows)
+        .map(|i| format!("({i}, '{}', {}.0E0)", ["EU", "US"][i % 2], i))
+        .collect();
+    idaa.execute(s, &format!("INSERT INTO SALES VALUES {}", vals.join(", "))).unwrap();
+    idaa.execute(s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+    idaa.execute(s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+    idaa.execute(s, "CREATE TABLE STAGE (REGION VARCHAR(8), TOTAL DOUBLE) IN ACCELERATOR")
+        .unwrap();
+    idaa.execute(s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+}
+
+#[test]
+fn offloaded_query_trace_covers_the_whole_lifecycle() {
+    let (idaa, mut s) = seeded_system();
+    stage_setup(&idaa, &mut s, 64);
+    idaa.tracer().clear();
+    idaa.query(&mut s, "SELECT region, SUM(amount) FROM sales GROUP BY region").unwrap();
+
+    let trace = idaa.tracer().last_containing("SUM(AMOUNT)").expect("trace recorded");
+    let root = &trace.root;
+    root.validate().unwrap();
+    assert_eq!(root.name, "statement");
+    assert_eq!(root.attr("route"), Some("Accelerator"));
+
+    // Parse, route decision (with reason), privilege check, the shipped
+    // statement and its reply frame, and per-operator spans all appear.
+    assert!(root.find("parse").is_some(), "{}", root.render());
+    let route = root.find("route").expect("route event");
+    assert_eq!(route.attr("route"), Some("Accelerator"));
+    assert_eq!(route.attr("reason"), Some("all tables accelerated"));
+    assert_eq!(route.attr("mode"), Some("ELIGIBLE"));
+    let privilege = root.find("privilege").expect("privilege event");
+    assert_eq!(privilege.attr("priv"), Some("SELECT"));
+
+    let transfers = root.find_all("transfer");
+    assert!(
+        transfers.iter().any(|t| t.attr("kind") == Some("stmt") && t.attr("dir") == Some("to_accel")),
+        "statement request must cross the link: {}",
+        root.render()
+    );
+    assert!(
+        transfers.iter().any(|t| t.attr("kind") == Some("frame") && t.attr("dir") == Some("to_host")),
+        "result frame must travel back: {}",
+        root.render()
+    );
+
+    let ops = root.find_all("op");
+    assert!(
+        ops.iter().any(|o| o.attr("op").is_some_and(|l| l.starts_with("AGGREGATE"))),
+        "aggregate operator span missing: {}",
+        root.render()
+    );
+    assert!(
+        ops.iter().any(|o| o.attr("rows") == Some("2")),
+        "two groups out of the aggregate: {}",
+        root.render()
+    );
+}
+
+#[test]
+fn aot_insert_select_trace_shows_control_frames_only() {
+    let (idaa, mut s) = seeded_system();
+    stage_setup(&idaa, &mut s, 64);
+    idaa.tracer().clear();
+    let out = idaa
+        .execute(&mut s, "INSERT INTO STAGE SELECT region, SUM(amount) FROM sales GROUP BY region")
+        .unwrap();
+    assert_eq!(out.route, Route::Accelerator);
+
+    let trace = idaa.tracer().last_containing("INSERT INTO STAGE").expect("trace recorded");
+    let root = &trace.root;
+    root.validate().unwrap();
+    let transfers = root.find_all("transfer");
+    assert!(!transfers.is_empty(), "pushdown still ships control messages");
+    for t in &transfers {
+        assert_ne!(
+            t.attr("kind"),
+            Some("frame"),
+            "AOT pushdown must not move row frames: {}",
+            root.render()
+        );
+    }
+    // The same statement against a *host* source moves row frames — the
+    // trace makes the pushdown visible structurally.
+    idaa.execute(&mut s, "CREATE TABLE HOSTSRC (REGION VARCHAR(8), AMOUNT DOUBLE)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO HOSTSRC VALUES ('EU', 1.0E0), ('US', 2.0E0)").unwrap();
+    idaa.tracer().clear();
+    idaa.execute(&mut s, "INSERT INTO STAGE SELECT region, amount FROM hostsrc").unwrap();
+    let trace = idaa.tracer().last_containing("INSERT INTO STAGE").expect("trace recorded");
+    assert!(
+        trace.root.find_all("transfer").iter().any(|t| t.attr("kind") == Some("frame")),
+        "host-sourced insert must ship row frames: {}",
+        trace.root.render()
+    );
+}
+
+#[test]
+fn commit_replication_and_checkpoint_events_are_traced() {
+    let (idaa, mut s) = seeded_system();
+    stage_setup(&idaa, &mut s, 64);
+    idaa.tracer().clear();
+    idaa.execute(&mut s, "BEGIN").unwrap();
+    idaa.execute(&mut s, "INSERT INTO STAGE VALUES ('EU', 1.0E0)").unwrap();
+    idaa.execute(&mut s, "COMMIT").unwrap();
+
+    let trace = idaa.tracer().last_containing("COMMIT").expect("trace recorded");
+    let commit = trace.root.find("commit").expect("commit span");
+    assert_eq!(commit.attr("kind"), Some("2pc"));
+    // PREPARE, vote, and phase-2 decision all cross as control messages.
+    assert!(
+        commit.find_all("transfer").len() >= 3,
+        "2PC needs at least three control transfers: {}",
+        trace.root.render()
+    );
+    assert_eq!(idaa.metrics().counter("commits.twopc"), 1);
+}
+
+#[test]
+fn retry_and_recovery_events_surface_in_traces() {
+    let (idaa, mut s) = seeded_system();
+    idaa.execute(&mut s, "CREATE TABLE R (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "INSERT INTO R VALUES (1), (2)").unwrap();
+
+    // Lose the first delivery attempt of the shipped statement: the trace
+    // records the failed transfer and the retry event.
+    idaa.tracer().clear();
+    idaa.link().fail_next_transfers(1);
+    idaa.query(&mut s, "SELECT COUNT(*) FROM r").unwrap();
+    let trace = idaa.tracer().last_containing("SELECT COUNT(*)").unwrap();
+    let root = &trace.root;
+    assert!(root.find("retry").is_some(), "retry event missing: {}", root.render());
+    assert!(
+        root.find_all("transfer").iter().any(|t| t.attr("err").is_some()),
+        "failed transfer attempt must carry err: {}",
+        root.render()
+    );
+    assert!(idaa.metrics().counter("exchange.retries") >= 1);
+
+    // Crash the accelerator: the next statement drives recovery and the
+    // trace carries the restart event with the new epoch.
+    idaa.tracer().clear();
+    idaa.accel().crash();
+    idaa.query(&mut s, "SELECT COUNT(*) FROM r").unwrap();
+    let trace = idaa.tracer().last_containing("SELECT COUNT(*)").unwrap();
+    let restart = trace.root.find("accel.restart").expect("restart event");
+    assert_eq!(restart.attr("epoch"), Some("2"));
+    assert!(restart.attr("replayed_bytes").is_some());
+    assert_eq!(idaa.metrics().counter("accel.restarts"), 1);
+}
+
+#[test]
+fn metrics_reconcile_with_link_metrics_under_seeded_chaos() {
+    let (idaa, mut s) = seeded_system();
+    stage_setup(&idaa, &mut s, 128);
+    // Probabilistic drops force retries and failures while the workload
+    // keeps succeeding.
+    idaa.set_fault_plan(FaultPlan::dropping(7, 0.15));
+    let before = idaa.metrics().snapshot();
+    for i in 0..20 {
+        let _ = idaa.execute(&mut s, &format!("INSERT INTO STAGE VALUES ('EU', {i}.0E0)"));
+        let _ = idaa.query(&mut s, "SELECT COUNT(*) FROM stage");
+    }
+    let after = idaa.metrics().snapshot();
+    // Counters are monotone: nothing in the registry ever decreases.
+    after.monotone_since(&before).unwrap();
+
+    // The link.* counters mirror LinkMetrics by construction — exact
+    // equality, not approximation, delivered traffic and failures alike.
+    let wire = idaa.link().metrics();
+    assert_eq!(after.counter("link.delivered.to_accel.bytes"), wire.bytes_to_accel);
+    assert_eq!(after.counter("link.delivered.to_host.bytes"), wire.bytes_to_host);
+    assert_eq!(after.counter("link.delivered.to_accel.msgs"), wire.messages_to_accel);
+    assert_eq!(after.counter("link.delivered.to_host.msgs"), wire.messages_to_host);
+    assert_eq!(after.counter("link.failures"), wire.failures);
+    assert!(after.counter("link.failures") > 0, "the fault plan must have bitten");
+    // Statement accounting adds up: every statement is either host- or
+    // accelerator-routed or failed with an SQLCODE.
+    let statements = after.counter("statements.total");
+    let routed = after.counter("statements.route.host") + after.counter("statements.route.accel");
+    let errors: u64 = after
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("errors.sqlcode."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(statements, routed + errors, "\n{}", after.render());
+}
+
+#[test]
+fn same_seed_chaos_runs_render_identical_traces_and_metrics() {
+    let run = || {
+        let (idaa, mut s) = seeded_system();
+        stage_setup(&idaa, &mut s, 96);
+        idaa.set_fault_plan(FaultPlan::dropping(23, 0.2));
+        idaa.tracer().clear();
+        for i in 0..12 {
+            let _ = idaa.execute(&mut s, &format!("INSERT INTO STAGE VALUES ('EU', {i}.0E0)"));
+            let _ = idaa.query(&mut s, "SELECT COUNT(*), SUM(total) FROM stage");
+        }
+        let traces: String =
+            idaa.tracer().statements().iter().map(|t| t.root.render()).collect();
+        (traces, idaa.metrics().snapshot().render())
+    };
+    let (traces_a, metrics_a) = run();
+    let (traces_b, metrics_b) = run();
+    assert_eq!(traces_a, traces_b, "same seed must render byte-identical traces");
+    assert_eq!(metrics_a, metrics_b, "same seed must produce byte-identical metrics");
+    assert!(traces_a.contains("transfer"), "sanity: the workload produced spans");
+}
+
+#[test]
+fn disabling_the_sink_stops_collection_but_not_execution() {
+    let (idaa, mut s) = seeded_system();
+    idaa.execute(&mut s, "CREATE TABLE T (X INT) IN ACCELERATOR").unwrap();
+    idaa.tracer().set_enabled(false);
+    let mut quiet = idaa.session(SYSADM);
+    idaa.tracer().clear();
+    idaa.execute(&mut quiet, "INSERT INTO T VALUES (1)").unwrap();
+    assert!(idaa.tracer().last().is_none(), "untraced session must record nothing");
+    // EXPLAIN ANALYZE borrows an enabled trace even on an untraced session.
+    let r = idaa.query(&mut quiet, "EXPLAIN ANALYZE SELECT COUNT(*) FROM t").unwrap();
+    let text: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+    assert!(text.iter().any(|l| l.contains("op=")), "{text:?}");
+    assert!(idaa.tracer().last().is_none(), "the borrowed trace is not sink-recorded");
+    idaa.tracer().set_enabled(true);
+}
+
+#[test]
+fn virtual_clock_timestamps_only() {
+    // The entire workload runs in well under a virtual minute; wall time
+    // would be nanoseconds-since-epoch scale. Any span stamped from the
+    // wall clock lands far outside the link clock's range.
+    let (idaa, mut s) = seeded_system();
+    stage_setup(&idaa, &mut s, 64);
+    idaa.tracer().clear();
+    idaa.query(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+    idaa.execute(&mut s, "INSERT INTO STAGE SELECT region, SUM(amount) FROM sales GROUP BY region")
+        .unwrap();
+    let horizon = idaa.link().now() + Duration::from_secs(1);
+    for t in idaa.tracer().statements() {
+        t.root.validate().unwrap();
+        let mut stack = vec![&t.root];
+        while let Some(n) = stack.pop() {
+            assert!(
+                n.end <= horizon,
+                "span {} stamped beyond the virtual clock: {:?}",
+                n.name,
+                n.end
+            );
+            stack.extend(&n.children);
+        }
+    }
+}
+
+#[test]
+fn explain_analyze_reports_routed_execution() {
+    let (idaa, mut s) = seeded_system();
+    stage_setup(&idaa, &mut s, 64);
+    let r = idaa
+        .query(
+            &mut s,
+            "EXPLAIN ANALYZE SELECT region, SUM(amount) FROM sales GROUP BY region",
+        )
+        .unwrap();
+    let text: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+    assert!(text[0].contains("ROUTE: Accelerator"), "{text:?}");
+    assert!(text.iter().any(|l| l.trim() == "-- ANALYZE --"), "{text:?}");
+    assert!(
+        text.iter().any(|l| l.contains("op=AGGREGATE") && l.contains("rows=2")),
+        "per-operator row counts missing: {text:?}"
+    );
+    assert!(text.iter().any(|l| l.contains("transfer")), "{text:?}");
+    // Executed — unlike plain EXPLAIN, the accelerator ran a query.
+    let queries = idaa.accel().stats.queries.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(queries > 0);
+
+    // A COUNT(*) sanity check of the analyzed statement's answer path:
+    // EXPLAIN ANALYZE consumed the rows, so re-running returns them.
+    let out = idaa.query(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::BigInt(64));
+}

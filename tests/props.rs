@@ -437,6 +437,11 @@ proptest! {
              GROUP BY x.g ORDER BY x.g",
             "SELECT x.a, y.a FROM t AS x INNER JOIN t AS y ON x.b = y.b AND x.g = y.g \
              WHERE x.a < y.a ORDER BY x.a, y.a LIMIT 40",
+            "SELECT a + b, g FROM t WHERE a + b > 500 ORDER BY 1, 2 LIMIT 30",
+            "SELECT b, MAX(a) FROM t WHERE g BETWEEN 'a' AND 'b' GROUP BY b \
+             HAVING MAX(a) > 100 ORDER BY b",
+            "SELECT x.g, SUM(y.b) FROM t AS x INNER JOIN t AS y ON x.a = y.a \
+             GROUP BY x.g ORDER BY x.g",
         ] {
             idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
             let host = idaa.query(&mut s, q).unwrap();
@@ -444,6 +449,68 @@ proptest! {
             let accel = idaa.query(&mut s, q).unwrap();
             prop_assert_eq!(host.rows, accel.rows, "disagreement on {}", q);
         }
+    }
+
+    /// Every statement trace is structurally well formed (well nested,
+    /// monotone virtual timestamps, children contained in parents), and two
+    /// runs of the same workload on fresh systems render byte-identical
+    /// span trees — the trace layer is as deterministic as the link it
+    /// observes.
+    #[test]
+    fn traces_are_well_formed_and_deterministic(
+        rows in proptest::collection::vec(
+            (0i64..1000, 0i64..50, "[a-c]{1}"),
+            40..120,
+        ),
+    ) {
+        let run = |rows: &[(i64, i64, String)]| -> Vec<idaa::StatementTrace> {
+            let idaa = Idaa::default();
+            let mut s = idaa.session(SYSADM);
+            idaa.execute(&mut s, "CREATE TABLE T (A BIGINT, B BIGINT, G VARCHAR(2))").unwrap();
+            let vals: Vec<String> = rows
+                .iter()
+                .map(|(a, b, g)| format!("({a}, {b}, '{g}')"))
+                .collect();
+            idaa.execute(&mut s, &format!("INSERT INTO T VALUES {}", vals.join(", "))).unwrap();
+            idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('T')").unwrap();
+            idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('T')").unwrap();
+            idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+            idaa.execute(&mut s, "CREATE TABLE STAGE (G VARCHAR(2), N BIGINT) IN ACCELERATOR")
+                .unwrap();
+            idaa.execute(
+                &mut s,
+                "INSERT INTO STAGE SELECT g, COUNT(*) FROM T GROUP BY g",
+            ).unwrap();
+            idaa.query(&mut s, "SELECT g, COUNT(*), SUM(a) FROM t GROUP BY g ORDER BY g").unwrap();
+            idaa.query(&mut s, "SELECT g, n FROM stage ORDER BY g").unwrap();
+            // An error-path statement must leave a well-formed trace too.
+            let _ = idaa.query(&mut s, "SELECT nope FROM t");
+            idaa.tracer().statements()
+        };
+        let first = run(&rows);
+        let second = run(&rows);
+        prop_assert!(!first.is_empty());
+        for trace in first.iter().chain(second.iter()) {
+            if let Err(e) = trace.root.validate() {
+                prop_assert!(false, "malformed trace: {}", e);
+            }
+            // Timestamps come from the virtual clock and only move forward.
+            let mut spans = vec![&trace.root];
+            while let Some(span) = spans.pop() {
+                prop_assert!(span.start <= span.end);
+                spans.extend(span.children.iter());
+            }
+        }
+        // Session ids are process-global, so compare the session-free
+        // span-tree renderings across instances.
+        let render = |traces: &[idaa::StatementTrace]| -> String {
+            traces.iter().map(|t| t.root.render()).collect::<Vec<_>>().join("\n")
+        };
+        prop_assert_eq!(
+            render(&first),
+            render(&second),
+            "same workload must render identical traces"
+        );
     }
 
     #[test]

@@ -345,6 +345,112 @@ fn explain_reports_route_and_plan() {
     assert!(idaa.query(&mut s, "EXPLAIN COMMIT").is_err());
 }
 
+fn plan_lines(r: &idaa::Rows) -> Vec<String> {
+    r.rows.iter().map(|row| row[0].render()).collect()
+}
+
+#[test]
+fn explain_states_the_routing_reason() {
+    let (idaa, mut s) = system();
+    // ENABLE's cost heuristic only considers offload above
+    // ENABLE_OFFLOAD_ROW_THRESHOLD rows, so seed past it.
+    seed_sales(&idaa, &mut s, 12_000);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "CREATE INDEX IDX_ID ON SALES (ID)").unwrap();
+    // NONE: the register gates everything.
+    let text = plan_lines(&idaa.query(&mut s, "EXPLAIN SELECT COUNT(*) FROM sales").unwrap());
+    assert_eq!(text[1], "REASON: acceleration register is NONE", "{text:?}");
+    // ENABLE keeps an indexed point lookup local even though the table is
+    // accelerated and large.
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ENABLE").unwrap();
+    let text =
+        plan_lines(&idaa.query(&mut s, "EXPLAIN SELECT amount FROM sales WHERE id = 7").unwrap());
+    assert!(text[0].contains("ROUTE: Host"), "{text:?}");
+    assert_eq!(text[1], "REASON: indexed point access stays local", "{text:?}");
+    // The scan-heavy aggregate offloads on cost.
+    let text = plan_lines(&idaa.query(&mut s, "EXPLAIN SELECT SUM(amount) FROM sales").unwrap());
+    assert!(text[0].contains("ROUTE: Accelerator"), "{text:?}");
+    assert_eq!(text[1], "REASON: cost heuristic favors offload", "{text:?}");
+}
+
+#[test]
+fn explain_analyze_point_lookup_golden() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 100);
+    idaa.execute(&mut s, "CREATE INDEX IDX_ID ON SALES (ID)").unwrap();
+    let r = idaa.query(&mut s, "EXPLAIN ANALYZE SELECT qty FROM sales WHERE id = 7").unwrap();
+    let text = plan_lines(&r);
+    assert_eq!(text[0], "ROUTE: Host (CURRENT QUERY ACCELERATION = NONE)", "{text:?}");
+    assert!(text.iter().any(|l| l.trim() == "-- ANALYZE --"), "{text:?}");
+    // The executed section shows host-side operators with row counts —
+    // exactly one row survives the point predicate.
+    assert!(text.iter().any(|l| l.contains("host.exec")), "{text:?}");
+    assert!(
+        text.iter().any(|l| l.contains("op=FILTER") && l.contains("rows=1")),
+        "point lookup must report one row out of the filter: {text:?}"
+    );
+    // Nothing crossed the link for a host-routed statement.
+    assert!(!text.iter().any(|l| l.contains("transfer")), "{text:?}");
+}
+
+#[test]
+fn explain_analyze_offloaded_join_aggregate_shows_transfers_and_rows() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 2000);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    let r = idaa
+        .query(
+            &mut s,
+            "EXPLAIN ANALYZE SELECT a.region, COUNT(*) FROM sales a \
+             INNER JOIN sales b ON a.id = b.id WHERE a.qty > 3 \
+             GROUP BY a.region ORDER BY a.region",
+        )
+        .unwrap();
+    let text = plan_lines(&r);
+    assert_eq!(text[0], "ROUTE: Accelerator (CURRENT QUERY ACCELERATION = ELIGIBLE)", "{text:?}");
+    // The plan section shows the filter pushed below the join.
+    let join_at = text.iter().position(|l| l.contains("JOIN")).expect("join line");
+    let filter_at = text.iter().position(|l| l.contains("FILTER")).expect("filter line");
+    assert!(filter_at > join_at, "filter renders below the join it was pushed under: {text:?}");
+    // The executed section carries the wire transfers (statement over,
+    // result frame back) and per-operator row counts.
+    assert!(
+        text.iter().any(|l| l.contains("transfer") && l.contains("kind=stmt")),
+        "{text:?}"
+    );
+    assert!(
+        text.iter().any(|l| l.contains("transfer") && l.contains("kind=frame")),
+        "{text:?}"
+    );
+    assert!(
+        text.iter().any(|l| l.contains("op=AGGREGATE") && l.contains("rows=3")),
+        "three regions out of the aggregate: {text:?}"
+    );
+}
+
+#[test]
+fn explain_analyze_output_is_byte_identical_across_fresh_runs() {
+    let run = || {
+        let (idaa, mut s) = system();
+        seed_sales(&idaa, &mut s, 500);
+        accelerate(&idaa, &mut s, "SALES");
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        let r = idaa
+            .query(
+                &mut s,
+                "EXPLAIN ANALYZE SELECT region, SUM(amount) FROM sales \
+                 WHERE qty > 1 GROUP BY region ORDER BY region",
+            )
+            .unwrap();
+        plan_lines(&r).join("\n")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "EXPLAIN ANALYZE must be deterministic on the virtual clock");
+    assert!(a.contains("-- ANALYZE --"));
+}
+
 #[test]
 fn parameter_markers_execute() {
     let (idaa, mut s) = system();

@@ -308,6 +308,177 @@ fn lost_phase_two_commit_is_queued_and_redelivered() {
     assert_eq!(count(&idaa, &mut other, "a"), 1);
 }
 
+// ---------------------------------------------------------------------------
+// Isolation-anomaly battery against AOTs
+//
+// Snapshot isolation forbids dirty reads, non-repeatable reads, lost
+// updates, and phantoms — and (unlike serializability) permits write skew.
+// Each probe pins the reader's snapshot by enlisting the accelerator in
+// its transaction (the first AOT write fixes the snapshot) and checks the
+// trace to prove the probed reads really ran on the accelerator.
+// ---------------------------------------------------------------------------
+
+/// The last trace for `needle` must show an accelerator-routed statement.
+fn assert_ran_on_accel(idaa: &Idaa, needle: &str) {
+    let trace = idaa
+        .tracer()
+        .last_containing(needle)
+        .unwrap_or_else(|| panic!("no trace for {needle}"));
+    trace.root.validate().unwrap();
+    assert_eq!(
+        trace.root.attr("route"),
+        Some("Accelerator"),
+        "probe must execute on the accelerator: {}",
+        trace.root.render()
+    );
+}
+
+/// An AOT `ACCOUNTS` table with two committed rows, plus a `PINNED` AOT
+/// scratch table a transaction can write to enlist (pinning its snapshot).
+fn anomaly_setup(idaa: &Idaa) -> idaa::Session {
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE ACCOUNTS (ID INT, BAL INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE PINNED (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "INSERT INTO ACCOUNTS VALUES (1, 50), (2, 50)").unwrap();
+    s
+}
+
+fn balance(idaa: &Idaa, s: &mut idaa::Session, id: i32) -> i64 {
+    idaa.query(s, &format!("SELECT bal FROM accounts WHERE id = {id}"))
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap()
+}
+
+#[test]
+fn anomaly_non_repeatable_read_prevented() {
+    let idaa = system();
+    let mut writer = anomaly_setup(&idaa);
+    let mut reader = idaa.session(SYSADM);
+    idaa.execute(&mut reader, "BEGIN").unwrap();
+    idaa.execute(&mut reader, "INSERT INTO PINNED VALUES (0)").unwrap(); // pin snapshot
+    let first = balance(&idaa, &mut reader, 1);
+    assert_eq!(first, 50);
+    // A concurrent committed update must not change what the pinned
+    // transaction re-reads.
+    idaa.execute(&mut writer, "UPDATE ACCOUNTS SET BAL = 99 WHERE ID = 1").unwrap();
+    let second = balance(&idaa, &mut reader, 1);
+    assert_eq!(second, first, "read must repeat under snapshot isolation");
+    assert_ran_on_accel(&idaa, "SELECT BAL FROM ACCOUNTS");
+    idaa.execute(&mut reader, "COMMIT").unwrap();
+    // After commit the new value is visible.
+    assert_eq!(balance(&idaa, &mut reader, 1), 99);
+}
+
+#[test]
+fn anomaly_lost_update_rejected() {
+    let idaa = system();
+    let _admin = anomaly_setup(&idaa);
+    let mut a = idaa.session(SYSADM);
+    let mut b = idaa.session(SYSADM);
+    idaa.execute(&mut a, "BEGIN").unwrap();
+    idaa.execute(&mut b, "BEGIN").unwrap();
+    // Both read the same balance, then both try read-modify-write.
+    idaa.execute(&mut a, "INSERT INTO PINNED VALUES (1)").unwrap();
+    idaa.execute(&mut b, "INSERT INTO PINNED VALUES (2)").unwrap();
+    assert_eq!(balance(&idaa, &mut a, 1), 50);
+    assert_eq!(balance(&idaa, &mut b, 1), 50);
+    idaa.execute(&mut a, "UPDATE ACCOUNTS SET BAL = BAL + 10 WHERE ID = 1").unwrap();
+    // First-updater-wins: b's update of the same version must fail, not
+    // silently overwrite a's increment after both commit.
+    let err = idaa.execute(&mut b, "UPDATE ACCOUNTS SET BAL = BAL + 25 WHERE ID = 1").unwrap_err();
+    assert_eq!(err.sqlcode(), -913);
+    assert_ran_on_accel(&idaa, "(BAL + 10)");
+    // The rejected statement still reached the accelerator — its trace
+    // shows the shipped request and the conflict SQLCODE.
+    let rejected = idaa.tracer().last_containing("(BAL + 25)").unwrap();
+    assert_eq!(rejected.root.attr("sqlcode"), Some("-913"));
+    assert!(
+        rejected.root.find_all("transfer").iter().any(|t| t.attr("dir") == Some("to_accel")),
+        "{}",
+        rejected.root.render()
+    );
+    idaa.execute(&mut a, "COMMIT").unwrap();
+    idaa.execute(&mut b, "ROLLBACK").unwrap();
+    let mut check = idaa.session(SYSADM);
+    assert_eq!(balance(&idaa, &mut check, 1), 60, "exactly one increment applied");
+}
+
+#[test]
+fn anomaly_phantom_prevented() {
+    let idaa = system();
+    let mut writer = anomaly_setup(&idaa);
+    let mut reader = idaa.session(SYSADM);
+    idaa.execute(&mut reader, "BEGIN").unwrap();
+    idaa.execute(&mut reader, "INSERT INTO PINNED VALUES (0)").unwrap(); // pin snapshot
+    let probe = "SELECT COUNT(*) FROM accounts WHERE bal >= 50";
+    let first = idaa.query(&mut reader, probe).unwrap();
+    assert_eq!(first.scalar().unwrap(), &Value::BigInt(2));
+    // A concurrent commit inserts a row matching the predicate.
+    idaa.execute(&mut writer, "INSERT INTO ACCOUNTS VALUES (3, 75)").unwrap();
+    let second = idaa.query(&mut reader, probe).unwrap();
+    assert_eq!(
+        second.scalar().unwrap(),
+        &Value::BigInt(2),
+        "predicate re-read must not see a phantom"
+    );
+    assert_ran_on_accel(&idaa, "WHERE (BAL >= 50)");
+    idaa.execute(&mut reader, "COMMIT").unwrap();
+    let third = idaa.query(&mut reader, probe).unwrap();
+    assert_eq!(third.scalar().unwrap(), &Value::BigInt(3));
+}
+
+#[test]
+fn anomaly_write_skew_permitted_under_si() {
+    // The classic SI anomaly: both transactions check SUM(bal) >= 100,
+    // each drains a *different* row, and — because their write sets are
+    // disjoint — both commit. Snapshot isolation permits this (it is not
+    // serializable); the battery documents the boundary rather than
+    // pretending the engine is serializable.
+    let idaa = system();
+    let _admin = anomaly_setup(&idaa);
+    let mut a = idaa.session(SYSADM);
+    let mut b = idaa.session(SYSADM);
+    idaa.execute(&mut a, "BEGIN").unwrap();
+    idaa.execute(&mut b, "BEGIN").unwrap();
+    idaa.execute(&mut a, "INSERT INTO PINNED VALUES (1)").unwrap();
+    idaa.execute(&mut b, "INSERT INTO PINNED VALUES (2)").unwrap();
+    let sum = |idaa: &Idaa, s: &mut idaa::Session| {
+        idaa.query(s, "SELECT SUM(bal) FROM accounts").unwrap().scalar().unwrap().as_i64().unwrap()
+    };
+    // Both see the invariant holding (sum = 100) on their snapshots…
+    assert_eq!(sum(&idaa, &mut a), 100);
+    assert_eq!(sum(&idaa, &mut b), 100);
+    // …and each withdraws from its own row. Disjoint write sets: no
+    // first-updater conflict fires.
+    idaa.execute(&mut a, "UPDATE ACCOUNTS SET BAL = BAL - 50 WHERE ID = 1").unwrap();
+    idaa.execute(&mut b, "UPDATE ACCOUNTS SET BAL = BAL - 50 WHERE ID = 2").unwrap();
+    assert_ran_on_accel(&idaa, "UPDATE ACCOUNTS");
+    idaa.execute(&mut a, "COMMIT").unwrap();
+    idaa.execute(&mut b, "COMMIT").unwrap();
+    let mut check = idaa.session(SYSADM);
+    let total = sum(&idaa, &mut check);
+    assert_eq!(total, 0, "write skew drains both rows — SI permits it");
+}
+
+#[test]
+fn anomaly_dirty_read_prevented_with_trace_evidence() {
+    // Dirty-read variant of `dirty_reads_never_happen_across_engines`,
+    // with the trace proving the probe executed on the accelerator.
+    let idaa = system();
+    let mut writer = anomaly_setup(&idaa);
+    let mut reader = idaa.session(SYSADM);
+    idaa.execute(&mut writer, "BEGIN").unwrap();
+    idaa.execute(&mut writer, "UPDATE ACCOUNTS SET BAL = 0 WHERE ID = 1").unwrap();
+    // Uncommitted write invisible to the reader.
+    assert_eq!(balance(&idaa, &mut reader, 1), 50);
+    assert_ran_on_accel(&idaa, "SELECT BAL FROM ACCOUNTS");
+    idaa.execute(&mut writer, "ROLLBACK").unwrap();
+    assert_eq!(balance(&idaa, &mut reader, 1), 50);
+}
+
 #[test]
 fn accel_stop_inside_open_transaction_rolls_back_cleanly() {
     // The accelerator is stopped while an explicit transaction has AOT
