@@ -8,6 +8,7 @@
 //! OLAP advantage in every experiment.
 
 use idaa_common::{DataType, Decimal, Error, Result, Value};
+use std::sync::OnceLock;
 
 /// A compact null bitmap.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +53,21 @@ impl NullMap {
     pub fn null_count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The packed 64-bit words (bit set = NULL). Vectorized `IS [NOT] NULL`
+    /// kernels test whole words at a time: an all-zero word means 64
+    /// consecutive non-NULL positions with a single load.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word `w` of the bitmap (0 when beyond the stored words — trailing
+    /// positions are non-NULL by construction).
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words.get(w).copied().unwrap_or(0)
+    }
 }
 
 /// The physical representation of one column.
@@ -79,7 +95,16 @@ pub struct Column {
     pub data_type: DataType,
     pub data: ColumnData,
     pub nulls: NullMap,
+    /// Lazily built trimmed-value → dictionary-codes probe for string
+    /// kernels, invalidated whenever the dictionary grows. Building it once
+    /// per column means repeated kernel specializations (more slices, more
+    /// queries) cost an O(1) hash probe instead of re-scanning the
+    /// dictionary.
+    dict_probe: OnceLock<FxLikeMap2>,
 }
+
+/// Trimmed dictionary probe map (trimmed string → codes carrying it).
+type FxLikeMap2 = std::collections::HashMap<String, Vec<u32>>;
 
 impl Column {
     /// Empty column for `data_type`.
@@ -94,7 +119,7 @@ impl Column {
             },
             _ => ColumnData::I64(Vec::new()),
         };
-        Column { data_type, data, nulls: NullMap::default() }
+        Column { data_type, data, nulls: NullMap::default(), dict_probe: OnceLock::new() }
     }
 
     /// Number of stored positions (including NULL slots).
@@ -122,11 +147,15 @@ impl Column {
                 ColumnData::F64(vec) => vec.push(0.0),
                 ColumnData::Dec(vec) => vec.push(0),
                 ColumnData::Str { codes, values, index } => {
+                    let before = values.len();
                     let code = *index.entry(String::new()).or_insert_with(|| {
                         values.push(String::new());
                         (values.len() - 1) as u32
                     });
                     codes.push(code);
+                    if values.len() != before {
+                        self.dict_probe.take();
+                    }
                 }
             }
             return Ok(());
@@ -156,6 +185,7 @@ impl Column {
                         values.push(s.clone());
                         let c = (values.len() - 1) as u32;
                         index.insert(s.clone(), c);
+                        self.dict_probe.take();
                         c
                     }
                 };
@@ -228,6 +258,55 @@ impl Column {
                 Some(Decimal::new(v[i], scale).to_f64())
             }
             ColumnData::Str { .. } => None,
+        }
+    }
+
+    /// Dictionary codes whose value equals `want` under trailing-space-
+    /// insensitive comparison (CHAR padding semantics). Empty for values
+    /// absent from the dictionary and for non-string columns. The probe map
+    /// is built once per column and memoized until the dictionary grows, so
+    /// kernel specialization never re-scans an unchanged dictionary.
+    pub fn codes_matching(&self, want: &str) -> &[u32] {
+        static EMPTY: [u32; 0] = [];
+        let ColumnData::Str { values, .. } = &self.data else { return &EMPTY };
+        let probe = self.dict_probe.get_or_init(|| {
+            let mut map = FxLikeMap2::with_capacity(values.len());
+            for (code, v) in values.iter().enumerate() {
+                map.entry(v.trim_end_matches(' ').to_string())
+                    .or_default()
+                    .push(code as u32);
+            }
+            map
+        });
+        probe.get(want.trim_end_matches(' ')).map(|v| v.as_slice()).unwrap_or(&EMPTY)
+    }
+
+    /// The raw `i64` vector behind integer/BOOLEAN/DATE/TIMESTAMP columns
+    /// (batch kernels iterate this directly; NULL slots hold 0 and must be
+    /// masked via [`Self::nulls`]).
+    #[inline]
+    pub fn i64_data(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `f64` vector behind DOUBLE columns.
+    #[inline]
+    pub fn f64_data(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The dictionary-code vector behind string columns.
+    #[inline]
+    pub fn str_codes(&self) -> Option<&[u32]> {
+        match &self.data {
+            ColumnData::Str { codes, .. } => Some(codes),
+            _ => None,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! bulk load, and grooming.
 
 use crate::durable::{Checkpoint, DurableStore, LogRecord, SliceImage, TableImage};
-use crate::exec::{execute_plan, scan_filtered, ExecCtx};
+use crate::exec::{describe_pipeline, execute_plan, scan_filtered, ExecCtx, ExecMode};
 use crate::mvcc::{CommitSeq, Snapshot, TxnId, TxnRegistry, TxnStatus};
 use crate::table::{AccelTable, RowPos};
 use idaa_common::{wire, Error, ObjectName, Result, Row, Rows, Schema};
@@ -574,11 +574,28 @@ impl AccelEngine {
 
     /// Execute a `SELECT` under `txn`'s snapshot.
     pub fn query(&self, txn: TxnId, query: &Query) -> Result<Rows> {
+        self.query_with_mode(txn, query, ExecMode::Vectorized)
+    }
+
+    /// Execute a `SELECT` with an explicit execution mode.
+    /// `ExecMode::Interpreted` forces the row-at-a-time fallback path and
+    /// is the oracle the vectorized pipeline is tested (and benchmarked)
+    /// against.
+    pub fn query_with_mode(&self, txn: TxnId, query: &Query, mode: ExecMode) -> Result<Rows> {
         self.ensure_up()?;
         let plan = plan_query(query, self)?;
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
-        let ctx = ExecCtx { engine: self, snap: self.snapshot_for(txn), profile: None };
+        let ctx = ExecCtx { engine: self, snap: self.snapshot_for(txn), mode, profile: None };
         execute_plan(&plan, &ctx)
+    }
+
+    /// Which pipeline would execute `query` (`EXPLAIN`'s PIPELINE line).
+    /// Plans but does not run the query, and does not count it in
+    /// [`AccelStats`]'s query counter.
+    pub fn pipeline_of(&self, query: &Query) -> Result<String> {
+        self.ensure_up()?;
+        let plan = plan_query(query, self)?;
+        Ok(describe_pipeline(&plan, self))
     }
 
     /// Execute a `SELECT` and also return the executed plan plus a
@@ -594,8 +611,12 @@ impl AccelEngine {
         let plan = Box::new(plan_query(query, self)?);
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let profile = PlanProfile::default();
-        let ctx =
-            ExecCtx { engine: self, snap: self.snapshot_for(txn), profile: Some(&profile) };
+        let ctx = ExecCtx {
+            engine: self,
+            snap: self.snapshot_for(txn),
+            mode: ExecMode::Vectorized,
+            profile: Some(&profile),
+        };
         let rows = execute_plan(&plan, &ctx)?;
         Ok((rows, plan, profile))
     }
@@ -788,7 +809,12 @@ impl AccelEngine {
     pub fn scan_visible(&self, table: &ObjectName) -> Result<Vec<Row>> {
         self.ensure_up()?;
         let t = self.table(table)?;
-        let ctx = ExecCtx { engine: self, snap: self.txns.snapshot(0), profile: None };
+        let ctx = ExecCtx {
+            engine: self,
+            snap: self.txns.snapshot(0),
+            mode: ExecMode::Vectorized,
+            profile: None,
+        };
         scan_filtered(&t, None, &ctx)
     }
 

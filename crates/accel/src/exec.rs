@@ -1,13 +1,21 @@
 //! Columnar, slice-parallel execution for the accelerator.
 //!
-//! The hot path is the scan: predicates of the shape `column <cmp> literal`
-//! are compiled to typed kernels that run directly over the column vectors,
-//! whole 4096-row blocks are skipped via zone maps, and data slices scan in
-//! parallel threads. Rows are only materialized for positions that survive
-//! visibility + kernel + residual filtering; the remaining operators
-//! (join/aggregate/sort/…) then run over that much smaller set.
+//! The hot path is the vectorized scan: predicate conjuncts are compiled to
+//! a kernel IR (numeric comparisons, BETWEEN ranges, dictionary-code string
+//! equality, IS \[NOT\] NULL over bitmap words) and each 4096-row block is
+//! processed as a batch — a selection vector of visible positions that
+//! every kernel compacts in place over the typed column vectors, with no
+//! intermediate row materialization. Whole blocks are skipped via zone
+//! maps, and data slices scan in parallel threads. Rows are materialized
+//! only for positions that survive visibility + kernel + residual
+//! filtering; the remaining operators (join/aggregate/sort/…) run over that
+//! much smaller set, and filter→aggregate chains feed aggregate states
+//! directly from the surviving selection. Any conjunct the compiler cannot
+//! prove exact (see `guarded_lit`) stays with the row-at-a-time
+//! interpreter as a residual — results are always exact, never
+//! approximate.
 
-use crate::column::{Column, ColumnData};
+use crate::column::{Column, NullMap};
 use crate::engine::AccelEngine;
 use crate::mvcc::Snapshot;
 use crate::table::{AccelTable, Slice, ZoneEntry, BLOCK_ROWS};
@@ -41,10 +49,24 @@ where
     })
 }
 
+/// Which execution pipeline the accelerator uses for scans and fused
+/// aggregation. `Vectorized` (the default) compiles predicate conjuncts to
+/// batch kernels that filter block-sized selection vectors directly over
+/// the column vectors; `Interpreted` forces the row-at-a-time expression
+/// interpreter — kept as the exactness oracle and the fallback for any
+/// expression the compiler cannot prove exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    #[default]
+    Vectorized,
+    Interpreted,
+}
+
 /// Execution context for one statement.
 pub struct ExecCtx<'a> {
     pub engine: &'a AccelEngine,
     pub snap: Snapshot,
+    pub mode: ExecMode,
     /// When set, each executed plan node records its output cardinality
     /// (fused children stay unrecorded — fusion is visible in the profile).
     pub profile: Option<&'a PlanProfile>,
@@ -107,13 +129,13 @@ fn run_masked_inner(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Re
                 return Ok(vec![vec![]]);
             }
             let t = ctx.engine.table(table)?;
-            scan_filtered_with(&t, None, ctx, needed)
+            scan_filtered_with(&t, None, ctx, needed, Some(plan))
         }
         Plan::Filter { input, predicate } => {
             if let Plan::Scan { table, .. } = input.as_ref() {
                 let t = ctx.engine.table(table)?;
                 let cols = input.cols();
-                return scan_filtered_with(&t, Some((predicate, &cols)), ctx, needed);
+                return scan_filtered_with(&t, Some((predicate, &cols)), ctx, needed, Some(plan));
             }
             let cols = input.cols();
             let bound = bind(predicate, &resolver_of(&cols))?;
@@ -141,7 +163,7 @@ fn run_masked_inner(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Re
         }
         Plan::Join { left, right, kind, on } => run_join(left, right, *kind, on, ctx),
         Plan::Aggregate { input, group_exprs, aggs, .. } => {
-            if let Some(rows) = try_fused_aggregate(input, group_exprs, aggs, ctx)? {
+            if let Some(rows) = try_fused_aggregate(plan, input, group_exprs, aggs, ctx)? {
                 return Ok(rows);
             }
             run_aggregate(input, group_exprs, aggs, ctx)
@@ -241,101 +263,274 @@ pub(crate) fn scan_filtered(
         })
         .collect();
     match predicate {
-        Some(p) => scan_filtered_with(table, Some((p, cols.as_slice())), ctx, None),
-        None => scan_filtered_with(table, None, ctx, None),
+        Some(p) => scan_filtered_with(table, Some((p, cols.as_slice())), ctx, None, None),
+        None => scan_filtered_with(table, None, ctx, None, None),
     }
 }
 
-/// A compiled single-column comparison kernel.
+/// The kernel IR: one compiled single-column predicate. A conjunction
+/// compiles into a list of kernels that each filter the block's selection
+/// vector in turn; anything the compiler can't prove exact stays in the
+/// interpreted residual.
 #[derive(Debug, Clone)]
 enum Kernel {
     /// Numeric comparison against a constant.
     Num { col: usize, op: BinaryOp, val: f64 },
+    /// `col [NOT] BETWEEN lo AND hi` over a numeric column.
+    Range { col: usize, lo: f64, hi: f64, negated: bool },
     /// String equality / inequality against a constant.
     Str { col: usize, val: String, negated: bool },
+    /// `col IS [NOT] NULL` over the packed null bitmap.
+    IsNull { col: usize, negated: bool },
 }
 
 impl Kernel {
-    /// Can the zone map of `z` prove no row in the block matches?
-    fn prunes(&self, z: &ZoneEntry) -> bool {
-        let Kernel::Num { op, val, .. } = self else { return false };
-        if !z.valid {
-            return false;
-        }
-        match op {
-            BinaryOp::Eq => *val < z.min || *val > z.max,
-            BinaryOp::Lt => z.min >= *val,
-            BinaryOp::LtEq => z.min > *val,
-            BinaryOp::Gt => z.max <= *val,
-            BinaryOp::GtEq => z.max < *val,
-            BinaryOp::Neq => z.min == z.max && z.min == *val,
-            _ => false,
+    /// The column whose zone map can prune blocks for this kernel, if any.
+    /// String and NULL-ness kernels never prune: zone maps track numeric
+    /// min/max only, and staying a superset is the correctness rule.
+    fn zone_col(&self) -> Option<usize> {
+        match self {
+            Kernel::Num { col, .. } | Kernel::Range { col, .. } => Some(*col),
+            Kernel::Str { .. } | Kernel::IsNull { .. } => None,
         }
     }
 
-    /// Resolve this kernel against one slice. String kernels precompute a
-    /// per-dictionary-code match table once, turning every row test into an
-    /// integer lookup.
+    /// Can the zone map of `z` prove no row in the block matches?
+    fn prunes(&self, z: &ZoneEntry) -> bool {
+        if !z.valid {
+            return false;
+        }
+        match self {
+            Kernel::Num { op, val, .. } => match op {
+                BinaryOp::Eq => *val < z.min || *val > z.max,
+                BinaryOp::Lt => z.min >= *val,
+                BinaryOp::LtEq => z.min > *val,
+                BinaryOp::Gt => z.max <= *val,
+                BinaryOp::GtEq => z.max < *val,
+                BinaryOp::Neq => z.min == z.max && z.min == *val,
+                _ => false,
+            },
+            Kernel::Range { lo, hi, negated: false, .. } => z.max < *lo || z.min > *hi,
+            // Every non-NULL row inside [lo, hi] ⇒ NOT BETWEEN matches none
+            // (NULL rows never match either way, and zones ignore NULLs).
+            Kernel::Range { lo, hi, negated: true, .. } => z.min >= *lo && z.max <= *hi,
+            Kernel::Str { .. } | Kernel::IsNull { .. } => false,
+        }
+    }
+
+    /// Resolve this kernel against one slice's physical column vectors,
+    /// picking the tightest typed loop the storage admits. String kernels
+    /// reuse the column's memoized dictionary probe, so repeated slices
+    /// (and repeated queries) don't re-scan the dictionary.
     fn specialize<'s>(&'s self, slice: &'s Slice) -> SpecKernel<'s> {
         match self {
-            Kernel::Num { col, op, val } => SpecKernel::Num { col: *col, op: *op, val: *val },
+            Kernel::Num { col, op, val } => {
+                let c: &Column = &slice.columns[*col];
+                if let (Some(vals), Some(i)) = (c.i64_data(), exact_i64(*val)) {
+                    SpecKernel::I64Cmp { vals, nulls: &c.nulls, op: *op, val: i }
+                } else if let Some(vals) = c.f64_data() {
+                    SpecKernel::F64Cmp { vals, nulls: &c.nulls, op: *op, val: *val }
+                } else {
+                    SpecKernel::NumCmp { col: c, op: *op, val: *val }
+                }
+            }
+            Kernel::Range { col, lo, hi, negated } => {
+                let c: &Column = &slice.columns[*col];
+                if let (Some(vals), Some(l), Some(h)) =
+                    (c.i64_data(), exact_i64(*lo), exact_i64(*hi))
+                {
+                    SpecKernel::I64Range { vals, nulls: &c.nulls, lo: l, hi: h, negated: *negated }
+                } else if let Some(vals) = c.f64_data() {
+                    SpecKernel::F64Range {
+                        vals,
+                        nulls: &c.nulls,
+                        lo: *lo,
+                        hi: *hi,
+                        negated: *negated,
+                    }
+                } else {
+                    SpecKernel::NumRange { col: c, lo: *lo, hi: *hi, negated: *negated }
+                }
+            }
             Kernel::Str { col, val, negated } => {
                 let c: &Column = &slice.columns[*col];
-                let (Some(dict), ColumnData::Str { codes, .. }) = (c.dictionary(), &c.data)
-                else {
-                    return SpecKernel::Never;
-                };
-                let want = val.trim_end_matches(' ');
-                let matching: Vec<bool> = dict
-                    .iter()
-                    .map(|d| (d.trim_end_matches(' ') == want) != *negated)
-                    .collect();
-                SpecKernel::Str { col: *col, codes, matching }
+                let Some(codes) = c.str_codes() else { return SpecKernel::Never };
+                SpecKernel::Str {
+                    codes,
+                    nulls: &c.nulls,
+                    matches: c.codes_matching(val),
+                    negated: *negated,
+                }
+            }
+            Kernel::IsNull { col, negated } => {
+                SpecKernel::IsNull { nulls: &slice.columns[*col].nulls, negated: *negated }
             }
         }
     }
 }
 
-/// A [`Kernel`] resolved against one slice's physical data.
+/// The f64 image of an i64 column value compares exactly against `v` (in
+/// the i64 domain) only when `v` is integral with magnitude strictly below
+/// 2^53 — above that, distinct integers share an f64 image and Eq/Neq
+/// would lie. Within the limit the typed i64 loop is provably identical to
+/// the f64-image comparison the interpreter performs.
+fn exact_i64(v: f64) -> Option<i64> {
+    const LIMIT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if v.fract() == 0.0 && v.abs() < LIMIT {
+        Some(v as i64)
+    } else {
+        None
+    }
+}
+
+/// A [`Kernel`] resolved against one slice's physical data. Each variant
+/// filters a selection vector of candidate positions in place — the batch
+/// replacement for the old per-row `matches` test.
 enum SpecKernel<'s> {
-    Num { col: usize, op: BinaryOp, val: f64 },
-    Str { col: usize, codes: &'s [u32], matching: Vec<bool> },
+    I64Cmp { vals: &'s [i64], nulls: &'s NullMap, op: BinaryOp, val: i64 },
+    F64Cmp { vals: &'s [f64], nulls: &'s NullMap, op: BinaryOp, val: f64 },
+    /// Generic numeric compare through `numeric_at` (DECIMAL storage, or an
+    /// i64 column against a fractional / out-of-range literal).
+    NumCmp { col: &'s Column, op: BinaryOp, val: f64 },
+    I64Range { vals: &'s [i64], nulls: &'s NullMap, lo: i64, hi: i64, negated: bool },
+    F64Range { vals: &'s [f64], nulls: &'s NullMap, lo: f64, hi: f64, negated: bool },
+    NumRange { col: &'s Column, lo: f64, hi: f64, negated: bool },
+    Str { codes: &'s [u32], nulls: &'s NullMap, matches: &'s [u32], negated: bool },
+    IsNull { nulls: &'s NullMap, negated: bool },
     /// Structurally impossible (e.g. non-dictionary column): matches nothing.
     Never,
 }
 
+/// Compact `sel` in place, keeping positions where `keep` holds. Survivor
+/// order stays ascending, which is what keeps vectorized output order
+/// identical to the row-at-a-time scan.
+#[inline]
+fn compact(sel: &mut Vec<u32>, mut keep: impl FnMut(usize) -> bool) {
+    let mut w = 0;
+    for r in 0..sel.len() {
+        if keep(sel[r] as usize) {
+            sel[w] = sel[r];
+            w += 1;
+        }
+    }
+    sel.truncate(w);
+}
+
+/// Typed comparison loop shared by the i64 and f64 kernels.
+fn cmp_filter<T: PartialOrd + Copy>(
+    sel: &mut Vec<u32>,
+    vals: &[T],
+    nulls: &NullMap,
+    op: BinaryOp,
+    val: T,
+) {
+    match op {
+        BinaryOp::Eq => compact(sel, |p| !nulls.is_null(p) && vals[p] == val),
+        BinaryOp::Neq => compact(sel, |p| !nulls.is_null(p) && vals[p] != val),
+        BinaryOp::Lt => compact(sel, |p| !nulls.is_null(p) && vals[p] < val),
+        BinaryOp::LtEq => compact(sel, |p| !nulls.is_null(p) && vals[p] <= val),
+        BinaryOp::Gt => compact(sel, |p| !nulls.is_null(p) && vals[p] > val),
+        BinaryOp::GtEq => compact(sel, |p| !nulls.is_null(p) && vals[p] >= val),
+        _ => sel.clear(),
+    }
+}
+
+fn range_filter<T: PartialOrd + Copy>(
+    sel: &mut Vec<u32>,
+    vals: &[T],
+    nulls: &NullMap,
+    lo: T,
+    hi: T,
+    negated: bool,
+) {
+    if negated {
+        compact(sel, |p| !(nulls.is_null(p) || vals[p] >= lo && vals[p] <= hi));
+    } else {
+        compact(sel, |p| !nulls.is_null(p) && vals[p] >= lo && vals[p] <= hi);
+    }
+}
+
+fn cmp_f64(op: BinaryOp, x: f64, val: f64) -> bool {
+    match op {
+        BinaryOp::Eq => x == val,
+        BinaryOp::Neq => x != val,
+        BinaryOp::Lt => x < val,
+        BinaryOp::LtEq => x <= val,
+        BinaryOp::Gt => x > val,
+        BinaryOp::GtEq => x >= val,
+        _ => false,
+    }
+}
+
 impl SpecKernel<'_> {
-    #[inline]
-    fn matches(&self, slice: &Slice, pos: usize) -> bool {
+    /// Filter the selection vector in place, keeping only positions this
+    /// kernel accepts. NULL never matches a comparison, matching SQL.
+    fn filter(&self, sel: &mut Vec<u32>) {
         match self {
-            SpecKernel::Num { col, op, val } => match slice.columns[*col].numeric_at(pos) {
-                None => false,
-                Some(x) => match op {
-                    BinaryOp::Eq => x == *val,
-                    BinaryOp::Neq => x != *val,
-                    BinaryOp::Lt => x < *val,
-                    BinaryOp::LtEq => x <= *val,
-                    BinaryOp::Gt => x > *val,
-                    BinaryOp::GtEq => x >= *val,
-                    _ => false,
-                },
-            },
-            SpecKernel::Str { col, codes, matching } => {
-                !slice.columns[*col].nulls.is_null(pos) && matching[codes[pos] as usize]
+            SpecKernel::I64Cmp { vals, nulls, op, val } => {
+                cmp_filter(sel, vals, nulls, *op, *val)
             }
-            SpecKernel::Never => false,
+            SpecKernel::F64Cmp { vals, nulls, op, val } => {
+                cmp_filter(sel, vals, nulls, *op, *val)
+            }
+            SpecKernel::NumCmp { col, op, val } => compact(sel, |p| match col.numeric_at(p) {
+                None => false,
+                Some(x) => cmp_f64(*op, x, *val),
+            }),
+            SpecKernel::I64Range { vals, nulls, lo, hi, negated } => {
+                range_filter(sel, vals, nulls, *lo, *hi, *negated)
+            }
+            SpecKernel::F64Range { vals, nulls, lo, hi, negated } => {
+                range_filter(sel, vals, nulls, *lo, *hi, *negated)
+            }
+            SpecKernel::NumRange { col, lo, hi, negated } => {
+                compact(sel, |p| match col.numeric_at(p) {
+                    None => false,
+                    Some(x) => (x >= *lo && x <= *hi) != *negated,
+                })
+            }
+            SpecKernel::Str { codes, nulls, matches, negated } => {
+                let neg = *negated;
+                match matches.len() {
+                    0 if !neg => sel.clear(),
+                    0 => compact(sel, |p| !nulls.is_null(p)),
+                    1 => {
+                        let c = matches[0];
+                        if neg {
+                            compact(sel, |p| !nulls.is_null(p) && codes[p] != c)
+                        } else {
+                            compact(sel, |p| !nulls.is_null(p) && codes[p] == c)
+                        }
+                    }
+                    _ => compact(sel, |p| {
+                        !nulls.is_null(p) && (matches.binary_search(&codes[p]).is_ok() != neg)
+                    }),
+                }
+            }
+            SpecKernel::IsNull { nulls, negated } => {
+                // Word-at-a-time over the packed bitmap: the 64-bit null
+                // word is reloaded only when the selection crosses into
+                // the next word.
+                let words = nulls.words();
+                let neg = *negated;
+                let mut cur = usize::MAX;
+                let mut word = 0u64;
+                compact(sel, |p| {
+                    let wi = p / 64;
+                    if wi != cur {
+                        cur = wi;
+                        word = words.get(wi).copied().unwrap_or(0);
+                    }
+                    ((word >> (p % 64)) & 1 == 1) != neg
+                })
+            }
+            SpecKernel::Never => sel.clear(),
         }
     }
 }
 
-/// Try to compile one conjunct into a kernel over `table`'s columns.
-fn compile_kernel(conj: &Expr, table: &AccelTable, scan_cols: &[PlanCol]) -> Option<Kernel> {
-    let Expr::Binary { left, op, right } = conj else { return None };
-    let (col_expr, lit, op) = match (left.as_ref(), right.as_ref()) {
-        (Expr::Column { .. }, Expr::Literal(v)) => (left.as_ref(), v, *op),
-        (Expr::Literal(v), Expr::Column { .. }) => (right.as_ref(), v, flip(*op)?),
-        _ => return None,
-    };
+/// Resolve a bare column reference against this scan's schema.
+fn scan_ordinal(col_expr: &Expr, table: &AccelTable, scan_cols: &[PlanCol]) -> Option<usize> {
     let Expr::Column { qualifier, name } = col_expr else { return None };
     // The qualifier must refer to this scan.
     if let Some(q) = qualifier {
@@ -343,37 +538,92 @@ fn compile_kernel(conj: &Expr, table: &AccelTable, scan_cols: &[PlanCol]) -> Opt
             return None;
         }
     }
-    let ordinal = table.schema.index_of(name).ok()?;
-    let col_type = table.schema.columns()[ordinal].data_type;
-    if col_type.is_numeric() || matches!(col_type, idaa_common::DataType::Date | idaa_common::DataType::Timestamp | idaa_common::DataType::Boolean)
-    {
-        let val = match lit {
-            Value::Null => return None,
-            v => v.as_f64().ok()?,
-        };
-        // Kernels compare in f64. An integer literal beyond 2^53 is not
-        // exactly representable, which would make equality kernels lie —
-        // leave such predicates to the exact residual evaluator.
-        if let Ok(i) = lit.as_i64() {
-            if (val as i64) != i {
+    table.schema.index_of(name).ok()
+}
+
+/// Literal → f64 under the exactness guard. Kernels compare in f64; an
+/// integer literal beyond 2^53 is not exactly representable, which would
+/// make equality kernels lie — such predicates stay with the exact
+/// residual evaluator.
+fn guarded_lit(lit: &Value) -> Option<f64> {
+    let val = match lit {
+        Value::Null => return None,
+        v => v.as_f64().ok()?,
+    };
+    if let Ok(i) = lit.as_i64() {
+        if (val as i64) != i {
+            return None;
+        }
+    }
+    Some(val)
+}
+
+fn numeric_family(t: idaa_common::DataType) -> bool {
+    t.is_numeric()
+        || matches!(
+            t,
+            idaa_common::DataType::Date | idaa_common::DataType::Timestamp | idaa_common::DataType::Boolean
+        )
+}
+
+/// Try to compile one conjunct into a kernel over `table`'s columns.
+fn compile_kernel(conj: &Expr, table: &AccelTable, scan_cols: &[PlanCol]) -> Option<Kernel> {
+    match conj {
+        Expr::Binary { left, op, right } => {
+            let (col_expr, lit, op) = match (left.as_ref(), right.as_ref()) {
+                (Expr::Column { .. }, Expr::Literal(v)) => (left.as_ref(), v, *op),
+                (Expr::Literal(v), Expr::Column { .. }) => (right.as_ref(), v, flip(*op)?),
+                _ => return None,
+            };
+            let ordinal = scan_ordinal(col_expr, table, scan_cols)?;
+            let col_type = table.schema.columns()[ordinal].data_type;
+            if numeric_family(col_type) {
+                let val = guarded_lit(lit)?;
+                if matches!(
+                    op,
+                    BinaryOp::Eq
+                        | BinaryOp::Neq
+                        | BinaryOp::Lt
+                        | BinaryOp::LtEq
+                        | BinaryOp::Gt
+                        | BinaryOp::GtEq
+                ) {
+                    return Some(Kernel::Num { col: ordinal, op, val });
+                }
                 return None;
             }
+            if col_type.is_character() {
+                let Value::Varchar(s) = lit else { return None };
+                return match op {
+                    BinaryOp::Eq => {
+                        Some(Kernel::Str { col: ordinal, val: s.clone(), negated: false })
+                    }
+                    BinaryOp::Neq => {
+                        Some(Kernel::Str { col: ordinal, val: s.clone(), negated: true })
+                    }
+                    _ => None,
+                };
+            }
+            None
         }
-        if matches!(op, BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq)
-        {
-            return Some(Kernel::Num { col: ordinal, op, val });
+        Expr::Between { expr, low, high, negated } => {
+            let ordinal = scan_ordinal(expr, table, scan_cols)?;
+            if !numeric_family(table.schema.columns()[ordinal].data_type) {
+                return None;
+            }
+            let (Expr::Literal(lo), Expr::Literal(hi)) = (low.as_ref(), high.as_ref()) else {
+                return None;
+            };
+            let lo = guarded_lit(lo)?;
+            let hi = guarded_lit(hi)?;
+            Some(Kernel::Range { col: ordinal, lo, hi, negated: *negated })
         }
-        return None;
+        Expr::IsNull { expr, negated } => {
+            let ordinal = scan_ordinal(expr, table, scan_cols)?;
+            Some(Kernel::IsNull { col: ordinal, negated: *negated })
+        }
+        _ => None,
     }
-    if col_type.is_character() {
-        let Value::Varchar(s) = lit else { return None };
-        match op {
-            BinaryOp::Eq => return Some(Kernel::Str { col: ordinal, val: s.clone(), negated: false }),
-            BinaryOp::Neq => return Some(Kernel::Str { col: ordinal, val: s.clone(), negated: true }),
-            _ => return None,
-        }
-    }
-    None
 }
 
 fn flip(op: BinaryOp) -> Option<BinaryOp> {
@@ -388,19 +638,58 @@ fn flip(op: BinaryOp) -> Option<BinaryOp> {
     })
 }
 
+/// Any-kernel zone test for one block: a block is skipped when any kernel's
+/// zone map proves it empty (superset rule: pruning is only ever a subset
+/// of what the kernels would reject row by row).
+fn zone_prunes(kernels: &[Kernel], slice: &Slice, b: usize) -> bool {
+    kernels.iter().any(|k| {
+        k.zone_col()
+            .and_then(|c| slice.zones[c].get(b))
+            .map(|z| k.prunes(z))
+            .unwrap_or(false)
+    })
+}
+
+/// Fill `sel` with the visible positions of block `b`, ascending. Returns
+/// the block's `(start, end)` row range.
+fn select_block(
+    sel: &mut Vec<u32>,
+    slice: &Slice,
+    b: usize,
+    total: usize,
+    engine: &AccelEngine,
+    snap: &Snapshot,
+) -> (usize, usize) {
+    let start = b * BLOCK_ROWS;
+    let end = (start + BLOCK_ROWS).min(total);
+    sel.clear();
+    for pos in start..end {
+        if engine.txns.version_visible(slice.created[pos], slice.deleted[pos], snap) {
+            sel.push(pos as u32);
+        }
+    }
+    (start, end)
+}
+
 fn scan_filtered_with(
     table: &AccelTable,
     pred: Option<(&Expr, &[PlanCol])>,
     ctx: &ExecCtx,
     needed: Option<Vec<bool>>,
+    prof_node: Option<&Plan>,
 ) -> Result<Vec<Row>> {
-    // Compile conjuncts into kernels plus a residual predicate.
+    // Compile conjuncts into kernels plus a residual predicate. Forced
+    // interpreter mode compiles nothing: the whole predicate is residual.
     let mut kernels: Vec<Kernel> = Vec::new();
     let mut residual: Option<BoundExpr> = None;
     if let Some((predicate, scan_cols)) = pred {
         let mut leftover: Vec<&Expr> = Vec::new();
         for conj in idaa_host_conjuncts(predicate) {
-            match compile_kernel(conj, table, scan_cols) {
+            let compiled = match ctx.mode {
+                ExecMode::Vectorized => compile_kernel(conj, table, scan_cols),
+                ExecMode::Interpreted => None,
+            };
+            match compiled {
                 Some(k) => kernels.push(k),
                 None => leftover.push(conj),
             }
@@ -438,37 +727,34 @@ fn scan_filtered_with(
     let snap = ctx.snap;
     let slices = table.slices();
 
-    let scan_one = |slice_lock: &parking_lot::RwLock<Slice>| -> Result<Vec<Row>> {
+    // Per slice: build a block-sized selection vector of visible positions,
+    // let each kernel compact it in turn, then materialize (and residual-
+    // check) only the survivors, in ascending position order — the same
+    // output order as the old per-row loop, without its per-row dispatch.
+    let scan_one = |slice_lock: &parking_lot::RwLock<Slice>| -> Result<(Vec<Row>, u64)> {
         let slice = slice_lock.read();
         let spec: Vec<SpecKernel> = kernels.iter().map(|k| k.specialize(&slice)).collect();
         let total = slice.version_count();
         let mut out = Vec::new();
-        let blocks = total.div_ceil(BLOCK_ROWS);
+        let mut sel: Vec<u32> = Vec::with_capacity(BLOCK_ROWS.min(total));
+        let mut batches = 0u64;
+        let blocks = slice.block_count();
         for b in 0..blocks {
             engine.stats.blocks_scanned.fetch_add(1, Ordering::Relaxed);
-            if use_zones
-                && kernels.iter().any(|k| {
-                    let Kernel::Num { col, .. } = k else { return false };
-                    slice.zones[*col].get(b).map(|z| k.prunes(z)).unwrap_or(false)
-                })
-            {
+            if use_zones && zone_prunes(&kernels, &slice, b) {
                 engine.stats.blocks_pruned.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let start = b * BLOCK_ROWS;
-            let end = (start + BLOCK_ROWS).min(total);
-            'row: for pos in start..end {
-                if !engine
-                    .txns
-                    .version_visible(slice.created[pos], slice.deleted[pos], &snap)
-                {
-                    continue;
+            batches += 1;
+            let (start, end) = select_block(&mut sel, &slice, b, total, engine, &snap);
+            for k in &spec {
+                if sel.is_empty() {
+                    break;
                 }
-                for k in &spec {
-                    if !k.matches(&slice, pos) {
-                        continue 'row;
-                    }
-                }
+                k.filter(&mut sel);
+            }
+            for &p in &sel {
+                let pos = p as usize;
                 let row: Row = match &mask {
                     None => slice.row_at(pos),
                     Some(m) => slice
@@ -490,29 +776,35 @@ fn scan_filtered_with(
                 .rows_scanned
                 .fetch_add((end - start) as u64, Ordering::Relaxed);
         }
-        Ok(out)
+        Ok((out, batches))
     };
 
-    if engine.config.parallel && slices.len() > 1 {
-        let results: Vec<Result<Vec<Row>>> = std::thread::scope(|scope| {
+    let results: Vec<Result<(Vec<Row>, u64)>> = if engine.config.parallel && slices.len() > 1 {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = slices
                 .iter()
                 .map(|s| scope.spawn(|| scan_one(s)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
-        });
-        let mut out = Vec::new();
-        for r in results {
-            out.extend(r?);
-        }
-        Ok(out)
+        })
     } else {
-        let mut out = Vec::new();
-        for s in slices {
-            out.extend(scan_one(s)?);
-        }
-        Ok(out)
+        slices.iter().map(&scan_one).collect()
+    };
+    let mut out = Vec::new();
+    let mut batches = 0u64;
+    for r in results {
+        let (rows, b) = r?;
+        out.extend(rows);
+        batches += b;
     }
+    // A scan counts as vectorized only when at least one kernel compiled —
+    // with zero kernels every row goes through the interpreted residual.
+    if let (Some(prof), Some(node)) = (ctx.profile, prof_node) {
+        if !kernels.is_empty() {
+            prof.record_vectorized(node, batches);
+        }
+    }
+    Ok(out)
 }
 
 /// Conjunct splitting (same shape as the host's — duplicated on purpose:
@@ -801,18 +1093,79 @@ fn nested_loop_join(
     Ok(out)
 }
 
-/// Fused vectorized aggregation: when the plan is `Aggregate(Filter(Scan))`
-/// (or `Aggregate(Scan)`), every group key and aggregate argument is a bare
-/// column, and the whole predicate compiles to kernels, aggregate states are
-/// fed *directly from the column vectors* — no row materialization, no
-/// per-row expression interpretation. This is the accelerator's bread and
-/// butter for reporting queries.
-fn try_fused_aggregate(
+/// One aggregate argument in a fused pipeline.
+enum FusedArg {
+    Star,
+    Col(usize),
+    Expr(BoundExpr),
+}
+
+/// A [`FusedArg`] specialized against one slice's column vectors. Integer
+/// and double columns feed accumulators through the typed
+/// [`AggState::update_i64`]/[`AggState::update_f64`] entry points — no
+/// per-row [`Value`] construction; every other shape keeps the generic
+/// per-value path.
+enum ArgSlot<'a> {
+    Star,
+    I64 { vals: &'a [i64], nulls: &'a NullMap, native: fn(i64) -> Value },
+    F64 { vals: &'a [f64], nulls: &'a NullMap },
+    Generic(usize),
+    Expr(&'a BoundExpr),
+}
+
+impl<'a> ArgSlot<'a> {
+    fn specialize(arg: &'a FusedArg, slice: &'a Slice) -> ArgSlot<'a> {
+        match arg {
+            FusedArg::Star => ArgSlot::Star,
+            FusedArg::Expr(b) => ArgSlot::Expr(b),
+            FusedArg::Col(i) => {
+                let c = &slice.columns[*i];
+                // `native` must rebuild exactly what `Column::get` renders
+                // for the declared type, or typed accumulation drifts from
+                // the interpreter (e.g. a single-row SUM keeps the native
+                // type; only the second value promotes to BigInt).
+                let native: Option<fn(i64) -> Value> = match c.data_type {
+                    idaa_common::DataType::SmallInt => Some(|v| Value::SmallInt(v as i16)),
+                    idaa_common::DataType::Integer => Some(|v| Value::Int(v as i32)),
+                    idaa_common::DataType::BigInt => Some(Value::BigInt),
+                    _ => None,
+                };
+                match (c.i64_data(), c.f64_data(), native) {
+                    (Some(vals), _, Some(native)) => {
+                        ArgSlot::I64 { vals, nulls: &c.nulls, native }
+                    }
+                    (_, Some(vals), _) if c.data_type == idaa_common::DataType::Double => {
+                        ArgSlot::F64 { vals, nulls: &c.nulls }
+                    }
+                    _ => ArgSlot::Generic(*i),
+                }
+            }
+        }
+    }
+}
+
+/// A fully compiled fused scan→filter→aggregate pipeline. Produced by
+/// [`compile_fused`]; `None` from there means the plan takes the
+/// interpreted [`run_aggregate`] path instead.
+struct FusedPipeline {
+    table: std::sync::Arc<AccelTable>,
+    key_ords: Vec<usize>,
+    args: Vec<FusedArg>,
+    /// Ordinals any expression argument reads (scratch-row fill list).
+    expr_cols: Vec<usize>,
+    kernels: Vec<Kernel>,
+}
+
+/// Check whether `Aggregate(input)` can run fused, and compile it if so:
+/// the input must be `Scan` or `Filter(Scan)`, every group key a bare
+/// column, every aggregate argument bindable against the scan, and the
+/// whole predicate must compile to kernels.
+fn compile_fused(
     input: &Plan,
     group_exprs: &[Expr],
     aggs: &[idaa_sql::plan::AggCall],
-    ctx: &ExecCtx,
-) -> Result<Option<Vec<Row>>> {
+    engine: &AccelEngine,
+) -> Result<Option<FusedPipeline>> {
     let (table_name, predicate, scan_cols) = match input {
         Plan::Scan { table, cols, .. } if !cols.is_empty() => (table, None, cols.clone()),
         Plan::Filter { input: inner, predicate } => match inner.as_ref() {
@@ -823,7 +1176,7 @@ fn try_fused_aggregate(
         },
         _ => return Ok(None),
     };
-    let table = ctx.engine.table(table_name)?;
+    let table = engine.table(table_name)?;
     // Group keys must be bare columns of the scan; aggregate arguments may
     // additionally be scalar expressions over scan columns (CAST, arithmetic
     // on a column, …) — those evaluate against a scratch row holding only
@@ -839,22 +1192,17 @@ fn try_fused_aggregate(
             Err(_) => return Ok(None),
         }
     }
-    enum FusedArg {
-        Star,
-        Col(usize),
-        Expr(BoundExpr),
-    }
-    let mut fused_args: Vec<FusedArg> = Vec::with_capacity(aggs.len());
+    let mut args: Vec<FusedArg> = Vec::with_capacity(aggs.len());
     let mut expr_cols: std::collections::HashSet<usize> = std::collections::HashSet::new();
     for a in aggs {
         match &a.arg {
-            None => fused_args.push(FusedArg::Star),
+            None => args.push(FusedArg::Star),
             Some(e) => match bind(e, &resolver) {
                 Ok(b) => match b.as_column() {
-                    Some(i) => fused_args.push(FusedArg::Col(i)),
+                    Some(i) => args.push(FusedArg::Col(i)),
                     None => {
                         b.collect_columns(&mut expr_cols);
-                        fused_args.push(FusedArg::Expr(b));
+                        args.push(FusedArg::Expr(b));
                     }
                 },
                 Err(_) => return Ok(None),
@@ -876,6 +1224,29 @@ fn try_fused_aggregate(
             }
         }
     }
+    Ok(Some(FusedPipeline { table, key_ords, args, expr_cols, kernels }))
+}
+
+/// Fused vectorized aggregation: when the plan is `Aggregate(Filter(Scan))`
+/// (or `Aggregate(Scan)`), every group key and aggregate argument is a bare
+/// column, and the whole predicate compiles to kernels, aggregate states are
+/// fed *directly from the column vectors* over the surviving selection
+/// vector — no row materialization, no per-row expression interpretation.
+/// This is the accelerator's bread and butter for reporting queries.
+fn try_fused_aggregate(
+    agg_node: &Plan,
+    input: &Plan,
+    group_exprs: &[Expr],
+    aggs: &[idaa_sql::plan::AggCall],
+    ctx: &ExecCtx,
+) -> Result<Option<Vec<Row>>> {
+    if ctx.mode == ExecMode::Interpreted {
+        return Ok(None);
+    }
+    let Some(fused) = compile_fused(input, group_exprs, aggs, ctx.engine)? else {
+        return Ok(None);
+    };
+    let FusedPipeline { table, key_ords, args, expr_cols, kernels } = &fused;
 
     let engine = ctx.engine;
     let use_zones = engine.config.zone_maps;
@@ -883,76 +1254,135 @@ fn try_fused_aggregate(
     let width = table.schema.len();
     let slices = table.slices();
 
-    let fuse_slice = |slice_lock: &parking_lot::RwLock<crate::table::Slice>| -> Result<Groups> {
-        let slice = slice_lock.read();
-        let spec: Vec<SpecKernel> = kernels.iter().map(|k| k.specialize(&slice)).collect();
-        let total = slice.version_count();
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-        let mut groups: Groups = Vec::new();
-        // Scratch row for expression arguments: only the ordinals an
-        // expression reads are ever filled in.
-        let mut scratch: Row = vec![Value::Null; width];
-        let blocks = total.div_ceil(BLOCK_ROWS);
-        for b in 0..blocks {
-            engine.stats.blocks_scanned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if use_zones
-                && kernels.iter().any(|k| {
-                    let Kernel::Num { col, .. } = k else { return false };
-                    slice.zones[*col].get(b).map(|z| k.prunes(z)).unwrap_or(false)
-                })
-            {
-                engine.stats.blocks_pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                continue;
-            }
-            let start = b * BLOCK_ROWS;
-            let end = (start + BLOCK_ROWS).min(total);
-            'row: for pos in start..end {
-                if !engine.txns.version_visible(slice.created[pos], slice.deleted[pos], &snap) {
+    let fuse_slice =
+        |slice_lock: &parking_lot::RwLock<Slice>| -> Result<(Groups, u64)> {
+            let slice = slice_lock.read();
+            let spec: Vec<SpecKernel> = kernels.iter().map(|k| k.specialize(&slice)).collect();
+            let total = slice.version_count();
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut groups: Groups = Vec::new();
+            // Typed accumulation slots: column arguments whose slice vector
+            // is numeric feed `AggState` through the monomorphic
+            // `update_i64`/`update_f64` entry points; everything else goes
+            // through the generic per-value path.
+            let slots: Vec<ArgSlot<'_>> = args
+                .iter()
+                .map(|a| ArgSlot::specialize(a, &slice))
+                .collect();
+            // Single dictionary-string group key: map dictionary codes to
+            // group indices through a dense table (slot 0 = NULL) instead
+            // of hashing a materialized `Vec<Value>` key per row. Group
+            // creation stays in first-occurrence order, so merge order is
+            // unchanged.
+            let mut dict_key: Option<(&[u32], &NullMap, Vec<usize>)> = match key_ords.as_slice() {
+                [k] => {
+                    let col = &slice.columns[*k];
+                    col.str_codes().map(|codes| {
+                        let dict_len = col.dictionary().map_or(0, <[String]>::len);
+                        (codes, &col.nulls, vec![usize::MAX; dict_len + 1])
+                    })
+                }
+                _ => None,
+            };
+            // Scratch row for expression arguments: only the ordinals an
+            // expression reads are ever filled in.
+            let mut scratch: Row = vec![Value::Null; width];
+            let mut sel: Vec<u32> = Vec::with_capacity(BLOCK_ROWS.min(total));
+            let mut batches = 0u64;
+            let blocks = slice.block_count();
+            for b in 0..blocks {
+                engine.stats.blocks_scanned.fetch_add(1, Ordering::Relaxed);
+                if use_zones && zone_prunes(kernels, &slice, b) {
+                    engine.stats.blocks_pruned.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
+                batches += 1;
+                let (start, end) = select_block(&mut sel, &slice, b, total, engine, &snap);
                 for k in &spec {
-                    if !k.matches(&slice, pos) {
-                        continue 'row;
+                    if sel.is_empty() {
+                        break;
                     }
+                    k.filter(&mut sel);
                 }
-                let key: Vec<Value> =
-                    key_ords.iter().map(|&i| slice.columns[i].get(pos)).collect();
-                let gi = match index.get(&key) {
-                    Some(&i) => i,
-                    None => {
-                        groups.push((
-                            key.clone(),
-                            aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect(),
-                        ));
-                        index.insert(key, groups.len() - 1);
-                        groups.len() - 1
-                    }
-                };
-                if !expr_cols.is_empty() {
-                    for &c in &expr_cols {
-                        scratch[c] = slice.columns[c].get(pos);
-                    }
-                }
-                for (state, arg) in groups[gi].1.iter_mut().zip(&fused_args) {
-                    let v = match arg {
-                        FusedArg::Col(i) => slice.columns[*i].get(pos),
-                        FusedArg::Expr(b) => eval(b, &scratch)?,
-                        FusedArg::Star => Value::Null,
+                for &p in &sel {
+                    let pos = p as usize;
+                    let gi = if key_ords.is_empty() {
+                        if groups.is_empty() {
+                            groups.push((
+                                Vec::new(),
+                                aggs.iter().map(|a| AggState::new(a.kind, a.distinct)).collect(),
+                            ));
+                        }
+                        0
+                    } else if let Some((codes, knulls, map)) = &mut dict_key {
+                        // NULL rows carry the empty-string code, so the
+                        // null bit must decide the slot before the code.
+                        let slot =
+                            if knulls.is_null(pos) { 0 } else { codes[pos] as usize + 1 };
+                        match map[slot] {
+                            usize::MAX => {
+                                groups.push((
+                                    vec![slice.columns[key_ords[0]].get(pos)],
+                                    aggs.iter()
+                                        .map(|a| AggState::new(a.kind, a.distinct))
+                                        .collect(),
+                                ));
+                                map[slot] = groups.len() - 1;
+                                groups.len() - 1
+                            }
+                            i => i,
+                        }
+                    } else {
+                        let key: Vec<Value> =
+                            key_ords.iter().map(|&i| slice.columns[i].get(pos)).collect();
+                        match index.get(&key) {
+                            Some(&i) => i,
+                            None => {
+                                groups.push((
+                                    key.clone(),
+                                    aggs.iter()
+                                        .map(|a| AggState::new(a.kind, a.distinct))
+                                        .collect(),
+                                ));
+                                index.insert(key, groups.len() - 1);
+                                groups.len() - 1
+                            }
+                        }
                     };
-                    state.update(&v)?;
+                    if !expr_cols.is_empty() {
+                        for &c in expr_cols {
+                            scratch[c] = slice.columns[c].get(pos);
+                        }
+                    }
+                    for (state, slot) in groups[gi].1.iter_mut().zip(&slots) {
+                        match slot {
+                            ArgSlot::Star => state.update(&Value::Null)?,
+                            ArgSlot::I64 { vals, nulls, native } => {
+                                if !nulls.is_null(pos) {
+                                    state.update_i64(vals[pos], native)?;
+                                }
+                            }
+                            ArgSlot::F64 { vals, nulls } => {
+                                if !nulls.is_null(pos) {
+                                    state.update_f64(vals[pos])?;
+                                }
+                            }
+                            ArgSlot::Generic(i) => state.update(&slice.columns[*i].get(pos))?,
+                            ArgSlot::Expr(b) => state.update(&eval(b, &scratch)?)?,
+                        }
+                    }
                 }
+                engine
+                    .stats
+                    .rows_scanned
+                    .fetch_add((end - start) as u64, Ordering::Relaxed);
             }
-            engine
-                .stats
-                .rows_scanned
-                .fetch_add((end - start) as u64, std::sync::atomic::Ordering::Relaxed);
-        }
-        Ok(groups)
-    };
+            Ok((groups, batches))
+        };
 
     // One partial per slice, scanned in parallel like the base scan, merged
     // in slice order so group order matches the serial pass.
-    let partials: Vec<Groups> = if engine.config.parallel && slices.len() > 1 {
+    let partials: Vec<(Groups, u64)> = if engine.config.parallel && slices.len() > 1 {
         run_parts(slices.len(), |si| fuse_slice(&slices[si])).into_iter().collect::<Result<_>>()?
     } else {
         let mut v = Vec::with_capacity(slices.len());
@@ -961,8 +1391,68 @@ fn try_fused_aggregate(
         }
         v
     };
-    let groups = merge_groups(partials)?;
+    let mut batches = 0u64;
+    let mut groups_parts = Vec::with_capacity(partials.len());
+    for (g, b) in partials {
+        groups_parts.push(g);
+        batches += b;
+    }
+    if let Some(prof) = ctx.profile {
+        prof.record_vectorized(agg_node, batches);
+    }
+    let groups = merge_groups(groups_parts)?;
     Ok(Some(finish_groups(groups, group_exprs, aggs)?))
+}
+
+/// Classify which pipeline the accelerator would use for `plan` — surfaced
+/// through plain `EXPLAIN` without executing anything.
+pub fn describe_pipeline(plan: &Plan, engine: &AccelEngine) -> String {
+    if let Some(desc) = find_fused(plan, engine) {
+        return desc;
+    }
+    describe_scan(plan, engine)
+        .unwrap_or_else(|| "interpreted (no batch-eligible scan)".to_string())
+}
+
+/// Find the first aggregate in the tree that would take the fused path
+/// (aggregates usually sit under a `Project`, so the root alone is not
+/// enough).
+fn find_fused(plan: &Plan, engine: &AccelEngine) -> Option<String> {
+    if let Plan::Aggregate { input, group_exprs, aggs, .. } = plan {
+        if matches!(compile_fused(input, group_exprs, aggs, engine), Ok(Some(_))) {
+            return Some("vectorized (fused scan-filter-aggregate)".to_string());
+        }
+    }
+    plan.children().into_iter().find_map(|c| find_fused(c, engine))
+}
+
+/// Report on the first filtered scan in the tree: how many conjuncts
+/// compile to kernels and whether an interpreted residual remains.
+fn describe_scan(plan: &Plan, engine: &AccelEngine) -> Option<String> {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            if let Plan::Scan { table, .. } = input.as_ref() {
+                let t = engine.table(table).ok()?;
+                let cols = input.cols();
+                let conjs = idaa_host_conjuncts(predicate);
+                let total = conjs.len();
+                let compiled =
+                    conjs.iter().filter(|c| compile_kernel(c, &t, &cols).is_some()).count();
+                return Some(if compiled == 0 {
+                    format!("interpreted (0/{total} conjuncts compile to kernels)")
+                } else if compiled == total {
+                    format!("vectorized ({compiled}/{total} conjuncts as kernels)")
+                } else {
+                    format!(
+                        "vectorized ({compiled}/{total} conjuncts as kernels + interpreted residual)"
+                    )
+                });
+            }
+            describe_scan(input, engine)
+        }
+        Plan::Scan { .. } => Some("vectorized (columnar scan, no kernels)".to_string()),
+        _ => plan.children().into_iter().find_map(|c| describe_scan(c, engine)),
+    }
 }
 
 /// Grouped partial-aggregation state: insertion-ordered groups plus a key
@@ -1108,6 +1598,33 @@ mod tests {
     }
 
     #[test]
+    fn range_and_null_zone_pruning_rules() {
+        let z = ZoneEntry { min: 10.0, max: 20.0, valid: true };
+        let range = |lo, hi, negated| Kernel::Range { col: 0, lo, hi, negated };
+        // BETWEEN prunes blocks entirely outside [lo, hi]…
+        assert!(range(1.0, 9.0, false).prunes(&z));
+        assert!(range(21.0, 30.0, false).prunes(&z));
+        // …but never blocks that touch the range.
+        assert!(!range(1.0, 10.0, false).prunes(&z));
+        assert!(!range(20.0, 30.0, false).prunes(&z));
+        assert!(!range(12.0, 14.0, false).prunes(&z));
+        // NOT BETWEEN prunes only blocks entirely inside [lo, hi].
+        assert!(range(10.0, 20.0, true).prunes(&z));
+        assert!(range(5.0, 25.0, true).prunes(&z));
+        assert!(!range(11.0, 20.0, true).prunes(&z));
+        assert!(!range(10.0, 19.0, true).prunes(&z));
+        // Invalid zones never prune.
+        assert!(!range(1.0, 9.0, false).prunes(&ZoneEntry::default()));
+        // NULL-ness kernels never prune (zones don't track NULLs), and
+        // neither do string kernels.
+        let isnull = Kernel::IsNull { col: 0, negated: false };
+        assert!(!isnull.prunes(&z));
+        assert!(isnull.zone_col().is_none());
+        let s = Kernel::Str { col: 0, val: "x".into(), negated: false };
+        assert!(s.zone_col().is_none());
+    }
+
+    #[test]
     fn kernel_compilation() {
         let table = AccelTable::new(
             ObjectName::bare("T"),
@@ -1148,6 +1665,164 @@ mod tests {
         let e = idaa_sql::parse_statement("SELECT 1 FROM t WHERE s LIKE 'x%'").unwrap();
         let idaa_sql::Statement::Query(q) = e else { panic!() };
         assert!(compile_kernel(q.filter.as_ref().unwrap(), &table, &cols).is_none());
+
+        let compile = |sql: &str| {
+            let e = idaa_sql::parse_statement(sql).unwrap();
+            let idaa_sql::Statement::Query(q) = e else { panic!() };
+            compile_kernel(q.filter.as_ref().unwrap(), &table, &cols)
+        };
+        // BETWEEN over a numeric column compiles to a range kernel.
+        let k = compile("SELECT 1 FROM t WHERE a BETWEEN 1 AND 5");
+        assert!(
+            matches!(k, Some(Kernel::Range { lo, hi, negated: false, .. }) if lo == 1.0 && hi == 5.0)
+        );
+        let k = compile("SELECT 1 FROM t WHERE a NOT BETWEEN 1 AND 5");
+        assert!(matches!(k, Some(Kernel::Range { negated: true, .. })));
+        // String BETWEEN stays residual (kernels only range over numerics).
+        assert!(compile("SELECT 1 FROM t WHERE s BETWEEN 'a' AND 'b'").is_none());
+        // A bound beyond 2^53 is not exactly representable in f64: bail to
+        // the exact residual evaluator (same guard as plain comparisons).
+        assert!(compile("SELECT 1 FROM t WHERE a BETWEEN 1 AND 9007199254740993").is_none());
+        assert!(compile("SELECT 1 FROM t WHERE a = 9007199254740993").is_none());
+        // IS [NOT] NULL compiles for any column type.
+        assert!(matches!(
+            compile("SELECT 1 FROM t WHERE a IS NULL"),
+            Some(Kernel::IsNull { negated: false, .. })
+        ));
+        assert!(matches!(
+            compile("SELECT 1 FROM t WHERE s IS NOT NULL"),
+            Some(Kernel::IsNull { negated: true, .. })
+        ));
+    }
+
+    /// Run `kernel` over all positions of the first slice of `table`,
+    /// returning the surviving positions.
+    fn filter_positions(table: &AccelTable, n: usize, kernel: &Kernel) -> Vec<u32> {
+        let slice = table.slices()[0].read();
+        let spec = kernel.specialize(&slice);
+        let mut sel: Vec<u32> = (0..n as u32).collect();
+        spec.filter(&mut sel);
+        sel
+    }
+
+    #[test]
+    fn str_kernel_negated_matches_values_absent_from_dictionary() {
+        let table = AccelTable::new(
+            ObjectName::bare("T"),
+            Schema::new(vec![ColumnDef::new("S", DataType::Varchar(8))]).unwrap(),
+            vec![],
+            1,
+        );
+        let rows: Vec<Row> = vec![
+            vec![Value::Varchar("a".into())],
+            vec![Value::Null],
+            vec![Value::Varchar("b".into())],
+            vec![Value::Varchar("a".into())],
+        ];
+        let checked: Vec<Row> =
+            rows.iter().map(|r| table.schema.check_row(r).unwrap()).collect();
+        table.insert_bulk(&checked, 1).unwrap();
+        let run = |negated: bool, val: &str| {
+            filter_positions(&table, rows.len(), &Kernel::Str {
+                col: 0,
+                val: val.into(),
+                negated,
+            })
+        };
+        // "zzz" is absent from the dictionary: equality matches nothing,
+        // while the negated kernel matches every non-NULL row.
+        assert_eq!(run(false, "zzz"), Vec::<u32>::new());
+        assert_eq!(run(true, "zzz"), vec![0, 2, 3]);
+        // Present value: Eq picks the matching rows, Neq the other non-NULLs.
+        assert_eq!(run(false, "a"), vec![0, 3]);
+        assert_eq!(run(true, "a"), vec![2]);
+        // The dictionary probe is memoized: repeated lookups return the
+        // same slice, not a rebuilt one.
+        let slice = table.slices()[0].read();
+        let first = slice.columns[0].codes_matching("a").as_ptr();
+        let second = slice.columns[0].codes_matching("a").as_ptr();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn batch_kernels_match_row_oracle() {
+        let table = AccelTable::new(
+            ObjectName::bare("T"),
+            Schema::new(vec![
+                ColumnDef::new("A", DataType::BigInt),
+                ColumnDef::new("D", DataType::Double),
+            ])
+            .unwrap(),
+            vec![],
+            1,
+        );
+        let mut rows: Vec<Row> = Vec::new();
+        for i in 0..300i64 {
+            let a = if i % 7 == 0 { Value::Null } else { Value::BigInt(i % 50 - 10) };
+            let d = if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Double((i % 40) as f64 * 0.25)
+            };
+            rows.push(vec![a, d]);
+        }
+        let checked: Vec<Row> =
+            rows.iter().map(|r| table.schema.check_row(r).unwrap()).collect();
+        table.insert_bulk(&checked, 1).unwrap();
+        let kernels = [
+            Kernel::Num { col: 0, op: BinaryOp::Lt, val: 7.0 },
+            Kernel::Num { col: 0, op: BinaryOp::Eq, val: -3.0 },
+            Kernel::Num { col: 1, op: BinaryOp::GtEq, val: 4.5 },
+            Kernel::Range { col: 0, lo: -5.0, hi: 12.0, negated: false },
+            Kernel::Range { col: 0, lo: -5.0, hi: 12.0, negated: true },
+            Kernel::Range { col: 1, lo: 1.25, hi: 6.75, negated: false },
+            Kernel::Range { col: 1, lo: 1.25, hi: 6.75, negated: true },
+            // Fractional bounds against the i64 column exercise the
+            // generic `numeric_at` fallback loop.
+            Kernel::Range { col: 0, lo: -4.5, hi: 11.5, negated: false },
+            Kernel::Num { col: 0, op: BinaryOp::Gt, val: 2.5 },
+            Kernel::IsNull { col: 0, negated: false },
+            Kernel::IsNull { col: 0, negated: true },
+            Kernel::IsNull { col: 1, negated: false },
+        ];
+        let slice = table.slices()[0].read();
+        for kernel in &kernels {
+            // Per-row oracle straight from the kernel's defining semantics:
+            // NULL never matches a comparison or range, and IS [NOT] NULL
+            // reads only the null bitmap.
+            let oracle: Vec<u32> = (0..rows.len())
+                .filter(|&p| {
+                    let null = slice.columns[match kernel {
+                        Kernel::Num { col, .. }
+                        | Kernel::Range { col, .. }
+                        | Kernel::Str { col, .. }
+                        | Kernel::IsNull { col, .. } => *col,
+                    }]
+                    .nulls
+                    .is_null(p);
+                    match kernel {
+                        Kernel::Num { col, op, val } => match slice.columns[*col].numeric_at(p)
+                        {
+                            None => false,
+                            Some(x) => cmp_f64(*op, x, *val),
+                        },
+                        Kernel::Range { col, lo, hi, negated } => {
+                            match slice.columns[*col].numeric_at(p) {
+                                None => false,
+                                Some(x) => (x >= *lo && x <= *hi) != *negated,
+                            }
+                        }
+                        Kernel::IsNull { negated, .. } => null != *negated,
+                        Kernel::Str { .. } => unreachable!(),
+                    }
+                })
+                .map(|p| p as u32)
+                .collect();
+            let spec = kernel.specialize(&slice);
+            let mut sel: Vec<u32> = (0..rows.len() as u32).collect();
+            spec.filter(&mut sel);
+            assert_eq!(sel, oracle, "kernel {kernel:?}");
+        }
     }
 
     /// Deterministic pseudo-random rows: (key, payload) pairs with heavy

@@ -72,6 +72,12 @@ impl Slice {
         self.created.len()
     }
 
+    /// Number of [`BLOCK_ROWS`]-sized blocks this slice spans — the batch
+    /// granularity of the vectorized scan (and of the zone maps).
+    pub fn block_count(&self) -> usize {
+        self.version_count().div_ceil(BLOCK_ROWS)
+    }
+
     fn append(&mut self, row: &Row, txn: TxnId) -> Result<()> {
         let pos = self.created.len();
         let block = pos / BLOCK_ROWS;

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E17 (see DESIGN.md for the index and
+//! The experiment suite E1–E18 (see DESIGN.md for the index and
 //! EXPERIMENTS.md for recorded results). Each function regenerates one
 //! table of the evaluation.
 
@@ -11,7 +11,7 @@ use idaa_loader::{EventSource, LoadTarget, Loader};
 use idaa_sql::Privilege;
 use std::time::Instant;
 
-/// Run one experiment by id (`e1`…`e17`) or `all`.
+/// Run one experiment by id (`e1`…`e18`) or `all`.
 pub fn run(id: &str) -> bool {
     match id.to_ascii_lowercase().as_str() {
         "e1" => e1_offload_crossover(),
@@ -31,6 +31,7 @@ pub fn run(id: &str) -> bool {
         "e15" => e15_wire_codec(),
         "e16" => e16_crash_recovery(),
         "e17" => e17_trace_overhead(),
+        "e18" => e18_vectorized_kernels(),
         "all" => {
             for e in [
                 e1_offload_crossover,
@@ -50,6 +51,7 @@ pub fn run(id: &str) -> bool {
                 e15_wire_codec,
                 e16_crash_recovery,
                 e17_trace_overhead,
+                e18_vectorized_kernels,
             ] {
                 e();
                 println!();
@@ -1255,5 +1257,78 @@ pub fn e17_trace_overhead() {
     println!(
         "note: spans are stamped with virtual-clock timestamps only, so both tables \
          are byte-stable per seed; the sink caps retained statements at 1024."
+    );
+}
+
+/// E18 — vectorized batch kernels: the fused filter→aggregate pipeline
+/// against the row-at-a-time interpreter on the same engine and data.
+/// Claim: compiling predicate conjuncts to typed column kernels with
+/// selection vectors removes the interpretive hot path without changing a
+/// single answer — both modes return identical rows, and every deterministic
+/// column below is mode-independent.
+pub fn e18_vectorized_kernels() {
+    banner("E18", "vectorized batch kernels: fused filter\u{2192}agg vs interpreter");
+    use idaa_accel::{AccelConfig, AccelEngine, ExecMode};
+    use idaa_common::{ColumnDef, DataType, ObjectName, Schema, Value};
+    use idaa_sql::{parse_statement, Statement};
+    let mut table = Table::new(&["rows", "reps", "interp_ms", "vector_ms", "speedup", "rows_out"]);
+    for &n in &[100_000usize, 400_000, 1_600_000] {
+        let engine = AccelEngine::new(
+            "APP",
+            AccelConfig { slices: 4, zone_maps: true, parallel: false, parallelism: 0 },
+        );
+        let schema = Schema::new(vec![
+            ColumnDef::new("K", DataType::BigInt),
+            ColumnDef::new("V", DataType::BigInt),
+            ColumnDef::new("G", DataType::Varchar(4)),
+        ])
+        .unwrap();
+        engine.create_table(&ObjectName::bare("BIG"), schema, &[]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::BigInt(i as i64),
+                    Value::BigInt((i % 997) as i64),
+                    Value::Varchar(["eu", "us", "ap", "la"][i % 4].into()),
+                ]
+            })
+            .collect();
+        engine.load_committed(&ObjectName::bare("BIG"), rows).unwrap();
+        // Middle 90% of the key range + a non-equality conjunct: selective
+        // enough to exercise the kernels, wide enough that zone maps cannot
+        // carry the win on their own.
+        let sql = format!(
+            "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM big \
+             WHERE k BETWEEN {} AND {} AND v <> 13 GROUP BY g ORDER BY g",
+            n / 20,
+            n - n / 20
+        );
+        let Statement::Query(q) = parse_statement(&sql).unwrap() else { unreachable!() };
+        let reps = 5u32;
+        let mut walls = Vec::new();
+        let mut out = Vec::new();
+        for mode in [ExecMode::Interpreted, ExecMode::Vectorized] {
+            let t0 = Instant::now();
+            let mut rows = Vec::new();
+            for _ in 0..reps {
+                rows = engine.query_with_mode(0, &q, mode).unwrap().rows;
+            }
+            walls.push(t0.elapsed());
+            out.push(rows);
+        }
+        assert_eq!(out[0], out[1], "modes must agree bit for bit");
+        table.row(&[
+            n.to_string(),
+            reps.to_string(),
+            ms(walls[0]),
+            ms(walls[1]),
+            format!("{:.1}x", walls[0].as_secs_f64() / walls[1].as_secs_f64()),
+            out[1].len().to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "note: identical AggState accumulation order keeps both modes bit-identical; \
+         only the *_ms and speedup columns vary between machines."
     );
 }

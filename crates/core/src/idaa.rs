@@ -1038,10 +1038,19 @@ impl Idaa {
                 mix.indexed_point = router::is_indexed_point(&self.host, &plan);
                 let (route, reason) =
                     router::route_query_with_reason(&mix, session.acceleration)?;
-                (plan, format!(
+                let mut desc = format!(
                     "ROUTE: {route:?} (CURRENT QUERY ACCELERATION = {})\nREASON: {reason}",
                     session.acceleration
-                ))
+                );
+                // For offloaded queries, also report which accelerator
+                // pipeline would run — vectorized kernels, fused
+                // aggregation, or the interpreted fallback.
+                if route == router::Route::Accelerator {
+                    if let Ok(pipeline) = self.accel.pipeline_of(q) {
+                        desc.push_str(&format!("\nPIPELINE: {pipeline}"));
+                    }
+                }
+                (plan, desc)
             }
             Statement::Insert { table, .. }
             | Statement::Update { table, .. }
@@ -1237,6 +1246,10 @@ impl Idaa {
         match profile.rows_out(plan) {
             Some(rows) => trace.attr(id, "rows", rows),
             None => trace.attr(id, "fused", "true"),
+        }
+        if let Some(batches) = profile.vectorized_batches(plan) {
+            trace.attr(id, "kernel", "vectorized");
+            trace.attr(id, "batches", batches);
         }
         for child in plan.children() {
             self.emit_plan_spans(trace, child, profile);

@@ -778,6 +778,152 @@ impl AggState {
         Ok(())
     }
 
+    /// Typed fast path for a non-NULL value backed by an `i64` column
+    /// vector: bit-identical to `update(&native(v))` but without the
+    /// per-row `Value` construction and `arithmetic`/`compare` dispatch.
+    /// `native` rebuilds the column's declared SQL value (`SmallInt`,
+    /// `Int`, `BigInt`) and is only invoked off the hot path: the first
+    /// value of an accumulator, a new MIN/MAX, DISTINCT, and the
+    /// Welford kinds. Callers must pass `native` consistent with how the
+    /// column's `get` would render the value, or results drift from the
+    /// interpreter.
+    #[inline]
+    pub fn update_i64(&mut self, v: i64, native: impl Fn(i64) -> Value) -> Result<()> {
+        if self.seen.is_some()
+            || matches!(self.kind, AggregateKind::Stddev | AggregateKind::Variance)
+        {
+            return self.update(&native(v));
+        }
+        self.count += 1;
+        match self.kind {
+            AggregateKind::Count | AggregateKind::CountStar => {}
+            AggregateKind::Sum | AggregateKind::Avg => match &mut self.sum {
+                // After the first value, integer sums are always BigInt
+                // (`arithmetic` promotes every integer result to BigInt).
+                Some(Value::BigInt(acc)) => {
+                    *acc = acc
+                        .checked_add(v)
+                        .ok_or_else(|| Error::Arithmetic("integer overflow".into()))?;
+                }
+                None => self.sum = Some(native(v)),
+                Some(_) => {
+                    let acc = self.sum.take().unwrap();
+                    self.sum = Some(arithmetic(&acc, BinaryOp::Add, &native(v))?);
+                }
+            },
+            AggregateKind::Min => match &self.min {
+                Some(Value::BigInt(m)) => {
+                    if v < *m {
+                        self.min = Some(Value::BigInt(v));
+                    }
+                }
+                Some(Value::Int(m)) => {
+                    if v < *m as i64 {
+                        self.min = Some(native(v));
+                    }
+                }
+                Some(Value::SmallInt(m)) => {
+                    if v < *m as i64 {
+                        self.min = Some(native(v));
+                    }
+                }
+                None => self.min = Some(native(v)),
+                Some(_) => {
+                    let nv = native(v);
+                    if nv.compare(self.min.as_ref().unwrap())? == Some(std::cmp::Ordering::Less) {
+                        self.min = Some(nv);
+                    }
+                }
+            },
+            AggregateKind::Max => match &self.max {
+                Some(Value::BigInt(m)) => {
+                    if v > *m {
+                        self.max = Some(Value::BigInt(v));
+                    }
+                }
+                Some(Value::Int(m)) => {
+                    if v > *m as i64 {
+                        self.max = Some(native(v));
+                    }
+                }
+                Some(Value::SmallInt(m)) => {
+                    if v > *m as i64 {
+                        self.max = Some(native(v));
+                    }
+                }
+                None => self.max = Some(native(v)),
+                Some(_) => {
+                    let nv = native(v);
+                    if nv.compare(self.max.as_ref().unwrap())?
+                        == Some(std::cmp::Ordering::Greater)
+                    {
+                        self.max = Some(nv);
+                    }
+                }
+            },
+            AggregateKind::Stddev | AggregateKind::Variance => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    /// Typed fast path for a non-NULL `f64` value; see [`Self::update_i64`].
+    /// Double sums accumulate in feed order (`a + b` per step), so the
+    /// float result is bit-identical to the interpreter's, and MIN/MAX
+    /// replacement uses the same strict partial order (`NaN` never
+    /// replaces, matching `Value::compare` returning `None`).
+    #[inline]
+    pub fn update_f64(&mut self, v: f64) -> Result<()> {
+        if self.seen.is_some()
+            || matches!(self.kind, AggregateKind::Stddev | AggregateKind::Variance)
+        {
+            return self.update(&Value::Double(v));
+        }
+        self.count += 1;
+        match self.kind {
+            AggregateKind::Count | AggregateKind::CountStar => {}
+            AggregateKind::Sum | AggregateKind::Avg => match &mut self.sum {
+                Some(Value::Double(acc)) => *acc += v,
+                None => self.sum = Some(Value::Double(v)),
+                Some(_) => {
+                    let acc = self.sum.take().unwrap();
+                    self.sum = Some(arithmetic(&acc, BinaryOp::Add, &Value::Double(v))?);
+                }
+            },
+            AggregateKind::Min => match &self.min {
+                Some(Value::Double(m)) => {
+                    if v < *m {
+                        self.min = Some(Value::Double(v));
+                    }
+                }
+                None => self.min = Some(Value::Double(v)),
+                Some(_) => {
+                    let nv = Value::Double(v);
+                    if nv.compare(self.min.as_ref().unwrap())? == Some(std::cmp::Ordering::Less) {
+                        self.min = Some(nv);
+                    }
+                }
+            },
+            AggregateKind::Max => match &self.max {
+                Some(Value::Double(m)) => {
+                    if v > *m {
+                        self.max = Some(Value::Double(v));
+                    }
+                }
+                None => self.max = Some(Value::Double(v)),
+                Some(_) => {
+                    let nv = Value::Double(v);
+                    if nv.compare(self.max.as_ref().unwrap())?
+                        == Some(std::cmp::Ordering::Greater)
+                    {
+                        self.max = Some(nv);
+                    }
+                }
+            },
+            AggregateKind::Stddev | AggregateKind::Variance => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
     /// Fold another accumulator of the same kind into this one, as if its
     /// inputs had been fed after ours. Parallel operators build per-worker
     /// partials and merge them in a fixed worker order, so results are

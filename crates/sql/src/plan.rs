@@ -215,6 +215,10 @@ impl Plan {
 #[derive(Debug, Default)]
 pub struct PlanProfile {
     rows_out: std::sync::Mutex<std::collections::HashMap<usize, u64>>,
+    /// Nodes the vectorized batch pipeline executed, with the number of
+    /// column batches (non-pruned blocks) it processed. Absence means the
+    /// node ran through the row-at-a-time interpreter.
+    vectorized: std::sync::Mutex<std::collections::HashMap<usize, u64>>,
 }
 
 impl PlanProfile {
@@ -230,6 +234,18 @@ impl PlanProfile {
     /// Output row count for `node`, if it executed unfused.
     pub fn rows_out(&self, node: &Plan) -> Option<u64> {
         self.rows_out.lock().unwrap().get(&Self::key(node)).copied()
+    }
+
+    /// Record that `node` ran through the vectorized batch pipeline,
+    /// processing `batches` column batches.
+    pub fn record_vectorized(&self, node: &Plan, batches: u64) {
+        self.vectorized.lock().unwrap().insert(Self::key(node), batches);
+    }
+
+    /// Batch count for `node` if the vectorized pipeline executed it;
+    /// `None` means it was interpreted (or fused into another node).
+    pub fn vectorized_batches(&self, node: &Plan) -> Option<u64> {
+        self.vectorized.lock().unwrap().get(&Self::key(node)).copied()
     }
 }
 

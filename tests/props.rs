@@ -420,6 +420,12 @@ proptest! {
         for chunk in vals.chunks(200) {
             idaa.execute(&mut s, &format!("INSERT INTO T VALUES {}", chunk.join(", "))).unwrap();
         }
+        // A few NULL-bearing rows so IS [NOT] NULL predicates and NULL-
+        // skipping aggregates have something to disagree about.
+        idaa.execute(
+            &mut s,
+            "INSERT INTO T VALUES (1, NULL, NULL), (NULL, 5, 'a'), (500, NULL, 'b'), (NULL, NULL, NULL)",
+        ).unwrap();
         idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('T')").unwrap();
         idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('T')").unwrap();
         for q in [
@@ -442,6 +448,16 @@ proptest! {
              HAVING MAX(a) > 100 ORDER BY b",
             "SELECT x.g, SUM(y.b) FROM t AS x INNER JOIN t AS y ON x.a = y.a \
              GROUP BY x.g ORDER BY x.g",
+            // Vectorized-kernel shapes: IS [NOT] NULL, string inequality,
+            // multi-conjunct numeric ranges, and agg-over-filtered-scan.
+            "SELECT COUNT(*) FROM t WHERE b IS NULL",
+            "SELECT a, b FROM t WHERE b IS NOT NULL AND g IS NULL ORDER BY a, b",
+            "SELECT a, g FROM t WHERE g <> 'b' ORDER BY a, g LIMIT 40",
+            "SELECT COUNT(*), MIN(a), MAX(a) FROM t WHERE a NOT BETWEEN 200 AND 800",
+            "SELECT g, COUNT(*), SUM(b) FROM t \
+             WHERE a BETWEEN 50 AND 950 AND b BETWEEN 5 AND 45 GROUP BY g ORDER BY g",
+            "SELECT COUNT(*), SUM(a) FROM t \
+             WHERE a >= 100 AND a < 900 AND b <> 13 AND g IS NOT NULL",
         ] {
             idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
             let host = idaa.query(&mut s, q).unwrap();
@@ -561,6 +577,16 @@ proptest! {
                 (false, "SELECT COUNT(DISTINCT a), SUM(b) FROM t"),
                 (true,  "SELECT a, b FROM t ORDER BY a DESC, b"),
                 (true,  "SELECT a, b FROM t ORDER BY b, a LIMIT 17"),
+                // Vectorized-kernel shapes across worker counts: ranges,
+                // NOT BETWEEN, IS [NOT] NULL, fused agg over filtered scan.
+                (false, "SELECT COUNT(*), SUM(a), MIN(b), MAX(b) FROM t \
+                         WHERE a BETWEEN 40 AND 160 AND b BETWEEN 5 AND 35"),
+                (false, "SELECT b, COUNT(*), SUM(a) FROM t \
+                         WHERE a NOT BETWEEN 60 AND 140 GROUP BY b"),
+                (false, "SELECT COUNT(*) FROM t WHERE a IS NULL"),
+                (true,  "SELECT a, b FROM t \
+                         WHERE a IS NOT NULL AND b >= 10 AND b <= 30 AND a <> 77 \
+                         ORDER BY a, b"),
             ]
             .into_iter()
             .map(|(ordered, q)| {
@@ -582,6 +608,78 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// The vectorized batch pipeline is an optimization, never a semantic
+    /// change: for every generated query — including shapes that bail out
+    /// of kernel compilation, like a literal at 2^53 + 1 — forcing the
+    /// row-at-a-time interpreter produces identical rows. Data is chosen
+    /// exactness-safe (integers, dyadic doubles, dictionary strings, real
+    /// NULLs) so "identical" means bit-for-bit equality, not approximately.
+    #[test]
+    fn vectorized_and_interpreted_agree(
+        rows in proptest::collection::vec(
+            (
+                proptest::option::of(0i64..1000),
+                proptest::option::of(0i64..80),
+                proptest::option::of(0usize..3),
+            ),
+            100..300,
+        ),
+    ) {
+        use idaa::accel::{AccelConfig, AccelEngine, ExecMode};
+        use idaa::common::{ColumnDef, Schema};
+        let schema = Schema::new(vec![
+            ColumnDef::new("A", DataType::BigInt),
+            ColumnDef::new("D", DataType::Double),
+            ColumnDef::new("G", DataType::Varchar(2)),
+        ]).unwrap();
+        // Dyadic doubles (multiples of 0.25) so every comparison and SUM is
+        // exact in both the f64 kernel path and the interpreter.
+        let data: Vec<idaa::Row> = rows
+            .iter()
+            .map(|(a, d, g)| vec![
+                a.map_or(Value::Null, Value::BigInt),
+                d.map_or(Value::Null, |v| Value::Double(v as f64 * 0.25)),
+                g.map_or(Value::Null, |i| Value::Varchar(["a", "b", "c"][i].into())),
+            ])
+            .collect();
+        let engine = AccelEngine::new(
+            "APP",
+            AccelConfig { slices: 3, zone_maps: true, parallel: false, parallelism: 0 },
+        );
+        engine.create_table(&ObjectName::bare("T"), schema, &[]).unwrap();
+        engine.load_committed(&ObjectName::bare("T"), data).unwrap();
+        for q in [
+            // Fused scan-filter-aggregate over an i64 range kernel.
+            "SELECT COUNT(*), SUM(a), MIN(a), MAX(a) FROM t WHERE a BETWEEN 100 AND 700",
+            // f64 comparison kernels plus projection.
+            "SELECT a, d FROM t WHERE d >= 2.5 AND d < 10.25 ORDER BY a, d",
+            // Negated range kernel.
+            "SELECT COUNT(*) FROM t WHERE a NOT BETWEEN 200 AND 800",
+            // Dictionary-code inequality + grouped fused aggregation.
+            "SELECT g, COUNT(*), MIN(d), MAX(d) FROM t WHERE g <> 'b' GROUP BY g ORDER BY g",
+            // Null-bitmap kernels, both polarities.
+            "SELECT COUNT(*) FROM t WHERE d IS NULL",
+            "SELECT a FROM t WHERE g IS NOT NULL AND a >= 50 ORDER BY a LIMIT 30",
+            // Mixed kernel + interpreted residual (arithmetic conjunct).
+            "SELECT a, d FROM t WHERE a BETWEEN 50 AND 900 AND a + a > 300 ORDER BY a, d",
+            // 2^53 + 1 literal: kernel compilation must bail out (the f64
+            // image collides with 2^53), leaving the interpreter's exact
+            // i64 comparison in charge on both paths.
+            "SELECT COUNT(*) FROM t WHERE a < 9007199254740993",
+            // AVG: both modes accumulate in ascending row order, so the
+            // float division input is identical.
+            "SELECT COUNT(*), AVG(d) FROM t WHERE a >= 100 AND a <= 900",
+        ] {
+            let Statement::Query(parsed) = parse_statement(q).unwrap() else { unreachable!() };
+            let fast = engine.query(0, &parsed).unwrap().rows;
+            let slow = engine
+                .query_with_mode(0, &parsed, ExecMode::Interpreted)
+                .unwrap()
+                .rows;
+            prop_assert_eq!(fast, slow, "mode disagreement on {}", q);
         }
     }
 

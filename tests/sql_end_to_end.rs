@@ -452,6 +452,54 @@ fn explain_analyze_output_is_byte_identical_across_fresh_runs() {
 }
 
 #[test]
+fn explain_analyze_reports_vectorized_kernel_and_fallback() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 2000);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+
+    // A filter→aggregate over comparable columns compiles to batch kernels:
+    // the executed span carries the pipeline attributes, and plain EXPLAIN
+    // names the vectorized pipeline.
+    let vectorizable = "SELECT region, COUNT(*), SUM(amount) FROM sales \
+                        WHERE qty > 2 GROUP BY region ORDER BY region";
+    let text = plan_lines(
+        &idaa.query(&mut s, &format!("EXPLAIN ANALYZE {vectorizable}")).unwrap(),
+    );
+    assert!(
+        text.iter().any(|l| l.contains("kernel=vectorized")),
+        "vectorizable query must report its kernel: {text:?}"
+    );
+    assert!(
+        text.iter().any(|l| l.contains("batches=")),
+        "vectorized span must report its batch count: {text:?}"
+    );
+    let text = plan_lines(&idaa.query(&mut s, &format!("EXPLAIN {vectorizable}")).unwrap());
+    assert!(
+        text.iter().any(|l| l.starts_with("PIPELINE: vectorized")),
+        "plain EXPLAIN must name the vectorized pipeline: {text:?}"
+    );
+
+    // An arithmetic predicate compiles to no kernels, so the same query
+    // shape falls back to the row-at-a-time interpreter — no kernel
+    // attribute anywhere, and EXPLAIN says so.
+    let fallback = "SELECT region, COUNT(*), SUM(amount) FROM sales \
+                    WHERE qty + qty > 4 GROUP BY region ORDER BY region";
+    let text = plan_lines(
+        &idaa.query(&mut s, &format!("EXPLAIN ANALYZE {fallback}")).unwrap(),
+    );
+    assert!(
+        !text.iter().any(|l| l.contains("kernel=")),
+        "interpreted fallback must not claim a kernel: {text:?}"
+    );
+    let text = plan_lines(&idaa.query(&mut s, &format!("EXPLAIN {fallback}")).unwrap());
+    assert!(
+        text.iter().any(|l| l.starts_with("PIPELINE: interpreted")),
+        "plain EXPLAIN must report the interpreted fallback: {text:?}"
+    );
+}
+
+#[test]
 fn parameter_markers_execute() {
     let (idaa, mut s) = system();
     idaa.execute(&mut s, "CREATE TABLE PM (A INT, B VARCHAR(8))").unwrap();
