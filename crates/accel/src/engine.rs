@@ -111,6 +111,10 @@ pub struct AccelEngine {
     /// Recovery epoch: bumped by every completed restart. Exchanges carry
     /// it so pre-crash sequence state can be fenced off.
     epoch: AtomicU64,
+    /// Stable appliance identity ("ACCEL1" by default; a fleet names its
+    /// members ACCEL1..ACCELK). Carried on trace spans and error messages
+    /// so failover paths can say *which* accelerator acted.
+    identity: RwLock<String>,
 }
 
 impl Default for AccelEngine {
@@ -135,7 +139,20 @@ impl AccelEngine {
             crashed: AtomicBool::new(false),
             replaying: AtomicBool::new(false),
             epoch: AtomicU64::new(1),
+            identity: RwLock::new("ACCEL1".to_string()),
         }
+    }
+
+    /// Name this appliance (fleet members are ACCEL1..ACCELK). Identity is
+    /// operator-assigned at attach time and survives crashes — a restart
+    /// changes the recovery [`epoch`](Self::epoch), never the identity.
+    pub fn set_identity(&self, name: &str) {
+        *self.identity.write() = name.to_string();
+    }
+
+    /// Stable appliance identity (default "ACCEL1").
+    pub fn identity(&self) -> String {
+        self.identity.read().clone()
     }
 
     fn resolve(&self, name: &ObjectName) -> ObjectName {

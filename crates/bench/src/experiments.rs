@@ -1,4 +1,4 @@
-//! The experiment suite E1–E18 (see DESIGN.md for the index and
+//! The experiment suite E1–E19 (see DESIGN.md for the index and
 //! EXPERIMENTS.md for recorded results). Each function regenerates one
 //! table of the evaluation.
 
@@ -11,7 +11,7 @@ use idaa_loader::{EventSource, LoadTarget, Loader};
 use idaa_sql::Privilege;
 use std::time::Instant;
 
-/// Run one experiment by id (`e1`…`e18`) or `all`.
+/// Run one experiment by id (`e1`…`e19`) or `all`.
 pub fn run(id: &str) -> bool {
     match id.to_ascii_lowercase().as_str() {
         "e1" => e1_offload_crossover(),
@@ -32,6 +32,7 @@ pub fn run(id: &str) -> bool {
         "e16" => e16_crash_recovery(),
         "e17" => e17_trace_overhead(),
         "e18" => e18_vectorized_kernels(),
+        "e19" => e19_fleet_failover(),
         "all" => {
             for e in [
                 e1_offload_crossover,
@@ -52,6 +53,7 @@ pub fn run(id: &str) -> bool {
                 e16_crash_recovery,
                 e17_trace_overhead,
                 e18_vectorized_kernels,
+                e19_fleet_failover,
             ] {
                 e();
                 println!();
@@ -1330,5 +1332,99 @@ pub fn e18_vectorized_kernels() {
     println!(
         "note: identical AggState accumulation order keeps both modes bit-identical; \
          only the *_ms and speedup columns vary between machines."
+    );
+}
+
+/// E19 — fleet failover: the cost of losing a shard primary mid-scatter,
+/// as the replication factor grows. A 3-node fleet serves a sharded AOT;
+/// node 0 is crashed at the mid-scatter site and the same gather re-runs.
+/// At replication factor 1 the only path back is waiting for the crashed
+/// node's own restart (checkpoint + log replay) inside the statement; at
+/// factor ≥ 2 the gather retargets a replica immediately and the restarted
+/// node later rejoins via a metered catch-up copy before the rebalance
+/// migrates its shards home. Everything but `wall_ms` runs on the virtual
+/// clock and the seeded fault stream, so the table is byte-stable per run.
+pub fn e19_fleet_failover() {
+    banner("E19", "fleet failover: replica factor vs failover latency + catch-up bytes");
+    use idaa_core::FleetConfig;
+    use idaa_netsim::CrashPlan;
+    use std::time::Duration;
+
+    let mut table = Table::new(&[
+        "replicas", "post_crash_stmt", "healthy_virt_us", "failover_virt_us", "failovers",
+        "catch_up_bytes", "rebalances", "fleet_bytes", "wall_ms",
+    ]);
+    for replicas in [1usize, 2, 3] {
+        let (idaa, mut s) = system(IdaaConfig {
+            fleet: FleetConfig {
+                accelerators: 3,
+                shards: 6,
+                replication_factor: replicas,
+                ..FleetConfig::default()
+            },
+            ..IdaaConfig::default()
+        });
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE CLICKS (ID INT NOT NULL, SITE VARCHAR(8), HITS INT) \
+             IN ACCELERATOR DISTRIBUTE BY HASH(ID)",
+        )
+        .unwrap();
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        let t0 = Instant::now();
+        let vals: Vec<String> = (0..600)
+            .map(|i| format!("({i}, 'S{}', {})", i % 5, i % 97))
+            .collect();
+        idaa.execute(&mut s, &format!("INSERT INTO CLICKS VALUES {}", vals.join(", ")))
+            .unwrap();
+
+        let gather = "SELECT SITE, COUNT(*), SUM(HITS) FROM CLICKS GROUP BY SITE ORDER BY SITE";
+        // Healthy gather: the baseline virtual cost of the scatter.
+        let before = idaa.link().now();
+        let healthy = idaa.query(&mut s, gather).unwrap();
+        let healthy_virt = idaa.link().now() - before;
+
+        // Crash the primary of shards 0 and 3 mid-scatter and re-run. With a
+        // sole replica the statement fails with -904 and the operator must
+        // drive recovery before retrying; the retry's restart wait is part
+        // of the failover latency.
+        idaa.set_crash_plan_on(0, CrashPlan::at(idaa_netsim::sites::MID_SCATTER, 1).seeded(0xE19));
+        let before = idaa.link().now();
+        let (post_crash, failed_over) = match idaa.query(&mut s, gather) {
+            Ok(rows) => ("ok".to_string(), rows),
+            Err(e) => {
+                assert_eq!(e.sqlcode(), -904, "sole-replica loss surfaces as -904");
+                assert!(idaa.recover_node(0), "operator recovery must succeed");
+                (format!("{}", e.sqlcode()), idaa.query(&mut s, gather).unwrap())
+            }
+        };
+        let failover_virt = idaa.link().now() - before;
+        assert_eq!(healthy.rows, failed_over.rows, "failover must not change the answer");
+
+        // Let the crashed node rejoin and the rebalance migrate shards home.
+        assert!(idaa.recover_node(0), "post-crash recovery must succeed");
+        idaa.link().advance(Duration::from_millis(25));
+        let settled = idaa.query(&mut s, gather).unwrap();
+        assert_eq!(healthy.rows, settled.rows);
+        let wall = t0.elapsed();
+
+        table.row(&[
+            replicas.to_string(),
+            post_crash,
+            healthy_virt.as_micros().to_string(),
+            failover_virt.as_micros().to_string(),
+            idaa.fleet_failovers().to_string(),
+            fmt_bytes(idaa.fleet_catch_up_bytes()),
+            idaa.fleet_rebalances().to_string(),
+            fmt_bytes(idaa.fleet_link_metrics().total_bytes()),
+            ms(wall),
+        ]);
+    }
+    table.print();
+    println!(
+        "note: at factor 1 the post-crash statement fails (-904) and the operator retry \
+         waits out the restart; at factor >= 2 the gather retargets a replica with no \
+         application-visible error, and the failover latency instead absorbs the crashed \
+         node's in-statement restart plus its metered catch-up copy."
     );
 }

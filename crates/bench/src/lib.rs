@@ -60,12 +60,15 @@ pub fn accelerate(idaa: &Idaa, s: &mut Session, table: &str) {
     idaa.execute(s, &format!("CALL ACCEL_LOAD_TABLES('{table}')")).expect("load");
 }
 
-/// Measure wall time and link delta of `f`.
+/// Measure wall time and link delta of `f`. Traffic is the fleet-wide
+/// total ([`Idaa::fleet_link_metrics`], i.e. [`LinkMetrics::merged`] over
+/// every node's link) — never a hand-summed estimate — which reduces to
+/// the single link's metrics for a one-node fleet.
 pub fn measure<T>(idaa: &Idaa, f: impl FnOnce() -> T) -> (T, Duration, LinkMetrics) {
-    let before = idaa.link().metrics();
+    let before = idaa.fleet_link_metrics();
     let t0 = Instant::now();
     let out = f();
-    (out, t0.elapsed(), idaa.link().metrics().since(&before))
+    (out, t0.elapsed(), idaa.fleet_link_metrics().since(&before))
 }
 
 /// Milliseconds with two decimals.

@@ -160,6 +160,27 @@ mod tests {
         assert_eq!(Error::ResourceUnavailable("r".into()).sqlcode(), -904);
     }
 
+    /// The fleet maps shard-level failures onto the same two federation
+    /// SQLCODEs the single-accelerator path uses: a shard whose every
+    /// replica is down is a resource problem (-904); a shard whose gather
+    /// exchange died after retries on every live replica is a
+    /// communication problem (-30081).
+    #[test]
+    fn fleet_shard_errors_reuse_the_federation_sqlcodes() {
+        let down =
+            Error::ResourceUnavailable("shard 2 of APP.T has no live replica; all owners are unavailable".into());
+        assert_eq!(down.sqlcode(), -904);
+        assert_eq!(down.kind(), "resource_unavailable");
+        assert!(down.to_string().contains("shard 2"));
+
+        let dead = Error::LinkFailure(
+            "the exchange for shard 2 of APP.T failed after retries on every replica".into(),
+        );
+        assert_eq!(dead.sqlcode(), -30081);
+        assert_eq!(dead.kind(), "link_failure");
+        assert!(dead.to_string().contains("-30081"));
+    }
+
     #[test]
     fn display_includes_code_kind_and_message() {
         let e = Error::Privilege("user BOB lacks SELECT on SALES".into());

@@ -7,9 +7,9 @@
 //! routes (host vs. accelerator), meters every byte that crosses the link,
 //! and coordinates two-phase commit when a transaction touched both sides.
 
-use crate::health::{Delivery, HealthConfig, HealthMonitor, HealthState, SeqTracker};
+use crate::fleet::{AccelNode, FleetConfig, FleetState};
+use crate::health::{Delivery, HealthConfig, HealthState};
 use crate::procedures::{system_procedures, Procedure};
-use crate::replication::Replicator;
 use crate::router::{self, Route};
 use crate::session::Session;
 use idaa_accel::{AccelConfig, AccelEngine, RestartStats};
@@ -24,7 +24,7 @@ use idaa_sql::ast::{Expr, InsertSource, Query, Statement};
 use idaa_sql::eval::{bind, eval, FlatResolver};
 use idaa_sql::plan::{plan_query, Plan, PlanProfile};
 use idaa_sql::{parse_statement, parse_statements, Privilege};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,6 +58,9 @@ pub struct IdaaConfig {
     /// Virtual replay bandwidth: checkpoint + replayed-log bytes are
     /// charged to the link clock at this rate during recovery.
     pub recovery_bytes_per_sec: u64,
+    /// Fleet topology (accelerator count, AOT shards, replication factor).
+    /// The default is the paper's single-accelerator pairing.
+    pub fleet: FleetConfig,
 }
 
 impl Default for IdaaConfig {
@@ -73,6 +76,7 @@ impl Default for IdaaConfig {
             checkpoint_every: Duration::from_millis(25),
             recovery_fixed: Duration::from_millis(2),
             recovery_bytes_per_sec: 256 * 1024 * 1024,
+            fleet: FleetConfig::default(),
         }
     }
 }
@@ -144,23 +148,22 @@ impl ExecOutcome {
 }
 
 /// The federated DB2 + accelerator system.
+///
+/// The accelerator side is a *fleet* of one or more [`AccelNode`]s, each
+/// behind its own metered link and fault registry. With the default
+/// [`FleetConfig`] (one node, one shard) every path reduces to the paper's
+/// single-accelerator pairing; larger fleets shard accelerator-only tables
+/// and scatter/gather queries across the owning nodes.
 pub struct Idaa {
-    host: Arc<HostEngine>,
-    accel: Arc<AccelEngine>,
-    link: Arc<NetLink>,
-    replicator: Mutex<Replicator>,
+    pub(crate) host: Arc<HostEngine>,
+    /// The accelerator fleet; node 0 is the legacy single accelerator.
+    pub(crate) nodes: Vec<Arc<AccelNode>>,
+    /// Shard placement, failover, and catch-up bookkeeping.
+    pub(crate) fleet: FleetState,
     procedures: RwLock<HashMap<ObjectName, Arc<dyn Procedure>>>,
-    config: IdaaConfig,
+    pub(crate) config: IdaaConfig,
     pub faults: Faults,
-    health: HealthMonitor,
-    retry: RetryPolicy,
-    /// Accelerator-side record of delivered statement sequence numbers —
-    /// a statement redelivered after a lost reply is recognized here and
-    /// discarded instead of executed twice.
-    delivered: SeqTracker,
-    /// COMMIT decisions whose phase-2 message was lost; redelivered on the
-    /// next replication round or recovery probe.
-    pending_commits: Mutex<Vec<TxnId>>,
+    pub(crate) retry: RetryPolicy,
     /// In-doubt transactions resolved by the 2PC resolver (diagnostics).
     in_doubt_resolved: AtomicU64,
     /// Redelivered statements the receiver discarded as duplicates
@@ -169,14 +172,13 @@ pub struct Idaa {
     /// Messages discarded because they carried a pre-crash recovery epoch
     /// (diagnostics).
     statements_fenced: AtomicU64,
-    /// Stats of the most recent accelerator crash recovery.
-    last_restart: Mutex<Option<RestartStats>>,
     /// Collected statement traces (query-lifecycle span trees on the
     /// virtual clock).
     tracer: Arc<TraceSink>,
-    /// Process-wide monotone counters and gauges; the link mirrors its
-    /// delivered/failed counters here as `link.*`.
-    metrics: Arc<MetricsRegistry>,
+    /// Process-wide monotone counters and gauges; every node's link mirrors
+    /// its delivered/failed counters here (`link.*` for node 0,
+    /// `link.node{i}.*` for the rest).
+    pub(crate) metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for Idaa {
@@ -188,40 +190,56 @@ impl Default for Idaa {
 impl Idaa {
     /// Build the system and register the IDAA system procedures.
     pub fn new(config: IdaaConfig) -> Idaa {
+        let faults = Faults::default();
+        let nodes: Vec<Arc<AccelNode>> = (0..config.fleet.accelerators.max(1))
+            .map(|i| {
+                // Node 0 shares the public `faults.registry`, so existing
+                // single-accelerator crash plans keep driving it; every
+                // other node gets its own seeded registry.
+                let registry = if i == 0 {
+                    faults.registry.clone()
+                } else {
+                    Arc::new(FaultRegistry::default())
+                };
+                AccelNode::new(i, &config, registry)
+            })
+            .collect();
         let idaa = Idaa {
             host: Arc::new(HostEngine::new(&config.default_schema)),
-            accel: Arc::new(AccelEngine::new(&config.default_schema, config.accel.clone())),
-            link: Arc::new(NetLink::new(config.link.clone())),
-            replicator: Mutex::new(Replicator::new(config.replication_batch, config.retry)),
+            nodes,
+            fleet: FleetState::new(&config.fleet),
             procedures: RwLock::new(HashMap::new()),
-            health: HealthMonitor::new(config.health.clone()),
             retry: config.retry,
-            delivered: SeqTracker::default(),
-            pending_commits: Mutex::new(Vec::new()),
             in_doubt_resolved: AtomicU64::new(0),
             statements_deduped: AtomicU64::new(0),
             statements_fenced: AtomicU64::new(0),
-            last_restart: Mutex::new(None),
             tracer: Arc::new(TraceSink::default()),
             metrics: Arc::new(MetricsRegistry::default()),
             config,
-            faults: Faults::default(),
+            faults,
         };
         // Mirror delivered/failed link traffic into the metrics registry
-        // from the first transfer, so `link.*` counters reconcile with
-        // `LinkMetrics` by construction.
-        idaa.link.set_metrics(idaa.metrics.clone());
-        // One failure registry drives both the coordinator's protocol
-        // sites and the accelerator's crash points.
-        idaa.accel.set_fault_registry(idaa.faults.registry.clone());
-        // The statement tracker starts fenced to the engine's first
-        // incarnation.
-        idaa.delivered.reset(idaa.accel.epoch());
+        // from the first transfer, so the per-link counters reconcile with
+        // `LinkMetrics` by construction: node 0 keeps the legacy `link.*`
+        // names, node i mirrors under `link.node{i}.*`.
+        for node in &idaa.nodes {
+            if node.id == 0 {
+                node.link.set_metrics(idaa.metrics.clone());
+            } else {
+                node.link.set_metrics_prefixed(idaa.metrics.clone(), &format!("link.node{}", node.id));
+            }
+        }
         for p in system_procedures() {
             idaa.register_procedure(Arc::from(p), SYSADM)
                 .expect("registering system procedures cannot fail");
         }
         idaa
+    }
+
+    /// The first (preferred-primary) accelerator node — the legacy single
+    /// accelerator every default-configured path talks to.
+    pub(crate) fn node0(&self) -> &AccelNode {
+        &self.nodes[0]
     }
 
     /// Open a session for `user`. When the system's [`TraceSink`] is
@@ -250,24 +268,24 @@ impl Idaa {
         &self.host
     }
 
-    /// The accelerator engine.
+    /// The accelerator engine (node 0 of the fleet).
     pub fn accel(&self) -> &AccelEngine {
-        &self.accel
+        &self.nodes[0].engine
     }
 
-    /// The metered host↔accelerator link.
+    /// The metered host↔accelerator link (node 0 of the fleet).
     pub fn link(&self) -> &NetLink {
-        &self.link
+        &self.nodes[0].link
     }
 
-    /// The coordinator's health view of the accelerator.
-    pub fn health(&self) -> &HealthMonitor {
-        &self.health
+    /// The coordinator's health view of the accelerator (node 0).
+    pub fn health(&self) -> &crate::health::HealthMonitor {
+        &self.nodes[0].health
     }
 
     /// Arm a deterministic fault plan on the link.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
-        self.link.set_fault_plan(plan);
+        self.link().set_fault_plan(plan);
     }
 
     /// Install a seeded crash plan on the shared failure registry: named
@@ -279,7 +297,7 @@ impl Idaa {
 
     /// Stats of the most recent accelerator crash recovery, if any.
     pub fn last_restart(&self) -> Option<RestartStats> {
-        *self.last_restart.lock()
+        *self.node0().last_restart.lock()
     }
 
     /// Messages discarded because they carried a pre-crash recovery
@@ -290,7 +308,7 @@ impl Idaa {
 
     /// COMMIT decisions queued for redelivery (phase-2 message lost).
     pub fn pending_accel_commits(&self) -> usize {
-        self.pending_commits.lock().len()
+        self.node0().pending_commits.lock().len()
     }
 
     /// In-doubt transactions the 2PC resolver recovered (diagnostics).
@@ -306,7 +324,7 @@ impl Idaa {
 
     /// Committed change records not yet applied on the accelerator.
     pub fn replication_backlog(&self) -> usize {
-        let watermark = self.replicator.lock().last_applied();
+        let watermark = self.node0().replicator.lock().last_applied();
         self.host.txns.changes_since(watermark).len()
     }
 
@@ -333,13 +351,24 @@ impl Idaa {
     /// federation path sends through here so consecutive communication
     /// failures decay the accelerator's health state.
     pub fn ship(&self, direction: Direction, bytes: usize) -> Result<Duration> {
-        match self.retry.transfer(&self.link, direction, bytes) {
+        self.ship_on(self.node0(), direction, bytes)
+    }
+
+    /// [`Idaa::ship`] against a specific fleet node's link and health
+    /// monitor.
+    pub(crate) fn ship_on(
+        &self,
+        node: &AccelNode,
+        direction: Direction,
+        bytes: usize,
+    ) -> Result<Duration> {
+        match self.retry.transfer(&node.link, direction, bytes) {
             Ok(cost) => {
-                self.health.record_success();
+                node.health.record_success();
                 Ok(cost)
             }
             Err(e) => {
-                self.health.record_failure();
+                node.health.record_failure();
                 Err(Error::LinkFailure(format!(
                     "communication with the accelerator failed: {e}"
                 )))
@@ -352,13 +381,23 @@ impl Idaa {
     /// the receiver's checksum ([`idaa_common::wire::verify`]) is
     /// retransmitted like any other lost message.
     pub fn ship_frame(&self, direction: Direction, frame: &[u8]) -> Result<Duration> {
-        match self.retry.transfer_frame(&self.link, direction, frame) {
+        self.ship_frame_on(self.node0(), direction, frame)
+    }
+
+    /// [`Idaa::ship_frame`] against a specific fleet node.
+    pub(crate) fn ship_frame_on(
+        &self,
+        node: &AccelNode,
+        direction: Direction,
+        frame: &[u8],
+    ) -> Result<Duration> {
+        match self.retry.transfer_frame(&node.link, direction, frame) {
             Ok(cost) => {
-                self.health.record_success();
+                node.health.record_success();
                 Ok(cost)
             }
             Err(e) => {
-                self.health.record_failure();
+                node.health.record_failure();
                 Err(Error::LinkFailure(format!(
                     "communication with the accelerator failed: {e}"
                 )))
@@ -377,9 +416,20 @@ impl Idaa {
         schema: &idaa_common::Schema,
         rows: &[Row],
     ) -> Result<Vec<Row>> {
+        self.ship_rows_on(self.node0(), direction, schema, rows)
+    }
+
+    /// [`Idaa::ship_rows`] against a specific fleet node.
+    pub(crate) fn ship_rows_on(
+        &self,
+        node: &AccelNode,
+        direction: Direction,
+        schema: &idaa_common::Schema,
+        rows: &[Row],
+    ) -> Result<Vec<Row>> {
         let mut delivered = Vec::with_capacity(rows.len());
         for frame in wire::encode_frames(schema, rows) {
-            self.ship_frame(direction, &frame)?;
+            self.ship_frame_on(node, direction, &frame)?;
             delivered.extend(wire::decode_rows(&frame, schema)?);
         }
         Ok(delivered)
@@ -387,9 +437,63 @@ impl Idaa {
 
     /// Charge DDL/control-message shipping to the link.
     pub fn ship_ddl(&self, text: &str) -> Result<()> {
-        self.ship(Direction::ToAccel, text.len() + wire::CONTROL_FRAME)?;
-        self.ship(Direction::ToHost, wire::CONTROL_FRAME)?;
+        self.ship_ddl_on(self.node0(), text)
+    }
+
+    /// [`Idaa::ship_ddl`] against a specific fleet node.
+    pub(crate) fn ship_ddl_on(&self, node: &AccelNode, text: &str) -> Result<()> {
+        self.ship_on(node, Direction::ToAccel, text.len() + wire::CONTROL_FRAME)?;
+        self.ship_on(node, Direction::ToHost, wire::CONTROL_FRAME)?;
         Ok(())
+    }
+
+    /// ACCEL_ADD_TABLES body for one table: ship the ADD to every fleet
+    /// node and create the replicated accelerator copy there.
+    pub fn accel_table_add(&self, meta: &idaa_host::TableMeta) -> Result<()> {
+        let ddl = format!("ADD TABLE {}", meta.name);
+        for node in &self.nodes {
+            self.ship_ddl_on(node, &ddl)?;
+            node.engine.create_table(&meta.name, meta.schema.clone(), &meta.distribute_by)?;
+        }
+        Ok(())
+    }
+
+    /// ACCEL_REMOVE_TABLES body for one table: drop the copy on every
+    /// fleet node.
+    pub fn accel_table_remove(&self, meta: &idaa_host::TableMeta) -> Result<()> {
+        let ddl = format!("REMOVE TABLE {}", meta.name);
+        for node in &self.nodes {
+            self.ship_ddl_on(node, &ddl)?;
+            node.engine.drop_table(&meta.name)?;
+        }
+        Ok(())
+    }
+
+    /// Groom every table on every fleet node; returns blocks reclaimed.
+    pub fn accel_groom_all(&self) -> usize {
+        self.nodes.iter().map(|n| n.engine.groom_all()).sum()
+    }
+
+    /// Groom one table across the fleet. Errors only when no node holds
+    /// the table (on a single node this is the table's own groom error).
+    pub fn accel_groom(&self, table: &ObjectName) -> Result<usize> {
+        let mut total = 0usize;
+        let mut hit = false;
+        let mut last_err = None;
+        for node in &self.nodes {
+            match node.engine.groom(table) {
+                Ok(n) => {
+                    total += n;
+                    hit = true;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match (hit, last_err) {
+            (true, _) => Ok(total),
+            (false, Some(e)) => Err(e),
+            (false, None) => Ok(0),
+        }
     }
 
     /// Snapshot-load an accelerated table (ACCEL_LOAD_TABLES body): pull
@@ -401,7 +505,7 @@ impl Idaa {
                 "{table} is accelerator-only and cannot be loaded from DB2"
             )));
         }
-        if !self.accel.has_table(&meta.name) {
+        if !self.accel().has_table(&meta.name) {
             return Err(Error::UndefinedObject(format!(
                 "table {table} has not been added to the accelerator (ACCEL_ADD_TABLES)"
             )));
@@ -410,10 +514,15 @@ impl Idaa {
         // so changes committed before the load are not double-applied.
         self.replicate_now()?;
         let rows = self.host.scan_all(&meta.name)?;
-        let delivered = self.ship_rows(Direction::ToAccel, &meta.schema, &rows)?;
-        self.accel.truncate(&meta.name)?;
-        let n = self.accel.load_committed(&meta.name, delivered)?;
-        self.ship(Direction::ToHost, wire::ACK_FRAME)?;
+        // Every fleet node holds a full replica of accelerated host tables;
+        // each copy pays its own link cost.
+        let mut n = 0;
+        for node in &self.nodes {
+            let delivered = self.ship_rows_on(node, Direction::ToAccel, &meta.schema, &rows)?;
+            node.engine.truncate(&meta.name)?;
+            n = node.engine.load_committed(&meta.name, delivered)?;
+            self.ship_on(node, Direction::ToHost, wire::ACK_FRAME)?;
+        }
         self.host.set_accel_status(&meta.name, idaa_host::AccelStatus::Loaded)?;
         Ok(n)
     }
@@ -425,46 +534,69 @@ impl Idaa {
     /// a link outage can never fail a host commit. Only engine errors
     /// (always a bug) propagate.
     pub fn replicate_now(&self) -> Result<usize> {
-        if self.accel.is_crashed() {
-            // Nothing can apply while the accelerator is down: leave the
+        if self.nodes.iter().all(|n| n.engine.is_crashed()) {
+            // Nothing can apply while every accelerator is down: leave the
             // backlog queued in the host log and let recovery catch up.
-            self.health.force_offline();
+            for node in &self.nodes {
+                node.health.force_offline();
+            }
             return Ok(0);
         }
-        if !self.faults.accel_unavailable.load(Ordering::Relaxed) {
-            self.flush_pending_commits();
-        }
-        let mut rep = self.replicator.lock();
-        let applied = rep.apply(&self.host, &self.accel, &self.link)?;
-        self.metrics.inc("replication.applied", applied as u64);
-        if rep.stalled() {
-            if self.accel.is_crashed() {
-                // The accelerator crashed mid-apply (a crash site fired):
-                // the unacknowledged batch re-applies after recovery.
-                self.health.force_offline();
-            } else {
-                self.health.record_failure();
+        let mut total = 0usize;
+        let mut watermarks = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            if node.engine.is_crashed() {
+                // This stream's backlog stays queued in the host log (the
+                // log only truncates at the *minimum* watermark below) and
+                // re-applies after recovery.
+                node.health.force_offline();
+                watermarks.push(node.replicator.lock().last_applied());
+                continue;
             }
+            if !self.faults.accel_unavailable.load(Ordering::Relaxed) {
+                self.flush_pending_commits_on(node);
+            }
+            let mut rep = node.replicator.lock();
+            let applied = rep.apply(&self.host, &node.engine, &node.link)?;
+            total += applied;
+            if rep.stalled() {
+                if node.engine.is_crashed() {
+                    // The accelerator crashed mid-apply (a crash site
+                    // fired): the unacknowledged batch re-applies after
+                    // recovery.
+                    node.health.force_offline();
+                } else {
+                    node.health.record_failure();
+                }
+            }
+            watermarks.push(rep.last_applied());
         }
-        Ok(applied)
+        self.metrics.inc("replication.applied", total as u64);
+        // Every node owns a replication stream, so the host log may only
+        // truncate at the minimum watermark across all of them — a lagging
+        // (or crashed) node must still find its backlog.
+        if let Some(min) = watermarks.into_iter().min() {
+            self.host.txns.truncate_log(min);
+        }
+        Ok(total)
     }
 
     /// Redeliver COMMIT decisions whose phase-2 message was lost; the
     /// accelerator holds those transactions prepared until the decision
     /// arrives.
-    fn flush_pending_commits(&self) {
-        if self.accel.is_crashed() {
+    pub(crate) fn flush_pending_commits_on(&self, node: &AccelNode) {
+        if node.engine.is_crashed() {
             // A crashed engine would silently drop the decision; keep it
             // queued until recovery re-materializes the prepared txn.
             return;
         }
-        let mut pending = self.pending_commits.lock();
+        let mut pending = node.pending_commits.lock();
         pending.retain(|&txn| {
-            // Through ship(), like every federation message, so redelivery
-            // outcomes feed the health monitor; a failure keeps the
-            // decision queued for the next round.
-            if self.ship(Direction::ToAccel, wire::CONTROL_FRAME).is_ok() {
-                self.accel.commit(txn);
+            // Through ship_on(), like every federation message, so
+            // redelivery outcomes feed the health monitor; a failure keeps
+            // the decision queued for the next round.
+            if self.ship_on(node, Direction::ToAccel, wire::CONTROL_FRAME).is_ok() {
+                node.engine.commit(txn);
                 false
             } else {
                 true
@@ -472,26 +604,38 @@ impl Idaa {
         });
     }
 
-    /// True when statements may be sent to the accelerator: it is not
-    /// stopped, and the health state machine has not declared it offline.
-    /// While offline, a rate-limited probe (virtual clock) checks for
-    /// recovery; a successful probe flushes queued commit decisions and
-    /// lets replication catch up before reporting ready.
-    fn accel_ready(&self) -> bool {
+    /// True when statements may be sent to one fleet node: its engine is
+    /// not stopped, and its own health state machine has not declared it
+    /// offline. While offline, a rate-limited probe (virtual clock) checks
+    /// for recovery; a successful probe flushes queued commit decisions and
+    /// lets replication catch up before reporting ready. A recovered node
+    /// in a fleet additionally catches up its shard copies from a live
+    /// replica.
+    pub(crate) fn node_ready(&self, node: &AccelNode) -> bool {
         if self.faults.accel_unavailable.load(Ordering::Relaxed) {
             return false;
         }
-        if self.accel.is_crashed() {
+        if node.engine.is_crashed() {
             // A crashed accelerator is unreachable no matter what the
             // failure streaks said when the crash point fired.
-            self.health.force_offline();
+            node.health.force_offline();
         }
-        if self.health.state() != HealthState::Offline {
+        if node.health.state() != HealthState::Offline {
+            if self.fleet_active() && self.fleet.needs_catch_up(node.id) {
+                // The node missed writes while unreachable: refresh its
+                // shard copies from a live replica before serving reads.
+                return self.catch_up_node(node).is_ok()
+                    && !self.fleet.needs_catch_up(node.id);
+            }
             return true;
         }
-        if self.health.should_probe(self.link.now()) && self.health.probe(&self.link, &self.retry)
+        if node.health.should_probe(node.link.now())
+            && node.health.probe(&node.link, &self.retry)
         {
-            if self.accel.is_crashed() && self.restart_accel().is_err() {
+            if node.engine.is_crashed() && self.restart_node(node).is_err() {
+                return false;
+            }
+            if self.fleet_active() && self.catch_up_node(node).is_err() {
                 return false;
             }
             let _ = self.replicate_now();
@@ -506,33 +650,28 @@ impl Idaa {
     /// queued commit decisions are redelivered, and replication catches
     /// up. Returns whether the accelerator is available again.
     pub fn recover(&self) -> bool {
-        if self.faults.accel_unavailable.load(Ordering::Relaxed) {
-            return false;
-        }
-        if self.accel.is_crashed() {
-            self.health.force_offline();
-        }
-        if self.health.probe(&self.link, &self.retry) {
-            if self.accel.is_crashed() && self.restart_accel().is_err() {
-                return false;
-            }
-            let _ = self.replicate_now();
-            true
-        } else {
-            false
-        }
+        self.recover_node(0)
     }
 
     /// [`Idaa::accel_ready`], recording an "accel.restart" trace event when
     /// the readiness check drove a crash recovery.
-    fn accel_ready_traced(&self, trace: &Trace) -> bool {
-        let epoch_before = self.accel.epoch();
-        let ready = self.accel_ready();
-        if trace.is_enabled() && self.accel.epoch() != epoch_before {
-            let now = self.link.now();
+    pub(crate) fn accel_ready_traced(&self, trace: &Trace) -> bool {
+        self.node_ready_traced(self.node0(), trace)
+    }
+
+    /// [`Idaa::node_ready`], recording an "accel.restart" trace event when
+    /// the readiness check drove a crash recovery.
+    pub(crate) fn node_ready_traced(&self, node: &AccelNode, trace: &Trace) -> bool {
+        let epoch_before = node.engine.epoch();
+        let ready = self.node_ready(node);
+        if trace.is_enabled() && node.engine.epoch() != epoch_before {
+            let now = node.link.now();
             let id = trace.begin("accel.restart", now);
-            trace.attr(id, "epoch", self.accel.epoch());
-            if let Some(stats) = self.last_restart() {
+            trace.attr(id, "epoch", node.engine.epoch());
+            if self.fleet_active() {
+                trace.attr(id, "node", node.engine.identity());
+            }
+            if let Some(stats) = *node.last_restart.lock() {
                 trace.attr(
                     id,
                     "replayed_bytes",
@@ -549,8 +688,8 @@ impl Idaa {
     /// statement tracker to the new recovery epoch, resolve re-materialized
     /// in-doubt transactions (presumed abort unless the coordinator holds
     /// a queued COMMIT decision), and redeliver queued decisions.
-    fn restart_accel(&self) -> Result<()> {
-        let stats = self.accel.restart()?;
+    pub(crate) fn restart_node(&self, node: &AccelNode) -> Result<()> {
+        let stats = node.engine.restart()?;
         self.metrics.inc("accel.restarts", 1);
         self.metrics.inc(
             "accel.recovery.replayed_bytes",
@@ -558,28 +697,29 @@ impl Idaa {
         );
         // Recovery consumes virtual time only: a fixed restart latency
         // plus replaying checkpoint + log bytes at the configured
-        // bandwidth. Never a wall-clock sleep.
+        // bandwidth. Never a wall-clock sleep. The cost lands on this
+        // node's own link clock.
         let replayed = stats.checkpoint_bytes + stats.log_bytes_replayed;
         let replay_time = Duration::from_secs_f64(
             replayed as f64 / self.config.recovery_bytes_per_sec.max(1) as f64,
         );
-        self.link.advance(self.config.recovery_fixed + replay_time);
+        node.link.advance(self.config.recovery_fixed + replay_time);
         // Epoch fence: sequence state and acks from the previous
         // incarnation are stale.
-        self.delivered.reset(stats.epoch);
+        node.delivered.reset(stats.epoch);
         // Presumed abort: a prepared transaction whose COMMIT decision is
         // not queued on the coordinator was never decided — roll it back.
         // Queued decisions stay prepared until flush redelivers them.
         {
-            let pending = self.pending_commits.lock();
-            for txn in self.accel.in_doubt() {
+            let pending = node.pending_commits.lock();
+            for txn in node.engine.in_doubt() {
                 if !pending.contains(&txn) {
-                    self.accel.abort(txn);
+                    node.engine.abort(txn);
                 }
             }
         }
-        self.flush_pending_commits();
-        *self.last_restart.lock() = Some(stats);
+        self.flush_pending_commits_on(node);
+        *node.last_restart.lock() = Some(stats);
         Ok(())
     }
 
@@ -587,8 +727,8 @@ impl Idaa {
     /// accelerator: -904 when the accelerator is administratively stopped
     /// or crashed (recovery pending), -30081 when communication with it
     /// failed.
-    fn unavailable_error(&self) -> Error {
-        if self.accel.is_crashed() {
+    pub(crate) fn unavailable_error(&self) -> Error {
+        if self.accel().is_crashed() {
             Error::ResourceUnavailable(
                 "the accelerator crashed and is recovering; statements requiring it \
                  cannot run"
@@ -654,10 +794,10 @@ impl Idaa {
         // add their spans under whatever is already open.
         let trace = session.trace.clone();
         let root = if trace.is_enabled() && !trace.in_statement() {
-            let id = trace.begin("statement", self.link.now());
+            let id = trace.begin("statement", self.link().now());
             trace.attr(id, "sql", stmt);
             // Parsing consumes no virtual time — a zero-duration event.
-            trace.event("parse", &[], self.link.now());
+            trace.event("parse", &[], self.link().now());
             Some(id)
         } else {
             None
@@ -718,7 +858,7 @@ impl Idaa {
         if let Some(e) = err {
             session.trace.attr(id, "sqlcode", e.sqlcode());
         }
-        if let Some(node) = session.trace.finish(id, self.link.now()) {
+        if let Some(node) = session.trace.finish(id, self.link().now()) {
             self.tracer.record(StatementTrace {
                 session: session.id,
                 sql: stmt.to_string(),
@@ -727,9 +867,13 @@ impl Idaa {
         }
     }
 
-    /// Record a zero-duration "transfer" trace event (one link message).
-    fn transfer_event(
+    /// Record a zero-duration "transfer" trace event (one link message)
+    /// against a specific fleet node's link; in a fleet the event also
+    /// carries the node identity so per-shard transfer breakdowns fall out
+    /// of the span tree.
+    pub(crate) fn transfer_event_on(
         &self,
+        node: &AccelNode,
         trace: &Trace,
         direction: Direction,
         kind: &str,
@@ -739,7 +883,7 @@ impl Idaa {
         if !trace.is_enabled() {
             return;
         }
-        let now = self.link.now();
+        let now = node.link.now();
         let id = trace.begin("transfer", now);
         let dir = match direction {
             Direction::ToAccel => "to_accel",
@@ -748,6 +892,9 @@ impl Idaa {
         trace.attr(id, "dir", dir);
         trace.attr(id, "kind", kind);
         trace.attr(id, "bytes", bytes);
+        if self.fleet_active() {
+            trace.attr(id, "node", node.engine.identity());
+        }
         if let Some(e) = err {
             trace.attr(id, "err", e);
         }
@@ -762,13 +909,25 @@ impl Idaa {
         kind: &str,
         bytes: usize,
     ) -> Result<Duration> {
-        match self.ship(direction, bytes) {
+        self.ship_traced_on(self.node0(), trace, direction, kind, bytes)
+    }
+
+    /// [`Idaa::ship_traced`] against a specific fleet node.
+    pub(crate) fn ship_traced_on(
+        &self,
+        node: &AccelNode,
+        trace: &Trace,
+        direction: Direction,
+        kind: &str,
+        bytes: usize,
+    ) -> Result<Duration> {
+        match self.ship_on(node, direction, bytes) {
             Ok(d) => {
-                self.transfer_event(trace, direction, kind, bytes, None);
+                self.transfer_event_on(node, trace, direction, kind, bytes, None);
                 Ok(d)
             }
             Err(e) => {
-                self.transfer_event(trace, direction, kind, bytes, Some(e.to_string()));
+                self.transfer_event_on(node, trace, direction, kind, bytes, Some(e.to_string()));
                 Err(e)
             }
         }
@@ -783,12 +942,27 @@ impl Idaa {
         schema: &idaa_common::Schema,
         rows: &[Row],
     ) -> Result<Vec<Row>> {
+        self.ship_rows_traced_on(self.node0(), trace, direction, schema, rows)
+    }
+
+    /// [`Idaa::ship_rows_traced`] against a specific fleet node.
+    pub(crate) fn ship_rows_traced_on(
+        &self,
+        node: &AccelNode,
+        trace: &Trace,
+        direction: Direction,
+        schema: &idaa_common::Schema,
+        rows: &[Row],
+    ) -> Result<Vec<Row>> {
         let mut delivered = Vec::with_capacity(rows.len());
         for frame in wire::encode_frames(schema, rows) {
-            match self.ship_frame(direction, &frame) {
-                Ok(_) => self.transfer_event(trace, direction, "frame", frame.len(), None),
+            match self.ship_frame_on(node, direction, &frame) {
+                Ok(_) => {
+                    self.transfer_event_on(node, trace, direction, "frame", frame.len(), None)
+                }
                 Err(e) => {
-                    self.transfer_event(
+                    self.transfer_event_on(
+                        node,
                         trace,
                         direction,
                         "frame",
@@ -867,13 +1041,27 @@ impl Idaa {
                     // Nickname proxy exists in DB2; actual table lives on
                     // the accelerator.
                     let resolved = name.resolve(&self.config.default_schema);
+                    if self.fleet_active() {
+                        // Sharded placement: every owning node gets its
+                        // shard's physical table.
+                        if let Err(e) = self.fleet_create_sharded(
+                            &resolved,
+                            &schema,
+                            distribute_by,
+                            &stmt.to_string(),
+                        ) {
+                            let _ = self.host.drop_table(SYSADM, name);
+                            return Err(e);
+                        }
+                        return Ok(ExecOutcome::accel(Payload::None));
+                    }
                     if let Err(e) = self.ship_ddl(&stmt.to_string()) {
                         // DDL never reached the accelerator: undo the
                         // catalog entry so both sides stay consistent.
                         let _ = self.host.drop_table(SYSADM, name);
                         return Err(e);
                     }
-                    if let Err(e) = self.accel.create_table(&resolved, schema, distribute_by) {
+                    if let Err(e) = self.accel().create_table(&resolved, schema, distribute_by) {
                         // Keep catalog and accelerator consistent.
                         let _ = self.host.drop_table(SYSADM, name);
                         return Err(e);
@@ -891,8 +1079,12 @@ impl Idaa {
                     // Best effort: the DB2 catalog entry is gone either
                     // way; an unreachable accelerator cleans up its copy
                     // when the DDL is redelivered on recovery.
+                    if self.fleet_active() {
+                        self.fleet_drop_table(&meta.name, &stmt.to_string());
+                        return Ok(ExecOutcome::accel(Payload::None));
+                    }
                     let _ = self.ship_ddl(&stmt.to_string());
-                    let _ = self.accel.drop_table(&meta.name);
+                    let _ = self.accel().drop_table(&meta.name);
                     return Ok(ExecOutcome::accel(Payload::None));
                 }
                 Ok(ExecOutcome::host(Payload::None))
@@ -946,11 +1138,22 @@ impl Idaa {
                             &table_r,
                             Privilege::Update,
                         )?;
+                        if self.fleet_active() && self.fleet.is_sharded(&table_r) {
+                            let n = self.fleet_dml_each_shard(
+                                session,
+                                &table_r,
+                                stmt.to_string().len() + wire::CONTROL_FRAME,
+                                |node, txn, st| {
+                                    node.engine.update_where(txn, st, assignments, filter.as_ref())
+                                },
+                            )?;
+                            return Ok(ExecOutcome::accel(Payload::Count(n)));
+                        }
                         let txn = self.enlist_accel(session)?;
                         let n = self.accel_exchange(
                             session,
                             stmt.to_string().len() + wire::CONTROL_FRAME,
-                            || self.accel.update_where(txn, &table_r, assignments, filter.as_ref()),
+                            || self.accel().update_where(txn, &table_r, assignments, filter.as_ref()),
                             |_| ReplyPayload::Control(wire::ACK_FRAME),
                         )?;
                         Ok(ExecOutcome::accel(Payload::Count(n)))
@@ -972,11 +1175,22 @@ impl Idaa {
                             &table_r,
                             Privilege::Delete,
                         )?;
+                        if self.fleet_active() && self.fleet.is_sharded(&table_r) {
+                            let n = self.fleet_dml_each_shard(
+                                session,
+                                &table_r,
+                                stmt.to_string().len() + wire::CONTROL_FRAME,
+                                |node, txn, st| {
+                                    node.engine.delete_where(txn, st, filter.as_ref())
+                                },
+                            )?;
+                            return Ok(ExecOutcome::accel(Payload::Count(n)));
+                        }
                         let txn = self.enlist_accel(session)?;
                         let n = self.accel_exchange(
                             session,
                             stmt.to_string().len() + wire::CONTROL_FRAME,
-                            || self.accel.delete_where(txn, &table_r, filter.as_ref()),
+                            || self.accel().delete_where(txn, &table_r, filter.as_ref()),
                             |_| ReplyPayload::Control(wire::ACK_FRAME),
                         )?;
                         Ok(ExecOutcome::accel(Payload::Count(n)))
@@ -1046,7 +1260,7 @@ impl Idaa {
                 // pipeline would run — vectorized kernels, fused
                 // aggregation, or the interpreted fallback.
                 if route == router::Route::Accelerator {
-                    if let Ok(pipeline) = self.accel.pipeline_of(q) {
+                    if let Ok(pipeline) = self.accel().pipeline_of(q) {
                         desc.push_str(&format!("\nPIPELINE: {pipeline}"));
                     }
                 }
@@ -1104,9 +1318,9 @@ impl Idaa {
             Some(std::mem::replace(&mut session.trace, Trace::enabled()))
         };
         let trace = session.trace.clone();
-        let span = trace.begin("analyze", self.link.now());
+        let span = trace.begin("analyze", self.link().now());
         let result = self.dispatch(session, inner);
-        let analyzed = trace.finish(span, self.link.now());
+        let analyzed = trace.finish(span, self.link().now());
         if let Some(original) = borrowed {
             session.trace = original;
         }
@@ -1157,7 +1371,12 @@ impl Idaa {
         // data still lives there; fail when only the accelerator could
         // answer.
         let must_accelerate = router::must_accelerate(&mix, session.acceleration);
-        if route == Route::Accelerator && !self.accel_ready_traced(&trace) {
+        // Fleet readiness is judged per shard inside the scatter — only the
+        // single-accelerator path gates on node 0 here.
+        if route == Route::Accelerator
+            && !self.fleet_active()
+            && !self.accel_ready_traced(&trace)
+        {
             if must_accelerate {
                 return Err(self.unavailable_error());
             }
@@ -1178,7 +1397,12 @@ impl Idaa {
                     self.privilege_event(&trace, t, "SELECT");
                 }
             }
-            match self.accel_query(session, q) {
+            let attempt = if self.fleet_active() {
+                self.fleet_query(session, q, &tables)
+            } else {
+                self.accel_query(session, q)
+            };
+            match attempt {
                 Ok(rows) => return Ok(ExecOutcome::accel(Payload::Rows(rows))),
                 // Communication failed mid-statement: like DB2, re-execute
                 // the read-only query locally when the data allows it.
@@ -1190,18 +1414,29 @@ impl Idaa {
                         session,
                     );
                 }
+                // A fleet judges readiness per shard: losing every replica
+                // of a shard surfaces here, and the host still holds the
+                // data unless the query must accelerate.
+                Err(Error::ResourceUnavailable(_)) if self.fleet_active() && !must_accelerate => {
+                    self.route_event(
+                        &trace,
+                        Route::Host,
+                        "accelerator unavailable; falling back to DB2",
+                        session,
+                    );
+                }
                 Err(e) => return Err(e),
             }
         }
         let txn = self.ensure_txn(session);
         let rows = if trace.is_enabled() {
-            let now = self.link.now();
+            let now = self.link().now();
             let span = trace.begin("host.exec", now);
             let profiled = self.host.query_profiled(&session.user, txn, q);
             if let Ok((_, plan, profile)) = &profiled {
                 self.emit_plan_spans(&trace, plan, profile);
             }
-            trace.end(span, self.link.now());
+            trace.end(span, self.link().now());
             profiled?.0
         } else {
             self.host.query(&session.user, txn, q)?
@@ -1214,7 +1449,7 @@ impl Idaa {
         if !trace.is_enabled() {
             return;
         }
-        let now = self.link.now();
+        let now = self.link().now();
         let id = trace.begin("route", now);
         trace.attr(id, "route", format!("{route:?}"));
         trace.attr(id, "reason", reason);
@@ -1227,7 +1462,7 @@ impl Idaa {
         if !trace.is_enabled() {
             return;
         }
-        let now = self.link.now();
+        let now = self.link().now();
         let id = trace.begin("privilege", now);
         trace.attr(id, "object", object);
         trace.attr(id, "priv", privilege);
@@ -1240,7 +1475,7 @@ impl Idaa {
     /// attributes carry information. A node without `rows` was fused into
     /// its parent.
     fn emit_plan_spans(&self, trace: &Trace, plan: &Plan, profile: &PlanProfile) {
-        let now = self.link.now();
+        let now = self.link().now();
         let id = trace.begin("op", now);
         trace.attr(id, "op", plan.label());
         match profile.rows_out(plan) {
@@ -1260,7 +1495,7 @@ impl Idaa {
     /// Run a routed query on the accelerator: ship the statement, execute,
     /// and pay for the result set's trip back to DB2 as an encoded wire
     /// frame. The result handed to the caller is decoded from that frame.
-    fn accel_query(&self, session: &mut Session, q: &Query) -> Result<Rows> {
+    pub(crate) fn accel_query(&self, session: &mut Session, q: &Query) -> Result<Rows> {
         let txn = self.accel_query_txn(session);
         let trace = session.trace.clone();
         let (rows, frame) = self.accel_exchange_inner(
@@ -1268,11 +1503,11 @@ impl Idaa {
             q.to_string().len() + wire::CONTROL_FRAME,
             || {
                 if trace.is_enabled() {
-                    let (rows, plan, profile) = self.accel.query_profiled(txn, q)?;
+                    let (rows, plan, profile) = self.accel().query_profiled(txn, q)?;
                     self.emit_plan_spans(&trace, &plan, &profile);
                     Ok(rows)
                 } else {
-                    self.accel.query(txn, q)
+                    self.accel().query(txn, q)
                 }
             },
             |r: &Rows| ReplyPayload::Frame(wire::encode_frame(&r.schema, &r.rows)),
@@ -1309,7 +1544,10 @@ impl Idaa {
                 // Pushdown path — the paper's contribution: an AOT target
                 // whose source tables all exist on the accelerator executes
                 // entirely there; only the statement text crosses the link.
-                if meta.kind == TableKind::AcceleratorOnly {
+                // In a fleet the source shards live on different nodes, so
+                // the source query runs through the scatter path below and
+                // the insert re-shards its result.
+                if meta.kind == TableKind::AcceleratorOnly && !self.fleet_active() {
                     let plan = plan_query(src_q, &*self.host)?;
                     let src_tables: Vec<ObjectName> = plan
                         .tables()
@@ -1333,13 +1571,13 @@ impl Idaa {
                             session,
                             sql.len() + wire::CONTROL_FRAME,
                             || {
-                                let result = self.accel.query(txn, src_q)?;
+                                let result = self.accel().query(txn, src_q)?;
                                 let rows: Vec<Row> = result
                                     .rows
                                     .into_iter()
                                     .map(|r| self.widen_row(&meta.schema, columns, r))
                                     .collect::<Result<_>>()?;
-                                self.accel.insert_rows(txn, &target, rows)
+                                self.accel().insert_rows(txn, &target, rows)
                             },
                             |_| ReplyPayload::Control(wire::ACK_FRAME),
                         )?;
@@ -1369,6 +1607,16 @@ impl Idaa {
             }
             TableKind::AcceleratorOnly => {
                 self.host.privileges.read().check(&session.user, &target, Privilege::Insert)?;
+                if self.fleet_active() && self.fleet.is_sharded(&target) {
+                    let n = self.fleet_insert_rows(
+                        session,
+                        &target,
+                        &meta.schema,
+                        &meta.distribute_by,
+                        rows,
+                    )?;
+                    return Ok(ExecOutcome::accel(Payload::Count(n)));
+                }
                 let txn = self.enlist_accel(session)?;
                 let trace = session.trace.clone();
                 // Rows originate on the host side (VALUES literals or a
@@ -1377,7 +1625,7 @@ impl Idaa {
                 // decodes.
                 let delivered =
                     self.ship_rows_traced(&trace, Direction::ToAccel, &meta.schema, &rows)?;
-                let n = self.accel.insert_rows(txn, &target, delivered)?;
+                let n = self.accel().insert_rows(txn, &target, delivered)?;
                 self.ship_traced(&trace, Direction::ToHost, "control", wire::ACK_FRAME)?;
                 Ok(ExecOutcome::accel(Payload::Count(n)))
             }
@@ -1432,6 +1680,30 @@ impl Idaa {
         }
     }
 
+    /// Transaction id for a read on one fleet node: the session's
+    /// transaction when that node is enlisted in it, else 0.
+    pub(crate) fn node_query_txn(&self, session: &Session, node: &AccelNode) -> TxnId {
+        match session.txn {
+            Some(t) if self.fleet.is_enlisted(t, node.id) => t,
+            _ => 0,
+        }
+    }
+
+    /// Enlist one fleet node in the session's transaction (starting one if
+    /// needed); callers have already verified the node is ready.
+    pub(crate) fn enlist_node(&self, session: &mut Session, node: &AccelNode) -> Result<TxnId> {
+        let trace = session.trace.clone();
+        let txn = self.ensure_txn(session);
+        if !self.fleet.is_enlisted(txn, node.id) {
+            // BEGIN message
+            self.ship_traced_on(node, &trace, Direction::ToAccel, "control", wire::CONTROL_FRAME)?;
+            node.engine.begin(txn);
+            self.fleet.enlist(txn, node.id);
+            self.host.txns.enlist_accelerator(txn);
+        }
+        Ok(txn)
+    }
+
     /// Enlist the accelerator in the session's transaction (starting one if
     /// needed) — required for AOT DML so that the paper's own-uncommitted-
     /// changes visibility holds.
@@ -1444,7 +1716,7 @@ impl Idaa {
         if !self.host.txns.accelerator_enlisted(txn) {
             // BEGIN message
             self.ship_traced(&trace, Direction::ToAccel, "control", wire::CONTROL_FRAME)?;
-            self.accel.begin(txn);
+            self.accel().begin(txn);
             self.host.txns.enlist_accelerator(txn);
         }
         Ok(txn)
@@ -1483,6 +1755,21 @@ impl Idaa {
         exec: impl FnOnce() -> Result<T>,
         reply: impl Fn(&T) -> ReplyPayload,
     ) -> Result<(T, Option<Vec<u8>>)> {
+        let node = self.nodes[0].clone();
+        self.exchange_on(&node, session, request_bytes, exec, reply)
+    }
+
+    /// [`Idaa::accel_exchange_inner`] against a specific fleet node: the
+    /// exchange rides that node's link, health monitor, sequence tracker,
+    /// and recovery epoch.
+    pub(crate) fn exchange_on<T>(
+        &self,
+        node: &AccelNode,
+        session: &mut Session,
+        request_bytes: usize,
+        exec: impl FnOnce() -> Result<T>,
+        reply: impl Fn(&T) -> ReplyPayload,
+    ) -> Result<(T, Option<Vec<u8>>)> {
         let trace = session.trace.clone();
         let seq = session.next_seq();
         let mut exec = Some(exec);
@@ -1492,18 +1779,24 @@ impl Idaa {
         for attempt in 1..=attempts {
             if attempt > 1 {
                 self.metrics.inc("exchange.retries", 1);
-                trace.event("retry", &[("attempt", &attempt)], self.link.now());
-                self.link.advance(wait);
+                trace.event("retry", &[("attempt", &attempt)], node.link.now());
+                node.link.advance(wait);
                 wait = wait.saturating_mul(self.retry.multiplier);
             }
             // Request leg: loss means the statement never reached the
             // accelerator — resend it.
-            match self.link.transfer(Direction::ToAccel, request_bytes) {
-                Ok(_) => {
-                    self.transfer_event(&trace, Direction::ToAccel, "stmt", request_bytes, None)
-                }
+            match node.link.transfer(Direction::ToAccel, request_bytes) {
+                Ok(_) => self.transfer_event_on(
+                    node,
+                    &trace,
+                    Direction::ToAccel,
+                    "stmt",
+                    request_bytes,
+                    None,
+                ),
                 Err(e) => {
-                    self.transfer_event(
+                    self.transfer_event_on(
+                        node,
                         &trace,
                         Direction::ToAccel,
                         "stmt",
@@ -1513,12 +1806,12 @@ impl Idaa {
                     continue;
                 }
             }
-            self.health.record_success();
+            node.health.record_success();
             // Receiver side: execute on first delivery, discard duplicates.
             // Every delivery is stamped with the accelerator's current
             // recovery epoch; anything stamped with a dead incarnation is
             // fenced off and the request is re-sent under the new epoch.
-            match self.delivered.deliver_at(session.id, seq, self.accel.epoch()) {
+            match node.delivered.deliver_at(session.id, seq, node.engine.epoch()) {
                 Delivery::Apply => {
                     let run = exec.take().expect("first delivery executes the statement");
                     result = Some(run()?);
@@ -1539,14 +1832,14 @@ impl Idaa {
             // side verifies on receipt.
             let (sent, kind, reply_bytes) = match reply(outcome) {
                 ReplyPayload::Control(bytes) => (
-                    self.link.transfer(Direction::ToHost, bytes).map(|_| None),
+                    node.link.transfer(Direction::ToHost, bytes).map(|_| None),
                     "control",
                     bytes,
                 ),
                 ReplyPayload::Frame(frame) => {
                     let len = frame.len();
                     (
-                        self.link.transfer_frame(Direction::ToHost, &frame).map(|_| Some(frame)),
+                        node.link.transfer_frame(Direction::ToHost, &frame).map(|_| Some(frame)),
                         "frame",
                         len,
                     )
@@ -1554,11 +1847,12 @@ impl Idaa {
             };
             match sent {
                 Ok(frame) => {
-                    self.transfer_event(&trace, Direction::ToHost, kind, reply_bytes, None);
-                    self.health.record_success();
+                    self.transfer_event_on(node, &trace, Direction::ToHost, kind, reply_bytes, None);
+                    node.health.record_success();
                     return Ok((result.take().expect("reply delivered"), frame));
                 }
-                Err(e) => self.transfer_event(
+                Err(e) => self.transfer_event_on(
+                    node,
                     &trace,
                     Direction::ToHost,
                     kind,
@@ -1569,7 +1863,7 @@ impl Idaa {
             // Reply lost: redeliver the request (same sequence number) on
             // the next attempt.
         }
-        self.health.record_failure();
+        node.health.record_failure();
         Err(Error::LinkFailure(
             "communication with the accelerator failed; the statement exchange could \
              not be completed"
@@ -1584,15 +1878,20 @@ impl Idaa {
         let Some(txn) = session.txn.take() else { return Ok(()) };
         let trace = session.trace.clone();
         let span = if trace.is_enabled() {
-            Some(trace.begin("commit", self.link.now()))
+            Some(trace.begin("commit", self.link().now()))
         } else {
             None
         };
+        let fleet_ids =
+            if self.fleet_active() { self.fleet.take_enlisted(txn) } else { Vec::new() };
         let enlisted = self.host.txns.accelerator_enlisted(txn);
         if let Some(id) = span {
             trace.attr(id, "kind", if enlisted { "2pc" } else { "local" });
         }
-        let result = if enlisted {
+        let result = if !fleet_ids.is_empty() {
+            self.metrics.inc("commits.twopc", 1);
+            self.commit_two_phase_fleet(&trace, txn, &fleet_ids)
+        } else if enlisted {
             self.metrics.inc("commits.twopc", 1);
             self.commit_two_phase(&trace, txn)
         } else {
@@ -1602,7 +1901,7 @@ impl Idaa {
         };
         if let Err(e) = result {
             if let Some(id) = span {
-                trace.end(id, self.link.now());
+                trace.end(id, self.link().now());
             }
             return Err(e);
         }
@@ -1610,24 +1909,29 @@ impl Idaa {
             let applied = self.replicate_now();
             match &applied {
                 Ok(n) if *n > 0 => {
-                    trace.event("replicate", &[("applied", n)], self.link.now());
+                    trace.event("replicate", &[("applied", n)], self.link().now());
                 }
                 _ => {}
             }
             applied?;
         }
-        // Periodic checkpoint policy on the virtual clock. A crash while
-        // building the checkpoint (the MID_CHECKPOINT site) must not fail
-        // the user's commit — the decision is already durable; the next
-        // statement observes the crash and drives recovery.
-        if let Ok(true) =
-            self.accel.maybe_checkpoint(self.link.now(), self.config.checkpoint_every)
-        {
-            self.metrics.inc("accel.checkpoints", 1);
-            trace.event("checkpoint", &[], self.link.now());
+        // Periodic checkpoint policy on the virtual clock (each node
+        // checkpoints on its own link clock). A crash while building the
+        // checkpoint (the MID_CHECKPOINT site) must not fail the user's
+        // commit — the decision is already durable; the next statement
+        // observes the crash and drives recovery.
+        for node in &self.nodes {
+            self.sync_node_clock(node);
+            if let Ok(true) =
+                node.engine.maybe_checkpoint(node.link.now(), self.config.checkpoint_every)
+            {
+                self.metrics.inc("accel.checkpoints", 1);
+                trace.event("checkpoint", &[], node.link.now());
+            }
+            self.absorb_node_clock(node);
         }
         if let Some(id) = span {
-            trace.end(id, self.link.now());
+            trace.end(id, self.link().now());
         }
         Ok(())
     }
@@ -1638,8 +1942,8 @@ impl Idaa {
         // A stopped or crashed accelerator cannot vote: presume abort on
         // both sides. (A crashed engine's copy of the transaction is
         // aborted durably when recovery replays the log.)
-        if self.faults.accel_unavailable.load(Ordering::Relaxed) || self.accel.is_crashed() {
-            self.accel.abort(txn);
+        if self.faults.accel_unavailable.load(Ordering::Relaxed) || self.accel().is_crashed() {
+            self.accel().abort(txn);
             self.host.rollback(txn)?;
             return Err(Error::ResourceUnavailable(
                 "the accelerator is unavailable; transaction rolled back on all \
@@ -1651,7 +1955,7 @@ impl Idaa {
         // participant never voted — presumed abort everywhere.
         if let Err(e) = self.ship_traced(trace, Direction::ToAccel, "control", wire::CONTROL_FRAME)
         {
-            self.accel.abort(txn);
+            self.accel().abort(txn);
             self.host.rollback(txn)?;
             return Err(Error::CommitFailed(format!(
                 "PREPARE could not be delivered ({e}); transaction rolled back on all \
@@ -1664,7 +1968,7 @@ impl Idaa {
         let prepare_ok = !self.faults.registry.fire(sites::PREPARE_VOTE_NO);
         if !prepare_ok {
             // Vote NO: roll back everywhere.
-            self.accel.abort(txn);
+            self.accel().abort(txn);
             self.host.rollback(txn)?;
             return Err(Error::CommitFailed(
                 "accelerator failed to prepare; transaction rolled back on all \
@@ -1672,10 +1976,10 @@ impl Idaa {
                     .into(),
             ));
         }
-        if let Err(e) = self.accel.prepare(txn) {
+        if let Err(e) = self.accel().prepare(txn) {
             // A NO vote (or protocol error) aborts everywhere; the host
             // transaction must not stay open holding locks.
-            self.accel.abort(txn);
+            self.accel().abort(txn);
             self.host.rollback(txn)?;
             return Err(Error::CommitFailed(format!(
                 "accelerator PREPARE failed ({e}); transaction rolled back on all \
@@ -1694,7 +1998,7 @@ impl Idaa {
                     .ship_traced(trace, Direction::ToHost, "control", wire::CONTROL_FRAME)
                     .is_ok();
             if !recovered {
-                self.accel.abort(txn);
+                self.accel().abort(txn);
                 self.host.rollback(txn)?;
                 return Err(Error::CommitFailed(
                     "in-doubt transaction could not be resolved before timeout; rolled \
@@ -1707,17 +2011,17 @@ impl Idaa {
         }
         // Phase 2: the decision is durable once the coordinator commits.
         self.host.commit(txn);
-        if self.accel.is_crashed()
+        if self.accel().is_crashed()
             || self.ship_traced(trace, Direction::ToAccel, "control", wire::CONTROL_FRAME).is_err()
         {
             // The COMMIT decision is queued and redelivered on the next
             // replication round or recovery probe; the accelerator holds
             // the transaction prepared (durably — a crash re-materializes
             // it from the log) until the decision arrives.
-            self.pending_commits.lock().push(txn);
+            self.node0().pending_commits.lock().push(txn);
             self.metrics.inc("twopc.decisions_queued", 1);
         } else {
-            self.accel.commit(txn);
+            self.accel().commit(txn);
         }
         Ok(())
     }
@@ -1725,12 +2029,23 @@ impl Idaa {
     /// Roll the session's transaction back on every participant.
     pub fn rollback_session(&self, session: &mut Session) -> Result<()> {
         let Some(txn) = session.txn.take() else { return Ok(()) };
-        if self.host.txns.accelerator_enlisted(txn) {
+        let fleet_ids =
+            if self.fleet_active() { self.fleet.take_enlisted(txn) } else { Vec::new() };
+        if !fleet_ids.is_empty() {
+            // Best-effort abort message per enlisted node — each
+            // participant presumes abort for unresolved transactions on
+            // reconnect, so a lost message cannot leave one committed.
+            for i in fleet_ids {
+                let node = &self.nodes[i];
+                let _ = self.ship_on(node, Direction::ToAccel, wire::CONTROL_FRAME);
+                node.engine.abort(txn);
+            }
+        } else if self.host.txns.accelerator_enlisted(txn) {
             // Best-effort abort message — the participant presumes abort
             // for unresolved transactions on reconnect, so a lost message
             // cannot leave it committed.
             let _ = self.ship(Direction::ToAccel, wire::CONTROL_FRAME);
-            self.accel.abort(txn);
+            self.accel().abort(txn);
         }
         self.host.rollback(txn)?;
         Ok(())
@@ -1745,7 +2060,7 @@ fn explain_schema() -> idaa_common::Schema {
 }
 
 /// What an accelerator statement exchange sends back to DB2.
-enum ReplyPayload {
+pub(crate) enum ReplyPayload {
     /// Fixed-size control acknowledgement (counts, DDL acks).
     Control(usize),
     /// Encoded row frame — the host decodes its result set from this.

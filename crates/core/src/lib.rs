@@ -15,6 +15,7 @@
 //! * **governed stored procedures** for system management and in-database
 //!   analytics deployment ([`procedures`]).
 
+pub mod fleet;
 pub mod health;
 pub mod idaa;
 pub mod procedures;
@@ -22,6 +23,7 @@ pub mod replication;
 pub mod router;
 pub mod session;
 
+pub use fleet::{shard_of, shard_table, AccelNode, FleetConfig};
 pub use health::{Delivery, HealthConfig, HealthMonitor, HealthState, SeqTracker};
 pub use idaa::{ExecOutcome, Faults, Idaa, IdaaConfig, Payload};
 pub use procedures::{message_result, Procedure};

@@ -62,8 +62,7 @@ impl Procedure for AccelAddTables {
                 "{table} is accelerator-only; it is already on the accelerator"
             )));
         }
-        idaa.ship_ddl(&format!("ADD TABLE {}", meta.name))?;
-        idaa.accel().create_table(&meta.name, meta.schema.clone(), &meta.distribute_by)?;
+        idaa.accel_table_add(&meta)?;
         idaa.host().set_accel_status(&meta.name, AccelStatus::Added)?;
         Ok(message_result(format!("table {} added to accelerator", meta.name)))
     }
@@ -96,8 +95,7 @@ impl Procedure for AccelRemoveTables {
     fn execute(&self, idaa: &Idaa, _session: &mut Session, args: &[Value]) -> Result<Rows> {
         let table = table_arg(args)?;
         let meta = idaa.host().table_meta(&table)?;
-        idaa.ship_ddl(&format!("REMOVE TABLE {}", meta.name))?;
-        idaa.accel().drop_table(&meta.name)?;
+        idaa.accel_table_remove(&meta)?;
         idaa.host().set_accel_status(&meta.name, AccelStatus::NotAccelerated)?;
         Ok(message_result(format!("table {} removed from accelerator", meta.name)))
     }
@@ -114,10 +112,10 @@ impl Procedure for AccelGroomTables {
 
     fn execute(&self, idaa: &Idaa, _session: &mut Session, args: &[Value]) -> Result<Rows> {
         let n = if args.is_empty() {
-            idaa.accel().groom_all()
+            idaa.accel_groom_all()
         } else {
             let table = table_arg(args)?;
-            idaa.accel().groom(&table.resolve(idaa.default_schema()))?
+            idaa.accel_groom(&table.resolve(idaa.default_schema()))?
         };
         Ok(message_result(format!("groomed {n} row versions")))
     }

@@ -188,8 +188,11 @@ impl Replicator {
         }
         self.last_applied = last_lsn;
         self.accel_applied = self.accel_applied.max(last_lsn);
-        // The host may truncate its log now.
-        host.txns.truncate_log(self.last_applied);
+        // Truncation is the *caller's* decision: with one accelerator the
+        // log truncates at this stream's watermark right after the round,
+        // but in a fleet every node owns a replication stream and the log
+        // may only truncate at the minimum watermark across all of them —
+        // a lagging (or crashed) node must still find its backlog.
         Ok(applied)
     }
 }
@@ -423,7 +426,14 @@ mod tests {
         host.commit(t);
         rep.apply(&host, &accel, &link).unwrap();
         assert!(rep.last_applied() > 0);
-        assert!(host.txns.changes_since(0).is_empty(), "log truncated after apply");
+        assert!(
+            host.txns.changes_since(rep.last_applied()).is_empty(),
+            "backlog fully applied"
+        );
+        // Truncation is the caller's call (fleet: minimum watermark across
+        // all streams) — here one stream, so its watermark is the minimum.
+        host.txns.truncate_log(rep.last_applied());
+        assert!(host.txns.changes_since(0).is_empty(), "log truncated at the watermark");
         // Idempotent when nothing new.
         assert_eq!(rep.apply(&host, &accel, &link).unwrap(), 0);
     }

@@ -1,4 +1,19 @@
 //! Client sessions: authorization id, special registers, transaction state.
+//!
+//! # Statement sequencing across a fleet
+//!
+//! Every statement shipped to an accelerator is stamped `(session.id,
+//! seq)`, with [`Session::next_seq`] drawn from one per-session counter no
+//! matter which node serves it. Each fleet node keeps its *own*
+//! `SeqTracker`, so delivery is deduplicated per `(session, node)` pair:
+//! a retry that ultimately lands on a failover replica is a first
+//! delivery *there* and applies, while a duplicate of something the
+//! primary already acked is dropped *there*. Trackers are additionally
+//! fenced by the node's recovery epoch — after a crash restart the node
+//! adopts a new epoch and deliveries stamped with an older one are
+//! rejected, so a pre-crash ack can never apply against the new
+//! incarnation even though the session's sequence numbers keep rising
+//! monotonically across the failover.
 
 use idaa_common::trace::Trace;
 use idaa_host::TxnId;

@@ -267,6 +267,33 @@ impl LinkMetrics {
             fault_time: self.fault_time.saturating_sub(earlier.fault_time),
         }
     }
+
+    /// Accumulate another link's counters into this snapshot (multi-link
+    /// fleet totals). Every field adds, including `failures`/`fault_time`,
+    /// so a fleet total reconciles exactly with the per-link metrics it
+    /// was merged from.
+    pub fn merge(&mut self, other: &LinkMetrics) {
+        self.bytes_to_accel += other.bytes_to_accel;
+        self.bytes_to_host += other.bytes_to_host;
+        self.messages_to_accel += other.messages_to_accel;
+        self.messages_to_host += other.messages_to_host;
+        self.logical_bytes_to_accel += other.logical_bytes_to_accel;
+        self.logical_bytes_to_host += other.logical_bytes_to_host;
+        self.wire_time += other.wire_time;
+        self.failures += other.failures;
+        self.fault_time += other.fault_time;
+    }
+
+    /// Fold an iterator of per-link snapshots into one fleet total via
+    /// [`LinkMetrics::merge`] — the only sanctioned way to sum traffic
+    /// across a multi-accelerator topology (no hand-summed fields).
+    pub fn merged<'a>(links: impl IntoIterator<Item = &'a LinkMetrics>) -> LinkMetrics {
+        let mut total = LinkMetrics::default();
+        for m in links {
+            total.merge(m);
+        }
+        total
+    }
 }
 
 #[derive(Debug, Default)]
@@ -309,8 +336,10 @@ pub struct NetLink {
     failures: AtomicU64,
     fault_nanos: AtomicU64,
     /// Optional mirror of the delivered/failed counters into a shared
-    /// [`MetricsRegistry`] (`link.*` counters).
-    registry: Mutex<Option<Arc<MetricsRegistry>>>,
+    /// [`MetricsRegistry`], with the counter-name prefix to mirror under
+    /// (`link` for a single-accelerator topology, `link.nodeN` for the
+    /// extra links of a fleet).
+    registry: Mutex<Option<(Arc<MetricsRegistry>, String)>>,
 }
 
 impl Default for NetLink {
@@ -344,7 +373,15 @@ impl NetLink {
     /// as monotone `link.*` counters. By construction these reconcile with
     /// [`NetLink::metrics`] from the moment of installation.
     pub fn set_metrics(&self, registry: Arc<MetricsRegistry>) {
-        *self.registry.lock() = Some(registry);
+        self.set_metrics_prefixed(registry, "link");
+    }
+
+    /// [`NetLink::set_metrics`] under an explicit counter-name prefix —
+    /// fleet topologies mirror each accelerator's link under its own
+    /// prefix (`link.node1.*`, `link.node2.*`, …) so per-node counters
+    /// reconcile with per-node [`NetLink::metrics`] exactly.
+    pub fn set_metrics_prefixed(&self, registry: Arc<MetricsRegistry>, prefix: &str) {
+        *self.registry.lock() = Some((registry, prefix.to_string()));
     }
 
     /// Change parameters mid-flight (experiments sweep these).
@@ -398,8 +435,8 @@ impl NetLink {
     fn record_failure(&self, cost: Duration) {
         self.failures.fetch_add(1, Ordering::Relaxed);
         self.fault_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
-        if let Some(reg) = self.registry.lock().as_ref() {
-            reg.inc("link.failures", 1);
+        if let Some((reg, prefix)) = self.registry.lock().as_ref() {
+            reg.inc(&format!("{prefix}.failures"), 1);
         }
     }
 
@@ -543,13 +580,13 @@ impl NetLink {
             }
         }
         self.wire_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
-        if let Some(reg) = self.registry.lock().as_ref() {
+        if let Some((reg, prefix)) = self.registry.lock().as_ref() {
             let dir = match direction {
                 Direction::ToAccel => "to_accel",
                 Direction::ToHost => "to_host",
             };
-            reg.inc(&format!("link.delivered.{dir}.bytes"), bytes as u64);
-            reg.inc(&format!("link.delivered.{dir}.msgs"), 1);
+            reg.inc(&format!("{prefix}.delivered.{dir}.bytes"), bytes as u64);
+            reg.inc(&format!("{prefix}.delivered.{dir}.msgs"), 1);
         }
         Ok(cost)
     }
@@ -680,6 +717,11 @@ pub mod sites {
     /// Coordinator-side injection: the accelerator's PREPARE vote comes
     /// back NO (no crash; replaces the old `fail_next_prepare` hook).
     pub const PREPARE_VOTE_NO: &str = "coord.prepare.vote_no";
+    /// Accelerator crash while serving its partial of a scattered fleet
+    /// query — after the shard request was delivered, before the partial
+    /// result is produced. The coordinator fails the shard over to a
+    /// replica.
+    pub const MID_SCATTER: &str = "accel.scatter.mid";
 }
 
 /// Per-site crash/failure schedule inside a [`CrashPlan`].
@@ -905,6 +947,27 @@ mod tests {
         assert_eq!(delta.bytes_to_accel, 50);
         assert_eq!(delta.bytes_to_host, 10);
         assert_eq!(delta.messages_to_accel, 1);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let a = NetLink::default();
+        let b = NetLink::default();
+        a.transfer(Direction::ToAccel, 100).unwrap();
+        b.transfer(Direction::ToAccel, 40).unwrap();
+        b.transfer(Direction::ToHost, 10).unwrap();
+        b.fail_next_transfers(1);
+        let _ = b.transfer(Direction::ToHost, 5);
+        let total = LinkMetrics::merged([&a.metrics(), &b.metrics()]);
+        assert_eq!(total.bytes_to_accel, 140);
+        assert_eq!(total.bytes_to_host, 10);
+        assert_eq!(total.messages_to_accel, 2);
+        assert_eq!(total.messages_to_host, 1);
+        assert_eq!(total.failures, 1);
+        assert_eq!(
+            total.wire_time,
+            a.metrics().wire_time + b.metrics().wire_time
+        );
     }
 
     #[test]

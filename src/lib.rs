@@ -57,7 +57,8 @@ pub use idaa_common::{
     Schema, SpanNode, StatementTrace, Trace, TraceSink, Value,
 };
 pub use idaa_core::{
-    ExecOutcome, HealthConfig, HealthState, Idaa, IdaaConfig, Payload, Route, Session,
+    shard_of, shard_table, ExecOutcome, FleetConfig, HealthConfig, HealthState, Idaa, IdaaConfig,
+    Payload, Route, Session,
 };
 pub use idaa_host::{HostEngine, SYSADM};
 pub use idaa_netsim::{

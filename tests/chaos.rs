@@ -10,7 +10,10 @@
 //! (transaction rolled back). Everything else is a bug.
 
 use idaa::netsim::sites;
-use idaa::{CrashPlan, FaultPlan, HealthState, Idaa, IdaaConfig, ObjectName, Route, Value, SYSADM};
+use idaa::{
+    CrashPlan, FaultPlan, FleetConfig, HealthState, Idaa, IdaaConfig, ObjectName, Route, Value,
+    SYSADM,
+};
 use std::time::Duration;
 
 /// splitmix64 — the same generator the link's fault stream uses; good
@@ -513,4 +516,147 @@ fn corrupt_faults_are_detected_by_checksum_and_leave_delivered_traffic_clean() {
     let (replay, replay_dedup) = workload(Some(corrupting()));
     assert_eq!(faulted, replay, "same seed must replay byte-identically");
     assert_eq!(deduped, replay_dedup);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet failover chaos
+// ---------------------------------------------------------------------------
+
+/// A 3-node fleet with 4 shards at replication factor 2 and a sharded AOT
+/// ready for a scatter/gather workload.
+fn fleet_system() -> (Idaa, idaa::Session) {
+    let idaa = Idaa::new(IdaaConfig {
+        fleet: FleetConfig {
+            accelerators: 3,
+            shards: 4,
+            replication_factor: 2,
+            ..FleetConfig::default()
+        },
+        ..IdaaConfig::default()
+    });
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(
+        &mut s,
+        "CREATE TABLE FLOG (X INT NOT NULL, G VARCHAR(2)) IN ACCELERATOR DISTRIBUTE BY HASH(X)",
+    )
+    .unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    (idaa, s)
+}
+
+/// One deterministic scatter/gather workload, optionally crashing node 0 at
+/// the mid-scatter site. Returns every per-statement answer, the per-node
+/// link metrics, node 0's firing log, and the failover/rebalance counters.
+#[allow(clippy::type_complexity)]
+fn fleet_crash_run(
+    plan: Option<CrashPlan>,
+) -> (Vec<Vec<idaa::Row>>, Vec<idaa::LinkMetrics>, Vec<(String, u64)>, u64, u64) {
+    let (idaa, mut s) = fleet_system();
+    let crashing = plan.is_some();
+    if let Some(p) = plan {
+        idaa.set_crash_plan_on(0, p);
+    }
+    let mut answers = Vec::new();
+    for i in 0..30 {
+        let g = if i % 2 == 0 { "a" } else { "b" };
+        idaa.execute(&mut s, &format!("INSERT INTO FLOG VALUES ({i}, '{g}')")).unwrap();
+        let rows = idaa
+            .query(&mut s, "SELECT G, COUNT(*), SUM(X) FROM FLOG GROUP BY G ORDER BY G")
+            .unwrap();
+        answers.push(rows.rows);
+        idaa.link().advance(Duration::from_micros(100));
+    }
+    let fired = idaa.node_registry(0).fired();
+    idaa.node_registry(0).clear();
+    if crashing {
+        assert!(idaa.recover_node(0), "node 0 must recover once crash injection stops");
+        assert!(idaa.fleet_catch_up_bytes() > 0, "rejoin must copy shard data over the link");
+        // The restarted node rejoins and the background rebalance (virtual
+        // clock) migrates its shards back to the preferred placement.
+        idaa.link().advance(Duration::from_millis(25));
+    }
+    let rows = idaa
+        .query(&mut s, "SELECT G, COUNT(*), SUM(X) FROM FLOG GROUP BY G ORDER BY G")
+        .unwrap();
+    answers.push(rows.rows);
+    assert_eq!(
+        idaa.current_primaries(),
+        vec![0, 1, 2, 0],
+        "every shard must be back on its preferred primary"
+    );
+    let metrics = (0..idaa.fleet_size()).map(|i| idaa.node_link(i).metrics()).collect();
+    (answers, metrics, fired, idaa.fleet_failovers(), idaa.fleet_rebalances())
+}
+
+/// The headline robustness path: crash shard 0's primary mid-scatter. The
+/// router retargets the replica inside the same statement (every answer
+/// matches the crash-free run), the restarted node rejoins via catch-up,
+/// the rebalance task migrates the shards back, and the whole run —
+/// including every node's link metrics — replays byte-identically per seed.
+#[test]
+fn fleet_primary_crash_mid_scatter_fails_over_and_converges() {
+    let (clean_answers, _, clean_fired, clean_failovers, _) = fleet_crash_run(None);
+    assert!(clean_fired.is_empty());
+    assert_eq!(clean_failovers, 0, "a clean run never fails over");
+
+    let plan = || CrashPlan::at(sites::MID_SCATTER, 3).seeded(0xF1EE7);
+    let (answers, metrics, fired, failovers, rebalances) = fleet_crash_run(Some(plan()));
+    assert_eq!(
+        fired,
+        vec![(sites::MID_SCATTER.to_string(), 3)],
+        "the pinned crash must fire exactly once"
+    );
+    assert!(failovers > 0, "the crashed primary's shards must fail over to the replica");
+    assert!(rebalances > 0, "recovered shards must migrate back to the preferred owner");
+    assert_eq!(answers, clean_answers, "failover must never change a query answer");
+
+    let (answers2, metrics2, fired2, failovers2, rebalances2) = fleet_crash_run(Some(plan()));
+    assert_eq!(answers, answers2);
+    assert_eq!(metrics, metrics2, "per-node link metrics must replay byte-identically");
+    assert_eq!(fired, fired2);
+    assert_eq!(failovers, failovers2);
+    assert_eq!(rebalances, rebalances2);
+}
+
+/// Fleet error surfaces: losing every replica of a shard is -904 (resource
+/// unavailable), while a shard whose exchange dies after retries on every
+/// live replica is -30081 (communication failure).
+#[test]
+fn fleet_shard_loss_maps_to_db2_sqlcodes() {
+    // Replication factor 1: each shard has exactly one owner.
+    let idaa = Idaa::new(IdaaConfig {
+        fleet: FleetConfig {
+            accelerators: 2,
+            shards: 2,
+            replication_factor: 1,
+            ..FleetConfig::default()
+        },
+        ..IdaaConfig::default()
+    });
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(
+        &mut s,
+        "CREATE TABLE FLOG (X INT NOT NULL) IN ACCELERATOR DISTRIBUTE BY HASH(X)",
+    )
+    .unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    idaa.execute(&mut s, "INSERT INTO FLOG VALUES (1), (2), (3), (4), (5)").unwrap();
+
+    // Crash one owner *and* sever its link so the health probe cannot
+    // revive it: its shard has no live replica left.
+    idaa.node_engine(1).crash();
+    idaa.node_link(1).fail_transfers_after(0, u64::MAX);
+    let err = idaa.query(&mut s, "SELECT COUNT(*) FROM FLOG").unwrap_err();
+    assert_eq!(err.sqlcode(), -904, "a shard with no live replica is -904: {err}");
+
+    // Heal it and verify the fleet serves again.
+    idaa.node_link(1).clear_faults();
+    assert!(idaa.recover_node(1));
+    assert_eq!(idaa.query(&mut s, "SELECT COUNT(*) FROM FLOG").unwrap().rows.len(), 1);
+
+    // Now kill only the statement exchange (the node itself stays up and
+    // Online): the shard's gather dies after retries — -30081.
+    idaa.node_link(1).fail_transfers_after(0, u64::MAX);
+    let err = idaa.query(&mut s, "SELECT COUNT(*) FROM FLOG").unwrap_err();
+    assert_eq!(err.sqlcode(), -30081, "a dead exchange on every replica is -30081: {err}");
 }

@@ -12,7 +12,8 @@
 //!   and counters stay monotone under seeded chaos;
 //! * retries, crash recovery, and 2PC legs all surface as trace events.
 
-use idaa::{FaultPlan, Idaa, Route, Value, SYSADM};
+use idaa::netsim::sites;
+use idaa::{CrashPlan, FaultPlan, FleetConfig, Idaa, IdaaConfig, Route, Value, SYSADM};
 use std::time::Duration;
 
 fn seeded_system() -> (Idaa, idaa::Session) {
@@ -305,4 +306,111 @@ fn explain_analyze_reports_routed_execution() {
     // EXPLAIN ANALYZE consumed the rows, so re-running returns them.
     let out = idaa.query(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
     assert_eq!(out.scalar().unwrap(), &Value::BigInt(64));
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: scatter/gather and failover traces
+// ---------------------------------------------------------------------------
+
+fn fleet_system() -> (Idaa, idaa::Session) {
+    let idaa = Idaa::new(IdaaConfig {
+        fleet: FleetConfig {
+            accelerators: 3,
+            shards: 4,
+            replication_factor: 2,
+            ..FleetConfig::default()
+        },
+        ..IdaaConfig::default()
+    });
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(
+        &mut s,
+        "CREATE TABLE FLOG (X INT NOT NULL, G VARCHAR(2)) IN ACCELERATOR DISTRIBUTE BY HASH(X)",
+    )
+    .unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    let vals: Vec<String> =
+        (0..32).map(|i| format!("({i}, '{}')", ["a", "b"][i % 2])).collect();
+    idaa.execute(&mut s, &format!("INSERT INTO FLOG VALUES {}", vals.join(", "))).unwrap();
+    (idaa, s)
+}
+
+/// A healthy scatter/gather renders one `gather` span covering every shard,
+/// and each `shard` span names the node that served it (with its epoch) and
+/// nests that node's own transfer spans — the per-shard link breakdown.
+#[test]
+fn fleet_gather_trace_breaks_down_per_shard() {
+    let (idaa, mut s) = fleet_system();
+    idaa.tracer().clear();
+    idaa.query(&mut s, "SELECT G, COUNT(*) FROM FLOG GROUP BY G ORDER BY G").unwrap();
+
+    let trace = idaa.tracer().last_containing("COUNT(*)").expect("trace recorded");
+    let root = &trace.root;
+    root.validate().unwrap();
+
+    let gather = root.find("gather").expect("gather span");
+    assert_eq!(gather.attr("shards"), Some("4"));
+    assert!(gather.attr("tables").is_some_and(|t| t.contains("FLOG")), "{}", root.render());
+
+    let shards = gather.find_all("shard");
+    assert_eq!(shards.len(), 4, "one shard span per shard:\n{}", root.render());
+    for sp in &shards {
+        let node = sp.attr("node").expect("shard span names its serving node");
+        assert!(node.starts_with("ACCEL"), "node identity, got {node}");
+        assert_eq!(sp.attr("epoch"), Some("1"), "healthy nodes are in their first epoch");
+        // Per-shard transfer breakdown: the statement + reply-frame
+        // transfers inside a shard span carry that same node's identity.
+        let transfers = sp.find_all("transfer");
+        assert!(!transfers.is_empty(), "shard exchanges are traced:\n{}", root.render());
+        assert!(
+            transfers.iter().all(|t| t.attr("node") == Some(node)),
+            "transfers in a shard span belong to its node:\n{}",
+            root.render()
+        );
+    }
+    // The preferred placement serves: shards 0..4 map to nodes 1,2,3,1.
+    let served: Vec<_> = shards.iter().map(|sp| sp.attr("node").unwrap()).collect();
+    assert_eq!(served, vec!["ACCEL1", "ACCEL2", "ACCEL3", "ACCEL1"]);
+
+    assert!(root.find_all("failover").is_empty(), "healthy gathers never fail over");
+}
+
+/// Crashing a primary mid-scatter surfaces in the trace: the affected shard
+/// spans carry the *replica's* identity and a `failover` event records the
+/// retarget (shard, from, to) — all discoverable structurally, no log
+/// string-matching.
+#[test]
+fn fleet_failover_trace_names_replica_and_emits_failover_event() {
+    let (idaa, mut s) = fleet_system();
+    idaa.set_crash_plan_on(0, CrashPlan::at(sites::MID_SCATTER, 1).seeded(0x0B5));
+    idaa.tracer().clear();
+    idaa.query(&mut s, "SELECT G, COUNT(*) FROM FLOG GROUP BY G ORDER BY G").unwrap();
+
+    let trace = idaa.tracer().last_containing("COUNT(*)").expect("trace recorded");
+    let root = &trace.root;
+    root.validate().unwrap();
+
+    // Node 0 (ACCEL1) crashes serving shard 0: that shard fails over to the
+    // replica (ACCEL2). By the time the scatter reaches shard 3 — node 0's
+    // other shard — the readiness probe has already restarted it, so ACCEL1
+    // serves again, now in its second epoch.
+    let gather = root.find("gather").expect("gather span");
+    let shards = gather.find_all("shard");
+    assert_eq!(shards.len(), 4);
+    let by_shard: Vec<(&str, &str)> = shards
+        .iter()
+        .map(|sp| (sp.attr("node").unwrap(), sp.attr("epoch").unwrap()))
+        .collect();
+    assert_eq!(
+        by_shard,
+        vec![("ACCEL2", "1"), ("ACCEL2", "1"), ("ACCEL3", "1"), ("ACCEL1", "2")],
+        "{}",
+        root.render()
+    );
+
+    let failovers = root.find_all("failover");
+    assert_eq!(failovers.len(), 1, "only the crashed attempt fails over:\n{}", root.render());
+    assert_eq!(failovers[0].attr("shard"), Some("0"));
+    assert_eq!(failovers[0].attr("from"), Some("0"));
+    assert_eq!(failovers[0].attr("to"), Some("1"));
 }

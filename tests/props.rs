@@ -12,7 +12,7 @@
 
 use idaa::sql::ast::*;
 use idaa::sql::{parse_statement, Statement};
-use idaa::{DataType, Decimal, Idaa, ObjectName, Value, SYSADM};
+use idaa::{DataType, Decimal, FleetConfig, Idaa, IdaaConfig, ObjectName, Value, SYSADM};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -898,5 +898,79 @@ proptest! {
 
         // Encoding is a pure function of (schema, rows).
         prop_assert_eq!(&frames, &wire::encode_frames(&schema, &rows));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: scatter/gather over sharded AOTs reproduces the single-accelerator
+// answer for any topology
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A K-node fleet with hash-sharded AOT placement and any replication
+    /// factor answers every query exactly like a single accelerator: shard
+    /// placement is value-deterministic, per-shard partials merge in fixed
+    /// shard order, and non-mergeable shapes fall back to a raw gather —
+    /// so topology is invisible to results (modulo float summation order,
+    /// which these integer queries avoid).
+    #[test]
+    fn fleet_and_single_accel_agree(
+        rows in proptest::collection::vec(
+            (0i64..1000, 0i64..50, "[a-c]{1}"),
+            30..120,
+        ),
+        shards in 1usize..=4,
+        accelerators in 1usize..=3,
+        replicas in 1usize..=2,
+    ) {
+        let queries = [
+            "SELECT COUNT(*) FROM f",
+            "SELECT g, COUNT(*), SUM(a), MIN(b), MAX(b) FROM f GROUP BY g ORDER BY g",
+            "SELECT COUNT(*), MIN(a), MAX(a) FROM f WHERE a BETWEEN 100 AND 700",
+            "SELECT a, b FROM f WHERE b = 7 ORDER BY a, b",
+            "SELECT a, b, g FROM f ORDER BY a DESC, b, g LIMIT 10",
+            "SELECT AVG(b) FROM f WHERE g = 'a'",
+            "SELECT COUNT(DISTINCT b) FROM f",
+            "SELECT x.g, COUNT(*) FROM f AS x INNER JOIN f AS y ON x.a = y.a \
+             GROUP BY x.g ORDER BY x.g",
+        ];
+        let run = |config: IdaaConfig| -> Vec<Vec<idaa::Row>> {
+            let idaa = Idaa::new(config);
+            let mut s = idaa.session(SYSADM);
+            idaa.execute(
+                &mut s,
+                "CREATE TABLE F (A BIGINT, B BIGINT, G VARCHAR(2)) IN ACCELERATOR \
+                 DISTRIBUTE BY HASH(A)",
+            ).unwrap();
+            let vals: Vec<String> = rows
+                .iter()
+                .map(|(a, b, g)| format!("({a}, {b}, '{g}')"))
+                .collect();
+            for chunk in vals.chunks(50) {
+                idaa.execute(&mut s, &format!("INSERT INTO F VALUES {}", chunk.join(", ")))
+                    .unwrap();
+            }
+            idaa.execute(
+                &mut s,
+                "INSERT INTO F VALUES (1, NULL, NULL), (NULL, 5, 'a'), (NULL, NULL, NULL)",
+            ).unwrap();
+            idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+            queries.iter().map(|q| idaa.query(&mut s, q).unwrap().rows).collect()
+        };
+        let single = run(IdaaConfig::default());
+        let fleet = run(IdaaConfig {
+            fleet: FleetConfig {
+                accelerators,
+                shards,
+                replication_factor: replicas,
+                ..FleetConfig::default()
+            },
+            ..IdaaConfig::default()
+        });
+        for (i, (lhs, rhs)) in single.iter().zip(&fleet).enumerate() {
+            prop_assert_eq!(lhs, rhs, "fleet disagreed with single accelerator on {}", queries[i]);
+        }
     }
 }
