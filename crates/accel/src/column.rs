@@ -309,6 +309,66 @@ impl Column {
             _ => None,
         }
     }
+
+    /// Projection kernel: append this column's value at each selected
+    /// position to the corresponding output row (`rows[k]` receives
+    /// position `sel[k]`). The storage dispatch is hoisted out of the loop,
+    /// but every appended [`Value`] is exactly what per-position
+    /// [`Self::get`] renders — late materialization must be invisible in
+    /// the output.
+    pub fn gather_into(&self, sel: &[u32], rows: &mut [Vec<Value>]) {
+        debug_assert_eq!(sel.len(), rows.len());
+        match (&self.data, self.data_type) {
+            (ColumnData::I64(v), t) => {
+                let native: fn(i64) -> Value = match t {
+                    DataType::SmallInt => |x| Value::SmallInt(x as i16),
+                    DataType::Integer => |x| Value::Int(x as i32),
+                    DataType::Boolean => |x| Value::Boolean(x != 0),
+                    DataType::Date => |x| Value::Date(x as i32),
+                    DataType::Timestamp => Value::Timestamp,
+                    _ => Value::BigInt,
+                };
+                for (row, &p) in rows.iter_mut().zip(sel) {
+                    let p = p as usize;
+                    row.push(if self.nulls.is_null(p) { Value::Null } else { native(v[p]) });
+                }
+            }
+            (ColumnData::F64(v), _) => {
+                for (row, &p) in rows.iter_mut().zip(sel) {
+                    let p = p as usize;
+                    row.push(if self.nulls.is_null(p) {
+                        Value::Null
+                    } else {
+                        Value::Double(v[p])
+                    });
+                }
+            }
+            (ColumnData::Dec(v), t) => {
+                let scale = match t {
+                    DataType::Decimal(_, s) => s,
+                    _ => 0,
+                };
+                for (row, &p) in rows.iter_mut().zip(sel) {
+                    let p = p as usize;
+                    row.push(if self.nulls.is_null(p) {
+                        Value::Null
+                    } else {
+                        Value::Decimal(Decimal::new(v[p], scale))
+                    });
+                }
+            }
+            (ColumnData::Str { codes, values, .. }, _) => {
+                for (row, &p) in rows.iter_mut().zip(sel) {
+                    let p = p as usize;
+                    row.push(if self.nulls.is_null(p) {
+                        Value::Null
+                    } else {
+                        Value::Varchar(values[codes[p] as usize].clone())
+                    });
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,21 @@ pub struct AccelStats {
     pub rows_inserted: AtomicU64,
     pub rows_deleted: AtomicU64,
     pub versions_groomed: AtomicU64,
+    /// Compiled-plan cache hits (statement planned before, deps unchanged).
+    pub plan_cache_hits: AtomicU64,
+    /// Compiled-plan cache misses (first sight, or invalidated deps).
+    pub plan_cache_misses: AtomicU64,
+}
+
+/// One cached compiled plan plus the catalog state it was compiled
+/// against. Entries validate lazily at lookup: any referenced table whose
+/// schema or dictionary fingerprint moved (DDL, dictionary growth, groom)
+/// invalidates the entry and the statement replans.
+struct CachedPlan {
+    plan: Arc<Plan>,
+    /// `(table, schema fingerprint, dictionary fingerprint)` per
+    /// referenced table, in [`Plan::tables`] order.
+    deps: Vec<(ObjectName, u64, u64)>,
 }
 
 /// What one [`AccelEngine::restart`] did: sizes feed the recovery-time
@@ -115,6 +130,9 @@ pub struct AccelEngine {
     /// members ACCEL1..ACCELK). Carried on trace spans and error messages
     /// so failover paths can say *which* accelerator acted.
     identity: RwLock<String>,
+    /// Compiled-plan cache, keyed by statement fingerprint. Volatile: a
+    /// crash clears it along with the rest of in-memory state.
+    plan_cache: RwLock<HashMap<u64, CachedPlan>>,
 }
 
 impl Default for AccelEngine {
@@ -140,6 +158,7 @@ impl AccelEngine {
             replaying: AtomicBool::new(false),
             epoch: AtomicU64::new(1),
             identity: RwLock::new("ACCEL1".to_string()),
+            plan_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -234,6 +253,7 @@ impl AccelEngine {
         self.crashed.store(true, Ordering::Relaxed);
         self.tables.write().clear();
         self.snapshots.write().clear();
+        self.plan_cache.write().clear();
         self.txns.reset();
     }
 
@@ -248,6 +268,7 @@ impl AccelEngine {
         // from the disk image alone.
         self.tables.write().clear();
         self.snapshots.write().clear();
+        self.plan_cache.write().clear();
         self.txns.reset();
 
         let set = self.durable.recovery_set();
@@ -480,6 +501,8 @@ impl AccelEngine {
             name.clone(),
             Arc::new(AccelTable::new(name, schema, dist, self.config.slices)),
         );
+        drop(tables);
+        self.plan_cache.write().clear();
         Ok(())
     }
 
@@ -487,11 +510,16 @@ impl AccelEngine {
     pub fn drop_table(&self, name: &ObjectName) -> Result<()> {
         self.ensure_up()?;
         let name = self.resolve(name);
-        self.tables
+        let dropped = self
+            .tables
             .write()
             .remove(&name)
             .map(|_| self.log(LogRecord::DropTable { name: name.clone() }))
-            .ok_or_else(|| Error::UndefinedObject(format!("accelerator table {name} not defined")))
+            .ok_or_else(|| Error::UndefinedObject(format!("accelerator table {name} not defined")));
+        if dropped.is_ok() {
+            self.plan_cache.write().clear();
+        }
+        dropped
     }
 
     /// Does a table exist here?
@@ -600,10 +628,46 @@ impl AccelEngine {
     /// against.
     pub fn query_with_mode(&self, txn: TxnId, query: &Query, mode: ExecMode) -> Result<Rows> {
         self.ensure_up()?;
-        let plan = plan_query(query, self)?;
+        let (plan, _) = self.plan_cached(query)?;
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let ctx = ExecCtx { engine: self, snap: self.snapshot_for(txn), mode, profile: None };
         execute_plan(&plan, &ctx)
+    }
+
+    /// Plan `query` through the compiled-plan cache. The cache is keyed by
+    /// the statement's rendered text and each entry remembers the schema
+    /// and dictionary fingerprints of every table it touches; a lookup
+    /// revalidates those lazily, so DDL, TRUNCATE, groom, or dictionary
+    /// growth all force a replan (whose fresh kernels see the new
+    /// dictionary). Returns the shared plan and whether it was a hit.
+    pub fn plan_cached(&self, query: &Query) -> Result<(Arc<Plan>, bool)> {
+        let key = wire::hash64(query.to_string().as_bytes());
+        if let Some(entry) = self.plan_cache.read().get(&key) {
+            let valid = entry.deps.iter().all(|(name, schema_fp, dict_fp)| {
+                self.table(name).is_ok_and(|t| {
+                    wire::schema_fingerprint(&t.schema) == *schema_fp
+                        && t.dict_fingerprint() == *dict_fp
+                })
+            });
+            if valid {
+                self.stats.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((entry.plan.clone(), true));
+            }
+        }
+        self.stats.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(plan_query(query, self)?);
+        let deps = plan
+            .tables()
+            .into_iter()
+            .filter_map(|name| {
+                self.table(&name).ok().map(|t| {
+                    let fp = (wire::schema_fingerprint(&t.schema), t.dict_fingerprint());
+                    (name, fp.0, fp.1)
+                })
+            })
+            .collect();
+        self.plan_cache.write().insert(key, CachedPlan { plan: Arc::clone(&plan), deps });
+        Ok((plan, false))
     }
 
     /// Which pipeline would execute `query` (`EXPLAIN`'s PIPELINE line).
@@ -617,17 +681,18 @@ impl AccelEngine {
 
     /// Execute a `SELECT` and also return the executed plan plus a
     /// per-operator row-count profile (for `EXPLAIN ANALYZE` / tracing).
-    /// The plan comes back boxed: the profile is keyed by node address, so
-    /// the tree must not move while the profile is being read.
+    /// The plan comes back shared: the profile is keyed by node address,
+    /// and the cached tree is address-stable behind its `Arc`.
     pub fn query_profiled(
         &self,
         txn: TxnId,
         query: &Query,
-    ) -> Result<(Rows, Box<Plan>, PlanProfile)> {
+    ) -> Result<(Rows, Arc<Plan>, PlanProfile)> {
         self.ensure_up()?;
-        let plan = Box::new(plan_query(query, self)?);
+        let (plan, hit) = self.plan_cached(query)?;
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let profile = PlanProfile::default();
+        profile.set_cache_hit(hit);
         let ctx = ExecCtx {
             engine: self,
             snap: self.snapshot_for(txn),
@@ -818,6 +883,7 @@ impl AccelEngine {
         let t = self.table(table)?;
         t.groom(|_| true, |_| true);
         self.log(LogRecord::Truncate { table: t.name.clone() });
+        self.plan_cache.write().clear();
         Ok(())
     }
 
@@ -846,6 +912,9 @@ impl AccelEngine {
         );
         if n > 0 {
             self.log(LogRecord::Groom { table: t.name.clone() });
+            // Grooming rebuilds slices (and their dictionaries): drop any
+            // plan whose cached kernels were specialized against them.
+            self.plan_cache.write().clear();
         }
         self.stats.versions_groomed.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
@@ -907,6 +976,56 @@ mod tests {
         let r = q(&e, 0, "SELECT grp, COUNT(*), AVG(val) FROM t GROUP BY grp ORDER BY grp").unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.rows[0][1], Value::BigInt(500));
+    }
+
+    #[test]
+    fn plan_cache_hits_repeated_statements_and_returns_identical_rows() {
+        let e = engine();
+        let rows: Vec<Row> = (0..100).map(|i| row(i, if i % 3 == 0 { "A" } else { "B" }, i as f64)).collect();
+        e.load_committed(&ObjectName::bare("T"), rows).unwrap();
+        let sql = "SELECT grp, COUNT(*) FROM t WHERE grp = 'A' GROUP BY grp";
+        let Statement::Query(query) = parse_statement(sql).unwrap() else { panic!() };
+        let (p1, hit1) = e.plan_cached(&query).unwrap();
+        let (p2, hit2) = e.plan_cached(&query).unwrap();
+        assert!(!hit1, "first sight must miss");
+        assert!(hit2, "second sight must hit");
+        assert!(Arc::ptr_eq(&p1, &p2), "hit returns the cached tree itself");
+        // The executed answers are identical across the miss and hit runs.
+        let miss_rows = q(&e, 0, sql).unwrap();
+        let hit_rows = q(&e, 0, sql).unwrap();
+        assert_eq!(miss_rows.rows, hit_rows.rows);
+        assert_eq!(e.stats.plan_cache_hits.load(Ordering::Relaxed), 3);
+        assert_eq!(e.stats.plan_cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_dictionary_growth_ddl_and_restart() {
+        let e = engine();
+        e.load_committed(&ObjectName::bare("T"), vec![row(1, "A", 1.0)]).unwrap();
+        let Statement::Query(query) =
+            parse_statement("SELECT COUNT(*) FROM t WHERE grp = 'A'").unwrap()
+        else {
+            panic!()
+        };
+        assert!(!e.plan_cached(&query).unwrap().1);
+        assert!(e.plan_cached(&query).unwrap().1);
+        // Dictionary growth (a new distinct string) forces a replan.
+        e.load_committed(&ObjectName::bare("T"), vec![row(2, "NEW", 2.0)]).unwrap();
+        assert!(!e.plan_cached(&query).unwrap().1, "dictionary growth must invalidate");
+        assert!(e.plan_cached(&query).unwrap().1);
+        // DDL on any table clears the whole cache.
+        e.create_table(&ObjectName::bare("U"), schema(), &["ID".to_string()]).unwrap();
+        assert!(!e.plan_cached(&query).unwrap().1, "DDL must invalidate");
+        assert!(e.plan_cached(&query).unwrap().1);
+        // TRUNCATE empties dictionaries; the plan must be rebuilt.
+        e.truncate(&ObjectName::bare("T")).unwrap();
+        assert!(!e.plan_cached(&query).unwrap().1, "TRUNCATE must invalidate");
+        // A crash loses the (volatile) cache with the rest of memory.
+        e.checkpoint(Duration::ZERO).unwrap();
+        e.crash();
+        e.restart().unwrap();
+        assert!(!e.plan_cached(&query).unwrap().1, "restart starts with a cold cache");
+        assert!(e.plan_cached(&query).unwrap().1);
     }
 
     #[test]

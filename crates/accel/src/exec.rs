@@ -19,6 +19,7 @@ use crate::column::{Column, NullMap};
 use crate::engine::AccelEngine;
 use crate::mvcc::Snapshot;
 use crate::table::{AccelTable, Slice, ZoneEntry, BLOCK_ROWS};
+use idaa_common::wire::{key_hash_i64, key_hash_str, KeySummary};
 use idaa_common::{ColumnDef, Result, Row, Rows, Schema, Value};
 use idaa_sql::ast::{BinaryOp, Expr, JoinKind};
 use idaa_sql::eval::{bind, eval, eval_predicate, AggState, BoundExpr, FlatResolver};
@@ -129,13 +130,20 @@ fn run_masked_inner(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Re
                 return Ok(vec![vec![]]);
             }
             let t = ctx.engine.table(table)?;
-            scan_filtered_with(&t, None, ctx, needed, Some(plan))
+            scan_filtered_with(&t, None, ctx, needed, Some(plan), None)
         }
         Plan::Filter { input, predicate } => {
             if let Plan::Scan { table, .. } = input.as_ref() {
                 let t = ctx.engine.table(table)?;
                 let cols = input.cols();
-                return scan_filtered_with(&t, Some((predicate, &cols)), ctx, needed, Some(plan));
+                return scan_filtered_with(
+                    &t,
+                    Some((predicate, &cols)),
+                    ctx,
+                    needed,
+                    Some(plan),
+                    None,
+                );
             }
             let cols = input.cols();
             let bound = bind(predicate, &resolver_of(&cols))?;
@@ -161,7 +169,7 @@ fn run_masked_inner(plan: &Plan, ctx: &ExecCtx, needed: Option<Vec<bool>>) -> Re
                 .map(|row| bound.iter().map(|b| eval(b, &row)).collect())
                 .collect()
         }
-        Plan::Join { left, right, kind, on } => run_join(left, right, *kind, on, ctx),
+        Plan::Join { left, right, kind, on } => run_join(plan, left, right, *kind, on, ctx),
         Plan::Aggregate { input, group_exprs, aggs, .. } => {
             if let Some(rows) = try_fused_aggregate(plan, input, group_exprs, aggs, ctx)? {
                 return Ok(rows);
@@ -263,8 +271,8 @@ pub(crate) fn scan_filtered(
         })
         .collect();
     match predicate {
-        Some(p) => scan_filtered_with(table, Some((p, cols.as_slice())), ctx, None, None),
-        None => scan_filtered_with(table, None, ctx, None, None),
+        Some(p) => scan_filtered_with(table, Some((p, cols.as_slice())), ctx, None, None, None),
+        None => scan_filtered_with(table, None, ctx, None, None, None),
     }
 }
 
@@ -677,6 +685,7 @@ fn scan_filtered_with(
     ctx: &ExecCtx,
     needed: Option<Vec<bool>>,
     prof_node: Option<&Plan>,
+    prefilter: Option<&ProbeFilter>,
 ) -> Result<Vec<Row>> {
     // Compile conjuncts into kernels plus a residual predicate. Forced
     // interpreter mode compiles nothing: the whole predicate is residual.
@@ -726,6 +735,10 @@ fn scan_filtered_with(
     let use_zones = engine.config.zone_maps;
     let snap = ctx.snap;
     let slices = table.slices();
+    // Late materialization: with no interpreted residual left, survivors
+    // are assembled column-at-a-time by projection kernels instead of the
+    // per-row loop. Interpreted mode keeps the row loop as the oracle.
+    let late_mat = ctx.mode == ExecMode::Vectorized && residual.is_none();
 
     // Per slice: build a block-sized selection vector of visible positions,
     // let each kernel compact it in turn, then materialize (and residual-
@@ -734,6 +747,7 @@ fn scan_filtered_with(
     let scan_one = |slice_lock: &parking_lot::RwLock<Slice>| -> Result<(Vec<Row>, u64)> {
         let slice = slice_lock.read();
         let spec: Vec<SpecKernel> = kernels.iter().map(|k| k.specialize(&slice)).collect();
+        let probe: Option<SpecProbe> = prefilter.map(|pf| pf.specialize(&slice));
         let total = slice.version_count();
         let mut out = Vec::new();
         let mut sel: Vec<u32> = Vec::with_capacity(BLOCK_ROWS.min(total));
@@ -753,23 +767,35 @@ fn scan_filtered_with(
                 }
                 k.filter(&mut sel);
             }
-            for &p in &sel {
-                let pos = p as usize;
-                let row: Row = match &mask {
-                    None => slice.row_at(pos),
-                    Some(m) => slice
-                        .columns
-                        .iter()
-                        .enumerate()
-                        .map(|(i, c)| if m[i] { c.get(pos) } else { Value::Null })
-                        .collect(),
-                };
-                if let Some(res) = &residual {
-                    if !eval_predicate(res, &row)? {
-                        continue;
-                    }
+            // The derived join-filter runs after the scan's own kernels: it
+            // only shrinks the selection, never prunes blocks, so every
+            // stats counter stays identical with and without it.
+            if let Some(p) = &probe {
+                if !sel.is_empty() {
+                    p.filter(&mut sel);
                 }
-                out.push(row);
+            }
+            if late_mat {
+                materialize_block(&slice, &sel, mask.as_deref(), &mut out);
+            } else {
+                for &p in &sel {
+                    let pos = p as usize;
+                    let row: Row = match &mask {
+                        None => slice.row_at(pos),
+                        Some(m) => slice
+                            .columns
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| if m[i] { c.get(pos) } else { Value::Null })
+                            .collect(),
+                    };
+                    if let Some(res) = &residual {
+                        if !eval_predicate(res, &row)? {
+                            continue;
+                        }
+                    }
+                    out.push(row);
+                }
             }
             engine
                 .stats
@@ -797,14 +823,37 @@ fn scan_filtered_with(
         out.extend(rows);
         batches += b;
     }
-    // A scan counts as vectorized only when at least one kernel compiled —
-    // with zero kernels every row goes through the interpreted residual.
+    // A scan counts as vectorized only when at least one kernel compiled
+    // (or a derived join-filter ran as one) — with zero kernels every row
+    // goes through the interpreted residual.
     if let (Some(prof), Some(node)) = (ctx.profile, prof_node) {
-        if !kernels.is_empty() {
+        if !kernels.is_empty() || prefilter.is_some() {
             prof.record_vectorized(node, batches);
         }
     }
     Ok(out)
+}
+
+/// Assemble output rows for one block's surviving selection with projection
+/// kernels: one typed pass per column (masked-out columns append NULL), so
+/// the per-position storage dispatch is paid once per column instead of
+/// once per value. Output is byte-identical to the per-row loop.
+fn materialize_block(slice: &Slice, sel: &[u32], mask: Option<&[bool]>, out: &mut Vec<Row>) {
+    if sel.is_empty() {
+        return;
+    }
+    let width = slice.columns.len();
+    let base = out.len();
+    out.extend(std::iter::repeat_with(|| Row::with_capacity(width)).take(sel.len()));
+    for (i, c) in slice.columns.iter().enumerate() {
+        if mask.is_none_or(|m| m[i]) {
+            c.gather_into(sel, &mut out[base..]);
+        } else {
+            for row in &mut out[base..] {
+                row.push(Value::Null);
+            }
+        }
+    }
 }
 
 /// Conjunct splitting (same shape as the host's — duplicated on purpose:
@@ -913,20 +962,283 @@ fn top_k<F: Fn(&Row, &Row) -> std::cmp::Ordering>(rows: Vec<Row>, k: usize, cmp:
     buf.into_iter().map(|(_, r)| r).collect()
 }
 
-/// Evaluate a key tuple for one row: `None` when any component is NULL (SQL
-/// join keys never match on NULL), else the tuple plus its 64-bit hash so
-/// the probe loop works with integers instead of re-hashing `Vec<Value>`s.
-fn key_of(keys: &[BoundExpr], row: &Row) -> Result<Option<(u64, Vec<Value>)>> {
-    let key: Vec<Value> = keys.iter().map(|k| eval(k, row)).collect::<Result<_>>()?;
-    if key.iter().any(Value::is_null) {
-        return Ok(None);
+/// How a join's equi-key tuple is represented during build and probe.
+/// The layout is decided *statically* from the declared column types of the
+/// key expressions — integer↔integer keys compare exactly as raw `i64` and
+/// character↔character keys as trimmed strings, matching [`Value`] equality
+/// for those type pairs — and *verified* during extraction: any value
+/// outside the layout's class falls the whole join back to the generic
+/// `Vec<Value>` representation. Exact-or-fallback, like every kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyLayout {
+    I64,
+    Str,
+    Generic,
+}
+
+/// One row's join key under a [`KeyLayout`]. Both sides of a join always
+/// share a layout, so equality never compares across variants.
+#[derive(Debug, Clone, PartialEq)]
+enum JoinKey {
+    I64(i64),
+    /// Trailing blanks already trimmed (DB2 padded CHAR comparison).
+    Str(String),
+    Row(Vec<Value>),
+}
+
+impl JoinKey {
+    /// Hash in the layout's shared domain: typed keys use the wire-level
+    /// key hashes (the same domain fleet gather summaries are built in),
+    /// generic keys keep the `Vec<Value>` hasher.
+    fn key_hash(&self) -> u64 {
+        match self {
+            JoinKey::I64(v) => key_hash_i64(*v),
+            JoinKey::Str(s) => key_hash_str(s),
+            JoinKey::Row(key) => {
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut hasher);
+                hasher.finish()
+            }
+        }
     }
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut hasher);
-    Ok(Some((hasher.finish(), key)))
+}
+
+/// One side's keys, extracted once: `None` marks a NULL key (SQL join keys
+/// never match on NULL), else the key plus its 64-bit hash.
+type Keyed = Vec<Option<(u64, JoinKey)>>;
+
+/// Declared types whose values compare exactly as raw `i64` among
+/// themselves under [`Value`] integer-family equality.
+fn int_key_type(t: idaa_common::DataType) -> bool {
+    matches!(
+        t,
+        idaa_common::DataType::SmallInt
+            | idaa_common::DataType::Integer
+            | idaa_common::DataType::BigInt
+    )
+}
+
+/// Pick the key layout a join's equi-keys admit. Only single-key joins on
+/// bare columns qualify for a typed layout: mixed-type pairs (e.g. INT vs
+/// DOUBLE) must keep full [`Value`] equality semantics, and multi-key
+/// tuples keep the generic path.
+fn key_layout(
+    lkeys: &[BoundExpr],
+    lcols: &[PlanCol],
+    rkeys: &[BoundExpr],
+    rcols: &[PlanCol],
+) -> KeyLayout {
+    if lkeys.len() != 1 {
+        return KeyLayout::Generic;
+    }
+    let (Some(li), Some(ri)) = (lkeys[0].as_column(), rkeys[0].as_column()) else {
+        return KeyLayout::Generic;
+    };
+    let lt = lcols[li].data_type;
+    let rt = rcols[ri].data_type;
+    if int_key_type(lt) && int_key_type(rt) {
+        KeyLayout::I64
+    } else if lt.is_character() && rt.is_character() {
+        KeyLayout::Str
+    } else {
+        KeyLayout::Generic
+    }
+}
+
+/// Evaluate one side's keys once, into the shared layout. Returns
+/// `Ok(None)` when a value falls outside the layout's class (the declared
+/// type lied — e.g. an expression rewrote the column) — the caller then
+/// re-extracts *both* sides generically.
+fn try_extract_keys(keys: &[BoundExpr], rows: &[Row], layout: KeyLayout) -> Result<Option<Keyed>> {
+    if layout == KeyLayout::Generic {
+        return extract_generic(keys, rows).map(Some);
+    }
+    let key_expr = &keys[0];
+    let mut out: Keyed = Vec::with_capacity(rows.len());
+    for row in rows {
+        let k = match (layout, eval(key_expr, row)?) {
+            (_, Value::Null) => None,
+            (KeyLayout::I64, Value::SmallInt(x)) => Some(JoinKey::I64(x as i64)),
+            (KeyLayout::I64, Value::Int(x)) => Some(JoinKey::I64(x as i64)),
+            (KeyLayout::I64, Value::BigInt(x)) => Some(JoinKey::I64(x)),
+            (KeyLayout::Str, Value::Varchar(mut s)) => {
+                s.truncate(s.trim_end_matches(' ').len());
+                Some(JoinKey::Str(s))
+            }
+            _ => return Ok(None),
+        };
+        out.push(k.map(|k| (k.key_hash(), k)));
+    }
+    Ok(Some(out))
+}
+
+/// Generic key extraction: the full `Vec<Value>` tuple per row, evaluated
+/// once per side (never re-hashed per probe).
+fn extract_generic(keys: &[BoundExpr], rows: &[Row]) -> Result<Keyed> {
+    rows.iter()
+        .map(|row| {
+            let key: Vec<Value> = keys.iter().map(|k| eval(k, row)).collect::<Result<_>>()?;
+            if key.iter().any(Value::is_null) {
+                return Ok(None);
+            }
+            let k = JoinKey::Row(key);
+            Ok(Some((k.key_hash(), k)))
+        })
+        .collect()
+}
+
+/// A derived join-filter pushed into the probe-side scan: the build side's
+/// key digest applied to the probe key column as one more selection-vector
+/// filter. It runs after the scan's compiled kernels and never prunes
+/// blocks, so `blocks_scanned`/`blocks_pruned`/`rows_scanned` stay
+/// byte-identical with and without it; the digest only ever false-positives
+/// (an inserted key always tests present), so on an INNER join it can only
+/// drop probe rows that could never match.
+struct ProbeFilter {
+    /// Probe key ordinal in the scan's schema.
+    col: usize,
+    summary: KeySummary,
+}
+
+/// A [`ProbeFilter`] resolved against one slice's physical column vectors.
+enum SpecProbe<'s> {
+    I64 { vals: &'s [i64], nulls: &'s NullMap, summary: &'s KeySummary },
+    /// Dictionary columns test each distinct value once, then filter rows
+    /// by code through the precomputed keep table.
+    Dict { codes: &'s [u32], nulls: &'s NullMap, keep: Vec<bool> },
+    Generic { col: &'s Column, summary: &'s KeySummary },
+}
+
+impl ProbeFilter {
+    fn specialize<'s>(&'s self, slice: &'s Slice) -> SpecProbe<'s> {
+        let c = &slice.columns[self.col];
+        if let Some(vals) = c.i64_data() {
+            if int_key_type(c.data_type) {
+                return SpecProbe::I64 { vals, nulls: &c.nulls, summary: &self.summary };
+            }
+        }
+        if let (Some(codes), Some(dict)) = (c.str_codes(), c.dictionary()) {
+            let keep = dict.iter().map(|v| self.summary.contains_str(v)).collect();
+            return SpecProbe::Dict { codes, nulls: &c.nulls, keep };
+        }
+        SpecProbe::Generic { col: c, summary: &self.summary }
+    }
+}
+
+impl SpecProbe<'_> {
+    /// Drop selected positions whose key provably matches no build key.
+    /// NULL probe keys never join, so they drop too (INNER-only pushdown).
+    fn filter(&self, sel: &mut Vec<u32>) {
+        match self {
+            SpecProbe::I64 { vals, nulls, summary } => {
+                compact(sel, |p| !nulls.is_null(p) && summary.contains_i64(vals[p]))
+            }
+            SpecProbe::Dict { codes, nulls, keep } => {
+                compact(sel, |p| !nulls.is_null(p) && keep[codes[p] as usize])
+            }
+            SpecProbe::Generic { col, summary } => {
+                compact(sel, |p| summary.matches_value(&col.get(p)))
+            }
+        }
+    }
+}
+
+/// Is this plan a bare (possibly filtered) scan the derived join-filter can
+/// push into?
+fn probe_is_scan(plan: &Plan) -> bool {
+    match plan {
+        Plan::Scan { .. } => true,
+        Plan::Filter { input, .. } => matches!(input.as_ref(), Plan::Scan { .. }),
+        _ => false,
+    }
+}
+
+/// Split an ON predicate into equi-key pairs bindable against the two
+/// sides. Returns the key expression lists plus the total conjunct count
+/// (equal lengths mean key equality covers the whole predicate).
+fn equi_keys(
+    on: &Expr,
+    lres: &FlatResolver,
+    rres: &FlatResolver,
+) -> (Vec<BoundExpr>, Vec<BoundExpr>, usize) {
+    let conjs = idaa_host_conjuncts(on);
+    let total = conjs.len();
+    let mut lkeys: Vec<BoundExpr> = Vec::new();
+    let mut rkeys: Vec<BoundExpr> = Vec::new();
+    for conj in conjs {
+        if let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = conj {
+            if let (Ok(la), Ok(rb)) = (bind(a, lres), bind(b, rres)) {
+                lkeys.push(la);
+                rkeys.push(rb);
+                continue;
+            }
+            if let (Ok(lb), Ok(ra)) = (bind(b, lres), bind(a, rres)) {
+                lkeys.push(lb);
+                rkeys.push(ra);
+            }
+        }
+    }
+    (lkeys, rkeys, total)
+}
+
+/// Digest the build side's keys for probe-side pushdown. Only INNER joins
+/// with a typed layout over a plain (possibly filtered) probe-side scan
+/// qualify: LEFT joins must see every probe row to null-extend, and the
+/// interpreted oracle pushes nothing.
+fn derive_probe_filter(
+    left: &Plan,
+    lkeys: &[BoundExpr],
+    layout: KeyLayout,
+    kind: JoinKind,
+    mode: ExecMode,
+    rkeyed: &Keyed,
+) -> Option<ProbeFilter> {
+    if kind != JoinKind::Inner
+        || mode != ExecMode::Vectorized
+        || layout == KeyLayout::Generic
+        || !probe_is_scan(left)
+    {
+        return None;
+    }
+    let col = lkeys[0].as_column()?;
+    let mut summary = KeySummary::with_capacity(rkeyed.len());
+    for (_, key) in rkeyed.iter().flatten() {
+        match key {
+            JoinKey::I64(v) => summary.insert_i64(*v),
+            JoinKey::Str(s) => summary.insert_str(s),
+            JoinKey::Row(_) => return None,
+        }
+    }
+    Some(ProbeFilter { col, summary })
+}
+
+/// Execute the probe side of a join with a derived join-filter pushed into
+/// its scan (shapes pre-checked by [`derive_probe_filter`]; anything else
+/// falls back to the plain path).
+fn run_probe_scan(left: &Plan, ctx: &ExecCtx, pf: &ProbeFilter) -> Result<Vec<Row>> {
+    let rows = match left {
+        Plan::Scan { table, .. } => {
+            let t = ctx.engine.table(table)?;
+            scan_filtered_with(&t, None, ctx, None, Some(left), Some(pf))?
+        }
+        Plan::Filter { input, predicate }
+            if matches!(input.as_ref(), Plan::Scan { .. }) =>
+        {
+            let Plan::Scan { table, .. } = input.as_ref() else { unreachable!() };
+            let t = ctx.engine.table(table)?;
+            let cols = input.cols();
+            scan_filtered_with(&t, Some((predicate, &cols)), ctx, None, Some(left), Some(pf))?
+        }
+        _ => return run_masked(left, ctx, None),
+    };
+    if let Some(prof) = ctx.profile {
+        prof.record(left, rows.len() as u64);
+    }
+    Ok(rows)
 }
 
 fn run_join(
+    plan: &Plan,
     left: &Plan,
     right: &Plan,
     kind: JoinKind,
@@ -940,62 +1252,81 @@ fn run_join(
     let combined = lres.concat(&rres);
     let bound_on = bind(on, &combined)?;
 
-    let lrows = run_masked(left, ctx, None)?;
-    let rrows = run_masked(right, ctx, None)?;
-
-    let conjs = idaa_host_conjuncts(on);
-    let total_conjs = conjs.len();
-    let mut lkeys: Vec<BoundExpr> = Vec::new();
-    let mut rkeys: Vec<BoundExpr> = Vec::new();
-    for conj in conjs {
-        if let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = conj {
-            if let (Ok(la), Ok(rb)) = (bind(a, &lres), bind(b, &rres)) {
-                lkeys.push(la);
-                rkeys.push(rb);
-                continue;
-            }
-            if let (Ok(lb), Ok(ra)) = (bind(b, &lres), bind(a, &rres)) {
-                lkeys.push(lb);
-                rkeys.push(ra);
-            }
-        }
-    }
+    let (lkeys, rkeys, total_conjs) = equi_keys(on, &lres, &rres);
     // When every ON conjunct became an equi-key pair, key equality *is* the
     // whole predicate — matched candidates skip the per-row ON re-check.
     let on_covered = lkeys.len() == total_conjs;
 
     let rwidth = rcols.len();
     let workers = ctx.engine.config.workers();
+
+    // Build side (right) first: its finished key digest can pre-filter the
+    // probe-side scan before any probe row materializes.
+    let rrows = run_masked(right, ctx, None)?;
+
     if lkeys.is_empty() {
-        nested_loop_join(&lrows, &rrows, kind, &bound_on, rwidth, workers)
-    } else {
-        let residual_on = if on_covered { None } else { Some(&bound_on) };
-        hash_join(&lrows, &rrows, kind, &lkeys, &rkeys, residual_on, rwidth, workers)
+        let lrows = run_masked(left, ctx, None)?;
+        return nested_loop_join(&lrows, &rrows, kind, &bound_on, rwidth, workers);
     }
+
+    let mut layout = key_layout(&lkeys, &lcols, &rkeys, &rcols);
+    let mut rkeyed = match try_extract_keys(&rkeys, &rrows, layout)? {
+        Some(k) => k,
+        None => {
+            layout = KeyLayout::Generic;
+            extract_generic(&rkeys, &rrows)?
+        }
+    };
+
+    let prefilter = derive_probe_filter(left, &lkeys, layout, kind, ctx.mode, &rkeyed);
+    let lrows = match &prefilter {
+        Some(pf) => run_probe_scan(left, ctx, pf)?,
+        None => run_masked(left, ctx, None)?,
+    };
+
+    let lkeyed = match try_extract_keys(&lkeys, &lrows, layout)? {
+        Some(k) => k,
+        None => {
+            // A probe value fell outside the layout class. This can only
+            // happen when no filter was pushed (a typed layout over a bare
+            // scan column always yields in-class values), so re-extracting
+            // both sides generically is safe and exact.
+            rkeyed = extract_generic(&rkeys, &rrows)?;
+            extract_generic(&lkeys, &lrows)?
+        }
+    };
+
+    let residual_on = if on_covered { None } else { Some(&bound_on) };
+    let (out, bloom_skipped) =
+        hash_join(&lrows, &rrows, kind, &lkeyed, &rkeyed, residual_on, rwidth, workers)?;
+    if let Some(prof) = ctx.profile {
+        prof.record_bloom(plan, bloom_skipped);
+    }
+    Ok(out)
 }
 
-/// Partitioned parallel hash join: both sides are split by key hash across
-/// the worker pool, each partition builds and probes independently, and
-/// partition outputs concatenate in partition order (deterministic for a
-/// given configuration). LEFT-join padding stays correct because a probe
-/// row's key maps it to exactly one partition; probe rows with NULL keys
-/// ride along in partition 0 and can only null-extend.
+/// Partitioned parallel hash join over pre-extracted keys: both sides are
+/// split by key hash across the worker pool, each partition builds a hash
+/// table *and a Bloom filter* over its build keys and probes independently,
+/// and partition outputs concatenate in partition order (deterministic for
+/// a given configuration). The Bloom filter is consulted before any hash
+/// table lookup; it only ever false-positives, so skipped probes are
+/// exactly the hash-table misses (the second returned value counts them).
+/// LEFT-join padding stays correct because a probe row's key maps it to
+/// exactly one partition — a Bloom skip leaves `matched` false and the row
+/// null-extends in place; probe rows with NULL keys ride along in
+/// partition 0 and can only null-extend.
 #[allow(clippy::too_many_arguments)]
 fn hash_join(
     lrows: &[Row],
     rrows: &[Row],
     kind: JoinKind,
-    lkeys: &[BoundExpr],
-    rkeys: &[BoundExpr],
+    lkeyed: &Keyed,
+    rkeyed: &Keyed,
     residual_on: Option<&BoundExpr>,
     rwidth: usize,
     workers: usize,
-) -> Result<Vec<Row>> {
-    let rkeyed: Vec<Option<(u64, Vec<Value>)>> =
-        rrows.iter().map(|r| key_of(rkeys, r)).collect::<Result<_>>()?;
-    let lkeyed: Vec<Option<(u64, Vec<Value>)>> =
-        lrows.iter().map(|r| key_of(lkeys, r)).collect::<Result<_>>()?;
-
+) -> Result<(Vec<Row>, u64)> {
     let parts = workers.clamp(1, lrows.len().max(1));
     let mut build_parts: Vec<Vec<usize>> = vec![Vec::new(); parts];
     for (i, k) in rkeyed.iter().enumerate() {
@@ -1009,18 +1340,23 @@ fn hash_join(
         probe_parts[(h % parts as u64) as usize].push(i);
     }
 
-    let results = run_parts(parts, |p| -> Result<Vec<Row>> {
+    let results = run_parts(parts, |p| -> Result<(Vec<Row>, u64)> {
         let mut table: HashMap<u64, Vec<usize>> =
             HashMap::with_capacity(build_parts[p].len());
+        let mut bloom = KeySummary::with_capacity(build_parts[p].len());
         for &ri in &build_parts[p] {
             let (h, _) = rkeyed[ri].as_ref().expect("build partitions hold keyed rows");
+            bloom.insert_hash(*h);
             table.entry(*h).or_default().push(ri);
         }
         let mut out = Vec::new();
+        let mut skipped = 0u64;
         for &li in &probe_parts[p] {
             let mut matched = false;
             if let Some((h, key)) = &lkeyed[li] {
-                if let Some(cands) = table.get(h) {
+                if !bloom.might_contain(*h) {
+                    skipped += 1;
+                } else if let Some(cands) = table.get(h) {
                     for &ri in cands {
                         let (_, rkey) = rkeyed[ri].as_ref().expect("keyed");
                         if rkey != key {
@@ -1044,13 +1380,16 @@ fn hash_join(
                 out.push(j);
             }
         }
-        Ok(out)
+        Ok((out, skipped))
     });
     let mut out = Vec::new();
+    let mut skipped = 0u64;
     for r in results {
-        out.extend(r?);
+        let (rows, s) = r?;
+        out.extend(rows);
+        skipped += s;
     }
-    Ok(out)
+    Ok((out, skipped))
 }
 
 /// Nested-loop join for non-equi conditions, parallelized over contiguous
@@ -1410,8 +1749,46 @@ pub fn describe_pipeline(plan: &Plan, engine: &AccelEngine) -> String {
     if let Some(desc) = find_fused(plan, engine) {
         return desc;
     }
+    if let Some(desc) = find_join(plan) {
+        return desc;
+    }
     describe_scan(plan, engine)
         .unwrap_or_else(|| "interpreted (no batch-eligible scan)".to_string())
+}
+
+/// Report on the first join in the tree, mirroring `run_join`'s static
+/// decisions: equi-key extraction, declared-type key layout, Bloom-guarded
+/// probe, and whether the build digest pushes into the probe scan as a
+/// derived join-filter.
+fn find_join(plan: &Plan) -> Option<String> {
+    if let Plan::Join { left, right, kind, on } = plan {
+        let lcols = left.cols();
+        let rcols = right.cols();
+        let lres = resolver_of(&lcols);
+        let rres = resolver_of(&rcols);
+        let (lkeys, rkeys, _) = equi_keys(on, &lres, &rres);
+        if lkeys.is_empty() {
+            return Some("interpreted (nested-loop join)".to_string());
+        }
+        let layout = key_layout(&lkeys, &lcols, &rkeys, &rcols);
+        let keys = match layout {
+            KeyLayout::I64 => "typed i64 keys",
+            KeyLayout::Str => "typed string keys",
+            KeyLayout::Generic => "generic keys",
+        };
+        let pushdown =
+            layout != KeyLayout::Generic && *kind == JoinKind::Inner && probe_is_scan(left);
+        return Some(match (layout, pushdown) {
+            (KeyLayout::Generic, _) => {
+                format!("interpreted (hash join: {keys}, bloom-guarded probe)")
+            }
+            (_, true) => format!(
+                "vectorized (hash join: {keys}, bloom-guarded probe, derived probe filter)"
+            ),
+            (_, false) => format!("vectorized (hash join: {keys}, bloom-guarded probe)"),
+        });
+    }
+    plan.children().into_iter().find_map(find_join)
 }
 
 /// Find the first aggregate in the tree that would take the fused path
@@ -1886,6 +2263,27 @@ mod tests {
         }
     }
 
+    /// Extract both sides under `layout`, with the whole-join generic
+    /// fallback `run_join` applies when a value falls outside the class.
+    fn extract_both(
+        lkeys: &[BoundExpr],
+        lrows: &[Row],
+        rkeys: &[BoundExpr],
+        rrows: &[Row],
+        layout: KeyLayout,
+    ) -> (Keyed, Keyed) {
+        match (
+            try_extract_keys(lkeys, lrows, layout).unwrap(),
+            try_extract_keys(rkeys, rrows, layout).unwrap(),
+        ) {
+            (Some(l), Some(r)) => (l, r),
+            _ => (
+                extract_generic(lkeys, lrows).unwrap(),
+                extract_generic(rkeys, rrows).unwrap(),
+            ),
+        }
+    }
+
     #[test]
     fn hash_join_parallel_matches_serial() {
         let mut lrows = synth_rows(400, 1, 37);
@@ -1900,24 +2298,242 @@ mod tests {
         }
         let lkeys = [BoundExpr::Column(0)];
         let rkeys = [BoundExpr::Column(0)];
-        for kind in [JoinKind::Inner, JoinKind::Left] {
-            let serial =
-                hash_join(&lrows, &rrows, kind, &lkeys, &rkeys, None, 2, 1).unwrap();
-            for workers in [2, 4, 8] {
-                let par =
-                    hash_join(&lrows, &rrows, kind, &lkeys, &rkeys, None, 2, workers)
-                        .unwrap();
-                // Partition concatenation order differs from serial row
-                // order, but the multiset of joined rows is identical.
-                assert_eq!(canon(par), canon(serial.clone()), "{kind:?} workers={workers}");
+        for layout in [KeyLayout::I64, KeyLayout::Generic] {
+            let (lkeyed, rkeyed) = extract_both(&lkeys, &lrows, &rkeys, &rrows, layout);
+            for kind in [JoinKind::Inner, JoinKind::Left] {
+                let (serial, _) =
+                    hash_join(&lrows, &rrows, kind, &lkeyed, &rkeyed, None, 2, 1).unwrap();
+                for workers in [2, 4, 8] {
+                    let (par, _) =
+                        hash_join(&lrows, &rrows, kind, &lkeyed, &rkeyed, None, 2, workers)
+                            .unwrap();
+                    // Partition concatenation order differs from serial row
+                    // order, but the multiset of joined rows is identical.
+                    assert_eq!(
+                        canon(par),
+                        canon(serial.clone()),
+                        "{layout:?} {kind:?} workers={workers}"
+                    );
+                }
+                if kind == JoinKind::Left {
+                    let padded = serial
+                        .iter()
+                        .filter(|r| r[2] == Value::Null && r[3] == Value::Null)
+                        .count();
+                    assert!(padded > 0, "expected null-extended probe rows");
+                }
             }
-            if kind == JoinKind::Left {
-                let padded = serial
-                    .iter()
-                    .filter(|r| r[2] == Value::Null && r[3] == Value::Null)
-                    .count();
-                assert!(padded > 0, "expected null-extended probe rows");
+        }
+    }
+
+    /// Row-at-a-time oracle from the join's defining semantics: probe rows
+    /// in input order, each matched against build rows in input order, NULL
+    /// keys never matching, LEFT padding in place.
+    fn oracle_join(lrows: &[Row], rrows: &[Row], kind: JoinKind) -> Vec<Row> {
+        let mut out = Vec::new();
+        for lrow in lrows {
+            let mut matched = false;
+            for rrow in rrows {
+                if lrow[0] == Value::Null || rrow[0] == Value::Null || lrow[0] != rrow[0] {
+                    continue;
+                }
+                let mut j = lrow.clone();
+                j.extend(rrow.iter().cloned());
+                matched = true;
+                out.push(j);
             }
+            if !matched && kind == JoinKind::Left {
+                let mut j = lrow.clone();
+                j.extend(std::iter::repeat_n(Value::Null, 2));
+                out.push(j);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hash_join_serial_output_order_is_pinned() {
+        let mut lrows = synth_rows(150, 9, 13);
+        let mut rrows = synth_rows(120, 10, 13);
+        for i in (0..rrows.len()).step_by(17) {
+            rrows[i][0] = Value::Null;
+        }
+        for i in (0..lrows.len()).step_by(19) {
+            lrows[i][0] = Value::Null;
+        }
+        let keys = [BoundExpr::Column(0)];
+        for layout in [KeyLayout::I64, KeyLayout::Generic] {
+            let (lkeyed, rkeyed) = extract_both(&keys, &lrows, &keys, &rrows, layout);
+            for kind in [JoinKind::Inner, JoinKind::Left] {
+                // One partition ⇒ byte-identical to the nested oracle, not
+                // just the same multiset: probe order, then build order.
+                let (got, _) =
+                    hash_join(&lrows, &rrows, kind, &lkeyed, &rkeyed, None, 2, 1).unwrap();
+                assert_eq!(got, oracle_join(&lrows, &rrows, kind), "{layout:?} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn typed_key_extraction_falls_back_on_layout_violation() {
+        let keys = [BoundExpr::Column(0)];
+        // A Double value under the I64 layout: the whole side refuses.
+        let rows = vec![vec![Value::BigInt(1)], vec![Value::Double(2.5)]];
+        assert!(try_extract_keys(&keys, &rows, KeyLayout::I64).unwrap().is_none());
+        // A number under the Str layout likewise.
+        let rows = vec![vec![Value::Varchar("a".into())], vec![Value::Int(3)]];
+        assert!(try_extract_keys(&keys, &rows, KeyLayout::Str).unwrap().is_none());
+        // The generic layout accepts anything.
+        let rows = vec![vec![Value::BigInt(1)], vec![Value::Double(2.5)], vec![Value::Null]];
+        let keyed = try_extract_keys(&keys, &rows, KeyLayout::Generic).unwrap().unwrap();
+        assert!(keyed[0].is_some() && keyed[1].is_some() && keyed[2].is_none());
+    }
+
+    #[test]
+    fn string_keys_join_with_db2_padded_semantics() {
+        // 'EU' must join 'EU  ' under both the typed and generic layouts,
+        // exactly like Value equality for CHAR-family pairs.
+        let lrows: Vec<Row> =
+            vec![vec![Value::Varchar("EU".into())], vec![Value::Varchar("US ".into())]];
+        let rrows: Vec<Row> =
+            vec![vec![Value::Varchar("EU  ".into())], vec![Value::Varchar("ASIA".into())]];
+        let keys = [BoundExpr::Column(0)];
+        let mut outs = Vec::new();
+        for layout in [KeyLayout::Str, KeyLayout::Generic] {
+            let (lkeyed, rkeyed) = extract_both(&keys, &lrows, &keys, &rrows, layout);
+            let (out, _) =
+                hash_join(&lrows, &rrows, JoinKind::Inner, &lkeyed, &rkeyed, None, 1, 1)
+                    .unwrap();
+            outs.push(out);
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0].len(), 1);
+        assert_eq!(outs[0][0][0], Value::Varchar("EU".into()));
+    }
+
+    #[test]
+    fn probe_filter_drops_only_never_matching_rows() {
+        let table = AccelTable::new(
+            ObjectName::bare("T"),
+            Schema::new(vec![
+                ColumnDef::new("K", DataType::BigInt),
+                ColumnDef::new("S", DataType::Varchar(8)),
+            ])
+            .unwrap(),
+            vec![],
+            1,
+        );
+        let mut rows: Vec<Row> = Vec::new();
+        for i in 0..500i64 {
+            let k = if i % 23 == 0 { Value::Null } else { Value::BigInt(i % 90) };
+            let s = if i % 31 == 0 {
+                Value::Null
+            } else {
+                Value::Varchar(format!("V{}", i % 60))
+            };
+            rows.push(vec![k, s]);
+        }
+        let checked: Vec<Row> =
+            rows.iter().map(|r| table.schema.check_row(r).unwrap()).collect();
+        table.insert_bulk(&checked, 1).unwrap();
+
+        // Build-side keys 0..40 on the i64 column, V0..V25 on the dict one.
+        let mut int_summary = KeySummary::with_capacity(40);
+        for v in 0..40i64 {
+            int_summary.insert_i64(v);
+        }
+        let mut str_summary = KeySummary::with_capacity(25);
+        for v in 0..25 {
+            str_summary.insert_str(&format!("V{v}"));
+        }
+        let slice = table.slices()[0].read();
+        for (pf, matches) in [
+            (
+                ProbeFilter { col: 0, summary: int_summary },
+                (0..rows.len())
+                    .filter(|&p| matches!(rows[p][0], Value::BigInt(v) if v < 40))
+                    .collect::<Vec<usize>>(),
+            ),
+            (
+                ProbeFilter { col: 1, summary: str_summary },
+                (0..rows.len())
+                    .filter(|&p| match &rows[p][1] {
+                        Value::Varchar(s) => {
+                            s[1..].parse::<i64>().expect("V<number>") < 25
+                        }
+                        _ => false,
+                    })
+                    .collect::<Vec<usize>>(),
+            ),
+        ] {
+            let spec = pf.specialize(&slice);
+            let mut sel: Vec<u32> = (0..rows.len() as u32).collect();
+            spec.filter(&mut sel);
+            // No false negatives: every truly matching position survives,
+            // in ascending order; NULLs always drop.
+            for &p in &matches {
+                assert!(sel.binary_search(&(p as u32)).is_ok(), "dropped true match {p}");
+            }
+            for &p in &sel {
+                assert!(rows[p as usize][pf.col] != Value::Null, "kept a NULL key");
+            }
+            assert!(sel.windows(2).all(|w| w[0] < w[1]), "selection not ascending");
+        }
+    }
+
+    #[test]
+    fn materialize_block_matches_per_row_get() {
+        let table = AccelTable::new(
+            ObjectName::bare("T"),
+            Schema::new(vec![
+                ColumnDef::new("I", DataType::Integer),
+                ColumnDef::new("D", DataType::Double),
+                ColumnDef::new("N", DataType::Decimal(7, 2)),
+                ColumnDef::new("S", DataType::Varchar(8)),
+            ])
+            .unwrap(),
+            vec![],
+            1,
+        );
+        let mut rows: Vec<Row> = Vec::new();
+        for i in 0..40i64 {
+            rows.push(vec![
+                if i % 5 == 0 { Value::Null } else { Value::Int(i as i32 - 7) },
+                if i % 7 == 0 { Value::Null } else { Value::Double(i as f64 * 0.5) },
+                if i % 9 == 0 {
+                    Value::Null
+                } else {
+                    Value::Decimal(idaa_common::Decimal::new((i * 125) as i128, 2))
+                },
+                if i % 4 == 0 { Value::Null } else { Value::Varchar(format!("s{}", i % 6)) },
+            ]);
+        }
+        let checked: Vec<Row> =
+            rows.iter().map(|r| table.schema.check_row(r).unwrap()).collect();
+        table.insert_bulk(&checked, 1).unwrap();
+        let slice = table.slices()[0].read();
+        let sel: Vec<u32> = (0..rows.len() as u32).step_by(3).collect();
+        for mask in [None, Some(vec![true, false, true, false])] {
+            let mut got: Vec<Row> = Vec::new();
+            materialize_block(&slice, &sel, mask.as_deref(), &mut got);
+            let expect: Vec<Row> = sel
+                .iter()
+                .map(|&p| {
+                    slice
+                        .columns
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            if mask.as_ref().is_none_or(|m| m[i]) {
+                                c.get(p as usize)
+                            } else {
+                                Value::Null
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            assert_eq!(got, expect, "mask={mask:?}");
         }
     }
 

@@ -1,9 +1,9 @@
 //! Criterion microbench for experiment E13: partitioned parallel hash
 //! join, parallel sort, and fused top-K on the accelerator, swept over the
-//! worker count.
+//! worker count — plus the E20 vectorized-vs-interpreted join pair.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use idaa_accel::{AccelConfig, AccelEngine};
+use idaa_accel::{AccelConfig, AccelEngine, ExecMode};
 use idaa_common::{ColumnDef, DataType, ObjectName, Schema, Value};
 use idaa_sql::{parse_statement, Statement};
 
@@ -54,5 +54,22 @@ fn bench_join(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_join);
+/// E20 pair: the same join executed through the vectorized pipeline (typed
+/// keys, Bloom-guarded probe, derived probe filter, late materialization)
+/// and through the row-at-a-time interpreter it must agree with.
+fn bench_join_modes(c: &mut Criterion) {
+    let Statement::Query(q) = parse_statement(JOIN).unwrap() else { unreachable!() };
+    let engine = build(4);
+    let mut group = c.benchmark_group("hash_join_exec_mode");
+    group.sample_size(10);
+    for (label, mode) in [("vectorized", ExecMode::Vectorized), ("interpreted", ExecMode::Interpreted)]
+    {
+        group.bench_with_input(BenchmarkId::new("mode", label), &mode, |b, mode| {
+            b.iter(|| engine.query_with_mode(0, &q, *mode).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_join_modes);
 criterion_main!(benches);

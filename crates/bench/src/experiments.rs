@@ -1,4 +1,4 @@
-//! The experiment suite E1–E19 (see DESIGN.md for the index and
+//! The experiment suite E1–E20 (see DESIGN.md for the index and
 //! EXPERIMENTS.md for recorded results). Each function regenerates one
 //! table of the evaluation.
 
@@ -11,7 +11,7 @@ use idaa_loader::{EventSource, LoadTarget, Loader};
 use idaa_sql::Privilege;
 use std::time::Instant;
 
-/// Run one experiment by id (`e1`…`e19`) or `all`.
+/// Run one experiment by id (`e1`…`e20`) or `all`.
 pub fn run(id: &str) -> bool {
     match id.to_ascii_lowercase().as_str() {
         "e1" => e1_offload_crossover(),
@@ -33,6 +33,7 @@ pub fn run(id: &str) -> bool {
         "e17" => e17_trace_overhead(),
         "e18" => e18_vectorized_kernels(),
         "e19" => e19_fleet_failover(),
+        "e20" => e20_join_kernels_and_pushdown(),
         "all" => {
             for e in [
                 e1_offload_crossover,
@@ -54,6 +55,7 @@ pub fn run(id: &str) -> bool {
                 e17_trace_overhead,
                 e18_vectorized_kernels,
                 e19_fleet_failover,
+                e20_join_kernels_and_pushdown,
             ] {
                 e();
                 println!();
@@ -1426,5 +1428,155 @@ pub fn e19_fleet_failover() {
          waits out the restart; at factor >= 2 the gather retargets a replica with no \
          application-visible error, and the failover latency instead absorbs the crashed \
          node's in-statement restart plus its metered catch-up copy."
+    );
+}
+
+/// E20 — late-materialized vectorized joins and Bloom-guarded gathers.
+/// Part 1 pairs the vectorized join pipeline (typed keys, Bloom-guarded
+/// probe, derived probe filter pushed into the scan, late materialization)
+/// against the row-at-a-time interpreter it must agree with bit for bit,
+/// and reports the compiled-plan cache's hit/miss split across the
+/// repetitions. Part 2 runs a sharded-probe ⋈ replicated-build join on a
+/// fleet with the gather pushdown on and off: the answer is identical, only
+/// the gather traffic changes.
+pub fn e20_join_kernels_and_pushdown() {
+    banner(
+        "E20",
+        "late-materialized vectorized joins: typed keys + probe filter vs interpreter, \
+         plan cache, fleet Bloom gathers",
+    );
+    use idaa_accel::{AccelConfig, AccelEngine, ExecMode};
+    use idaa_common::{ColumnDef, DataType, ObjectName, Schema, Value};
+    use idaa_core::FleetConfig;
+    use idaa_sql::{parse_statement, Statement};
+    use std::sync::atomic::Ordering;
+
+    let mut table = Table::new(&[
+        "fact_rows", "dim_rows", "reps", "interp_ms", "vector_ms", "speedup", "cache", "rows_out",
+    ]);
+    for &n in &[100_000usize, 400_000, 1_600_000] {
+        let engine = AccelEngine::new(
+            "APP",
+            AccelConfig { slices: 4, zone_maps: true, parallel: false, parallelism: 0 },
+        );
+        let fact_schema = Schema::new(vec![
+            ColumnDef::new("K", DataType::BigInt),
+            ColumnDef::new("V", DataType::BigInt),
+            ColumnDef::new("G", DataType::Varchar(4)),
+        ])
+        .unwrap();
+        let dim_schema = Schema::new(vec![
+            ColumnDef::new("K", DataType::BigInt),
+            ColumnDef::new("NAME", DataType::Varchar(4)),
+        ])
+        .unwrap();
+        engine.create_table(&ObjectName::bare("FACT"), fact_schema, &[]).unwrap();
+        engine.create_table(&ObjectName::bare("DIM"), dim_schema, &[]).unwrap();
+        let fact: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::BigInt((i * 2_654_435_761 % n) as i64),
+                    Value::BigInt((i % 997) as i64),
+                    Value::Varchar(["eu", "us", "ap", "la"][i % 4].into()),
+                ]
+            })
+            .collect();
+        // A sparse dimension: ~2000 of the n fact keys can join, so the
+        // derived probe filter drops almost every probe row before
+        // materialization; the interpreter must evaluate them all.
+        let dims = 2000usize;
+        let dim: Vec<Vec<Value>> = (0..dims)
+            .map(|i| {
+                vec![
+                    Value::BigInt((i * (n / dims)) as i64),
+                    Value::Varchar(["eu", "us", "ap", "la"][i % 4].into()),
+                ]
+            })
+            .collect();
+        engine.load_committed(&ObjectName::bare("FACT"), fact).unwrap();
+        engine.load_committed(&ObjectName::bare("DIM"), dim).unwrap();
+        let sql = "SELECT COUNT(*), SUM(f.v) FROM fact f INNER JOIN dim d ON f.k = d.k \
+                   WHERE f.v <> 13";
+        let Statement::Query(q) = parse_statement(sql).unwrap() else { unreachable!() };
+        let reps = 5u32;
+        let mut walls = Vec::new();
+        let mut out = Vec::new();
+        for mode in [ExecMode::Interpreted, ExecMode::Vectorized] {
+            let t0 = Instant::now();
+            let mut rows = Vec::new();
+            for _ in 0..reps {
+                rows = engine.query_with_mode(0, &q, mode).unwrap().rows;
+            }
+            walls.push(t0.elapsed());
+            out.push(rows);
+        }
+        assert_eq!(out[0], out[1], "join modes must agree bit for bit");
+        let hits = engine.stats.plan_cache_hits.load(Ordering::Relaxed);
+        let misses = engine.stats.plan_cache_misses.load(Ordering::Relaxed);
+        table.row(&[
+            n.to_string(),
+            dims.to_string(),
+            reps.to_string(),
+            ms(walls[0]),
+            ms(walls[1]),
+            format!("{:.1}x", walls[0].as_secs_f64() / walls[1].as_secs_f64()),
+            format!("{hits}h/{misses}m"),
+            out[1].len().to_string(),
+        ]);
+    }
+    table.print();
+
+    let mut fleet_table = Table::new(&[
+        "pushdown", "probe_rows", "dim_rows", "rows_out", "stmt_to_accel", "gather_to_host",
+    ]);
+    let mut answers = Vec::new();
+    for pushdown in [false, true] {
+        let (idaa, mut s) = system(IdaaConfig {
+            fleet: FleetConfig {
+                accelerators: 3,
+                shards: 4,
+                replication_factor: 2,
+                join_pushdown: pushdown,
+                ..FleetConfig::default()
+            },
+            ..IdaaConfig::default()
+        });
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE FJOIN (X INT NOT NULL, G VARCHAR(2)) IN ACCELERATOR \
+             DISTRIBUTE BY HASH(X)",
+        )
+        .unwrap();
+        let vals: Vec<String> =
+            (0..4000).map(|i| format!("({i}, '{}')", ["a", "b"][i % 2])).collect();
+        for chunk in vals.chunks(500) {
+            idaa.execute(&mut s, &format!("INSERT INTO FJOIN VALUES {}", chunk.join(", ")))
+                .unwrap();
+        }
+        idaa.execute(&mut s, "CREATE TABLE FDIM (X INT NOT NULL, NAME VARCHAR(4))").unwrap();
+        let dims: Vec<String> = (0..40).map(|i| format!("({}, 'D{:02}')", i * 100, i)).collect();
+        idaa.execute(&mut s, &format!("INSERT INTO FDIM VALUES {}", dims.join(", "))).unwrap();
+        accelerate(&idaa, &mut s, "FDIM");
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        let join = "SELECT f.x, d.name FROM fjoin f INNER JOIN fdim d ON f.x = d.x \
+                    ORDER BY f.x, d.name";
+        let (rows, _, delta) = measure(&idaa, || idaa.query(&mut s, join).unwrap());
+        fleet_table.row(&[
+            if pushdown { "on" } else { "off" }.to_string(),
+            "4000".to_string(),
+            "40".to_string(),
+            rows.len().to_string(),
+            fmt_bytes(delta.bytes_to_accel),
+            fmt_bytes(delta.bytes_to_host),
+        ]);
+        answers.push(rows.rows);
+    }
+    assert_eq!(answers[0], answers[1], "gather pushdown must never change the answer");
+    fleet_table.print();
+    println!(
+        "note: both tables are byte-stable except *_ms and speedup — the join result, the \
+         cache hit/miss split, and the gather byte counts are deterministic; pushdown=on \
+         charges the shipped key summary on the request leg and drops non-joining probe \
+         rows before the reply frame is encoded."
     );
 }

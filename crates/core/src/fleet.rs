@@ -26,7 +26,7 @@ use idaa_common::trace::Trace;
 use idaa_common::{wire, Error, ObjectName, Result, Row, Rows, Schema, Value};
 use idaa_host::TxnId;
 use idaa_netsim::{sites, Direction, FaultRegistry, LinkMetrics, NetLink};
-use idaa_sql::ast::{Expr, OrderByItem, Query, SelectItem, TableRef};
+use idaa_sql::ast::{BinaryOp, Expr, JoinKind, OrderByItem, Query, SelectItem, TableRef};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +56,12 @@ pub struct FleetConfig {
     /// Virtual-clock delay after a failover before the shard migrates back
     /// to its preferred (recovered) owner.
     pub rebalance_after: Duration,
+    /// Ship a build-side key summary (Bloom filter + min/max) with the
+    /// scatter request of an inner equi-join against a sharded probe table,
+    /// so each shard pre-filters its reply before encoding. The summary is
+    /// false-positive-only, so the merged answer is byte-identical with the
+    /// knob off — only gather traffic changes.
+    pub join_pushdown: bool,
 }
 
 impl Default for FleetConfig {
@@ -65,6 +71,7 @@ impl Default for FleetConfig {
             shards: 1,
             replication_factor: 1,
             rebalance_after: Duration::from_millis(20),
+            join_pushdown: true,
         }
     }
 }
@@ -640,6 +647,131 @@ fn shard_link_failure(shard: usize, table: &ObjectName) -> Error {
 }
 
 // ---------------------------------------------------------------------------
+// Join-filter pushdown for raw gathers
+// ---------------------------------------------------------------------------
+
+/// A build-side key summary that rides with each shard's gather request of
+/// an inner equi-join, so the node drops probe rows that cannot match any
+/// build key *before* encoding its reply frame. The summary is
+/// false-positive-only (Bloom filter plus min/max range), so false negatives
+/// are impossible and the merged answer is byte-identical with pushdown
+/// disabled — only gather traffic shrinks.
+pub(crate) struct GatherFilter {
+    /// Key column index in the sharded probe table's schema.
+    col: usize,
+    summary: wire::KeySummary,
+    /// Encoded summary size, charged on every shard's request leg.
+    bytes: usize,
+}
+
+/// An inner equi-join eligible for gather pushdown: the single sharded
+/// table is the probe side and `build` (replicated, gathered raw from DB2)
+/// supplies the keys summarized for the shards.
+struct JoinPushdown {
+    build: ObjectName,
+    probe_col: usize,
+    build_col: usize,
+}
+
+/// Detect a pushdown-eligible join in `q`: a plain (no UNION) inner join of
+/// two base tables, exactly one of them `sharded`, with at least one ON
+/// conjunct equating a bare probe column with a bare build column whose
+/// declared types share a key family (integer or character) — the same
+/// static gate the accelerator's typed join kernels use, so a value can
+/// never equal a key the summary cannot represent.
+fn find_join_pushdown(
+    q: &Query,
+    sharded: &ObjectName,
+    default_schema: &str,
+    schema_of: &dyn Fn(&ObjectName) -> Option<Schema>,
+) -> Option<JoinPushdown> {
+    if !q.unions.is_empty() {
+        return None;
+    }
+    let TableRef::Join { left, right, kind: JoinKind::Inner, on } = q.from.as_ref()? else {
+        return None;
+    };
+    let (TableRef::Table { name: ln, alias: la }, TableRef::Table { name: rn, alias: ra }) =
+        (left.as_ref(), right.as_ref())
+    else {
+        return None;
+    };
+    let (lr, rr) = (ln.resolve(default_schema), rn.resolve(default_schema));
+    let (pn, pa, bn, ba, build) = if lr == *sharded && rr != *sharded {
+        (ln, la, rn, ra, rr)
+    } else if rr == *sharded && lr != *sharded {
+        (rn, ra, ln, la, lr)
+    } else {
+        return None;
+    };
+    let plabel = pa.clone().unwrap_or_else(|| pn.name.clone());
+    let blabel = ba.clone().unwrap_or_else(|| bn.name.clone());
+    let probe_schema = schema_of(sharded)?;
+    let build_schema = schema_of(&build)?;
+    // Resolve a bare column to (is_probe, index), or None if ambiguous.
+    let side_of = |e: &Expr| -> Option<(bool, usize)> {
+        let Expr::Column { qualifier, name } = e else { return None };
+        match qualifier {
+            Some(q) if *q == plabel => probe_schema.index_of(name).ok().map(|i| (true, i)),
+            Some(q) if *q == blabel => build_schema.index_of(name).ok().map(|i| (false, i)),
+            Some(_) => None,
+            None => match (probe_schema.index_of(name).ok(), build_schema.index_of(name).ok()) {
+                (Some(i), None) => Some((true, i)),
+                (None, Some(i)) => Some((false, i)),
+                _ => None,
+            },
+        }
+    };
+    let mut stack = vec![on];
+    while let Some(e) = stack.pop() {
+        if let Expr::Binary { left, op, right } = e {
+            match op {
+                BinaryOp::And => {
+                    stack.push(right);
+                    stack.push(left);
+                }
+                BinaryOp::Eq => {
+                    if let (Some((ls, li)), Some((rs, ri))) = (side_of(left), side_of(right)) {
+                        if ls != rs {
+                            let (probe_col, build_col) = if ls { (li, ri) } else { (ri, li) };
+                            let pt = probe_schema.columns()[probe_col].data_type;
+                            let bt = build_schema.columns()[build_col].data_type;
+                            if (pt.is_integer() && bt.is_integer())
+                                || (pt.is_character() && bt.is_character())
+                            {
+                                return Some(JoinPushdown { build, probe_col, build_col });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Summarize the build side's key column for shipping to the shards.
+fn build_gather_filter(rows: &[Row], build_col: usize, probe_col: usize) -> GatherFilter {
+    let mut summary = wire::KeySummary::with_capacity(rows.len());
+    for r in rows {
+        match &r[build_col] {
+            Value::Null => {}
+            Value::SmallInt(v) => summary.insert_i64(i64::from(*v)),
+            Value::Int(v) => summary.insert_i64(i64::from(*v)),
+            Value::BigInt(v) => summary.insert_i64(*v),
+            Value::Varchar(s) => summary.insert_str(s),
+            // Unreachable under the declared-type gate; a value the summary
+            // cannot represent is simply not inserted, and the probe side's
+            // matching values pass through `matches_value` untouched.
+            _ => {}
+        }
+    }
+    let bytes = wire::encode_summary(&summary).len();
+    GatherFilter { col: probe_col, summary, bytes }
+}
+
+// ---------------------------------------------------------------------------
 // Fleet execution
 // ---------------------------------------------------------------------------
 
@@ -811,7 +943,7 @@ impl Idaa {
                 let mut created = false;
                 for s in 0..self.fleet.shards {
                     let pq = with_shard_from(&partial, &shard_table(table, s));
-                    let rows = self.gather_shard(session, trace, table, s, &pq)?;
+                    let rows = self.gather_shard(session, trace, table, s, &pq, None)?;
                     if !created {
                         scratch.create_table(&gather, rows.schema.clone(), &[])?;
                         created = true;
@@ -822,6 +954,25 @@ impl Idaa {
             }
             ScatterPlan::Raw => {
                 let mut staged: Vec<ObjectName> = Vec::new();
+                // Inner equi-join against one sharded probe table: stage the
+                // build side first and ship its key summary with every shard
+                // gather, so shards pre-filter probe rows before encoding.
+                let mut filter: Option<GatherFilter> = None;
+                if self.config.fleet.join_pushdown && sharded.len() == 1 {
+                    let schema_of = |t: &ObjectName| -> Option<Schema> {
+                        self.host.table_meta(t).ok().map(|m| m.schema.clone())
+                    };
+                    if let Some(pd) =
+                        find_join_pushdown(q, &sharded[0], &self.config.default_schema, &schema_of)
+                    {
+                        let meta = self.host.table_meta(&pd.build)?;
+                        scratch.create_table(&pd.build, meta.schema.clone(), &[])?;
+                        let build_rows = self.host.scan_all(&pd.build)?;
+                        filter = Some(build_gather_filter(&build_rows, pd.build_col, pd.probe_col));
+                        scratch.load_committed(&pd.build, build_rows)?;
+                        staged.push(pd.build);
+                    }
+                }
                 for t in tables {
                     if t.name == "SYSDUMMY1" || staged.contains(t) {
                         continue;
@@ -831,7 +982,8 @@ impl Idaa {
                     if self.fleet.is_sharded(t) {
                         for s in 0..self.fleet.shards {
                             let pq = select_star(&shard_table(t, s));
-                            let rows = self.gather_shard(session, trace, t, s, &pq)?;
+                            let rows =
+                                self.gather_shard(session, trace, t, s, &pq, filter.as_ref())?;
                             scratch.load_committed(t, rows.rows)?;
                         }
                     } else {
@@ -853,11 +1005,15 @@ impl Idaa {
         table: &ObjectName,
         shard: usize,
         pq: &Query,
+        prefilter: Option<&GatherFilter>,
     ) -> Result<Rows> {
         let span = if trace.is_enabled() { Some(trace.begin("shard", self.link().now())) } else { None };
         if let Some(id) = span {
             trace.attr(id, "table", table);
             trace.attr(id, "shard", shard);
+            if let Some(f) = prefilter {
+                trace.attr(id, "summary_bytes", f.bytes);
+            }
         }
         let owners = self.fleet.owners(shard);
         let primary = self.fleet.primary_of(shard);
@@ -884,8 +1040,18 @@ impl Idaa {
             let attempt = self.exchange_on(
                 &node,
                 session,
-                pq.to_string().len() + wire::CONTROL_FRAME,
-                || node.engine.query(txn, pq),
+                pq.to_string().len()
+                    + wire::CONTROL_FRAME
+                    + prefilter.map_or(0, |f| f.bytes),
+                || {
+                    let mut rows = node.engine.query(txn, pq)?;
+                    if let Some(f) = prefilter {
+                        // Node-side pre-filter: only rows that *might* join
+                        // are encoded into the reply frame.
+                        rows.rows.retain(|r| f.summary.matches_value(&r[f.col]));
+                    }
+                    Ok(rows)
+                },
                 |r: &Rows| ReplyPayload::Frame(wire::encode_frame(&r.schema, &r.rows)),
             );
             self.absorb_node_clock(&node);
@@ -1397,6 +1563,59 @@ mod tests {
             rewritten.to_string(),
             "SELECT SALES.ID FROM APP.SALES__S1 AS SALES WHERE (SALES.ID > 1)"
         );
+    }
+
+    #[test]
+    fn join_pushdown_detects_typed_inner_equi_joins_only() {
+        use idaa_common::{ColumnDef, DataType};
+        let probe = Schema::new(vec![
+            ColumnDef::not_null("K", DataType::Integer),
+            ColumnDef::new("V", DataType::Double),
+        ])
+        .unwrap();
+        let build = Schema::new(vec![
+            ColumnDef::not_null("K", DataType::BigInt),
+            ColumnDef::new("NAME", DataType::Varchar(10)),
+        ])
+        .unwrap();
+        let schema_of = |t: &ObjectName| -> Option<Schema> {
+            match t.name.as_str() {
+                "F" => Some(probe.clone()),
+                "D" => Some(build.clone()),
+                _ => None,
+            }
+        };
+        let sharded = ObjectName::bare("F").resolve("APP");
+        let find = |sql: &str| find_join_pushdown(&q(sql), &sharded, "APP", &schema_of);
+        // Inner equi-join on an integer-family key pair qualifies.
+        let pd = find("SELECT * FROM F JOIN D ON F.K = D.K AND F.V > 1").unwrap();
+        assert_eq!((pd.probe_col, pd.build_col), (0, 0));
+        assert_eq!(pd.build, ObjectName::bare("D").resolve("APP"));
+        // Probe/build sides swap freely.
+        assert!(find("SELECT * FROM D JOIN F ON D.K = F.K").is_some());
+        // LEFT joins must keep non-matching probe rows for null padding.
+        assert!(find("SELECT * FROM F LEFT JOIN D ON F.K = D.K").is_none());
+        // Self-joins, mixed key families, and non-equi conjuncts don't.
+        assert!(find("SELECT * FROM F A JOIN F B ON A.K = B.K").is_none());
+        assert!(find("SELECT * FROM F JOIN D ON F.K = D.NAME").is_none());
+        assert!(find("SELECT * FROM F JOIN D ON F.K > D.K").is_none());
+    }
+
+    #[test]
+    fn gather_filter_is_false_positive_only() {
+        let rows: Vec<Row> = (0..50)
+            .map(|i| vec![Value::Int(i * 3), Value::Varchar(format!("N{i}"))])
+            .collect();
+        let f = build_gather_filter(&rows, 0, 0);
+        // Every build key must pass; NULLs never do.
+        for r in &rows {
+            assert!(f.summary.matches_value(&r[0]));
+        }
+        assert!(!f.summary.matches_value(&Value::Null));
+        // Out-of-range probes are cut off by the min/max guard.
+        assert!(!f.summary.matches_value(&Value::Int(-1)));
+        assert!(!f.summary.matches_value(&Value::Int(1000)));
+        assert!(f.bytes > 0);
     }
 
     #[test]

@@ -1475,9 +1475,19 @@ impl Idaa {
     /// attributes carry information. A node without `rows` was fused into
     /// its parent.
     fn emit_plan_spans(&self, trace: &Trace, plan: &Plan, profile: &PlanProfile) {
+        self.emit_plan_spans_at(trace, plan, profile, true);
+    }
+
+    fn emit_plan_spans_at(&self, trace: &Trace, plan: &Plan, profile: &PlanProfile, root: bool) {
         let now = self.link().now();
         let id = trace.begin("op", now);
         trace.attr(id, "op", plan.label());
+        if root {
+            // Statement-level: did the compiled-plan cache serve this tree?
+            if let Some(hit) = profile.cache_hit() {
+                trace.attr(id, "cache", if hit { "hit" } else { "miss" });
+            }
+        }
         match profile.rows_out(plan) {
             Some(rows) => trace.attr(id, "rows", rows),
             None => trace.attr(id, "fused", "true"),
@@ -1486,8 +1496,11 @@ impl Idaa {
             trace.attr(id, "kernel", "vectorized");
             trace.attr(id, "batches", batches);
         }
+        if let Some(skipped) = profile.bloom_skipped(plan) {
+            trace.attr(id, "bloom_skipped", skipped);
+        }
         for child in plan.children() {
-            self.emit_plan_spans(trace, child, profile);
+            self.emit_plan_spans_at(trace, child, profile, false);
         }
         trace.end(id, now);
     }

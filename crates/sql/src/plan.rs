@@ -219,6 +219,12 @@ pub struct PlanProfile {
     /// column batches (non-pruned blocks) it processed. Absence means the
     /// node ran through the row-at-a-time interpreter.
     vectorized: std::sync::Mutex<std::collections::HashMap<usize, u64>>,
+    /// Join nodes whose probe consulted a Bloom filter, with the number of
+    /// probe rows the filter skipped before any hash-table lookup.
+    bloom: std::sync::Mutex<std::collections::HashMap<usize, u64>>,
+    /// Whether this statement's plan came from the compiled-plan cache
+    /// (`Some(true)` = hit, `Some(false)` = miss, `None` = not consulted).
+    cache_hit: std::sync::Mutex<Option<bool>>,
 }
 
 impl PlanProfile {
@@ -246,6 +252,30 @@ impl PlanProfile {
     /// `None` means it was interpreted (or fused into another node).
     pub fn vectorized_batches(&self, node: &Plan) -> Option<u64> {
         self.vectorized.lock().unwrap().get(&Self::key(node)).copied()
+    }
+
+    /// Record that `node`'s join probe consulted a Bloom filter which
+    /// skipped `skipped` probe rows.
+    pub fn record_bloom(&self, node: &Plan, skipped: u64) {
+        self.bloom.lock().unwrap().insert(Self::key(node), skipped);
+    }
+
+    /// Bloom-skipped probe row count for `node`; `None` means no Bloom
+    /// filter was consulted there.
+    pub fn bloom_skipped(&self, node: &Plan) -> Option<u64> {
+        self.bloom.lock().unwrap().get(&Self::key(node)).copied()
+    }
+
+    /// Record whether the statement's plan came from the compiled-plan
+    /// cache.
+    pub fn set_cache_hit(&self, hit: bool) {
+        *self.cache_hit.lock().unwrap() = Some(hit);
+    }
+
+    /// `Some(true)` when the plan was a cache hit, `Some(false)` on a miss,
+    /// `None` when no cache was consulted.
+    pub fn cache_hit(&self) -> Option<bool> {
+        *self.cache_hit.lock().unwrap()
     }
 }
 

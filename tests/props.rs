@@ -458,6 +458,16 @@ proptest! {
              WHERE a BETWEEN 50 AND 950 AND b BETWEEN 5 AND 45 GROUP BY g ORDER BY g",
             "SELECT COUNT(*), SUM(a) FROM t \
              WHERE a >= 100 AND a < 900 AND b <> 13 AND g IS NOT NULL",
+            // Typed string-key joins (dictionary-code probes on the
+            // accelerator) and string-key join under aggregation.
+            "SELECT x.a, y.b FROM t AS x INNER JOIN t AS y ON x.g = y.g \
+             WHERE x.a < 100 AND y.b < 10 ORDER BY x.a, y.b LIMIT 60",
+            "SELECT x.g, SUM(y.a) FROM t AS x INNER JOIN t AS y ON x.g = y.g \
+             GROUP BY x.g ORDER BY x.g",
+            // LEFT join with string keys: NULL G rows must null-extend
+            // identically on both engines.
+            "SELECT x.a, y.a FROM t AS x LEFT JOIN t AS y ON x.g = y.g \
+             WHERE x.a > 900 ORDER BY x.a, y.a LIMIT 60",
         ] {
             idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = NONE").unwrap();
             let host = idaa.query(&mut s, q).unwrap();
@@ -672,6 +682,23 @@ proptest! {
             // AVG: both modes accumulate in ascending row order, so the
             // float division input is identical.
             "SELECT COUNT(*), AVG(d) FROM t WHERE a >= 100 AND a <= 900",
+            // Join shapes: typed i64 keys with a derived probe filter and
+            // late-materialized probe scan vs the interpreted hash join.
+            "SELECT x.a, y.d FROM t AS x INNER JOIN t AS y ON x.a = y.a \
+             WHERE y.d < 5.0 ORDER BY x.a, y.d LIMIT 60",
+            // Typed string keys: dictionary-code probe + NULL keys never
+            // matching on either path.
+            "SELECT x.a, y.a FROM t AS x INNER JOIN t AS y ON x.g = y.g \
+             WHERE x.a < 100 AND y.a < 100 ORDER BY x.a, y.a",
+            // LEFT join: Bloom skips must still null-extend, bit for bit.
+            "SELECT x.a, y.d FROM t AS x LEFT JOIN t AS y ON x.a = y.a \
+             AND y.d > 15.0 ORDER BY x.a, y.d LIMIT 60",
+            // Join under aggregation (fused downstream of the join).
+            "SELECT x.g, COUNT(*), SUM(y.a) FROM t AS x INNER JOIN t AS y \
+             ON x.a = y.a GROUP BY x.g ORDER BY x.g",
+            // Multi-key ON falls back to generic keys on both paths.
+            "SELECT COUNT(*) FROM t AS x INNER JOIN t AS y \
+             ON x.a = y.a AND x.g = y.g",
         ] {
             let Statement::Query(parsed) = parse_statement(q).unwrap() else { unreachable!() };
             let fast = engine.query(0, &parsed).unwrap().rows;
@@ -935,6 +962,11 @@ proptest! {
             "SELECT COUNT(DISTINCT b) FROM f",
             "SELECT x.g, COUNT(*) FROM f AS x INNER JOIN f AS y ON x.a = y.a \
              GROUP BY x.g ORDER BY x.g",
+            // Sharded probe ⋈ replicated build: the fleet ships a build-side
+            // key summary with each gather (Bloom pushdown) and must still
+            // reproduce the single-accelerator answer exactly.
+            "SELECT x.a, d.name FROM f AS x INNER JOIN d ON x.a = d.a \
+             ORDER BY x.a, d.name",
         ];
         let run = |config: IdaaConfig| -> Vec<Vec<idaa::Row>> {
             let idaa = Idaa::new(config);
@@ -956,6 +988,14 @@ proptest! {
                 &mut s,
                 "INSERT INTO F VALUES (1, NULL, NULL), (NULL, 5, 'a'), (NULL, NULL, NULL)",
             ).unwrap();
+            // A small replicated dimension for the join-pushdown gather.
+            idaa.execute(&mut s, "CREATE TABLE D (A BIGINT, NAME VARCHAR(2))").unwrap();
+            idaa.execute(
+                &mut s,
+                "INSERT INTO D VALUES (1, 'x'), (7, 'y'), (100, 'z'), (500, 'w'), (NULL, 'n')",
+            ).unwrap();
+            idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('D')").unwrap();
+            idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('D')").unwrap();
             idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
             queries.iter().map(|q| idaa.query(&mut s, q).unwrap().rows).collect()
         };

@@ -500,6 +500,90 @@ fn explain_analyze_reports_vectorized_kernel_and_fallback() {
 }
 
 #[test]
+fn explain_names_join_pipelines_bloom_and_plan_cache() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 1000);
+    accelerate(&idaa, &mut s, "SALES");
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+
+    let pipeline_of = |idaa: &Idaa, s: &mut idaa::Session, q: &str| -> String {
+        plan_lines(&idaa.query(s, &format!("EXPLAIN {q}")).unwrap())
+            .into_iter()
+            .find(|l| l.starts_with("PIPELINE: "))
+            .unwrap_or_else(|| panic!("no PIPELINE line for {q}"))
+    };
+
+    // Typed i64 keys over a bare probe scan: kernelized build/probe with
+    // the derived join filter pushed into the probe-side scan.
+    let int_join = "SELECT a.id, b.qty FROM sales a INNER JOIN sales b ON a.id = b.id \
+                    WHERE b.qty > 2 ORDER BY a.id LIMIT 10";
+    assert_eq!(
+        pipeline_of(&idaa, &mut s, int_join),
+        "PIPELINE: vectorized (hash join: typed i64 keys, bloom-guarded probe, \
+         derived probe filter)",
+    );
+    // Typed string keys: dictionary-code probes on the accelerator.
+    assert_eq!(
+        pipeline_of(
+            &idaa,
+            &mut s,
+            "SELECT a.id FROM sales a INNER JOIN sales b ON a.region = b.region \
+             WHERE b.id < 5 ORDER BY a.id LIMIT 10",
+        ),
+        "PIPELINE: vectorized (hash join: typed string keys, bloom-guarded probe, \
+         derived probe filter)",
+    );
+    // LEFT joins keep the Bloom guard but never push a probe filter — a
+    // dropped probe row must still null-extend.
+    assert_eq!(
+        pipeline_of(
+            &idaa,
+            &mut s,
+            "SELECT a.id, b.id FROM sales a LEFT JOIN sales b ON a.id = b.id \
+             ORDER BY a.id LIMIT 10",
+        ),
+        "PIPELINE: vectorized (hash join: typed i64 keys, bloom-guarded probe)",
+    );
+    // Multi-column keys fall back to generic row keys (interpreted).
+    assert_eq!(
+        pipeline_of(
+            &idaa,
+            &mut s,
+            "SELECT COUNT(*) FROM sales a INNER JOIN sales b \
+             ON a.id = b.id AND a.region = b.region",
+        ),
+        "PIPELINE: interpreted (hash join: generic keys, bloom-guarded probe)",
+    );
+    // Non-equi ON: nested loop.
+    assert_eq!(
+        pipeline_of(
+            &idaa,
+            &mut s,
+            "SELECT COUNT(*) FROM sales a INNER JOIN sales b ON a.id < b.id \
+             WHERE a.id < 30 AND b.id < 30",
+        ),
+        "PIPELINE: interpreted (nested-loop join)",
+    );
+
+    // Executed spans carry the Bloom counter, and the statement-level span
+    // reports the compiled-plan cache: miss on first sight, hit on repeat.
+    let text = plan_lines(&idaa.query(&mut s, &format!("EXPLAIN ANALYZE {int_join}")).unwrap());
+    assert!(
+        text.iter().any(|l| l.contains("bloom_skipped=")),
+        "executed join span must report Bloom skips: {text:?}"
+    );
+    assert!(
+        text.iter().any(|l| l.contains("cache=miss")),
+        "first execution must report a plan-cache miss: {text:?}"
+    );
+    let text = plan_lines(&idaa.query(&mut s, &format!("EXPLAIN ANALYZE {int_join}")).unwrap());
+    assert!(
+        text.iter().any(|l| l.contains("cache=hit")),
+        "repeated statement must report a plan-cache hit: {text:?}"
+    );
+}
+
+#[test]
 fn parameter_markers_execute() {
     let (idaa, mut s) = system();
     idaa.execute(&mut s, "CREATE TABLE PM (A INT, B VARCHAR(8))").unwrap();
