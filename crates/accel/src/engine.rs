@@ -6,7 +6,7 @@
 //! (enrolled in host transactions), and entry points for queries, AOT DML,
 //! bulk load, and grooming.
 
-use crate::durable::{Checkpoint, DurableStore, LogRecord, SliceImage, TableImage};
+use crate::durable::{Checkpoint, DurableStore, LogRecord, ScrubReport, SliceImage, TableImage};
 use crate::exec::{describe_pipeline, execute_plan, scan_filtered, ExecCtx, ExecMode};
 use crate::mvcc::{CommitSeq, Snapshot, TxnId, TxnRegistry, TxnStatus};
 use crate::table::{AccelTable, RowPos};
@@ -15,8 +15,8 @@ use idaa_netsim::{sites, FaultRegistry};
 use idaa_sql::ast::{Expr, Query};
 use idaa_sql::eval::{bind, eval, FlatResolver};
 use idaa_sql::plan::{plan_query, Plan, PlanProfile, SchemaProvider};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -73,6 +73,20 @@ pub struct AccelStats {
     pub plan_cache_hits: AtomicU64,
     /// Compiled-plan cache misses (first sight, or invalidated deps).
     pub plan_cache_misses: AtomicU64,
+    /// Storage corruptions detected (torn tails, rotted records or
+    /// checkpoints), by recovery scans and the background scrub.
+    pub disk_corruptions_detected: AtomicU64,
+    /// Torn log records truncated (and durably re-logged) by recovery.
+    pub disk_records_truncated: AtomicU64,
+    /// Invalid checkpoints durably discarded in favor of an older valid
+    /// one (the fallback replays the longer log tail).
+    pub disk_checkpoint_fallbacks: AtomicU64,
+    /// Background-scrub passes that repaired latent damage (fresh
+    /// checkpoint + excision of the rotted media).
+    pub disk_scrub_repairs: AtomicU64,
+    /// Transient recovery-time disk read failures (`DISK_READ_FAIL`);
+    /// the restart attempt errors and is retried.
+    pub disk_read_failures: AtomicU64,
 }
 
 /// One cached compiled plan plus the catalog state it was compiled
@@ -103,6 +117,13 @@ pub struct RestartStats {
     /// Prepared (in-doubt) transactions re-materialized for the
     /// coordinator's resolution.
     pub rematerialized_in_doubt: u64,
+    /// Torn log records this restart truncated (and durably re-logged).
+    pub torn_truncated: u64,
+    /// Invalid checkpoints this restart discarded before finding a valid
+    /// one (each fallback lengthens the replayed tail).
+    pub checkpoint_fallbacks: u64,
+    /// Storage corruptions this restart detected in total.
+    pub corruptions_detected: u64,
 }
 
 /// The accelerator.
@@ -133,6 +154,15 @@ pub struct AccelEngine {
     /// Compiled-plan cache, keyed by statement fingerprint. Volatile: a
     /// crash clears it along with the rest of in-memory state.
     plan_cache: RwLock<HashMap<u64, CachedPlan>>,
+    /// Tables whose contents were lost to unrepairable storage corruption
+    /// (durably logged as [`LogRecord::Quarantine`]): statements against
+    /// them fail with -904 until a TRUNCATE + reload — never a silently
+    /// empty answer. Volatile mirror of the durable records; replay
+    /// rebuilds it.
+    quarantined: RwLock<HashSet<ObjectName>>,
+    /// Virtual time of the last background-scrub step (drives
+    /// [`maybe_scrub`](Self::maybe_scrub)).
+    last_scrub_at: Mutex<Option<Duration>>,
 }
 
 impl Default for AccelEngine {
@@ -159,6 +189,8 @@ impl AccelEngine {
             epoch: AtomicU64::new(1),
             identity: RwLock::new("ACCEL1".to_string()),
             plan_cache: RwLock::new(HashMap::new()),
+            quarantined: RwLock::new(HashSet::new()),
+            last_scrub_at: Mutex::new(None),
         }
     }
 
@@ -224,10 +256,46 @@ impl AccelEngine {
         Ok(())
     }
 
-    /// Append to the commit log — unless recovery is replaying it.
+    /// Append to the commit log — unless recovery is replaying it. Used
+    /// for small lifecycle records (begin/prepare/commit/abort and the
+    /// quarantine marker), which the fault model treats as sector-atomic:
+    /// they never tear. Already-written media can still rot afterwards
+    /// (the `BITROT_LOG_SEGMENT` consult).
     fn log(&self, record: LogRecord) {
         if !self.replaying.load(Ordering::Relaxed) {
             self.durable.append(record);
+            self.rot_point();
+        }
+    }
+
+    /// Append a data-bearing record (inserts, delete-marks, DDL). These
+    /// can tear mid-write (`TORN_LOG_APPEND`): the torn record occupies
+    /// its LSN but was never acknowledged, the engine crashes on the
+    /// spot, and recovery truncates the tear.
+    fn log_data(&self, record: LogRecord) -> Result<()> {
+        if self.replaying.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if self.faults.read().fire_disk(sites::TORN_LOG_APPEND).is_some() {
+            self.durable.append_torn(record);
+            self.crash();
+            return Err(Error::ResourceUnavailable(format!(
+                "accelerator crashed at fault site {}: commit-log append torn",
+                sites::TORN_LOG_APPEND
+            )));
+        }
+        self.durable.append(record);
+        self.rot_point();
+        Ok(())
+    }
+
+    /// Consult the bit-rot site after a successful append: a firing
+    /// silently damages one already-written log record (chosen by the
+    /// seeded parameter draw). Nothing is detected here — that is the
+    /// scrub's and recovery's job.
+    fn rot_point(&self) {
+        if let Some(draw) = self.faults.read().fire_disk(sites::BITROT_LOG_SEGMENT) {
+            self.durable.rot_log(draw);
         }
     }
 
@@ -254,6 +322,7 @@ impl AccelEngine {
         self.tables.write().clear();
         self.snapshots.write().clear();
         self.plan_cache.write().clear();
+        self.quarantined.write().clear();
         self.txns.reset();
     }
 
@@ -263,15 +332,50 @@ impl AccelEngine {
     /// durable state again (a second restart) reproduces the same engine
     /// state byte for byte.
     pub fn restart(&self) -> Result<RestartStats> {
+        // A transient disk read failure aborts this restart attempt
+        // before anything is touched; the engine stays crashed and the
+        // coordinator's health machinery retries later.
+        if self.faults.read().fire_disk(sites::DISK_READ_FAIL).is_some() {
+            self.stats.disk_read_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::ResourceUnavailable(format!(
+                "disk read failed at fault site {} during recovery; retry",
+                sites::DISK_READ_FAIL
+            )));
+        }
         self.replaying.store(true, Ordering::Relaxed);
         // Whatever volatile state remains is discarded: recovery starts
         // from the disk image alone.
         self.tables.write().clear();
         self.snapshots.write().clear();
         self.plan_cache.write().clear();
+        self.quarantined.write().clear();
         self.txns.reset();
 
-        let set = self.durable.recovery_set();
+        // Validating read: torn tails truncated (durably re-logged),
+        // invalid checkpoints discarded in favor of older valid ones.
+        // Corruption beyond local repair leaves the engine crashed and
+        // surfaces distinctly, so the coordinator can rebuild the node
+        // from a replica or the host instead of serving damaged state.
+        let set = match self.durable.recover_scan() {
+            Ok(scan) => scan,
+            Err(c) => {
+                self.stats
+                    .disk_corruptions_detected
+                    .fetch_add(c.corruptions_detected.max(1), Ordering::Relaxed);
+                self.replaying.store(false, Ordering::Relaxed);
+                return Err(Error::StorageCorrupt(format!(
+                    "durable state beyond local repair: {}",
+                    c.detail
+                )));
+            }
+        };
+        self.stats
+            .disk_corruptions_detected
+            .fetch_add(set.corruptions_detected, Ordering::Relaxed);
+        self.stats.disk_records_truncated.fetch_add(set.torn_truncated, Ordering::Relaxed);
+        self.stats
+            .disk_checkpoint_fallbacks
+            .fetch_add(set.checkpoint_fallbacks, Ordering::Relaxed);
         let mut checkpoint_bytes = 0;
         if let Some(cp) = &set.checkpoint {
             checkpoint_bytes = cp.bytes();
@@ -316,6 +420,9 @@ impl AccelEngine {
             log_bytes_replayed,
             aborted_in_flight,
             rematerialized_in_doubt,
+            torn_truncated: set.torn_truncated,
+            checkpoint_fallbacks: set.checkpoint_fallbacks,
+            corruptions_detected: set.corruptions_detected,
         })
     }
 
@@ -349,9 +456,11 @@ impl AccelEngine {
             }
             LogRecord::DropTable { name } => {
                 self.tables.write().remove(name);
+                self.quarantined.write().remove(name);
             }
             LogRecord::Truncate { table } => {
                 self.table(table)?.groom(|_| true, |_| true);
+                self.quarantined.write().remove(table);
             }
             LogRecord::Groom { table } => {
                 // The replayed registry is in the same state the original
@@ -361,6 +470,14 @@ impl AccelEngine {
                     |c| matches!(self.txns.status(c), TxnStatus::Aborted),
                     |d| matches!(self.txns.status(d), TxnStatus::Committed(_)),
                 );
+            }
+            LogRecord::TornTail { .. } => {
+                // Recovery's durably re-logged truncation decision: the
+                // torn record it replaced was never acknowledged, so
+                // there is nothing to apply.
+            }
+            LogRecord::Quarantine { table } => {
+                self.quarantined.write().insert(table.clone());
             }
         }
         Ok(())
@@ -405,16 +522,35 @@ impl AccelEngine {
             })
         })?;
         self.crash_point(sites::MID_CHECKPOINT)?;
+        // The install itself can tear mid-write: the torn image occupies
+        // a retention slot but the previous checkpoint stays
+        // authoritative, and the engine crashes on the spot.
+        if self.faults.read().fire_disk(sites::TORN_CHECKPOINT).is_some() {
+            self.durable.install_torn_checkpoint(cp);
+            self.crash();
+            return Err(Error::ResourceUnavailable(format!(
+                "accelerator crashed at fault site {}: checkpoint write torn",
+                sites::TORN_CHECKPOINT
+            )));
+        }
         let bytes = cp.bytes();
         self.durable.install_checkpoint(cp);
+        // Already-written checkpoints can silently rot afterwards;
+        // detection is the scrub's / recovery's job.
+        if let Some(draw) = self.faults.read().fire_disk(sites::BITROT_CHECKPOINT) {
+            self.durable.rot_checkpoint(draw);
+        }
         Ok(bytes)
     }
 
     /// Periodic-checkpoint policy on the virtual clock: checkpoint if at
     /// least `every` has elapsed since the last one (or since boot) and
-    /// the log is non-empty. Returns whether a checkpoint was taken.
+    /// there are records past the newest checkpoint's coverage. (The
+    /// retained log can be longer — fallback coverage for the previous
+    /// checkpoint — without making checkpoints due.) Returns whether a
+    /// checkpoint was taken.
     pub fn maybe_checkpoint(&self, now: Duration, every: Duration) -> Result<bool> {
-        if self.crashed.load(Ordering::Relaxed) || self.durable.log_len() == 0 {
+        if self.crashed.load(Ordering::Relaxed) || self.durable.tail_len() == 0 {
             return Ok(false);
         }
         let due = match self.durable.last_checkpoint_at() {
@@ -426,6 +562,81 @@ impl AccelEngine {
         }
         self.checkpoint(now)?;
         Ok(true)
+    }
+
+    /// Log records one background-scrub step re-verifies (a "segment").
+    pub const SCRUB_SEGMENT_RECORDS: usize = 32;
+
+    /// One background-scrub step: re-verify a segment of the durable
+    /// media (round-robin cursor; checkpoints are re-verified when the
+    /// cursor wraps). If anything fails verification, repair immediately
+    /// while the in-memory state is still authoritative: take a fresh
+    /// checkpoint at `now` and compact the store to it, excising the
+    /// rotted record or checkpoint before it is ever read on the
+    /// critical recovery path.
+    pub fn scrub(&self, now: Duration) -> Result<ScrubReport> {
+        self.ensure_up()?;
+        let report = self.durable.scrub_step(Self::SCRUB_SEGMENT_RECORDS);
+        if report.corruptions() > 0 {
+            self.stats
+                .disk_corruptions_detected
+                .fetch_add(report.corruptions(), Ordering::Relaxed);
+            self.checkpoint(now)?;
+            self.durable.compact_to_latest();
+            self.stats.disk_scrub_repairs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
+    /// Periodic-scrub policy on the virtual clock: run one
+    /// [`scrub`](Self::scrub) step if at least `every` has elapsed since
+    /// the last one. `Duration::ZERO` disables scrubbing entirely (the
+    /// default — the scrub is opt-in so fault-free runs stay
+    /// byte-identical with older versions).
+    pub fn maybe_scrub(&self, now: Duration, every: Duration) -> Result<Option<ScrubReport>> {
+        if every.is_zero() || self.crashed.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        let due = match *self.last_scrub_at.lock() {
+            None => now >= every,
+            Some(last) => now >= last + every,
+        };
+        if !due {
+            return Ok(None);
+        }
+        *self.last_scrub_at.lock() = Some(now);
+        self.scrub(now).map(Some)
+    }
+
+    /// Durably quarantine `table` after its contents were lost to
+    /// unrepairable storage corruption with nothing to rebuild from:
+    /// statements against it fail with -904 (never a silently empty
+    /// answer) until a TRUNCATE + reload lifts the quarantine.
+    pub fn quarantine_table(&self, table: &ObjectName) -> Result<()> {
+        self.ensure_up()?;
+        let name = self.resolve(table);
+        self.log(LogRecord::Quarantine { table: name.clone() });
+        self.quarantined.write().insert(name);
+        Ok(())
+    }
+
+    /// Tables currently quarantined (sorted, diagnostics).
+    pub fn quarantined_tables(&self) -> Vec<ObjectName> {
+        let mut v: Vec<ObjectName> = self.quarantined.read().iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Statements must not touch a quarantined table (the coordinator
+    /// maps this to -904 until the table is reloaded).
+    fn ensure_not_quarantined(&self, name: &ObjectName) -> Result<()> {
+        let name = self.resolve(name);
+        if self.quarantined.read().contains(&name) {
+            return Err(Error::ResourceUnavailable(format!(
+                "accelerator table {name} is quarantined after storage loss; reload required"
+            )));
+        }
+        Ok(())
     }
 
     /// Deterministic fingerprint of all recoverable engine state: table
@@ -468,6 +679,9 @@ impl AccelEngine {
             buf.extend_from_slice(&seq.to_le_bytes());
         }
         buf.extend_from_slice(&self.txns.high_water().to_le_bytes());
+        for q in self.quarantined_tables() {
+            buf.extend_from_slice(q.to_string().as_bytes());
+        }
         wire::hash64(&buf)
     }
 
@@ -483,25 +697,26 @@ impl AccelEngine {
     ) -> Result<()> {
         self.ensure_up()?;
         let name = self.resolve(name);
-        let mut tables = self.tables.write();
-        if tables.contains_key(&name) {
+        if self.tables.read().contains_key(&name) {
             return Err(Error::AlreadyExists(format!("accelerator table {name} already exists")));
         }
         let dist: Vec<usize> = distribute_by
             .iter()
             .map(|c| schema.index_of(c))
             .collect::<Result<_>>()?;
-        self.log(LogRecord::CreateTable {
+        // Logged before the in-memory insert, and with no lock held: a
+        // torn append crashes the engine (wiping the table map) before
+        // the table ever existed in memory.
+        self.log_data(LogRecord::CreateTable {
             name: name.clone(),
             schema: schema.clone(),
             dist_cols: dist.clone(),
             slices: self.config.slices,
-        });
-        tables.insert(
+        })?;
+        self.tables.write().insert(
             name.clone(),
             Arc::new(AccelTable::new(name, schema, dist, self.config.slices)),
         );
-        drop(tables);
         self.plan_cache.write().clear();
         Ok(())
     }
@@ -510,16 +725,13 @@ impl AccelEngine {
     pub fn drop_table(&self, name: &ObjectName) -> Result<()> {
         self.ensure_up()?;
         let name = self.resolve(name);
-        let dropped = self
-            .tables
-            .write()
-            .remove(&name)
-            .map(|_| self.log(LogRecord::DropTable { name: name.clone() }))
-            .ok_or_else(|| Error::UndefinedObject(format!("accelerator table {name} not defined")));
-        if dropped.is_ok() {
-            self.plan_cache.write().clear();
+        if self.tables.write().remove(&name).is_none() {
+            return Err(Error::UndefinedObject(format!("accelerator table {name} not defined")));
         }
-        dropped
+        self.log_data(LogRecord::DropTable { name: name.clone() })?;
+        self.quarantined.write().remove(&name);
+        self.plan_cache.write().clear();
+        Ok(())
     }
 
     /// Does a table exist here?
@@ -629,6 +841,9 @@ impl AccelEngine {
     pub fn query_with_mode(&self, txn: TxnId, query: &Query, mode: ExecMode) -> Result<Rows> {
         self.ensure_up()?;
         let (plan, _) = self.plan_cached(query)?;
+        for t in plan.tables() {
+            self.ensure_not_quarantined(&t)?;
+        }
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let ctx = ExecCtx { engine: self, snap: self.snapshot_for(txn), mode, profile: None };
         execute_plan(&plan, &ctx)
@@ -690,6 +905,9 @@ impl AccelEngine {
     ) -> Result<(Rows, Arc<Plan>, PlanProfile)> {
         self.ensure_up()?;
         let (plan, hit) = self.plan_cached(query)?;
+        for t in plan.tables() {
+            self.ensure_not_quarantined(&t)?;
+        }
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let profile = PlanProfile::default();
         profile.set_cache_hit(hit);
@@ -708,6 +926,7 @@ impl AccelEngine {
     /// Insert pre-validated rows into a table as `txn`.
     pub fn insert_rows(&self, txn: TxnId, table: &ObjectName, rows: Vec<Row>) -> Result<usize> {
         self.ensure_up()?;
+        self.ensure_not_quarantined(table)?;
         let t = self.table(table)?;
         let mut checked = Vec::with_capacity(rows.len());
         for r in rows {
@@ -715,11 +934,14 @@ impl AccelEngine {
         }
         let n = t.insert_bulk(&checked, txn)?;
         if !checked.is_empty() {
-            self.log(LogRecord::Insert {
+            // A torn append crashes the engine, wiping the in-memory
+            // insert along with everything else — the statement was
+            // never acknowledged, so nothing is lost.
+            self.log_data(LogRecord::Insert {
                 txn,
                 table: t.name.clone(),
                 frame: wire::encode_frame(&t.schema, &checked),
-            });
+            })?;
         }
         self.stats.rows_inserted.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
@@ -741,10 +963,11 @@ impl AccelEngine {
         filter: Option<&Expr>,
     ) -> Result<usize> {
         self.ensure_up()?;
+        self.ensure_not_quarantined(table)?;
         let t = self.table(table)?;
         let victims = self.matching_positions(&t, txn, filter)?;
         self.mark_all(&t, &victims, txn)?;
-        self.log_marks(txn, &t, &victims);
+        self.log_marks(txn, &t, &victims)?;
         self.stats.rows_deleted.fetch_add(victims.len() as u64, Ordering::Relaxed);
         Ok(victims.len())
     }
@@ -759,6 +982,7 @@ impl AccelEngine {
         filter: Option<&Expr>,
     ) -> Result<usize> {
         self.ensure_up()?;
+        self.ensure_not_quarantined(table)?;
         let t = self.table(table)?;
         let resolver = FlatResolver::from_schema(Some(&t.name.name), &t.schema);
         let bound: Vec<(usize, idaa_sql::eval::BoundExpr)> = assignments
@@ -778,13 +1002,13 @@ impl AccelEngine {
         }
         self.mark_all(&t, &victims, txn)?;
         t.insert_bulk(&replacements, txn)?;
-        self.log_marks(txn, &t, &victims);
+        self.log_marks(txn, &t, &victims)?;
         if !replacements.is_empty() {
-            self.log(LogRecord::Insert {
+            self.log_data(LogRecord::Insert {
                 txn,
                 table: t.name.clone(),
                 frame: wire::encode_frame(&t.schema, &replacements),
-            });
+            })?;
         }
         self.stats.rows_inserted.fetch_add(replacements.len() as u64, Ordering::Relaxed);
         self.stats.rows_deleted.fetch_add(victims.len() as u64, Ordering::Relaxed);
@@ -792,15 +1016,15 @@ impl AccelEngine {
     }
 
     /// Durably log one statement's successfully-placed delete-marks.
-    fn log_marks(&self, txn: TxnId, t: &AccelTable, victims: &[(RowPos, Row)]) {
+    fn log_marks(&self, txn: TxnId, t: &AccelTable, victims: &[(RowPos, Row)]) -> Result<()> {
         if victims.is_empty() {
-            return;
+            return Ok(());
         }
-        self.log(LogRecord::Marks {
+        self.log_data(LogRecord::Marks {
             txn,
             table: t.name.clone(),
             positions: victims.iter().map(|(p, _)| (p.slice, p.pos)).collect(),
-        });
+        })
     }
 
     /// Visible positions (and their rows) matching `filter` for `txn`.
@@ -862,6 +1086,7 @@ impl AccelEngine {
     /// commits immediately.
     pub fn load_committed(&self, table: &ObjectName, rows: Vec<Row>) -> Result<usize> {
         self.ensure_up()?;
+        self.ensure_not_quarantined(table)?;
         // Internal load transactions use ids above 2^62 to stay clear of
         // host transaction ids.
         static NEXT_LOAD_TXN: AtomicU64 = AtomicU64::new(1 << 62);
@@ -882,7 +1107,11 @@ impl AccelEngine {
         self.ensure_up()?;
         let t = self.table(table)?;
         t.groom(|_| true, |_| true);
-        self.log(LogRecord::Truncate { table: t.name.clone() });
+        self.log_data(LogRecord::Truncate { table: t.name.clone() })?;
+        // The truncate-then-reload path is how an operator recovers a
+        // quarantined table — the durable Truncate record lifts the
+        // quarantine on replay just like it does here.
+        self.quarantined.write().remove(&t.name);
         self.plan_cache.write().clear();
         Ok(())
     }
@@ -891,6 +1120,7 @@ impl AccelEngine {
     /// baseline "extract" paths).
     pub fn scan_visible(&self, table: &ObjectName) -> Result<Vec<Row>> {
         self.ensure_up()?;
+        self.ensure_not_quarantined(table)?;
         let t = self.table(table)?;
         let ctx = ExecCtx {
             engine: self,
@@ -911,7 +1141,7 @@ impl AccelEngine {
             |d| matches!(self.txns.status(d), TxnStatus::Committed(_)),
         );
         if n > 0 {
-            self.log(LogRecord::Groom { table: t.name.clone() });
+            self.log_data(LogRecord::Groom { table: t.name.clone() })?;
             // Grooming rebuilds slices (and their dictionaries): drop any
             // plan whose cached kernels were specialized against them.
             self.plan_cache.write().clear();

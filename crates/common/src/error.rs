@@ -53,6 +53,14 @@ pub enum Error {
     /// A required resource — here, the accelerator itself — is stopped or
     /// otherwise unavailable. SQLCODE -904.
     ResourceUnavailable(String),
+    /// The accelerator's durable state failed checksum validation beyond
+    /// local repair (bit-rot in acknowledged log records or every
+    /// retained checkpoint): the node must be rebuilt from a replica or
+    /// the host before it can serve again. Surfaces as SQLCODE -904
+    /// (resource unavailable while the rebuild runs) but is kept
+    /// distinct so the coordinator can tell "retry the restart" from
+    /// "rebuild the node".
+    StorageCorrupt(String),
     /// A feature that exists in full DB2/IDAA but is outside this
     /// reproduction's dialect subset.
     Unsupported(String),
@@ -81,6 +89,7 @@ impl Error {
             Error::CommitFailed(_) => -926,
             Error::LinkFailure(_) => -30081,
             Error::ResourceUnavailable(_) => -904,
+            Error::StorageCorrupt(_) => -904,
             Error::Unsupported(_) => -84,
             Error::Load(_) => -103,
             Error::Internal(_) => -901,
@@ -105,6 +114,7 @@ impl Error {
             Error::CommitFailed(_) => "commit_failed",
             Error::LinkFailure(_) => "link_failure",
             Error::ResourceUnavailable(_) => "resource_unavailable",
+            Error::StorageCorrupt(_) => "storage_corrupt",
             Error::Unsupported(_) => "unsupported",
             Error::Load(_) => "load",
             Error::Internal(_) => "internal",
@@ -135,6 +145,7 @@ impl fmt::Display for Error {
             | Error::CommitFailed(m)
             | Error::LinkFailure(m)
             | Error::ResourceUnavailable(m)
+            | Error::StorageCorrupt(m)
             | Error::Unsupported(m)
             | Error::Load(m)
             | Error::Internal(m) => m,

@@ -105,6 +105,14 @@ pub struct AccelNode {
     pub(crate) pending_commits: Mutex<Vec<TxnId>>,
     /// Stats from this node's most recent crash restart.
     pub(crate) last_restart: Mutex<Option<RestartStats>>,
+    /// Set when the node's durable state failed validation beyond local
+    /// repair and a full rebuild (fresh media + re-ship from the host /
+    /// replicas) is in progress. A rebuild that fails part-way leaves the
+    /// flag set, so the next recovery probe resumes it instead of booting
+    /// an empty engine.
+    pub(crate) needs_rebuild: std::sync::atomic::AtomicBool,
+    /// Completed storage rebuilds of this node (diagnostics + traces).
+    pub(crate) rebuilds: AtomicU64,
 }
 
 impl AccelNode {
@@ -122,6 +130,8 @@ impl AccelNode {
             replicator: Mutex::new(Replicator::new(config.replication_batch, config.retry)),
             pending_commits: Mutex::new(Vec::new()),
             last_restart: Mutex::new(None),
+            needs_rebuild: std::sync::atomic::AtomicBool::new(false),
+            rebuilds: AtomicU64::new(0),
         };
         node.delivered.reset(node.engine.epoch());
         Arc::new(node)
@@ -806,6 +816,18 @@ impl Idaa {
     /// Install a crash plan on node `i`'s registry.
     pub fn set_crash_plan_on(&self, i: usize, plan: idaa_netsim::CrashPlan) {
         self.nodes[i].registry.set_plan(plan);
+    }
+
+    /// Install a seeded storage fault plan on node `i`'s registry.
+    pub fn set_disk_plan_on(&self, i: usize, plan: idaa_netsim::DiskFaultPlan) {
+        self.nodes[i].registry.set_disk_plan(plan);
+    }
+
+    /// Completed storage rebuilds of node `i` (durable state discarded and
+    /// re-shipped from the host and replicas after unrepairable
+    /// corruption).
+    pub fn node_rebuilds(&self, i: usize) -> u64 {
+        self.nodes[i].rebuilds.load(Ordering::Relaxed)
     }
 
     /// Total failovers (a gather served by a non-primary replica).

@@ -18,7 +18,8 @@ use idaa_common::wire;
 use idaa_common::{Error, MetricsRegistry, ObjectName, Result, Row, Rows, Value};
 use idaa_host::{HostEngine, TableKind, TxnId, SYSADM};
 use idaa_netsim::{
-    sites, CrashPlan, Direction, FaultPlan, FaultRegistry, LinkConfig, NetLink, RetryPolicy,
+    sites, CrashPlan, Direction, DiskFaultPlan, FaultPlan, FaultRegistry, LinkConfig, NetLink,
+    RetryPolicy,
 };
 use idaa_sql::ast::{Expr, InsertSource, Query, Statement};
 use idaa_sql::eval::{bind, eval, FlatResolver};
@@ -58,6 +59,12 @@ pub struct IdaaConfig {
     /// Virtual replay bandwidth: checkpoint + replayed-log bytes are
     /// charged to the link clock at this rate during recovery.
     pub recovery_bytes_per_sec: u64,
+    /// Virtual-clock interval between background storage-scrub steps on
+    /// each accelerator (re-verifying durable checksums between
+    /// statements, so latent bit-rot is repaired before recovery reads
+    /// it). `Duration::ZERO` — the default — disables the scrub;
+    /// experiment E21 sweeps this knob.
+    pub scrub_every: Duration,
     /// Fleet topology (accelerator count, AOT shards, replication factor).
     /// The default is the paper's single-accelerator pairing.
     pub fleet: FleetConfig,
@@ -76,6 +83,7 @@ impl Default for IdaaConfig {
             checkpoint_every: Duration::from_millis(25),
             recovery_fixed: Duration::from_millis(2),
             recovery_bytes_per_sec: 256 * 1024 * 1024,
+            scrub_every: Duration::ZERO,
             fleet: FleetConfig::default(),
         }
     }
@@ -293,6 +301,14 @@ impl Idaa {
     /// mid-checkpoint, 2PC vote-NO) fire deterministically per seed.
     pub fn set_crash_plan(&self, plan: CrashPlan) {
         self.faults.registry.set_plan(plan);
+    }
+
+    /// Install a seeded *storage* fault plan on the shared failure
+    /// registry: named disk sites (torn log append, torn checkpoint,
+    /// log/checkpoint bit-rot, read failure) fire deterministically per
+    /// seed from a stream independent of the crash plan's.
+    pub fn set_disk_plan(&self, plan: DiskFaultPlan) {
+        self.faults.registry.set_disk_plan(plan);
     }
 
     /// Stats of the most recent accelerator crash recovery, if any.
@@ -663,11 +679,17 @@ impl Idaa {
     /// the readiness check drove a crash recovery.
     pub(crate) fn node_ready_traced(&self, node: &AccelNode, trace: &Trace) -> bool {
         let epoch_before = node.engine.epoch();
+        let rebuilds_before = node.rebuilds.load(Ordering::Relaxed);
         let ready = self.node_ready(node);
         if trace.is_enabled() && node.engine.epoch() != epoch_before {
             let now = node.link.now();
             let id = trace.begin("accel.restart", now);
             trace.attr(id, "epoch", node.engine.epoch());
+            if node.rebuilds.load(Ordering::Relaxed) != rebuilds_before {
+                // This recovery discarded the corrupt media and re-shipped
+                // the node's state from the host and replicas.
+                trace.attr(id, "rebuilt", true);
+            }
             if self.fleet_active() {
                 trace.attr(id, "node", node.engine.identity());
             }
@@ -689,7 +711,35 @@ impl Idaa {
     /// in-doubt transactions (presumed abort unless the coordinator holds
     /// a queued COMMIT decision), and redeliver queued decisions.
     pub(crate) fn restart_node(&self, node: &AccelNode) -> Result<()> {
-        let stats = node.engine.restart()?;
+        let before = Self::disk_stat_snapshot(&node.engine);
+        // A rebuild that failed part-way (read fault, lost exchange) left
+        // the node on fresh-but-empty media: booting it as-is would serve
+        // silently empty tables, so the flag forces the rebuild to resume.
+        let stats = if node.needs_rebuild.load(Ordering::Relaxed) {
+            let r = self.rebuild_node(node);
+            self.mirror_disk_stats(&node.engine, before);
+            r?
+        } else {
+            match node.engine.restart() {
+                Ok(stats) => {
+                    self.mirror_disk_stats(&node.engine, before);
+                    stats
+                }
+                Err(Error::StorageCorrupt(_)) => {
+                    // Acknowledged durable state failed validation beyond
+                    // local repair: discard the media wholesale and
+                    // re-materialize the node from the host catalog and
+                    // live replicas instead of serving damaged state.
+                    let r = self.rebuild_node(node);
+                    self.mirror_disk_stats(&node.engine, before);
+                    r?
+                }
+                Err(e) => {
+                    self.mirror_disk_stats(&node.engine, before);
+                    return Err(e);
+                }
+            }
+        };
         self.metrics.inc("accel.restarts", 1);
         self.metrics.inc(
             "accel.recovery.replayed_bytes",
@@ -721,6 +771,135 @@ impl Idaa {
         self.flush_pending_commits_on(node);
         *node.last_restart.lock() = Some(stats);
         Ok(())
+    }
+
+    /// Cumulative storage-fault counters of one engine, in the order of
+    /// [`Idaa::DISK_METRIC_KEYS`].
+    fn disk_stat_snapshot(engine: &AccelEngine) -> [u64; 5] {
+        [
+            engine.stats.disk_corruptions_detected.load(Ordering::Relaxed),
+            engine.stats.disk_records_truncated.load(Ordering::Relaxed),
+            engine.stats.disk_checkpoint_fallbacks.load(Ordering::Relaxed),
+            engine.stats.disk_scrub_repairs.load(Ordering::Relaxed),
+            engine.stats.disk_read_failures.load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Registry keys mirroring the engine-side storage-fault counters, in
+    /// [`Idaa::disk_stat_snapshot`] order. The mirror is delta-based, so
+    /// the registry totals reconcile exactly with the sum of the engines'
+    /// own atomics (`tests/observability.rs`).
+    const DISK_METRIC_KEYS: [&'static str; 5] = [
+        "disk.corruptions_detected",
+        "disk.records_truncated",
+        "disk.checkpoint_fallbacks",
+        "disk.scrub_repairs",
+        "disk.read_failures",
+    ];
+
+    /// Mirror into the [`MetricsRegistry`] whatever the engine's storage
+    /// counters gained since `before` was snapshotted.
+    fn mirror_disk_stats(&self, engine: &AccelEngine, before: [u64; 5]) {
+        let after = Self::disk_stat_snapshot(engine);
+        for (i, key) in Self::DISK_METRIC_KEYS.iter().enumerate() {
+            if after[i] > before[i] {
+                self.metrics.inc(key, after[i] - before[i]);
+            }
+        }
+    }
+
+    /// Rebuild a node whose durable state is corrupt beyond local repair:
+    /// discard the media wholesale, boot the engine empty, and
+    /// re-materialize every accelerator-resident table — replicated host
+    /// tables re-ship a snapshot from DB2 (the replication watermark
+    /// fast-forwards past it), sharded AOTs recreate their shard
+    /// definitions and refill from a live replica via the standard
+    /// catch-up copy, and an unsharded AOT with no other copy is
+    /// quarantined (-904 until reloaded) — its rows existed nowhere else,
+    /// and a silently empty table is the one outcome recovery must never
+    /// produce. Any failure part-way re-crashes the engine so the next
+    /// recovery probe resumes the rebuild rather than serving a
+    /// half-rebuilt node.
+    fn rebuild_node(&self, node: &AccelNode) -> Result<RestartStats> {
+        node.needs_rebuild.store(true, Ordering::Relaxed);
+        node.engine.durable().reset();
+        let stats = node.engine.restart()?;
+        let bytes_before = node.link.metrics().bytes_to_accel;
+        let rebuild = || -> Result<()> {
+            // The DB2 catalog iterates in name order, so recreation (and
+            // every wire frame it ships) is deterministic.
+            for name in self.host.table_names() {
+                let meta = self.host.table_meta(&name)?;
+                match meta.kind {
+                    TableKind::Regular => {
+                        if meta.accel_status == idaa_host::AccelStatus::NotAccelerated {
+                            continue;
+                        }
+                        self.ship_ddl_on(node, &format!("ADD TABLE {}", meta.name))?;
+                        node.engine.create_table(
+                            &meta.name,
+                            meta.schema.clone(),
+                            &meta.distribute_by,
+                        )?;
+                        if meta.accel_status == idaa_host::AccelStatus::Loaded {
+                            let rows = self.host.scan_all(&meta.name)?;
+                            let delivered =
+                                self.ship_rows_on(node, Direction::ToAccel, &meta.schema, &rows)?;
+                            node.engine.load_committed(&meta.name, delivered)?;
+                            self.ship_on(node, Direction::ToHost, wire::ACK_FRAME)?;
+                        }
+                    }
+                    TableKind::AcceleratorOnly => {
+                        if self.fleet.is_sharded(&meta.name) {
+                            for s in 0..self.fleet.shards {
+                                let owners = self.fleet.owners(s);
+                                if !owners.contains(&node.id) {
+                                    continue;
+                                }
+                                let st = crate::fleet::shard_table(&meta.name, s);
+                                node.engine.create_table(
+                                    &st,
+                                    meta.schema.clone(),
+                                    &meta.distribute_by,
+                                )?;
+                                if !owners.iter().any(|&o| o != node.id) {
+                                    // This node was the shard's only owner:
+                                    // there is no replica to copy from.
+                                    node.engine.quarantine_table(&st)?;
+                                }
+                            }
+                            // Shard contents arrive through the standard
+                            // metered catch-up copy from a live replica.
+                            self.fleet.mark_catch_up(node.id);
+                        } else {
+                            node.engine.create_table(
+                                &meta.name,
+                                meta.schema.clone(),
+                                &meta.distribute_by,
+                            )?;
+                            node.engine.quarantine_table(&meta.name)?;
+                        }
+                    }
+                }
+            }
+            // The snapshots above already contain every committed change:
+            // replaying the backlog would double-apply it.
+            node.replicator.lock().fast_forward(self.host.txns.current_lsn());
+            Ok(())
+        };
+        if let Err(e) = rebuild() {
+            // A half-rebuilt node must never serve: crash it so the next
+            // recovery probe finds `needs_rebuild` still set and restarts
+            // the rebuild from fresh media.
+            node.engine.crash();
+            return Err(e);
+        }
+        self.metrics.inc("disk.node_rebuilds", 1);
+        self.metrics
+            .inc("disk.repair.bytes", node.link.metrics().bytes_to_accel - bytes_before);
+        node.rebuilds.fetch_add(1, Ordering::Relaxed);
+        node.needs_rebuild.store(false, Ordering::Relaxed);
+        Ok(stats)
     }
 
     /// The error a statement gets when it requires an unavailable
@@ -1941,12 +2120,50 @@ impl Idaa {
                 self.metrics.inc("accel.checkpoints", 1);
                 trace.event("checkpoint", &[], node.link.now());
             }
+            self.maybe_scrub_node(node, &trace);
             self.absorb_node_clock(node);
         }
         if let Some(id) = span {
             trace.end(id, self.link().now());
         }
         Ok(())
+    }
+
+    /// One background storage-scrub step on `node`, driven between
+    /// statements by the commit path when [`IdaaConfig::scrub_every`] is
+    /// non-zero. Verification I/O is charged to the node's *virtual* clock
+    /// at the recovery bandwidth; detections (and the repair checkpoint
+    /// the engine takes) are mirrored into the metrics registry and
+    /// recorded as a "disk.scrub" trace event. Like a mid-checkpoint
+    /// crash, a scrub failure must not fail the user's already-durable
+    /// commit — the next statement observes the crash and drives
+    /// recovery.
+    fn maybe_scrub_node(&self, node: &AccelNode, trace: &Trace) {
+        if self.config.scrub_every.is_zero() {
+            return;
+        }
+        let before = Self::disk_stat_snapshot(&node.engine);
+        let result = node.engine.maybe_scrub(node.link.now(), self.config.scrub_every);
+        self.mirror_disk_stats(&node.engine, before);
+        let report = match result {
+            Ok(Some(report)) => report,
+            _ => return,
+        };
+        node.link.advance(Duration::from_secs_f64(
+            report.scanned_bytes as f64 / self.config.recovery_bytes_per_sec.max(1) as f64,
+        ));
+        self.metrics.inc("disk.scrub.steps", 1);
+        self.metrics.inc("disk.scrub.scanned_bytes", report.scanned_bytes);
+        if report.corruptions() > 0 {
+            trace.event(
+                "disk.scrub",
+                &[
+                    ("corrupt_records", &(report.corrupt_records.len() as u64)),
+                    ("corrupt_checkpoints", &report.corrupt_checkpoints),
+                ],
+                node.link.now(),
+            );
+        }
     }
 
     /// Two-phase commit with an enlisted accelerator, hardened against a

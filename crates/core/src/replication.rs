@@ -75,6 +75,15 @@ impl Replicator {
         self.stalled
     }
 
+    /// Jump both watermarks forward to `lsn`. Used after a storage rebuild
+    /// re-ships a full snapshot of every replicated table: the snapshot
+    /// already contains every change at or below `lsn`, so replaying the
+    /// backlog would double-apply it. Never moves a watermark backwards.
+    pub fn fast_forward(&mut self, lsn: Lsn) {
+        self.last_applied = self.last_applied.max(lsn);
+        self.accel_applied = self.accel_applied.max(lsn);
+    }
+
     /// Drain all committed changes newer than `last_applied` and apply them
     /// to the accelerator. Returns the number of change records applied.
     ///

@@ -722,6 +722,23 @@ pub mod sites {
     /// result is produced. The coordinator fails the shard over to a
     /// replica.
     pub const MID_SCATTER: &str = "accel.scatter.mid";
+    /// Storage fault: the in-flight commit-log append tears — the record's
+    /// tail is lost mid-write and the node crashes. Recovery must truncate
+    /// the torn record (it was never acknowledged).
+    pub const TORN_LOG_APPEND: &str = "disk.log.append.torn";
+    /// Storage fault: the node crashes in the middle of writing a new
+    /// checkpoint, leaving a torn checkpoint image on disk. The previous
+    /// checkpoint must stay authoritative.
+    pub const TORN_CHECKPOINT: &str = "disk.checkpoint.torn";
+    /// Storage fault: silent bit-rot flips a bit in an already-written
+    /// commit-log record (segment chosen by the firing's parameter draw).
+    pub const BITROT_LOG_SEGMENT: &str = "disk.log.segment.bitrot";
+    /// Storage fault: silent bit-rot flips a bit in an already-written
+    /// checkpoint image.
+    pub const BITROT_CHECKPOINT: &str = "disk.checkpoint.bitrot";
+    /// Storage fault: a recovery-time disk read fails transiently. The
+    /// restart attempt errors and must be retried.
+    pub const DISK_READ_FAIL: &str = "disk.read.fail";
 }
 
 /// Per-site crash/failure schedule inside a [`CrashPlan`].
@@ -804,6 +821,72 @@ impl CrashPlan {
     }
 }
 
+/// A deterministic schedule of *storage* faults (torn writes, bit-rot,
+/// failed reads) — the durable-disk analogue of [`CrashPlan`].
+///
+/// Same determinism contract: probabilistic draws and per-firing corruption
+/// parameters come from one splitmix64 stream seeded by `seed` (separate
+/// from the crash-plan stream, so mixing disk and crash plans never
+/// perturbs either schedule). Sites fire via [`FaultRegistry::fire_disk`],
+/// which returns a parameter draw the durable store uses to pick *which*
+/// segment/bit to damage — so a given seed replays the exact same
+/// corruption pattern. Firing never touches [`LinkMetrics`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiskFaultPlan {
+    /// Seed for the splitmix64 stream behind probabilistic firings and
+    /// per-firing corruption parameters.
+    pub seed: u64,
+    /// Per-site schedules; sites not listed never fire.
+    pub sites: Vec<SiteSpec>,
+}
+
+impl DiskFaultPlan {
+    /// Plan that fires `site` exactly once, on its `hit`-th (1-based) hit.
+    pub fn at(site: &str, hit: u64) -> DiskFaultPlan {
+        DiskFaultPlan::default().and_at(site, hit)
+    }
+
+    /// Add a deterministic firing of `site` on its `hit`-th hit.
+    pub fn and_at(mut self, site: &str, hit: u64) -> DiskFaultPlan {
+        if let Some(s) = self.sites.iter_mut().find(|s| s.site == site) {
+            s.at_hits.push(hit);
+        } else {
+            self.sites.push(SiteSpec {
+                site: site.to_string(),
+                probability: 0.0,
+                at_hits: vec![hit],
+            });
+        }
+        self
+    }
+
+    /// Add a probabilistic firing of `site` with probability `p` per hit.
+    pub fn and_probabilistic(mut self, site: &str, p: f64) -> DiskFaultPlan {
+        if let Some(s) = self.sites.iter_mut().find(|s| s.site == site) {
+            s.probability = p;
+        } else {
+            self.sites.push(SiteSpec {
+                site: site.to_string(),
+                probability: p,
+                at_hits: Vec::new(),
+            });
+        }
+        self
+    }
+
+    /// Plan seed builder (relevant with probabilistic sites, and for the
+    /// per-firing corruption parameter draws).
+    pub fn seeded(mut self, seed: u64) -> DiskFaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// True if this plan can never fire.
+    pub fn is_clean(&self) -> bool {
+        self.sites.iter().all(|s| s.probability <= 0.0 && s.at_hits.is_empty())
+    }
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
     plan: CrashPlan,
@@ -815,6 +898,14 @@ struct RegistryInner {
     armed: HashMap<String, u64>,
     /// Log of firings as `(site, hit)` pairs, in firing order.
     fired: Vec<(String, u64)>,
+    /// Storage-fault schedule consulted by [`FaultRegistry::fire_disk`].
+    disk_plan: DiskFaultPlan,
+    /// splitmix64 state for disk-site probabilities *and* the per-firing
+    /// corruption parameter draws (independent of `rng`).
+    disk_rng: u64,
+    /// Per-site hit counters for disk sites (independent of `hits`, so
+    /// installing one plan never restarts the other's counters).
+    disk_hits: HashMap<String, u64>,
 }
 
 /// The unified failure-injection registry: every "make X fail next time"
@@ -884,10 +975,66 @@ impl FaultRegistry {
         fired
     }
 
+    /// Install a storage-fault plan; the disk random stream is reseeded
+    /// from `plan.seed` and all disk-site hit counters restart from zero.
+    /// The crash plan, its stream, and its counters are untouched.
+    pub fn set_disk_plan(&self, plan: DiskFaultPlan) {
+        let mut inner = self.inner.lock();
+        inner.disk_rng = plan.seed ^ 0x9e37_79b9_7f4a_7c15;
+        inner.disk_plan = plan;
+        inner.disk_hits.clear();
+    }
+
+    /// Consult the registry at a *disk* `site` (see the `disk.*` constants
+    /// in [`sites`]). Same contract as [`fire`](Self::fire) — armed
+    /// one-shots and pinned `at_hits` consume no probability draw — except
+    /// that a firing additionally draws one u64 *corruption parameter* from
+    /// the disk stream and returns it: the durable store uses it to pick
+    /// which segment/bit to damage, so a given seed replays the exact same
+    /// corruption pattern. Returns `None` when the site does not fire.
+    pub fn fire_disk(&self, site: &str) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        let hit = {
+            let h = inner.disk_hits.entry(site.to_string()).or_insert(0);
+            *h += 1;
+            *h
+        };
+        let mut fired = false;
+        if let Some(n) = inner.armed.get_mut(site) {
+            if *n > 0 {
+                *n -= 1;
+                fired = true;
+            }
+        }
+        if !fired {
+            if let Some(spec) =
+                inner.disk_plan.sites.iter().find(|s| s.site == site).cloned()
+            {
+                if spec.at_hits.contains(&hit) {
+                    fired = true;
+                } else if spec.probability > 0.0 {
+                    fired = next_unit(&mut inner.disk_rng) < spec.probability;
+                }
+            }
+        }
+        if fired {
+            inner.fired.push((site.to_string(), hit));
+            Some(splitmix64(&mut inner.disk_rng))
+        } else {
+            None
+        }
+    }
+
     /// How many times `site` has been consulted since the last
     /// [`set_plan`](Self::set_plan)/[`clear`](Self::clear).
     pub fn hits(&self, site: &str) -> u64 {
         self.inner.lock().hits.get(site).copied().unwrap_or(0)
+    }
+
+    /// How many times disk `site` has been consulted since the last
+    /// [`set_disk_plan`](Self::set_disk_plan)/[`clear`](Self::clear).
+    pub fn disk_hits(&self, site: &str) -> u64 {
+        self.inner.lock().disk_hits.get(site).copied().unwrap_or(0)
     }
 
     /// Firing log as `(site, hit)` pairs, in firing order.
@@ -1315,9 +1462,80 @@ mod tests {
         let reg = FaultRegistry::default();
         reg.arm(sites::PREPARE_VOTE_NO, 5);
         reg.set_plan(CrashPlan::at(sites::POST_PREPARE, 1));
+        reg.set_disk_plan(DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, 1));
         reg.clear();
         assert!(!reg.fire(sites::PREPARE_VOTE_NO));
         assert!(!reg.fire(sites::POST_PREPARE));
+        assert!(reg.fire_disk(sites::BITROT_LOG_SEGMENT).is_none());
         assert!(reg.fired().is_empty());
+    }
+
+    #[test]
+    fn registry_disk_pinned_hits_fire_with_deterministic_params() {
+        let run = || {
+            let reg = FaultRegistry::default();
+            reg.set_disk_plan(
+                DiskFaultPlan::at(sites::TORN_LOG_APPEND, 2)
+                    .and_at(sites::BITROT_CHECKPOINT, 1)
+                    .seeded(0xD15C),
+            );
+            let mut draws = Vec::new();
+            for _ in 0..4 {
+                draws.push(reg.fire_disk(sites::TORN_LOG_APPEND));
+                draws.push(reg.fire_disk(sites::BITROT_CHECKPOINT));
+            }
+            (draws, reg.fired())
+        };
+        let (draws, fired) = run();
+        assert!(draws[0].is_none(), "first torn-append hit clean");
+        assert!(draws[1].is_some(), "first bitrot hit fires");
+        assert!(draws[2].is_some(), "second torn-append hit fires");
+        assert!(draws[3..].iter().all(Option::is_none), "one-shot pins");
+        assert_eq!(
+            fired,
+            vec![
+                (sites::BITROT_CHECKPOINT.to_string(), 1),
+                (sites::TORN_LOG_APPEND.to_string(), 2)
+            ]
+        );
+        assert_eq!(run(), (draws, fired), "same seed replays params exactly");
+    }
+
+    #[test]
+    fn registry_disk_plan_is_independent_of_crash_plan() {
+        let reg = FaultRegistry::default();
+        reg.set_plan(
+            CrashPlan::default().seeded(7).and_probabilistic(sites::MID_BULK_LOAD, 0.5),
+        );
+        reg.set_disk_plan(
+            DiskFaultPlan::default()
+                .seeded(7)
+                .and_probabilistic(sites::BITROT_LOG_SEGMENT, 0.5),
+        );
+        let crash_only: Vec<bool> = (0..50).map(|_| reg.fire(sites::MID_BULK_LOAD)).collect();
+
+        // Interleaving disk firings must not perturb the crash stream.
+        let reg2 = FaultRegistry::default();
+        reg2.set_plan(
+            CrashPlan::default().seeded(7).and_probabilistic(sites::MID_BULK_LOAD, 0.5),
+        );
+        reg2.set_disk_plan(
+            DiskFaultPlan::default()
+                .seeded(7)
+                .and_probabilistic(sites::BITROT_LOG_SEGMENT, 0.5),
+        );
+        let interleaved: Vec<bool> = (0..50)
+            .map(|_| {
+                reg2.fire_disk(sites::BITROT_LOG_SEGMENT);
+                reg2.fire(sites::MID_BULK_LOAD)
+            })
+            .collect();
+        assert_eq!(crash_only, interleaved);
+        // Reinstalling the disk plan restarts only disk hit counters.
+        assert_eq!(reg2.hits(sites::MID_BULK_LOAD), 50);
+        assert_eq!(reg2.disk_hits(sites::BITROT_LOG_SEGMENT), 50);
+        reg2.set_disk_plan(DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, 1));
+        assert_eq!(reg2.disk_hits(sites::BITROT_LOG_SEGMENT), 0);
+        assert_eq!(reg2.hits(sites::MID_BULK_LOAD), 50);
     }
 }

@@ -62,6 +62,6 @@ pub use idaa_core::{
 };
 pub use idaa_host::{HostEngine, SYSADM};
 pub use idaa_netsim::{
-    CrashPlan, Direction, FaultPlan, FaultRegistry, FaultSpec, LinkConfig, LinkError, LinkMetrics,
-    NetLink, OutageWindow, RetryPolicy,
+    CrashPlan, Direction, DiskFaultPlan, FaultPlan, FaultRegistry, FaultSpec, LinkConfig,
+    LinkError, LinkMetrics, NetLink, OutageWindow, RetryPolicy,
 };

@@ -11,8 +11,8 @@
 
 use idaa::netsim::sites;
 use idaa::{
-    CrashPlan, FaultPlan, FleetConfig, HealthState, Idaa, IdaaConfig, ObjectName, Route, Value,
-    SYSADM,
+    CrashPlan, DiskFaultPlan, FaultPlan, FleetConfig, HealthState, Idaa, IdaaConfig, ObjectName,
+    Route, Value, SYSADM,
 };
 use std::time::Duration;
 
@@ -659,4 +659,452 @@ fn fleet_shard_loss_maps_to_db2_sqlcodes() {
     idaa.node_link(1).fail_transfers_after(0, u64::MAX);
     let err = idaa.query(&mut s, "SELECT COUNT(*) FROM FLOG").unwrap_err();
     assert_eq!(err.sqlcode(), -30081, "a dead exchange on every replica is -30081: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Storage fault chaos: torn writes, bit-rot, scrub, rebuild
+// ---------------------------------------------------------------------------
+
+/// Build the two-table system with explicit checkpoint and scrub cadences
+/// for the storage-fault runs (the bit-rot cases disable checkpoints so
+/// every record stays in the replay tail; the torn cases keep them
+/// aggressive so the checkpoint sites are reachable).
+fn disk_system(checkpoint_every: Duration, scrub_every: Duration) -> (Idaa, idaa::Session) {
+    let idaa = Idaa::new(IdaaConfig {
+        replication_batch: 4,
+        checkpoint_every,
+        scrub_every,
+        ..IdaaConfig::default()
+    });
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE SALES (ID INT NOT NULL)").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE LOG (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    (idaa, s)
+}
+
+/// Everything a storage-fault run produces, for convergence and
+/// byte-identical-replay comparisons.
+#[derive(Debug, PartialEq)]
+struct DiskRun {
+    metrics: idaa::LinkMetrics,
+    fired: Vec<(String, u64)>,
+    sales: Vec<i32>,
+    /// Final AOT contents — or the deterministic SQLCODE when the only
+    /// copy was lost and the table is quarantined.
+    log: std::result::Result<Vec<i32>, i32>,
+    rebuilds: u64,
+    truncated: u64,
+    fallbacks: u64,
+    scrub_repairs: u64,
+}
+
+/// One deterministic workload under one storage-fault plan (the disk
+/// analogue of [`crash_run`]): replicated host inserts, retried AOT
+/// inserts, periodic bulk reloads, replication pulls, a steady virtual
+/// clock — then a forced crash + recovery so any *latent* (silent) damage
+/// must be read back. Either recovery repairs it locally, the node is
+/// rebuilt from the host, or the loss surfaces as a quarantine — never a
+/// silently wrong answer.
+fn disk_run(plan: DiskFaultPlan, checkpoint_every: Duration, scrub_every: Duration) -> DiskRun {
+    let (idaa, mut s) = disk_system(checkpoint_every, scrub_every);
+    let expect_fault = !plan.is_clean();
+    idaa.set_disk_plan(plan);
+    for i in 0..40 {
+        idaa.execute(&mut s, &format!("INSERT INTO SALES VALUES ({i})")).unwrap();
+        exec_until_applied(&idaa, &mut s, &format!("INSERT INTO LOG VALUES ({i})"));
+        if i % 10 == 9 {
+            exec_until_applied(&idaa, &mut s, "CALL ACCEL_LOAD_TABLES('SALES')");
+        }
+        idaa.replicate_now().unwrap();
+        idaa.link().advance(Duration::from_micros(100));
+    }
+    idaa.accel().crash();
+    idaa.link().advance(Duration::from_millis(10));
+    assert!(idaa.recover(), "recovery must bring the accelerator back");
+    idaa.replicate_now().unwrap();
+    assert_eq!(idaa.health().state(), HealthState::Online);
+    assert_eq!(idaa.pending_accel_commits(), 0);
+    assert_eq!(idaa.replication_backlog(), 0);
+    let fired = idaa.faults.registry.fired();
+    if expect_fault {
+        assert!(!fired.is_empty(), "the pinned storage fault must fire");
+    }
+    DiskRun {
+        metrics: idaa.link().metrics(),
+        fired,
+        sales: sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("SALES")).unwrap()),
+        log: match idaa.accel().scan_visible(&ObjectName::bare("LOG")) {
+            Ok(rows) => Ok(sorted_ints(rows)),
+            Err(e) => {
+                assert!(e.to_string().contains("quarantined"), "unexpected AOT loss error: {e}");
+                Err(e.sqlcode())
+            }
+        },
+        rebuilds: idaa.node_rebuilds(0),
+        truncated: idaa.metrics().counter("disk.records_truncated"),
+        fallbacks: idaa.metrics().counter("disk.checkpoint_fallbacks"),
+        scrub_repairs: idaa.metrics().counter("disk.scrub_repairs"),
+    }
+}
+
+/// Torn writes at both named sites, at three pinned hit counts each: a
+/// torn log append is truncated and durably re-logged, a torn checkpoint
+/// leaves the previous one authoritative — both are locally repairable
+/// (no rebuild), converge to the fault-free answer, and replay
+/// byte-identically per seed.
+#[test]
+fn torn_writes_at_named_sites_self_heal_and_replay_byte_identically() {
+    let cadence = Duration::from_micros(300);
+    let clean = disk_run(DiskFaultPlan::default(), cadence, Duration::ZERO);
+    assert!(clean.fired.is_empty(), "a clean disk plan must never fire");
+    assert_eq!(clean.sales, (0..40).collect::<Vec<_>>());
+    assert_eq!(clean.log, Ok((0..40).collect::<Vec<_>>()));
+    assert_eq!((clean.rebuilds, clean.truncated, clean.fallbacks), (0, 0, 0));
+
+    for site in [sites::TORN_LOG_APPEND, sites::TORN_CHECKPOINT] {
+        for (k, seed) in [0xA11CEu64, 0xB0B, 0xC0FFEE].into_iter().enumerate() {
+            let hit = k as u64 + 1;
+            let plan = || DiskFaultPlan::at(site, hit).seeded(seed);
+            let r1 = disk_run(plan(), cadence, Duration::ZERO);
+            assert_eq!(
+                r1.fired,
+                vec![(site.to_string(), hit)],
+                "the pinned tear must fire exactly once at {site} hit {hit}"
+            );
+            assert_eq!(r1.sales, clean.sales, "replica diverged after tear at {site} hit {hit}");
+            assert_eq!(r1.log, clean.log, "AOT diverged after tear at {site} hit {hit}");
+            assert_eq!(r1.rebuilds, 0, "a torn write is locally repairable at {site}");
+            match site {
+                s if s == sites::TORN_LOG_APPEND => {
+                    assert!(r1.truncated >= 1, "recovery must truncate the torn tail")
+                }
+                _ => assert!(r1.fallbacks >= 1, "recovery must discard the torn checkpoint"),
+            }
+            let r2 = disk_run(plan(), cadence, Duration::ZERO);
+            assert_eq!(r1, r2, "tear at {site} hit {hit} must replay byte-identically");
+        }
+    }
+}
+
+/// Bit-rot in an *acknowledged* log record with no scrub running: the
+/// forced recovery detects the checksum mismatch, refuses to replay
+/// damaged state, and rebuilds the node wholesale — the replicated host
+/// table is re-shipped in full, while the AOT (whose only copy was on the
+/// corrupted media) is quarantined behind a deterministic -904. Never a
+/// silently wrong or empty answer, and byte-identical replay per seed.
+#[test]
+fn acked_bitrot_without_scrub_rebuilds_the_node_and_quarantines_the_aot() {
+    // Checkpoints disabled: every record stays in the replay tail, so the
+    // rot is always on recovery's critical path.
+    let slow = Duration::from_secs(3600);
+    let clean = disk_run(DiskFaultPlan::default(), slow, Duration::ZERO);
+    assert_eq!(clean.sales, (0..40).collect::<Vec<_>>());
+    assert_eq!(clean.log, Ok((0..40).collect::<Vec<_>>()));
+
+    for (k, seed) in [0xA11CEu64, 0xB0B, 0xC0FFEE].into_iter().enumerate() {
+        let hit = k as u64 + 1;
+        let plan = || DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, hit).seeded(seed);
+        let r1 = disk_run(plan(), slow, Duration::ZERO);
+        assert_eq!(
+            r1.fired,
+            vec![(sites::BITROT_LOG_SEGMENT.to_string(), hit)],
+            "the pinned rot must fire exactly once at hit {hit}"
+        );
+        assert_eq!(r1.rebuilds, 1, "acked rot in the tail must force a rebuild");
+        assert_eq!(r1.sales, clean.sales, "the host table must be re-shipped in full");
+        assert_eq!(r1.log, Err(-904), "a lost AOT is a deterministic error, never empty");
+        let r2 = disk_run(plan(), slow, Duration::ZERO);
+        assert_eq!(r1, r2, "rot at hit {hit} must replay byte-identically");
+    }
+}
+
+/// The same acked bit-rot with the background scrub enabled: the scrub
+/// finds the checksum mismatch between statements, while the in-memory
+/// state is still authoritative, and repairs it with a fresh checkpoint —
+/// so the forced recovery reads clean media, nothing is quarantined, and
+/// the run converges to the fault-free answer.
+#[test]
+fn background_scrub_repairs_latent_bitrot_before_recovery_needs_it() {
+    let slow = Duration::from_secs(3600);
+    let scrub = Duration::from_micros(200);
+    let clean = disk_run(DiskFaultPlan::default(), slow, scrub);
+    assert_eq!(clean.sales, (0..40).collect::<Vec<_>>());
+    assert_eq!(clean.log, Ok((0..40).collect::<Vec<_>>()));
+    assert_eq!(clean.scrub_repairs, 0, "a clean run has nothing to repair");
+
+    for (k, seed) in [0xA11CEu64, 0xB0B, 0xC0FFEE].into_iter().enumerate() {
+        let hit = k as u64 + 1;
+        let plan = || DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, hit).seeded(seed);
+        let r1 = disk_run(plan(), slow, scrub);
+        assert_eq!(r1.fired, vec![(sites::BITROT_LOG_SEGMENT.to_string(), hit)]);
+        assert!(r1.scrub_repairs >= 1, "the scrub must find and repair the rot");
+        assert_eq!(r1.rebuilds, 0, "scrub repair must pre-empt the rebuild");
+        assert_eq!(r1.sales, clean.sales, "replica diverged despite scrub repair");
+        assert_eq!(r1.log, Ok((0..40).collect::<Vec<_>>()), "the AOT must survive intact");
+        let r2 = disk_run(plan(), slow, scrub);
+        assert_eq!(r1, r2, "scrub repair at hit {hit} must replay byte-identically");
+    }
+}
+
+/// Bit-rot in an installed checkpoint: crash while the rotted image is
+/// still the newest one, and recovery falls back to the previous valid
+/// checkpoint, replaying the longer log tail between them — full
+/// convergence, no rebuild, byte-identical replay per seed.
+#[test]
+fn rotted_checkpoint_falls_back_to_the_previous_valid_one() {
+    // Hits start at 2 so a previous valid checkpoint always exists; a
+    // rotted *first* checkpoint has no fallback coverage and is the
+    // rebuild path, covered above.
+    // Crash while the rotted checkpoint is still the newest retained one,
+    // so recovery must exercise the fallback. Checked after *every*
+    // statement: transfer costs advance the clock, and waiting until the
+    // end of an iteration would let a newer clean checkpoint install and
+    // mask the rotted image.
+    fn crash_on_first_fire(idaa: &Idaa, crashed: &mut bool) {
+        if !*crashed && !idaa.faults.registry.fired().is_empty() {
+            idaa.accel().crash();
+            idaa.link().advance(Duration::from_millis(10));
+            assert!(idaa.recover(), "fallback recovery must succeed");
+            *crashed = true;
+        }
+    }
+    let run = |hit: u64, seed: u64| {
+        let (idaa, mut s) = disk_system(Duration::from_micros(300), Duration::ZERO);
+        idaa.set_disk_plan(DiskFaultPlan::at(sites::BITROT_CHECKPOINT, hit).seeded(seed));
+        let mut crashed_after_fire = false;
+        for i in 0..40 {
+            idaa.execute(&mut s, &format!("INSERT INTO SALES VALUES ({i})")).unwrap();
+            crash_on_first_fire(&idaa, &mut crashed_after_fire);
+            exec_until_applied(&idaa, &mut s, &format!("INSERT INTO LOG VALUES ({i})"));
+            crash_on_first_fire(&idaa, &mut crashed_after_fire);
+            idaa.replicate_now().unwrap();
+            crash_on_first_fire(&idaa, &mut crashed_after_fire);
+            idaa.link().advance(Duration::from_micros(100));
+        }
+        assert!(crashed_after_fire, "the pinned checkpoint rot must fire within the workload");
+        idaa.replicate_now().unwrap();
+        assert_eq!(idaa.health().state(), HealthState::Online);
+        assert!(
+            idaa.metrics().counter("disk.checkpoint_fallbacks") >= 1,
+            "recovery must discard the rotted checkpoint"
+        );
+        assert_eq!(idaa.node_rebuilds(0), 0, "a retained valid checkpoint avoids the rebuild");
+        (
+            idaa.link().metrics(),
+            idaa.faults.registry.fired(),
+            sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("SALES")).unwrap()),
+            sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("LOG")).unwrap()),
+        )
+    };
+    for (k, seed) in [0xA11CEu64, 0xB0B, 0xC0FFEE].into_iter().enumerate() {
+        let hit = k as u64 + 2;
+        let (m1, fired1, sales, log) = run(hit, seed);
+        assert_eq!(fired1, vec![(sites::BITROT_CHECKPOINT.to_string(), hit)]);
+        assert_eq!(sales, (0..40).collect::<Vec<_>>(), "fallback replay diverged at hit {hit}");
+        assert_eq!(log, (0..40).collect::<Vec<_>>(), "AOT diverged at hit {hit}");
+        let (m2, fired2, sales2, log2) = run(hit, seed);
+        assert_eq!(m1, m2, "checkpoint rot at hit {hit} must replay byte-identically");
+        assert_eq!(fired1, fired2);
+        assert_eq!(sales, sales2);
+        assert_eq!(log, log2);
+    }
+}
+
+/// Transient disk read failures during recovery: each failed attempt
+/// leaves the engine crashed (statements stay -904) and is retried by the
+/// next operator probe; once the media reads clean, the full log replays
+/// and nothing is lost.
+#[test]
+fn transient_disk_read_failures_delay_recovery_without_losing_state() {
+    let (idaa, mut s) = disk_system(Duration::from_micros(300), Duration::ZERO);
+    for i in 0..10 {
+        idaa.execute(&mut s, &format!("INSERT INTO LOG VALUES ({i})")).unwrap();
+    }
+    idaa.accel().crash();
+    idaa.set_disk_plan(
+        DiskFaultPlan::at(sites::DISK_READ_FAIL, 1)
+            .and_at(sites::DISK_READ_FAIL, 2)
+            .seeded(0xA11CE),
+    );
+    assert!(!idaa.recover(), "first restart attempt dies on the read fault");
+    assert!(idaa.accel().is_crashed(), "a failed read leaves the engine down");
+    assert!(!idaa.recover(), "second attempt dies too");
+    assert!(idaa.recover(), "third attempt reads clean and replays the log");
+    assert_eq!(
+        sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("LOG")).unwrap()),
+        (0..10).collect::<Vec<_>>(),
+        "transient read failures must not lose acknowledged state"
+    );
+    assert_eq!(idaa.accel().stats.disk_read_failures.load(std::sync::atomic::Ordering::Relaxed), 2);
+    assert_eq!(idaa.metrics().counter("disk.read_failures"), 2);
+    assert_eq!(
+        idaa.faults.registry.fired(),
+        vec![
+            (sites::DISK_READ_FAIL.to_string(), 1),
+            (sites::DISK_READ_FAIL.to_string(), 2)
+        ]
+    );
+}
+
+/// The quarantine lifecycle end to end: after a rebuild loses the only
+/// copy of an AOT, every statement against it is a deterministic -904
+/// (never a silently empty answer) until the operator recreates the table
+/// — the reload path — which lifts the quarantine.
+#[test]
+fn quarantine_is_explicit_and_lifted_by_recreating_the_aot() {
+    let (idaa, mut s) = disk_system(Duration::from_secs(3600), Duration::ZERO);
+    idaa.set_disk_plan(DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, 1).seeded(0xA11CE));
+    for i in 0..8 {
+        idaa.execute(&mut s, &format!("INSERT INTO LOG VALUES ({i})")).unwrap();
+        idaa.execute(&mut s, &format!("INSERT INTO SALES VALUES ({i})")).unwrap();
+    }
+    idaa.replicate_now().unwrap();
+    idaa.accel().crash();
+    assert!(idaa.recover(), "the rebuild path must bring the node back");
+    assert_eq!(idaa.node_rebuilds(0), 1);
+    assert_eq!(idaa.accel().quarantined_tables(), vec![ObjectName::qualified("APP", "LOG")]);
+
+    // Reads and writes against the lost table are -904 with an explicit
+    // quarantine message.
+    let err = idaa.query(&mut s, "SELECT COUNT(*) FROM LOG").unwrap_err();
+    assert_eq!(err.sqlcode(), -904, "{err}");
+    assert!(err.to_string().contains("quarantined"), "{err}");
+    let err = idaa.execute(&mut s, "INSERT INTO LOG VALUES (99)").unwrap_err();
+    assert_eq!(err.sqlcode(), -904, "{err}");
+
+    // The replicated host table was re-shipped in full and serves fine.
+    let out = idaa.execute(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(out.rows().unwrap().scalar().unwrap(), &Value::BigInt(8));
+
+    // Recreating the AOT is the operator's reload path: the quarantine
+    // lifts and the table serves again.
+    idaa.execute(&mut s, "DROP TABLE LOG").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE LOG (X INT) IN ACCELERATOR").unwrap();
+    assert!(idaa.accel().quarantined_tables().is_empty());
+    idaa.execute(&mut s, "INSERT INTO LOG VALUES (1)").unwrap();
+    let n = idaa.query(&mut s, "SELECT COUNT(*) FROM LOG").unwrap();
+    assert_eq!(n.scalar().unwrap(), &Value::BigInt(1));
+}
+
+/// Fleet self-healing: a sharded AOT at replication factor 2 loses one
+/// node's durable state to acked bit-rot. The rebuild recreates the shard
+/// definitions and refills their contents from live replicas over metered
+/// wire frames — answers converge to the fault-free run and the whole
+/// repair replays byte-identically per seed.
+#[test]
+fn fleet_rebuilds_a_corrupt_node_from_its_replicas_and_converges() {
+    let build = || {
+        let idaa = Idaa::new(IdaaConfig {
+            // Checkpoints disabled so the rot stays in node 1's replay tail.
+            checkpoint_every: Duration::from_secs(3600),
+            fleet: FleetConfig {
+                accelerators: 3,
+                shards: 4,
+                replication_factor: 2,
+                ..FleetConfig::default()
+            },
+            ..IdaaConfig::default()
+        });
+        let mut s = idaa.session(SYSADM);
+        idaa.execute(
+            &mut s,
+            "CREATE TABLE FLOG (X INT NOT NULL, G VARCHAR(2)) IN ACCELERATOR DISTRIBUTE BY HASH(X)",
+        )
+        .unwrap();
+        idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+        (idaa, s)
+    };
+    #[allow(clippy::type_complexity)]
+    let run = |plan: Option<DiskFaultPlan>| -> (Vec<idaa::Row>, Vec<idaa::LinkMetrics>, Vec<(String, u64)>) {
+        let (idaa, mut s) = build();
+        let corrupting = plan.is_some();
+        if let Some(p) = plan {
+            idaa.set_disk_plan_on(1, p);
+        }
+        for i in 0..30 {
+            let g = if i % 2 == 0 { "a" } else { "b" };
+            idaa.execute(&mut s, &format!("INSERT INTO FLOG VALUES ({i}, '{g}')")).unwrap();
+            idaa.link().advance(Duration::from_micros(100));
+        }
+        if corrupting {
+            idaa.node_engine(1).crash();
+            assert!(idaa.recover_node(1), "the rebuild must bring node 1 back");
+            assert_eq!(idaa.node_rebuilds(1), 1, "acked rot must force a rebuild");
+            assert!(
+                idaa.fleet_catch_up_bytes() > 0,
+                "the repair must copy shard contents from live replicas"
+            );
+            // The shard contents arrive via the fleet's metered catch-up
+            // copies; `disk.repair.bytes` only counts host re-shipments
+            // during the rebuild itself, which a pure AOT fleet has none of.
+            assert_eq!(idaa.metrics().counter("disk.node_rebuilds"), 1);
+            assert!(
+                idaa.metrics().counter("fleet.catch_up.bytes") > 0,
+                "replica-copy repair traffic must be metered"
+            );
+            assert!(
+                idaa.node_engine(1).quarantined_tables().is_empty(),
+                "replicated shards are rebuilt, not quarantined"
+            );
+            idaa.link().advance(Duration::from_millis(25));
+        }
+        let rows = idaa
+            .query(&mut s, "SELECT G, COUNT(*), SUM(X) FROM FLOG GROUP BY G ORDER BY G")
+            .unwrap();
+        let metrics = (0..idaa.fleet_size()).map(|i| idaa.node_link(i).metrics()).collect();
+        (rows.rows, metrics, idaa.node_registry(1).fired())
+    };
+
+    let (clean_rows, _, clean_fired) = run(None);
+    assert!(clean_fired.is_empty());
+
+    let plan = || DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, 7).seeded(0xC0FFEE);
+    let (rows, metrics, fired) = run(Some(plan()));
+    assert_eq!(fired, vec![(sites::BITROT_LOG_SEGMENT.to_string(), 7)]);
+    assert_eq!(rows, clean_rows, "the rebuilt node must serve the fault-free answer");
+
+    let (rows2, metrics2, fired2) = run(Some(plan()));
+    assert_eq!(rows, rows2);
+    assert_eq!(metrics, metrics2, "the repair must replay byte-identically per seed");
+    assert_eq!(fired, fired2);
+}
+
+/// A sole-owner shard (replication factor 1) lost to storage corruption
+/// has nothing to rebuild from: its shard table is quarantined and the
+/// gather surfaces the deterministic -904 — never an empty answer.
+#[test]
+fn fleet_sole_owner_shard_loss_is_a_deterministic_error() {
+    let idaa = Idaa::new(IdaaConfig {
+        checkpoint_every: Duration::from_secs(3600),
+        fleet: FleetConfig {
+            accelerators: 2,
+            shards: 2,
+            replication_factor: 1,
+            ..FleetConfig::default()
+        },
+        ..IdaaConfig::default()
+    });
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(
+        &mut s,
+        "CREATE TABLE FLOG (X INT NOT NULL) IN ACCELERATOR DISTRIBUTE BY HASH(X)",
+    )
+    .unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    idaa.set_disk_plan_on(1, DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, 3).seeded(0xB0B));
+    idaa.execute(&mut s, "INSERT INTO FLOG VALUES (1), (2), (3), (4), (5)").unwrap();
+
+    idaa.node_engine(1).crash();
+    assert!(idaa.recover_node(1), "the node itself comes back (on empty media)");
+    assert_eq!(idaa.node_rebuilds(1), 1);
+    assert!(
+        !idaa.node_engine(1).quarantined_tables().is_empty(),
+        "the lost sole-owner shard must be quarantined on its engine"
+    );
+    let err = idaa.query(&mut s, "SELECT COUNT(*) FROM FLOG").unwrap_err();
+    assert_eq!(err.sqlcode(), -904, "a lost sole-owner shard is -904: {err}");
+    assert!(err.to_string().contains("no live replica"), "{err}");
 }

@@ -10,10 +10,13 @@
 //!   transfers only (no row frames cross the link);
 //! * the `link.*` metrics counters reconcile exactly with `LinkMetrics`,
 //!   and counters stay monotone under seeded chaos;
-//! * retries, crash recovery, and 2PC legs all surface as trace events.
+//! * retries, crash recovery, and 2PC legs all surface as trace events;
+//! * the `disk.*` storage-fault counters reconcile exactly with the
+//!   engine's own atomics, and scrub detections / node rebuilds surface
+//!   as structural trace events.
 
 use idaa::netsim::sites;
-use idaa::{CrashPlan, FaultPlan, FleetConfig, Idaa, IdaaConfig, Route, Value, SYSADM};
+use idaa::{CrashPlan, DiskFaultPlan, FaultPlan, FleetConfig, Idaa, IdaaConfig, Route, Value, SYSADM};
 use std::time::Duration;
 
 fn seeded_system() -> (Idaa, idaa::Session) {
@@ -306,6 +309,123 @@ fn explain_analyze_reports_routed_execution() {
     // EXPLAIN ANALYZE consumed the rows, so re-running returns them.
     let out = idaa.query(&mut s, "SELECT COUNT(*) FROM sales").unwrap();
     assert_eq!(out.scalar().unwrap(), &Value::BigInt(64));
+}
+
+// ---------------------------------------------------------------------------
+// Storage faults: disk.* counters and scrub / rebuild observability
+// ---------------------------------------------------------------------------
+
+/// The registry's `disk.*` counters are delta-mirrored from the engine's
+/// own atomics, so the two views must reconcile *exactly* — and a scrub
+/// that detects latent bit-rot between statements surfaces as a
+/// structural `disk.scrub` trace event, not a log line.
+#[test]
+fn disk_scrub_metrics_reconcile_with_engine_stats_and_emit_trace_events() {
+    use std::sync::atomic::Ordering;
+    let idaa = Idaa::new(IdaaConfig {
+        // Checkpoints off so the rot stays in the replay tail; the scrub
+        // (not recovery) must be what finds it.
+        checkpoint_every: Duration::from_secs(3600),
+        scrub_every: Duration::from_micros(200),
+        ..IdaaConfig::default()
+    });
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE R (X INT) IN ACCELERATOR").unwrap();
+    idaa.set_disk_plan(DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, 2).seeded(0xA11CE));
+    for i in 0..20 {
+        idaa.execute(&mut s, &format!("INSERT INTO R VALUES ({i})")).unwrap();
+        idaa.link().advance(Duration::from_micros(100));
+    }
+
+    let snap = idaa.metrics().snapshot();
+    let stats = &idaa.accel().stats;
+    for (key, engine_total) in [
+        ("disk.corruptions_detected", stats.disk_corruptions_detected.load(Ordering::Relaxed)),
+        ("disk.records_truncated", stats.disk_records_truncated.load(Ordering::Relaxed)),
+        ("disk.checkpoint_fallbacks", stats.disk_checkpoint_fallbacks.load(Ordering::Relaxed)),
+        ("disk.scrub_repairs", stats.disk_scrub_repairs.load(Ordering::Relaxed)),
+        ("disk.read_failures", stats.disk_read_failures.load(Ordering::Relaxed)),
+    ] {
+        assert_eq!(snap.counter(key), engine_total, "{key} diverged\n{}", snap.render());
+    }
+    assert!(snap.counter("disk.corruptions_detected") >= 1, "the rot must be found");
+    assert!(snap.counter("disk.scrub_repairs") >= 1, "the scrub must repair it");
+    assert!(snap.counter("disk.scrub.steps") >= 1, "scrub work is metered");
+    assert!(snap.counter("disk.scrub.scanned_bytes") > 0, "verification I/O is metered");
+
+    // The detection is discoverable structurally in some statement's trace.
+    let detections: Vec<_> = idaa
+        .tracer()
+        .statements()
+        .iter()
+        .flat_map(|t| {
+            t.root
+                .find_all("disk.scrub")
+                .iter()
+                .map(|e| e.attr("corrupt_records").map(str::to_string))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert!(!detections.is_empty(), "scrub detection must surface as a trace event");
+
+    // The repair healed the media: a forced recovery replays clean.
+    idaa.accel().crash();
+    assert!(idaa.recover(), "scrubbed media must recover without a rebuild");
+    assert_eq!(idaa.metrics().counter("disk.node_rebuilds"), 0);
+}
+
+/// A rebuild after unrepairable corruption is visible end to end: the
+/// recovery-driving statement's `accel.restart` event carries the
+/// `rebuilt` attribute, the host re-materialization bytes land in
+/// `disk.repair.bytes`, and the engine/registry counter views still
+/// reconcile exactly.
+#[test]
+fn node_rebuild_surfaces_in_restart_event_and_repair_metrics() {
+    use std::sync::atomic::Ordering;
+    let idaa = Idaa::new(IdaaConfig {
+        checkpoint_every: Duration::from_secs(3600),
+        ..IdaaConfig::default()
+    });
+    let mut s = idaa.session(SYSADM);
+    // SALES is replicated and loaded — rebuildable from the host. R is a
+    // sole-copy AOT whose loss the rebuild must quarantine, not hide.
+    idaa.execute(&mut s, "CREATE TABLE SALES (ID INT NOT NULL)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO SALES VALUES (1), (2), (3)").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_ADD_TABLES('SALES')").unwrap();
+    idaa.execute(&mut s, "CALL ACCEL_LOAD_TABLES('SALES')").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE R (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    idaa.set_disk_plan(DiskFaultPlan::at(sites::BITROT_LOG_SEGMENT, 1).seeded(0xB0B));
+    idaa.execute(&mut s, "INSERT INTO R VALUES (1)").unwrap();
+
+    idaa.accel().crash();
+    idaa.tracer().clear();
+    // The next statement drives recovery; acked rot in the replay tail
+    // forces the rebuild, and SALES is re-shipped before the query runs.
+    let out = idaa.query(&mut s, "SELECT COUNT(*) FROM SALES").unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::BigInt(3));
+
+    let trace = idaa.tracer().last_containing("SELECT COUNT(*)").expect("trace recorded");
+    let restart = trace.root.find("accel.restart").expect("restart event");
+    assert_eq!(restart.attr("rebuilt"), Some("true"), "{}", trace.root.render());
+    assert!(restart.attr("epoch").is_some());
+
+    assert_eq!(idaa.metrics().counter("disk.node_rebuilds"), 1);
+    assert!(
+        idaa.metrics().counter("disk.repair.bytes") > 0,
+        "the SALES re-materialization must be metered as repair traffic"
+    );
+    assert_eq!(
+        idaa.metrics().counter("disk.corruptions_detected"),
+        idaa.accel().stats.disk_corruptions_detected.load(Ordering::Relaxed),
+        "registry and engine must agree after the rebuild"
+    );
+    assert!(idaa.metrics().counter("disk.corruptions_detected") >= 1);
+    assert_eq!(
+        idaa.accel().quarantined_tables(),
+        vec![idaa::ObjectName::qualified("APP", "R")],
+        "the sole-copy AOT is quarantined, never silently emptied"
+    );
 }
 
 // ---------------------------------------------------------------------------

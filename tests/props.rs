@@ -8,7 +8,9 @@
 //! * host and accelerator engines agree on random data;
 //! * random committed DML streams keep the replica convergent;
 //! * commit-log replay is idempotent: any restart schedule rebuilds
-//!   byte-identical engine state.
+//!   byte-identical engine state — including under torn-write and bit-rot
+//!   schedules, where recovery either converges or fails with the same
+//!   deterministic `storage_corrupt` verdict on every attempt.
 
 use idaa::sql::ast::*;
 use idaa::sql::{parse_statement, Statement};
@@ -841,6 +843,135 @@ proptest! {
         engine.restart().unwrap();
         prop_assert_eq!(engine.state_fingerprint(), fp_live, "second replay diverged");
         prop_assert_eq!(&engine.scan_visible(&t).unwrap(), &rows_live);
+    }
+
+    /// The same idempotency contract under storage faults: a torn log
+    /// append and a bit-rotted log record are armed at random points in
+    /// the stream. Torn tails self-heal (truncate + durably re-log), so
+    /// every restart schedule still rebuilds byte-identical state; rot
+    /// either gets excised by a covering checkpoint (replay converges) or
+    /// surfaces as a *deterministic* `storage_corrupt` on every restart
+    /// attempt — never a silently divergent fingerprint.
+    #[test]
+    fn commit_log_replay_is_idempotent_under_storage_faults(
+        ops in proptest::collection::vec((0u8..10, 0i64..40, -100i64..100), 10..50),
+        checkpoint_between in any::<bool>(),
+        tear_at in 0usize..40,
+        rot_at in 0usize..40,
+    ) {
+        use idaa::accel::{AccelConfig, AccelEngine};
+        use idaa::common::{ColumnDef, Schema};
+        use idaa::netsim::sites;
+        use idaa::sql::ast::{BinaryOp, Expr};
+        use std::time::Duration;
+
+        let engine = AccelEngine::new(
+            "APP",
+            AccelConfig { slices: 3, zone_maps: true, parallel: false, parallelism: 0 },
+        );
+        let t = ObjectName::bare("T");
+        let schema = Schema::new(vec![
+            ColumnDef::new("K", DataType::BigInt),
+            ColumnDef::new("V", DataType::BigInt),
+        ]).unwrap();
+        engine.create_table(&t, schema, &[]).unwrap();
+        let key_eq = |k: i64| Expr::Binary {
+            left: Box::new(Expr::Column { qualifier: None, name: "K".into() }),
+            op: BinaryOp::Eq,
+            right: Box::new(Expr::Literal(Value::BigInt(k))),
+        };
+        // Both restart attempts after a corruption verdict must agree: the
+        // error is a property of the media, not of the retry schedule.
+        let corrupt_stays_corrupt = |e: &idaa::Error| {
+            assert_eq!(e.kind(), "storage_corrupt", "unexpected restart error: {e}");
+            let again = engine.restart().expect_err("corrupt media cannot heal by retrying");
+            assert_eq!(again.kind(), "storage_corrupt", "verdict changed: {again}");
+        };
+        let mut corrupted = false;
+        for (i, (op, k, v)) in ops.iter().enumerate() {
+            if i == tear_at {
+                engine.fault_registry().arm(sites::TORN_LOG_APPEND, 1);
+            }
+            if i == rot_at {
+                engine.fault_registry().arm(sites::BITROT_LOG_SEGMENT, 1);
+            }
+            let txn = 101 + i as u64;
+            let row = vec![Value::BigInt(*k), Value::BigInt(*v)];
+            let attempt: idaa::Result<()> = (|| {
+                match op {
+                    0..=4 => {
+                        engine.begin(txn);
+                        engine.insert_rows(txn, &t, vec![row.clone()])?;
+                        engine.commit(txn);
+                    }
+                    5..=6 => {
+                        engine.begin(txn);
+                        engine.update_where(
+                            txn,
+                            &t,
+                            &[("V".to_string(), Expr::Literal(Value::BigInt(*v)))],
+                            Some(&key_eq(*k)),
+                        )?;
+                        engine.commit(txn);
+                    }
+                    7 => {
+                        engine.begin(txn);
+                        engine.delete_where(txn, &t, Some(&key_eq(*k)))?;
+                        engine.commit(txn);
+                    }
+                    8 => {
+                        engine.begin(txn);
+                        engine.insert_rows(txn, &t, vec![row.clone()])?;
+                        engine.abort(txn);
+                    }
+                    _ => {
+                        engine.groom(&t)?;
+                    }
+                }
+                Ok(())
+            })();
+            if let Err(e) = attempt {
+                // The armed torn write crashed the engine mid-append; the
+                // restart must truncate the torn tail and re-log the
+                // truncation — unless earlier rot sits in the replay tail,
+                // in which case the failure is deterministic.
+                prop_assert_eq!(e.sqlcode(), -904, "torn append must surface -904: {}", e);
+                prop_assert!(engine.is_crashed(), "a torn append must crash the engine");
+                if let Err(e) = engine.restart() {
+                    corrupt_stays_corrupt(&e);
+                    corrupted = true;
+                    break;
+                }
+            }
+            if i % 13 == 7 {
+                engine.checkpoint(Duration::from_millis(i as u64)).unwrap();
+            }
+        }
+        if !corrupted {
+            let fp_live = engine.state_fingerprint();
+            let rows_live = engine.scan_visible(&t).unwrap();
+
+            engine.crash();
+            match engine.restart() {
+                Err(e) => corrupt_stays_corrupt(&e),
+                Ok(_) => {
+                    prop_assert_eq!(
+                        engine.state_fingerprint(), fp_live, "first faulted replay diverged"
+                    );
+                    prop_assert_eq!(&engine.scan_visible(&t).unwrap(), &rows_live);
+
+                    if checkpoint_between {
+                        engine.checkpoint(Duration::from_secs(1)).unwrap();
+                    }
+                    engine.crash();
+                    engine.restart().unwrap();
+                    prop_assert_eq!(
+                        engine.state_fingerprint(), fp_live, "second faulted replay diverged"
+                    );
+                    prop_assert_eq!(&engine.scan_visible(&t).unwrap(), &rows_live);
+                }
+            }
+        }
     }
 }
 
