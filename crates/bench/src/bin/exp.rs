@@ -11,7 +11,7 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: exp <e1..e21|all> [more ids...]");
+        eprintln!("usage: exp <e1..e22|all> [more ids...]");
         eprintln!("  E1  OLAP offload crossover        E9  replication batch ablation");
         eprintln!("  E2  OLTP point access             E10 accelerator ablation");
         eprintln!("  E3  pipeline stages (headline)    E11 governance overhead");

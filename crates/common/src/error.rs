@@ -53,6 +53,11 @@ pub enum Error {
     /// A required resource — here, the accelerator itself — is stopped or
     /// otherwise unavailable. SQLCODE -904.
     ResourceUnavailable(String),
+    /// The server's workload manager refused the request: a configured
+    /// session or queue-depth limit is exhausted. SQLCODE -905 (DB2's
+    /// "resource limit exceeded" analogue) — unlike -904, the system is
+    /// healthy; the caller is being governed.
+    WorkloadLimit(String),
     /// The accelerator's durable state failed checksum validation beyond
     /// local repair (bit-rot in acknowledged log records or every
     /// retained checkpoint): the node must be rebuilt from a replica or
@@ -89,6 +94,7 @@ impl Error {
             Error::CommitFailed(_) => -926,
             Error::LinkFailure(_) => -30081,
             Error::ResourceUnavailable(_) => -904,
+            Error::WorkloadLimit(_) => -905,
             Error::StorageCorrupt(_) => -904,
             Error::Unsupported(_) => -84,
             Error::Load(_) => -103,
@@ -114,6 +120,7 @@ impl Error {
             Error::CommitFailed(_) => "commit_failed",
             Error::LinkFailure(_) => "link_failure",
             Error::ResourceUnavailable(_) => "resource_unavailable",
+            Error::WorkloadLimit(_) => "workload_limit",
             Error::StorageCorrupt(_) => "storage_corrupt",
             Error::Unsupported(_) => "unsupported",
             Error::Load(_) => "load",
@@ -145,6 +152,7 @@ impl fmt::Display for Error {
             | Error::CommitFailed(m)
             | Error::LinkFailure(m)
             | Error::ResourceUnavailable(m)
+            | Error::WorkloadLimit(m)
             | Error::StorageCorrupt(m)
             | Error::Unsupported(m)
             | Error::Load(m)
@@ -169,6 +177,19 @@ mod tests {
         assert_eq!(Error::Constraint("c".into()).sqlcode(), -407);
         assert_eq!(Error::LinkFailure("l".into()).sqlcode(), -30081);
         assert_eq!(Error::ResourceUnavailable("r".into()).sqlcode(), -904);
+    }
+
+    /// Workload-manager refusals are governance, not outages: they carry
+    /// -905 (resource limit exceeded), distinct from the -904 a stopped
+    /// accelerator surfaces, so callers can tell "back off and resubmit"
+    /// from "the appliance is down".
+    #[test]
+    fn workload_limit_is_905_and_distinct_from_outage() {
+        let e = Error::WorkloadLimit("session queue depth limit (4) reached".into());
+        assert_eq!(e.sqlcode(), -905);
+        assert_eq!(e.kind(), "workload_limit");
+        assert!(e.to_string().contains("-905"));
+        assert_ne!(e.sqlcode(), Error::ResourceUnavailable("x".into()).sqlcode());
     }
 
     /// The fleet maps shard-level failures onto the same two federation

@@ -155,6 +155,23 @@ impl ExecOutcome {
     }
 }
 
+/// Scheduling context the workload manager attaches to a statement it
+/// admits: recorded as a zero-duration "queue" event under the statement's
+/// root span, so traces show how long the statement waited and in which
+/// admission round it ran. Plain (serverless) callers never carry one.
+#[derive(Debug, Clone)]
+pub struct QueueInfo {
+    /// Deterministic 1-based server seat (connect order), *not* the
+    /// process-global `Session::id`.
+    pub seat: u64,
+    /// Priority class name at admission.
+    pub priority: &'static str,
+    /// Virtual time the statement spent queued before admission.
+    pub queued: Duration,
+    /// Scheduler round (1-based) that admitted the statement.
+    pub round: u64,
+}
+
 /// The federated DB2 + accelerator system.
 ///
 /// The accelerator side is a *fleet* of one or more [`AccelNode`]s, each
@@ -269,6 +286,52 @@ impl Idaa {
     /// The process-wide metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The `SHOW WORKLOAD` result set: one row per server seat, rendered
+    /// entirely from the `server.session.*` entries the workload manager
+    /// maintains in the metrics registry. A system without a server has no
+    /// such entries and the view is empty — the statement itself never
+    /// touches the link, so it can run even while the accelerator is down.
+    fn workload_rows(&self) -> Rows {
+        let snap = self.metrics.snapshot();
+        // Every connected seat owns a `priority` gauge from connect time,
+        // so the gauge keys are the authoritative seat list.
+        let mut seats: Vec<u64> = snap
+            .gauges
+            .keys()
+            .filter_map(|k| {
+                let rest = k.strip_prefix("server.session.")?;
+                let seat = rest.strip_suffix(".priority")?;
+                seat.parse().ok()
+            })
+            .collect();
+        seats.sort_unstable();
+        let rows = seats
+            .into_iter()
+            .map(|seat| {
+                let g = |field: &str| {
+                    snap.gauges
+                        .get(&format!("server.session.{seat}.{field}"))
+                        .copied()
+                        .unwrap_or(0)
+                };
+                let c = |field: &str| {
+                    snap.counter(&format!("server.session.{seat}.{field}")) as i64
+                };
+                vec![
+                    Value::BigInt(seat as i64),
+                    Value::Varchar(crate::server::Priority::name_of_rank(g("priority")).into()),
+                    Value::BigInt(g("queued")),
+                    Value::BigInt(g("running")),
+                    Value::BigInt(c("done")),
+                    Value::BigInt(c("failed")),
+                    Value::BigInt(c("queue_time_us")),
+                    Value::BigInt(c("bytes")),
+                ]
+            })
+            .collect();
+        Rows::new(workload_schema(), rows)
     }
 
     /// The host engine (DB2 side).
@@ -967,6 +1030,18 @@ impl Idaa {
 
     /// Execute an already-parsed statement.
     pub fn execute_stmt(&self, session: &mut Session, stmt: &Statement) -> Result<ExecOutcome> {
+        self.execute_stmt_queued(session, stmt, None)
+    }
+
+    /// [`Idaa::execute_stmt`] with optional workload-manager context: when
+    /// the server admits a queued statement it passes the admission facts
+    /// here so the root span carries a "queue" event.
+    pub(crate) fn execute_stmt_queued(
+        &self,
+        session: &mut Session,
+        stmt: &Statement,
+        queue: Option<&QueueInfo>,
+    ) -> Result<ExecOutcome> {
         session.statements += 1;
         // Only the outermost statement owns the root "statement" span;
         // statements executed re-entrantly (procedures, EXPLAIN ANALYZE)
@@ -977,6 +1052,22 @@ impl Idaa {
             trace.attr(id, "sql", stmt);
             // Parsing consumes no virtual time — a zero-duration event.
             trace.event("parse", &[], self.link().now());
+            if let Some(q) = queue {
+                // Admission is also instantaneous *at* execution: the wait
+                // already elapsed on the virtual clock while predecessors
+                // ran, so the event only records it.
+                let queued_us = q.queued.as_micros() as u64;
+                trace.event(
+                    "queue",
+                    &[
+                        ("seat", &q.seat),
+                        ("priority", &q.priority),
+                        ("queued_us", &queued_us),
+                        ("round", &q.round),
+                    ],
+                    self.link().now(),
+                );
+            }
             Some(id)
         } else {
             None
@@ -1287,6 +1378,9 @@ impl Idaa {
                     privs.revoke(&session.user, g, &object, privileges)?;
                 }
                 Ok(ExecOutcome::host(Payload::None))
+            }
+            Statement::ShowWorkload => {
+                Ok(ExecOutcome::host(Payload::Rows(self.workload_rows())))
             }
             Statement::Call { procedure, args } => self.dispatch_call(session, procedure, args),
             Statement::Explain { analyze: false, stmt } => self.dispatch_explain(session, stmt),
@@ -2287,6 +2381,20 @@ fn explain_schema() -> idaa_common::Schema {
         "PLAN",
         idaa_common::DataType::Varchar(255),
     )])
+}
+
+fn workload_schema() -> idaa_common::Schema {
+    use idaa_common::{ColumnDef, DataType};
+    idaa_common::Schema::new_unchecked(vec![
+        ColumnDef::new("SESSION", DataType::BigInt),
+        ColumnDef::new("PRIORITY", DataType::Varchar(8)),
+        ColumnDef::new("QUEUED", DataType::BigInt),
+        ColumnDef::new("RUNNING", DataType::BigInt),
+        ColumnDef::new("DONE", DataType::BigInt),
+        ColumnDef::new("FAILED", DataType::BigInt),
+        ColumnDef::new("QUEUE_US", DataType::BigInt),
+        ColumnDef::new("BYTES", DataType::BigInt),
+    ])
 }
 
 /// What an accelerator statement exchange sends back to DB2.

@@ -21,12 +21,14 @@ pub mod idaa;
 pub mod procedures;
 pub mod replication;
 pub mod router;
+pub mod server;
 pub mod session;
 
 pub use fleet::{shard_of, shard_table, AccelNode, FleetConfig};
 pub use health::{Delivery, HealthConfig, HealthMonitor, HealthState, SeqTracker};
-pub use idaa::{ExecOutcome, Faults, Idaa, IdaaConfig, Payload};
+pub use idaa::{ExecOutcome, Faults, Idaa, IdaaConfig, Payload, QueueInfo};
 pub use procedures::{message_result, Procedure};
 pub use replication::Replicator;
 pub use router::{Route, TableMix};
+pub use server::{Completion, Priority, SeatId, Server, ServerConfig, StatementId};
 pub use session::Session;

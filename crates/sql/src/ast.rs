@@ -50,6 +50,10 @@ pub enum Statement {
     /// report appends the executed span tree (per-operator row counts and
     /// virtual-time costs).
     Explain { analyze: bool, stmt: Box<Statement> },
+    /// `SHOW WORKLOAD` — the server's workload-manager view: one row per
+    /// connected session (queued/running/done counts, queue time, bytes),
+    /// rendered from the `server.*` metrics. Empty outside a server.
+    ShowWorkload,
 }
 
 /// Column definition inside `CREATE TABLE`.
@@ -649,6 +653,7 @@ impl fmt::Display for Statement {
             Statement::Explain { analyze, stmt } => {
                 write!(f, "EXPLAIN {}{stmt}", if *analyze { "ANALYZE " } else { "" })
             }
+            Statement::ShowWorkload => write!(f, "SHOW WORKLOAD"),
         }
     }
 }

@@ -194,6 +194,10 @@ impl Parser {
         if self.eat_kw("SET") {
             return self.parse_set();
         }
+        if self.eat_kw("SHOW") {
+            self.expect_kw("WORKLOAD")?;
+            return Ok(Statement::ShowWorkload);
+        }
         if self.eat_kw("CALL") {
             let procedure = self.object_name()?;
             let mut args = Vec::new();
@@ -1089,6 +1093,13 @@ mod tests {
         assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
         assert_eq!(parse_statement("COMMIT WORK").unwrap(), Statement::Commit);
         assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn show_workload() {
+        assert_eq!(parse_statement("SHOW WORKLOAD").unwrap(), Statement::ShowWorkload);
+        roundtrip("SHOW WORKLOAD");
+        assert!(parse_statement("SHOW TABLES").is_err());
     }
 
     #[test]

@@ -1108,3 +1108,251 @@ fn fleet_sole_owner_shard_loss_is_a_deterministic_error() {
     assert_eq!(err.sqlcode(), -904, "a lost sole-owner shard is -904: {err}");
     assert!(err.to_string().contains("no live replica"), "{err}");
 }
+
+// ---------------------------------------------------------------------------
+// Server scheduler chaos: crashes while statements sit queued
+// ---------------------------------------------------------------------------
+
+/// Render a completion so replay comparisons cover identity, answer,
+/// admission order *and* queue timing.
+fn render_completion(c: &idaa::Completion) -> String {
+    let result = match &c.result {
+        Ok(out) => match out.rows() {
+            Some(rows) => rows.to_csv().replace('\n', ";"),
+            None => format!("count={}", out.count()),
+        },
+        Err(e) => format!("sqlcode={}", e.sqlcode()),
+    };
+    format!(
+        "seat={} stmt={} round={} waited={} queued_us={} sql={} -> {}",
+        c.session,
+        c.statement,
+        c.round,
+        c.waited_rounds,
+        c.queued.as_micros(),
+        c.sql,
+        result
+    )
+}
+
+/// One deterministic two-seat server workload over the 3-node fleet,
+/// optionally crashing node 0 mid-scatter while later statements still sit
+/// queued. Returns the rendered completion log, every node's link metrics,
+/// node 0's firing log, and the post-recovery convergence answer.
+#[allow(clippy::type_complexity)]
+fn server_fleet_run(
+    plan: Option<CrashPlan>,
+) -> (Vec<String>, Vec<idaa::LinkMetrics>, Vec<(String, u64)>, String) {
+    let (idaa, mut admin) = fleet_system();
+    for i in 0..8 {
+        let g = if i % 2 == 0 { "a" } else { "b" };
+        idaa.execute(&mut admin, &format!("INSERT INTO FLOG VALUES ({i}, '{g}')")).unwrap();
+    }
+    drop(admin);
+    let srv = idaa::Server::with_idaa(
+        idaa,
+        idaa::ServerConfig { admission_limit: 1, ..idaa::ServerConfig::default() },
+    );
+    let writer = srv.connect(SYSADM).unwrap();
+    let reader = srv.connect(SYSADM).unwrap();
+    srv.execute(writer, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+    srv.execute(reader, "SET CURRENT QUERY ACCELERATION = ELIGIBLE").unwrap();
+
+    // Arm the crash only now, so the pinned hit lands inside the scheduled
+    // batch below — while statements are still waiting in the queues.
+    let crashing = plan.is_some();
+    if let Some(p) = plan {
+        srv.idaa().set_crash_plan_on(0, p);
+    }
+    for i in 8..20 {
+        let g = if i % 2 == 0 { "a" } else { "b" };
+        srv.submit(writer, &format!("INSERT INTO FLOG VALUES ({i}, '{g}')")).unwrap();
+        srv.submit(reader, "SELECT G, COUNT(*), SUM(X) FROM FLOG GROUP BY G ORDER BY G").unwrap();
+    }
+    let completions = srv.run_until_idle();
+    assert_eq!(completions.len(), 24, "every queued statement must drain to a completion");
+    assert!(
+        completions.iter().any(|c| c.waited_rounds > 0),
+        "with admission limit 1 the batch must actually queue"
+    );
+    for c in &completions {
+        if let Err(e) = &c.result {
+            assert_tolerated(e);
+        }
+    }
+
+    let idaa = srv.idaa();
+    let fired = idaa.node_registry(0).fired();
+    idaa.node_registry(0).clear();
+    if crashing {
+        assert!(idaa.recover_node(0), "node 0 must recover once crash injection stops");
+        idaa.link().advance(Duration::from_millis(25));
+    }
+    let converged = srv
+        .query(reader, "SELECT G, COUNT(*), SUM(X) FROM FLOG GROUP BY G ORDER BY G")
+        .unwrap()
+        .to_csv();
+    assert_eq!(
+        idaa.current_primaries(),
+        vec![0, 1, 2, 0],
+        "every shard must be back on its preferred primary"
+    );
+    let metrics = (0..idaa.fleet_size()).map(|i| idaa.node_link(i).metrics()).collect();
+    (completions.iter().map(render_completion).collect(), metrics, fired, converged)
+}
+
+/// Drop the `queued_us=…` field from a rendered completion: failover
+/// retries consume virtual time, so queue durations legitimately differ
+/// between a clean and a crashed run (the timing column), while identity,
+/// answer and admission order must not.
+fn without_queue_time(line: &str) -> String {
+    let start = line.find(" queued_us=").expect("rendered completion has a queued_us field");
+    let rest = &line[start + 1..];
+    let end = rest.find(' ').unwrap();
+    format!("{}{}", &line[..start], &rest[end..])
+}
+
+/// Crash shard 0's primary mid-scatter while a two-seat batch sits queued
+/// on the server: the scheduler keeps draining (failover retargets the
+/// replica inside the running statement, so every answer matches the
+/// crash-free run), the queue never wedges, and the whole run — completion
+/// log, per-node link metrics, firing log — replays byte-identically per
+/// seed.
+#[test]
+fn server_queued_statements_drain_across_a_mid_scatter_crash() {
+    let (clean_log, _, clean_fired, clean_answer) = server_fleet_run(None);
+    assert!(clean_fired.is_empty(), "a clean run must never fire");
+    assert!(
+        clean_log.iter().all(|l| !l.contains("sqlcode=")),
+        "a clean run completes every statement"
+    );
+
+    let plan = || CrashPlan::at(sites::MID_SCATTER, 3).seeded(0x5EA75);
+    let (log1, metrics1, fired1, answer1) = server_fleet_run(Some(plan()));
+    assert_eq!(
+        fired1,
+        vec![(sites::MID_SCATTER.to_string(), 3)],
+        "the pinned crash must fire exactly once, mid-drain"
+    );
+    assert_eq!(
+        log1.iter().map(|l| without_queue_time(l)).collect::<Vec<_>>(),
+        clean_log.iter().map(|l| without_queue_time(l)).collect::<Vec<_>>(),
+        "replica failover inside the scheduler must not change any completion"
+    );
+    assert_eq!(answer1, clean_answer, "post-recovery convergence answer diverged");
+
+    let (log2, metrics2, fired2, answer2) = server_fleet_run(Some(plan()));
+    assert_eq!(log1, log2, "the scheduled completion log must replay byte-identically");
+    assert_eq!(metrics1, metrics2, "per-node link metrics must replay byte-identically");
+    assert_eq!(fired1, fired2);
+    assert_eq!(answer1, answer2);
+}
+
+/// Retry a statement through the server until it applies — the scheduled
+/// analogue of [`exec_until_applied`]: a tolerated failure triggers an
+/// operator recovery and a resubmission.
+fn server_exec_until_applied(srv: &idaa::Server, seat: idaa::SeatId, sql: &str) {
+    for _ in 0..6 {
+        match srv.execute(seat, sql) {
+            Ok(_) => return,
+            Err(e) => {
+                assert_tolerated(&e);
+                srv.idaa().link().advance(Duration::from_millis(10));
+                srv.idaa().recover();
+            }
+        }
+    }
+    panic!("`{sql}` still failing after recovery retries");
+}
+
+/// One deterministic two-seat server workload over a single accelerator
+/// with a pinned storage-fault plan: queued AOT inserts drain (tolerated
+/// failures are recovered and resubmitted), a forced crash then makes
+/// recovery read back any latent damage, and the run must converge to the
+/// fault-free contents.
+#[allow(clippy::type_complexity)]
+fn server_disk_run(
+    plan: DiskFaultPlan,
+) -> (idaa::LinkMetrics, Vec<(String, u64)>, Vec<String>, Vec<i32>, u64) {
+    let (idaa, _admin) = disk_system(Duration::from_micros(300), Duration::ZERO);
+    let srv = idaa::Server::with_idaa(
+        idaa,
+        idaa::ServerConfig { admission_limit: 1, ..idaa::ServerConfig::default() },
+    );
+    let a = srv.connect(SYSADM).unwrap();
+    let b = srv.connect(SYSADM).unwrap();
+    srv.idaa().set_disk_plan(plan);
+    for i in 0..12 {
+        let seat = if i % 2 == 0 { a } else { b };
+        srv.submit(seat, &format!("INSERT INTO LOG VALUES ({i})")).unwrap();
+        srv.idaa().link().advance(Duration::from_micros(100));
+    }
+    let completions = srv.run_until_idle();
+    assert_eq!(completions.len(), 12, "every queued insert must drain to a completion");
+    // A statement the storage fault killed completed with a tolerated
+    // error; recover the engine and push it back through the scheduler.
+    for c in &completions {
+        if let Err(e) = &c.result {
+            assert_tolerated(e);
+            srv.idaa().link().advance(Duration::from_millis(10));
+            srv.idaa().recover();
+            server_exec_until_applied(&srv, c.session, &c.sql);
+        }
+    }
+
+    // Forced crash + recovery: any *latent* torn record must now be read
+    // back, truncated and durably re-logged — never silently dropped.
+    let idaa = srv.idaa();
+    idaa.accel().crash();
+    idaa.link().advance(Duration::from_millis(10));
+    for _ in 0..3 {
+        if idaa.recover() {
+            break;
+        }
+        idaa.link().advance(Duration::from_millis(10));
+    }
+    assert_eq!(idaa.health().state(), HealthState::Online);
+    // Queued work resumes against the recovered engine.
+    let post = srv.query(a, "SELECT COUNT(*) FROM LOG").unwrap();
+    assert_eq!(post.scalar().unwrap().render(), "12");
+    (
+        idaa.link().metrics(),
+        idaa.faults.registry.fired(),
+        completions.iter().map(render_completion).collect(),
+        sorted_ints(idaa.accel().scan_visible(&ObjectName::bare("LOG")).unwrap()),
+        idaa.metrics().counter("disk.records_truncated"),
+    )
+}
+
+/// A torn log append fired while server statements sit queued: the queue
+/// drains (the damaged statement fails with a tolerated SQLCODE and is
+/// resubmitted after recovery, or the tear stays latent until the forced
+/// crash), recovery truncates and re-logs the torn tail, the AOT converges
+/// to the fault-free contents, and the run replays byte-identically per
+/// seed.
+#[test]
+fn server_queued_statements_survive_a_torn_log_append() {
+    let (_, clean_fired, clean_log, clean_rows, clean_truncated) =
+        server_disk_run(DiskFaultPlan::default());
+    assert!(clean_fired.is_empty(), "a clean disk plan must never fire");
+    assert_eq!(clean_rows, (0..12).collect::<Vec<_>>());
+    assert_eq!(clean_truncated, 0);
+    assert!(clean_log.iter().all(|l| !l.contains("sqlcode=")));
+
+    let plan = || DiskFaultPlan::at(sites::TORN_LOG_APPEND, 3).seeded(0x70A7);
+    let (m1, fired1, log1, rows1, truncated1) = server_disk_run(plan());
+    assert_eq!(
+        fired1,
+        vec![(sites::TORN_LOG_APPEND.to_string(), 3)],
+        "the pinned tear must fire exactly once"
+    );
+    assert_eq!(rows1, clean_rows, "the AOT must converge to the fault-free contents");
+    assert!(truncated1 >= 1, "recovery must truncate and re-log the torn tail");
+
+    let (m2, fired2, log2, rows2, truncated2) = server_disk_run(plan());
+    assert_eq!(m1, m2, "the faulted server run must replay byte-identically");
+    assert_eq!(fired1, fired2);
+    assert_eq!(log1, log2, "the completion log must replay byte-identically");
+    assert_eq!(rows1, rows2);
+    assert_eq!(truncated1, truncated2);
+}

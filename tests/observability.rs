@@ -605,3 +605,79 @@ fn fleet_failover_trace_names_replica_and_emits_failover_event() {
     assert_eq!(failovers[0].attr("from"), Some("0"));
     assert_eq!(failovers[0].attr("to"), Some("1"));
 }
+
+// ---------------------------------------------------------------------------
+// Server scheduler observability
+// ---------------------------------------------------------------------------
+
+/// Every statement the server schedules carries exactly one `queue` event
+/// (seat, priority class, queue wait, admitting round) in its span tree,
+/// and the `server.*` counters reconcile exactly with the scheduler's own
+/// completion log — done/failed tallies, summed queue time, round count,
+/// and drained per-seat gauges.
+#[test]
+fn server_queue_events_and_counters_reconcile_with_the_completion_log() {
+    let idaa = Idaa::default();
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE T (A BIGINT)").unwrap();
+    idaa.execute(&mut s, "INSERT INTO T VALUES (1), (2), (3)").unwrap();
+    drop(s);
+    let srv = idaa::Server::with_idaa(
+        idaa,
+        idaa::ServerConfig { admission_limit: 1, ..idaa::ServerConfig::default() },
+    );
+    let hi = srv.connect_with_priority(SYSADM, idaa::Priority::High).unwrap();
+    let lo = srv.connect(SYSADM).unwrap();
+    for _ in 0..3 {
+        srv.submit(lo, "SELECT A FROM T ORDER BY A").unwrap();
+        srv.submit(hi, "SELECT COUNT(*) FROM T").unwrap();
+    }
+    srv.idaa().tracer().clear();
+    let completions = srv.run_until_idle();
+    assert_eq!(completions.len(), 6);
+    assert!(
+        completions[..3].iter().all(|c| c.session == hi),
+        "the High seat must drain before Normal even though it submitted second"
+    );
+
+    // One trace per scheduled statement, in admission order, each with a
+    // single queue event whose attributes mirror the completion record.
+    let traces = srv.idaa().tracer().statements();
+    assert_eq!(traces.len(), completions.len(), "one trace per scheduled statement");
+    for (t, c) in traces.iter().zip(&completions) {
+        t.root.validate().unwrap();
+        let queue = t.root.find_all("queue");
+        assert_eq!(queue.len(), 1, "exactly one queue event: {}", t.root.render());
+        let q = queue[0];
+        assert_eq!(q.attr("seat").unwrap(), c.session.to_string(), "{}", t.root.render());
+        let expect_priority = if c.session == hi { "HIGH" } else { "NORMAL" };
+        assert_eq!(q.attr("priority"), Some(expect_priority), "{}", t.root.render());
+        assert_eq!(q.attr("queued_us").unwrap(), c.queued.as_micros().to_string());
+        assert_eq!(q.attr("round").unwrap(), c.round.to_string());
+    }
+    // Unscheduled statements (the plain facade path) never carry one.
+    let mut plain = srv.idaa().session(SYSADM);
+    srv.idaa().query(&mut plain, "SELECT COUNT(*) FROM T").unwrap();
+    let last = srv.idaa().tracer().last().unwrap();
+    assert!(last.root.find_all("queue").is_empty(), "{}", last.root.render());
+
+    // Counters reconcile with the completion log; gauges show a drained,
+    // idle server.
+    let m = srv.idaa().metrics();
+    assert_eq!(m.counter("server.statements"), 6);
+    assert_eq!(m.counter("server.submitted"), 6);
+    assert_eq!(m.counter("server.rounds"), srv.rounds());
+    assert_eq!(m.counter("server.sessions.connected"), 2);
+    for seat in [hi, lo] {
+        let done = completions.iter().filter(|c| c.session == seat && c.result.is_ok()).count();
+        let failed = completions.iter().filter(|c| c.session == seat && c.result.is_err()).count();
+        let queued: u64 =
+            completions.iter().filter(|c| c.session == seat).map(|c| c.queued.as_micros() as u64).sum();
+        assert_eq!(m.counter(&format!("server.session.{seat}.done")), done as u64);
+        assert_eq!(m.counter(&format!("server.session.{seat}.failed")), failed as u64);
+        assert_eq!(m.counter(&format!("server.session.{seat}.queue_time_us")), queued);
+        assert_eq!(m.gauge(&format!("server.session.{seat}.queued")), Some(0));
+        assert_eq!(m.gauge(&format!("server.session.{seat}.running")), Some(0));
+    }
+    assert_eq!(m.gauge(&format!("server.session.{hi}.priority")), Some(idaa::Priority::High.rank()));
+}

@@ -1145,3 +1145,129 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Server: the workload scheduler is deterministic and fair
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A random (session count × priority mix × submission schedule)
+    /// replayed on two fresh servers produces byte-identical completions,
+    /// `server.*` metrics, statement traces, and `SHOW WORKLOAD` output —
+    /// and within the top priority class no ready seat starves: a
+    /// statement's wait stays linearly bounded by its position in its
+    /// seat's FIFO times the class size (round-robin), never by the total
+    /// backlog.
+    #[test]
+    fn scheduler_is_deterministic_and_fair(
+        priorities in proptest::collection::vec(0i64..4, 2..6),
+        schedule in proptest::collection::vec((0usize..8, 0usize..4), 8..32),
+        limit in 1usize..4,
+    ) {
+        use idaa::{Priority, Server, ServerConfig};
+        let prio = |rank: i64| match rank {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            2 => Priority::High,
+            _ => Priority::System,
+        };
+        struct RunOut {
+            report: String,
+            completions: Vec<(u64, i64, u64)>, // (seat, priority rank, waited_rounds)
+        }
+        let run = |priorities: &[i64], schedule: &[(usize, usize)]| -> RunOut {
+            let idaa = Idaa::default();
+            let mut setup = idaa.session(SYSADM);
+            idaa.execute(&mut setup, "CREATE TABLE W (A BIGINT, G VARCHAR(2))").unwrap();
+            idaa.execute(
+                &mut setup,
+                "INSERT INTO W VALUES (1, 'a'), (2, 'b'), (3, 'a'), (4, 'c')",
+            ).unwrap();
+            let srv = Server::with_idaa(
+                idaa,
+                ServerConfig { admission_limit: limit, ..ServerConfig::default() },
+            );
+            let seats: Vec<u64> = priorities
+                .iter()
+                .map(|r| srv.connect_with_priority(SYSADM, prio(*r)).unwrap())
+                .collect();
+            for (i, (sel, kind)) in schedule.iter().enumerate() {
+                let seat = seats[sel % seats.len()];
+                let sql = match kind {
+                    0 => "SELECT COUNT(*) FROM W".to_string(),
+                    1 => "SELECT A, G FROM W ORDER BY A, G".to_string(),
+                    2 => format!("INSERT INTO W VALUES ({}, 'z')", 100 + i),
+                    _ => "SET CURRENT QUERY ACCELERATION = NONE".to_string(),
+                };
+                srv.submit(seat, &sql).unwrap();
+            }
+            let done = srv.run_until_idle();
+            // Byte-stable report: completions, full metrics registry,
+            // session-free trace renders, and the SHOW WORKLOAD rows.
+            let mut report = String::new();
+            for c in &done {
+                let outcome = match &c.result {
+                    Ok(out) => format!("{:?}", out.payload),
+                    Err(e) => format!("sqlcode {}", e.sqlcode()),
+                };
+                report.push_str(&format!(
+                    "seat={} stmt={} round={} waited={} queued_us={} sql={} -> {}\n",
+                    c.session, c.statement, c.round, c.waited_rounds,
+                    c.queued.as_micros(), c.sql, outcome,
+                ));
+            }
+            report.push_str(&srv.idaa().metrics().render());
+            for t in srv.idaa().tracer().statements() {
+                report.push_str(&t.root.render());
+                report.push('\n');
+            }
+            let mut viewer = srv.idaa().session(SYSADM);
+            report.push_str(&srv.idaa().query(&mut viewer, "SHOW WORKLOAD").unwrap().to_csv());
+            let completions = done
+                .iter()
+                .map(|c| {
+                    let rank = prio(priorities[seats.iter().position(|s| *s == c.session).unwrap()]).rank();
+                    (c.session, rank, c.waited_rounds)
+                })
+                .collect();
+            RunOut { report, completions }
+        };
+        let first = run(&priorities, &schedule);
+        let second = run(&priorities, &schedule);
+        prop_assert_eq!(
+            &first.report,
+            &second.report,
+            "same submission schedule must replay byte-identically"
+        );
+        // Every submitted statement completed exactly once.
+        prop_assert_eq!(first.completions.len(), schedule.len());
+        // Fairness in the top class (nothing above it can delay it): the
+        // i-th statement of a seat's FIFO waits O(i * class_size) rounds,
+        // independent of how much total backlog other classes hold.
+        let top = first.completions.iter().map(|(_, r, _)| *r).max().unwrap_or(0);
+        let class_seats: std::collections::BTreeSet<u64> = first
+            .completions
+            .iter()
+            .filter(|(_, r, _)| *r == top)
+            .map(|(s, _, _)| *s)
+            .collect();
+        let k = class_seats.len() as u64;
+        for seat in &class_seats {
+            for (i, (_, _, waited)) in first
+                .completions
+                .iter()
+                .filter(|(s, _, _)| s == seat)
+                .enumerate()
+            {
+                let bound = (i as u64 + 2) * k + 2;
+                prop_assert!(
+                    *waited <= bound,
+                    "seat {} statement {} waited {} rounds (> bound {}): starvation",
+                    seat, i, waited, bound
+                );
+            }
+        }
+    }
+}

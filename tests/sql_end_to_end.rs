@@ -690,3 +690,44 @@ fn csv_export_reimports_through_the_loader() {
     let reimported = idaa.query(&mut s, "SELECT * FROM dst ORDER BY id").unwrap();
     assert_eq!(exported.rows, reimported.rows, "export → import must round-trip");
 }
+
+#[test]
+fn show_workload_golden_reports_per_seat_scheduler_state() {
+    let (idaa, mut s) = system();
+    seed_sales(&idaa, &mut s, 10);
+    drop(s);
+    let srv = idaa::Server::with_idaa(
+        idaa,
+        idaa::ServerConfig { admission_limit: 1, ..idaa::ServerConfig::default() },
+    );
+    let hi = srv.connect_with_priority(SYSADM, idaa::Priority::High).unwrap();
+    let lo = srv.connect(SYSADM).unwrap();
+    srv.submit(hi, "SELECT COUNT(*) FROM SALES").unwrap();
+    srv.submit(lo, "SELECT COUNT(*) FROM MISSING").unwrap();
+    srv.submit(lo, "SELECT COUNT(*) FROM SALES").unwrap();
+    let completions = srv.run_until_idle();
+    assert_eq!(completions.len(), 3);
+    assert_eq!(
+        completions.iter().filter(|c| c.result.is_err()).count(),
+        1,
+        "exactly the MISSING probe fails"
+    );
+
+    // The workload view snapshots the scheduler mid-statement: the seat
+    // running the SHOW itself reports RUNNING=1. Everything — including
+    // the virtual queue-time column — is deterministic, so the whole
+    // table is a golden.
+    let rows = srv.query(hi, "SHOW WORKLOAD").unwrap();
+    assert_eq!(
+        rows.to_csv(),
+        "SESSION,PRIORITY,QUEUED,RUNNING,DONE,FAILED,QUEUE_US,BYTES\n\
+         1,HIGH,0,1,1,0,0,0\n\
+         2,NORMAL,0,0,1,1,150,0\n"
+    );
+
+    // Outside a server the view exists but is empty — no seats to report.
+    let plain = Idaa::default();
+    let mut p = plain.session(SYSADM);
+    let rows = plain.query(&mut p, "SHOW WORKLOAD").unwrap();
+    assert_eq!(rows.to_csv(), "SESSION,PRIORITY,QUEUED,RUNNING,DONE,FAILED,QUEUE_US,BYTES\n");
+}

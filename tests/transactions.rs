@@ -503,3 +503,156 @@ fn accel_stop_inside_open_transaction_rolls_back_cleanly() {
     assert_eq!(count(&idaa, &mut s, "h"), 1);
     assert_eq!(count(&idaa, &mut s, "a"), 1);
 }
+
+// ---------------------------------------------------------------------------
+// Isolation-anomaly battery through *server* sessions
+//
+// The same anomalies, but the two transactions are server seats whose
+// statements the deterministic workload scheduler interleaves — nothing is
+// hand-driven past the submission order. Each probe proves the scheduler
+// preserved snapshot isolation and that the traces carry the queue context.
+// ---------------------------------------------------------------------------
+
+/// A server over a fresh federation with the anomaly tables committed.
+fn anomaly_server() -> idaa::Server {
+    let srv = idaa::Server::with_idaa(Idaa::default(), idaa::ServerConfig::default());
+    let idaa = srv.idaa();
+    let mut s = idaa.session(SYSADM);
+    idaa.execute(&mut s, "CREATE TABLE ACCOUNTS (ID INT, BAL INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "CREATE TABLE PINNED (X INT) IN ACCELERATOR").unwrap();
+    idaa.execute(&mut s, "INSERT INTO ACCOUNTS VALUES (1, 50), (2, 50)").unwrap();
+    srv
+}
+
+fn seat_balance(srv: &idaa::Server, seat: u64, id: i32) -> i64 {
+    srv.query(seat, &format!("SELECT bal FROM accounts WHERE id = {id}"))
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap()
+}
+
+#[test]
+fn server_sessions_dirty_read_prevented() {
+    let srv = anomaly_server();
+    let writer = srv.connect(SYSADM).unwrap();
+    let reader = srv.connect(SYSADM).unwrap();
+    srv.execute(writer, "BEGIN").unwrap();
+    srv.execute(writer, "UPDATE ACCOUNTS SET BAL = 0 WHERE ID = 1").unwrap();
+    // One batch: the scheduler interleaves more uncommitted writer work
+    // with the reader's probe of the already-dirty row — whichever the
+    // rotation admits first, the probe must not see the dirty value.
+    srv.submit(writer, "UPDATE ACCOUNTS SET BAL = 0 WHERE ID = 2").unwrap();
+    srv.submit(reader, "SELECT BAL FROM ACCOUNTS WHERE ID = 1").unwrap();
+    let done = srv.run_until_idle();
+    assert_eq!(done.len(), 2);
+    let probe = done
+        .iter()
+        .find(|c| c.session == reader)
+        .unwrap()
+        .result
+        .as_ref()
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(probe.scalar().unwrap().as_i64().unwrap(), 50, "no dirty read");
+    srv.execute(writer, "ROLLBACK").unwrap();
+    assert_eq!(seat_balance(&srv, reader, 1), 50);
+    // The interleaved probe ran on the accelerator with queue context.
+    let trace = srv.idaa().tracer().last_containing("SELECT BAL FROM ACCOUNTS").unwrap();
+    assert_eq!(trace.root.attr("route"), Some("Accelerator"));
+    let queue = trace.root.find_all("queue");
+    assert_eq!(queue.len(), 1, "{}", trace.root.render());
+    assert_eq!(queue[0].attr("seat"), Some("2"));
+}
+
+#[test]
+fn server_sessions_lost_update_rejected() {
+    let srv = anomaly_server();
+    let a = srv.connect(SYSADM).unwrap();
+    let b = srv.connect(SYSADM).unwrap();
+    srv.execute(a, "BEGIN").unwrap();
+    srv.execute(b, "BEGIN").unwrap();
+    srv.execute(a, "INSERT INTO PINNED VALUES (1)").unwrap();
+    srv.execute(b, "INSERT INTO PINNED VALUES (2)").unwrap();
+    assert_eq!(seat_balance(&srv, a, 1), 50);
+    assert_eq!(seat_balance(&srv, b, 1), 50);
+    // Both read-modify-writes in one scheduler batch: first-updater-wins
+    // must reject the second regardless of who submitted first in wall
+    // time — admission order decides, deterministically.
+    srv.submit(a, "UPDATE ACCOUNTS SET BAL = BAL + 10 WHERE ID = 1").unwrap();
+    srv.submit(b, "UPDATE ACCOUNTS SET BAL = BAL + 25 WHERE ID = 1").unwrap();
+    let done = srv.run_until_idle();
+    assert_eq!(done.len(), 2);
+    let winner = done.iter().find(|c| c.result.is_ok()).expect("one update applies");
+    let loser = done.iter().find(|c| c.result.is_err()).expect("one update rejected");
+    assert_eq!(
+        loser.result.as_ref().unwrap_err().sqlcode(),
+        -913,
+        "second updater loses, never silently overwrites"
+    );
+    assert!(loser.round >= winner.round, "the earlier-admitted update wins");
+    srv.execute(winner.session, "COMMIT").unwrap();
+    srv.execute(loser.session, "ROLLBACK").unwrap();
+    let check = srv.connect(SYSADM).unwrap();
+    let expected = if winner.session == a { 60 } else { 75 };
+    assert_eq!(seat_balance(&srv, check, 1), expected, "exactly one increment applied");
+    // The workload view reconciles: the loser's seat carries the failure.
+    let m = srv.idaa().metrics();
+    assert_eq!(m.counter(&format!("server.session.{}.failed", loser.session)), 1);
+    assert_eq!(m.counter(&format!("server.session.{}.failed", winner.session)), 0);
+}
+
+#[test]
+fn server_sessions_write_skew_permitted_under_si() {
+    let srv = anomaly_server();
+    let a = srv.connect(SYSADM).unwrap();
+    let b = srv.connect(SYSADM).unwrap();
+    srv.execute(a, "BEGIN").unwrap();
+    srv.execute(b, "BEGIN").unwrap();
+    srv.execute(a, "INSERT INTO PINNED VALUES (1)").unwrap();
+    srv.execute(b, "INSERT INTO PINNED VALUES (2)").unwrap();
+    let sum = |seat: u64| {
+        srv.query(seat, "SELECT SUM(bal) FROM accounts")
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap()
+    };
+    // Both snapshots see the invariant holding…
+    assert_eq!(sum(a), 100);
+    assert_eq!(sum(b), 100);
+    // …and the scheduler interleaves two disjoint-row withdrawals: no
+    // first-updater conflict, so snapshot isolation lets both commit.
+    srv.submit(a, "UPDATE ACCOUNTS SET BAL = BAL - 50 WHERE ID = 1").unwrap();
+    srv.submit(b, "UPDATE ACCOUNTS SET BAL = BAL - 50 WHERE ID = 2").unwrap();
+    for c in srv.run_until_idle() {
+        c.result.as_ref().unwrap();
+    }
+    srv.submit(a, "COMMIT").unwrap();
+    srv.submit(b, "COMMIT").unwrap();
+    for c in srv.run_until_idle() {
+        c.result.as_ref().unwrap();
+    }
+    let check = srv.connect(SYSADM).unwrap();
+    assert_eq!(sum(check), 0, "write skew drains both rows — SI permits it");
+}
+
+#[test]
+fn server_sessions_snapshot_pinned_across_scheduled_batches() {
+    // Non-repeatable-read probe where every step flows through the
+    // scheduler: the reader's pinned snapshot survives a concurrent
+    // committed update executed in a *later* scheduler round.
+    let srv = anomaly_server();
+    let writer = srv.connect(SYSADM).unwrap();
+    let reader = srv.connect(SYSADM).unwrap();
+    srv.execute(reader, "BEGIN").unwrap();
+    srv.execute(reader, "INSERT INTO PINNED VALUES (0)").unwrap(); // pin snapshot
+    assert_eq!(seat_balance(&srv, reader, 1), 50);
+    srv.execute(writer, "UPDATE ACCOUNTS SET BAL = 99 WHERE ID = 1").unwrap();
+    assert_eq!(seat_balance(&srv, reader, 1), 50, "read repeats under SI");
+    srv.execute(reader, "COMMIT").unwrap();
+    assert_eq!(seat_balance(&srv, reader, 1), 99, "post-commit the update is visible");
+}
